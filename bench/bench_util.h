@@ -1,0 +1,81 @@
+#ifndef BACKSORT_BENCH_BENCH_UTIL_H_
+#define BACKSORT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "common/types.h"
+#include "core/sorter_registry.h"
+#include "disorder/delay_distribution.h"
+#include "disorder/series_generator.h"
+#include "tvlist/tv_list.h"
+
+namespace backsort::bench {
+
+/// Reads a size_t from the environment, so the scaled-down defaults used by
+/// the all-benches run can be restored to paper scale:
+///   BACKSORT_POINTS          algorithm benches array size (default 1e6)
+///   BACKSORT_SYSTEM_POINTS   system benches ingest size   (default 5e4)
+///   BACKSORT_REPEATS         timing repetitions           (default 3)
+inline size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<size_t>(std::strtoull(v, nullptr, 10));
+}
+
+/// Builds an IntTVList holding the arrival stream of `delay` — the
+/// "IntTVList(<long,int> T-V pair)" setting of the paper's algorithm
+/// experiments.
+inline IntTVList MakeTvList(size_t n, const DelayDistribution& delay,
+                            Rng& rng) {
+  const auto ts = GenerateArrivalOrderedTimestamps(n, delay, rng);
+  IntTVList list;
+  for (Timestamp t : ts) {
+    list.Put(t, static_cast<int32_t>(t));
+  }
+  return list;
+}
+
+/// Median sort time (ms) of `sorter` over fresh clones of `list`.
+inline double TimeSortTvListMs(SorterId sorter, const IntTVList& list,
+                               size_t repeats,
+                               const BackwardSortOptions& options = {}) {
+  std::vector<double> times;
+  times.reserve(repeats);
+  for (size_t r = 0; r < repeats; ++r) {
+    IntTVList copy = list.Clone();
+    TVListSortable<int32_t> seq(copy);
+    WallTimer timer;
+    SortWith(sorter, seq, options);
+    times.push_back(timer.ElapsedMillis());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+/// Prints one table row: first column label then fixed-width numbers.
+inline void PrintRow(const std::string& label,
+                     const std::vector<double>& values) {
+  std::printf("%-22s", label.c_str());
+  for (double v : values) std::printf(" %12.3f", v);
+  std::printf("\n");
+}
+
+inline void PrintHeader(const std::string& first,
+                        const std::vector<std::string>& columns) {
+  std::printf("%-22s", first.c_str());
+  for (const auto& c : columns) std::printf(" %12s", c.c_str());
+  std::printf("\n");
+}
+
+inline void PrintTitle(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace backsort::bench
+
+#endif  // BACKSORT_BENCH_BENCH_UTIL_H_

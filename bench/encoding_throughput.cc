@@ -1,0 +1,120 @@
+// Extension bench: encode/decode throughput and compression ratio of the
+// page encodings over realistic corpora — validates that the storage
+// substrate under the flush pipeline is production-shaped, and quantifies
+// why TS_2DIFF is the timestamp default (sorted timestamps compress ~50x).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "encoding/encoding.h"
+
+namespace backsort::bench {
+namespace {
+
+struct Corpus {
+  std::string name;
+  std::vector<int64_t> ints;    // empty if floating corpus
+  std::vector<double> doubles;  // empty if integer corpus
+};
+
+std::vector<Corpus> MakeCorpora(size_t n) {
+  Rng rng(71);
+  std::vector<Corpus> out;
+  {
+    Corpus c;
+    c.name = "sorted timestamps";
+    int64_t t = 1'600'000'000'000LL;
+    for (size_t i = 0; i < n; ++i) {
+      t += 10 + static_cast<int64_t>(rng.NextBelow(3));
+      c.ints.push_back(t);
+    }
+    out.push_back(std::move(c));
+  }
+  {
+    Corpus c;
+    c.name = "int sensor (runs)";
+    int64_t level = 20;
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.NextBelow(100) == 0) {
+        level += static_cast<int64_t>(rng.NextBelow(11)) - 5;
+      }
+      c.ints.push_back(level);
+    }
+    out.push_back(std::move(c));
+  }
+  {
+    Corpus c;
+    c.name = "double sensor";
+    double v = 25.0;
+    for (size_t i = 0; i < n; ++i) {
+      v += 0.01 * rng.NextGaussian();
+      c.doubles.push_back(v);
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+void Run() {
+  const size_t n = EnvSize("BACKSORT_POINTS", 1'000'000);
+  const size_t repeats = EnvSize("BACKSORT_REPEATS", 3);
+  PrintTitle("Extension: encoding throughput and ratio (" +
+             std::to_string(n) + " points)");
+  std::printf("%-22s %-10s %10s %12s %12s\n", "corpus", "encoding",
+              "ratio", "enc MB/s", "dec MB/s");
+
+  for (const Corpus& corpus : MakeCorpora(n)) {
+    const bool is_int = !corpus.ints.empty();
+    const std::vector<Encoding> encodings =
+        is_int ? std::vector<Encoding>{Encoding::kPlain, Encoding::kTs2Diff,
+                                       Encoding::kRle, Encoding::kSimple8b}
+               : std::vector<Encoding>{Encoding::kPlain, Encoding::kGorilla};
+    const double raw_mb = static_cast<double>(n * 8) / 1e6;
+    for (Encoding e : encodings) {
+      double enc_ms = 1e300;
+      double dec_ms = 1e300;
+      size_t encoded_size = 0;
+      for (size_t r = 0; r < repeats; ++r) {
+        ByteBuffer buf;
+        WallTimer t1;
+        Status st = is_int ? EncodeI64(e, corpus.ints, &buf)
+                           : EncodeF64(e, corpus.doubles, &buf);
+        enc_ms = std::min(enc_ms, t1.ElapsedMillis());
+        if (!st.ok()) {
+          std::fprintf(stderr, "encode failed: %s\n", st.ToString().c_str());
+          return;
+        }
+        encoded_size = buf.size();
+        WallTimer t2;
+        if (is_int) {
+          std::vector<int64_t> decoded;
+          ByteReader reader(buf.data());
+          st = DecodeI64(e, &reader, n, &decoded);
+        } else {
+          std::vector<double> decoded;
+          ByteReader reader(buf.data());
+          st = DecodeF64(e, &reader, n, &decoded);
+        }
+        dec_ms = std::min(dec_ms, t2.ElapsedMillis());
+        if (!st.ok()) {
+          std::fprintf(stderr, "decode failed: %s\n", st.ToString().c_str());
+          return;
+        }
+      }
+      std::printf("%-22s %-10s %9.1fx %12.1f %12.1f\n", corpus.name.c_str(),
+                  EncodingName(e).c_str(),
+                  static_cast<double>(n * 8) /
+                      static_cast<double>(encoded_size),
+                  raw_mb / (enc_ms / 1e3), raw_mb / (dec_ms / 1e3));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace backsort::bench
+
+int main() {
+  backsort::bench::Run();
+  return 0;
+}

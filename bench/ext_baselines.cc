@@ -1,0 +1,65 @@
+// Extension bench (beyond the paper's figures): Backward-Sort against the
+// additional baselines this repository implements — Smoothsort (cited in
+// the paper's related work), std::sort (introsort), dual-pivot quicksort
+// (Java's primitive sorter, i.e. IoTDB's runtime environment) and LSD radix
+// sort (the non-comparison bound). Shows where adaptivity stops paying:
+// radix is disorder-oblivious, so its flat line crosses the adaptive
+// sorters as sigma grows.
+
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace backsort::bench {
+namespace {
+
+void Run() {
+  const size_t n = EnvSize("BACKSORT_POINTS", 1'000'000);
+  const size_t repeats = EnvSize("BACKSORT_REPEATS", 3);
+  const std::vector<SorterId> sorters = {
+      SorterId::kBackward, SorterId::kTim,       SorterId::kSmooth,
+      SorterId::kStd,      SorterId::kDualPivot, SorterId::kRadix,
+      SorterId::kMerge};
+
+  PrintTitle("Extension: extra baselines, AbsNormal(1,sigma) sort time (ms)");
+  std::vector<std::string> cols;
+  for (SorterId s : sorters) cols.push_back(SorterName(s));
+  PrintHeader("sigma", cols);
+  for (double sigma : {0.1, 1.0, 10.0, 100.0, 1000.0}) {
+    Rng rng(61);
+    AbsNormalDelay delay(1, sigma);
+    const IntTVList list = MakeTvList(n, delay, rng);
+    std::vector<double> row;
+    for (SorterId s : sorters) {
+      row.push_back(TimeSortTvListMs(s, list, repeats));
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.1f", sigma);
+    PrintRow(label, row);
+  }
+
+  PrintTitle("Extension: extra baselines, bursty disorder sort time (ms)");
+  PrintHeader("burst delay", cols);
+  for (double burst : {10.0, 100.0, 1000.0}) {
+    Rng rng(62);
+    BurstyDelay delay(std::make_unique<ConstantDelay>(0.0),
+                      std::make_unique<AbsNormalDelay>(burst, burst / 4),
+                      /*period=*/10'000, /*burst_len=*/500);
+    const IntTVList list = MakeTvList(n, delay, rng);
+    std::vector<double> row;
+    for (SorterId s : sorters) {
+      row.push_back(TimeSortTvListMs(s, list, repeats));
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.0f", burst);
+    PrintRow(label, row);
+  }
+}
+
+}  // namespace
+}  // namespace backsort::bench
+
+int main() {
+  backsort::bench::Run();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Regenerates Figure 5 and Example 6 of the paper: the probability density
+// of the delay difference delta_tau for exponential delays E(lambda),
+// lambda in {1,2,3}, plus the empirical-vs-theoretical interval inversion
+// ratios alpha_1 and alpha_5 (Proposition 2: E(alpha_L) = exp(-lambda L)/2).
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "disorder/inversion.h"
+
+namespace backsort::bench {
+namespace {
+
+void Run() {
+  const size_t n = EnvSize("BACKSORT_POINTS", 1'000'000);
+
+  PrintTitle("Figure 5: PDF of delta_tau for tau ~ E(lambda)");
+  // Histogram of tau_i - tau_j over i.i.d. samples, bins of width 0.25 on
+  // [-4, 4]; the theory is f(t) = lambda/2 * exp(-lambda |t|).
+  constexpr double kBin = 0.25;
+  constexpr int kBins = 32;  // [-4, 4)
+  std::vector<std::string> cols = {"empirical", "theory"};
+  for (double lambda : {1.0, 2.0, 3.0}) {
+    Rng rng(101 + static_cast<uint64_t>(lambda));
+    ExponentialDelay delay(lambda);
+    std::vector<double> hist(kBins, 0.0);
+    const size_t samples = n;
+    for (size_t i = 0; i < samples; ++i) {
+      const double d = delay.Sample(rng) - delay.Sample(rng);
+      const int bin = static_cast<int>(std::floor((d + 4.0) / kBin));
+      if (bin >= 0 && bin < kBins) hist[static_cast<size_t>(bin)] += 1.0;
+    }
+    std::printf("\nlambda = %.0f\n", lambda);
+    PrintHeader("delta_tau", cols);
+    for (int b = 0; b < kBins; ++b) {
+      const double center = -4.0 + (b + 0.5) * kBin;
+      const double density =
+          hist[static_cast<size_t>(b)] / (static_cast<double>(samples) * kBin);
+      const double theory = 0.5 * lambda * std::exp(-lambda * std::fabs(center));
+      PrintRow(std::to_string(center), {density, theory});
+    }
+  }
+
+  PrintTitle("Example 6: empirical vs theoretical alpha (lambda = 2)");
+  Rng rng(202);
+  ExponentialDelay delay(2.0);
+  const auto ts = GenerateArrivalOrderedTimestamps(n, delay, rng);
+  PrintHeader("interval L", {"alpha~ (emp)", "alpha (theory)"});
+  for (size_t L : {1, 2, 3, 5}) {
+    const double emp = IntervalInversionRatio(ts, L);
+    const double theory = 0.5 * std::exp(-2.0 * static_cast<double>(L));
+    std::printf("%-22zu %12.6g %12.6g\n", L, emp, theory);
+  }
+}
+
+}  // namespace
+}  // namespace backsort::bench
+
+int main() {
+  backsort::bench::Run();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Regenerates Figure 8 of the paper (parameter tuning on the real-world
+// datasets — here their calibrated surrogates):
+//  (a) interval inversion ratio vs interval 2^0..2^18;
+//  (b) Backward-Sort time vs manually fixed block size 2^2..2^17 on an
+//      IntTVList of BACKSORT_POINTS points (paper: 1M), with the Insertion
+//      (L=1) and Quicksort (L=N) degenerate endpoints for reference, and
+//      the auto-selected block size last.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "disorder/datasets.h"
+#include "disorder/inversion.h"
+
+namespace backsort::bench {
+namespace {
+
+void Run() {
+  const size_t n = EnvSize("BACKSORT_POINTS", 1'000'000);
+  const size_t repeats = EnvSize("BACKSORT_REPEATS", 3);
+
+  PrintTitle("Figure 8a: interval inversion ratio vs interval");
+  std::vector<std::string> names;
+  std::vector<std::vector<Timestamp>> streams;
+  for (DatasetId id : RealWorldDatasets()) {
+    Rng rng(7);
+    auto delay = MakeDatasetDelay(id);
+    streams.push_back(GenerateArrivalOrderedTimestamps(n, *delay, rng));
+    names.push_back(DatasetName(id));
+  }
+  PrintHeader("interval", names);
+  for (int p = 0; p <= 18; ++p) {
+    const size_t L = size_t{1} << p;
+    if (L >= n) break;
+    std::vector<double> row;
+    for (const auto& ts : streams) {
+      row.push_back(IntervalInversionRatio(ts, L));
+    }
+    std::printf("%-22zu", L);
+    for (double v : row) std::printf(" %12.3e", v);
+    std::printf("\n");
+  }
+
+  PrintTitle("Figure 8b: sort time (ms) vs fixed block size");
+  PrintHeader("block size", names);
+  std::vector<IntTVList> lists;
+  for (size_t i = 0; i < streams.size(); ++i) {
+    IntTVList list;
+    for (Timestamp t : streams[i]) list.Put(t, static_cast<int32_t>(t));
+    lists.push_back(std::move(list));
+  }
+  for (int p = 2; p <= 17; ++p) {
+    const size_t L = size_t{1} << p;
+    if (L > n) break;
+    std::vector<double> row;
+    for (const auto& list : lists) {
+      BackwardSortOptions options;
+      options.fixed_block_size = L;
+      row.push_back(TimeSortTvListMs(SorterId::kBackward, list, repeats,
+                                     options));
+    }
+    PrintRow(std::to_string(L), row);
+  }
+  {
+    std::vector<double> row;
+    for (const auto& list : lists) {
+      BackwardSortOptions options;
+      options.fixed_block_size = n;  // degenerate Quicksort endpoint
+      row.push_back(TimeSortTvListMs(SorterId::kBackward, list, repeats,
+                                     options));
+    }
+    PrintRow("L=N (Quicksort)", row);
+  }
+  {
+    std::vector<double> row;
+    std::vector<double> chosen;
+    for (const auto& list : lists) {
+      row.push_back(TimeSortTvListMs(SorterId::kBackward, list, repeats));
+      IntTVList copy = list.Clone();
+      TVListSortable<int32_t> seq(copy);
+      BackwardSortStats stats;
+      BackwardSort(seq, BackwardSortOptions{}, &stats);
+      chosen.push_back(static_cast<double>(stats.chosen_block_size));
+    }
+    PrintRow("auto (theta=0.04)", row);
+    PrintRow("auto chosen L", chosen);
+  }
+}
+
+}  // namespace
+}  // namespace backsort::bench
+
+int main() {
+  backsort::bench::Run();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Regenerates Figure 9: sort time of the six algorithms on AbsNormal(mu,
+// sigma) arrival streams, varying the delay standard deviation sigma, for
+// mu = 1 and mu = 4 (the paper's two panels). Array: IntTVList of
+// BACKSORT_POINTS points (paper: 1M).
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace backsort::bench {
+namespace {
+
+void Panel(double mu, size_t n, size_t repeats) {
+  PrintTitle("Figure 9: AbsNormal(" + std::to_string(static_cast<int>(mu)) +
+             ", sigma) sort time (ms)");
+  std::vector<std::string> cols;
+  for (SorterId s : PaperSorters()) cols.push_back(SorterName(s));
+  PrintHeader("sigma", cols);
+  for (double sigma : {0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0}) {
+    Rng rng(11);
+    AbsNormalDelay delay(mu, sigma);
+    const IntTVList list = MakeTvList(n, delay, rng);
+    std::vector<double> row;
+    for (SorterId s : PaperSorters()) {
+      row.push_back(TimeSortTvListMs(s, list, repeats));
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.1f", sigma);
+    PrintRow(label, row);
+  }
+}
+
+}  // namespace
+}  // namespace backsort::bench
+
+int main() {
+  const size_t n = backsort::bench::EnvSize("BACKSORT_POINTS", 1'000'000);
+  const size_t repeats = backsort::bench::EnvSize("BACKSORT_REPEATS", 3);
+  backsort::bench::Panel(1.0, n, repeats);
+  backsort::bench::Panel(4.0, n, repeats);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Regenerates Figure 10: sort time of the six algorithms on LogNormal(mu,
+// sigma) arrival streams, varying sigma, for mu = 1 and mu = 4.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace backsort::bench {
+namespace {
+
+void Panel(double mu, size_t n, size_t repeats) {
+  PrintTitle("Figure 10: LogNormal(" + std::to_string(static_cast<int>(mu)) +
+             ", sigma) sort time (ms)");
+  std::vector<std::string> cols;
+  for (SorterId s : PaperSorters()) cols.push_back(SorterName(s));
+  PrintHeader("sigma", cols);
+  for (double sigma : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    Rng rng(12);
+    LogNormalDelay delay(mu, sigma);
+    const IntTVList list = MakeTvList(n, delay, rng);
+    std::vector<double> row;
+    for (SorterId s : PaperSorters()) {
+      row.push_back(TimeSortTvListMs(s, list, repeats));
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.2f", sigma);
+    PrintRow(label, row);
+  }
+}
+
+}  // namespace
+}  // namespace backsort::bench
+
+int main() {
+  const size_t n = backsort::bench::EnvSize("BACKSORT_POINTS", 1'000'000);
+  const size_t repeats = backsort::bench::EnvSize("BACKSORT_REPEATS", 3);
+  backsort::bench::Panel(1.0, n, repeats);
+  backsort::bench::Panel(4.0, n, repeats);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Regenerates Figure 11: sort time of the six algorithms on the four
+// real-world(-like surrogate) datasets.
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "disorder/datasets.h"
+
+namespace backsort::bench {
+namespace {
+
+void Run() {
+  const size_t n = EnvSize("BACKSORT_POINTS", 1'000'000);
+  const size_t repeats = EnvSize("BACKSORT_REPEATS", 3);
+
+  PrintTitle("Figure 11: real-world datasets sort time (ms)");
+  std::vector<std::string> cols;
+  for (SorterId s : PaperSorters()) cols.push_back(SorterName(s));
+  PrintHeader("dataset", cols);
+  for (DatasetId id : RealWorldDatasets()) {
+    Rng rng(13);
+    auto delay = MakeDatasetDelay(id);
+    const IntTVList list = MakeTvList(n, *delay, rng);
+    std::vector<double> row;
+    for (SorterId s : PaperSorters()) {
+      row.push_back(TimeSortTvListMs(s, list, repeats));
+    }
+    PrintRow(DatasetName(id), row);
+  }
+}
+
+}  // namespace
+}  // namespace backsort::bench
+
+int main() {
+  backsort::bench::Run();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Regenerates Figure 12: sort time vs array size (10^4, 10^5, 10^6, and
+// 10^7 when BACKSORT_BIG=1) on AbsNormal(0,1), LogNormal(0,1),
+// citibike-201808-like and samsung-s10-like arrival streams.
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "disorder/datasets.h"
+
+namespace backsort::bench {
+namespace {
+
+struct Panel {
+  std::string name;
+  std::unique_ptr<DelayDistribution> delay;
+};
+
+void Run() {
+  const size_t repeats = EnvSize("BACKSORT_REPEATS", 3);
+  std::vector<size_t> sizes = {10'000, 100'000, 1'000'000};
+  if (EnvSize("BACKSORT_BIG", 0) != 0) sizes.push_back(10'000'000);
+
+  std::vector<Panel> panels;
+  panels.push_back({"AbsNormal(0,1)", std::make_unique<AbsNormalDelay>(0, 1)});
+  panels.push_back(
+      {"LogNormal(0,1)", std::make_unique<LogNormalDelay>(0, 1)});
+  panels.push_back({DatasetName(DatasetId::kCitibike201808),
+                    MakeDatasetDelay(DatasetId::kCitibike201808)});
+  panels.push_back({DatasetName(DatasetId::kSamsungS10),
+                    MakeDatasetDelay(DatasetId::kSamsungS10)});
+
+  std::vector<std::string> cols;
+  for (SorterId s : PaperSorters()) cols.push_back(SorterName(s));
+  for (const Panel& panel : panels) {
+    PrintTitle("Figure 12: " + panel.name + " sort time (ms) vs array size");
+    PrintHeader("array size", cols);
+    for (size_t n : sizes) {
+      Rng rng(14);
+      const IntTVList list = MakeTvList(n, *panel.delay, rng);
+      std::vector<double> row;
+      for (SorterId s : PaperSorters()) {
+        row.push_back(TimeSortTvListMs(s, list, repeats));
+      }
+      PrintRow(std::to_string(n), row);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace backsort::bench
+
+int main() {
+  backsort::bench::Run();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Google-benchmark microbenchmarks of the sorting algorithms on a fixed
+// disorder profile — the statistically rigorous counterpart to the
+// table-style figure benches (repetition control, CV reporting).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace backsort::bench {
+namespace {
+
+std::vector<TvPairInt> MakeInput(size_t n, double sigma) {
+  Rng rng(51);
+  AbsNormalDelay delay(1, sigma);
+  const auto ts = GenerateArrivalOrderedTimestamps(n, delay, rng);
+  std::vector<TvPairInt> data(ts.size());
+  for (size_t i = 0; i < ts.size(); ++i) {
+    data[i] = {ts[i], static_cast<int32_t>(i)};
+  }
+  return data;
+}
+
+void BM_Sort(::benchmark::State& state, SorterId sorter, double sigma) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<TvPairInt> input = MakeInput(n, sigma);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<TvPairInt> data = input;
+    VectorSortable<int32_t> seq(data);
+    state.ResumeTiming();
+    SortWith(sorter, seq);
+    ::benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+
+void RegisterAll() {
+  for (SorterId s : PaperSorters()) {
+    for (double sigma : {1.0, 10.0, 100.0}) {
+      const std::string name =
+          "BM_Sort/" + SorterName(s) + "/sigma=" + std::to_string(int(sigma));
+      ::benchmark::RegisterBenchmark(
+          name.c_str(),
+          [s, sigma](::benchmark::State& st) { BM_Sort(st, s, sigma); })
+          ->Arg(100000)
+          ->Unit(::benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace backsort::bench
+
+int main(int argc, char** argv) {
+  backsort::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

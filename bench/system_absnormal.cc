@@ -1,0 +1,19 @@
+// Regenerates the AbsNormal panels of the paper's system experiments:
+// Figure 13 (query throughput), Figure 16 (flush time) and Figure 19
+// (total test latency), varying the write percentage, for four disorder
+// levels AbsNormal(1, sigma).
+
+#include "bench/system_bench.h"
+
+int main() {
+  using namespace backsort;
+  using namespace backsort::bench;
+  std::vector<SystemPanel> panels;
+  for (double sigma : {0.1, 1.0, 10.0, 100.0}) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "AbsNormal(1,%g)", sigma);
+    panels.push_back({name, std::make_unique<AbsNormalDelay>(1, sigma)});
+  }
+  RunSystemFamily("13/16/19", std::move(panels));
+  return 0;
+}

@@ -1,0 +1,116 @@
+#ifndef BACKSORT_BENCH_SYSTEM_BENCH_H_
+#define BACKSORT_BENCH_SYSTEM_BENCH_H_
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "benchkit/workload.h"
+#include "engine/storage_engine.h"
+
+namespace backsort::bench {
+
+/// One panel of the system figures: a named delay distribution driven
+/// through the write/query mix at every write percentage, once per sorter.
+struct SystemPanel {
+  std::string name;
+  std::unique_ptr<DelayDistribution> delay;
+};
+
+/// Runs the paper's system experiment family over the given panels and
+/// prints, per panel, the query-throughput (Figs. 13-15), flush-time
+/// (Figs. 16-18) and total-test-latency (Figs. 19-21) tables.
+///
+/// The write percentages match the paper: 25%, 50%, 75%, 90%, 95%, 99% for
+/// the query-dependent metrics, plus 100% for flush/latency (at 100% there
+/// are no queries, hence no throughput row).
+inline void RunSystemFamily(const std::string& figure_ids,
+                            std::vector<SystemPanel> panels) {
+  // Scaled-down defaults (paper: 10M points, 100k memtable). The ratios
+  // between sorters — the figure shapes — survive the scaling; export
+  // BACKSORT_SYSTEM_POINTS / BACKSORT_FLUSH_THRESHOLD to raise the scale.
+  const size_t points = EnvSize("BACKSORT_SYSTEM_POINTS", 100'000);
+  const size_t flush_threshold =
+      EnvSize("BACKSORT_FLUSH_THRESHOLD", std::max<size_t>(points / 5, 5'000));
+  const std::vector<double> write_pcts = {0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0};
+
+  std::vector<std::string> cols;
+  for (SorterId s : PaperSorters()) cols.push_back(SorterName(s));
+
+  const std::filesystem::path base =
+      std::filesystem::temp_directory_path() /
+      ("backsort_bench_" + std::to_string(::getpid()));
+
+  for (const SystemPanel& panel : panels) {
+    // results[metric][write_pct][sorter]
+    std::vector<std::vector<double>> throughput, flush_ms, latency;
+    for (double pct : write_pcts) {
+      std::vector<double> t_row, f_row, l_row;
+      for (SorterId sorter : PaperSorters()) {
+        EngineOptions opt;
+        opt.data_dir =
+            (base / (panel.name + "_" + std::to_string(int(pct * 100)) + "_" +
+                     SorterName(sorter)))
+                .string();
+        opt.sorter = sorter;
+        opt.memtable_flush_threshold = flush_threshold;
+        StorageEngine engine(opt);
+        Status st = engine.Open();
+        if (!st.ok()) {
+          std::fprintf(stderr, "engine open failed: %s\n",
+                       st.ToString().c_str());
+          return;
+        }
+        WorkloadConfig config;
+        config.total_points = points;
+        config.write_percentage = pct;
+        config.query_window = std::max<Timestamp>(
+            static_cast<Timestamp>(flush_threshold / 2), 1000);
+        WorkloadResult result;
+        WorkloadRunner runner(&engine, config);
+        st = runner.Run(*panel.delay, &result);
+        if (!st.ok()) {
+          std::fprintf(stderr, "workload failed: %s\n", st.ToString().c_str());
+          return;
+        }
+        t_row.push_back(result.query_throughput / 1e6);  // 1e6 points/s
+        f_row.push_back(result.avg_flush_ms);
+        l_row.push_back(result.total_latency_sec);
+      }
+      throughput.push_back(std::move(t_row));
+      flush_ms.push_back(std::move(f_row));
+      latency.push_back(std::move(l_row));
+    }
+
+    PrintTitle("Figures " + figure_ids + " / " + panel.name +
+               ": query throughput (1e6 points/s)");
+    PrintHeader("write pct", cols);
+    for (size_t i = 0; i < write_pcts.size(); ++i) {
+      if (write_pcts[i] >= 1.0) continue;  // no queries at 100% writes
+      PrintRow(std::to_string(write_pcts[i]), throughput[i]);
+    }
+
+    PrintTitle("Figures " + figure_ids + " / " + panel.name +
+               ": avg flush time (ms)");
+    PrintHeader("write pct", cols);
+    for (size_t i = 0; i < write_pcts.size(); ++i) {
+      PrintRow(std::to_string(write_pcts[i]), flush_ms[i]);
+    }
+
+    PrintTitle("Figures " + figure_ids + " / " + panel.name +
+               ": total test latency (s)");
+    PrintHeader("write pct", cols);
+    for (size_t i = 0; i < write_pcts.size(); ++i) {
+      PrintRow(std::to_string(write_pcts[i]), latency[i]);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(base, ec);
+}
+
+}  // namespace backsort::bench
+
+#endif  // BACKSORT_BENCH_SYSTEM_BENCH_H_

@@ -1,0 +1,19 @@
+// Regenerates the LogNormal panels of the paper's system experiments:
+// Figure 14 (query throughput), Figure 17 (flush time) and Figure 20
+// (total test latency), varying the write percentage, for four disorder
+// levels LogNormal(1, sigma).
+
+#include "bench/system_bench.h"
+
+int main() {
+  using namespace backsort;
+  using namespace backsort::bench;
+  std::vector<SystemPanel> panels;
+  for (double sigma : {0.5, 1.0, 2.0, 4.0}) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "LogNormal(1,%g)", sigma);
+    panels.push_back({name, std::make_unique<LogNormalDelay>(1, sigma)});
+  }
+  RunSystemFamily("14/17/20", std::move(panels));
+  return 0;
+}

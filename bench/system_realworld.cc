@@ -1,0 +1,18 @@
+// Regenerates the real-world panels of the paper's system experiments:
+// Figure 15 (query throughput), Figure 18 (flush time) and Figure 21
+// (total test latency), varying the write percentage, on the four
+// real-world-like surrogate datasets.
+
+#include "bench/system_bench.h"
+#include "disorder/datasets.h"
+
+int main() {
+  using namespace backsort;
+  using namespace backsort::bench;
+  std::vector<SystemPanel> panels;
+  for (DatasetId id : RealWorldDatasets()) {
+    panels.push_back({DatasetName(id), MakeDatasetDelay(id)});
+  }
+  RunSystemFamily("15/18/21", std::move(panels));
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Forecast pipeline: the downstream-application story of the paper's
+// Section VI-E, end to end. Disordered sensor data is ingested into the
+// storage engine; one consumer trains an LSTM on the raw arrival order (as
+// if the database never sorted), another on the time-range query result
+// (sorted by the engine). The sorted pipeline forecasts better.
+//
+// Run: ./forecast_pipeline
+
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "common/rng.h"
+#include "disorder/series_generator.h"
+#include "engine/storage_engine.h"
+#include "nn/lstm.h"
+
+int main() {
+  using namespace backsort;
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "backsort_forecast_pipeline_example";
+  std::filesystem::remove_all(dir);
+
+  EngineOptions options;
+  options.data_dir = dir.string();
+  options.sorter = SorterId::kBackward;
+  options.memtable_flush_threshold = 100'000;
+  StorageEngine engine(options);
+  if (Status st = engine.Open(); !st.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // Heavily delayed stream (LogNormal(1,2)).
+  constexpr size_t kPoints = 4'000;
+  Rng rng(99);
+  LogNormalDelay delay(1, 2);
+  const auto stream =
+      GenerateArrivalOrderedSeries<double>(kPoints, delay, rng);
+  std::vector<double> arrival_order_values;
+  arrival_order_values.reserve(stream.size());
+  for (const auto& p : stream) {
+    arrival_order_values.push_back(p.v);
+    if (Status st = engine.Write("root.turbine.power", p.t, p.v); !st.ok()) {
+      std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Consumer A: trains directly on arrival order (disordered).
+  LstmRegressor::Config config;
+  config.input_size = 10;
+  config.hidden_size = 2;
+  config.seq_len = 2;
+  config.epochs = 25;
+  const ForecastOutcome disordered =
+      RunForecastExperiment(arrival_order_values, config);
+
+  // Consumer B: reads through the engine, which sorts by timestamp.
+  std::vector<TvPairDouble> sorted_points;
+  if (Status st = engine.Query("root.turbine.power", 0,
+                               static_cast<Timestamp>(kPoints),
+                               &sorted_points);
+      !st.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::vector<double> sorted_values;
+  sorted_values.reserve(sorted_points.size());
+  for (const auto& p : sorted_points) sorted_values.push_back(p.v);
+  const ForecastOutcome ordered = RunForecastExperiment(sorted_values, config);
+
+  std::printf("LSTM forecast MSE (input 10, hidden 2, 70/30 split)\n\n");
+  std::printf("%-28s %12s %12s\n", "pipeline", "train MSE", "test MSE");
+  std::printf("%-28s %12.4f %12.4f\n", "arrival order (unsorted)",
+              disordered.train_mse, disordered.test_mse);
+  std::printf("%-28s %12.4f %12.4f\n", "engine query (sorted)",
+              ordered.train_mse, ordered.test_mse);
+  std::printf("\nordered-by-time training %s the disordered baseline\n",
+              ordered.test_mse < disordered.test_mse ? "beats"
+                                                     : "does not beat");
+  return 0;
+}

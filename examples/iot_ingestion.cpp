@@ -1,0 +1,101 @@
+// IoT ingestion pipeline: the motivating scenario of the paper's intro.
+//
+// A fleet of sensors streams readings into the storage engine; network
+// jitter delays some points. The engine buffers arrivals in per-sensor
+// TVLists, applies the sequence/unsequence separation policy, sorts each
+// TVList with Backward-Sort when a memtable flushes, persists TsFile
+// chunks, and serves time-range queries that merge memory and disk.
+//
+// Run: ./iot_ingestion [data_dir]
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/rng.h"
+#include "disorder/series_generator.h"
+#include "engine/storage_engine.h"
+
+int main(int argc, char** argv) {
+  using namespace backsort;
+
+  const std::string data_dir =
+      argc > 1 ? argv[1]
+               : (std::filesystem::temp_directory_path() /
+                  "backsort_iot_ingestion_example")
+                     .string();
+  std::filesystem::remove_all(data_dir);
+
+  EngineOptions options;
+  options.data_dir = data_dir;
+  options.sorter = SorterId::kBackward;
+  options.memtable_flush_threshold = 100'000;  // the paper's memory size
+  StorageEngine engine(options);
+  if (Status st = engine.Open(); !st.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // Three sensors with different disorder profiles.
+  struct Sensor {
+    const char* name;
+    std::unique_ptr<DelayDistribution> delay;
+  };
+  Sensor sensors[3];
+  sensors[0] = {"root.factory.engine.rpm",
+                std::make_unique<AbsNormalDelay>(1, 5)};
+  sensors[1] = {"root.factory.engine.temperature",
+                std::make_unique<LogNormalDelay>(1, 2)};
+  sensors[2] = {"root.factory.conveyor.speed",
+                std::make_unique<AbsNormalDelay>(2, 50)};
+
+  constexpr size_t kPointsPerSensor = 300'000;
+  Rng rng(7);
+  for (const Sensor& s : sensors) {
+    const auto stream = GenerateArrivalOrderedSeries<double>(
+        kPointsPerSensor, *s.delay, rng);
+    for (const auto& p : stream) {
+      if (Status st = engine.Write(s.name, p.t, p.v); !st.ok()) {
+        std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    std::printf("ingested %zu delayed points into %s\n", stream.size(),
+                s.name);
+  }
+
+  if (Status st = engine.FlushAll(); !st.ok()) {
+    std::fprintf(stderr, "flush failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const FlushMetrics metrics = engine.GetFlushMetrics();
+  std::printf("\n%zu TsFiles sealed; avg flush %.2f ms (sort %.2f ms)\n",
+              engine.sealed_file_count(), metrics.flush_ms.mean(),
+              metrics.sort_ms.mean());
+
+  // Time-range analytics: average engine rpm over a window — the
+  // aggregation that would silently be wrong on unsorted data.
+  std::vector<TvPairDouble> window;
+  if (Status st = engine.Query("root.factory.engine.rpm", 100'000, 101'000,
+                               &window);
+      !st.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  double sum = 0;
+  for (const auto& p : window) sum += p.v;
+  std::printf("\nquery [100000, 101000]: %zu points, mean value %.3f\n",
+              window.size(), window.empty() ? 0.0 : sum / window.size());
+  TvPairDouble last;
+  if (engine.GetLatest("root.factory.engine.rpm", &last).ok()) {
+    std::printf("latest rpm reading (last cache): t=%lld v=%.3f\n",
+                static_cast<long long>(last.t), last.v);
+  }
+  bool sorted = true;
+  for (size_t i = 1; i < window.size(); ++i) {
+    if (window[i - 1].t > window[i].t) sorted = false;
+  }
+  std::printf("query result time-ordered: %s\n", sorted ? "yes" : "NO");
+  std::printf("\ndata directory: %s\n", data_dir.c_str());
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: sort an out-of-order time series with Backward-Sort.
+//
+// Builds a TVList (the IoTDB in-memory buffer) from a simulated
+// out-of-order arrival stream, sorts it with Backward-Sort, and prints the
+// algorithm's decisions (chosen block size, overlap statistics) next to a
+// Quicksort baseline.
+//
+// Run: ./quickstart
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/backward_sort.h"
+#include "core/sorter_registry.h"
+#include "disorder/series_generator.h"
+#include "tvlist/tv_list.h"
+
+int main() {
+  using namespace backsort;
+
+  // 1. Simulate an IoT sensor whose points are delayed by |N(1, 20)|
+  //    intervals — delay-only, not-too-distant out-of-order arrivals.
+  constexpr size_t kPoints = 1'000'000;
+  Rng rng(2023);
+  AbsNormalDelay delay(/*mu=*/1, /*sigma=*/20);
+
+  IntTVList list;
+  for (const auto& p : GenerateArrivalOrderedSeries<int32_t>(kPoints, delay,
+                                                             rng)) {
+    list.Put(p.t, p.v);
+  }
+  std::printf("ingested %zu points, arrival order sorted: %s\n", list.size(),
+              list.sorted() ? "yes" : "no");
+
+  // 2. Sort with Backward-Sort, collecting its decision statistics.
+  IntTVList backward_list = list.Clone();
+  TVListSortable<int32_t> backward_seq(backward_list);
+  BackwardSortStats stats;
+  WallTimer timer;
+  BackwardSort(backward_seq, BackwardSortOptions{}, &stats);
+  const double backward_ms = timer.ElapsedMillis();
+
+  std::printf("\nBackward-Sort: %.2f ms\n", backward_ms);
+  std::printf("  chosen block size L : %zu (in %zu set-block-size loops)\n",
+              stats.chosen_block_size, stats.set_block_size_iterations);
+  std::printf("  blocks              : %zu\n", stats.block_count);
+  std::printf("  merges performed    : %zu (skipped via fast path: %zu)\n",
+              stats.merges_performed, stats.merges_skipped);
+  std::printf("  mean overlap Q      : %.2f points (max %zu)\n",
+              stats.merges_performed
+                  ? static_cast<double>(stats.total_overlap) /
+                        static_cast<double>(stats.merges_performed)
+                  : 0.0,
+              stats.max_overlap);
+  std::printf("  moves / comparisons : %llu / %llu\n",
+              static_cast<unsigned long long>(
+                  backward_seq.counters().moves),
+              static_cast<unsigned long long>(
+                  backward_seq.counters().comparisons));
+
+  // 3. Quicksort baseline on the same data.
+  IntTVList quick_list = list.Clone();
+  TVListSortable<int32_t> quick_seq(quick_list);
+  timer.Restart();
+  SortWith(SorterId::kQuick, quick_seq);
+  const double quick_ms = timer.ElapsedMillis();
+  std::printf("\nQuicksort baseline: %.2f ms  ->  Backward-Sort speedup: "
+              "%.2fx\n", quick_ms, quick_ms / backward_ms);
+
+  // 4. Verify.
+  std::printf("\nresult sorted: %s\n",
+              IsSorted(backward_seq) ? "yes" : "NO (bug!)");
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "benchkit/csv.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace backsort {
+
+Status WriteCsv(const std::string& path,
+                const std::vector<TvPairDouble>& points) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << "timestamp,value\n";
+  char line[64];
+  for (const TvPairDouble& p : points) {
+    std::snprintf(line, sizeof(line), "%lld,%.17g\n",
+                  static_cast<long long>(p.t), p.v);
+    out << line;
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status ReadCsv(const std::string& path, std::vector<TvPairDouble>* points) {
+  points->clear();
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Trim trailing CR from CRLF files.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    if (lineno == 1 && !line.empty() && !std::isdigit(line[0]) &&
+        line[0] != '-' && line[0] != '+') {
+      continue;  // header row
+    }
+    const size_t comma = line.find(',');
+    if (comma == std::string::npos) {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": expected 'timestamp,value'");
+    }
+    errno = 0;
+    char* end = nullptr;
+    const long long t = std::strtoll(line.c_str(), &end, 10);
+    if (end != line.c_str() + comma || errno == ERANGE) {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": bad timestamp");
+    }
+    const char* value_begin = line.c_str() + comma + 1;
+    const double v = std::strtod(value_begin, &end);
+    if (end == value_begin || *end != '\0') {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": bad value");
+    }
+    points->push_back({static_cast<Timestamp>(t), v});
+  }
+  return Status::OK();
+}
+
+}  // namespace backsort

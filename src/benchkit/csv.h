@@ -1,0 +1,28 @@
+#ifndef BACKSORT_BENCHKIT_CSV_H_
+#define BACKSORT_BENCHKIT_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace backsort {
+
+/// CSV bridge for external datasets: the paper's real datasets (CitiBike
+/// trips, Samsung sensor logs) are not redistributable, but users who hold
+/// them can export `timestamp,value` rows and run every bench and example
+/// on the genuine arrival streams.
+
+/// Writes points as "timestamp,value" rows with a header line.
+Status WriteCsv(const std::string& path,
+                const std::vector<TvPairDouble>& points);
+
+/// Reads "timestamp,value" rows. Skips the header if present, ignores
+/// blank lines and '#' comments; any other malformed line fails with its
+/// line number.
+Status ReadCsv(const std::string& path, std::vector<TvPairDouble>* points);
+
+}  // namespace backsort
+
+#endif  // BACKSORT_BENCHKIT_CSV_H_

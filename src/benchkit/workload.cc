@@ -1,0 +1,150 @@
+#include "benchkit/workload.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/stats.h"
+#include "common/timer.h"
+#include "disorder/series_generator.h"
+
+namespace backsort {
+
+namespace {
+
+/// Per-client-thread accumulation, merged after join.
+struct ClientStats {
+  double query_seconds = 0.0;
+  size_t queries = 0;
+  size_t points_queried = 0;
+  size_t points_written = 0;
+  SampleSet query_latency_ms;
+  Status status;
+};
+
+}  // namespace
+
+Status WorkloadRunner::Run(const DelayDistribution& delay,
+                           WorkloadResult* result) {
+  *result = WorkloadResult{};
+  Rng gen_rng(config_.seed);
+
+  // Pre-generate one arrival stream per sensor so generation cost stays out
+  // of the measured window (IoTDB-benchmark generates data before sending).
+  const size_t sensors = std::max<size_t>(config_.sensor_count, 1);
+  const size_t per_sensor = config_.total_points / sensors;
+  std::vector<std::vector<TvPairDouble>> streams;
+  streams.reserve(sensors);
+  for (size_t s = 0; s < sensors; ++s) {
+    streams.push_back(
+        GenerateArrivalOrderedSeries<double>(per_sensor, delay, gen_rng));
+  }
+  std::vector<std::string> names(sensors);
+  for (size_t s = 0; s < sensors; ++s) {
+    names[s] = "root.sg.d0.s" + std::to_string(s);
+  }
+
+  const size_t threads =
+      std::clamp<size_t>(config_.client_threads, 1, sensors);
+
+  // One client drives the sensors with index % threads == tid.
+  auto client = [&](size_t tid, ClientStats* stats) {
+    Rng rng(config_.seed + 1000 + tid);
+    std::vector<size_t> my_sensors;
+    for (size_t s = tid; s < sensors; s += threads) my_sensors.push_back(s);
+    std::vector<size_t> cursor(my_sensors.size(), 0);
+    std::vector<Timestamp> latest(my_sensors.size(), 0);
+    std::vector<TvPairDouble> batch;
+    std::vector<TvPairDouble> query_out;
+    size_t next = 0;
+    size_t remaining = 0;
+    for (size_t s : my_sensors) remaining += streams[s].size();
+
+    while (remaining > 0) {
+      const bool do_write = config_.write_percentage >= 1.0 ||
+                            rng.NextDouble() < config_.write_percentage;
+      if (do_write) {
+        size_t k = next;
+        for (size_t tries = 0; tries < my_sensors.size(); ++tries) {
+          if (cursor[k] < streams[my_sensors[k]].size()) break;
+          k = (k + 1) % my_sensors.size();
+        }
+        next = (k + 1) % my_sensors.size();
+        const size_t s = my_sensors[k];
+        const size_t n =
+            std::min(config_.batch_size, streams[s].size() - cursor[k]);
+        batch.assign(
+            streams[s].begin() + static_cast<ptrdiff_t>(cursor[k]),
+            streams[s].begin() + static_cast<ptrdiff_t>(cursor[k] + n));
+        stats->status = engine_->WriteBatch(names[s], batch);
+        if (!stats->status.ok()) return;
+        for (const TvPairDouble& p : batch) {
+          latest[k] = std::max(latest[k], p.t);
+        }
+        cursor[k] += n;
+        remaining -= n;
+        stats->points_written += n;
+      } else {
+        // Time-range query near the newest data of one of this client's
+        // sensors; queries before any write return empty, as in the real
+        // benchmark warmup.
+        const size_t k = static_cast<size_t>(rng.NextBelow(my_sensors.size()));
+        const Timestamp hi = latest[k];
+        const Timestamp lo =
+            hi > config_.query_window ? hi - config_.query_window : 0;
+        WallTimer qt;
+        stats->status = engine_->Query(names[my_sensors[k]], lo, hi,
+                                       &query_out);
+        if (!stats->status.ok()) return;
+        const double elapsed = qt.ElapsedSeconds();
+        stats->query_seconds += elapsed;
+        stats->query_latency_ms.Add(elapsed * 1e3);
+        ++stats->queries;
+        stats->points_queried += query_out.size();
+      }
+    }
+  };
+
+  WallTimer total_timer;
+  std::vector<ClientStats> stats(threads);
+  if (threads == 1) {
+    client(0, &stats[0]);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (size_t tid = 0; tid < threads; ++tid) {
+      pool.emplace_back(client, tid, &stats[tid]);
+    }
+    for (auto& t : pool) t.join();
+  }
+  for (const ClientStats& s : stats) {
+    RETURN_NOT_OK(s.status);
+  }
+
+  RETURN_NOT_OK(engine_->FlushAll());
+  result->total_latency_sec = total_timer.ElapsedSeconds();
+  double query_seconds = 0.0;
+  SampleSet all_latencies;
+  for (ClientStats& s : stats) {
+    query_seconds += s.query_seconds;
+    result->queries_executed += s.queries;
+    result->points_queried += s.points_queried;
+    result->points_written += s.points_written;
+    all_latencies.Merge(s.query_latency_ms);
+  }
+  if (query_seconds > 0.0) {
+    result->query_throughput =
+        static_cast<double>(result->points_queried) / query_seconds;
+  }
+  if (all_latencies.count() > 0) {
+    result->query_p50_ms = all_latencies.Percentile(50);
+    result->query_p95_ms = all_latencies.Percentile(95);
+    result->query_p99_ms = all_latencies.Percentile(99);
+  }
+  const FlushMetrics metrics = engine_->GetFlushMetrics();
+  result->avg_flush_ms = metrics.flush_ms.mean();
+  result->avg_sort_ms = metrics.sort_ms.mean();
+  result->flush_count = metrics.flush_ms.count();
+  return Status::OK();
+}
+
+}  // namespace backsort

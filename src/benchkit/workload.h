@@ -1,0 +1,75 @@
+#ifndef BACKSORT_BENCHKIT_WORKLOAD_H_
+#define BACKSORT_BENCHKIT_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "disorder/delay_distribution.h"
+#include "engine/storage_engine.h"
+
+namespace backsort {
+
+/// Configuration of one IoTDB-benchmark-style run (Section VI-A2): data is
+/// generated per the configured delay distribution and sent batch by batch;
+/// between batches, queries are issued so that the fraction of write
+/// operations matches `write_percentage`; queries are basic time-range
+/// scans over the neighborhood of the latest timestamp ("SELECT * FROM data
+/// WHERE time > current - window").
+struct WorkloadConfig {
+  size_t total_points = 1'000'000;
+  size_t batch_size = 500;  ///< the paper's tuned optimal batch size
+  /// Fraction of operations that are writes, in (0, 1]. 1.0 = no queries.
+  double write_percentage = 0.9;
+  size_t sensor_count = 1;
+  Timestamp query_window = 20'000;
+  uint64_t seed = 42;
+  /// Concurrent client threads, each driving a disjoint subset of sensors
+  /// (clamped to sensor_count). With more than one client, queries and
+  /// writes contend on the engine's global lock exactly as IoTDB clients
+  /// do on the server.
+  size_t client_threads = 1;
+};
+
+/// Client-side + server-side metrics of one run (paper Section VI-D).
+struct WorkloadResult {
+  /// Points returned per second of query execution time (client side).
+  double query_throughput = 0.0;
+  /// Wall time of the whole test (client side "total test latency"), sec.
+  double total_latency_sec = 0.0;
+  /// Average flush pipeline time (server side), ms.
+  double avg_flush_ms = 0.0;
+  /// Average TVList sort time inside flush (server side), ms.
+  double avg_sort_ms = 0.0;
+  size_t queries_executed = 0;
+  size_t points_queried = 0;
+  size_t points_written = 0;
+  size_t flush_count = 0;
+  /// Per-query latency distribution (ms), client side.
+  double query_p50_ms = 0.0;
+  double query_p95_ms = 0.0;
+  double query_p99_ms = 0.0;
+};
+
+/// Drives a StorageEngine through one configured workload.
+class WorkloadRunner {
+ public:
+  WorkloadRunner(StorageEngine* engine, WorkloadConfig config)
+      : engine_(engine), config_(config) {}
+
+  /// Generates the arrival streams, runs the write/query mix to completion
+  /// (all points written), and reports metrics. A trailing FlushAll is
+  /// included in the total latency, mirroring the benchmark waiting for the
+  /// server to settle.
+  Status Run(const DelayDistribution& delay, WorkloadResult* result);
+
+ private:
+  StorageEngine* engine_;
+  WorkloadConfig config_;
+};
+
+}  // namespace backsort
+
+#endif  // BACKSORT_BENCHKIT_WORKLOAD_H_

@@ -1,0 +1,35 @@
+#ifndef BACKSORT_COMMON_COUNTERS_H_
+#define BACKSORT_COMMON_COUNTERS_H_
+
+#include <cstdint>
+
+namespace backsort {
+
+/// Operation counters threaded through the sort implementations so the
+/// move/comparison arithmetic of the paper (e.g. Example 3's straight-vs-
+/// backward merge counts) can be measured rather than asserted.
+///
+/// `moves` counts element relocations (assignments of a TV pair to a new
+/// slot, including copies into and out of scratch buffers); a swap counts as
+/// 3 moves, matching the accounting used in the paper's merge example.
+struct OpCounters {
+  uint64_t comparisons = 0;
+  uint64_t moves = 0;
+  uint64_t swaps = 0;
+  /// Peak number of scratch (extra-space) elements alive at once.
+  uint64_t peak_scratch = 0;
+
+  void Reset() { *this = OpCounters{}; }
+
+  OpCounters& operator+=(const OpCounters& other) {
+    comparisons += other.comparisons;
+    moves += other.moves;
+    swaps += other.swaps;
+    if (other.peak_scratch > peak_scratch) peak_scratch = other.peak_scratch;
+    return *this;
+  }
+};
+
+}  // namespace backsort
+
+#endif  // BACKSORT_COMMON_COUNTERS_H_

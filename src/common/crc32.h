@@ -1,0 +1,15 @@
+#ifndef BACKSORT_COMMON_CRC32_H_
+#define BACKSORT_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace backsort {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), used to frame WAL records so
+/// torn or corrupted tail records are detected during recovery.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace backsort
+
+#endif  // BACKSORT_COMMON_CRC32_H_

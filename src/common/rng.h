@@ -1,0 +1,98 @@
+#ifndef BACKSORT_COMMON_RNG_H_
+#define BACKSORT_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace backsort {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256**), seeded via
+/// SplitMix64. All experiments in this repository use this generator so that
+/// every workload is reproducible from its seed, independent of the standard
+/// library implementation.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 to spread a single word into the 4-word state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+    has_gauss_ = false;
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n) {
+    // Lemire's multiply-shift rejection method would be overkill here; the
+    // plain modulo bias is negligible for the ranges used in experiments,
+    // but we still debias for small n via rejection on the top range.
+    uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      uint64_t r = NextU64();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Standard normal via Marsaglia polar method (cached spare value).
+  double NextGaussian() {
+    if (has_gauss_) {
+      has_gauss_ = false;
+      return gauss_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * NextDouble() - 1.0;
+      v = 2.0 * NextDouble() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    gauss_ = v * mul;
+    has_gauss_ = true;
+    return u * mul;
+  }
+
+  /// Exponential with rate lambda (> 0).
+  double NextExponential(double lambda) {
+    double u;
+    do {
+      u = NextDouble();
+    } while (u <= 0.0);
+    return -std::log(u) / lambda;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4] = {};
+  bool has_gauss_ = false;
+  double gauss_ = 0.0;
+};
+
+}  // namespace backsort
+
+#endif  // BACKSORT_COMMON_RNG_H_

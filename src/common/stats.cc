@@ -1,0 +1,52 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace backsort {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double SampleSet::Mean() const {
+  if (samples_.empty()) return 0.0;
+  double total = 0.0;
+  for (double s : samples_) total += s;
+  return total / static_cast<double>(samples_.size());
+}
+
+double SampleSet::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (p <= 0.0) return samples_.front();
+  if (p >= 100.0) return samples_.back();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+}  // namespace backsort

@@ -1,0 +1,59 @@
+#ifndef BACKSORT_COMMON_STATS_H_
+#define BACKSORT_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace backsort {
+
+/// Streaming accumulator for mean / variance (Welford) plus min/max.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Stores raw samples to answer percentile queries; used for latency
+/// reporting in the benchmark kit.
+class SampleSet {
+ public:
+  void Add(double x) { samples_.push_back(x); }
+  void Reserve(size_t n) { samples_.reserve(n); }
+
+  size_t count() const { return samples_.size(); }
+  double Mean() const;
+  /// Percentile in [0, 100]; interpolates between ranks. Returns 0 if empty.
+  double Percentile(double p) const;
+  /// Raw samples (ordering unspecified); used to merge per-thread sets.
+  const std::vector<double>& samples() const { return samples_; }
+  void Merge(const SampleSet& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace backsort
+
+#endif  // BACKSORT_COMMON_STATS_H_

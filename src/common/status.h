@@ -1,0 +1,79 @@
+#ifndef BACKSORT_COMMON_STATUS_H_
+#define BACKSORT_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace backsort {
+
+/// Lightweight status object used across the storage layers.
+///
+/// Mirrors the RocksDB/Arrow convention: functions that can fail return a
+/// `Status` (or a value plus a `Status` out-param) instead of throwing.
+/// A default-constructed `Status` is OK and carries no allocation.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kCorruption,
+    kIOError,
+    kNotSupported,
+    kOutOfRange,
+  };
+
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "<CODE>: <message>" string for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// Evaluates `expr`; if the resulting Status is not OK, returns it from the
+/// enclosing function. Usage: RETURN_NOT_OK(writer.Flush());
+#define RETURN_NOT_OK(expr)                        \
+  do {                                             \
+    ::backsort::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+}  // namespace backsort
+
+#endif  // BACKSORT_COMMON_STATUS_H_

@@ -1,0 +1,38 @@
+#ifndef BACKSORT_COMMON_TIMER_H_
+#define BACKSORT_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace backsort {
+
+/// Monotonic wall-clock timer used by the benchmark harness.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart, in nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace backsort
+
+#endif  // BACKSORT_COMMON_TIMER_H_

@@ -1,0 +1,32 @@
+#ifndef BACKSORT_COMMON_TYPES_H_
+#define BACKSORT_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace backsort {
+
+/// Timestamps are a unified signed 64-bit type, as in Apache IoTDB where T
+/// is always a Java long regardless of the value type V.
+using Timestamp = int64_t;
+
+/// One time/value data point. The array index of a TvPair in a buffer is its
+/// arrival order (Definition 1 in the paper); `t` is the generation
+/// timestamp the series must be sorted by.
+template <typename V>
+struct TvPair {
+  Timestamp t;
+  V v;
+
+  friend bool operator==(const TvPair& a, const TvPair& b) {
+    return a.t == b.t && a.v == b.v;
+  }
+};
+
+using TvPairInt = TvPair<int32_t>;
+using TvPairLong = TvPair<int64_t>;
+using TvPairFloat = TvPair<float>;
+using TvPairDouble = TvPair<double>;
+
+}  // namespace backsort
+
+#endif  // BACKSORT_COMMON_TYPES_H_

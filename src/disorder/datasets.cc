@@ -1,0 +1,83 @@
+#include "disorder/datasets.h"
+
+#include <utility>
+
+namespace backsort {
+
+namespace {
+
+std::unique_ptr<DelayDistribution> MakeHeavyTailSurrogate(double base_lambda,
+                                                          double tail_mu,
+                                                          double tail_sigma,
+                                                          double tail_weight,
+                                                          double cap,
+                                                          std::string name) {
+  auto base = std::make_unique<ExponentialDelay>(base_lambda);
+  auto tail = std::make_unique<CappedDelay>(
+      std::make_unique<LogNormalDelay>(tail_mu, tail_sigma), cap);
+  return std::make_unique<MixtureDelay>(std::move(base), std::move(tail),
+                                        tail_weight, std::move(name));
+}
+
+}  // namespace
+
+std::unique_ptr<DelayDistribution> MakeDatasetDelay(DatasetId id) {
+  switch (id) {
+    case DatasetId::kCitibike201808:
+      // More disordered of the two CitiBike months: 6% of points carry a
+      // heavy LogNormal tail reaching ~6e4 intervals, so alpha_L > 0 until
+      // L ~ 2^16 (paper Fig. 8a).
+      return MakeHeavyTailSurrogate(/*base_lambda=*/0.5, /*tail_mu=*/7.0,
+                                    /*tail_sigma=*/1.8, /*tail_weight=*/0.06,
+                                    /*cap=*/6e4, "citibike-201808");
+    case DatasetId::kCitibike201902:
+      return MakeHeavyTailSurrogate(/*base_lambda=*/1.0, /*tail_mu=*/6.0,
+                                    /*tail_sigma=*/1.6, /*tail_weight=*/0.03,
+                                    /*cap=*/6e4, "citibike-201902");
+    case DatasetId::kSamsungD5: {
+      // Mildly disordered short-range delays; max displacement < 2^5 so the
+      // IIR is exactly 0 from L = 32 up.
+      auto ordered = std::make_unique<ConstantDelay>(0.0);
+      auto jitter = std::make_unique<DiscreteUniformDelay>(1, 12);
+      return std::make_unique<MixtureDelay>(std::move(ordered),
+                                            std::move(jitter), 0.02,
+                                            "samsung-d5");
+    }
+    case DatasetId::kSamsungS10: {
+      auto ordered = std::make_unique<ConstantDelay>(0.0);
+      auto jitter = std::make_unique<DiscreteUniformDelay>(1, 28);
+      return std::make_unique<MixtureDelay>(std::move(ordered),
+                                            std::move(jitter), 0.08,
+                                            "samsung-s10");
+    }
+    case DatasetId::kAbsNormal:
+    case DatasetId::kLogNormal:
+      break;
+  }
+  return nullptr;
+}
+
+std::string DatasetName(DatasetId id) {
+  switch (id) {
+    case DatasetId::kAbsNormal:
+      return "AbsNormal";
+    case DatasetId::kLogNormal:
+      return "LogNormal";
+    case DatasetId::kCitibike201808:
+      return "citibike-201808";
+    case DatasetId::kCitibike201902:
+      return "citibike-201902";
+    case DatasetId::kSamsungD5:
+      return "samsung-d5";
+    case DatasetId::kSamsungS10:
+      return "samsung-s10";
+  }
+  return "unknown";
+}
+
+std::vector<DatasetId> RealWorldDatasets() {
+  return {DatasetId::kCitibike201808, DatasetId::kCitibike201902,
+          DatasetId::kSamsungD5, DatasetId::kSamsungS10};
+}
+
+}  // namespace backsort

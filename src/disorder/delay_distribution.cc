@@ -1,0 +1,121 @@
+#include "disorder/delay_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace backsort {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+AbsNormalDelay::AbsNormalDelay(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {}
+
+double AbsNormalDelay::Sample(Rng& rng) const {
+  return std::fabs(mu_ + sigma_ * rng.NextGaussian());
+}
+
+std::string AbsNormalDelay::Name() const {
+  return "AbsNormal(" + FormatDouble(mu_) + "," + FormatDouble(sigma_) + ")";
+}
+
+LogNormalDelay::LogNormalDelay(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {}
+
+double LogNormalDelay::Sample(Rng& rng) const {
+  if (sigma_ == 0.0) return std::exp(mu_);
+  return std::exp(mu_ + sigma_ * rng.NextGaussian());
+}
+
+std::string LogNormalDelay::Name() const {
+  return "LogNormal(" + FormatDouble(mu_) + "," + FormatDouble(sigma_) + ")";
+}
+
+ExponentialDelay::ExponentialDelay(double lambda) : lambda_(lambda) {}
+
+double ExponentialDelay::Sample(Rng& rng) const {
+  return rng.NextExponential(lambda_);
+}
+
+std::string ExponentialDelay::Name() const {
+  return "Exponential(" + FormatDouble(lambda_) + ")";
+}
+
+DiscreteUniformDelay::DiscreteUniformDelay(int64_t lo, int64_t hi)
+    : lo_(lo), hi_(hi) {}
+
+double DiscreteUniformDelay::Sample(Rng& rng) const {
+  const uint64_t span = static_cast<uint64_t>(hi_ - lo_ + 1);
+  return static_cast<double>(lo_ + static_cast<int64_t>(rng.NextBelow(span)));
+}
+
+std::string DiscreteUniformDelay::Name() const {
+  return "DiscreteUniform(" + std::to_string(lo_) + "," + std::to_string(hi_) +
+         ")";
+}
+
+ConstantDelay::ConstantDelay(double value) : value_(value) {}
+
+double ConstantDelay::Sample(Rng&) const { return value_; }
+
+std::string ConstantDelay::Name() const {
+  return "Constant(" + FormatDouble(value_) + ")";
+}
+
+MixtureDelay::MixtureDelay(std::unique_ptr<DelayDistribution> a,
+                           std::unique_ptr<DelayDistribution> b,
+                           double weight_b, std::string name)
+    : a_(std::move(a)),
+      b_(std::move(b)),
+      weight_b_(weight_b),
+      name_(std::move(name)) {}
+
+double MixtureDelay::Sample(Rng& rng) const {
+  if (rng.NextDouble() < weight_b_) return b_->Sample(rng);
+  return a_->Sample(rng);
+}
+
+std::string MixtureDelay::Name() const { return name_; }
+
+BurstyDelay::BurstyDelay(std::unique_ptr<DelayDistribution> base,
+                         std::unique_ptr<DelayDistribution> burst,
+                         size_t period, size_t burst_len)
+    : base_(std::move(base)),
+      burst_(std::move(burst)),
+      period_(period == 0 ? 1 : period),
+      burst_len_(burst_len) {}
+
+double BurstyDelay::Sample(Rng& rng) const {
+  const size_t phase = counter_++ % period_;
+  double delay = base_->Sample(rng);
+  if (phase < burst_len_) {
+    delay += burst_->Sample(rng);
+  }
+  return delay;
+}
+
+std::string BurstyDelay::Name() const {
+  return "Bursty(" + base_->Name() + "+" + burst_->Name() + "," +
+         std::to_string(burst_len_) + "/" + std::to_string(period_) + ")";
+}
+
+CappedDelay::CappedDelay(std::unique_ptr<DelayDistribution> inner, double cap)
+    : inner_(std::move(inner)), cap_(cap) {}
+
+double CappedDelay::Sample(Rng& rng) const {
+  return std::min(inner_->Sample(rng), cap_);
+}
+
+std::string CappedDelay::Name() const {
+  return "Capped(" + inner_->Name() + "," + FormatDouble(cap_) + ")";
+}
+
+}  // namespace backsort

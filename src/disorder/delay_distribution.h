@@ -1,0 +1,154 @@
+#ifndef BACKSORT_DISORDER_DELAY_DISTRIBUTION_H_
+#define BACKSORT_DISORDER_DELAY_DISTRIBUTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace backsort {
+
+/// A distribution D of non-negative point delays (Definition 5). The
+/// generation times are evenly spaced at interval 1; the arrival time of
+/// point i is i + tau_i with tau_i ~ D i.i.d. The shape of D fully
+/// determines the degree of out-of-order (Proposition 2: E(alpha_L) =
+/// P(delta_tau > L)).
+class DelayDistribution {
+ public:
+  virtual ~DelayDistribution() = default;
+
+  /// Draws one delay. Results are always >= 0 (delay-only feature).
+  virtual double Sample(Rng& rng) const = 0;
+
+  /// Display name used by benchmark output, e.g. "AbsNormal(1,10)".
+  virtual std::string Name() const = 0;
+};
+
+/// |N(mu, sigma)| — the "AbsNormal" synthetic workload of the paper
+/// (folded normal delay).
+class AbsNormalDelay : public DelayDistribution {
+ public:
+  AbsNormalDelay(double mu, double sigma);
+  double Sample(Rng& rng) const override;
+  std::string Name() const override;
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// LogNormal(mu, sigma): exp(N(mu, sigma)). sigma == 0 degenerates to the
+/// constant exp(mu), which produces a fully ordered arrival sequence.
+class LogNormalDelay : public DelayDistribution {
+ public:
+  LogNormalDelay(double mu, double sigma);
+  double Sample(Rng& rng) const override;
+  std::string Name() const override;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Exponential(lambda), used by Example 6 / Figure 5 where the delta-tau
+/// density and the interval inversion ratio have closed forms
+/// (E(alpha_L) = exp(-lambda L) / 2).
+class ExponentialDelay : public DelayDistribution {
+ public:
+  explicit ExponentialDelay(double lambda);
+  double Sample(Rng& rng) const override;
+  std::string Name() const override;
+
+  double lambda() const { return lambda_; }
+
+ private:
+  double lambda_;
+};
+
+/// Uniform over the integers {lo, ..., hi}; Example 7 uses {0,1,2,3}.
+class DiscreteUniformDelay : public DelayDistribution {
+ public:
+  DiscreteUniformDelay(int64_t lo, int64_t hi);
+  double Sample(Rng& rng) const override;
+  std::string Name() const override;
+
+ private:
+  int64_t lo_;
+  int64_t hi_;
+};
+
+/// Always returns the same delay; yields a perfectly ordered arrival
+/// sequence (useful as the sigma = 0 baseline).
+class ConstantDelay : public DelayDistribution {
+ public:
+  explicit ConstantDelay(double value);
+  double Sample(Rng& rng) const override;
+  std::string Name() const override;
+
+ private:
+  double value_;
+};
+
+/// Two-component mixture: with probability `weight_b` draws from `b`,
+/// otherwise from `a`. Used to build the heavy-tailed real-world surrogate
+/// datasets (a mostly-ordered stream with a sparse population of long
+/// delays).
+class MixtureDelay : public DelayDistribution {
+ public:
+  MixtureDelay(std::unique_ptr<DelayDistribution> a,
+               std::unique_ptr<DelayDistribution> b, double weight_b,
+               std::string name);
+  double Sample(Rng& rng) const override;
+  std::string Name() const override;
+
+ private:
+  std::unique_ptr<DelayDistribution> a_;
+  std::unique_ptr<DelayDistribution> b_;
+  double weight_b_;
+  std::string name_;
+};
+
+/// Regime-switching delay — an extension beyond the paper's i.i.d. model
+/// (Definition 5): the stream alternates between a calm regime (`base`
+/// delays) and bursts of `burst_len` consecutive points with `burst` delays
+/// added, every `period` points. Models the "network fluctuation" cause of
+/// disorder, where congestion delays whole spans of points together.
+/// Stateful: samples must be drawn in arrival order, one per point.
+class BurstyDelay : public DelayDistribution {
+ public:
+  BurstyDelay(std::unique_ptr<DelayDistribution> base,
+              std::unique_ptr<DelayDistribution> burst, size_t period,
+              size_t burst_len);
+  double Sample(Rng& rng) const override;
+  std::string Name() const override;
+
+ private:
+  std::unique_ptr<DelayDistribution> base_;
+  std::unique_ptr<DelayDistribution> burst_;
+  size_t period_;
+  size_t burst_len_;
+  mutable size_t counter_ = 0;
+};
+
+/// Mixture delay whose heavy component is capped at `cap` — keeps the
+/// surrogate datasets inside the "not-too-distant" regime enforced by
+/// IoTDB's separation policy (extreme delays are routed to the unsequence
+/// memtable before sorting, so they never reach the sorter).
+class CappedDelay : public DelayDistribution {
+ public:
+  CappedDelay(std::unique_ptr<DelayDistribution> inner, double cap);
+  double Sample(Rng& rng) const override;
+  std::string Name() const override;
+
+ private:
+  std::unique_ptr<DelayDistribution> inner_;
+  double cap_;
+};
+
+}  // namespace backsort
+
+#endif  // BACKSORT_DISORDER_DELAY_DISTRIBUTION_H_

@@ -1,0 +1,188 @@
+#include "disorder/inversion.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace backsort {
+
+namespace {
+
+// Merge-count helper: counts inversions while merge-sorting `buf[lo, hi)`
+// using `tmp` as scratch.
+uint64_t MergeCount(std::vector<Timestamp>& buf, std::vector<Timestamp>& tmp,
+                    size_t lo, size_t hi) {
+  if (hi - lo < 2) return 0;
+  const size_t mid = lo + (hi - lo) / 2;
+  uint64_t count = MergeCount(buf, tmp, lo, mid) + MergeCount(buf, tmp, mid, hi);
+  size_t a = lo;
+  size_t b = mid;
+  size_t w = lo;
+  while (a < mid && b < hi) {
+    if (buf[a] <= buf[b]) {
+      tmp[w++] = buf[a++];
+    } else {
+      count += mid - a;
+      tmp[w++] = buf[b++];
+    }
+  }
+  while (a < mid) tmp[w++] = buf[a++];
+  while (b < hi) tmp[w++] = buf[b++];
+  std::copy(tmp.begin() + static_cast<ptrdiff_t>(lo),
+            tmp.begin() + static_cast<ptrdiff_t>(hi),
+            buf.begin() + static_cast<ptrdiff_t>(lo));
+  return count;
+}
+
+}  // namespace
+
+uint64_t CountInversions(const std::vector<Timestamp>& ts) {
+  std::vector<Timestamp> buf = ts;
+  std::vector<Timestamp> tmp(buf.size());
+  return MergeCount(buf, tmp, 0, buf.size());
+}
+
+uint64_t CountIntervalInversions(const std::vector<Timestamp>& ts, size_t L) {
+  if (L == 0 || L >= ts.size()) return 0;
+  uint64_t count = 0;
+  for (size_t i = 0; i + L < ts.size(); ++i) {
+    if (ts[i] > ts[i + L]) ++count;
+  }
+  return count;
+}
+
+double IntervalInversionRatio(const std::vector<Timestamp>& ts, size_t L) {
+  if (L == 0 || L >= ts.size()) return 0.0;
+  const uint64_t c = CountIntervalInversions(ts, L);
+  return static_cast<double>(c) / static_cast<double>(ts.size() - L);
+}
+
+double EmpiricalIntervalInversionRatio(const std::vector<Timestamp>& ts,
+                                       size_t L) {
+  return EmpiricalIirWith(ts.size(), L,
+                          [&ts](size_t i) { return ts[i]; });
+}
+
+size_t CountRuns(const std::vector<Timestamp>& ts) {
+  if (ts.empty()) return 0;
+  size_t runs = 1;
+  for (size_t i = 1; i < ts.size(); ++i) {
+    if (ts[i] < ts[i - 1]) ++runs;
+  }
+  return runs;
+}
+
+size_t MaxDisplacement(const std::vector<Timestamp>& ts) {
+  if (ts.empty()) return 0;
+  // Sorted rank of each element (stable for duplicates), then the max
+  // |index - rank|.
+  std::vector<size_t> order(ts.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&ts](size_t a, size_t b) {
+    return ts[a] < ts[b];
+  });
+  size_t max_disp = 0;
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    const size_t idx = order[rank];
+    const size_t disp = idx > rank ? idx - rank : rank - idx;
+    max_disp = std::max(max_disp, disp);
+  }
+  return max_disp;
+}
+
+std::vector<TailPoint> EstimateTailProfile(const std::vector<Timestamp>& ts,
+                                           size_t max_interval) {
+  std::vector<TailPoint> profile;
+  if (ts.size() < 2) return profile;
+  const size_t cap = max_interval == 0 ? ts.size() - 1
+                                       : std::min(max_interval, ts.size() - 1);
+  for (size_t L = 1; L <= cap; L *= 2) {
+    profile.push_back({L, IntervalInversionRatio(ts, L)});
+  }
+  return profile;
+}
+
+double FitExponentialRate(const std::vector<TailPoint>& profile) {
+  // Least squares of log(alpha_L) = log(1/2) - lambda * L over points with
+  // alpha > 0.
+  double sum_x = 0, sum_y = 0, sum_xx = 0, sum_xy = 0;
+  size_t n = 0;
+  for (const TailPoint& p : profile) {
+    if (p.alpha <= 0.0) continue;
+    const double x = static_cast<double>(p.interval);
+    const double y = std::log(p.alpha);
+    sum_x += x;
+    sum_y += y;
+    sum_xx += x * x;
+    sum_xy += x * y;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  const double denom = static_cast<double>(n) * sum_xx - sum_x * sum_x;
+  if (denom == 0.0) return 0.0;
+  const double slope =
+      (static_cast<double>(n) * sum_xy - sum_x * sum_y) / denom;
+  return -slope;
+}
+
+double MeasureMeanOverlap(const std::vector<Timestamp>& ts, size_t L) {
+  if (L == 0 || L >= ts.size()) return 0.0;
+  // For boundary b, overlap = #{ i >= b : t_i < max(t_0..t_{b-1}) }.
+  // Computed in one backward sweep per boundary would be O(n^2 / L); instead
+  // precompute prefix maxima and, for each boundary, count suffix points
+  // below that maximum using a sorted suffix structure. For the measurement
+  // sizes used in tests/benches an O(n log n) approach suffices: sort the
+  // suffix indices by timestamp once and walk boundaries backward.
+  const size_t n = ts.size();
+  std::vector<Timestamp> prefix_max(n);
+  Timestamp running = ts[0];
+  for (size_t i = 0; i < n; ++i) {
+    running = std::max(running, ts[i]);
+    prefix_max[i] = running;
+  }
+  // Sort (timestamp, index) pairs once; for each boundary count pairs with
+  // index >= b and timestamp < prefix_max[b-1]. Use offline processing:
+  // iterate boundaries in decreasing b, maintaining a Fenwick tree over
+  // timestamp ranks of points with index >= b.
+  std::vector<std::pair<Timestamp, size_t>> by_time(n);
+  for (size_t i = 0; i < n; ++i) by_time[i] = {ts[i], i};
+  std::sort(by_time.begin(), by_time.end());
+  // rank[i] = position of point i in sorted-by-time order.
+  std::vector<size_t> rank(n);
+  for (size_t r = 0; r < n; ++r) rank[by_time[r].second] = r;
+
+  std::vector<uint64_t> fenwick(n + 1, 0);
+  auto fenwick_add = [&fenwick](size_t pos) {
+    for (size_t i = pos + 1; i < fenwick.size(); i += i & (~i + 1)) {
+      ++fenwick[i];
+    }
+  };
+  auto fenwick_count_less = [&fenwick, &by_time](Timestamp limit) {
+    // Count inserted points with timestamp < limit: find the number of
+    // sorted positions whose timestamp < limit, then prefix-sum the tree.
+    const size_t upper = static_cast<size_t>(
+        std::lower_bound(by_time.begin(), by_time.end(),
+                         std::make_pair(limit, size_t{0})) -
+        by_time.begin());
+    uint64_t total = 0;
+    for (size_t i = upper; i > 0; i -= i & (~i + 1)) total += fenwick[i];
+    return total;
+  };
+
+  uint64_t overlap_sum = 0;
+  size_t boundaries = 0;
+  size_t next_to_insert = n;  // points with index >= next_to_insert inserted
+  // Walk boundaries from the last multiple of L down to L.
+  for (size_t b = (n - 1) / L * L; b >= L; b -= L) {
+    while (next_to_insert > b) {
+      --next_to_insert;
+      fenwick_add(rank[next_to_insert]);
+    }
+    overlap_sum += fenwick_count_less(prefix_max[b - 1]);
+    ++boundaries;
+    if (b < L) break;
+  }
+  if (boundaries == 0) return 0.0;
+  return static_cast<double>(overlap_sum) / static_cast<double>(boundaries);
+}
+
+}  // namespace backsort

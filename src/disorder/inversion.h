@@ -1,0 +1,82 @@
+#ifndef BACKSORT_DISORDER_INVERSION_H_
+#define BACKSORT_DISORDER_INVERSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace backsort {
+
+/// Exact number of inversions (Definition 2): pairs (i, j), i < j with
+/// t_i > t_j. O(n log n) via merge counting; does not modify the input.
+uint64_t CountInversions(const std::vector<Timestamp>& ts);
+
+/// Exact number of interval inversions with interval L (Definition 3):
+/// indices i with t_i > t_{i+L}. O(n).
+uint64_t CountIntervalInversions(const std::vector<Timestamp>& ts, size_t L);
+
+/// Interval inversion ratio alpha_L = C / (N - L) (Definition 4). Returns 0
+/// when L >= N.
+double IntervalInversionRatio(const std::vector<Timestamp>& ts, size_t L);
+
+/// Down-sampled empirical IIR (Example 5): inspects only the boundary pairs
+/// (t_j, t_{j+L}) for j = 0, L, 2L, ... so one estimate costs O(n/L). This
+/// is the estimator Algorithm 1's set-block-size loop uses.
+double EmpiricalIntervalInversionRatio(const std::vector<Timestamp>& ts,
+                                       size_t L);
+
+/// Empirical IIR over an arbitrary index accessor, used by the sorter to run
+/// on TVLists without materializing a timestamp vector. `at(i)` must return
+/// the timestamp at arrival index i for i in [0, n).
+template <typename TimeAt>
+double EmpiricalIirWith(size_t n, size_t L, const TimeAt& at) {
+  if (L == 0 || L >= n) return 0.0;
+  uint64_t samples = 0;
+  uint64_t inverted = 0;
+  for (size_t j = 0; j + L < n; j += L) {
+    ++samples;
+    if (at(j) > at(j + L)) ++inverted;
+  }
+  if (samples == 0) return 0.0;
+  return static_cast<double>(inverted) / static_cast<double>(samples);
+}
+
+/// Number of maximal non-decreasing runs (the "Runs" measure of
+/// presortedness from the adaptive-sorting literature the paper cites;
+/// Patience Sort's cost is driven by it). A sorted array has 1 run.
+size_t CountRuns(const std::vector<Timestamp>& ts);
+
+/// Maximum displacement of any element from its sorted position ("Dis").
+/// Insertion sort cost relates to Inv; block overlap relates to Dis.
+size_t MaxDisplacement(const std::vector<Timestamp>& ts);
+
+/// One point of the interval-inversion-ratio decay curve.
+struct TailPoint {
+  size_t interval = 0;
+  double alpha = 0.0;
+};
+
+/// The IIR decay profile at power-of-two intervals — by Proposition 2 an
+/// estimate of the delay-difference tail distribution F_bar(L), i.e. the
+/// dataset characterization of Section II / Figure 8a.
+std::vector<TailPoint> EstimateTailProfile(const std::vector<Timestamp>& ts,
+                                           size_t max_interval = 0);
+
+/// Fits an exponential delay rate to a tail profile: for tau ~ E(lambda),
+/// E(alpha_L) = exp(-lambda L) / 2 (Example 6), so -d(log alpha)/dL =
+/// lambda. Least-squares over log(alpha) on the strictly positive prefix.
+/// Returns 0 when fewer than two usable points exist.
+double FitExponentialRate(const std::vector<TailPoint>& profile);
+
+/// Expected overlap length of adjacent sorted blocks (Q in the paper),
+/// measured empirically: for each block boundary b (multiples of L), the
+/// number of points at indices >= b with timestamp smaller than the maximum
+/// timestamp among indices < b. Averaged over boundaries. Proposition 4
+/// bounds its expectation by E(delta_tau | delta_tau >= 0).
+double MeasureMeanOverlap(const std::vector<Timestamp>& ts, size_t L);
+
+}  // namespace backsort
+
+#endif  // BACKSORT_DISORDER_INVERSION_H_

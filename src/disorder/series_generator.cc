@@ -1,0 +1,103 @@
+#include "disorder/series_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace backsort {
+
+namespace {
+
+/// Sorts generation indices by (arrival time, generation index). The
+/// secondary key models the physical fact that two points sharing an arrival
+/// instant are ingested in generation order, which keeps the stream
+/// delay-only even under delay ties.
+std::vector<uint32_t> ArrivalPermutation(size_t n,
+                                         const DelayDistribution& delay,
+                                         Rng& rng) {
+  std::vector<double> arrival(n);
+  for (size_t i = 0; i < n; ++i) {
+    arrival[i] = static_cast<double>(i) + delay.Sample(rng);
+  }
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&arrival](uint32_t a, uint32_t b) {
+                     return arrival[a] < arrival[b];
+                   });
+  return order;
+}
+
+}  // namespace
+
+std::vector<Timestamp> GenerateArrivalOrderedTimestamps(
+    size_t n, const DelayDistribution& delay, Rng& rng) {
+  const std::vector<uint32_t> order = ArrivalPermutation(n, delay, rng);
+  std::vector<Timestamp> out(n);
+  for (size_t pos = 0; pos < n; ++pos) {
+    out[pos] = static_cast<Timestamp>(order[pos]);
+  }
+  return out;
+}
+
+double SignalValueAt(size_t i) {
+  const double x = static_cast<double>(i);
+  return 50.0 * std::sin(2.0 * M_PI * x / 200.0) +
+         20.0 * std::sin(2.0 * M_PI * x / 31.0) + 0.01 * x;
+}
+
+template <typename V>
+std::vector<TvPair<V>> GenerateArrivalOrderedSeries(
+    size_t n, const DelayDistribution& delay, Rng& rng) {
+  const std::vector<uint32_t> order = ArrivalPermutation(n, delay, rng);
+  std::vector<TvPair<V>> out(n);
+  for (size_t pos = 0; pos < n; ++pos) {
+    const uint32_t gen = order[pos];
+    out[pos].t = static_cast<Timestamp>(gen);
+    out[pos].v = static_cast<V>(SignalValueAt(gen));
+  }
+  return out;
+}
+
+template std::vector<TvPair<int32_t>> GenerateArrivalOrderedSeries<int32_t>(
+    size_t, const DelayDistribution&, Rng&);
+template std::vector<TvPair<int64_t>> GenerateArrivalOrderedSeries<int64_t>(
+    size_t, const DelayDistribution&, Rng&);
+template std::vector<TvPair<float>> GenerateArrivalOrderedSeries<float>(
+    size_t, const DelayDistribution&, Rng&);
+template std::vector<TvPair<double>> GenerateArrivalOrderedSeries<double>(
+    size_t, const DelayDistribution&, Rng&);
+
+DelayOnlyProfile ProfileDelayOnly(
+    const std::vector<Timestamp>& arrival_ordered) {
+  // With distinct generation timestamps 0..n-1, the sorted rank of
+  // timestamp t is t itself.
+  DelayOnlyProfile profile;
+  for (size_t pos = 0; pos < arrival_ordered.size(); ++pos) {
+    const Timestamp rank = arrival_ordered[pos];
+    if (static_cast<Timestamp>(pos) > rank) {
+      ++profile.delayed_points;
+      const size_t disp = pos - static_cast<size_t>(rank);
+      profile.max_delayed_displacement =
+          std::max(profile.max_delayed_displacement, disp);
+    } else if (static_cast<Timestamp>(pos) < rank) {
+      ++profile.ahead_points;
+      const size_t disp = static_cast<size_t>(rank) - pos;
+      profile.max_ahead_displacement =
+          std::max(profile.max_ahead_displacement, disp);
+    }
+  }
+  return profile;
+}
+
+bool IsPermutationOfIota(const std::vector<Timestamp>& arrival_ordered) {
+  std::vector<bool> seen(arrival_ordered.size(), false);
+  for (Timestamp t : arrival_ordered) {
+    if (t < 0 || static_cast<size_t>(t) >= arrival_ordered.size()) return false;
+    if (seen[static_cast<size_t>(t)]) return false;
+    seen[static_cast<size_t>(t)] = true;
+  }
+  return true;
+}
+
+}  // namespace backsort

@@ -1,0 +1,61 @@
+#ifndef BACKSORT_DISORDER_SERIES_GENERATOR_H_
+#define BACKSORT_DISORDER_SERIES_GENERATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "disorder/delay_distribution.h"
+
+namespace backsort {
+
+/// Synthesizes an out-of-order arrival stream per Definition 5 of the paper:
+/// point i is generated at time i (unit interval), arrives at i + tau_i with
+/// tau_i drawn i.i.d. from `delay`, and the stored array is ordered by
+/// arrival time (ties broken by generation order, keeping the stream
+/// delay-only). The returned vector holds the *generation* timestamps in
+/// arrival order — exactly what a TVList contains before sorting.
+std::vector<Timestamp> GenerateArrivalOrderedTimestamps(
+    size_t n, const DelayDistribution& delay, Rng& rng);
+
+/// Same stream but with values attached. `v(i)` is a smooth periodic signal
+/// with noise, keyed by the generation index so ordered/disordered variants
+/// of one series carry identical value sets (needed by the downstream
+/// forecasting experiment).
+template <typename V>
+std::vector<TvPair<V>> GenerateArrivalOrderedSeries(
+    size_t n, const DelayDistribution& delay, Rng& rng);
+
+/// Computes the value signal used by GenerateArrivalOrderedSeries for
+/// generation index i: a two-harmonic periodic wave plus a linear drift.
+/// Exposed so tests and the LSTM experiment can derive the ordered ground
+/// truth without regenerating delays.
+double SignalValueAt(size_t i);
+
+/// Summary of how the delay-only feature manifests in an arrival stream.
+/// A point is "delayed" when its array index exceeds its sorted rank, and
+/// "ahead" when the index precedes the rank. Under delay-only generation a
+/// point can only appear ahead because delayed points jumped over it, so
+/// `max_ahead_displacement` stays bounded by the largest delay while
+/// `max_delayed_displacement` can be large; a stream with points genuinely
+/// arriving early would break that asymmetry.
+struct DelayOnlyProfile {
+  size_t delayed_points = 0;  ///< index > rank
+  size_t ahead_points = 0;    ///< index < rank
+  size_t max_delayed_displacement = 0;
+  size_t max_ahead_displacement = 0;
+};
+
+/// Profiles an arrival stream whose timestamps are a permutation of
+/// 0..n-1 (the generator's output).
+DelayOnlyProfile ProfileDelayOnly(
+    const std::vector<Timestamp>& arrival_ordered);
+
+/// True iff `arrival_ordered` contains each timestamp 0..n-1 exactly once —
+/// sanity check that a generator produced a permutation.
+bool IsPermutationOfIota(const std::vector<Timestamp>& arrival_ordered);
+
+}  // namespace backsort
+
+#endif  // BACKSORT_DISORDER_SERIES_GENERATOR_H_

@@ -1,0 +1,94 @@
+#ifndef BACKSORT_ENCODING_BITIO_H_
+#define BACKSORT_ENCODING_BITIO_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "encoding/bytes.h"
+
+namespace backsort {
+
+/// MSB-first bit sink on top of ByteBuffer; used by TS_2DIFF bit packing
+/// and Gorilla XOR encoding.
+class BitWriter {
+ public:
+  explicit BitWriter(ByteBuffer* out) : out_(out) {}
+
+  /// Writes the low `bits` bits of `value`, most significant first.
+  void WriteBits(uint64_t value, int bits) {
+    for (int i = bits - 1; i >= 0; --i) {
+      current_ = static_cast<uint8_t>((current_ << 1) |
+                                      ((value >> i) & 1));
+      if (++filled_ == 8) {
+        out_->PutU8(current_);
+        current_ = 0;
+        filled_ = 0;
+      }
+    }
+  }
+
+  void WriteBit(bool bit) { WriteBits(bit ? 1 : 0, 1); }
+
+  /// Pads the final partial byte with zero bits.
+  void Flush() {
+    if (filled_ > 0) {
+      out_->PutU8(static_cast<uint8_t>(current_ << (8 - filled_)));
+      current_ = 0;
+      filled_ = 0;
+    }
+  }
+
+ private:
+  ByteBuffer* out_;
+  uint8_t current_ = 0;
+  int filled_ = 0;
+};
+
+/// MSB-first bit source over a ByteReader-owned span.
+class BitReader {
+ public:
+  explicit BitReader(ByteReader* in) : in_(in) {}
+
+  Status ReadBits(int bits, uint64_t* out) {
+    uint64_t v = 0;
+    for (int i = 0; i < bits; ++i) {
+      if (filled_ == 0) {
+        RETURN_NOT_OK(in_->GetU8(&current_));
+        filled_ = 8;
+      }
+      v = (v << 1) | ((current_ >> (filled_ - 1)) & 1);
+      --filled_;
+    }
+    *out = v;
+    return Status::OK();
+  }
+
+  Status ReadBit(bool* out) {
+    uint64_t v = 0;
+    RETURN_NOT_OK(ReadBits(1, &v));
+    *out = v != 0;
+    return Status::OK();
+  }
+
+  /// Discards buffered bits so the underlying reader is byte-aligned again.
+  void AlignToByte() { filled_ = 0; }
+
+ private:
+  ByteReader* in_;
+  uint8_t current_ = 0;
+  int filled_ = 0;
+};
+
+/// Number of bits needed to represent v (0 needs 0 bits).
+inline int BitWidthOf(uint64_t v) {
+  int w = 0;
+  while (v != 0) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
+}  // namespace backsort
+
+#endif  // BACKSORT_ENCODING_BITIO_H_

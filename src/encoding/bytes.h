@@ -1,0 +1,158 @@
+#ifndef BACKSORT_ENCODING_BYTES_H_
+#define BACKSORT_ENCODING_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace backsort {
+
+/// Growable little-endian byte sink used by all encoders and the TsFile
+/// writer.
+class ByteBuffer {
+ public:
+  void PutU8(uint8_t v) { data_.push_back(v); }
+
+  void PutFixed32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) data_.push_back((v >> (8 * i)) & 0xff);
+  }
+
+  void PutFixed64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) data_.push_back((v >> (8 * i)) & 0xff);
+  }
+
+  void PutBytes(const void* src, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(src);
+    data_.insert(data_.end(), p, p + n);
+  }
+
+  /// LEB128 unsigned varint.
+  void PutVarint64(uint64_t v) {
+    while (v >= 0x80) {
+      data_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    data_.push_back(static_cast<uint8_t>(v));
+  }
+
+  /// Zigzag-mapped signed varint.
+  void PutVarintSigned64(int64_t v) {
+    PutVarint64((static_cast<uint64_t>(v) << 1) ^
+                static_cast<uint64_t>(v >> 63));
+  }
+
+  void PutLengthPrefixedString(const std::string& s) {
+    PutVarint64(s.size());
+    PutBytes(s.data(), s.size());
+  }
+
+  const std::vector<uint8_t>& data() const { return data_; }
+  size_t size() const { return data_.size(); }
+  void Clear() { data_.clear(); }
+
+  void Append(const ByteBuffer& other) {
+    data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+/// Bounds-checked sequential reader over a byte span. Every accessor
+/// returns Corruption instead of reading past the end, so truncated or
+/// damaged files fail cleanly (failure-injection tests rely on this).
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ >= size_; }
+
+  Status GetU8(uint8_t* out) {
+    if (pos_ + 1 > size_) return Truncated("u8");
+    *out = data_[pos_++];
+    return Status::OK();
+  }
+
+  Status GetFixed32(uint32_t* out) {
+    if (pos_ + 4 > size_) return Truncated("fixed32");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+    *out = v;
+    return Status::OK();
+  }
+
+  Status GetFixed64(uint64_t* out) {
+    if (pos_ + 8 > size_) return Truncated("fixed64");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+    *out = v;
+    return Status::OK();
+  }
+
+  Status GetBytes(void* dst, size_t n) {
+    if (pos_ + n > size_) return Truncated("bytes");
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Status GetVarint64(uint64_t* out) {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= size_) return Truncated("varint");
+      const uint8_t byte = data_[pos_++];
+      if (shift >= 63 && byte > 1) {
+        return Status::Corruption("varint64 overflow");
+      }
+      v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    *out = v;
+    return Status::OK();
+  }
+
+  Status GetVarintSigned64(int64_t* out) {
+    uint64_t u = 0;
+    RETURN_NOT_OK(GetVarint64(&u));
+    *out = static_cast<int64_t>((u >> 1) ^ (~(u & 1) + 1));
+    return Status::OK();
+  }
+
+  Status GetLengthPrefixedString(std::string* out) {
+    uint64_t len = 0;
+    RETURN_NOT_OK(GetVarint64(&len));
+    if (pos_ + len > size_) return Truncated("string body");
+    out->assign(reinterpret_cast<const char*>(data_ + pos_),
+                static_cast<size_t>(len));
+    pos_ += static_cast<size_t>(len);
+    return Status::OK();
+  }
+
+  Status Skip(size_t n) {
+    if (pos_ + n > size_) return Truncated("skip");
+    pos_ += n;
+    return Status::OK();
+  }
+
+ private:
+  Status Truncated(const char* what) {
+    return Status::Corruption(std::string("buffer truncated reading ") + what);
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace backsort
+
+#endif  // BACKSORT_ENCODING_BYTES_H_

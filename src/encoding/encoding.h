@@ -1,0 +1,84 @@
+#ifndef BACKSORT_ENCODING_ENCODING_H_
+#define BACKSORT_ENCODING_ENCODING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "encoding/bytes.h"
+
+namespace backsort {
+
+/// Column encodings, mirroring the families IoTDB ships for time series
+/// pages. Timestamps default to TS_2DIFF; integer values to RLE; floating
+/// values to GORILLA.
+enum class Encoding : uint8_t {
+  kPlain = 0,
+  kTs2Diff = 1,
+  kRle = 2,
+  kGorilla = 3,
+  kSimple8b = 4,
+};
+
+std::string EncodingName(Encoding e);
+
+// --- PLAIN ---------------------------------------------------------------
+
+void EncodePlainI64(const std::vector<int64_t>& in, ByteBuffer* out);
+Status DecodePlainI64(ByteReader* in, size_t count, std::vector<int64_t>* out);
+
+// --- TS_2DIFF (delta with per-block min-delta and bit packing) -----------
+
+/// IoTDB's default timestamp encoding: values are delta-encoded, deltas are
+/// grouped in blocks of 128, each block stores its minimum delta and bit-
+/// packs (delta - min_delta) with the block-wide bit width. Monotone
+/// timestamps compress to ~1-2 bits per point.
+void EncodeTs2DiffI64(const std::vector<int64_t>& in, ByteBuffer* out);
+Status DecodeTs2DiffI64(ByteReader* in, size_t count,
+                        std::vector<int64_t>* out);
+
+// --- RLE ------------------------------------------------------------------
+
+/// Run-length encoding of (value, run) pairs with varint lengths; effective
+/// for slowly changing integer sensors.
+void EncodeRleI64(const std::vector<int64_t>& in, ByteBuffer* out);
+Status DecodeRleI64(ByteReader* in, size_t count, std::vector<int64_t>* out);
+
+// --- SIMPLE8B ---------------------------------------------------------------
+
+/// Simple8b (Anh & Moffat) word-aligned packing: each 64-bit word carries a
+/// 4-bit selector and up to 240 small integers. All values must be
+/// < 2^60; returns OutOfRange otherwise (callers fall back to another
+/// encoding, as InfluxDB does).
+Status EncodeSimple8bU64(const std::vector<uint64_t>& in, ByteBuffer* out);
+Status DecodeSimple8bU64(ByteReader* in, size_t count,
+                         std::vector<uint64_t>* out);
+
+/// Timestamp-oriented wrapper: first value as signed varint, then the
+/// zigzagged deltas packed with Simple8b.
+Status EncodeSimple8bDeltaI64(const std::vector<int64_t>& in, ByteBuffer* out);
+Status DecodeSimple8bDeltaI64(ByteReader* in, size_t count,
+                              std::vector<int64_t>* out);
+
+// --- GORILLA ---------------------------------------------------------------
+
+/// Facebook Gorilla XOR compression for doubles (and floats via the double
+/// path): XOR against the previous value, encode leading/meaningful bit
+/// windows.
+void EncodeGorillaF64(const std::vector<double>& in, ByteBuffer* out);
+Status DecodeGorillaF64(ByteReader* in, size_t count,
+                        std::vector<double>* out);
+
+// --- dispatch helpers used by the TsFile page writer -----------------------
+
+Status EncodeI64(Encoding e, const std::vector<int64_t>& in, ByteBuffer* out);
+Status DecodeI64(Encoding e, ByteReader* in, size_t count,
+                 std::vector<int64_t>* out);
+Status EncodeF64(Encoding e, const std::vector<double>& in, ByteBuffer* out);
+Status DecodeF64(Encoding e, ByteReader* in, size_t count,
+                 std::vector<double>* out);
+
+}  // namespace backsort
+
+#endif  // BACKSORT_ENCODING_ENCODING_H_

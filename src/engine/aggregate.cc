@@ -1,0 +1,103 @@
+#include "engine/aggregate.h"
+
+#include <algorithm>
+
+namespace backsort {
+
+namespace {
+
+AggregateResult AggregateSortedRun(const std::vector<TvPairDouble>& points,
+                                   size_t begin, size_t end) {
+  AggregateResult r;
+  if (begin >= end) return r;
+  r.count = end - begin;
+  r.min = points[begin].v;
+  r.max = points[begin].v;
+  for (size_t i = begin; i < end; ++i) {
+    r.sum += points[i].v;
+    r.min = std::min(r.min, points[i].v);
+    r.max = std::max(r.max, points[i].v);
+  }
+  r.mean = r.sum / static_cast<double>(r.count);
+  // The engine returns points sorted by time, so positional first/last are
+  // temporal first/last.
+  r.first = points[begin].v;
+  r.first_time = points[begin].t;
+  r.last = points[end - 1].v;
+  r.last_time = points[end - 1].t;
+  return r;
+}
+
+}  // namespace
+
+Status AggregateRange(StorageEngine& engine, const std::string& sensor,
+                      Timestamp t_min, Timestamp t_max,
+                      AggregateResult* result) {
+  std::vector<TvPairDouble> points;
+  RETURN_NOT_OK(engine.Query(sensor, t_min, t_max, &points));
+  *result = AggregateSortedRun(points, 0, points.size());
+  return Status::OK();
+}
+
+Status SlidingAggregate(StorageEngine& engine, const std::string& sensor,
+                        Timestamp t_min, Timestamp t_max, Timestamp width,
+                        Timestamp step,
+                        std::vector<WindowAggregate>* results) {
+  results->clear();
+  if (width <= 0 || step <= 0) {
+    return Status::InvalidArgument("window width and step must be positive");
+  }
+  if (t_max < t_min) {
+    return Status::InvalidArgument("t_max before t_min");
+  }
+  std::vector<TvPairDouble> points;
+  RETURN_NOT_OK(engine.Query(sensor, t_min, t_max + width - 1, &points));
+
+  // Two monotone cursors over the sorted points: windows advance by step,
+  // so begin/end only ever move right. O(points + windows) total.
+  size_t begin = 0;
+  size_t end = 0;
+  for (Timestamp start = t_min;; start += step) {
+    const Timestamp stop = start + width;  // exclusive
+    while (begin < points.size() && points[begin].t < start) ++begin;
+    if (end < begin) end = begin;
+    while (end < points.size() && points[end].t < stop) ++end;
+    WindowAggregate w;
+    w.window_start = start;
+    w.agg = AggregateSortedRun(points, begin, end);
+    results->push_back(w);
+    if (start > t_max - step) break;  // next start would exceed t_max
+  }
+  return Status::OK();
+}
+
+Status WindowedAggregate(StorageEngine& engine, const std::string& sensor,
+                         Timestamp t_min, Timestamp t_max, Timestamp width,
+                         std::vector<WindowAggregate>* results) {
+  results->clear();
+  if (width <= 0) {
+    return Status::InvalidArgument("window width must be positive");
+  }
+  if (t_max < t_min) {
+    return Status::InvalidArgument("t_max before t_min");
+  }
+  std::vector<TvPairDouble> points;
+  RETURN_NOT_OK(engine.Query(sensor, t_min, t_max, &points));
+
+  size_t cursor = 0;
+  for (Timestamp start = t_min; start <= t_max; start += width) {
+    const Timestamp stop = start + width;  // exclusive
+    const size_t begin = cursor;
+    while (cursor < points.size() && points[cursor].t < stop) {
+      ++cursor;
+    }
+    WindowAggregate w;
+    w.window_start = start;
+    w.agg = AggregateSortedRun(points, begin, cursor);
+    results->push_back(w);
+    if (start > t_max - width) break;  // avoid Timestamp overflow on +=
+  }
+  return Status::OK();
+}
+
+}  // namespace backsort

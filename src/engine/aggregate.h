@@ -1,0 +1,61 @@
+#ifndef BACKSORT_ENGINE_AGGREGATE_H_
+#define BACKSORT_ENGINE_AGGREGATE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "engine/storage_engine.h"
+
+namespace backsort {
+
+/// Result of aggregating one time range. `first`/`last` are the values at
+/// the earliest/latest timestamps — exactly the statistics that silently go
+/// wrong on disordered data, which is why the engine sorts before serving
+/// (paper Section VI-E: "adjacent points with non-consecutive timestamps
+/// may fluctuate on values").
+struct AggregateResult {
+  size_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double first = 0.0;
+  double last = 0.0;
+  Timestamp first_time = 0;
+  Timestamp last_time = 0;
+};
+
+/// Aggregates sensor values over [t_min, t_max]. count == 0 when the range
+/// is empty (other fields are then meaningless zeros).
+Status AggregateRange(StorageEngine& engine, const std::string& sensor,
+                      Timestamp t_min, Timestamp t_max,
+                      AggregateResult* result);
+
+/// One fixed-size tumbling window of a GROUP BY time query.
+struct WindowAggregate {
+  Timestamp window_start = 0;  // window covers [start, start + width)
+  AggregateResult agg;
+};
+
+/// Tumbling-window aggregation ("compute the average speed of an engine in
+/// every minute"): splits [t_min, t_max] into windows of `width` and
+/// aggregates each. Windows with no points are included with count == 0 so
+/// the output grid is regular.
+Status WindowedAggregate(StorageEngine& engine, const std::string& sensor,
+                         Timestamp t_min, Timestamp t_max, Timestamp width,
+                         std::vector<WindowAggregate>* results);
+
+/// Sliding-window aggregation: a window of `width` advanced by `step`
+/// (step < width overlaps, step == width degenerates to tumbling). The
+/// out-of-order sliding-window literature the paper cites ([2]) is about
+/// exactly this operator; here it is exact because the engine sorts before
+/// aggregation. Windows start at t_min, t_min+step, ... while the window
+/// start is <= t_max.
+Status SlidingAggregate(StorageEngine& engine, const std::string& sensor,
+                        Timestamp t_min, Timestamp t_max, Timestamp width,
+                        Timestamp step, std::vector<WindowAggregate>* results);
+
+}  // namespace backsort
+
+#endif  // BACKSORT_ENGINE_AGGREGATE_H_

@@ -1,0 +1,199 @@
+#ifndef BACKSORT_ENGINE_STORAGE_ENGINE_H_
+#define BACKSORT_ENGINE_STORAGE_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/sorter_registry.h"
+#include "engine/wal.h"
+#include "memtable/memtable.h"
+#include "tsfile/tsfile.h"
+
+namespace backsort {
+
+/// Configuration of the single-node storage engine.
+struct EngineOptions {
+  std::string data_dir;
+
+  /// Which algorithm sorts TVLists at flush and query time — the variable
+  /// under test in the paper's system experiments.
+  SorterId sorter = SorterId::kTim;
+  BackwardSortOptions backward_options;
+
+  /// Seal-and-flush once the working memtable holds this many points
+  /// ("100,000 is the appropriate memory points size in the IoTDB").
+  size_t memtable_flush_threshold = 100'000;
+
+  size_t points_per_page = 1024;
+
+  /// Run flushes on a background thread (IoTDB's flush is "asynchronously
+  /// awaited"). Tests may turn this off for determinism.
+  bool async_flush = true;
+
+  /// Write-ahead logging: every ingested point is framed and CRC-protected
+  /// in a per-memtable WAL segment before being buffered; segments are
+  /// deleted once their memtable's TsFile is durable. Open() replays any
+  /// leftover segments, so a crash loses at most the torn tail record.
+  bool enable_wal = true;
+
+  /// Force WAL buffers to the OS after every append. Durable but slow;
+  /// benches leave it off (IoTDB likewise groups WAL syncs).
+  bool sync_wal_every_write = false;
+
+  /// Last-write-wins deduplication of equal timestamps on query, matching
+  /// IoTDB's read semantics (an unsequence rewrite of an existing
+  /// timestamp shadows the sequence value). Off = return all duplicates.
+  bool dedup_on_query = true;
+};
+
+/// Server-side flush metrics (paper Section VI-D2): per-flush wall time of
+/// the whole pipeline (sort + encode + I/O) and of the sort step alone.
+struct FlushMetrics {
+  RunningStats flush_ms;
+  RunningStats sort_ms;
+};
+
+/// A miniature Apache-IoTDB-shaped storage engine: working/flushing
+/// memtables of TVLists, sequence/unsequence **separation policy** (any
+/// write whose timestamp is at or below the sensor's last flushed time goes
+/// to the unsequence memtable, keeping extreme stragglers away from the
+/// sort path), a flush pipeline that sorts each TVList with a pluggable
+/// algorithm and persists TsFile chunks, and a time-range query that — like
+/// IoTDB — takes the global lock, sorts in-memory data, and merges it with
+/// on-disk chunks.
+class StorageEngine {
+ public:
+  explicit StorageEngine(EngineOptions options);
+  ~StorageEngine();
+
+  StorageEngine(const StorageEngine&) = delete;
+  StorageEngine& operator=(const StorageEngine&) = delete;
+
+  /// Creates the data directory, recovers sealed TsFiles and WAL segments
+  /// from a previous incarnation, and starts the flush worker.
+  Status Open();
+
+  /// Ingests one point (arrival order = call order).
+  Status Write(const std::string& sensor, Timestamp t, double v);
+
+  /// Ingests a batch (the benchmark writes batches of 500).
+  Status WriteBatch(const std::string& sensor,
+                    const std::vector<TvPairDouble>& points);
+
+  /// Time-range query [t_min, t_max]: sorted, may contain points from the
+  /// working memtable, in-flight flushing memtables, and sealed files.
+  /// Blocks writers for its duration, mirroring IoTDB's lock behavior.
+  Status Query(const std::string& sensor, Timestamp t_min, Timestamp t_max,
+               std::vector<TvPairDouble>* out);
+
+  /// O(1) latest-point lookup ("SELECT last(*)"), served from the last
+  /// cache IoTDB also maintains: the point with the largest timestamp ever
+  /// written to the sensor (ties: the most recent write). NotFound when
+  /// the sensor has no data.
+  Status GetLatest(const std::string& sensor, TvPairDouble* out);
+
+  /// Aggregation with page-statistics pushdown (count/sum/min/max/first/
+  /// last over [t_min, t_max]). The fast path skips decoding interior
+  /// pages, but is only sound when no data source can shadow another
+  /// (duplicate timestamps are resolved last-write-wins by Query); it is
+  /// taken only when the sensor has no unsequence files and no in-memory
+  /// points in range, and `used_fast_path` reports the decision. Otherwise
+  /// falls back to the exact Query-based computation — results are
+  /// identical either way.
+  Status AggregateFast(const std::string& sensor, Timestamp t_min,
+                       Timestamp t_max, TsFileReader::RangeStats* stats,
+                       bool* used_fast_path = nullptr);
+
+  /// Seals the current working memtable (if non-empty) and waits until all
+  /// queued flushes hit disk.
+  Status FlushAll();
+
+  /// Snapshot of flush metrics (thread-safe).
+  FlushMetrics GetFlushMetrics() const;
+
+  size_t sealed_file_count() const { return file_count_.load(); }
+
+  /// Merges every sealed TsFile (sequence and unsequence) into one compact
+  /// sequence file per run — the LSM-style compaction that bounds read
+  /// amplification once the separation policy has scattered stragglers
+  /// across unsequence files. Blocks writes for the file swap only.
+  Status Compact();
+
+ private:
+  struct FlushJob {
+    std::shared_ptr<MemTable> table;
+    bool sequence;
+    std::string wal_path;  // deleted once the TsFile is durable
+  };
+
+  /// Seals the working memtable into the flush queue. Caller holds mu_.
+  void SealLocked(bool sequence);
+
+  /// Sort + encode + write one sealed memtable to a TsFile, then — under a
+  /// single engine-lock critical section — publish the file and retire the
+  /// table from `flushing_` so queries never see its points twice. Must be
+  /// called without holding mu_.
+  Status FlushTable(const FlushJob& job);
+
+  /// Replays leftover TsFiles and WAL segments from `data_dir`. Caller
+  /// holds mu_ (during Open, before the flush worker starts).
+  Status RecoverLocked();
+
+  /// Opens a fresh WAL segment for one working table. Caller holds mu_.
+  Status RotateWalLocked(bool sequence);
+
+  void FlushWorker();
+
+  /// Collects [t_min, t_max] points of `sensor` from a memtable into one
+  /// sorted run (sorting with the configured algorithm, like IoTDB's
+  /// query-time sort). Caller holds mu_.
+  std::vector<TvPairDouble> CollectFromMemTable(const MemTable& table,
+                                                const std::string& sensor,
+                                                Timestamp t_min,
+                                                Timestamp t_max);
+
+  EngineOptions options_;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<MemTable> working_seq_;
+  std::unique_ptr<MemTable> working_unseq_;
+  /// Last flushed (or flush-queued) max time per sensor — the separation
+  /// policy watermark.
+  std::map<std::string, Timestamp> flush_watermark_;
+  /// Last cache: newest point per sensor (largest timestamp; last write on
+  /// ties). Rebuilt from files + WAL on recovery.
+  std::map<std::string, TvPairDouble> last_cache_;
+  /// Tables sealed but not yet fully on disk; still visible to queries.
+  std::vector<std::shared_ptr<MemTable>> flushing_;
+
+  std::deque<FlushJob> flush_queue_;
+  std::condition_variable flush_cv_;
+  std::condition_variable flush_done_cv_;
+  bool stop_ = false;
+  std::thread flush_thread_;
+
+  std::unique_ptr<WalWriter> wal_seq_;
+  std::unique_ptr<WalWriter> wal_unseq_;
+  size_t next_wal_id_ = 0;
+
+  mutable std::mutex metrics_mu_;
+  FlushMetrics metrics_;
+
+  std::vector<std::string> sealed_files_;
+  std::atomic<size_t> file_count_{0};
+  size_t next_file_id_ = 0;
+};
+
+}  // namespace backsort
+
+#endif  // BACKSORT_ENGINE_STORAGE_ENGINE_H_

@@ -1,0 +1,95 @@
+#include "engine/wal.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+#include "encoding/bytes.h"
+
+namespace backsort {
+
+Status WalWriter::Open() {
+  out_.open(path_, std::ios::binary | std::ios::app);
+  if (!out_) return Status::IOError("cannot open WAL: " + path_);
+  return Status::OK();
+}
+
+Status WalWriter::Append(const std::string& sensor, Timestamp t, double v) {
+  if (!out_.is_open()) return Status::InvalidArgument("WAL not open");
+  ByteBuffer payload;
+  payload.PutLengthPrefixedString(sensor);
+  payload.PutFixed64(static_cast<uint64_t>(t));
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  payload.PutFixed64(bits);
+
+  ByteBuffer frame;
+  frame.PutFixed32(static_cast<uint32_t>(payload.size()));
+  frame.PutFixed32(Crc32(payload.data().data(), payload.size()));
+  frame.Append(payload);
+  out_.write(reinterpret_cast<const char*>(frame.data().data()),
+             static_cast<std::streamsize>(frame.size()));
+  if (!out_) return Status::IOError("WAL append failed: " + path_);
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (!out_.is_open()) return Status::InvalidArgument("WAL not open");
+  out_.flush();
+  if (!out_) return Status::IOError("WAL sync failed: " + path_);
+  return Status::OK();
+}
+
+Status WalWriter::Close() {
+  if (out_.is_open()) {
+    out_.flush();
+    out_.close();
+    if (out_.fail()) return Status::IOError("WAL close failed: " + path_);
+  }
+  return Status::OK();
+}
+
+Status ReadWal(const std::string& path, std::vector<WalRecord>* records,
+               bool* tail_truncated) {
+  records->clear();
+  if (tail_truncated != nullptr) *tail_truncated = false;
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IOError("cannot open WAL: " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<uint8_t> data(static_cast<size_t>(size));
+  in.read(reinterpret_cast<char*>(data.data()), size);
+  if (!in) return Status::IOError("WAL read failed: " + path);
+
+  ByteReader reader(data);
+  while (!reader.AtEnd()) {
+    uint32_t payload_size = 0;
+    uint32_t expected_crc = 0;
+    if (!reader.GetFixed32(&payload_size).ok() ||
+        !reader.GetFixed32(&expected_crc).ok() ||
+        payload_size > reader.remaining()) {
+      if (tail_truncated != nullptr) *tail_truncated = true;
+      break;
+    }
+    const uint8_t* payload = data.data() + reader.position();
+    if (Crc32(payload, payload_size) != expected_crc) {
+      if (tail_truncated != nullptr) *tail_truncated = true;
+      break;
+    }
+    ByteReader body(payload, payload_size);
+    WalRecord record;
+    uint64_t t_bits = 0, v_bits = 0;
+    if (!body.GetLengthPrefixedString(&record.sensor).ok() ||
+        !body.GetFixed64(&t_bits).ok() || !body.GetFixed64(&v_bits).ok()) {
+      // CRC matched but the payload does not parse: real corruption, not a
+      // torn tail.
+      return Status::Corruption("WAL payload malformed: " + path);
+    }
+    record.t = static_cast<Timestamp>(t_bits);
+    std::memcpy(&record.v, &v_bits, sizeof(record.v));
+    records->push_back(std::move(record));
+    RETURN_NOT_OK(reader.Skip(payload_size));
+  }
+  return Status::OK();
+}
+
+}  // namespace backsort

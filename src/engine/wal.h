@@ -1,0 +1,53 @@
+#ifndef BACKSORT_ENGINE_WAL_H_
+#define BACKSORT_ENGINE_WAL_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace backsort {
+
+/// One recovered WAL record: a single ingested point.
+struct WalRecord {
+  std::string sensor;
+  Timestamp t = 0;
+  double v = 0.0;
+};
+
+/// Append-only write-ahead log segment. Each record is framed as
+///   [payload size : fixed32][crc32(payload) : fixed32][payload]
+/// with payload = length-prefixed sensor + fixed64 time + fixed64 value
+/// bits. Recovery replays records until the first frame whose size or CRC
+/// does not check out — a torn tail from a crash loses at most the last
+/// record, never poisons earlier ones.
+class WalWriter {
+ public:
+  explicit WalWriter(std::string path) : path_(std::move(path)) {}
+
+  Status Open();
+
+  /// Appends one point. Buffered; call Sync() to force it to the OS.
+  Status Append(const std::string& sensor, Timestamp t, double v);
+
+  Status Sync();
+  Status Close();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+/// Replays a WAL segment. `tail_truncated` reports whether replay stopped
+/// early at a damaged frame (expected after a crash, not an error).
+Status ReadWal(const std::string& path, std::vector<WalRecord>* records,
+               bool* tail_truncated);
+
+}  // namespace backsort
+
+#endif  // BACKSORT_ENGINE_WAL_H_

@@ -1,0 +1,84 @@
+#ifndef BACKSORT_MEMTABLE_MEMTABLE_H_
+#define BACKSORT_MEMTABLE_MEMTABLE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "tvlist/tv_list.h"
+
+namespace backsort {
+
+/// One memtable of the write path (Section V-A): a map from sensor id to a
+/// chunk holding that sensor's TVList. A memtable is either *working*
+/// (accepting writes) or *flushing* (sealed, queued for sort+encode+disk).
+/// Value type is double throughout the system layer; the algorithm-level
+/// experiments use typed TVLists directly.
+class MemTable {
+ public:
+  enum class State { kWorking, kFlushing };
+
+  MemTable() = default;
+  // Neither copyable nor movable: the engine shares sealed tables between
+  // the flush worker and queries, synchronized via mu().
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  /// Appends one point in arrival order. Only legal while working.
+  void Write(const std::string& sensor, Timestamp t, double v) {
+    auto it = chunks_.find(sensor);
+    if (it == chunks_.end()) {
+      it = chunks_.emplace(sensor, std::make_unique<DoubleTVList>()).first;
+    }
+    it->second->Put(t, v);
+    ++total_points_;
+  }
+
+  /// Total points across all sensors — the flush trigger input. The paper
+  /// notes ~100k points is the appropriate in-memory size in IoTDB.
+  size_t total_points() const { return total_points_; }
+
+  State state() const { return state_; }
+  /// Seals the table: no further writes; flush pipeline takes over.
+  void MarkFlushing() { state_ = State::kFlushing; }
+
+  const std::map<std::string, std::unique_ptr<DoubleTVList>>& chunks() const {
+    return chunks_;
+  }
+  std::map<std::string, std::unique_ptr<DoubleTVList>>& chunks() {
+    return chunks_;
+  }
+
+  DoubleTVList* GetChunk(const std::string& sensor) {
+    auto it = chunks_.find(sensor);
+    return it == chunks_.end() ? nullptr : it->second.get();
+  }
+  const DoubleTVList* GetChunk(const std::string& sensor) const {
+    auto it = chunks_.find(sensor);
+    return it == chunks_.end() ? nullptr : it->second.get();
+  }
+
+  size_t MemoryBytes() const {
+    size_t total = 0;
+    for (const auto& [_, list] : chunks_) total += list->MemoryBytes();
+    return total;
+  }
+
+  /// Guards post-seal access: the flush worker sorts chunk TVLists in place
+  /// outside the engine lock, so concurrent query reads must serialize on
+  /// this mutex.
+  std::mutex& mu() const { return mu_; }
+
+ private:
+  std::map<std::string, std::unique_ptr<DoubleTVList>> chunks_;
+  size_t total_points_ = 0;
+  State state_ = State::kWorking;
+  mutable std::mutex mu_;
+};
+
+}  // namespace backsort
+
+#endif  // BACKSORT_MEMTABLE_MEMTABLE_H_

@@ -1,0 +1,312 @@
+#include "nn/lstm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace backsort {
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+void InitUniform(std::vector<double>& w, double scale, Rng& rng) {
+  for (double& v : w) v = scale * (2.0 * rng.NextDouble() - 1.0);
+}
+
+}  // namespace
+
+struct LstmRegressor::ForwardCache {
+  // Per-step activations, each of size hidden (H) or 4H for gates.
+  std::vector<std::vector<double>> gates;  // pre-activation, 4H
+  std::vector<std::vector<double>> i, f, g, o;
+  std::vector<std::vector<double>> c, h;   // post-step states
+  double y_hat = 0.0;
+};
+
+struct LstmRegressor::Gradients {
+  std::vector<double> w_ih, w_hh, b, w_out;
+  double b_out = 0.0;
+
+  explicit Gradients(const Config& c)
+      : w_ih(4 * c.hidden_size * c.input_size, 0.0),
+        w_hh(4 * c.hidden_size * c.hidden_size, 0.0),
+        b(4 * c.hidden_size, 0.0),
+        w_out(c.hidden_size, 0.0) {}
+
+  void Zero() {
+    std::fill(w_ih.begin(), w_ih.end(), 0.0);
+    std::fill(w_hh.begin(), w_hh.end(), 0.0);
+    std::fill(b.begin(), b.end(), 0.0);
+    std::fill(w_out.begin(), w_out.end(), 0.0);
+    b_out = 0.0;
+  }
+};
+
+LstmRegressor::LstmRegressor(const Config& config)
+    : config_(config), rng_(config.seed) {
+  const size_t H = config_.hidden_size;
+  const size_t I = config_.input_size;
+  w_ih_.resize(4 * H * I);
+  w_hh_.resize(4 * H * H);
+  b_.assign(4 * H, 0.0);
+  w_out_.resize(H);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(I + H));
+  InitUniform(w_ih_, scale, rng_);
+  InitUniform(w_hh_, scale, rng_);
+  InitUniform(w_out_, scale, rng_);
+  // Forget-gate bias starts positive, the standard trick for gradient flow.
+  for (size_t j = 0; j < H; ++j) b_[H + j] = 1.0;
+
+  m_w_ih_.assign(w_ih_.size(), 0.0);
+  v_w_ih_.assign(w_ih_.size(), 0.0);
+  m_w_hh_.assign(w_hh_.size(), 0.0);
+  v_w_hh_.assign(w_hh_.size(), 0.0);
+  m_b_.assign(b_.size(), 0.0);
+  v_b_.assign(b_.size(), 0.0);
+  m_w_out_.assign(w_out_.size(), 0.0);
+  v_w_out_.assign(w_out_.size(), 0.0);
+}
+
+std::vector<LstmRegressor::Sample> LstmRegressor::MakeSamples(
+    const std::vector<double>& series, const Config& config) {
+  std::vector<Sample> out;
+  const size_t window = config.input_size * config.seq_len;
+  if (series.size() <= window) return out;
+  out.reserve(series.size() - window);
+  for (size_t start = 0; start + window < series.size(); ++start) {
+    Sample s;
+    s.x.assign(series.begin() + static_cast<ptrdiff_t>(start),
+               series.begin() + static_cast<ptrdiff_t>(start + window));
+    s.y = series[start + window];
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void LstmRegressor::Forward(const std::vector<double>& x,
+                            ForwardCache* cache) const {
+  const size_t H = config_.hidden_size;
+  const size_t I = config_.input_size;
+  const size_t T = config_.seq_len;
+  cache->gates.assign(T, std::vector<double>(4 * H, 0.0));
+  cache->i.assign(T, std::vector<double>(H));
+  cache->f.assign(T, std::vector<double>(H));
+  cache->g.assign(T, std::vector<double>(H));
+  cache->o.assign(T, std::vector<double>(H));
+  cache->c.assign(T, std::vector<double>(H, 0.0));
+  cache->h.assign(T, std::vector<double>(H, 0.0));
+
+  std::vector<double> h_prev(H, 0.0);
+  std::vector<double> c_prev(H, 0.0);
+  for (size_t t = 0; t < T; ++t) {
+    const double* xt = x.data() + t * I;
+    std::vector<double>& z = cache->gates[t];
+    for (size_t r = 0; r < 4 * H; ++r) {
+      double acc = b_[r];
+      const double* wi = w_ih_.data() + r * I;
+      for (size_t k = 0; k < I; ++k) acc += wi[k] * xt[k];
+      const double* wh = w_hh_.data() + r * H;
+      for (size_t k = 0; k < H; ++k) acc += wh[k] * h_prev[k];
+      z[r] = acc;
+    }
+    for (size_t j = 0; j < H; ++j) {
+      const double ig = Sigmoid(z[j]);
+      const double fg = Sigmoid(z[H + j]);
+      const double gg = std::tanh(z[2 * H + j]);
+      const double og = Sigmoid(z[3 * H + j]);
+      const double cc = fg * c_prev[j] + ig * gg;
+      const double hh = og * std::tanh(cc);
+      cache->i[t][j] = ig;
+      cache->f[t][j] = fg;
+      cache->g[t][j] = gg;
+      cache->o[t][j] = og;
+      cache->c[t][j] = cc;
+      cache->h[t][j] = hh;
+    }
+    h_prev = cache->h[t];
+    c_prev = cache->c[t];
+  }
+  double y = b_out_;
+  for (size_t j = 0; j < H; ++j) y += w_out_[j] * h_prev[j];
+  cache->y_hat = y;
+}
+
+double LstmRegressor::Predict(const std::vector<double>& x) const {
+  ForwardCache cache;
+  Forward(x, &cache);
+  return cache.y_hat;
+}
+
+double LstmRegressor::Backward(const Sample& sample, Gradients* grads) const {
+  const size_t H = config_.hidden_size;
+  const size_t I = config_.input_size;
+  const size_t T = config_.seq_len;
+  ForwardCache cache;
+  Forward(sample.x, &cache);
+
+  const double err = cache.y_hat - sample.y;  // dL/dy for L = (y-Y)^2 / 1
+  // Head gradients.
+  for (size_t j = 0; j < H; ++j) {
+    grads->w_out[j] += 2.0 * err * cache.h[T - 1][j];
+  }
+  grads->b_out += 2.0 * err;
+
+  std::vector<double> dh(H, 0.0);
+  std::vector<double> dc(H, 0.0);
+  for (size_t j = 0; j < H; ++j) dh[j] = 2.0 * err * w_out_[j];
+
+  const std::vector<double> zeros(H, 0.0);
+  for (size_t t = T; t-- > 0;) {
+    const std::vector<double>& c_prev = t == 0 ? zeros : cache.c[t - 1];
+    const std::vector<double>& h_prev = t == 0 ? zeros : cache.h[t - 1];
+    std::vector<double> dz(4 * H, 0.0);
+    for (size_t j = 0; j < H; ++j) {
+      const double tanh_c = std::tanh(cache.c[t][j]);
+      const double do_ = dh[j] * tanh_c;
+      const double dc_total =
+          dc[j] + dh[j] * cache.o[t][j] * (1.0 - tanh_c * tanh_c);
+      const double di = dc_total * cache.g[t][j];
+      const double df = dc_total * c_prev[j];
+      const double dg = dc_total * cache.i[t][j];
+      dz[j] = di * cache.i[t][j] * (1.0 - cache.i[t][j]);
+      dz[H + j] = df * cache.f[t][j] * (1.0 - cache.f[t][j]);
+      dz[2 * H + j] = dg * (1.0 - cache.g[t][j] * cache.g[t][j]);
+      dz[3 * H + j] = do_ * cache.o[t][j] * (1.0 - cache.o[t][j]);
+      dc[j] = dc_total * cache.f[t][j];
+    }
+    const double* xt = sample.x.data() + t * I;
+    for (size_t r = 0; r < 4 * H; ++r) {
+      const double d = dz[r];
+      if (d == 0.0) continue;
+      double* gwi = grads->w_ih.data() + r * I;
+      for (size_t k = 0; k < I; ++k) gwi[k] += d * xt[k];
+      double* gwh = grads->w_hh.data() + r * H;
+      for (size_t k = 0; k < H; ++k) gwh[k] += d * h_prev[k];
+      grads->b[r] += d;
+    }
+    // dh for the previous step.
+    std::fill(dh.begin(), dh.end(), 0.0);
+    for (size_t k = 0; k < H; ++k) {
+      double acc = 0.0;
+      for (size_t r = 0; r < 4 * H; ++r) {
+        acc += w_hh_[r * H + k] * dz[r];
+      }
+      dh[k] = acc;
+    }
+  }
+  return err * err;
+}
+
+void LstmRegressor::AdamStep(const Gradients& grads, size_t batch,
+                             size_t step) {
+  constexpr double kBeta1 = 0.9;
+  constexpr double kBeta2 = 0.999;
+  constexpr double kEps = 1e-8;
+  const double lr = config_.learning_rate;
+  const double scale = 1.0 / static_cast<double>(batch);
+  const double bc1 = 1.0 - std::pow(kBeta1, static_cast<double>(step));
+  const double bc2 = 1.0 - std::pow(kBeta2, static_cast<double>(step));
+
+  auto update = [&](std::vector<double>& w, std::vector<double>& m,
+                    std::vector<double>& v, const std::vector<double>& g) {
+    for (size_t idx = 0; idx < w.size(); ++idx) {
+      const double grad = g[idx] * scale;
+      m[idx] = kBeta1 * m[idx] + (1.0 - kBeta1) * grad;
+      v[idx] = kBeta2 * v[idx] + (1.0 - kBeta2) * grad * grad;
+      const double mhat = m[idx] / bc1;
+      const double vhat = v[idx] / bc2;
+      w[idx] -= lr * mhat / (std::sqrt(vhat) + kEps);
+    }
+  };
+  update(w_ih_, m_w_ih_, v_w_ih_, grads.w_ih);
+  update(w_hh_, m_w_hh_, v_w_hh_, grads.w_hh);
+  update(b_, m_b_, v_b_, grads.b);
+  update(w_out_, m_w_out_, v_w_out_, grads.w_out);
+  {
+    const double grad = grads.b_out / static_cast<double>(batch);
+    m_b_out_ = kBeta1 * m_b_out_ + (1.0 - kBeta1) * grad;
+    v_b_out_ = kBeta2 * v_b_out_ + (1.0 - kBeta2) * grad * grad;
+    b_out_ -= lr * (m_b_out_ / bc1) / (std::sqrt(v_b_out_ / bc2) + kEps);
+  }
+}
+
+double LstmRegressor::Train(const std::vector<Sample>& train) {
+  if (train.empty()) return 0.0;
+  std::vector<size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+  Gradients grads(config_);
+  size_t adam_step = 0;
+  double last_epoch_mse = 0.0;
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    // Fisher-Yates shuffle with the deterministic RNG.
+    for (size_t i = order.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(rng_.NextBelow(i));
+      std::swap(order[i - 1], order[j]);
+    }
+    double epoch_loss = 0.0;
+    size_t done = 0;
+    while (done < order.size()) {
+      const size_t batch =
+          std::min(config_.batch_size, order.size() - done);
+      grads.Zero();
+      for (size_t k = 0; k < batch; ++k) {
+        epoch_loss += Backward(train[order[done + k]], &grads);
+      }
+      ++adam_step;
+      AdamStep(grads, batch, adam_step);
+      done += batch;
+    }
+    last_epoch_mse = epoch_loss / static_cast<double>(train.size());
+  }
+  return last_epoch_mse;
+}
+
+double LstmRegressor::Evaluate(const std::vector<Sample>& samples) const {
+  if (samples.empty()) return 0.0;
+  double total = 0.0;
+  for (const Sample& s : samples) {
+    const double err = Predict(s.x) - s.y;
+    total += err * err;
+  }
+  return total / static_cast<double>(samples.size());
+}
+
+ForecastOutcome RunForecastExperiment(const std::vector<double>& stored_series,
+                                      const LstmRegressor::Config& config) {
+  ForecastOutcome outcome;
+  const size_t n = stored_series.size();
+  if (n < 4 * config.input_size * config.seq_len) return outcome;
+  const size_t split = n * 7 / 10;  // first 70% train, last 30% test
+
+  // Standardize with train statistics only.
+  double mean = 0.0;
+  for (size_t i = 0; i < split; ++i) mean += stored_series[i];
+  mean /= static_cast<double>(split);
+  double var = 0.0;
+  for (size_t i = 0; i < split; ++i) {
+    const double d = stored_series[i] - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(split);
+  const double stddev = var > 0 ? std::sqrt(var) : 1.0;
+
+  std::vector<double> norm(n);
+  for (size_t i = 0; i < n; ++i) norm[i] = (stored_series[i] - mean) / stddev;
+
+  const std::vector<double> train_series(norm.begin(),
+                                         norm.begin() +
+                                             static_cast<ptrdiff_t>(split));
+  const std::vector<double> test_series(norm.begin() +
+                                            static_cast<ptrdiff_t>(split),
+                                        norm.end());
+  const auto train = LstmRegressor::MakeSamples(train_series, config);
+  const auto test = LstmRegressor::MakeSamples(test_series, config);
+
+  LstmRegressor model(config);
+  outcome.train_mse = model.Train(train);
+  outcome.test_mse = model.Evaluate(test);
+  return outcome;
+}
+
+}  // namespace backsort

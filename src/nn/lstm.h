@@ -1,0 +1,96 @@
+#ifndef BACKSORT_NN_LSTM_H_
+#define BACKSORT_NN_LSTM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace backsort {
+
+/// Minimal LSTM regressor with a linear head, written from scratch for the
+/// downstream-application experiment (paper Fig. 22): forecasting the next
+/// value of a time series from windows of past values, trained on data as
+/// stored (ordered vs. disordered) to show how out-of-order ingestion
+/// degrades learning.
+///
+/// Architecture: input windows of `input_size` values form a sequence of
+/// `seq_len` steps -> single LSTM layer (`hidden_size`) -> linear -> scalar.
+/// Training is full BPTT with Adam on MSE loss. Sizes default to the
+/// paper's (input 10, hidden 2).
+class LstmRegressor {
+ public:
+  struct Config {
+    size_t input_size = 10;
+    size_t hidden_size = 2;
+    size_t seq_len = 4;
+    double learning_rate = 1e-2;
+    size_t epochs = 30;
+    size_t batch_size = 32;
+    uint64_t seed = 7;
+  };
+
+  explicit LstmRegressor(const Config& config);
+
+  /// Supervised pairs built from a series: x = seq_len consecutive windows
+  /// of input_size values, y = the next value. The series is used exactly
+  /// in its stored order — feeding a disordered series produces the
+  /// degraded supervision the experiment measures.
+  struct Sample {
+    std::vector<double> x;  // seq_len * input_size, window-major
+    double y;
+  };
+
+  /// Slices `series` into samples (values standardized by the caller).
+  static std::vector<Sample> MakeSamples(const std::vector<double>& series,
+                                         const Config& config);
+
+  /// Trains on `train` and returns the final-epoch mean training MSE.
+  double Train(const std::vector<Sample>& train);
+
+  /// Mean MSE over a sample set without updating weights.
+  double Evaluate(const std::vector<Sample>& samples) const;
+
+  /// Single forward pass returning the scalar prediction.
+  double Predict(const std::vector<double>& x) const;
+
+ private:
+  struct Gradients;
+  struct ForwardCache;
+
+  void Forward(const std::vector<double>& x, ForwardCache* cache) const;
+  /// Accumulates gradients for one sample; returns its squared error.
+  double Backward(const Sample& sample, Gradients* grads) const;
+  void AdamStep(const Gradients& grads, size_t batch, size_t step);
+
+  Config config_;
+
+  // Parameters. Gate layout along the 4H axis: [input, forget, cell, output].
+  std::vector<double> w_ih_;  // 4H x I
+  std::vector<double> w_hh_;  // 4H x H
+  std::vector<double> b_;     // 4H
+  std::vector<double> w_out_; // H
+  double b_out_ = 0.0;
+
+  // Adam state (first and second moments, same shapes as parameters).
+  std::vector<double> m_w_ih_, v_w_ih_;
+  std::vector<double> m_w_hh_, v_w_hh_;
+  std::vector<double> m_b_, v_b_;
+  std::vector<double> m_w_out_, v_w_out_;
+  double m_b_out_ = 0.0, v_b_out_ = 0.0;
+
+  Rng rng_;
+};
+
+/// Runs the Fig. 22 protocol on a stored series: standardize using train
+/// statistics, 70/30 split, train, report (train_mse, test_mse).
+struct ForecastOutcome {
+  double train_mse = 0.0;
+  double test_mse = 0.0;
+};
+ForecastOutcome RunForecastExperiment(const std::vector<double>& stored_series,
+                                      const LstmRegressor::Config& config);
+
+}  // namespace backsort
+
+#endif  // BACKSORT_NN_LSTM_H_

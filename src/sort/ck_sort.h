@@ -1,0 +1,102 @@
+#ifndef BACKSORT_SORT_CK_SORT_H_
+#define BACKSORT_SORT_CK_SORT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "sort/quicksort.h"
+#include "sort/sortable.h"
+
+namespace backsort {
+
+/// CKSort after Cook & Kim (CACM 1980), "Best sorting algorithm for nearly
+/// sorted lists": a hybrid of Quicksort, Insertion Sort and Merge Sort.
+/// One scan extracts the out-of-order elements pairwise into a side array,
+/// leaving a sorted remainder in place; the (small) side array is sorted —
+/// insertion sort when tiny, quicksort otherwise — and merged back. Needs
+/// O(n) extra space in the worst case and re-moves the sorted remainder
+/// during the merge, the redundant moves the paper calls out.
+template <typename Seq>
+void CkSort(Seq& seq) {
+  using Element = typename Seq::Element;
+  const size_t n = seq.size();
+  if (n < 2) return;
+
+  // Phase 1: single left-to-right scan. `kept` is the in-place sorted
+  // prefix (compacted toward the front); whenever the next element is
+  // smaller than the kept tail, both the tail and the offender move to the
+  // extracted array (Cook-Kim removes unordered *pairs*).
+  std::vector<Element> extracted;
+  size_t kept = 0;  // seq[0, kept) is the sorted remainder
+  for (size_t i = 0; i < n; ++i) {
+    if (kept > 0) ++seq.counters().comparisons;
+    if (kept == 0 || seq.TimeAt(kept - 1) <= seq.TimeAt(i)) {
+      if (kept != i) {
+        seq.Set(kept, seq.Get(i));
+      }
+      ++kept;
+    } else {
+      extracted.push_back(seq.Get(kept - 1));
+      extracted.push_back(seq.Get(i));
+      seq.counters().moves += 2;
+      --kept;
+    }
+  }
+  sort_internal::NoteScratchIfSupported(seq, extracted.size());
+  if (extracted.empty()) return;
+
+  // Phase 2: sort the extracted array (quicksort; Cook-Kim use straight
+  // insertion below a small threshold).
+  struct ScratchSeq {
+    using Element = typename Seq::Element;
+    std::vector<Element>* data;
+    OpCounters* c;
+    size_t size() const { return data->size(); }
+    Timestamp TimeAt(size_t i) const {
+      return Seq::ElementTime((*data)[i]);
+    }
+    Element Get(size_t i) const { return (*data)[i]; }
+    void Set(size_t i, const Element& e) {
+      (*data)[i] = e;
+      ++c->moves;
+    }
+    void Swap(size_t i, size_t j) {
+      std::swap((*data)[i], (*data)[j]);
+      ++c->swaps;
+      c->moves += 3;
+    }
+    static Timestamp ElementTime(const Element& e) {
+      return Seq::ElementTime(e);
+    }
+    OpCounters& counters() { return *c; }
+  };
+  ScratchSeq scratch_seq{&extracted, &seq.counters()};
+  if (extracted.size() <= 16) {
+    InsertionSort(scratch_seq);
+  } else {
+    QuickSort(scratch_seq);
+  }
+
+  // Phase 3: merge remainder seq[0, kept) with `extracted` from the right
+  // end so the merge is in place in seq[0, n).
+  ptrdiff_t a = static_cast<ptrdiff_t>(kept) - 1;
+  ptrdiff_t b = static_cast<ptrdiff_t>(extracted.size()) - 1;
+  ptrdiff_t w = static_cast<ptrdiff_t>(n) - 1;
+  while (a >= 0 && b >= 0) {
+    ++seq.counters().comparisons;
+    if (seq.TimeAt(static_cast<size_t>(a)) >
+        Seq::ElementTime(extracted[static_cast<size_t>(b)])) {
+      seq.Set(static_cast<size_t>(w--), seq.Get(static_cast<size_t>(a--)));
+    } else {
+      seq.Set(static_cast<size_t>(w--), extracted[static_cast<size_t>(b--)]);
+    }
+  }
+  while (b >= 0) {
+    seq.Set(static_cast<size_t>(w--), extracted[static_cast<size_t>(b--)]);
+  }
+  // Remaining remainder elements are already in place.
+}
+
+}  // namespace backsort
+
+#endif  // BACKSORT_SORT_CK_SORT_H_

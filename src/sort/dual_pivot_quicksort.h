@@ -1,0 +1,113 @@
+#ifndef BACKSORT_SORT_DUAL_PIVOT_QUICKSORT_H_
+#define BACKSORT_SORT_DUAL_PIVOT_QUICKSORT_H_
+
+#include <cstddef>
+
+#include "sort/insertion_sort.h"
+#include "sort/quicksort.h"
+#include "sort/sortable.h"
+
+namespace backsort {
+
+namespace sort_internal {
+
+template <typename Seq>
+void DualPivotImpl(Seq& seq, size_t lo, size_t hi, int depth_budget) {
+  constexpr size_t kInsertionCutoff = 32;
+  while (hi - lo > kInsertionCutoff) {
+    if (depth_budget-- == 0) {
+      HeapSortRange(seq, lo, hi);
+      return;
+    }
+    const size_t n = hi - lo;
+    // Pivots from the tertiles (Java samples five elements; tertiles give
+    // the same balanced behavior on time-series-like inputs).
+    seq.Swap(lo, lo + n / 3);
+    seq.Swap(hi - 1, lo + 2 * n / 3);
+    ++seq.counters().comparisons;
+    if (seq.TimeAt(lo) > seq.TimeAt(hi - 1)) {
+      seq.Swap(lo, hi - 1);
+    }
+    const Timestamp p = seq.TimeAt(lo);      // left pivot
+    const Timestamp q = seq.TimeAt(hi - 1);  // right pivot
+
+    // Yaroslavskiy three-way partition: [lo+1, lt) < p, [lt, i) in [p, q],
+    // (gt, hi-1) > q.
+    size_t lt = lo + 1;
+    size_t gt = hi - 2;
+    size_t i = lo + 1;
+    while (i <= gt) {
+      ++seq.counters().comparisons;
+      if (seq.TimeAt(i) < p) {
+        if (i != lt) seq.Swap(i, lt);
+        ++lt;
+        ++i;
+      } else {
+        ++seq.counters().comparisons;
+        if (seq.TimeAt(i) > q) {
+          // Skip the suffix already known to be > q before swapping, so a
+          // sorted right segment costs comparisons, not swaps.
+          while (i < gt) {
+            ++seq.counters().comparisons;
+            if (seq.TimeAt(gt) <= q) break;
+            --gt;
+          }
+          if (i >= gt) {
+            // Everything from i rightwards is > q: the mid/right boundary
+            // sits just before i.
+            gt = i - 1;
+            break;
+          }
+          seq.Swap(i, gt);
+          --gt;
+        } else {
+          ++i;
+        }
+      }
+    }
+    // Place the pivots.
+    --lt;
+    ++gt;
+    seq.Swap(lo, lt);
+    seq.Swap(hi - 1, gt);
+
+    // Recurse on the two smaller segments, iterate on the largest.
+    const size_t len1 = lt - lo;             // [lo, lt)
+    const size_t len2 = gt - lt - 1;         // (lt, gt)
+    const size_t len3 = hi - gt - 1;         // (gt, hi)
+    if (len1 >= len2 && len1 >= len3) {
+      DualPivotImpl(seq, lt + 1, gt, depth_budget);
+      DualPivotImpl(seq, gt + 1, hi, depth_budget);
+      hi = lt;
+    } else if (len2 >= len1 && len2 >= len3) {
+      DualPivotImpl(seq, lo, lt, depth_budget);
+      DualPivotImpl(seq, gt + 1, hi, depth_budget);
+      lo = lt + 1;
+      hi = gt;
+    } else {
+      DualPivotImpl(seq, lo, lt, depth_budget);
+      DualPivotImpl(seq, lt + 1, gt, depth_budget);
+      lo = gt + 1;
+    }
+  }
+  InsertionSortRange(seq, lo, hi);
+}
+
+}  // namespace sort_internal
+
+/// Dual-pivot quicksort (Yaroslavskiy), the algorithm behind
+/// java.util.Arrays.sort for primitives — relevant because IoTDB is a Java
+/// system and primitive-array sorting there uses exactly this family.
+/// Unstable, in-place, O(n log n) average.
+template <typename Seq>
+void DualPivotQuickSort(Seq& seq) {
+  const size_t n = seq.size();
+  if (n < 2) return;
+  int budget = 2;
+  for (size_t m = n; m > 1; m >>= 1) budget += 2;
+  sort_internal::DualPivotImpl(seq, 0, n, budget);
+}
+
+}  // namespace backsort
+
+#endif  // BACKSORT_SORT_DUAL_PIVOT_QUICKSORT_H_

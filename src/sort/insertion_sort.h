@@ -1,0 +1,69 @@
+#ifndef BACKSORT_SORT_INSERTION_SORT_H_
+#define BACKSORT_SORT_INSERTION_SORT_H_
+
+#include <cstddef>
+
+#include "sort/sortable.h"
+
+namespace backsort {
+
+/// Straight insertion sort of seq[lo, hi). Adaptive w.r.t. Inv: runs in
+/// O(n + Inv). This is the L = 1 degenerate case of Backward-Sort
+/// (Proposition 5) and the small-range building block of the hybrids.
+template <typename Seq>
+void InsertionSortRange(Seq& seq, size_t lo, size_t hi) {
+  using Element = typename Seq::Element;
+  for (size_t i = lo + 1; i < hi; ++i) {
+    ++seq.counters().comparisons;
+    if (seq.TimeAt(i - 1) <= seq.TimeAt(i)) continue;
+    const Element pending = seq.Get(i);
+    const Timestamp key = Seq::ElementTime(pending);
+    size_t j = i;
+    while (j > lo) {
+      if (j - 1 > lo) ++seq.counters().comparisons;
+      if (seq.TimeAt(j - 1) <= key) break;
+      seq.Set(j, seq.Get(j - 1));
+      --j;
+    }
+    seq.Set(j, pending);
+  }
+}
+
+template <typename Seq>
+void InsertionSort(Seq& seq) {
+  InsertionSortRange(seq, 0, seq.size());
+}
+
+/// Binary insertion sort of seq[lo, hi), assuming seq[lo, start) is already
+/// sorted. Used by Timsort to extend short runs: O(n log n) comparisons but
+/// still O(Inv) moves.
+template <typename Seq>
+void BinaryInsertionSortRange(Seq& seq, size_t lo, size_t hi, size_t start) {
+  using Element = typename Seq::Element;
+  if (start <= lo) start = lo + 1;
+  for (size_t i = start; i < hi; ++i) {
+    const Element pending = seq.Get(i);
+    const Timestamp key = Seq::ElementTime(pending);
+    // Find insertion point in [lo, i) via binary search (upper bound to
+    // keep equal keys stable).
+    size_t left = lo;
+    size_t right = i;
+    while (left < right) {
+      const size_t mid = left + (right - left) / 2;
+      ++seq.counters().comparisons;
+      if (key < seq.TimeAt(mid)) {
+        right = mid;
+      } else {
+        left = mid + 1;
+      }
+    }
+    for (size_t j = i; j > left; --j) {
+      seq.Set(j, seq.Get(j - 1));
+    }
+    if (left != i) seq.Set(left, pending);
+  }
+}
+
+}  // namespace backsort
+
+#endif  // BACKSORT_SORT_INSERTION_SORT_H_

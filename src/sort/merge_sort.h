@@ -1,0 +1,73 @@
+#ifndef BACKSORT_SORT_MERGE_SORT_H_
+#define BACKSORT_SORT_MERGE_SORT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "sort/sortable.h"
+
+namespace backsort {
+
+namespace sort_internal {
+
+/// Merges the two sorted ranges seq[lo, mid) and seq[mid, hi) using
+/// `scratch` (resized as needed). Stable. This is also the "straight merge"
+/// that Example 3 compares Backward Merge against: the left run is copied
+/// out unconditionally, so already-placed prefixes are moved again.
+template <typename Seq>
+void StraightMergeRanges(Seq& seq, size_t lo, size_t mid, size_t hi,
+                         std::vector<typename Seq::Element>& scratch) {
+  if (lo >= mid || mid >= hi) return;
+  ++seq.counters().comparisons;
+  if (seq.TimeAt(mid - 1) <= seq.TimeAt(mid)) return;  // already in order
+  scratch.clear();
+  scratch.reserve(mid - lo);
+  for (size_t i = lo; i < mid; ++i) {
+    scratch.push_back(seq.Get(i));
+    ++seq.counters().moves;
+  }
+  NoteScratchIfSupported(seq, scratch.size());
+  size_t a = 0;
+  size_t b = mid;
+  size_t w = lo;
+  while (a < scratch.size() && b < hi) {
+    ++seq.counters().comparisons;
+    if (Seq::ElementTime(scratch[a]) <= seq.TimeAt(b)) {
+      seq.Set(w++, scratch[a++]);
+    } else {
+      seq.Set(w++, seq.Get(b++));
+    }
+  }
+  while (a < scratch.size()) {
+    seq.Set(w++, scratch[a++]);
+  }
+  // Remaining right-run elements are already in place.
+}
+
+}  // namespace sort_internal
+
+/// Bottom-up stable merge sort with O(n) scratch; the textbook non-adaptive
+/// reference point among the baselines.
+template <typename Seq>
+void MergeSortRange(Seq& seq, size_t lo, size_t hi) {
+  const size_t n = hi - lo;
+  if (n < 2) return;
+  std::vector<typename Seq::Element> scratch;
+  for (size_t width = 1; width < n; width *= 2) {
+    for (size_t left = lo; left + width < hi; left += 2 * width) {
+      const size_t mid = left + width;
+      const size_t right = std::min(left + 2 * width, hi);
+      sort_internal::StraightMergeRanges(seq, left, mid, right, scratch);
+    }
+  }
+}
+
+template <typename Seq>
+void MergeSort(Seq& seq) {
+  MergeSortRange(seq, 0, seq.size());
+}
+
+}  // namespace backsort
+
+#endif  // BACKSORT_SORT_MERGE_SORT_H_

@@ -1,0 +1,137 @@
+#ifndef BACKSORT_SORT_PATIENCE_SORT_H_
+#define BACKSORT_SORT_PATIENCE_SORT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "sort/sortable.h"
+
+namespace backsort {
+
+/// Patience Sort after Chandramouli & Goldstein (SIGMOD'14), the
+/// state-of-the-art baseline for nearly sorted data the paper compares
+/// against. Phase 1 deals the input onto sorted runs: each element is
+/// appended to a run whose tail is <= it (checking the most recently used
+/// run first — for nearly sorted data almost every element lands there —
+/// then binary-searching the runs, whose tails are kept in increasing
+/// order). Phase 2 merges the runs pairwise, ping-ponging between two
+/// buffers, and writes the result back.
+///
+/// The paper observes the weakness this reproduction also exhibits: run
+/// construction copies every TV pair out of the sequence, which is costly
+/// when moves are expensive (IoTDB TV pairs), and heavy-tailed delay
+/// distributions (LogNormal) create many runs.
+template <typename Seq>
+void PatienceSort(Seq& seq) {
+  using Element = typename Seq::Element;
+  const size_t n = seq.size();
+  if (n < 2) return;
+
+  // Phase 1: deal onto runs. Runs are ordered by tail timestamp: run 0 has
+  // the smallest tail. A new element x goes to the run with the largest
+  // tail <= x; if none exists a new run is created at the front.
+  std::vector<std::vector<Element>> runs;
+  size_t last_used = 0;
+  size_t dealt = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Element x = seq.Get(i);
+    ++seq.counters().moves;
+    ++dealt;
+    const Timestamp key = Seq::ElementTime(x);
+    if (!runs.empty()) {
+      // Fast path: most recently used run.
+      ++seq.counters().comparisons;
+      if (Seq::ElementTime(runs[last_used].back()) <= key) {
+        // Could there be a later run (larger tail) that also fits? Prefer
+        // the largest tail <= key to keep runs long; check the last run.
+        size_t target = last_used;
+        if (last_used + 1 < runs.size()) {
+          // Binary search in (last_used, end) for largest tail <= key.
+          size_t lo = last_used + 1;
+          size_t hi = runs.size();
+          while (lo < hi) {
+            const size_t mid = lo + (hi - lo) / 2;
+            ++seq.counters().comparisons;
+            if (Seq::ElementTime(runs[mid].back()) <= key) {
+              lo = mid + 1;
+            } else {
+              hi = mid;
+            }
+          }
+          if (lo > last_used + 1) target = lo - 1;
+        }
+        runs[target].push_back(x);
+        last_used = target;
+        continue;
+      }
+    }
+    // General path: binary search all runs for largest tail <= key.
+    size_t lo = 0;
+    size_t hi = runs.size();
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      ++seq.counters().comparisons;
+      if (Seq::ElementTime(runs[mid].back()) <= key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo == 0) {
+      // No run can take x: start a new run with the smallest tail.
+      runs.insert(runs.begin(), std::vector<Element>{x});
+      last_used = 0;
+    } else {
+      runs[lo - 1].push_back(x);
+      last_used = lo - 1;
+    }
+  }
+  sort_internal::NoteScratchIfSupported(seq, dealt);
+
+  // Phase 2: pairwise ping-pong merge until one run remains.
+  while (runs.size() > 1) {
+    std::vector<std::vector<Element>> next;
+    next.reserve((runs.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < runs.size(); i += 2) {
+      std::vector<Element> merged;
+      merged.reserve(runs[i].size() + runs[i + 1].size());
+      size_t a = 0;
+      size_t b = 0;
+      const auto& ra = runs[i];
+      const auto& rb = runs[i + 1];
+      while (a < ra.size() && b < rb.size()) {
+        ++seq.counters().comparisons;
+        if (Seq::ElementTime(ra[a]) <= Seq::ElementTime(rb[b])) {
+          merged.push_back(ra[a++]);
+        } else {
+          merged.push_back(rb[b++]);
+        }
+        ++seq.counters().moves;
+      }
+      while (a < ra.size()) {
+        merged.push_back(ra[a++]);
+        ++seq.counters().moves;
+      }
+      while (b < rb.size()) {
+        merged.push_back(rb[b++]);
+        ++seq.counters().moves;
+      }
+      next.push_back(std::move(merged));
+    }
+    if (runs.size() % 2 == 1) {
+      next.push_back(std::move(runs.back()));
+    }
+    runs = std::move(next);
+  }
+
+  // Write back.
+  const std::vector<Element>& result = runs.front();
+  for (size_t i = 0; i < n; ++i) {
+    seq.Set(i, result[i]);
+  }
+}
+
+}  // namespace backsort
+
+#endif  // BACKSORT_SORT_PATIENCE_SORT_H_

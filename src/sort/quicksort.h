@@ -1,0 +1,109 @@
+#ifndef BACKSORT_SORT_QUICKSORT_H_
+#define BACKSORT_SORT_QUICKSORT_H_
+
+#include <cstddef>
+
+#include "sort/insertion_sort.h"
+#include "sort/sortable.h"
+
+namespace backsort {
+
+namespace sort_internal {
+
+/// Sift-down for the heapsort fallback over seq[lo, lo + len).
+template <typename Seq>
+void SiftDown(Seq& seq, size_t lo, size_t root, size_t len) {
+  for (;;) {
+    size_t child = 2 * root + 1;
+    if (child >= len) return;
+    if (child + 1 < len) {
+      ++seq.counters().comparisons;
+      if (seq.TimeAt(lo + child) < seq.TimeAt(lo + child + 1)) ++child;
+    }
+    ++seq.counters().comparisons;
+    if (seq.TimeAt(lo + root) >= seq.TimeAt(lo + child)) return;
+    seq.Swap(lo + root, lo + child);
+    root = child;
+  }
+}
+
+/// Heapsort over seq[lo, hi); used as the depth-limit escape hatch so the
+/// quicksort baseline cannot blow the stack on adversarial inputs while
+/// keeping the paper's middle-pivot behavior on ordinary ones.
+template <typename Seq>
+void HeapSortRange(Seq& seq, size_t lo, size_t hi) {
+  const size_t len = hi - lo;
+  if (len < 2) return;
+  for (size_t i = len / 2; i-- > 0;) {
+    SiftDown(seq, lo, i, len);
+  }
+  for (size_t end = len - 1; end > 0; --end) {
+    seq.Swap(lo, lo + end);
+    SiftDown(seq, lo, 0, end);
+  }
+}
+
+template <typename Seq>
+void QuickSortImpl(Seq& seq, size_t lo, size_t hi, int depth_budget) {
+  constexpr size_t kInsertionCutoff = 24;
+  while (hi - lo > kInsertionCutoff) {
+    if (depth_budget-- == 0) {
+      HeapSortRange(seq, lo, hi);
+      return;
+    }
+    // The paper implements Quicksort with the pivot "always chosen as the
+    // middle element of arrays due to time series": nearly sorted inputs
+    // then split evenly instead of degenerating. The chosen pivot is moved
+    // to `lo` so the classic Hoare partition guarantees the final crossing
+    // index j lands in [lo, hi-2], making both recursive halves strictly
+    // smaller.
+    seq.Swap(lo, lo + (hi - lo) / 2);
+    const Timestamp pivot = seq.TimeAt(lo);
+    ptrdiff_t i = static_cast<ptrdiff_t>(lo) - 1;
+    ptrdiff_t j = static_cast<ptrdiff_t>(hi);
+    for (;;) {
+      do {
+        ++i;
+        ++seq.counters().comparisons;
+      } while (seq.TimeAt(static_cast<size_t>(i)) < pivot);
+      do {
+        --j;
+        ++seq.counters().comparisons;
+      } while (seq.TimeAt(static_cast<size_t>(j)) > pivot);
+      if (i >= j) break;
+      seq.Swap(static_cast<size_t>(i), static_cast<size_t>(j));
+    }
+    const size_t split = static_cast<size_t>(j) + 1;
+    // Recurse into the smaller half, iterate on the larger (bounded stack).
+    if (split - lo < hi - split) {
+      QuickSortImpl(seq, lo, split, depth_budget);
+      lo = split;
+    } else {
+      QuickSortImpl(seq, split, hi, depth_budget);
+      hi = split;
+    }
+  }
+  InsertionSortRange(seq, lo, hi);
+}
+
+}  // namespace sort_internal
+
+/// Quicksort with middle-element pivot — the paper's Quicksort baseline and
+/// the block-local sorter of Backward-Sort (Algorithm 1 line 11).
+template <typename Seq>
+void QuickSortRange(Seq& seq, size_t lo, size_t hi) {
+  if (hi - lo < 2) return;
+  // Depth budget ~ 2 log2(n) before falling back to heapsort.
+  int budget = 2;
+  for (size_t n = hi - lo; n > 1; n >>= 1) budget += 2;
+  sort_internal::QuickSortImpl(seq, lo, hi, budget);
+}
+
+template <typename Seq>
+void QuickSort(Seq& seq) {
+  QuickSortRange(seq, 0, seq.size());
+}
+
+}  // namespace backsort
+
+#endif  // BACKSORT_SORT_QUICKSORT_H_

@@ -1,0 +1,77 @@
+#ifndef BACKSORT_SORT_RADIX_SORT_H_
+#define BACKSORT_SORT_RADIX_SORT_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sort/sortable.h"
+
+namespace backsort {
+
+/// LSD radix sort on the 64-bit timestamp key — the non-comparison
+/// reference point: O(n) time and O(n) space regardless of disorder, so it
+/// bounds what any comparison sorter can gain from adaptivity. Stable.
+/// Skips passes whose byte is constant across the array (for nearly-dense
+/// nanosecond timestamps most high bytes are), which makes it surprisingly
+/// competitive.
+template <typename Seq>
+void RadixSort(Seq& seq) {
+  using Element = typename Seq::Element;
+  const size_t n = seq.size();
+  if (n < 2) return;
+
+  // Materialize once; radix passes ping-pong between two buffers.
+  std::vector<Element> a;
+  a.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    a.push_back(seq.Get(i));
+    ++seq.counters().moves;
+  }
+  sort_internal::NoteScratchIfSupported(seq, 2 * n);
+  std::vector<Element> b(n);
+
+  // Biased key: flipping the sign bit makes signed order = unsigned order.
+  auto key = [](const Element& e) {
+    return static_cast<uint64_t>(Seq::ElementTime(e)) ^ (1ULL << 63);
+  };
+
+  Element* src = a.data();
+  Element* dst = b.data();
+  for (int pass = 0; pass < 8; ++pass) {
+    const int shift = pass * 8;
+    std::array<size_t, 256> count{};
+    for (size_t i = 0; i < n; ++i) {
+      ++count[(key(src[i]) >> shift) & 0xff];
+    }
+    // Constant byte: nothing to do this pass.
+    bool constant = false;
+    for (size_t c = 0; c < 256; ++c) {
+      if (count[c] == n) {
+        constant = true;
+        break;
+      }
+    }
+    if (constant) continue;
+    size_t offset = 0;
+    std::array<size_t, 256> start{};
+    for (size_t c = 0; c < 256; ++c) {
+      start[c] = offset;
+      offset += count[c];
+    }
+    for (size_t i = 0; i < n; ++i) {
+      dst[start[(key(src[i]) >> shift) & 0xff]++] = src[i];
+      ++seq.counters().moves;
+    }
+    std::swap(src, dst);
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    seq.Set(i, src[i]);
+  }
+}
+
+}  // namespace backsort
+
+#endif  // BACKSORT_SORT_RADIX_SORT_H_

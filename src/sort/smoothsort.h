@@ -1,0 +1,172 @@
+#ifndef BACKSORT_SORT_SMOOTHSORT_H_
+#define BACKSORT_SORT_SMOOTHSORT_H_
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "sort/sortable.h"
+
+namespace backsort {
+
+namespace sort_internal {
+
+/// Leonardo numbers: L(0) = L(1) = 1, L(k) = L(k-1) + L(k-2) + 1. L(89)
+/// already exceeds 2^62, far beyond any addressable array.
+constexpr std::array<uint64_t, 90> MakeLeonardo() {
+  std::array<uint64_t, 90> leo{};
+  leo[0] = 1;
+  leo[1] = 1;
+  for (size_t k = 2; k < leo.size(); ++k) {
+    leo[k] = leo[k - 1] + leo[k - 2] + 1;
+  }
+  return leo;
+}
+
+inline constexpr std::array<uint64_t, 90> kLeonardo = MakeLeonardo();
+
+inline size_t Leo(int k) { return static_cast<size_t>(kLeonardo[k]); }
+
+}  // namespace sort_internal
+
+/// Smoothsort (Dijkstra 1981): heapsort over a forest of Leonardo-number-
+/// sized max-heaps laid out in the array itself. O(n log n) worst case,
+/// O(n) on sorted input — the adaptivity the paper's related work credits
+/// it with — but unstable and with heavy constant factors on scattered
+/// disorder. Implementation follows the (p, pshift) shape encoding of
+/// "Smoothsort Demystified": bit i of `p` set means a tree of order
+/// (pshift + i) exists, least significant bit = rightmost (smallest) tree.
+template <typename Seq>
+class SmoothSorter {
+ public:
+  explicit SmoothSorter(Seq& seq) : seq_(seq) {}
+
+  void Sort() {
+    const size_t n = seq_.size();
+    if (n < 2) return;
+    uint64_t p = 1;
+    int pshift = 1;
+
+    // Build the forest left to right.
+    for (size_t head = 1; head < n; ++head) {
+      if ((p & 3) == 3) {
+        // Two adjacent trees of consecutive orders + the new element merge
+        // into one tree two orders higher.
+        p = (p >> 2) | 1;
+        pshift += 2;
+      } else if (pshift == 1) {
+        p = (p << 1) | 1;
+        pshift = 0;
+      } else {
+        p = (p << (pshift - 1)) | 1;
+        pshift = 1;
+      }
+      // A tree that can never be merged again must have its root placed
+      // globally (trinkle); others only need their own heap fixed (sift).
+      const bool is_final =
+          pshift == 0 ? head + 1 == n
+                      : n - head - 1 < sort_internal::Leo(pshift - 1) + 1;
+      if (is_final) {
+        Trinkle(p, pshift, head, /*trusty=*/false);
+      } else {
+        Sift(pshift, head);
+      }
+    }
+
+    // Dismantle right to left; every removed root is already in place.
+    for (size_t head = n - 1; head > 0; --head) {
+      if (pshift <= 1) {
+        // Singleton tree: drop it and renormalize to the next tree.
+        p &= ~uint64_t{1};
+        if (p != 0) {
+          const int trail = std::countr_zero(p);
+          p >>= trail;
+          pshift += trail;
+        }
+      } else {
+        // Expose the two children as new roots and re-establish the root
+        // ordering for each (semitrinkle: the subtrees are trusty heaps).
+        const size_t rt = head - 1;
+        const size_t lf = head - 1 - sort_internal::Leo(pshift - 2);
+        p = ((p & ~uint64_t{1}) << 2) | 3;
+        pshift -= 2;
+        Trinkle(p >> 1, pshift + 1, lf, /*trusty=*/true);
+        Trinkle(p, pshift, rt, /*trusty=*/true);
+      }
+    }
+  }
+
+ private:
+  using Element = typename Seq::Element;
+
+  Timestamp Time(const Element& e) const { return Seq::ElementTime(e); }
+
+  /// Restores the max-heap property of the Leonardo tree of order `shift`
+  /// rooted at `head`, assuming only the root may be out of place.
+  void Sift(int shift, size_t head) {
+    Element val = seq_.Get(head);
+    size_t hole = head;
+    while (shift > 1) {
+      const size_t rt = hole - 1;
+      const size_t lf = hole - 1 - sort_internal::Leo(shift - 2);
+      seq_.counters().comparisons += 2;
+      if (Time(val) >= seq_.TimeAt(lf) && Time(val) >= seq_.TimeAt(rt)) {
+        break;
+      }
+      ++seq_.counters().comparisons;
+      if (seq_.TimeAt(lf) >= seq_.TimeAt(rt)) {
+        seq_.Set(hole, seq_.Get(lf));
+        hole = lf;
+        shift -= 1;
+      } else {
+        seq_.Set(hole, seq_.Get(rt));
+        hole = rt;
+        shift -= 2;
+      }
+    }
+    if (hole != head) seq_.Set(hole, val);
+  }
+
+  /// Moves the root at `head` left along the sequence of tree roots until
+  /// the roots are sorted, then fixes the tree it lands in. `trusty` means
+  /// the tree at head is already a valid heap (dismantling phase), so its
+  /// children need not be consulted.
+  void Trinkle(uint64_t p, int pshift, size_t head, bool trusty) {
+    Element val = seq_.Get(head);
+    size_t hole = head;
+    while (p != 1) {
+      const size_t stepson = hole - sort_internal::Leo(pshift);
+      ++seq_.counters().comparisons;
+      if (seq_.TimeAt(stepson) <= Time(val)) break;
+      if (!trusty && pshift > 1) {
+        const size_t rt = hole - 1;
+        const size_t lf = hole - 1 - sort_internal::Leo(pshift - 2);
+        seq_.counters().comparisons += 2;
+        if (seq_.TimeAt(rt) >= seq_.TimeAt(stepson) ||
+            seq_.TimeAt(lf) >= seq_.TimeAt(stepson)) {
+          break;
+        }
+      }
+      seq_.Set(hole, seq_.Get(stepson));
+      hole = stepson;
+      const int trail = std::countr_zero(p & ~uint64_t{1});
+      p >>= trail;
+      pshift += trail;
+      trusty = false;
+    }
+    if (hole != head) seq_.Set(hole, val);
+    if (!trusty) Sift(pshift, hole);
+  }
+
+  Seq& seq_;
+};
+
+template <typename Seq>
+void SmoothSort(Seq& seq) {
+  SmoothSorter<Seq>(seq).Sort();
+}
+
+}  // namespace backsort
+
+#endif  // BACKSORT_SORT_SMOOTHSORT_H_

@@ -1,0 +1,112 @@
+#ifndef BACKSORT_SORT_SORTABLE_H_
+#define BACKSORT_SORT_SORTABLE_H_
+
+#include <concepts>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/types.h"
+
+namespace backsort {
+
+/// All sort algorithms in this repository are templated over a *sortable
+/// sequence* access object rather than raw iterators, mirroring how IoTDB's
+/// sorting component is written against the TVList interface instead of a
+/// flat array. A sortable sequence `S` provides:
+///
+///   using Element = ...;                 // copyable (timestamp, value) unit
+///   size_t size() const;
+///   Timestamp TimeAt(size_t i) const;    // sort key at arrival index i
+///   Element Get(size_t i) const;         // read a TV pair
+///   void Set(size_t i, const Element&);  // write a TV pair (counts 1 move)
+///   void Swap(size_t i, size_t j);       // counts 1 swap = 3 moves
+///   static Timestamp ElementTime(const Element&);
+///   OpCounters& counters();
+///
+/// Instrumentation contract: Set/Swap update the move counters; algorithms
+/// increment `counters().comparisons` at every key comparison; scratch
+/// buffer traffic is reported through NoteScratch()/Set/Get on the sequence
+/// that owns the buffer.
+template <typename S>
+concept SortableSequence = requires(S s, const S cs, size_t i,
+                                    typename S::Element e) {
+  { cs.size() } -> std::convertible_to<size_t>;
+  { cs.TimeAt(i) } -> std::convertible_to<Timestamp>;
+  { cs.Get(i) } -> std::convertible_to<typename S::Element>;
+  s.Set(i, e);
+  s.Swap(i, i);
+  { S::ElementTime(e) } -> std::convertible_to<Timestamp>;
+  { s.counters() } -> std::convertible_to<OpCounters&>;
+};
+
+/// Sortable adapter over a contiguous std::vector<TvPair<V>> buffer, the
+/// plain-array setting of the paper's algorithm-level experiments.
+template <typename V>
+class VectorSortable {
+ public:
+  using Element = TvPair<V>;
+
+  explicit VectorSortable(std::vector<Element>& data) : data_(&data) {}
+
+  size_t size() const { return data_->size(); }
+  Timestamp TimeAt(size_t i) const { return (*data_)[i].t; }
+  Element Get(size_t i) const { return (*data_)[i]; }
+
+  void Set(size_t i, const Element& e) {
+    (*data_)[i] = e;
+    ++counters_.moves;
+  }
+
+  void Swap(size_t i, size_t j) {
+    std::swap((*data_)[i], (*data_)[j]);
+    ++counters_.swaps;
+    counters_.moves += 3;
+  }
+
+  static Timestamp ElementTime(const Element& e) { return e.t; }
+
+  OpCounters& counters() { return counters_; }
+  const OpCounters& counters() const { return counters_; }
+
+  /// Records that `n` scratch elements were alive simultaneously.
+  void NoteScratch(size_t n) {
+    if (n > counters_.peak_scratch) counters_.peak_scratch = n;
+  }
+
+ private:
+  std::vector<Element>* data_;
+  OpCounters counters_;
+};
+
+namespace sort_internal {
+
+/// Reports scratch usage if the sequence supports NoteScratch; no-op
+/// otherwise. Lets algorithms stay generic over minimal adapters.
+template <typename Seq>
+void NoteScratchIfSupported(Seq& seq, size_t n) {
+  if constexpr (requires(Seq& s) { s.NoteScratch(n); }) {
+    seq.NoteScratch(n);
+  }
+}
+
+}  // namespace sort_internal
+
+/// True iff seq[lo, hi) is non-decreasing in timestamp.
+template <typename Seq>
+bool IsSortedRange(const Seq& seq, size_t lo, size_t hi) {
+  for (size_t i = lo + 1; i < hi; ++i) {
+    if (seq.TimeAt(i - 1) > seq.TimeAt(i)) return false;
+  }
+  return true;
+}
+
+template <typename Seq>
+bool IsSorted(const Seq& seq) {
+  return IsSortedRange(seq, 0, seq.size());
+}
+
+}  // namespace backsort
+
+#endif  // BACKSORT_SORT_SORTABLE_H_

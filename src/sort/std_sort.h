@@ -1,0 +1,42 @@
+#ifndef BACKSORT_SORT_STD_SORT_H_
+#define BACKSORT_SORT_STD_SORT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "sort/sortable.h"
+
+namespace backsort {
+
+/// std::sort (introsort) reference point. Generic sortable sequences are
+/// not random-access iterators, so the data is materialized into a buffer,
+/// sorted there, and written back — the same copy-out/copy-in cost any
+/// buffer-based sorter pays on a TVList. Stable ordering of equal
+/// timestamps is not guaranteed (std::sort is unstable).
+template <typename Seq>
+void StdSort(Seq& seq) {
+  using Element = typename Seq::Element;
+  const size_t n = seq.size();
+  if (n < 2) return;
+  std::vector<Element> buf;
+  buf.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    buf.push_back(seq.Get(i));
+    ++seq.counters().moves;
+  }
+  sort_internal::NoteScratchIfSupported(seq, buf.size());
+  auto& counters = seq.counters();
+  std::sort(buf.begin(), buf.end(),
+            [&counters](const Element& a, const Element& b) {
+              ++counters.comparisons;
+              return Seq::ElementTime(a) < Seq::ElementTime(b);
+            });
+  for (size_t i = 0; i < n; ++i) {
+    seq.Set(i, buf[i]);
+  }
+}
+
+}  // namespace backsort
+
+#endif  // BACKSORT_SORT_STD_SORT_H_

@@ -1,0 +1,105 @@
+#ifndef BACKSORT_SORT_Y_SORT_H_
+#define BACKSORT_SORT_Y_SORT_H_
+
+#include <cstddef>
+
+#include "sort/insertion_sort.h"
+#include "sort/quicksort.h"
+#include "sort/sortable.h"
+
+namespace backsort {
+
+namespace sort_internal {
+
+template <typename Seq>
+void YSortImpl(Seq& seq, size_t lo, size_t hi, int depth_budget) {
+  constexpr size_t kInsertionCutoff = 24;
+  while (hi - lo > kInsertionCutoff) {
+    if (depth_budget-- == 0) {
+      HeapSortRange(seq, lo, hi);
+      return;
+    }
+    // Sortedness fast path: on nearly sorted sublists the scan is usually
+    // the only work, which is what makes YSort strong at low disorder and
+    // wasteful at high disorder (paper Fig. 11).
+    {
+      size_t i = lo + 1;
+      while (i < hi) {
+        ++seq.counters().comparisons;
+        if (seq.TimeAt(i - 1) > seq.TimeAt(i)) break;
+        ++i;
+      }
+      if (i == hi) return;
+    }
+    // Locate min and max and pin them to the sublist ends, so each
+    // partitioning step excludes the boundaries and no subsequent partition
+    // ever has to handle the extrema again.
+    size_t min_idx = lo;
+    size_t max_idx = lo;
+    for (size_t i = lo + 1; i < hi; ++i) {
+      seq.counters().comparisons += 2;
+      if (seq.TimeAt(i) < seq.TimeAt(min_idx)) min_idx = i;
+      if (seq.TimeAt(i) >= seq.TimeAt(max_idx)) max_idx = i;
+    }
+    if (min_idx != lo) {
+      seq.Swap(lo, min_idx);
+      if (max_idx == lo) max_idx = min_idx;
+    }
+    if (max_idx != hi - 1) {
+      seq.Swap(hi - 1, max_idx);
+    }
+    // Partition the interior (lo+1, hi-1) around its middle element.
+    const size_t ilo = lo + 1;
+    const size_t ihi = hi - 1;
+    if (ihi - ilo < 2) return;
+    seq.Swap(ilo, ilo + (ihi - ilo) / 2);
+    const Timestamp pivot = seq.TimeAt(ilo);
+    ptrdiff_t i = static_cast<ptrdiff_t>(ilo) - 1;
+    ptrdiff_t j = static_cast<ptrdiff_t>(ihi);
+    for (;;) {
+      do {
+        ++i;
+        ++seq.counters().comparisons;
+      } while (seq.TimeAt(static_cast<size_t>(i)) < pivot);
+      do {
+        --j;
+        ++seq.counters().comparisons;
+      } while (seq.TimeAt(static_cast<size_t>(j)) > pivot);
+      if (i >= j) break;
+      seq.Swap(static_cast<size_t>(i), static_cast<size_t>(j));
+    }
+    const size_t split = static_cast<size_t>(j) + 1;
+    if (split - ilo < ihi - split) {
+      YSortImpl(seq, ilo, split, depth_budget);
+      lo = split;
+      hi = ihi;
+    } else {
+      YSortImpl(seq, split, ihi, depth_budget);
+      lo = ilo;
+      hi = split;
+    }
+  }
+  InsertionSortRange(seq, lo, hi);
+}
+
+}  // namespace sort_internal
+
+/// YSort, reconstructed from Wainwright (CACM 1985)'s class of
+/// quicksort-derived algorithms: every partitioning step first pins the
+/// sublist's minimum and maximum to its ends (so partitions act on the
+/// interior only and need fewer steps) and returns immediately when the
+/// sublist is detected to be sorted. This matches the behavioral profile
+/// the paper reports: strong when the out-of-order degree is small
+/// (samsung-d5), ineffective when it is large (citibike-201808).
+template <typename Seq>
+void YSort(Seq& seq) {
+  const size_t n = seq.size();
+  if (n < 2) return;
+  int budget = 2;
+  for (size_t m = n; m > 1; m >>= 1) budget += 2;
+  sort_internal::YSortImpl(seq, 0, n, budget);
+}
+
+}  // namespace backsort
+
+#endif  // BACKSORT_SORT_Y_SORT_H_

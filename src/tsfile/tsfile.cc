@@ -1,0 +1,445 @@
+#include "tsfile/tsfile.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+#include "encoding/bytes.h"
+
+namespace backsort {
+
+namespace {
+
+constexpr size_t kMagicLen = 5;
+
+Status EncodeTimeAndValues(Encoding time_enc,
+                           const std::vector<Timestamp>& ts, ByteBuffer* out) {
+  return EncodeI64(time_enc, ts, out);
+}
+
+}  // namespace
+
+// --- writer -----------------------------------------------------------------
+
+template <typename V>
+Status TsFileWriter::WriteChunkImpl(const std::string& sensor,
+                                    const std::vector<Timestamp>& ts,
+                                    const std::vector<V>& values,
+                                    DataType type, Encoding time_enc,
+                                    Encoding value_enc,
+                                    size_t points_per_page) {
+  if (finished_) return Status::InvalidArgument("writer already finished");
+  if (ts.size() != values.size()) {
+    return Status::InvalidArgument("time/value size mismatch");
+  }
+  if (!std::is_sorted(ts.begin(), ts.end())) {
+    return Status::InvalidArgument(
+        "chunk timestamps must be sorted before writing (flush sorts first)");
+  }
+  if (points_per_page == 0) points_per_page = kDefaultPointsPerPage;
+
+  if (buffer_.size() == 0) {
+    buffer_.PutBytes(kMagic, kMagicLen);
+  }
+  index_.push_back({sensor, buffer_.size(), type});
+
+  buffer_.PutLengthPrefixedString(sensor);
+  buffer_.PutU8(static_cast<uint8_t>(type));
+  buffer_.PutU8(static_cast<uint8_t>(time_enc));
+  buffer_.PutU8(static_cast<uint8_t>(value_enc));
+  const size_t page_count = ts.empty()
+                                ? 0
+                                : (ts.size() + points_per_page - 1) /
+                                      points_per_page;
+  buffer_.PutVarint64(page_count);
+
+  for (size_t p = 0; p < page_count; ++p) {
+    const size_t begin = p * points_per_page;
+    const size_t end = std::min(begin + points_per_page, ts.size());
+    const size_t count = end - begin;
+    buffer_.PutVarint64(count);
+    buffer_.PutVarintSigned64(ts[begin]);
+    buffer_.PutVarintSigned64(ts[end - 1]);
+    // Per-page value statistics for aggregation pushdown.
+    double min_v = static_cast<double>(values[begin]);
+    double max_v = min_v;
+    double sum_v = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      const double v = static_cast<double>(values[i]);
+      min_v = std::min(min_v, v);
+      max_v = std::max(max_v, v);
+      sum_v += v;
+    }
+    auto put_double = [this](double v) {
+      uint64_t bits = 0;
+      std::memcpy(&bits, &v, sizeof(bits));
+      buffer_.PutFixed64(bits);
+    };
+    put_double(min_v);
+    put_double(max_v);
+    put_double(sum_v);
+
+    std::vector<Timestamp> page_ts(ts.begin() + static_cast<ptrdiff_t>(begin),
+                                   ts.begin() + static_cast<ptrdiff_t>(end));
+    ByteBuffer time_buf;
+    RETURN_NOT_OK(EncodeTimeAndValues(time_enc, page_ts, &time_buf));
+    buffer_.PutVarint64(time_buf.size());
+    buffer_.Append(time_buf);
+
+    std::vector<V> page_vals(values.begin() + static_cast<ptrdiff_t>(begin),
+                             values.begin() + static_cast<ptrdiff_t>(end));
+    ByteBuffer value_buf;
+    if constexpr (std::is_same_v<V, int64_t>) {
+      RETURN_NOT_OK(EncodeI64(value_enc, page_vals, &value_buf));
+    } else {
+      RETURN_NOT_OK(EncodeF64(value_enc, page_vals, &value_buf));
+    }
+    buffer_.PutVarint64(value_buf.size());
+    buffer_.Append(value_buf);
+  }
+  return Status::OK();
+}
+
+Status TsFileWriter::WriteChunkI64(const std::string& sensor,
+                                   const std::vector<Timestamp>& ts,
+                                   const std::vector<int64_t>& values,
+                                   Encoding time_enc, Encoding value_enc,
+                                   size_t points_per_page) {
+  return WriteChunkImpl(sensor, ts, values, DataType::kInt64, time_enc,
+                        value_enc, points_per_page);
+}
+
+Status TsFileWriter::WriteChunkF64(const std::string& sensor,
+                                   const std::vector<Timestamp>& ts,
+                                   const std::vector<double>& values,
+                                   Encoding time_enc, Encoding value_enc,
+                                   size_t points_per_page) {
+  return WriteChunkImpl(sensor, ts, values, DataType::kDouble, time_enc,
+                        value_enc, points_per_page);
+}
+
+Status TsFileWriter::Finish() {
+  if (finished_) return Status::InvalidArgument("writer already finished");
+  if (buffer_.size() == 0) {
+    buffer_.PutBytes(kMagic, kMagicLen);
+  }
+  const uint64_t index_offset = buffer_.size();
+  buffer_.PutVarint64(index_.size());
+  for (const IndexEntry& e : index_) {
+    buffer_.PutLengthPrefixedString(e.sensor);
+    buffer_.PutFixed64(e.offset);
+    buffer_.PutU8(static_cast<uint8_t>(e.type));
+  }
+  buffer_.PutFixed64(index_offset);
+  buffer_.PutBytes(kMagic, kMagicLen);
+
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path_);
+  out.write(reinterpret_cast<const char*>(buffer_.data().data()),
+            static_cast<std::streamsize>(buffer_.size()));
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path_);
+  finished_ = true;
+  return Status::OK();
+}
+
+// --- reader -----------------------------------------------------------------
+
+Status TsFileReader::Open() {
+  std::ifstream in(path_, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IOError("cannot open for read: " + path_);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  data_.resize(static_cast<size_t>(size));
+  in.read(reinterpret_cast<char*>(data_.data()), size);
+  if (!in) return Status::IOError("read failed: " + path_);
+
+  // Validate head magic + tail magic, locate the index.
+  if (data_.size() < 2 * kMagicLen + 8) {
+    return Status::Corruption("file too small for header/footer");
+  }
+  if (std::memcmp(data_.data(), TsFileWriter::kMagic, kMagicLen) != 0) {
+    return Status::Corruption("bad head magic");
+  }
+  if (std::memcmp(data_.data() + data_.size() - kMagicLen,
+                  TsFileWriter::kMagic, kMagicLen) != 0) {
+    return Status::Corruption("bad tail magic (truncated file?)");
+  }
+  ByteReader footer(data_.data() + data_.size() - kMagicLen - 8, 8);
+  uint64_t index_offset = 0;
+  RETURN_NOT_OK(footer.GetFixed64(&index_offset));
+  if (index_offset >= data_.size()) {
+    return Status::Corruption("index offset out of bounds");
+  }
+  ByteReader idx(data_.data() + index_offset, data_.size() - index_offset);
+  uint64_t n = 0;
+  RETURN_NOT_OK(idx.GetVarint64(&n));
+  index_.clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string sensor;
+    RETURN_NOT_OK(idx.GetLengthPrefixedString(&sensor));
+    uint64_t offset = 0;
+    RETURN_NOT_OK(idx.GetFixed64(&offset));
+    uint8_t type = 0;
+    RETURN_NOT_OK(idx.GetU8(&type));
+    if (offset >= data_.size()) {
+      return Status::Corruption("chunk offset out of bounds");
+    }
+    index_[sensor] = {offset, static_cast<DataType>(type)};
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> TsFileReader::Sensors() const {
+  std::vector<std::string> out;
+  out.reserve(index_.size());
+  for (const auto& [sensor, _] : index_) out.push_back(sensor);
+  return out;
+}
+
+Status TsFileReader::GetDataType(const std::string& sensor,
+                                 DataType* out) const {
+  auto it = index_.find(sensor);
+  if (it == index_.end()) return Status::NotFound("sensor: " + sensor);
+  *out = it->second.second;
+  return Status::OK();
+}
+
+Status TsFileReader::DecodeValues(Encoding enc, ByteReader* reader,
+                                  size_t count,
+                                  std::vector<int64_t>* out) const {
+  return DecodeI64(enc, reader, count, out);
+}
+
+Status TsFileReader::DecodeValues(Encoding enc, ByteReader* reader,
+                                  size_t count,
+                                  std::vector<double>* out) const {
+  return DecodeF64(enc, reader, count, out);
+}
+
+template <typename V>
+Status TsFileReader::ReadChunkImpl(const std::string& sensor,
+                                   DataType expect_type, Timestamp t_min,
+                                   Timestamp t_max,
+                                   std::vector<Timestamp>* ts,
+                                   std::vector<V>* values) const {
+  auto it = index_.find(sensor);
+  if (it == index_.end()) return Status::NotFound("sensor: " + sensor);
+  if (it->second.second != expect_type) {
+    return Status::InvalidArgument("data type mismatch for " + sensor);
+  }
+  const uint64_t offset = it->second.first;
+  ByteReader r(data_.data() + offset, data_.size() - offset);
+
+  std::string stored_sensor;
+  RETURN_NOT_OK(r.GetLengthPrefixedString(&stored_sensor));
+  if (stored_sensor != sensor) {
+    return Status::Corruption("chunk header sensor mismatch");
+  }
+  uint8_t type = 0, time_enc = 0, value_enc = 0;
+  RETURN_NOT_OK(r.GetU8(&type));
+  RETURN_NOT_OK(r.GetU8(&time_enc));
+  RETURN_NOT_OK(r.GetU8(&value_enc));
+  uint64_t page_count = 0;
+  RETURN_NOT_OK(r.GetVarint64(&page_count));
+
+  ts->clear();
+  values->clear();
+  std::vector<Timestamp> page_ts;
+  std::vector<V> page_vals;
+  for (uint64_t p = 0; p < page_count; ++p) {
+    uint64_t count = 0;
+    RETURN_NOT_OK(r.GetVarint64(&count));
+    int64_t page_min = 0, page_max = 0;
+    RETURN_NOT_OK(r.GetVarintSigned64(&page_min));
+    RETURN_NOT_OK(r.GetVarintSigned64(&page_max));
+    RETURN_NOT_OK(r.Skip(3 * 8));  // value stats: min, max, sum
+    uint64_t time_size = 0;
+    RETURN_NOT_OK(r.GetVarint64(&time_size));
+    const bool prune = page_max < t_min || page_min > t_max;
+    if (prune) {
+      RETURN_NOT_OK(r.Skip(time_size));
+      uint64_t value_size = 0;
+      RETURN_NOT_OK(r.GetVarint64(&value_size));
+      RETURN_NOT_OK(r.Skip(value_size));
+      continue;
+    }
+    if (time_size > r.remaining()) {
+      return Status::Corruption("page time buffer overruns file");
+    }
+    {
+      ByteReader time_reader(data_.data() + offset + r.position(), time_size);
+      RETURN_NOT_OK(DecodeI64(static_cast<Encoding>(time_enc), &time_reader,
+                              count, &page_ts));
+      RETURN_NOT_OK(r.Skip(time_size));
+    }
+    uint64_t value_size = 0;
+    RETURN_NOT_OK(r.GetVarint64(&value_size));
+    if (value_size > r.remaining()) {
+      return Status::Corruption("page value buffer overruns file");
+    }
+    {
+      ByteReader value_reader(data_.data() + offset + r.position(),
+                              value_size);
+      RETURN_NOT_OK(DecodeValues(static_cast<Encoding>(value_enc),
+                                 &value_reader, count, &page_vals));
+      RETURN_NOT_OK(r.Skip(value_size));
+    }
+    for (size_t i = 0; i < page_ts.size(); ++i) {
+      if (page_ts[i] >= t_min && page_ts[i] <= t_max) {
+        ts->push_back(page_ts[i]);
+        values->push_back(page_vals[i]);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status TsFileReader::ReadChunkI64(const std::string& sensor,
+                                  std::vector<Timestamp>* ts,
+                                  std::vector<int64_t>* values) const {
+  return ReadChunkImpl(sensor, DataType::kInt64,
+                       std::numeric_limits<Timestamp>::min(),
+                       std::numeric_limits<Timestamp>::max(), ts, values);
+}
+
+Status TsFileReader::ReadChunkF64(const std::string& sensor,
+                                  std::vector<Timestamp>* ts,
+                                  std::vector<double>* values) const {
+  return ReadChunkImpl(sensor, DataType::kDouble,
+                       std::numeric_limits<Timestamp>::min(),
+                       std::numeric_limits<Timestamp>::max(), ts, values);
+}
+
+Status TsFileReader::QueryRangeF64(const std::string& sensor, Timestamp t_min,
+                                   Timestamp t_max,
+                                   std::vector<Timestamp>* ts,
+                                   std::vector<double>* values) const {
+  return ReadChunkImpl(sensor, DataType::kDouble, t_min, t_max, ts, values);
+}
+
+Status TsFileReader::AggregateRangeF64(const std::string& sensor,
+                                       Timestamp t_min, Timestamp t_max,
+                                       RangeStats* stats,
+                                       size_t* pages_skipped) const {
+  *stats = RangeStats{};
+  if (pages_skipped != nullptr) *pages_skipped = 0;
+  auto it = index_.find(sensor);
+  if (it == index_.end()) return Status::NotFound("sensor: " + sensor);
+  if (it->second.second != DataType::kDouble) {
+    return Status::InvalidArgument("data type mismatch for " + sensor);
+  }
+  const uint64_t offset = it->second.first;
+  ByteReader r(data_.data() + offset, data_.size() - offset);
+  std::string stored_sensor;
+  RETURN_NOT_OK(r.GetLengthPrefixedString(&stored_sensor));
+  uint8_t type = 0, time_enc = 0, value_enc = 0;
+  RETURN_NOT_OK(r.GetU8(&type));
+  RETURN_NOT_OK(r.GetU8(&time_enc));
+  RETURN_NOT_OK(r.GetU8(&value_enc));
+  uint64_t page_count = 0;
+  RETURN_NOT_OK(r.GetVarint64(&page_count));
+
+  // Pass 1: page metadata (statistics live in the header, so this pass
+  // never touches the encoded buffers).
+  struct PageMeta {
+    uint64_t count;
+    Timestamp min_t, max_t;
+    double min_v, max_v, sum_v;
+    size_t time_buf_pos;  // absolute offset in data_
+    uint64_t time_size;
+    size_t value_buf_pos;
+    uint64_t value_size;
+    bool contributes;
+    bool fully_inside;
+  };
+  std::vector<PageMeta> pages;
+  pages.reserve(page_count);
+  for (uint64_t p = 0; p < page_count; ++p) {
+    PageMeta m{};
+    RETURN_NOT_OK(r.GetVarint64(&m.count));
+    int64_t lo = 0, hi = 0;
+    RETURN_NOT_OK(r.GetVarintSigned64(&lo));
+    RETURN_NOT_OK(r.GetVarintSigned64(&hi));
+    m.min_t = lo;
+    m.max_t = hi;
+    uint64_t bits[3];
+    for (uint64_t& b : bits) RETURN_NOT_OK(r.GetFixed64(&b));
+    std::memcpy(&m.min_v, &bits[0], 8);
+    std::memcpy(&m.max_v, &bits[1], 8);
+    std::memcpy(&m.sum_v, &bits[2], 8);
+    RETURN_NOT_OK(r.GetVarint64(&m.time_size));
+    m.time_buf_pos = static_cast<size_t>(offset) + r.position();
+    RETURN_NOT_OK(r.Skip(m.time_size));
+    RETURN_NOT_OK(r.GetVarint64(&m.value_size));
+    m.value_buf_pos = static_cast<size_t>(offset) + r.position();
+    RETURN_NOT_OK(r.Skip(m.value_size));
+    m.contributes = !(m.max_t < t_min || m.min_t > t_max);
+    m.fully_inside = m.min_t >= t_min && m.max_t <= t_max;
+    pages.push_back(m);
+  }
+
+  // Pass 2: fold. The first and last contributing pages are decoded so the
+  // first/last values are exact; partial-overlap pages are decoded for
+  // filtering; interior fully-covered pages fold from statistics.
+  ptrdiff_t first_idx = -1, last_idx = -1;
+  for (size_t p = 0; p < pages.size(); ++p) {
+    if (pages[p].contributes) {
+      if (first_idx < 0) first_idx = static_cast<ptrdiff_t>(p);
+      last_idx = static_cast<ptrdiff_t>(p);
+    }
+  }
+  bool have_any = false;
+  auto fold_point = [&](Timestamp t, double v) {
+    if (!have_any) {
+      stats->min = v;
+      stats->max = v;
+      stats->first = v;
+      stats->first_time = t;
+      have_any = true;
+    }
+    stats->min = std::min(stats->min, v);
+    stats->max = std::max(stats->max, v);
+    stats->sum += v;
+    ++stats->count;
+    stats->last = v;
+    stats->last_time = t;
+  };
+  std::vector<Timestamp> page_ts;
+  std::vector<double> page_vals;
+  for (size_t p = 0; p < pages.size(); ++p) {
+    const PageMeta& m = pages[p];
+    if (!m.contributes) continue;
+    const bool must_decode = !m.fully_inside ||
+                             static_cast<ptrdiff_t>(p) == first_idx ||
+                             static_cast<ptrdiff_t>(p) == last_idx;
+    if (!must_decode) {
+      if (!have_any) {
+        stats->min = m.min_v;
+        stats->max = m.max_v;
+        have_any = true;
+      }
+      stats->min = std::min(stats->min, m.min_v);
+      stats->max = std::max(stats->max, m.max_v);
+      stats->sum += m.sum_v;
+      stats->count += m.count;
+      if (pages_skipped != nullptr) ++(*pages_skipped);
+      continue;
+    }
+    ByteReader time_reader(data_.data() + m.time_buf_pos, m.time_size);
+    RETURN_NOT_OK(DecodeI64(static_cast<Encoding>(time_enc), &time_reader,
+                            m.count, &page_ts));
+    ByteReader value_reader(data_.data() + m.value_buf_pos, m.value_size);
+    RETURN_NOT_OK(DecodeF64(static_cast<Encoding>(value_enc), &value_reader,
+                            m.count, &page_vals));
+    for (size_t i = 0; i < page_ts.size(); ++i) {
+      if (page_ts[i] >= t_min && page_ts[i] <= t_max) {
+        fold_point(page_ts[i], page_vals[i]);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace backsort

@@ -1,0 +1,152 @@
+#ifndef BACKSORT_TSFILE_TSFILE_H_
+#define BACKSORT_TSFILE_TSFILE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "encoding/encoding.h"
+
+namespace backsort {
+
+/// Value data types storable in a chunk (IoTDB's TSDataType, reduced to the
+/// types exercised by the paper's workloads).
+enum class DataType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+};
+
+/// A simplified TsFile: the columnar, chunk-per-sensor file IoTDB flushes
+/// memtables into.
+///
+/// Layout:
+///   [magic "BSTF1"]
+///   [chunk 0][chunk 1]...
+///   [index block: per chunk {sensor, offset, data type}]
+///   [index offset : fixed64]
+///   [magic "BSTF1"]
+///
+/// Chunk layout:
+///   sensor name (length-prefixed), data type (u8),
+///   time encoding (u8), value encoding (u8), page count (varint),
+///   pages: {point count varint, min_time svarint, max_time svarint,
+///           value stats (min, max, sum as fixed64 double bits),
+///           time buffer (varint size + bytes),
+///           value buffer (varint size + bytes)}
+///
+/// Pages carry min/max time so time-range queries prune pages without
+/// decoding them, and value statistics so aggregations over fully covered
+/// pages skip decoding entirely (IoTDB's page-statistics pushdown). For
+/// int64 chunks the stats are stored as doubles (exact up to 2^53).
+class TsFileWriter {
+ public:
+  static constexpr const char kMagic[] = "BSTF1";
+  static constexpr size_t kDefaultPointsPerPage = 1024;
+
+  explicit TsFileWriter(std::string path) : path_(std::move(path)) {}
+
+  /// Appends a chunk for `sensor`. Timestamps must be sorted ascending
+  /// (flush sorts first); returns InvalidArgument otherwise.
+  Status WriteChunkI64(const std::string& sensor,
+                       const std::vector<Timestamp>& ts,
+                       const std::vector<int64_t>& values,
+                       Encoding time_enc = Encoding::kTs2Diff,
+                       Encoding value_enc = Encoding::kRle,
+                       size_t points_per_page = kDefaultPointsPerPage);
+
+  Status WriteChunkF64(const std::string& sensor,
+                       const std::vector<Timestamp>& ts,
+                       const std::vector<double>& values,
+                       Encoding time_enc = Encoding::kTs2Diff,
+                       Encoding value_enc = Encoding::kGorilla,
+                       size_t points_per_page = kDefaultPointsPerPage);
+
+  /// Writes index + footer and flushes the file to disk.
+  Status Finish();
+
+  size_t chunk_count() const { return index_.size(); }
+
+ private:
+  struct IndexEntry {
+    std::string sensor;
+    uint64_t offset;
+    DataType type;
+  };
+
+  template <typename V>
+  Status WriteChunkImpl(const std::string& sensor,
+                        const std::vector<Timestamp>& ts,
+                        const std::vector<V>& values, DataType type,
+                        Encoding time_enc, Encoding value_enc,
+                        size_t points_per_page);
+
+  std::string path_;
+  ByteBuffer buffer_;
+  std::vector<IndexEntry> index_;
+  bool finished_ = false;
+};
+
+/// Read side. The file is slurped into memory on Open (flush files in this
+/// repository are MB-scale); all accessors are bounds-checked and return
+/// Corruption on damaged input.
+class TsFileReader {
+ public:
+  explicit TsFileReader(std::string path) : path_(std::move(path)) {}
+
+  Status Open();
+
+  std::vector<std::string> Sensors() const;
+  Status GetDataType(const std::string& sensor, DataType* out) const;
+
+  /// Reads the full chunk for `sensor`.
+  Status ReadChunkI64(const std::string& sensor, std::vector<Timestamp>* ts,
+                      std::vector<int64_t>* values) const;
+  Status ReadChunkF64(const std::string& sensor, std::vector<Timestamp>* ts,
+                      std::vector<double>* values) const;
+
+  /// Time-range scan [t_min, t_max] with page pruning via page min/max.
+  Status QueryRangeF64(const std::string& sensor, Timestamp t_min,
+                       Timestamp t_max, std::vector<Timestamp>* ts,
+                       std::vector<double>* values) const;
+
+  /// Aggregation with statistics pushdown: pages fully inside [t_min,
+  /// t_max] contribute their stored count/sum/min/max without being
+  /// decoded; boundary pages are decoded and filtered. `pages_skipped`
+  /// (optional) reports how many pages were served from statistics.
+  struct RangeStats {
+    size_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    Timestamp first_time = 0;
+    double first = 0.0;
+    Timestamp last_time = 0;
+    double last = 0.0;
+  };
+  Status AggregateRangeF64(const std::string& sensor, Timestamp t_min,
+                           Timestamp t_max, RangeStats* stats,
+                           size_t* pages_skipped = nullptr) const;
+
+ private:
+  template <typename V>
+  Status ReadChunkImpl(const std::string& sensor, DataType expect_type,
+                       Timestamp t_min, Timestamp t_max,
+                       std::vector<Timestamp>* ts,
+                       std::vector<V>* values) const;
+
+  Status DecodeValues(Encoding enc, ByteReader* reader, size_t count,
+                      std::vector<int64_t>* out) const;
+  Status DecodeValues(Encoding enc, ByteReader* reader, size_t count,
+                      std::vector<double>* out) const;
+
+  std::string path_;
+  std::vector<uint8_t> data_;
+  std::map<std::string, std::pair<uint64_t, DataType>> index_;
+};
+
+}  // namespace backsort
+
+#endif  // BACKSORT_TSFILE_TSFILE_H_

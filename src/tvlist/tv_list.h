@@ -1,0 +1,169 @@
+#ifndef BACKSORT_TVLIST_TV_LIST_H_
+#define BACKSORT_TVLIST_TV_LIST_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/types.h"
+
+namespace backsort {
+
+/// TVList — the in-memory buffer of one sensor's chunk in a memtable,
+/// replicated from Apache IoTDB (Section V-B of the paper): timestamps and
+/// values are stored in parallel lists of fixed-size arrays (List<Array>,
+/// default array size 32), a deque-like compromise between per-point
+/// allocation and one huge buffer. Points are appended in arrival order;
+/// sorting by timestamp happens lazily at flush or query time through a
+/// pluggable sorting algorithm (see TVListSortable).
+template <typename V>
+class TVList {
+ public:
+  static constexpr size_t kDefaultArraySize = 32;
+
+  explicit TVList(size_t array_size = kDefaultArraySize)
+      : array_size_(array_size == 0 ? kDefaultArraySize : array_size) {}
+
+  // Movable, not copyable: a TVList owns its array chain, and accidental
+  // copies of multi-megabyte buffers should be spelled out via Clone().
+  TVList(TVList&&) noexcept = default;
+  TVList& operator=(TVList&&) noexcept = default;
+  TVList(const TVList&) = delete;
+  TVList& operator=(const TVList&) = delete;
+
+  /// Appends one point in arrival order.
+  void Put(Timestamp t, const V& v) {
+    const size_t arr = size_ / array_size_;
+    const size_t off = size_ % array_size_;
+    if (arr == time_arrays_.size()) {
+      time_arrays_.push_back(std::make_unique<Timestamp[]>(array_size_));
+      value_arrays_.push_back(std::make_unique<V[]>(array_size_));
+    }
+    time_arrays_[arr][off] = t;
+    value_arrays_[arr][off] = v;
+    if (size_ > 0 && t < max_time_) {
+      sorted_ = false;
+    }
+    if (size_ == 0 || t > max_time_) max_time_ = t;
+    if (size_ == 0 || t < min_time_) min_time_ = t;
+    ++size_;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  Timestamp TimeAt(size_t i) const {
+    return time_arrays_[i / array_size_][i % array_size_];
+  }
+  const V& ValueAt(size_t i) const {
+    return value_arrays_[i / array_size_][i % array_size_];
+  }
+
+  void SetPoint(size_t i, Timestamp t, const V& v) {
+    time_arrays_[i / array_size_][i % array_size_] = t;
+    value_arrays_[i / array_size_][i % array_size_] = v;
+  }
+
+  /// True while every append so far has been in non-decreasing time order;
+  /// a sorted list skips the sort step entirely at flush/query.
+  bool sorted() const { return sorted_; }
+  /// Called by sorting adapters once the list has been put in time order.
+  void MarkSorted() { sorted_ = true; }
+
+  /// Smallest / largest timestamp ingested so far (valid when non-empty).
+  Timestamp min_time() const { return min_time_; }
+  Timestamp max_time() const { return max_time_; }
+
+  size_t array_size() const { return array_size_; }
+
+  /// Approximate heap footprint, for memtable flush accounting.
+  size_t MemoryBytes() const {
+    return time_arrays_.size() * array_size_ * (sizeof(Timestamp) + sizeof(V));
+  }
+
+  /// Deep copy (explicit, see copy-constructor note above).
+  TVList Clone() const {
+    TVList out(array_size_);
+    for (size_t i = 0; i < size_; ++i) {
+      out.Put(TimeAt(i), ValueAt(i));
+    }
+    out.sorted_ = sorted_;
+    return out;
+  }
+
+  void Clear() {
+    time_arrays_.clear();
+    value_arrays_.clear();
+    size_ = 0;
+    sorted_ = true;
+    min_time_ = 0;
+    max_time_ = 0;
+  }
+
+ private:
+  size_t array_size_;
+  std::vector<std::unique_ptr<Timestamp[]>> time_arrays_;
+  std::vector<std::unique_ptr<V[]>> value_arrays_;
+  size_t size_ = 0;
+  bool sorted_ = true;
+  Timestamp min_time_ = 0;
+  Timestamp max_time_ = 0;
+};
+
+using IntTVList = TVList<int32_t>;      // the paper's IntTVList: <long,int>
+using LongTVList = TVList<int64_t>;
+using FloatTVList = TVList<float>;
+using DoubleTVList = TVList<double>;
+using BooleanTVList = TVList<uint8_t>;
+
+/// Sortable-sequence adapter over a TVList, giving the sort algorithms the
+/// same interface they have over flat vectors. Moving a point here touches
+/// both the T chain and the V chain — the "cost of moves (TV pairs) is
+/// higher in IoTDB than in general arrays" effect the paper highlights when
+/// explaining Patience Sort's instability.
+template <typename V>
+class TVListSortable {
+ public:
+  using Element = TvPair<V>;
+
+  explicit TVListSortable(TVList<V>& list) : list_(&list) {}
+
+  size_t size() const { return list_->size(); }
+  Timestamp TimeAt(size_t i) const { return list_->TimeAt(i); }
+
+  Element Get(size_t i) const {
+    return Element{list_->TimeAt(i), list_->ValueAt(i)};
+  }
+
+  void Set(size_t i, const Element& e) {
+    list_->SetPoint(i, e.t, e.v);
+    ++counters_.moves;
+  }
+
+  void Swap(size_t i, size_t j) {
+    const Element a = Get(i);
+    const Element b = Get(j);
+    list_->SetPoint(i, b.t, b.v);
+    list_->SetPoint(j, a.t, a.v);
+    ++counters_.swaps;
+    counters_.moves += 3;
+  }
+
+  static Timestamp ElementTime(const Element& e) { return e.t; }
+
+  OpCounters& counters() { return counters_; }
+  const OpCounters& counters() const { return counters_; }
+
+  void NoteScratch(size_t n) {
+    if (n > counters_.peak_scratch) counters_.peak_scratch = n;
+  }
+
+ private:
+  TVList<V>* list_;
+  OpCounters counters_;
+};
+
+}  // namespace backsort
+
+#endif  // BACKSORT_TVLIST_TV_LIST_H_

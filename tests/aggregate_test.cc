@@ -1,0 +1,253 @@
+#include <filesystem>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "disorder/series_generator.h"
+#include "engine/aggregate.h"
+#include "engine/storage_engine.h"
+
+namespace backsort {
+namespace {
+
+class AggregateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("aggregate_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    EngineOptions opt;
+    opt.data_dir = dir_.string();
+    opt.sorter = SorterId::kBackward;
+    opt.memtable_flush_threshold = 5'000;
+    opt.async_flush = false;
+    engine_ = std::make_unique<StorageEngine>(opt);
+    ASSERT_TRUE(engine_->Open().ok());
+  }
+  void TearDown() override {
+    engine_.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<StorageEngine> engine_;
+};
+
+TEST_F(AggregateTest, BasicStatistics) {
+  // Values = timestamp * 2 over [0, 99].
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(engine_->Write("s", i, i * 2.0).ok());
+  }
+  AggregateResult r;
+  ASSERT_TRUE(AggregateRange(*engine_, "s", 10, 19, &r).ok());
+  EXPECT_EQ(r.count, 10u);
+  EXPECT_DOUBLE_EQ(r.min, 20.0);
+  EXPECT_DOUBLE_EQ(r.max, 38.0);
+  EXPECT_DOUBLE_EQ(r.sum, (20.0 + 38.0) * 10 / 2);
+  EXPECT_DOUBLE_EQ(r.mean, 29.0);
+  EXPECT_DOUBLE_EQ(r.first, 20.0);
+  EXPECT_DOUBLE_EQ(r.last, 38.0);
+  EXPECT_EQ(r.first_time, 10);
+  EXPECT_EQ(r.last_time, 19);
+}
+
+TEST_F(AggregateTest, FirstLastCorrectUnderDisorder) {
+  // Disordered arrival: first/last must follow timestamps, not arrival.
+  ASSERT_TRUE(engine_->Write("s", 5, 50.0).ok());
+  ASSERT_TRUE(engine_->Write("s", 1, 10.0).ok());
+  ASSERT_TRUE(engine_->Write("s", 9, 90.0).ok());
+  ASSERT_TRUE(engine_->Write("s", 3, 30.0).ok());
+  AggregateResult r;
+  ASSERT_TRUE(AggregateRange(*engine_, "s", 0, 100, &r).ok());
+  EXPECT_EQ(r.count, 4u);
+  EXPECT_DOUBLE_EQ(r.first, 10.0);
+  EXPECT_EQ(r.first_time, 1);
+  EXPECT_DOUBLE_EQ(r.last, 90.0);
+  EXPECT_EQ(r.last_time, 9);
+}
+
+TEST_F(AggregateTest, EmptyRange) {
+  ASSERT_TRUE(engine_->Write("s", 5, 1.0).ok());
+  AggregateResult r;
+  ASSERT_TRUE(AggregateRange(*engine_, "s", 100, 200, &r).ok());
+  EXPECT_EQ(r.count, 0u);
+}
+
+TEST_F(AggregateTest, SpansMemoryAndDisk) {
+  Rng rng(9);
+  AbsNormalDelay delay(1, 10);
+  const auto series = GenerateArrivalOrderedSeries<double>(12'000, delay, rng);
+  double expect_sum = 0.0;
+  for (const auto& p : series) {
+    ASSERT_TRUE(engine_->Write("s", p.t, p.v).ok());
+    expect_sum += p.v;
+  }
+  // Threshold 5000: part on disk, part in memory.
+  AggregateResult r;
+  ASSERT_TRUE(AggregateRange(*engine_, "s", 0, 12'000, &r).ok());
+  EXPECT_EQ(r.count, 12'000u);
+  EXPECT_NEAR(r.sum, expect_sum, 1e-6 * std::abs(expect_sum));
+  EXPECT_EQ(r.first_time, 0);
+  EXPECT_EQ(r.last_time, 11'999);
+}
+
+TEST_F(AggregateTest, WindowedTumbling) {
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(engine_->Write("s", i, 1.0 * i).ok());
+  }
+  std::vector<WindowAggregate> windows;
+  ASSERT_TRUE(WindowedAggregate(*engine_, "s", 0, 99, 10, &windows).ok());
+  ASSERT_EQ(windows.size(), 10u);
+  for (size_t w = 0; w < windows.size(); ++w) {
+    EXPECT_EQ(windows[w].window_start, static_cast<Timestamp>(w * 10));
+    EXPECT_EQ(windows[w].agg.count, 10u);
+    EXPECT_DOUBLE_EQ(windows[w].agg.mean, w * 10 + 4.5);
+  }
+}
+
+TEST_F(AggregateTest, WindowedWithGaps) {
+  ASSERT_TRUE(engine_->Write("s", 5, 1.0).ok());
+  ASSERT_TRUE(engine_->Write("s", 35, 2.0).ok());
+  std::vector<WindowAggregate> windows;
+  ASSERT_TRUE(WindowedAggregate(*engine_, "s", 0, 39, 10, &windows).ok());
+  ASSERT_EQ(windows.size(), 4u);
+  EXPECT_EQ(windows[0].agg.count, 1u);
+  EXPECT_EQ(windows[1].agg.count, 0u);  // empty windows still on the grid
+  EXPECT_EQ(windows[2].agg.count, 0u);
+  EXPECT_EQ(windows[3].agg.count, 1u);
+}
+
+TEST_F(AggregateTest, SlidingWindowsOverlap) {
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(engine_->Write("s", i, 1.0 * i).ok());
+  }
+  std::vector<WindowAggregate> windows;
+  // width 20, step 10: windows [0,20), [10,30), ..., overlap by half.
+  ASSERT_TRUE(SlidingAggregate(*engine_, "s", 0, 90, 20, 10, &windows).ok());
+  ASSERT_EQ(windows.size(), 10u);
+  for (size_t w = 0; w < windows.size(); ++w) {
+    EXPECT_EQ(windows[w].window_start, static_cast<Timestamp>(w * 10));
+    // Windows starting at 80 and 90 are clipped by the data end at 99.
+    const size_t expect =
+        std::min<size_t>(20, 100 - static_cast<size_t>(w) * 10);
+    EXPECT_EQ(windows[w].agg.count, expect) << "window " << w;
+    if (windows[w].agg.count == 20) {
+      EXPECT_DOUBLE_EQ(windows[w].agg.mean, w * 10 + 9.5);
+    }
+  }
+}
+
+TEST_F(AggregateTest, SlidingEqualsTumblingWhenStepEqualsWidth) {
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(engine_->Write("s", i, 2.0 * i).ok());
+  }
+  std::vector<WindowAggregate> sliding, tumbling;
+  ASSERT_TRUE(SlidingAggregate(*engine_, "s", 0, 59, 10, 10, &sliding).ok());
+  ASSERT_TRUE(WindowedAggregate(*engine_, "s", 0, 59, 10, &tumbling).ok());
+  ASSERT_EQ(sliding.size(), tumbling.size());
+  for (size_t i = 0; i < sliding.size(); ++i) {
+    EXPECT_EQ(sliding[i].window_start, tumbling[i].window_start);
+    EXPECT_EQ(sliding[i].agg.count, tumbling[i].agg.count);
+    EXPECT_DOUBLE_EQ(sliding[i].agg.sum, tumbling[i].agg.sum);
+  }
+}
+
+TEST_F(AggregateTest, SlidingRejectsBadArgs) {
+  std::vector<WindowAggregate> windows;
+  EXPECT_TRUE(SlidingAggregate(*engine_, "s", 0, 10, 0, 1, &windows)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(SlidingAggregate(*engine_, "s", 0, 10, 5, 0, &windows)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(SlidingAggregate(*engine_, "s", 10, 0, 5, 1, &windows)
+                  .IsInvalidArgument());
+}
+
+TEST_F(AggregateTest, WindowedRejectsBadArgs) {
+  std::vector<WindowAggregate> windows;
+  EXPECT_TRUE(WindowedAggregate(*engine_, "s", 0, 10, 0, &windows)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(WindowedAggregate(*engine_, "s", 10, 0, 5, &windows)
+                  .IsInvalidArgument());
+}
+
+TEST_F(AggregateTest, FastPathAgreesWithQueryPath) {
+  // Ordered ingestion, fully flushed: the statistics pushdown applies and
+  // must agree exactly with the Query-based reference.
+  for (int i = 0; i < 30'000; ++i) {
+    ASSERT_TRUE(engine_->Write("s", i, std::sin(i * 0.01) * 10).ok());
+  }
+  ASSERT_TRUE(engine_->FlushAll().ok());
+  TsFileReader::RangeStats fast;
+  bool used_fast = false;
+  ASSERT_TRUE(
+      engine_->AggregateFast("s", 2'000, 27'000, &fast, &used_fast).ok());
+  EXPECT_TRUE(used_fast);
+  AggregateResult slow;
+  ASSERT_TRUE(AggregateRange(*engine_, "s", 2'000, 27'000, &slow).ok());
+  EXPECT_EQ(fast.count, slow.count);
+  EXPECT_DOUBLE_EQ(fast.min, slow.min);
+  EXPECT_DOUBLE_EQ(fast.max, slow.max);
+  EXPECT_NEAR(fast.sum, slow.sum, 1e-6 * std::abs(slow.sum));
+  EXPECT_EQ(fast.first_time, slow.first_time);
+  EXPECT_DOUBLE_EQ(fast.first, slow.first);
+  EXPECT_EQ(fast.last_time, slow.last_time);
+  EXPECT_DOUBLE_EQ(fast.last, slow.last);
+}
+
+TEST_F(AggregateTest, FastPathRefusedWhenUnsequenceDataExists) {
+  for (int i = 0; i < 12'000; ++i) {
+    ASSERT_TRUE(engine_->Write("s", i, 1.0 * i).ok());
+  }
+  ASSERT_TRUE(engine_->FlushAll().ok());
+  // Rewrite an old timestamp: lands in unsequence, shadows the disk value.
+  ASSERT_TRUE(engine_->Write("s", 5'000, -999.0).ok());
+  ASSERT_TRUE(engine_->FlushAll().ok());
+  TsFileReader::RangeStats stats;
+  bool used_fast = true;
+  ASSERT_TRUE(
+      engine_->AggregateFast("s", 0, 12'000, &stats, &used_fast).ok());
+  EXPECT_FALSE(used_fast);  // guard must refuse the pushdown
+  EXPECT_EQ(stats.count, 12'000u);  // dedup: rewrite shadows the original
+  EXPECT_DOUBLE_EQ(stats.min, -999.0);
+}
+
+TEST_F(AggregateTest, FastPathRefusedWithInMemoryPoints) {
+  for (int i = 0; i < 1'000; ++i) {
+    ASSERT_TRUE(engine_->Write("s", i, 1.0).ok());
+  }
+  // Not flushed: points live in the working memtable.
+  TsFileReader::RangeStats stats;
+  bool used_fast = true;
+  ASSERT_TRUE(engine_->AggregateFast("s", 0, 999, &stats, &used_fast).ok());
+  EXPECT_FALSE(used_fast);
+  EXPECT_EQ(stats.count, 1'000u);
+}
+
+TEST_F(AggregateTest, DisorderedMeanMatchesOrderedGroundTruth) {
+  // The paper's Section VI-E point: aggregation over the engine (which
+  // sorts) equals aggregation over the ideally ordered series even when
+  // ingestion was heavily disordered.
+  Rng rng(10);
+  LogNormalDelay delay(1, 2);
+  const auto series = GenerateArrivalOrderedSeries<double>(8'000, delay, rng);
+  for (const auto& p : series) {
+    ASSERT_TRUE(engine_->Write("s", p.t, p.v).ok());
+  }
+  std::vector<WindowAggregate> windows;
+  ASSERT_TRUE(WindowedAggregate(*engine_, "s", 0, 7'999, 100, &windows).ok());
+  ASSERT_EQ(windows.size(), 80u);
+  for (const auto& w : windows) {
+    ASSERT_EQ(w.agg.count, 100u);
+    double expect = 0.0;
+    for (Timestamp t = w.window_start; t < w.window_start + 100; ++t) {
+      expect += SignalValueAt(static_cast<size_t>(t));
+    }
+    expect /= 100.0;
+    ASSERT_NEAR(w.agg.mean, expect, 1e-9) << "window " << w.window_start;
+  }
+}
+
+}  // namespace
+}  // namespace backsort

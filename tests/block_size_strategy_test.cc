@@ -1,0 +1,147 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/backward_sort.h"
+#include "disorder/inversion.h"
+#include "disorder/series_generator.h"
+
+namespace backsort {
+namespace {
+
+using Pair = TvPairInt;
+
+std::vector<Pair> FromTimes(const std::vector<Timestamp>& ts) {
+  std::vector<Pair> out(ts.size());
+  for (size_t i = 0; i < ts.size(); ++i) {
+    out[i] = {ts[i], static_cast<int32_t>(i)};
+  }
+  return out;
+}
+
+TEST(OverlapEstimate, ZeroOnSortedInput) {
+  std::vector<Pair> data;
+  for (int i = 0; i < 10000; ++i) data.push_back({i, i});
+  VectorSortable<int32_t> seq(data);
+  EXPECT_DOUBLE_EQ(EstimateOverlapQ(seq), 0.0);
+}
+
+TEST(OverlapEstimate, TracksKnownExpectationForDiscreteUniform) {
+  // Example 7: tau ~ U{0..3} has E(Q) = E(delta_tau | delta_tau >= 0)
+  // = 10/16 = 0.625. The exponential-stride integration overestimates by
+  // design (step function held constant over each gap), so expect the
+  // estimate in [0.6 * E(Q), 4 * E(Q)].
+  Rng rng(3);
+  DiscreteUniformDelay delay(0, 3);
+  const auto ts = GenerateArrivalOrderedTimestamps(500'000, delay, rng);
+  std::vector<Pair> data = FromTimes(ts);
+  VectorSortable<int32_t> seq(data);
+  const double q_hat = EstimateOverlapQ(seq);
+  EXPECT_GT(q_hat, 0.6 * 0.625);
+  EXPECT_LT(q_hat, 4.0 * 0.625);
+}
+
+TEST(OverlapEstimate, GrowsWithDisorder) {
+  Rng rng(4);
+  double prev = 0.0;
+  for (double sigma : {1.0, 10.0, 100.0}) {
+    AbsNormalDelay delay(1, sigma);
+    const auto ts = GenerateArrivalOrderedTimestamps(200'000, delay, rng);
+    std::vector<Pair> data = FromTimes(ts);
+    VectorSortable<int32_t> seq(data);
+    const double q_hat = EstimateOverlapQ(seq);
+    EXPECT_GT(q_hat, prev) << "sigma=" << sigma;
+    prev = q_hat;
+  }
+}
+
+TEST(OverlapStrategy, SortsCorrectlyAcrossDistributions) {
+  Rng rng(5);
+  BackwardSortOptions options;
+  options.strategy =
+      BackwardSortOptions::BlockSizeStrategy::kOverlapProportional;
+  const std::unique_ptr<DelayDistribution> delays[] = {
+      std::make_unique<ConstantDelay>(0.0),
+      std::make_unique<AbsNormalDelay>(1, 5),
+      std::make_unique<AbsNormalDelay>(4, 100),
+      std::make_unique<LogNormalDelay>(1, 2),
+      std::make_unique<DiscreteUniformDelay>(0, 1000),
+  };
+  for (const auto& delay : delays) {
+    const auto ts = GenerateArrivalOrderedTimestamps(50'000, *delay, rng);
+    std::vector<Pair> data = FromTimes(ts);
+    VectorSortable<int32_t> seq(data);
+    BackwardSortStats stats;
+    BackwardSort(seq, options, &stats);
+    EXPECT_TRUE(IsSorted(seq)) << delay->Name();
+    EXPECT_GE(stats.chosen_block_size, options.initial_block_size)
+        << delay->Name();
+  }
+}
+
+TEST(OverlapStrategy, ChoosesLargerBlocksForHeavierDisorder) {
+  Rng rng(6);
+  BackwardSortOptions options;
+  options.strategy =
+      BackwardSortOptions::BlockSizeStrategy::kOverlapProportional;
+  size_t prev_L = 0;
+  for (double sigma : {1.0, 20.0, 200.0}) {
+    AbsNormalDelay delay(1, sigma);
+    const auto ts = GenerateArrivalOrderedTimestamps(200'000, delay, rng);
+    std::vector<Pair> data = FromTimes(ts);
+    VectorSortable<int32_t> seq(data);
+    BackwardSortStats stats;
+    BackwardSort(seq, options, &stats);
+    EXPECT_TRUE(IsSorted(seq));
+    EXPECT_GE(stats.chosen_block_size, prev_L) << "sigma=" << sigma;
+    prev_L = stats.chosen_block_size;
+  }
+}
+
+TEST(OverlapStrategy, EtaScalesChosenBlockSize) {
+  Rng rng(7);
+  AbsNormalDelay delay(1, 20);
+  const auto ts = GenerateArrivalOrderedTimestamps(100'000, delay, rng);
+  size_t small_eta_L = 0, large_eta_L = 0;
+  for (double eta : {1.0, 16.0}) {
+    std::vector<Pair> data = FromTimes(ts);
+    VectorSortable<int32_t> seq(data);
+    BackwardSortOptions options;
+    options.strategy =
+        BackwardSortOptions::BlockSizeStrategy::kOverlapProportional;
+    options.eta = eta;
+    BackwardSortStats stats;
+    BackwardSort(seq, options, &stats);
+    EXPECT_TRUE(IsSorted(seq));
+    (eta == 1.0 ? small_eta_L : large_eta_L) = stats.chosen_block_size;
+  }
+  EXPECT_GT(large_eta_L, small_eta_L);
+}
+
+TEST(OverlapStrategy, MeasuredOverlapRespectsProposition4) {
+  // On uniform-delay inputs, the per-boundary overlap measured during the
+  // sort should stay near E(delta_tau | delta_tau >= 0) regardless of L.
+  Rng rng(8);
+  DiscreteUniformDelay delay(0, 3);
+  const auto ts = GenerateArrivalOrderedTimestamps(300'000, delay, rng);
+  for (size_t L : {64, 256, 4096}) {
+    std::vector<Pair> data = FromTimes(ts);
+    VectorSortable<int32_t> seq(data);
+    BackwardSortOptions options;
+    options.fixed_block_size = L;
+    BackwardSortStats stats;
+    BackwardSort(seq, options, &stats);
+    ASSERT_TRUE(IsSorted(seq));
+    const size_t boundaries = stats.merges_performed + stats.merges_skipped;
+    ASSERT_GT(boundaries, 0u);
+    const double mean_q = static_cast<double>(stats.total_overlap) /
+                          static_cast<double>(boundaries);
+    // E(Q) = 0.625 (Example 7); allow sampling slack.
+    EXPECT_LT(mean_q, 0.625 * 1.3) << "L=" << L;
+  }
+}
+
+}  // namespace
+}  // namespace backsort

@@ -1,0 +1,91 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/sorter_registry.h"
+#include "disorder/inversion.h"
+#include "disorder/series_generator.h"
+
+namespace backsort {
+namespace {
+
+std::unique_ptr<BurstyDelay> MakeBursty(double burst_delay, size_t period,
+                                        size_t burst_len) {
+  return std::make_unique<BurstyDelay>(
+      std::make_unique<ConstantDelay>(0.0),
+      std::make_unique<ConstantDelay>(burst_delay), period, burst_len);
+}
+
+TEST(BurstyDelay, BurstsRecurEveryPeriod) {
+  Rng rng(1);
+  auto delay = MakeBursty(/*burst_delay=*/100.0, /*period=*/50,
+                          /*burst_len=*/10);
+  // First 10 samples are bursty, next 40 calm, repeating.
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (int i = 0; i < 50; ++i) {
+      const double d = delay->Sample(rng);
+      if (i < 10) {
+        EXPECT_DOUBLE_EQ(d, 100.0) << "cycle " << cycle << " i " << i;
+      } else {
+        EXPECT_DOUBLE_EQ(d, 0.0) << "cycle " << cycle << " i " << i;
+      }
+    }
+  }
+}
+
+TEST(BurstyDelay, CreatesClusteredDisorder) {
+  Rng rng(2);
+  auto delay = MakeBursty(200.0, 1000, 50);
+  const auto ts = GenerateArrivalOrderedTimestamps(100'000, *delay, rng);
+  EXPECT_TRUE(IsPermutationOfIota(ts));
+  // Disorder exists but is localized: IIR positive at short intervals,
+  // zero beyond the burst displacement range.
+  EXPECT_GT(IntervalInversionRatio(ts, 1), 0.0);
+  EXPECT_DOUBLE_EQ(IntervalInversionRatio(ts, 1024), 0.0);
+}
+
+TEST(BurstyDelay, AllSortersHandleBurstyStreams) {
+  Rng rng(3);
+  auto delay = MakeBursty(500.0, 2000, 100);
+  const auto ts = GenerateArrivalOrderedTimestamps(50'000, *delay, rng);
+  for (SorterId s : AllSorters()) {
+    const size_t n = s == SorterId::kInsertion ? 5'000 : ts.size();
+    std::vector<TvPairInt> data(n);
+    for (size_t i = 0; i < n; ++i) {
+      data[i] = {ts[i], static_cast<int32_t>(i)};
+    }
+    VectorSortable<int32_t> seq(data);
+    SortWith(s, seq);
+    EXPECT_TRUE(IsSorted(seq)) << SorterName(s);
+  }
+}
+
+TEST(BurstyDelay, BackwardSortAdaptsBlockSizeToBurstScale) {
+  Rng rng(4);
+  // Bursts displace points by ~burst_delay; the chosen block size should
+  // grow with it.
+  size_t prev_L = 0;
+  for (double burst : {20.0, 200.0, 2000.0}) {
+    auto delay = MakeBursty(burst, 1000, 200);
+    const auto ts = GenerateArrivalOrderedTimestamps(200'000, *delay, rng);
+    std::vector<TvPairInt> data(ts.size());
+    for (size_t i = 0; i < ts.size(); ++i) {
+      data[i] = {ts[i], 0};
+    }
+    VectorSortable<int32_t> seq(data);
+    BackwardSortStats stats;
+    BackwardSort(seq, BackwardSortOptions{}, &stats);
+    ASSERT_TRUE(IsSorted(seq));
+    EXPECT_GE(stats.chosen_block_size, prev_L) << "burst=" << burst;
+    prev_L = stats.chosen_block_size;
+  }
+}
+
+TEST(BurstyDelay, NameDescribesShape) {
+  auto delay = MakeBursty(7.0, 100, 5);
+  EXPECT_EQ(delay->Name(), "Bursty(Constant(0)+Constant(7),5/100)");
+}
+
+}  // namespace
+}  // namespace backsort

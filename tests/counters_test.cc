@@ -1,0 +1,118 @@
+// Instrumentation accounting tests: the operation counters are the basis
+// of the paper's move-economy arguments (Example 3), so their semantics —
+// one move per Set, three per Swap, identical counts across storage
+// backings — are pinned down here.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/sorter_registry.h"
+#include "disorder/series_generator.h"
+#include "tvlist/tv_list.h"
+
+namespace backsort {
+namespace {
+
+TEST(Counters, SwapCostsThreeMoves) {
+  std::vector<TvPairInt> data = {{2, 0}, {1, 1}};
+  VectorSortable<int32_t> seq(data);
+  seq.Swap(0, 1);
+  EXPECT_EQ(seq.counters().swaps, 1u);
+  EXPECT_EQ(seq.counters().moves, 3u);
+  seq.Set(0, {5, 5});
+  EXPECT_EQ(seq.counters().moves, 4u);
+}
+
+TEST(Counters, TvListAdapterMatchesVectorAdapter) {
+  // The same deterministic algorithm over the same data must perform the
+  // same abstract operations regardless of the storage backing.
+  Rng rng(3);
+  AbsNormalDelay delay(1, 12);
+  const auto ts = GenerateArrivalOrderedTimestamps(20'000, delay, rng);
+  for (SorterId s : PaperSorters()) {
+    std::vector<TvPairInt> vec_data(ts.size());
+    IntTVList list;
+    for (size_t i = 0; i < ts.size(); ++i) {
+      vec_data[i] = {ts[i], static_cast<int32_t>(i)};
+      list.Put(ts[i], static_cast<int32_t>(i));
+    }
+    VectorSortable<int32_t> vec_seq(vec_data);
+    TVListSortable<int32_t> list_seq(list);
+    SortWith(s, vec_seq);
+    SortWith(s, list_seq);
+    EXPECT_EQ(vec_seq.counters().comparisons, list_seq.counters().comparisons)
+        << SorterName(s);
+    EXPECT_EQ(vec_seq.counters().moves, list_seq.counters().moves)
+        << SorterName(s);
+    EXPECT_EQ(vec_seq.counters().swaps, list_seq.counters().swaps)
+        << SorterName(s);
+    EXPECT_EQ(vec_seq.counters().peak_scratch,
+              list_seq.counters().peak_scratch)
+        << SorterName(s);
+    // And of course the results agree.
+    for (size_t i = 0; i < ts.size(); ++i) {
+      ASSERT_EQ(vec_data[i].t, list.TimeAt(i)) << SorterName(s);
+      ASSERT_EQ(vec_data[i].v, list.ValueAt(i)) << SorterName(s);
+    }
+  }
+}
+
+TEST(Counters, InsertionSortMovesTrackInversionsPlusN) {
+  // Straight insertion performs at most one Set per inversion plus one Set
+  // per displaced element; on k adjacent swaps the move count is ~2k.
+  std::vector<TvPairInt> data;
+  for (int i = 0; i < 1000; i += 2) {
+    // Pairwise swapped: (1,0),(3,2),...
+    data.push_back({i + 1, 0});
+    data.push_back({i, 0});
+  }
+  VectorSortable<int32_t> seq(data);
+  InsertionSort(seq);
+  EXPECT_TRUE(IsSorted(seq));
+  // 500 displaced elements, each needing one shift + one placement.
+  EXPECT_EQ(seq.counters().moves, 1000u);
+}
+
+TEST(Counters, BackwardSortScratchBoundedByOverlap) {
+  Rng rng(5);
+  DiscreteUniformDelay delay(0, 8);  // overlaps of a few points
+  const auto ts = GenerateArrivalOrderedTimestamps(50'000, delay, rng);
+  std::vector<TvPairInt> data(ts.size());
+  for (size_t i = 0; i < ts.size(); ++i) data[i] = {ts[i], 0};
+  VectorSortable<int32_t> seq(data);
+  BackwardSortOptions options;
+  options.fixed_block_size = 256;
+  BackwardSortStats stats;
+  BackwardSort(seq, options, &stats);
+  EXPECT_TRUE(IsSorted(seq));
+  // Scratch is exactly the largest overlap encountered — tiny compared to
+  // the O(n) buffers of Patience/CKSort/Merge (the paper's space argument).
+  EXPECT_EQ(seq.counters().peak_scratch, stats.max_overlap);
+  EXPECT_LT(seq.counters().peak_scratch, 32u);
+}
+
+TEST(Counters, AggregationAndReset) {
+  OpCounters a;
+  a.comparisons = 10;
+  a.moves = 20;
+  a.swaps = 2;
+  a.peak_scratch = 7;
+  OpCounters b;
+  b.comparisons = 1;
+  b.moves = 2;
+  b.swaps = 3;
+  b.peak_scratch = 9;
+  a += b;
+  EXPECT_EQ(a.comparisons, 11u);
+  EXPECT_EQ(a.moves, 22u);
+  EXPECT_EQ(a.swaps, 5u);
+  EXPECT_EQ(a.peak_scratch, 9u);  // max, not sum
+  a.Reset();
+  EXPECT_EQ(a.comparisons, 0u);
+  EXPECT_EQ(a.peak_scratch, 0u);
+}
+
+}  // namespace
+}  // namespace backsort

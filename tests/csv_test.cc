@@ -1,0 +1,116 @@
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "benchkit/csv.h"
+#include "common/rng.h"
+#include "disorder/series_generator.h"
+
+namespace backsort {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("csv_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(CsvTest, RoundTrip) {
+  Rng rng(3);
+  AbsNormalDelay delay(1, 10);
+  const auto points = GenerateArrivalOrderedSeries<double>(5000, delay, rng);
+  const std::string path = Path("a.csv");
+  ASSERT_TRUE(WriteCsv(path, points).ok());
+  std::vector<TvPairDouble> loaded;
+  ASSERT_TRUE(ReadCsv(path, &loaded).ok());
+  ASSERT_EQ(loaded.size(), points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    ASSERT_EQ(loaded[i].t, points[i].t);
+    ASSERT_DOUBLE_EQ(loaded[i].v, points[i].v);  // %.17g is lossless
+  }
+}
+
+TEST_F(CsvTest, NegativeAndExtremeValues) {
+  const std::vector<TvPairDouble> points = {
+      {-5, -1.5}, {0, 0.0}, {9'000'000'000'000LL, 1e300}, {7, 1e-300}};
+  const std::string path = Path("b.csv");
+  ASSERT_TRUE(WriteCsv(path, points).ok());
+  std::vector<TvPairDouble> loaded;
+  ASSERT_TRUE(ReadCsv(path, &loaded).ok());
+  ASSERT_EQ(loaded.size(), points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(loaded[i].t, points[i].t);
+    EXPECT_DOUBLE_EQ(loaded[i].v, points[i].v);
+  }
+}
+
+TEST_F(CsvTest, SkipsHeaderCommentsAndBlankLines) {
+  const std::string path = Path("c.csv");
+  {
+    std::ofstream out(path);
+    out << "timestamp,value\n"
+        << "# a comment\n"
+        << "\n"
+        << "1,2.5\n"
+        << "2,-3.5\n";
+  }
+  std::vector<TvPairDouble> loaded;
+  ASSERT_TRUE(ReadCsv(path, &loaded).ok());
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].t, 1);
+  EXPECT_DOUBLE_EQ(loaded[1].v, -3.5);
+}
+
+TEST_F(CsvTest, HandlesCrlf) {
+  const std::string path = Path("d.csv");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "timestamp,value\r\n1,2\r\n3,4\r\n";
+  }
+  std::vector<TvPairDouble> loaded;
+  ASSERT_TRUE(ReadCsv(path, &loaded).ok());
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[1].t, 3);
+}
+
+TEST_F(CsvTest, MalformedLinesReportLineNumbers) {
+  const std::string path = Path("e.csv");
+  {
+    std::ofstream out(path);
+    out << "1,2\n"
+        << "not a row\n";
+  }
+  std::vector<TvPairDouble> loaded;
+  const Status st = ReadCsv(path, &loaded);
+  ASSERT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find(":2:"), std::string::npos) << st.ToString();
+}
+
+TEST_F(CsvTest, BadValueRejected) {
+  const std::string path = Path("f.csv");
+  {
+    std::ofstream out(path);
+    out << "5,12abc\n";
+  }
+  std::vector<TvPairDouble> loaded;
+  EXPECT_TRUE(ReadCsv(path, &loaded).IsInvalidArgument());
+}
+
+TEST_F(CsvTest, MissingFileIsIOError) {
+  std::vector<TvPairDouble> loaded;
+  EXPECT_TRUE(ReadCsv(Path("missing.csv"), &loaded).IsIOError());
+}
+
+}  // namespace
+}  // namespace backsort

@@ -1,0 +1,345 @@
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "encoding/bitio.h"
+#include "encoding/bytes.h"
+#include "encoding/encoding.h"
+
+namespace backsort {
+namespace {
+
+// --- ByteBuffer / ByteReader -------------------------------------------------
+
+TEST(Bytes, FixedRoundTrip) {
+  ByteBuffer buf;
+  buf.PutFixed32(0xdeadbeef);
+  buf.PutFixed64(0x0123456789abcdefULL);
+  ByteReader r(buf.data());
+  uint32_t a = 0;
+  uint64_t b = 0;
+  ASSERT_TRUE(r.GetFixed32(&a).ok());
+  ASSERT_TRUE(r.GetFixed64(&b).ok());
+  EXPECT_EQ(a, 0xdeadbeefu);
+  EXPECT_EQ(b, 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Bytes, VarintRoundTrip) {
+  ByteBuffer buf;
+  const uint64_t values[] = {0, 1, 127, 128, 300, 1u << 20,
+                             std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : values) buf.PutVarint64(v);
+  ByteReader r(buf.data());
+  for (uint64_t v : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(r.GetVarint64(&got).ok());
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(Bytes, SignedVarintRoundTrip) {
+  ByteBuffer buf;
+  const int64_t values[] = {0, -1, 1, -64, 64, -1000000, 1000000,
+                            std::numeric_limits<int64_t>::min(),
+                            std::numeric_limits<int64_t>::max()};
+  for (int64_t v : values) buf.PutVarintSigned64(v);
+  ByteReader r(buf.data());
+  for (int64_t v : values) {
+    int64_t got = 0;
+    ASSERT_TRUE(r.GetVarintSigned64(&got).ok());
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(Bytes, TruncatedReadsFailCleanly) {
+  ByteBuffer buf;
+  buf.PutFixed64(42);
+  ByteReader r(buf.data().data(), 3);  // cut mid-value
+  uint64_t v = 0;
+  EXPECT_TRUE(r.GetFixed64(&v).IsCorruption());
+  // Unterminated varint (all continuation bits).
+  const uint8_t junk[] = {0xff, 0xff};
+  ByteReader r2(junk, sizeof(junk));
+  EXPECT_TRUE(r2.GetVarint64(&v).IsCorruption());
+}
+
+TEST(Bytes, StringRoundTrip) {
+  ByteBuffer buf;
+  buf.PutLengthPrefixedString("root.sg.d0.s1");
+  buf.PutLengthPrefixedString("");
+  ByteReader r(buf.data());
+  std::string a, b;
+  ASSERT_TRUE(r.GetLengthPrefixedString(&a).ok());
+  ASSERT_TRUE(r.GetLengthPrefixedString(&b).ok());
+  EXPECT_EQ(a, "root.sg.d0.s1");
+  EXPECT_EQ(b, "");
+}
+
+// --- BitWriter / BitReader ----------------------------------------------------
+
+TEST(BitIo, RoundTripAcrossByteBoundaries) {
+  ByteBuffer buf;
+  BitWriter bw(&buf);
+  bw.WriteBits(0b101, 3);
+  bw.WriteBits(0xabcd, 16);
+  bw.WriteBit(true);
+  bw.WriteBits(0, 0);  // zero-width write is a no-op
+  bw.WriteBits(0x3ffffffffffffffULL, 58);
+  bw.Flush();
+  ByteReader r(buf.data());
+  BitReader br(&r);
+  uint64_t v = 0;
+  ASSERT_TRUE(br.ReadBits(3, &v).ok());
+  EXPECT_EQ(v, 0b101u);
+  ASSERT_TRUE(br.ReadBits(16, &v).ok());
+  EXPECT_EQ(v, 0xabcdu);
+  bool bit = false;
+  ASSERT_TRUE(br.ReadBit(&bit).ok());
+  EXPECT_TRUE(bit);
+  ASSERT_TRUE(br.ReadBits(58, &v).ok());
+  EXPECT_EQ(v, 0x3ffffffffffffffULL);
+}
+
+TEST(BitIo, BitWidthOf) {
+  EXPECT_EQ(BitWidthOf(0), 0);
+  EXPECT_EQ(BitWidthOf(1), 1);
+  EXPECT_EQ(BitWidthOf(2), 2);
+  EXPECT_EQ(BitWidthOf(255), 8);
+  EXPECT_EQ(BitWidthOf(256), 9);
+  EXPECT_EQ(BitWidthOf(std::numeric_limits<uint64_t>::max()), 64);
+}
+
+// --- encodings -----------------------------------------------------------------
+
+class I64EncodingTest : public ::testing::TestWithParam<Encoding> {};
+
+std::vector<std::vector<int64_t>> I64Corpora() {
+  Rng rng(17);
+  std::vector<std::vector<int64_t>> corpora;
+  corpora.push_back({});
+  corpora.push_back({42});
+  corpora.push_back({-5, -5, -5, -5});
+  // Monotone timestamps with unit spacing (the common case).
+  std::vector<int64_t> mono;
+  for (int i = 0; i < 5000; ++i) mono.push_back(1'600'000'000'000 + i);
+  corpora.push_back(std::move(mono));
+  // Jittered spacing.
+  std::vector<int64_t> jitter;
+  int64_t t = 0;
+  for (int i = 0; i < 3000; ++i) {
+    t += static_cast<int64_t>(rng.NextBelow(100));
+    jitter.push_back(t);
+  }
+  corpora.push_back(std::move(jitter));
+  // Random, including negatives and big magnitudes.
+  std::vector<int64_t> random;
+  for (int i = 0; i < 2000; ++i) {
+    random.push_back(static_cast<int64_t>(rng.NextU64()) >> (i % 32));
+  }
+  corpora.push_back(std::move(random));
+  // Exactly one TS_2DIFF block boundary (128 deltas).
+  std::vector<int64_t> boundary;
+  for (int i = 0; i <= 128; ++i) boundary.push_back(i * 7);
+  corpora.push_back(std::move(boundary));
+  // RLE-friendly runs.
+  std::vector<int64_t> runs;
+  for (int v = 0; v < 20; ++v) {
+    for (int k = 0; k < 97; ++k) runs.push_back(v * 1000);
+  }
+  corpora.push_back(std::move(runs));
+  return corpora;
+}
+
+TEST_P(I64EncodingTest, RoundTripsAllCorpora) {
+  for (const auto& corpus : I64Corpora()) {
+    ByteBuffer buf;
+    ASSERT_TRUE(EncodeI64(GetParam(), corpus, &buf).ok());
+    ByteReader r(buf.data());
+    std::vector<int64_t> decoded;
+    ASSERT_TRUE(DecodeI64(GetParam(), &r, corpus.size(), &decoded).ok());
+    EXPECT_EQ(decoded, corpus);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(IntEncodings, I64EncodingTest,
+                         ::testing::Values(Encoding::kPlain,
+                                           Encoding::kTs2Diff, Encoding::kRle),
+                         [](const ::testing::TestParamInfo<Encoding>& info) {
+                           return EncodingName(info.param);
+                         });
+
+TEST(Ts2Diff, CompressesMonotoneTimestamps) {
+  std::vector<int64_t> ts;
+  for (int i = 0; i < 100000; ++i) ts.push_back(1'600'000'000'000LL + i * 10);
+  ByteBuffer plain, packed;
+  EncodePlainI64(ts, &plain);
+  EncodeTs2DiffI64(ts, &packed);
+  // Constant deltas bit-pack to width 0: orders of magnitude smaller.
+  EXPECT_LT(packed.size() * 20, plain.size());
+}
+
+TEST(Ts2Diff, TruncatedInputFails) {
+  std::vector<int64_t> ts;
+  for (int i = 0; i < 1000; ++i) ts.push_back(i * i);
+  ByteBuffer buf;
+  EncodeTs2DiffI64(ts, &buf);
+  ByteReader r(buf.data().data(), buf.size() / 2);
+  std::vector<int64_t> decoded;
+  EXPECT_FALSE(DecodeTs2DiffI64(&r, ts.size(), &decoded).ok());
+}
+
+TEST(Rle, RejectsOverflowingRun) {
+  ByteBuffer buf;
+  buf.PutVarintSigned64(7);
+  buf.PutVarint64(1000);  // run longer than the declared point count
+  ByteReader r(buf.data());
+  std::vector<int64_t> decoded;
+  EXPECT_TRUE(DecodeRleI64(&r, 10, &decoded).IsCorruption());
+}
+
+TEST(Simple8b, PacksSmallValuesDensely) {
+  // 240 zeros -> one word (selector 0): 8 bytes.
+  std::vector<uint64_t> zeros(240, 0);
+  ByteBuffer buf;
+  ASSERT_TRUE(EncodeSimple8bU64(zeros, &buf).ok());
+  EXPECT_EQ(buf.size(), 8u);
+  ByteReader r(buf.data());
+  std::vector<uint64_t> decoded;
+  ASSERT_TRUE(DecodeSimple8bU64(&r, zeros.size(), &decoded).ok());
+  EXPECT_EQ(decoded, zeros);
+}
+
+TEST(Simple8b, RoundTripsMixedMagnitudes) {
+  Rng rng(7);
+  std::vector<uint64_t> corpus;
+  for (int i = 0; i < 10000; ++i) {
+    // Shift by 4..63 bits: magnitudes from 2^60-1 down to 0.
+    corpus.push_back(rng.NextU64() >> (4 + rng.NextBelow(60)));
+  }
+  ByteBuffer buf;
+  ASSERT_TRUE(EncodeSimple8bU64(corpus, &buf).ok());
+  ByteReader r(buf.data());
+  std::vector<uint64_t> decoded;
+  ASSERT_TRUE(DecodeSimple8bU64(&r, corpus.size(), &decoded).ok());
+  EXPECT_EQ(decoded, corpus);
+}
+
+TEST(Simple8b, RejectsOversizedValues) {
+  ByteBuffer buf;
+  EXPECT_TRUE(
+      EncodeSimple8bU64({uint64_t{1} << 60}, &buf).IsOutOfRange());
+}
+
+TEST(Simple8b, PartialTailWord) {
+  std::vector<uint64_t> corpus = {1, 2, 3};  // far less than any word count
+  ByteBuffer buf;
+  ASSERT_TRUE(EncodeSimple8bU64(corpus, &buf).ok());
+  ByteReader r(buf.data());
+  std::vector<uint64_t> decoded;
+  ASSERT_TRUE(DecodeSimple8bU64(&r, corpus.size(), &decoded).ok());
+  EXPECT_EQ(decoded, corpus);
+}
+
+TEST(Simple8b, DeltaTimestampsCompressAndRoundTrip) {
+  std::vector<int64_t> ts;
+  for (int i = 0; i < 100000; ++i) ts.push_back(1'600'000'000'000LL + i * 10);
+  ByteBuffer plain, packed;
+  EncodePlainI64(ts, &plain);
+  ASSERT_TRUE(EncodeSimple8bDeltaI64(ts, &packed).ok());
+  EXPECT_LT(packed.size() * 10, plain.size());
+  ByteReader r(packed.data());
+  std::vector<int64_t> decoded;
+  ASSERT_TRUE(DecodeSimple8bDeltaI64(&r, ts.size(), &decoded).ok());
+  EXPECT_EQ(decoded, ts);
+}
+
+TEST(Simple8b, DeltaHandlesNegativeJumps) {
+  const std::vector<int64_t> ts = {100, 50, 200, -1000, 5, 5, 5};
+  ByteBuffer buf;
+  ASSERT_TRUE(EncodeSimple8bDeltaI64(ts, &buf).ok());
+  ByteReader r(buf.data());
+  std::vector<int64_t> decoded;
+  ASSERT_TRUE(DecodeSimple8bDeltaI64(&r, ts.size(), &decoded).ok());
+  EXPECT_EQ(decoded, ts);
+}
+
+TEST(Simple8b, DispatchRoundTrip) {
+  std::vector<int64_t> ts;
+  for (int i = 0; i < 5000; ++i) ts.push_back(i * 3 + (i % 7));
+  ByteBuffer buf;
+  ASSERT_TRUE(EncodeI64(Encoding::kSimple8b, ts, &buf).ok());
+  ByteReader r(buf.data());
+  std::vector<int64_t> decoded;
+  ASSERT_TRUE(DecodeI64(Encoding::kSimple8b, &r, ts.size(), &decoded).ok());
+  EXPECT_EQ(decoded, ts);
+}
+
+TEST(Gorilla, RoundTripsDoubleCorpora) {
+  Rng rng(23);
+  std::vector<std::vector<double>> corpora;
+  corpora.push_back({});
+  corpora.push_back({3.14159});
+  corpora.push_back({0.0, 0.0, 0.0});
+  corpora.push_back({1.0, -1.0, std::numeric_limits<double>::infinity(),
+                     -std::numeric_limits<double>::infinity(), 1e-300,
+                     1e300});
+  std::vector<double> sensor;
+  double v = 20.0;
+  for (int i = 0; i < 10000; ++i) {
+    v += 0.01 * rng.NextGaussian();
+    sensor.push_back(v);
+  }
+  corpora.push_back(std::move(sensor));
+  std::vector<double> steps;
+  for (int i = 0; i < 5000; ++i) steps.push_back((i / 100) * 0.5);
+  corpora.push_back(std::move(steps));
+
+  for (const auto& corpus : corpora) {
+    ByteBuffer buf;
+    EncodeGorillaF64(corpus, &buf);
+    ByteReader r(buf.data());
+    std::vector<double> decoded;
+    ASSERT_TRUE(DecodeGorillaF64(&r, corpus.size(), &decoded).ok());
+    ASSERT_EQ(decoded.size(), corpus.size());
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      EXPECT_EQ(decoded[i], corpus[i]) << i;  // bit-exact
+    }
+  }
+}
+
+TEST(Gorilla, NanRoundTripsBitExact) {
+  const std::vector<double> corpus = {1.0,
+                                      std::numeric_limits<double>::quiet_NaN(),
+                                      2.0};
+  ByteBuffer buf;
+  EncodeGorillaF64(corpus, &buf);
+  ByteReader r(buf.data());
+  std::vector<double> decoded;
+  ASSERT_TRUE(DecodeGorillaF64(&r, corpus.size(), &decoded).ok());
+  EXPECT_TRUE(std::isnan(decoded[1]));
+}
+
+TEST(Gorilla, SlowlyChangingSensorCompresses) {
+  std::vector<double> sensor;
+  for (int i = 0; i < 50000; ++i) sensor.push_back(25.0);  // constant
+  ByteBuffer plain, packed;
+  ASSERT_TRUE(EncodeF64(Encoding::kPlain, sensor, &plain).ok());
+  ASSERT_TRUE(EncodeF64(Encoding::kGorilla, sensor, &packed).ok());
+  EXPECT_LT(packed.size() * 30, plain.size());
+}
+
+TEST(EncodingDispatch, TypeMismatchesRejected) {
+  ByteBuffer buf;
+  std::vector<double> d = {1.0};
+  std::vector<int64_t> i = {1};
+  EXPECT_TRUE(EncodeF64(Encoding::kRle, d, &buf).IsNotSupported());
+  EXPECT_TRUE(EncodeF64(Encoding::kTs2Diff, d, &buf).IsNotSupported());
+  EXPECT_TRUE(EncodeI64(Encoding::kGorilla, i, &buf).IsNotSupported());
+}
+
+}  // namespace
+}  // namespace backsort

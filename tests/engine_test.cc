@@ -1,0 +1,257 @@
+#include <filesystem>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "disorder/series_generator.h"
+#include "engine/storage_engine.h"
+#include "memtable/memtable.h"
+
+namespace backsort {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("engine_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  EngineOptions Options(SorterId sorter, bool async = true) {
+    EngineOptions opt;
+    opt.data_dir = dir_.string();
+    opt.sorter = sorter;
+    opt.memtable_flush_threshold = 10'000;
+    opt.async_flush = async;
+    return opt;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(EngineTest, MemTableBasics) {
+  MemTable table;
+  table.Write("a", 3, 1.0);
+  table.Write("a", 1, 2.0);
+  table.Write("b", 5, 3.0);
+  EXPECT_EQ(table.total_points(), 3u);
+  ASSERT_NE(table.GetChunk("a"), nullptr);
+  EXPECT_EQ(table.GetChunk("a")->size(), 2u);
+  EXPECT_FALSE(table.GetChunk("a")->sorted());
+  EXPECT_TRUE(table.GetChunk("b")->sorted());
+  EXPECT_EQ(table.GetChunk("nope"), nullptr);
+  EXPECT_EQ(table.state(), MemTable::State::kWorking);
+  table.MarkFlushing();
+  EXPECT_EQ(table.state(), MemTable::State::kFlushing);
+  EXPECT_GT(table.MemoryBytes(), 0u);
+}
+
+TEST_F(EngineTest, WriteQueryRoundTripInMemory) {
+  StorageEngine engine(Options(SorterId::kBackward));
+  ASSERT_TRUE(engine.Open().ok());
+  // Out-of-order writes below the flush threshold stay in memory.
+  ASSERT_TRUE(engine.Write("s", 10, 1.0).ok());
+  ASSERT_TRUE(engine.Write("s", 30, 3.0).ok());
+  ASSERT_TRUE(engine.Write("s", 20, 2.0).ok());
+  std::vector<TvPairDouble> out;
+  ASSERT_TRUE(engine.Query("s", 0, 100, &out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].t, 10);
+  EXPECT_EQ(out[1].t, 20);
+  EXPECT_EQ(out[2].t, 30);
+  EXPECT_DOUBLE_EQ(out[1].v, 2.0);
+}
+
+TEST_F(EngineTest, QueryRangeFilters) {
+  StorageEngine engine(Options(SorterId::kTim));
+  ASSERT_TRUE(engine.Open().ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(engine.Write("s", i, i * 1.0).ok());
+  }
+  std::vector<TvPairDouble> out;
+  ASSERT_TRUE(engine.Query("s", 40, 49, &out).ok());
+  ASSERT_EQ(out.size(), 10u);
+  EXPECT_EQ(out.front().t, 40);
+  EXPECT_EQ(out.back().t, 49);
+  // Unknown sensor: empty result, not an error.
+  ASSERT_TRUE(engine.Query("unknown", 0, 10, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+class EngineSorterTest : public EngineTest,
+                         public ::testing::WithParamInterface<SorterId> {};
+
+TEST_P(EngineSorterTest, FlushAndQueryAcrossFilesUnderDisorder) {
+  StorageEngine engine(Options(GetParam()));
+  ASSERT_TRUE(engine.Open().ok());
+  Rng rng(33);
+  AbsNormalDelay delay(1, 30);
+  constexpr size_t kN = 50'000;  // several flushes at threshold 10k
+  const auto series = GenerateArrivalOrderedSeries<double>(kN, delay, rng);
+  for (const auto& p : series) {
+    ASSERT_TRUE(engine.Write("s", p.t, p.v).ok());
+  }
+  ASSERT_TRUE(engine.FlushAll().ok());
+  EXPECT_GE(engine.sealed_file_count(), 4u);
+
+  std::vector<TvPairDouble> out;
+  ASSERT_TRUE(engine.Query("s", 0, static_cast<Timestamp>(kN), &out).ok());
+  ASSERT_EQ(out.size(), kN);
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(out[i].t, static_cast<Timestamp>(i)) << "at " << i;
+    ASSERT_DOUBLE_EQ(out[i].v, SignalValueAt(i)) << "at " << i;
+  }
+  const FlushMetrics metrics = engine.GetFlushMetrics();
+  EXPECT_GE(metrics.flush_ms.count(), 4u);
+  EXPECT_GT(metrics.flush_ms.mean(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sorters, EngineSorterTest,
+    ::testing::Values(SorterId::kBackward, SorterId::kQuick, SorterId::kTim,
+                      SorterId::kPatience, SorterId::kCk, SorterId::kY),
+    [](const ::testing::TestParamInfo<SorterId>& info) {
+      return SorterName(info.param);
+    });
+
+TEST_F(EngineTest, SeparationPolicyRoutesStragglers) {
+  EngineOptions opt = Options(SorterId::kBackward, /*async=*/false);
+  opt.memtable_flush_threshold = 1000;
+  StorageEngine engine(opt);
+  ASSERT_TRUE(engine.Open().ok());
+  // Fill and flush the first 1000 points.
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(engine.Write("s", i, 1.0 * i).ok());
+  }
+  ASSERT_GE(engine.sealed_file_count(), 1u);
+  // A straggler below the watermark goes to the unsequence memtable; it
+  // must still be visible to queries, and — being the newer write of
+  // timestamp 42 — must shadow the on-disk value (last-write-wins).
+  ASSERT_TRUE(engine.Write("s", 500000, 7.0).ok());  // advance nothing (seq)
+  ASSERT_TRUE(engine.Write("s", 42, -1.0).ok());     // below watermark
+  std::vector<TvPairDouble> out;
+  ASSERT_TRUE(engine.Query("s", 42, 42, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].v, -1.0);
+  // Unsequence data flushes into its own file.
+  ASSERT_TRUE(engine.FlushAll().ok());
+  bool saw_unseq = false;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().filename().string().rfind("unseq-", 0) == 0) {
+      saw_unseq = true;
+    }
+  }
+  EXPECT_TRUE(saw_unseq);
+}
+
+TEST_F(EngineTest, SyncFlushMode) {
+  EngineOptions opt = Options(SorterId::kQuick, /*async=*/false);
+  opt.memtable_flush_threshold = 5000;
+  StorageEngine engine(opt);
+  ASSERT_TRUE(engine.Open().ok());
+  Rng rng(44);
+  LogNormalDelay delay(1, 1);
+  const auto series = GenerateArrivalOrderedSeries<double>(20'000, delay, rng);
+  for (const auto& p : series) {
+    ASSERT_TRUE(engine.Write("s", p.t, p.v).ok());
+  }
+  ASSERT_TRUE(engine.FlushAll().ok());
+  // At least the four sequence flushes; stragglers below the watermark may
+  // add unsequence files.
+  EXPECT_GE(engine.sealed_file_count(), 4u);
+  std::vector<TvPairDouble> out;
+  ASSERT_TRUE(engine.Query("s", 0, 20'000, &out).ok());
+  EXPECT_EQ(out.size(), 20'000u);
+}
+
+TEST_F(EngineTest, ConcurrentQueriesDuringIngest) {
+  StorageEngine engine(Options(SorterId::kBackward));
+  ASSERT_TRUE(engine.Open().ok());
+  std::atomic<bool> done{false};
+  std::atomic<size_t> queries{0};
+  std::thread reader([&] {
+    std::vector<TvPairDouble> out;
+    while (!done.load()) {
+      ASSERT_TRUE(engine.Query("s", 0, 1'000'000, &out).ok());
+      // Results must always be sorted.
+      for (size_t i = 1; i < out.size(); ++i) {
+        ASSERT_LE(out[i - 1].t, out[i].t);
+      }
+      queries.fetch_add(1);
+    }
+  });
+  Rng rng(55);
+  AbsNormalDelay delay(1, 50);
+  const auto series = GenerateArrivalOrderedSeries<double>(60'000, delay, rng);
+  for (const auto& p : series) {
+    ASSERT_TRUE(engine.Write("s", p.t, p.v).ok());
+  }
+  ASSERT_TRUE(engine.FlushAll().ok());
+  done.store(true);
+  reader.join();
+  EXPECT_GT(queries.load(), 0u);
+  std::vector<TvPairDouble> out;
+  ASSERT_TRUE(engine.Query("s", 0, 1'000'000, &out).ok());
+  EXPECT_EQ(out.size(), 60'000u);
+}
+
+TEST_F(EngineTest, LastCacheTracksNewestPoint) {
+  StorageEngine engine(Options(SorterId::kBackward));
+  ASSERT_TRUE(engine.Open().ok());
+  TvPairDouble last;
+  EXPECT_TRUE(engine.GetLatest("s", &last).IsNotFound());
+  ASSERT_TRUE(engine.Write("s", 10, 1.0).ok());
+  ASSERT_TRUE(engine.Write("s", 30, 3.0).ok());
+  ASSERT_TRUE(engine.Write("s", 20, 2.0).ok());  // late point, not newest
+  ASSERT_TRUE(engine.GetLatest("s", &last).ok());
+  EXPECT_EQ(last.t, 30);
+  EXPECT_DOUBLE_EQ(last.v, 3.0);
+  // Rewrite of the newest timestamp wins (last write).
+  ASSERT_TRUE(engine.Write("s", 30, 33.0).ok());
+  ASSERT_TRUE(engine.GetLatest("s", &last).ok());
+  EXPECT_DOUBLE_EQ(last.v, 33.0);
+}
+
+TEST_F(EngineTest, LastCacheSurvivesRestart) {
+  EngineOptions opt = Options(SorterId::kTim, /*async=*/false);
+  opt.memtable_flush_threshold = 100;
+  {
+    StorageEngine engine(opt);
+    ASSERT_TRUE(engine.Open().ok());
+    for (int i = 0; i < 250; ++i) {  // two flushes + WAL remainder
+      ASSERT_TRUE(engine.Write("s", i, i * 1.5).ok());
+    }
+  }
+  StorageEngine engine(opt);
+  ASSERT_TRUE(engine.Open().ok());
+  TvPairDouble last;
+  ASSERT_TRUE(engine.GetLatest("s", &last).ok());
+  EXPECT_EQ(last.t, 249);
+  EXPECT_DOUBLE_EQ(last.v, 249 * 1.5);
+}
+
+TEST_F(EngineTest, MultipleSensors) {
+  StorageEngine engine(Options(SorterId::kBackward));
+  ASSERT_TRUE(engine.Open().ok());
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(engine.Write("a", i, 1.0).ok());
+    ASSERT_TRUE(engine.Write("b", i, 2.0).ok());
+    ASSERT_TRUE(engine.Write("c", i, 3.0).ok());
+  }
+  ASSERT_TRUE(engine.FlushAll().ok());
+  std::vector<TvPairDouble> out;
+  ASSERT_TRUE(engine.Query("b", 0, 10'000, &out).ok());
+  ASSERT_EQ(out.size(), 5000u);
+  for (const auto& p : out) EXPECT_DOUBLE_EQ(p.v, 2.0);
+}
+
+}  // namespace
+}  // namespace backsort

@@ -1,0 +1,231 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "disorder/datasets.h"
+#include "disorder/inversion.h"
+#include "disorder/series_generator.h"
+
+namespace backsort {
+namespace {
+
+TEST(Inversion, CountInversionsBasics) {
+  EXPECT_EQ(CountInversions({}), 0u);
+  EXPECT_EQ(CountInversions({1}), 0u);
+  EXPECT_EQ(CountInversions({1, 2, 3}), 0u);
+  EXPECT_EQ(CountInversions({3, 2, 1}), 3u);
+  EXPECT_EQ(CountInversions({2, 1, 3}), 1u);
+  // n(n-1)/2 for reverse order.
+  std::vector<Timestamp> rev;
+  for (int i = 99; i >= 0; --i) rev.push_back(i);
+  EXPECT_EQ(CountInversions(rev), 99u * 100u / 2);
+}
+
+TEST(Inversion, MatchesBruteForce) {
+  Rng rng(3);
+  std::vector<Timestamp> ts;
+  for (int i = 0; i < 500; ++i) {
+    ts.push_back(static_cast<Timestamp>(rng.NextBelow(100)));
+  }
+  uint64_t brute = 0;
+  for (size_t i = 0; i < ts.size(); ++i) {
+    for (size_t j = i + 1; j < ts.size(); ++j) {
+      if (ts[i] > ts[j]) ++brute;
+    }
+  }
+  EXPECT_EQ(CountInversions(ts), brute);
+}
+
+// Examples 4 and 5 of the paper give, for the 15-point array of Figure 3:
+// alpha_1 = 6/14, alpha_3 = 4/12, alpha_5 = 0/10, and the down-sampled
+// estimates alpha~_3 = 1/4 and alpha~_5 = 0. The figure itself is not
+// recoverable from the paper text, so this 15-point array was constructed
+// to realize exactly those five ratios.
+TEST(Inversion, PaperExample4And5Ratios) {
+  const std::vector<Timestamp> ts = {4, 5, 3, 1, 2, 7, 6, 9,
+                                     8, 10, 14, 13, 15, 11, 12};
+  ASSERT_EQ(ts.size(), 15u);
+  EXPECT_EQ(CountIntervalInversions(ts, 1), 6u);
+  EXPECT_DOUBLE_EQ(IntervalInversionRatio(ts, 1), 6.0 / 14.0);
+  EXPECT_EQ(CountIntervalInversions(ts, 3), 4u);
+  EXPECT_DOUBLE_EQ(IntervalInversionRatio(ts, 3), 4.0 / 12.0);
+  EXPECT_EQ(CountIntervalInversions(ts, 5), 0u);
+  EXPECT_DOUBLE_EQ(IntervalInversionRatio(ts, 5), 0.0);
+  // Example 5: stride-sampled boundary pairs (t0,t3),(t3,t6),(t6,t9),
+  // (t9,t12) contain exactly one inversion.
+  EXPECT_DOUBLE_EQ(EmpiricalIntervalInversionRatio(ts, 3), 1.0 / 4.0);
+  EXPECT_DOUBLE_EQ(EmpiricalIntervalInversionRatio(ts, 5), 0.0);
+}
+
+TEST(Inversion, IntervalInversionEdgeCases) {
+  const std::vector<Timestamp> ts = {1, 2, 3};
+  EXPECT_EQ(CountIntervalInversions(ts, 0), 0u);
+  EXPECT_EQ(CountIntervalInversions(ts, 3), 0u);   // L >= N
+  EXPECT_EQ(CountIntervalInversions(ts, 10), 0u);
+  EXPECT_DOUBLE_EQ(IntervalInversionRatio(ts, 0), 0.0);
+  EXPECT_DOUBLE_EQ(IntervalInversionRatio(ts, 3), 0.0);
+}
+
+// Proposition 2 with Example 6: for exponential delay E(lambda),
+// E(alpha_L) = exp(-lambda L) / 2. Checked empirically at 1M points.
+TEST(Inversion, Proposition2ExponentialDelay) {
+  Rng rng(42);
+  const double lambda = 2.0;
+  ExponentialDelay delay(lambda);
+  const auto ts = GenerateArrivalOrderedTimestamps(1'000'000, delay, rng);
+  const double alpha1 = IntervalInversionRatio(ts, 1);
+  const double expect1 = 0.5 * std::exp(-lambda * 1);
+  EXPECT_NEAR(alpha1, expect1, 0.1 * expect1) << "alpha_1";
+  const double alpha3 = IntervalInversionRatio(ts, 3);
+  const double expect3 = 0.5 * std::exp(-lambda * 3);
+  EXPECT_NEAR(alpha3, expect3, 0.3 * expect3) << "alpha_3";
+}
+
+// Proposition 2 shape for AbsNormal: alpha decreases with L.
+TEST(Inversion, AlphaDecreasesWithInterval) {
+  Rng rng(8);
+  AbsNormalDelay delay(1, 10);
+  const auto ts = GenerateArrivalOrderedTimestamps(200'000, delay, rng);
+  double prev = 1.0;
+  for (size_t L : {1, 2, 4, 8, 16, 32, 64}) {
+    const double alpha = IntervalInversionRatio(ts, L);
+    EXPECT_LE(alpha, prev + 1e-9) << "L=" << L;
+    prev = alpha;
+  }
+}
+
+// The down-sampled estimator of Example 5 approximates the exact ratio.
+TEST(Inversion, EmpiricalEstimatorTracksExactRatio) {
+  Rng rng(21);
+  AbsNormalDelay delay(1, 20);
+  const auto ts = GenerateArrivalOrderedTimestamps(500'000, delay, rng);
+  for (size_t L : {4, 16, 64}) {
+    const double exact = IntervalInversionRatio(ts, L);
+    const double est = EmpiricalIntervalInversionRatio(ts, L);
+    EXPECT_NEAR(est, exact, std::max(0.02, 0.25 * exact))
+        << "L=" << L;
+  }
+}
+
+// Proposition 4 / Example 7: discrete uniform delay on {0,1,2,3} gives
+// E(Q) = E(delta_tau | delta_tau >= 0) = 5/8 per boundary... the paper's
+// equality case. Measured overlap must not exceed the bound materially.
+TEST(Inversion, Proposition4OverlapBound) {
+  Rng rng(4);
+  DiscreteUniformDelay delay(0, 3);
+  const auto ts = GenerateArrivalOrderedTimestamps(400'000, delay, rng);
+  // E(delta_tau | delta_tau >= 0): delta of two iid U{0..3}; P(d=1)=3/16*2?
+  // Direct computation: sum_{k>=1} P(delta > k-1)... use the tail form:
+  // E(Q) = sum_{k>=0} F_bar(k), F_bar(0)=P(d>0)=6/16, F_bar(1)=3/16,
+  // F_bar(2)=1/16 -> 10/16 = 0.625.
+  const double bound = 0.625;
+  for (size_t L : {8, 32, 128}) {
+    const double q = MeasureMeanOverlap(ts, L);
+    EXPECT_LE(q, bound * 1.15) << "L=" << L;
+  }
+}
+
+TEST(DisorderMeasures, CountRuns) {
+  EXPECT_EQ(CountRuns({}), 0u);
+  EXPECT_EQ(CountRuns({5}), 1u);
+  EXPECT_EQ(CountRuns({1, 2, 3}), 1u);
+  EXPECT_EQ(CountRuns({3, 2, 1}), 3u);
+  EXPECT_EQ(CountRuns({1, 3, 2, 4, 0}), 3u);
+  EXPECT_EQ(CountRuns({2, 2, 2}), 1u);  // non-decreasing counts as one run
+}
+
+TEST(DisorderMeasures, MaxDisplacement) {
+  EXPECT_EQ(MaxDisplacement({}), 0u);
+  EXPECT_EQ(MaxDisplacement({1, 2, 3}), 0u);
+  EXPECT_EQ(MaxDisplacement({2, 3, 4, 5, 1}), 4u);  // 1 is 4 slots late
+  EXPECT_EQ(MaxDisplacement({3, 1, 2}), 2u);
+}
+
+TEST(DisorderMeasures, RunsGrowWithSigma) {
+  Rng rng(14);
+  size_t prev = 0;
+  for (double sigma : {0.1, 1.0, 10.0}) {
+    AbsNormalDelay delay(1, sigma);
+    const auto ts = GenerateArrivalOrderedTimestamps(100'000, delay, rng);
+    const size_t runs = CountRuns(ts);
+    EXPECT_GT(runs, prev) << "sigma=" << sigma;
+    prev = runs;
+  }
+}
+
+TEST(DisorderMeasures, DisplacementBoundedByDelayRange) {
+  // Discrete uniform delay in {0..k} can displace a point by at most ~k
+  // plus the points that jump it.
+  Rng rng(15);
+  DiscreteUniformDelay delay(0, 50);
+  const auto ts = GenerateArrivalOrderedTimestamps(100'000, delay, rng);
+  EXPECT_LE(MaxDisplacement(ts), 102u);
+  EXPECT_GT(MaxDisplacement(ts), 10u);
+}
+
+TEST(TailProfile, RecoversExponentialRate) {
+  Rng rng(12);
+  for (double lambda : {0.5, 1.0, 2.0}) {
+    ExponentialDelay delay(lambda);
+    const auto ts = GenerateArrivalOrderedTimestamps(1'000'000, delay, rng);
+    const auto profile = EstimateTailProfile(ts, 64);
+    const double fitted = FitExponentialRate(profile);
+    EXPECT_NEAR(fitted, lambda, 0.25 * lambda) << "lambda=" << lambda;
+  }
+}
+
+TEST(TailProfile, ProfileIsMonotoneNonIncreasing) {
+  Rng rng(13);
+  AbsNormalDelay delay(1, 10);
+  const auto ts = GenerateArrivalOrderedTimestamps(200'000, delay, rng);
+  const auto profile = EstimateTailProfile(ts);
+  ASSERT_GT(profile.size(), 4u);
+  for (size_t i = 1; i < profile.size(); ++i) {
+    EXPECT_LE(profile[i].alpha, profile[i - 1].alpha + 0.01)
+        << "interval " << profile[i].interval;
+  }
+}
+
+TEST(TailProfile, EdgeCases) {
+  EXPECT_TRUE(EstimateTailProfile({}).empty());
+  EXPECT_TRUE(EstimateTailProfile({1}).empty());
+  EXPECT_DOUBLE_EQ(FitExponentialRate({}), 0.0);
+  EXPECT_DOUBLE_EQ(FitExponentialRate({{1, 0.5}}), 0.0);
+  EXPECT_DOUBLE_EQ(FitExponentialRate({{1, 0.0}, {2, 0.0}}), 0.0);
+}
+
+// Dataset surrogates must reproduce the Fig. 8a IIR truncation profile.
+TEST(Datasets, SamsungSurrogateTruncatesByL32) {
+  Rng rng(6);
+  for (DatasetId id : {DatasetId::kSamsungD5, DatasetId::kSamsungS10}) {
+    auto delay = MakeDatasetDelay(id);
+    ASSERT_NE(delay, nullptr);
+    const auto ts = GenerateArrivalOrderedTimestamps(200'000, *delay, rng);
+    EXPECT_GT(IntervalInversionRatio(ts, 1), 0.0) << DatasetName(id);
+    EXPECT_DOUBLE_EQ(IntervalInversionRatio(ts, 32), 0.0) << DatasetName(id);
+  }
+}
+
+TEST(Datasets, CitibikeSurrogateHasLongTail) {
+  Rng rng(9);
+  for (DatasetId id :
+       {DatasetId::kCitibike201808, DatasetId::kCitibike201902}) {
+    auto delay = MakeDatasetDelay(id);
+    ASSERT_NE(delay, nullptr);
+    const auto ts = GenerateArrivalOrderedTimestamps(400'000, *delay, rng);
+    EXPECT_GT(IntervalInversionRatio(ts, 1), 1e-2) << DatasetName(id);
+    EXPECT_GT(IntervalInversionRatio(ts, 1024), 0.0) << DatasetName(id);
+    EXPECT_GT(IntervalInversionRatio(ts, 16384), 0.0) << DatasetName(id);
+  }
+}
+
+TEST(Datasets, NamesAndRegistry) {
+  EXPECT_EQ(RealWorldDatasets().size(), 4u);
+  EXPECT_EQ(DatasetName(DatasetId::kCitibike201808), "citibike-201808");
+  EXPECT_EQ(MakeDatasetDelay(DatasetId::kAbsNormal), nullptr);
+}
+
+}  // namespace
+}  // namespace backsort

@@ -1,0 +1,106 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "disorder/series_generator.h"
+#include "nn/lstm.h"
+
+namespace backsort {
+namespace {
+
+LstmRegressor::Config SmallConfig() {
+  LstmRegressor::Config c;
+  c.input_size = 10;
+  c.hidden_size = 2;
+  c.seq_len = 2;
+  c.epochs = 20;
+  c.learning_rate = 2e-2;
+  return c;
+}
+
+TEST(Lstm, MakeSamplesShapes) {
+  LstmRegressor::Config c = SmallConfig();
+  std::vector<double> series(100);
+  for (size_t i = 0; i < series.size(); ++i) series[i] = double(i);
+  const auto samples = LstmRegressor::MakeSamples(series, c);
+  ASSERT_EQ(samples.size(), 100 - c.input_size * c.seq_len);
+  EXPECT_EQ(samples[0].x.size(), c.input_size * c.seq_len);
+  EXPECT_DOUBLE_EQ(samples[0].y, 20.0);
+  EXPECT_DOUBLE_EQ(samples[0].x[0], 0.0);
+  EXPECT_DOUBLE_EQ(samples.back().y, 99.0);
+}
+
+TEST(Lstm, MakeSamplesTooShortSeries) {
+  LstmRegressor::Config c = SmallConfig();
+  std::vector<double> series(c.input_size * c.seq_len);  // no room for label
+  EXPECT_TRUE(LstmRegressor::MakeSamples(series, c).empty());
+}
+
+TEST(Lstm, LearnsLinearContinuation) {
+  // A clean periodic signal must be learnable to low MSE (standardized).
+  LstmRegressor::Config c = SmallConfig();
+  c.epochs = 40;
+  std::vector<double> series;
+  for (int i = 0; i < 600; ++i) {
+    series.push_back(std::sin(i * 0.15));
+  }
+  const auto samples = LstmRegressor::MakeSamples(series, c);
+  LstmRegressor model(c);
+  const double train_mse = model.Train(samples);
+  EXPECT_LT(train_mse, 0.05);
+  const double eval_mse = model.Evaluate(samples);
+  EXPECT_LT(eval_mse, 0.05);
+}
+
+TEST(Lstm, GradientCheckSmokeViaLossDecrease) {
+  // Training must reduce loss versus the untrained model on a fixed set.
+  LstmRegressor::Config c = SmallConfig();
+  c.epochs = 15;
+  std::vector<double> series;
+  for (int i = 0; i < 400; ++i) {
+    series.push_back(std::sin(i * 0.2) + 0.3 * std::sin(i * 0.05));
+  }
+  const auto samples = LstmRegressor::MakeSamples(series, c);
+  LstmRegressor untrained(c);
+  const double before = untrained.Evaluate(samples);
+  LstmRegressor trained(c);
+  trained.Train(samples);
+  const double after = trained.Evaluate(samples);
+  EXPECT_LT(after, before);
+}
+
+TEST(Lstm, DeterministicGivenSeed) {
+  LstmRegressor::Config c = SmallConfig();
+  c.epochs = 5;
+  std::vector<double> series;
+  for (int i = 0; i < 300; ++i) series.push_back(std::cos(i * 0.1));
+  const auto samples = LstmRegressor::MakeSamples(series, c);
+  LstmRegressor a(c), b(c);
+  EXPECT_DOUBLE_EQ(a.Train(samples), b.Train(samples));
+  EXPECT_DOUBLE_EQ(a.Predict(samples[0].x), b.Predict(samples[0].x));
+}
+
+TEST(Lstm, ForecastExperimentOrderedBeatsShuffled) {
+  // The Fig. 22 effect in miniature: training on a disordered series (as
+  // stored) yields higher test error than on the time-ordered series.
+  Rng rng(42);
+  const size_t n = 3000;
+  LogNormalDelay heavy(1, 4.0);
+  const auto disordered =
+      GenerateArrivalOrderedSeries<double>(n, heavy, rng);
+  std::vector<double> ordered_vals(n), disordered_vals(n);
+  for (size_t i = 0; i < n; ++i) {
+    ordered_vals[i] = SignalValueAt(i);
+    disordered_vals[i] = disordered[i].v;
+  }
+  LstmRegressor::Config c = SmallConfig();
+  c.epochs = 15;
+  const ForecastOutcome ord = RunForecastExperiment(ordered_vals, c);
+  const ForecastOutcome dis = RunForecastExperiment(disordered_vals, c);
+  EXPECT_LT(ord.test_mse, dis.test_mse);
+}
+
+}  // namespace
+}  // namespace backsort

@@ -1,0 +1,128 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine/merge.h"
+
+namespace backsort {
+namespace {
+
+std::vector<TvPairDouble> Points(
+    std::initializer_list<std::pair<Timestamp, double>> init) {
+  std::vector<TvPairDouble> out;
+  for (const auto& [t, v] : init) out.push_back({t, v});
+  return out;
+}
+
+TEST(MergeRuns, EmptyInputs) {
+  std::vector<TvPairDouble> out = Points({{1, 1.0}});
+  MergeRuns({}, true, &out);
+  EXPECT_TRUE(out.empty());
+  std::vector<SortedRun> runs;
+  runs.push_back({{}, 0});
+  runs.push_back({{}, 1});
+  MergeRuns(std::move(runs), true, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MergeRuns, SingleRunPassThrough) {
+  std::vector<SortedRun> runs;
+  runs.push_back({Points({{1, 1.0}, {2, 2.0}, {5, 5.0}}), 3});
+  std::vector<TvPairDouble> out;
+  MergeRuns(std::move(runs), false, &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[2].t, 5);
+}
+
+TEST(MergeRuns, InterleavesSortedRuns) {
+  std::vector<SortedRun> runs;
+  runs.push_back({Points({{1, 1.0}, {4, 4.0}, {7, 7.0}}), 0});
+  runs.push_back({Points({{2, 2.0}, {5, 5.0}}), 1});
+  runs.push_back({Points({{0, 0.0}, {3, 3.0}, {6, 6.0}, {8, 8.0}}), 2});
+  std::vector<TvPairDouble> out;
+  MergeRuns(std::move(runs), true, &out);
+  ASSERT_EQ(out.size(), 9u);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(out[static_cast<size_t>(i)].t, i);
+    EXPECT_DOUBLE_EQ(out[static_cast<size_t>(i)].v, i);
+  }
+}
+
+TEST(MergeRuns, DedupKeepsHighestPriority) {
+  std::vector<SortedRun> runs;
+  runs.push_back({Points({{1, 10.0}, {2, 20.0}}), /*priority=*/1});
+  runs.push_back({Points({{1, 11.0}, {3, 30.0}}), /*priority=*/2});
+  runs.push_back({Points({{1, 12.0}}), /*priority=*/0});
+  std::vector<TvPairDouble> out;
+  MergeRuns(std::move(runs), true, &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].t, 1);
+  EXPECT_DOUBLE_EQ(out[0].v, 11.0);  // priority 2 wins
+  EXPECT_DOUBLE_EQ(out[1].v, 20.0);
+  EXPECT_DOUBLE_EQ(out[2].v, 30.0);
+}
+
+TEST(MergeRuns, DedupWithinOneRunKeepsLastElement) {
+  std::vector<SortedRun> runs;
+  runs.push_back({Points({{5, 1.0}, {5, 2.0}, {5, 3.0}}), 0});
+  std::vector<TvPairDouble> out;
+  MergeRuns(std::move(runs), true, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].v, 3.0);
+}
+
+TEST(MergeRuns, NoDedupKeepsAll) {
+  std::vector<SortedRun> runs;
+  runs.push_back({Points({{1, 10.0}}), 1});
+  runs.push_back({Points({{1, 11.0}}), 2});
+  std::vector<TvPairDouble> out;
+  MergeRuns(std::move(runs), false, &out);
+  ASSERT_EQ(out.size(), 2u);
+  // Ordered by priority within equal timestamps.
+  EXPECT_DOUBLE_EQ(out[0].v, 10.0);
+  EXPECT_DOUBLE_EQ(out[1].v, 11.0);
+}
+
+TEST(MergeRuns, RandomizedAgainstReference) {
+  Rng rng(9);
+  for (int round = 0; round < 30; ++round) {
+    const size_t k = 1 + rng.NextBelow(6);
+    std::vector<SortedRun> runs;
+    std::vector<std::pair<Timestamp, std::pair<int, double>>> reference;
+    for (size_t r = 0; r < k; ++r) {
+      SortedRun run;
+      run.priority = static_cast<int>(r);
+      Timestamp t = 0;
+      const size_t len = rng.NextBelow(100);
+      for (size_t i = 0; i < len; ++i) {
+        t += static_cast<Timestamp>(rng.NextBelow(3));  // duplicates likely
+        const double v = static_cast<double>(rng.NextBelow(1000));
+        run.points.push_back({t, v});
+        reference.push_back({t, {static_cast<int>(r), v}});
+      }
+      runs.push_back(std::move(run));
+    }
+    // Reference dedup: for each timestamp keep the entry from the highest
+    // priority run; within a run, the last element.
+    std::map<Timestamp, std::pair<int, double>> best;
+    for (const auto& [t, pv] : reference) {
+      auto it = best.find(t);
+      if (it == best.end() || pv.first >= it->second.first) {
+        best[t] = pv;
+      }
+    }
+    std::vector<TvPairDouble> out;
+    MergeRuns(std::move(runs), true, &out);
+    ASSERT_EQ(out.size(), best.size()) << "round " << round;
+    size_t i = 0;
+    for (const auto& [t, pv] : best) {
+      ASSERT_EQ(out[i].t, t) << "round " << round;
+      ASSERT_DOUBLE_EQ(out[i].v, pv.second) << "round " << round << " t=" << t;
+      ++i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace backsort

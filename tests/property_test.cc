@@ -1,0 +1,272 @@
+// Property-style sweeps: randomized inputs, invariant checks, and
+// model-based comparison against reference implementations.
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/sorter_registry.h"
+#include "disorder/series_generator.h"
+#include "encoding/encoding.h"
+#include "sort/merge_sort.h"
+#include "tvlist/tv_list.h"
+
+namespace backsort {
+namespace {
+
+using Pair = TvPairInt;
+
+// --- Backward-Sort invariants over the full option grid ---------------------
+
+struct GridCase {
+  double theta;
+  size_t l0;
+  BackwardSortOptions::BlockSizeStrategy strategy;
+  uint64_t seed;
+};
+
+class BackwardGridTest : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(BackwardGridTest, SortsAndRespectsScanBound) {
+  const GridCase c = GetParam();
+  Rng rng(c.seed);
+  // Rotate through distributions by seed for coverage diversity.
+  std::unique_ptr<DelayDistribution> delay;
+  switch (c.seed % 4) {
+    case 0:
+      delay = std::make_unique<AbsNormalDelay>(1, 15);
+      break;
+    case 1:
+      delay = std::make_unique<LogNormalDelay>(1, 2);
+      break;
+    case 2:
+      delay = std::make_unique<ExponentialDelay>(0.05);
+      break;
+    default:
+      delay = std::make_unique<DiscreteUniformDelay>(0, 200);
+      break;
+  }
+  const size_t n = 20'000 + (c.seed % 7) * 1'111;  // non-round sizes
+  const auto ts = GenerateArrivalOrderedTimestamps(n, *delay, rng);
+  std::vector<Pair> data(ts.size());
+  for (size_t i = 0; i < ts.size(); ++i) {
+    data[i] = {ts[i], static_cast<int32_t>(ts[i])};
+  }
+  VectorSortable<int32_t> seq(data);
+  BackwardSortOptions options;
+  options.theta = c.theta;
+  options.initial_block_size = c.l0;
+  options.strategy = c.strategy;
+  BackwardSortStats stats;
+  BackwardSort(seq, options, &stats);
+
+  // Invariant 1: sorted.
+  ASSERT_TRUE(IsSorted(seq));
+  // Invariant 2: permutation of 0..n-1 with value binding intact.
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(data[i].t, static_cast<Timestamp>(i));
+    ASSERT_EQ(data[i].v, static_cast<int32_t>(i));
+  }
+  // Invariant 3 (theta-doubling only): Proposition 3's scan bound.
+  if (c.strategy == BackwardSortOptions::BlockSizeStrategy::kThetaDoubling) {
+    EXPECT_LE(stats.iir_samples_scanned, 2 * n / std::max<size_t>(c.l0, 1) + 1);
+  }
+  // Invariant 4: block accounting is consistent.
+  EXPECT_GE(stats.chosen_block_size, 1u);
+  EXPECT_LE(stats.chosen_block_size, n);
+  if (stats.block_count > 1) {
+    EXPECT_EQ(stats.merges_performed + stats.merges_skipped,
+              stats.block_count - 1);
+  }
+}
+
+std::vector<GridCase> MakeGrid() {
+  std::vector<GridCase> grid;
+  uint64_t seed = 0;
+  for (double theta : {0.01, 0.04, 0.2}) {
+    for (size_t l0 : {1, 4, 64}) {
+      for (auto strategy :
+           {BackwardSortOptions::BlockSizeStrategy::kThetaDoubling,
+            BackwardSortOptions::BlockSizeStrategy::kOverlapProportional}) {
+        grid.push_back({theta, l0, strategy, seed++});
+      }
+    }
+  }
+  return grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OptionGrid, BackwardGridTest, ::testing::ValuesIn(MakeGrid()),
+    [](const ::testing::TestParamInfo<GridCase>& info) {
+      const GridCase& c = info.param;
+      return "theta" + std::to_string(static_cast<int>(c.theta * 100)) +
+             "_L0" + std::to_string(c.l0) + "_" +
+             (c.strategy ==
+                      BackwardSortOptions::BlockSizeStrategy::kThetaDoubling
+                  ? "doubling"
+                  : "overlap") +
+             "_s" + std::to_string(c.seed);
+    });
+
+// --- encoding fuzz: random corpora, all integer encodings -------------------
+
+class EncodingFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EncodingFuzzTest, RandomCorporaRoundTrip) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    const size_t n = rng.NextBelow(3000);
+    std::vector<int64_t> corpus;
+    corpus.reserve(n);
+    // Mix regimes: monotone, runs, random, extreme magnitudes.
+    const uint64_t regime = rng.NextBelow(4);
+    int64_t acc = static_cast<int64_t>(rng.NextU64());
+    for (size_t i = 0; i < n; ++i) {
+      switch (regime) {
+        case 0:
+          acc += static_cast<int64_t>(rng.NextBelow(1000));
+          corpus.push_back(acc);
+          break;
+        case 1:
+          corpus.push_back(static_cast<int64_t>(rng.NextBelow(5)));
+          break;
+        case 2:
+          corpus.push_back(static_cast<int64_t>(rng.NextU64()));
+          break;
+        default:
+          corpus.push_back(
+              (i % 2 == 0 ? 1 : -1) *
+              static_cast<int64_t>(rng.NextU64() >> (rng.NextBelow(63) + 1)));
+          break;
+      }
+    }
+    for (Encoding e : {Encoding::kPlain, Encoding::kTs2Diff, Encoding::kRle}) {
+      ByteBuffer buf;
+      ASSERT_TRUE(EncodeI64(e, corpus, &buf).ok());
+      ByteReader r(buf.data());
+      std::vector<int64_t> decoded;
+      ASSERT_TRUE(DecodeI64(e, &r, corpus.size(), &decoded).ok())
+          << EncodingName(e) << " round " << round;
+      ASSERT_EQ(decoded, corpus) << EncodingName(e) << " round " << round;
+    }
+    // Gorilla over the bit patterns reinterpreted as doubles.
+    std::vector<double> dbl(corpus.size());
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      std::memcpy(&dbl[i], &corpus[i], sizeof(double));
+    }
+    ByteBuffer buf;
+    ASSERT_TRUE(EncodeF64(Encoding::kGorilla, dbl, &buf).ok());
+    ByteReader r(buf.data());
+    std::vector<double> decoded;
+    ASSERT_TRUE(DecodeF64(Encoding::kGorilla, &r, dbl.size(), &decoded).ok());
+    ASSERT_EQ(decoded.size(), dbl.size());
+    for (size_t i = 0; i < dbl.size(); ++i) {
+      uint64_t a, b;
+      std::memcpy(&a, &decoded[i], 8);
+      std::memcpy(&b, &dbl[i], 8);
+      ASSERT_EQ(a, b) << "gorilla bit-exactness lost at " << i;
+    }
+  }
+}
+
+TEST_P(EncodingFuzzTest, TruncatedBuffersNeverCrash) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  std::vector<int64_t> corpus;
+  int64_t acc = 0;
+  for (int i = 0; i < 500; ++i) {
+    acc += static_cast<int64_t>(rng.NextBelow(100));
+    corpus.push_back(acc);
+  }
+  for (Encoding e : {Encoding::kPlain, Encoding::kTs2Diff, Encoding::kRle}) {
+    ByteBuffer buf;
+    ASSERT_TRUE(EncodeI64(e, corpus, &buf).ok());
+    for (int round = 0; round < 30; ++round) {
+      const size_t cut = rng.NextBelow(buf.size());
+      ByteReader r(buf.data().data(), cut);
+      std::vector<int64_t> decoded;
+      const Status st = DecodeI64(e, &r, corpus.size(), &decoded);
+      // Either a clean error, or (for cuts landing on a record boundary in
+      // RLE/plain) fewer points than requested is impossible — decode asks
+      // for the full count, so truncation must surface as a failure.
+      ASSERT_FALSE(st.ok()) << EncodingName(e) << " cut=" << cut;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodingFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// --- TVList model-based test -------------------------------------------------
+
+TEST(TVListProperty, BehavesLikeVectorModel) {
+  Rng rng(77);
+  for (size_t array_size : {1, 2, 7, 32, 100}) {
+    IntTVList list(array_size);
+    std::vector<Pair> model;
+    for (int op = 0; op < 5000; ++op) {
+      const Timestamp t = static_cast<Timestamp>(rng.NextBelow(100000));
+      const int32_t v = static_cast<int32_t>(rng.NextU64());
+      list.Put(t, v);
+      model.push_back({t, v});
+      if (op % 97 == 0) {
+        const size_t i = rng.NextBelow(model.size());
+        ASSERT_EQ(list.TimeAt(i), model[i].t);
+        ASSERT_EQ(list.ValueAt(i), model[i].v);
+      }
+    }
+    ASSERT_EQ(list.size(), model.size());
+    const bool model_sorted = std::is_sorted(
+        model.begin(), model.end(),
+        [](const Pair& a, const Pair& b) { return a.t < b.t; });
+    // list.sorted() may only report true when actually sorted.
+    if (list.sorted()) EXPECT_TRUE(model_sorted);
+    Timestamp expect_min = model[0].t, expect_max = model[0].t;
+    for (const Pair& p : model) {
+      expect_min = std::min(expect_min, p.t);
+      expect_max = std::max(expect_max, p.t);
+    }
+    EXPECT_EQ(list.min_time(), expect_min);
+    EXPECT_EQ(list.max_time(), expect_max);
+  }
+}
+
+// --- merge helper equivalence -------------------------------------------------
+
+TEST(MergeProperty, StraightMergeMatchesStdMerge) {
+  Rng rng(31);
+  for (int round = 0; round < 50; ++round) {
+    const size_t a = rng.NextBelow(200);
+    const size_t b = rng.NextBelow(200);
+    std::vector<Pair> data;
+    Timestamp t = 0;
+    for (size_t i = 0; i < a; ++i) {
+      t += static_cast<Timestamp>(rng.NextBelow(5));
+      data.push_back({t, static_cast<int32_t>(i)});
+    }
+    t = static_cast<Timestamp>(rng.NextBelow(100));
+    for (size_t i = 0; i < b; ++i) {
+      t += static_cast<Timestamp>(rng.NextBelow(5));
+      data.push_back({t, static_cast<int32_t>(a + i)});
+    }
+    std::vector<Pair> expect = data;
+    std::inplace_merge(expect.begin(),
+                       expect.begin() + static_cast<ptrdiff_t>(a),
+                       expect.end(), [](const Pair& x, const Pair& y) {
+                         return x.t < y.t;
+                       });
+    VectorSortable<int32_t> seq(data);
+    std::vector<Pair> scratch;
+    sort_internal::StraightMergeRanges(seq, 0, a, a + b, scratch);
+    for (size_t i = 0; i < data.size(); ++i) {
+      ASSERT_EQ(data[i].t, expect[i].t) << "round " << round << " i " << i;
+      ASSERT_EQ(data[i].v, expect[i].v) << "round " << round << " i " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace backsort

@@ -1,0 +1,159 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "disorder/series_generator.h"
+
+namespace backsort {
+namespace {
+
+TEST(SeriesGenerator, ZeroDelayIsFullyOrdered) {
+  Rng rng(1);
+  ConstantDelay delay(0.0);
+  const auto ts = GenerateArrivalOrderedTimestamps(1000, delay, rng);
+  for (size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ(ts[i], static_cast<Timestamp>(i));
+  }
+}
+
+TEST(SeriesGenerator, ConstantDelayIsFullyOrdered) {
+  // A constant nonzero delay shifts all arrivals equally: still ordered.
+  Rng rng(1);
+  ConstantDelay delay(42.5);
+  const auto ts = GenerateArrivalOrderedTimestamps(1000, delay, rng);
+  for (size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ(ts[i], static_cast<Timestamp>(i));
+  }
+}
+
+TEST(SeriesGenerator, ProducesPermutation) {
+  Rng rng(2);
+  for (double sigma : {0.5, 5.0, 500.0}) {
+    AbsNormalDelay delay(1, sigma);
+    const auto ts = GenerateArrivalOrderedTimestamps(20000, delay, rng);
+    EXPECT_TRUE(IsPermutationOfIota(ts)) << "sigma=" << sigma;
+  }
+}
+
+TEST(SeriesGenerator, DisorderGrowsWithSigma) {
+  Rng rng(3);
+  double prev_delayed = 0;
+  for (double sigma : {0.1, 1.0, 10.0, 100.0}) {
+    AbsNormalDelay delay(1, sigma);
+    const auto ts = GenerateArrivalOrderedTimestamps(50000, delay, rng);
+    const DelayOnlyProfile profile = ProfileDelayOnly(ts);
+    const double delayed = static_cast<double>(profile.delayed_points);
+    EXPECT_GE(delayed, prev_delayed * 0.8) << "sigma=" << sigma;
+    prev_delayed = delayed;
+  }
+}
+
+TEST(SeriesGenerator, DelayOnlyDisplacementAsymmetry) {
+  // Under delay-only generation, points land "ahead" of their rank only by
+  // being jumped over; with a sparse heavy tail, delayed displacement can
+  // be huge while every point's ahead displacement stays bounded by the
+  // number of points that jumped it.
+  Rng rng(4);
+  auto base = std::make_unique<ConstantDelay>(0.0);
+  auto tail = std::make_unique<ConstantDelay>(1000.0);
+  MixtureDelay delay(std::move(base), std::move(tail), 0.01, "sparse-tail");
+  const auto ts = GenerateArrivalOrderedTimestamps(100000, delay, rng);
+  const DelayOnlyProfile profile = ProfileDelayOnly(ts);
+  EXPECT_GT(profile.delayed_points, 0u);
+  EXPECT_GE(profile.max_delayed_displacement, 500u);
+  // ~1% of points delayed by 1000 -> a point is jumped by at most ~2% of
+  // 1000 nearby stragglers; far smaller than the delayed displacement.
+  EXPECT_LT(profile.max_ahead_displacement,
+            profile.max_delayed_displacement);
+}
+
+TEST(SeriesGenerator, ValuesBindToGenerationIndex) {
+  Rng rng(5);
+  AbsNormalDelay delay(1, 10);
+  const auto series = GenerateArrivalOrderedSeries<double>(5000, delay, rng);
+  for (const auto& p : series) {
+    EXPECT_DOUBLE_EQ(p.v, SignalValueAt(static_cast<size_t>(p.t)));
+  }
+}
+
+TEST(SeriesGenerator, EmptyAndSingle) {
+  Rng rng(6);
+  ConstantDelay delay(0.0);
+  EXPECT_TRUE(GenerateArrivalOrderedTimestamps(0, delay, rng).empty());
+  const auto one = GenerateArrivalOrderedTimestamps(1, delay, rng);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0);
+}
+
+TEST(DelayDistributions, SamplesAreNonNegative) {
+  Rng rng(7);
+  AbsNormalDelay abs_normal(0, 5);
+  LogNormalDelay log_normal(1, 2);
+  ExponentialDelay exponential(0.5);
+  DiscreteUniformDelay uniform(0, 9);
+  const DelayDistribution* dists[] = {&abs_normal, &log_normal, &exponential,
+                                      &uniform};
+  for (const DelayDistribution* d : dists) {
+    for (int i = 0; i < 10000; ++i) {
+      EXPECT_GE(d->Sample(rng), 0.0) << d->Name();
+    }
+  }
+}
+
+TEST(DelayDistributions, LogNormalSigmaZeroIsConstant) {
+  Rng rng(8);
+  LogNormalDelay delay(1, 0);
+  const double expect = std::exp(1.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(delay.Sample(rng), expect);
+  }
+}
+
+TEST(DelayDistributions, ExponentialMeanMatches) {
+  Rng rng(9);
+  ExponentialDelay delay(2.0);
+  double total = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) total += delay.Sample(rng);
+  EXPECT_NEAR(total / kSamples, 0.5, 0.01);
+}
+
+TEST(DelayDistributions, CappedNeverExceedsCap) {
+  Rng rng(10);
+  CappedDelay delay(std::make_unique<LogNormalDelay>(8, 3), 100.0);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LE(delay.Sample(rng), 100.0);
+  }
+}
+
+TEST(DelayDistributions, Names) {
+  EXPECT_EQ(AbsNormalDelay(1, 2).Name(), "AbsNormal(1,2)");
+  EXPECT_EQ(LogNormalDelay(0, 1).Name(), "LogNormal(0,1)");
+  EXPECT_EQ(ExponentialDelay(3).Name(), "Exponential(3)");
+  EXPECT_EQ(DiscreteUniformDelay(0, 3).Name(), "DiscreteUniform(0,3)");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0, sum2 = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / kSamples, 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace backsort

@@ -1,0 +1,130 @@
+// Adversarial input patterns for the sorting algorithms: shapes known to
+// break naive quicksorts (organ pipe, sawtooth, few-distinct), merge-stack
+// stress for Timsort (random run lengths), and displacement extremes for
+// Backward-Sort's set-block-size heuristic.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/sorter_registry.h"
+
+namespace backsort {
+namespace {
+
+using Pair = TvPairInt;
+
+std::vector<Pair> FromTimes(const std::vector<Timestamp>& ts) {
+  std::vector<Pair> out(ts.size());
+  for (size_t i = 0; i < ts.size(); ++i) {
+    out[i] = {ts[i], static_cast<int32_t>(i)};
+  }
+  return out;
+}
+
+void ExpectSortedSameMultiset(std::vector<Pair> data, SorterId s) {
+  std::vector<Timestamp> expect(data.size());
+  for (size_t i = 0; i < data.size(); ++i) expect[i] = data[i].t;
+  std::sort(expect.begin(), expect.end());
+  VectorSortable<int32_t> seq(data);
+  SortWith(s, seq);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(data[i].t, expect[i]) << SorterName(s) << " at " << i;
+  }
+}
+
+class AdversarialTest : public ::testing::TestWithParam<SorterId> {
+ protected:
+  size_t N() const {
+    return GetParam() == SorterId::kInsertion ? 2'000 : 30'000;
+  }
+};
+
+TEST_P(AdversarialTest, OrganPipe) {
+  // 0,1,2,...,k,...,2,1,0 — classic quicksort killer for bad pivots.
+  std::vector<Timestamp> ts;
+  const size_t n = N();
+  for (size_t i = 0; i < n / 2; ++i) ts.push_back(static_cast<Timestamp>(i));
+  for (size_t i = n / 2; i-- > 0;) ts.push_back(static_cast<Timestamp>(i));
+  ExpectSortedSameMultiset(FromTimes(ts), GetParam());
+}
+
+TEST_P(AdversarialTest, Sawtooth) {
+  std::vector<Timestamp> ts;
+  for (size_t i = 0; i < N(); ++i) {
+    ts.push_back(static_cast<Timestamp>(i % 97));
+  }
+  ExpectSortedSameMultiset(FromTimes(ts), GetParam());
+}
+
+TEST_P(AdversarialTest, TwoDistinctValues) {
+  Rng rng(5);
+  std::vector<Timestamp> ts;
+  for (size_t i = 0; i < N(); ++i) {
+    ts.push_back(static_cast<Timestamp>(rng.NextBelow(2)));
+  }
+  ExpectSortedSameMultiset(FromTimes(ts), GetParam());
+}
+
+TEST_P(AdversarialTest, AlternatingHighLow) {
+  std::vector<Timestamp> ts;
+  for (size_t i = 0; i < N(); ++i) {
+    ts.push_back(i % 2 == 0 ? static_cast<Timestamp>(i)
+                            : static_cast<Timestamp>(1'000'000 - i));
+  }
+  ExpectSortedSameMultiset(FromTimes(ts), GetParam());
+}
+
+TEST_P(AdversarialTest, RandomRunLengths) {
+  // Concatenated ascending runs of wildly varying lengths — stresses
+  // Timsort's merge-collapse invariants and Patience's pile management.
+  Rng rng(6);
+  std::vector<Timestamp> ts;
+  Timestamp base = 0;
+  while (ts.size() < N()) {
+    const size_t len = 1 + rng.NextBelow(300);
+    base = static_cast<Timestamp>(rng.NextBelow(1'000'000));
+    for (size_t i = 0; i < len && ts.size() < N(); ++i) {
+      ts.push_back(base + static_cast<Timestamp>(i));
+    }
+  }
+  ExpectSortedSameMultiset(FromTimes(ts), GetParam());
+}
+
+TEST_P(AdversarialTest, SingleDelayedPointToFront) {
+  // The worst "ahead" displacement: the globally smallest timestamp
+  // arrives last (delayed across the entire stream).
+  std::vector<Timestamp> ts;
+  for (size_t i = 1; i < N(); ++i) ts.push_back(static_cast<Timestamp>(i));
+  ts.push_back(0);
+  ExpectSortedSameMultiset(FromTimes(ts), GetParam());
+}
+
+TEST_P(AdversarialTest, ExtremeTimestampValues) {
+  std::vector<Timestamp> ts = {
+      std::numeric_limits<Timestamp>::max(),
+      std::numeric_limits<Timestamp>::min(),
+      0,
+      -1,
+      1,
+      std::numeric_limits<Timestamp>::max() - 1,
+      std::numeric_limits<Timestamp>::min() + 1,
+  };
+  // Pad with mid-range noise.
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    ts.push_back(static_cast<Timestamp>(rng.NextU64()));
+  }
+  ExpectSortedSameMultiset(FromTimes(ts), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSorters, AdversarialTest, ::testing::ValuesIn(AllSorters()),
+    [](const ::testing::TestParamInfo<SorterId>& info) {
+      return SorterName(info.param);
+    });
+
+}  // namespace
+}  // namespace backsort

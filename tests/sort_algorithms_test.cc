@@ -1,0 +1,216 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/sorter_registry.h"
+#include "disorder/series_generator.h"
+
+namespace backsort {
+namespace {
+
+using Pair = TvPairInt;
+
+std::vector<Pair> MakePairs(const std::vector<Timestamp>& ts) {
+  std::vector<Pair> out(ts.size());
+  for (size_t i = 0; i < ts.size(); ++i) {
+    out[i] = {ts[i], static_cast<int32_t>(ts[i] * 3 + 1)};
+  }
+  return out;
+}
+
+void ExpectSortedPermutation(const std::vector<Pair>& original,
+                             const std::vector<Pair>& sorted) {
+  ASSERT_EQ(original.size(), sorted.size());
+  // Sorted by time.
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    ASSERT_LE(sorted[i - 1].t, sorted[i].t) << "at index " << i;
+  }
+  // Same multiset: compare against std::sort ground truth.
+  std::vector<Pair> expect = original;
+  std::sort(expect.begin(), expect.end(),
+            [](const Pair& a, const Pair& b) { return a.t < b.t; });
+  for (size_t i = 0; i < expect.size(); ++i) {
+    ASSERT_EQ(expect[i].t, sorted[i].t) << "at index " << i;
+    // Timestamps are distinct in generated workloads, so values must bind.
+    ASSERT_EQ(expect[i].v, sorted[i].v) << "value binding lost at " << i;
+  }
+}
+
+// --- parameterized sweep: every sorter x several disorder profiles --------
+
+struct SweepCase {
+  SorterId sorter;
+  const char* delay_kind;
+  double p1, p2;
+  size_t n;
+};
+
+class SorterSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+std::unique_ptr<DelayDistribution> MakeDelay(const SweepCase& c) {
+  const std::string kind = c.delay_kind;
+  if (kind == "absnormal") return std::make_unique<AbsNormalDelay>(c.p1, c.p2);
+  if (kind == "lognormal") return std::make_unique<LogNormalDelay>(c.p1, c.p2);
+  if (kind == "exponential")
+    return std::make_unique<ExponentialDelay>(c.p1);
+  if (kind == "uniform")
+    return std::make_unique<DiscreteUniformDelay>(
+        static_cast<int64_t>(c.p1), static_cast<int64_t>(c.p2));
+  return std::make_unique<ConstantDelay>(0.0);
+}
+
+TEST_P(SorterSweepTest, SortsArrivalStream) {
+  const SweepCase c = GetParam();
+  Rng rng(0xc0ffee + c.n);
+  auto delay = MakeDelay(c);
+  const auto ts = GenerateArrivalOrderedTimestamps(c.n, *delay, rng);
+  std::vector<Pair> data = MakePairs(ts);
+  const std::vector<Pair> original = data;
+  VectorSortable<int32_t> seq(data);
+  SortWith(c.sorter, seq);
+  ExpectSortedPermutation(original, data);
+}
+
+std::vector<SweepCase> MakeSweepCases() {
+  std::vector<SweepCase> cases;
+  for (SorterId s : AllSorters()) {
+    // Insertion sort is quadratic; keep its inputs small.
+    const size_t big = s == SorterId::kInsertion ? 2000 : 20000;
+    cases.push_back({s, "constant", 0, 0, big});          // fully ordered
+    cases.push_back({s, "absnormal", 0, 1, big});
+    cases.push_back({s, "absnormal", 1, 10, big});
+    cases.push_back({s, "absnormal", 4, 100, big});
+    cases.push_back({s, "lognormal", 1, 1, big});
+    cases.push_back({s, "lognormal", 4, 2, big});
+    cases.push_back({s, "exponential", 2, 0, big});
+    cases.push_back({s, "uniform", 0, 3, big});
+    cases.push_back({s, "uniform", 0, 500, big});         // heavy shuffle
+    cases.push_back({s, "absnormal", 0, 1, 1});
+    cases.push_back({s, "absnormal", 0, 1, 2});
+    cases.push_back({s, "absnormal", 0, 1, 3});
+    cases.push_back({s, "absnormal", 0, 1, 33});          // > one TVList array
+  }
+  return cases;
+}
+
+std::string SweepName(const ::testing::TestParamInfo<SweepCase>& info) {
+  const SweepCase& c = info.param;
+  std::string name = SorterName(c.sorter) + "_" + c.delay_kind + "_" +
+                     std::to_string(static_cast<int>(c.p1)) + "_" +
+                     std::to_string(static_cast<int>(c.p2)) + "_n" +
+                     std::to_string(c.n);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSorters, SorterSweepTest,
+                         ::testing::ValuesIn(MakeSweepCases()), SweepName);
+
+// --- targeted cases ---------------------------------------------------------
+
+TEST(SorterEdgeCases, EmptyInput) {
+  for (SorterId s : AllSorters()) {
+    std::vector<Pair> data;
+    VectorSortable<int32_t> seq(data);
+    SortWith(s, seq);
+    EXPECT_TRUE(data.empty()) << SorterName(s);
+  }
+}
+
+TEST(SorterEdgeCases, AllEqualTimestamps) {
+  for (SorterId s : AllSorters()) {
+    std::vector<Pair> data(1000, Pair{7, 1});
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i].v = static_cast<int32_t>(i);
+    }
+    VectorSortable<int32_t> seq(data);
+    SortWith(s, seq);
+    ASSERT_EQ(data.size(), 1000u) << SorterName(s);
+    for (const Pair& p : data) EXPECT_EQ(p.t, 7);
+  }
+}
+
+TEST(SorterEdgeCases, ReverseSorted) {
+  for (SorterId s : AllSorters()) {
+    std::vector<Pair> data;
+    for (int i = 999; i >= 0; --i) {
+      data.push_back({i, i});
+    }
+    const std::vector<Pair> original = data;
+    VectorSortable<int32_t> seq(data);
+    SortWith(s, seq);
+    ExpectSortedPermutation(original, data);
+  }
+}
+
+TEST(SorterEdgeCases, ManyDuplicateTimestamps) {
+  Rng rng(99);
+  for (SorterId s : AllSorters()) {
+    std::vector<Pair> data;
+    for (int i = 0; i < 5000; ++i) {
+      data.push_back({static_cast<Timestamp>(rng.NextBelow(10)),
+                      static_cast<int32_t>(i)});
+    }
+    VectorSortable<int32_t> seq(data);
+    SortWith(s, seq);
+    for (size_t i = 1; i < data.size(); ++i) {
+      ASSERT_LE(data[i - 1].t, data[i].t) << SorterName(s);
+    }
+  }
+}
+
+TEST(SorterStability, TimsortAndMergeAreStable) {
+  // Stable sorters must keep equal-timestamp points in arrival order.
+  Rng rng(123);
+  for (SorterId s : {SorterId::kTim, SorterId::kMerge, SorterId::kInsertion}) {
+    std::vector<Pair> data;
+    for (int i = 0; i < 4000; ++i) {
+      data.push_back({static_cast<Timestamp>(rng.NextBelow(50)),
+                      static_cast<int32_t>(i)});
+    }
+    VectorSortable<int32_t> seq(data);
+    SortWith(s, seq);
+    for (size_t i = 1; i < data.size(); ++i) {
+      ASSERT_LE(data[i - 1].t, data[i].t);
+      if (data[i - 1].t == data[i].t) {
+        ASSERT_LT(data[i - 1].v, data[i].v)
+            << SorterName(s) << " broke stability at " << i;
+      }
+    }
+  }
+}
+
+TEST(SorterCounters, MovesAreCounted) {
+  Rng rng(7);
+  AbsNormalDelay delay(1, 10);
+  const auto ts = GenerateArrivalOrderedTimestamps(5000, delay, rng);
+  for (SorterId s : AllSorters()) {
+    std::vector<Pair> data = MakePairs(ts);
+    VectorSortable<int32_t> seq(data);
+    SortWith(s, seq);
+    if (s == SorterId::kRadix) {
+      // The one non-comparison sort: key comparisons are exactly zero.
+      EXPECT_EQ(seq.counters().comparisons, 0u) << SorterName(s);
+    } else {
+      EXPECT_GT(seq.counters().comparisons, 0u) << SorterName(s);
+    }
+    EXPECT_GT(seq.counters().moves, 0u) << SorterName(s);
+  }
+}
+
+TEST(SorterCounters, SortedInputNeedsNoMovesForAdaptiveSorts) {
+  std::vector<Pair> data;
+  for (int i = 0; i < 10000; ++i) data.push_back({i, i});
+  for (SorterId s : {SorterId::kTim, SorterId::kInsertion, SorterId::kMerge,
+                     SorterId::kBackward}) {
+    std::vector<Pair> copy = data;
+    VectorSortable<int32_t> seq(copy);
+    SortWith(s, seq);
+    EXPECT_EQ(seq.counters().moves, 0u)
+        << SorterName(s) << " moved points in an already sorted array";
+  }
+}
+
+}  // namespace
+}  // namespace backsort

@@ -1,0 +1,302 @@
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tsfile/tsfile.h"
+
+namespace backsort {
+namespace {
+
+class TsFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tsfile_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(TsFileTest, WriteReadRoundTripF64) {
+  const std::string path = Path("a.bstf");
+  std::vector<Timestamp> ts;
+  std::vector<double> values;
+  for (int i = 0; i < 10000; ++i) {
+    ts.push_back(i * 3);
+    values.push_back(std::sin(i * 0.01) * 100);
+  }
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer.WriteChunkF64("s1", ts, values).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  TsFileReader reader(path);
+  ASSERT_TRUE(reader.Open().ok());
+  EXPECT_EQ(reader.Sensors(), std::vector<std::string>{"s1"});
+  std::vector<Timestamp> got_ts;
+  std::vector<double> got_values;
+  ASSERT_TRUE(reader.ReadChunkF64("s1", &got_ts, &got_values).ok());
+  EXPECT_EQ(got_ts, ts);
+  EXPECT_EQ(got_values, values);
+}
+
+TEST_F(TsFileTest, WriteReadRoundTripI64MultiChunk) {
+  const std::string path = Path("b.bstf");
+  std::vector<Timestamp> ts1, ts2;
+  std::vector<int64_t> v1, v2;
+  for (int i = 0; i < 5000; ++i) {
+    ts1.push_back(i);
+    v1.push_back(i % 17);
+    ts2.push_back(i * 2);
+    v2.push_back(-i);
+  }
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer.WriteChunkI64("alpha", ts1, v1).ok());
+    ASSERT_TRUE(writer.WriteChunkI64("beta", ts2, v2).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+    EXPECT_EQ(writer.chunk_count(), 2u);
+  }
+  TsFileReader reader(path);
+  ASSERT_TRUE(reader.Open().ok());
+  ASSERT_EQ(reader.Sensors().size(), 2u);
+  std::vector<Timestamp> got_ts;
+  std::vector<int64_t> got_v;
+  ASSERT_TRUE(reader.ReadChunkI64("beta", &got_ts, &got_v).ok());
+  EXPECT_EQ(got_ts, ts2);
+  EXPECT_EQ(got_v, v2);
+  ASSERT_TRUE(reader.ReadChunkI64("alpha", &got_ts, &got_v).ok());
+  EXPECT_EQ(got_v, v1);
+}
+
+TEST_F(TsFileTest, RejectsUnsortedChunk) {
+  TsFileWriter writer(Path("c.bstf"));
+  const std::vector<Timestamp> ts = {3, 1, 2};
+  const std::vector<double> values = {1, 2, 3};
+  EXPECT_TRUE(writer.WriteChunkF64("s", ts, values).IsInvalidArgument());
+}
+
+TEST_F(TsFileTest, RejectsSizeMismatch) {
+  TsFileWriter writer(Path("d.bstf"));
+  EXPECT_TRUE(
+      writer.WriteChunkF64("s", {1, 2}, {1.0}).IsInvalidArgument());
+}
+
+TEST_F(TsFileTest, QueryRangePrunesAndFilters) {
+  const std::string path = Path("e.bstf");
+  std::vector<Timestamp> ts;
+  std::vector<double> values;
+  for (int i = 0; i < 100000; ++i) {
+    ts.push_back(i);
+    values.push_back(i * 0.5);
+  }
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(
+        writer.WriteChunkF64("s", ts, values, Encoding::kTs2Diff,
+                             Encoding::kGorilla, /*points_per_page=*/1000)
+            .ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  TsFileReader reader(path);
+  ASSERT_TRUE(reader.Open().ok());
+  std::vector<Timestamp> got_ts;
+  std::vector<double> got_values;
+  ASSERT_TRUE(
+      reader.QueryRangeF64("s", 54321, 55320, &got_ts, &got_values).ok());
+  ASSERT_EQ(got_ts.size(), 1000u);
+  EXPECT_EQ(got_ts.front(), 54321);
+  EXPECT_EQ(got_ts.back(), 55320);
+  for (size_t i = 0; i < got_ts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got_values[i], got_ts[i] * 0.5);
+  }
+  // Empty range beyond the data.
+  ASSERT_TRUE(
+      reader.QueryRangeF64("s", 200000, 300000, &got_ts, &got_values).ok());
+  EXPECT_TRUE(got_ts.empty());
+}
+
+TEST_F(TsFileTest, AggregateRangeUsesPageStats) {
+  const std::string path = Path("agg.bstf");
+  std::vector<Timestamp> ts;
+  std::vector<double> values;
+  for (int i = 0; i < 50'000; ++i) {
+    ts.push_back(i);
+    values.push_back(std::sin(i * 0.001) * 50 + i * 0.01);
+  }
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer
+                    .WriteChunkF64("s", ts, values, Encoding::kTs2Diff,
+                                   Encoding::kGorilla, /*points_per_page=*/500)
+                    .ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  TsFileReader reader(path);
+  ASSERT_TRUE(reader.Open().ok());
+
+  TsFileReader::RangeStats stats;
+  size_t skipped = 0;
+  ASSERT_TRUE(
+      reader.AggregateRangeF64("s", 1'234, 44'321, &stats, &skipped).ok());
+  // Ground truth by brute force.
+  size_t count = 0;
+  double sum = 0, min_v = 0, max_v = 0;
+  bool first = true;
+  for (int i = 1'234; i <= 44'321; ++i) {
+    const double v = values[static_cast<size_t>(i)];
+    if (first) {
+      min_v = max_v = v;
+      first = false;
+    }
+    min_v = std::min(min_v, v);
+    max_v = std::max(max_v, v);
+    sum += v;
+    ++count;
+  }
+  EXPECT_EQ(stats.count, count);
+  EXPECT_DOUBLE_EQ(stats.min, min_v);
+  EXPECT_DOUBLE_EQ(stats.max, max_v);
+  EXPECT_NEAR(stats.sum, sum, 1e-6 * std::abs(sum));
+  EXPECT_EQ(stats.first_time, 1'234);
+  EXPECT_DOUBLE_EQ(stats.first, values[1'234]);
+  EXPECT_EQ(stats.last_time, 44'321);
+  EXPECT_DOUBLE_EQ(stats.last, values[44'321]);
+  // ~86 pages in range; all but the boundary + first/last ones fold from
+  // statistics.
+  EXPECT_GT(skipped, 70u);
+}
+
+TEST_F(TsFileTest, AggregateRangeEmptyAndSinglePage) {
+  const std::string path = Path("agg2.bstf");
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer.WriteChunkF64("s", {10, 20, 30}, {1.0, 2.0, 3.0}).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  TsFileReader reader(path);
+  ASSERT_TRUE(reader.Open().ok());
+  TsFileReader::RangeStats stats;
+  ASSERT_TRUE(reader.AggregateRangeF64("s", 100, 200, &stats).ok());
+  EXPECT_EQ(stats.count, 0u);
+  ASSERT_TRUE(reader.AggregateRangeF64("s", 15, 25, &stats).ok());
+  EXPECT_EQ(stats.count, 1u);
+  EXPECT_DOUBLE_EQ(stats.first, 2.0);
+  EXPECT_DOUBLE_EQ(stats.last, 2.0);
+}
+
+TEST_F(TsFileTest, MissingSensorIsNotFound) {
+  const std::string path = Path("f.bstf");
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer.WriteChunkF64("s", {1}, {1.0}).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  TsFileReader reader(path);
+  ASSERT_TRUE(reader.Open().ok());
+  std::vector<Timestamp> ts;
+  std::vector<double> values;
+  EXPECT_TRUE(reader.ReadChunkF64("nope", &ts, &values).IsNotFound());
+  DataType type;
+  EXPECT_TRUE(reader.GetDataType("nope", &type).IsNotFound());
+}
+
+TEST_F(TsFileTest, TypeMismatchRejected) {
+  const std::string path = Path("g.bstf");
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer.WriteChunkI64("s", {1}, {int64_t{5}}).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  TsFileReader reader(path);
+  ASSERT_TRUE(reader.Open().ok());
+  std::vector<Timestamp> ts;
+  std::vector<double> values;
+  EXPECT_TRUE(reader.ReadChunkF64("s", &ts, &values).IsInvalidArgument());
+}
+
+TEST_F(TsFileTest, EmptyFileHasNoSensors) {
+  const std::string path = Path("h.bstf");
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  TsFileReader reader(path);
+  ASSERT_TRUE(reader.Open().ok());
+  EXPECT_TRUE(reader.Sensors().empty());
+}
+
+// --- failure injection --------------------------------------------------------
+
+TEST_F(TsFileTest, CorruptMagicDetected) {
+  const std::string path = Path("i.bstf");
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer.WriteChunkF64("s", {1, 2}, {1.0, 2.0}).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(0);
+    f.write("XXXXX", 5);
+  }
+  TsFileReader reader(path);
+  EXPECT_TRUE(reader.Open().IsCorruption());
+}
+
+TEST_F(TsFileTest, TruncatedFileDetected) {
+  const std::string path = Path("j.bstf");
+  {
+    TsFileWriter writer(path);
+    std::vector<Timestamp> ts;
+    std::vector<double> values;
+    for (int i = 0; i < 1000; ++i) {
+      ts.push_back(i);
+      values.push_back(i);
+    }
+    ASSERT_TRUE(writer.WriteChunkF64("s", ts, values).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  TsFileReader reader(path);
+  EXPECT_FALSE(reader.Open().ok());
+}
+
+TEST_F(TsFileTest, GarbageIndexOffsetDetected) {
+  const std::string path = Path("k.bstf");
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer.WriteChunkF64("s", {1}, {1.0}).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  const auto size = std::filesystem::file_size(path);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(size) - 13);  // fixed64 before magic
+    const uint64_t bogus = ~0ULL;
+    f.write(reinterpret_cast<const char*>(&bogus), 8);
+  }
+  TsFileReader reader(path);
+  EXPECT_TRUE(reader.Open().IsCorruption());
+}
+
+TEST_F(TsFileTest, MissingFileIsIOError) {
+  TsFileReader reader(Path("does_not_exist.bstf"));
+  EXPECT_TRUE(reader.Open().IsIOError());
+}
+
+}  // namespace
+}  // namespace backsort

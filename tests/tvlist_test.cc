@@ -1,0 +1,115 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/sorter_registry.h"
+#include "disorder/series_generator.h"
+#include "tvlist/tv_list.h"
+
+namespace backsort {
+namespace {
+
+TEST(TVList, PutAndReadBack) {
+  IntTVList list;
+  for (int i = 0; i < 100; ++i) {
+    list.Put(i * 2, i);
+  }
+  ASSERT_EQ(list.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(list.TimeAt(i), i * 2);
+    EXPECT_EQ(list.ValueAt(i), i);
+  }
+  EXPECT_TRUE(list.sorted());
+  EXPECT_EQ(list.min_time(), 0);
+  EXPECT_EQ(list.max_time(), 198);
+}
+
+TEST(TVList, SpansMultipleArrays) {
+  IntTVList list(/*array_size=*/8);
+  for (int i = 0; i < 1000; ++i) list.Put(i, -i);
+  ASSERT_EQ(list.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(list.TimeAt(i), i);
+    ASSERT_EQ(list.ValueAt(i), -i);
+  }
+}
+
+TEST(TVList, DetectsDisorder) {
+  IntTVList list;
+  list.Put(10, 1);
+  EXPECT_TRUE(list.sorted());
+  list.Put(20, 2);
+  EXPECT_TRUE(list.sorted());
+  list.Put(15, 3);
+  EXPECT_FALSE(list.sorted());
+  EXPECT_EQ(list.max_time(), 20);
+  EXPECT_EQ(list.min_time(), 10);
+}
+
+TEST(TVList, EqualTimestampAppendStaysSorted) {
+  IntTVList list;
+  list.Put(5, 1);
+  list.Put(5, 2);
+  EXPECT_TRUE(list.sorted());
+}
+
+TEST(TVList, CloneIsDeep) {
+  IntTVList list;
+  for (int i = 0; i < 50; ++i) list.Put(i, i);
+  IntTVList copy = list.Clone();
+  copy.SetPoint(0, 999, 999);
+  EXPECT_EQ(list.TimeAt(0), 0);
+  EXPECT_EQ(copy.TimeAt(0), 999);
+}
+
+TEST(TVList, MemoryAccounting) {
+  IntTVList list(32);
+  EXPECT_EQ(list.MemoryBytes(), 0u);
+  list.Put(1, 1);
+  EXPECT_EQ(list.MemoryBytes(), 32 * (sizeof(Timestamp) + sizeof(int32_t)));
+  for (int i = 0; i < 32; ++i) list.Put(i, i);
+  EXPECT_EQ(list.MemoryBytes(),
+            2 * 32 * (sizeof(Timestamp) + sizeof(int32_t)));
+}
+
+TEST(TVList, ClearResets) {
+  IntTVList list;
+  list.Put(3, 1);
+  list.Put(1, 2);
+  EXPECT_FALSE(list.sorted());
+  list.Clear();
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_TRUE(list.sorted());
+}
+
+// Every registered sorter must sort a TVList through the adapter, carrying
+// the values along with the timestamps.
+class TVListSortTest : public ::testing::TestWithParam<SorterId> {};
+
+TEST_P(TVListSortTest, SortsTVListWithValueBinding) {
+  Rng rng(31);
+  AbsNormalDelay delay(1, 15);
+  const size_t n = GetParam() == SorterId::kInsertion ? 3000 : 30000;
+  const auto ts = GenerateArrivalOrderedTimestamps(n, delay, rng);
+  IntTVList list;
+  for (Timestamp t : ts) {
+    list.Put(t, static_cast<int32_t>(t * 7 + 3));
+  }
+  TVListSortable<int32_t> seq(list);
+  SortWith(GetParam(), seq);
+  for (size_t i = 0; i < list.size(); ++i) {
+    ASSERT_EQ(list.TimeAt(i), static_cast<Timestamp>(i));
+    ASSERT_EQ(list.ValueAt(i), static_cast<int32_t>(i * 7 + 3))
+        << "value binding lost at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSorters, TVListSortTest, ::testing::ValuesIn(AllSorters()),
+    [](const ::testing::TestParamInfo<SorterId>& info) {
+      return SorterName(info.param);
+    });
+
+}  // namespace
+}  // namespace backsort

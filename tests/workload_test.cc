@@ -1,0 +1,142 @@
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "benchkit/workload.h"
+#include "disorder/delay_distribution.h"
+
+namespace backsort {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("workload_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(WorkloadTest, MixedRunProducesMetrics) {
+  EngineOptions opt;
+  opt.data_dir = dir_.string();
+  opt.sorter = SorterId::kBackward;
+  opt.memtable_flush_threshold = 20'000;
+  StorageEngine engine(opt);
+  ASSERT_TRUE(engine.Open().ok());
+
+  WorkloadConfig config;
+  config.total_points = 100'000;
+  config.write_percentage = 0.9;
+  config.seed = 1;
+  WorkloadRunner runner(&engine, config);
+  AbsNormalDelay delay(1, 20);
+  WorkloadResult result;
+  ASSERT_TRUE(runner.Run(delay, &result).ok());
+
+  EXPECT_EQ(result.points_written, 100'000u);
+  EXPECT_GT(result.queries_executed, 0u);
+  EXPECT_GT(result.query_throughput, 0.0);
+  EXPECT_GT(result.total_latency_sec, 0.0);
+  EXPECT_GE(result.flush_count, 4u);
+  EXPECT_GT(result.avg_flush_ms, 0.0);
+}
+
+TEST_F(WorkloadTest, WriteOnlyRunHasNoQueries) {
+  EngineOptions opt;
+  opt.data_dir = dir_.string();
+  opt.sorter = SorterId::kQuick;
+  opt.memtable_flush_threshold = 20'000;
+  StorageEngine engine(opt);
+  ASSERT_TRUE(engine.Open().ok());
+
+  WorkloadConfig config;
+  config.total_points = 50'000;
+  config.write_percentage = 1.0;
+  WorkloadRunner runner(&engine, config);
+  LogNormalDelay delay(1, 1);
+  WorkloadResult result;
+  ASSERT_TRUE(runner.Run(delay, &result).ok());
+  EXPECT_EQ(result.queries_executed, 0u);
+  EXPECT_EQ(result.query_throughput, 0.0);
+  EXPECT_EQ(result.points_written, 50'000u);
+}
+
+TEST_F(WorkloadTest, MultiThreadedClientsWriteEverything) {
+  EngineOptions opt;
+  opt.data_dir = dir_.string();
+  opt.sorter = SorterId::kBackward;
+  opt.memtable_flush_threshold = 20'000;
+  StorageEngine engine(opt);
+  ASSERT_TRUE(engine.Open().ok());
+
+  WorkloadConfig config;
+  config.total_points = 80'000;
+  config.sensor_count = 4;
+  config.client_threads = 4;
+  config.write_percentage = 0.85;
+  WorkloadRunner runner(&engine, config);
+  AbsNormalDelay delay(1, 10);
+  WorkloadResult result;
+  ASSERT_TRUE(runner.Run(delay, &result).ok());
+  EXPECT_EQ(result.points_written, 80'000u);
+  EXPECT_GT(result.queries_executed, 0u);
+
+  // Every sensor's data must be complete and ordered after the run.
+  for (int s = 0; s < 4; ++s) {
+    std::vector<TvPairDouble> out;
+    ASSERT_TRUE(engine
+                    .Query("root.sg.d0.s" + std::to_string(s), 0, 1'000'000,
+                           &out)
+                    .ok());
+    ASSERT_EQ(out.size(), 20'000u) << "sensor " << s;
+    for (size_t i = 1; i < out.size(); ++i) {
+      ASSERT_LE(out[i - 1].t, out[i].t);
+    }
+  }
+}
+
+TEST_F(WorkloadTest, ThreadCountClampedToSensors) {
+  EngineOptions opt;
+  opt.data_dir = dir_.string();
+  StorageEngine engine(opt);
+  ASSERT_TRUE(engine.Open().ok());
+  WorkloadConfig config;
+  config.total_points = 10'000;
+  config.sensor_count = 1;
+  config.client_threads = 8;  // clamped to 1
+  WorkloadRunner runner(&engine, config);
+  LogNormalDelay delay(1, 1);
+  WorkloadResult result;
+  ASSERT_TRUE(runner.Run(delay, &result).ok());
+  EXPECT_EQ(result.points_written, 10'000u);
+}
+
+TEST_F(WorkloadTest, MultiSensorRun) {
+  EngineOptions opt;
+  opt.data_dir = dir_.string();
+  opt.sorter = SorterId::kTim;
+  opt.memtable_flush_threshold = 10'000;
+  StorageEngine engine(opt);
+  ASSERT_TRUE(engine.Open().ok());
+
+  WorkloadConfig config;
+  config.total_points = 60'000;
+  config.sensor_count = 3;
+  config.write_percentage = 0.8;
+  WorkloadRunner runner(&engine, config);
+  AbsNormalDelay delay(1, 5);
+  WorkloadResult result;
+  ASSERT_TRUE(runner.Run(delay, &result).ok());
+  EXPECT_EQ(result.points_written, 60'000u);
+  EXPECT_GT(result.queries_executed, 0u);
+}
+
+}  // namespace
+}  // namespace backsort
