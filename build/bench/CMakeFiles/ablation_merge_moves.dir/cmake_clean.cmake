@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_merge_moves.dir/ablation_merge_moves.cc.o"
+  "CMakeFiles/ablation_merge_moves.dir/ablation_merge_moves.cc.o.d"
+  "ablation_merge_moves"
+  "ablation_merge_moves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_merge_moves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

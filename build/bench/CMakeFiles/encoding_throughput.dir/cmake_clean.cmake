@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encoding_throughput.dir/encoding_throughput.cc.o"
+  "CMakeFiles/encoding_throughput.dir/encoding_throughput.cc.o.d"
+  "encoding_throughput"
+  "encoding_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoding_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig05_delay_difference.cc" "bench/CMakeFiles/fig05_delay_difference.dir/fig05_delay_difference.cc.o" "gcc" "bench/CMakeFiles/fig05_delay_difference.dir/fig05_delay_difference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/backsort_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/disorder/CMakeFiles/backsort_disorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/backsort_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchkit/CMakeFiles/backsort_benchkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/backsort_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsfile/CMakeFiles/backsort_tsfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/backsort_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/backsort_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_delay_difference.dir/fig05_delay_difference.cc.o"
+  "CMakeFiles/fig05_delay_difference.dir/fig05_delay_difference.cc.o.d"
+  "fig05_delay_difference"
+  "fig05_delay_difference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_delay_difference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_absnormal_sigma.dir/fig09_absnormal_sigma.cc.o"
+  "CMakeFiles/fig09_absnormal_sigma.dir/fig09_absnormal_sigma.cc.o.d"
+  "fig09_absnormal_sigma"
+  "fig09_absnormal_sigma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_absnormal_sigma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

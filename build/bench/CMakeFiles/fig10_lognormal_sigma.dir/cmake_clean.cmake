@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_lognormal_sigma.dir/fig10_lognormal_sigma.cc.o"
+  "CMakeFiles/fig10_lognormal_sigma.dir/fig10_lognormal_sigma.cc.o.d"
+  "fig10_lognormal_sigma"
+  "fig10_lognormal_sigma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_lognormal_sigma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_realworld.dir/fig11_realworld.cc.o"
+  "CMakeFiles/fig11_realworld.dir/fig11_realworld.cc.o.d"
+  "fig11_realworld"
+  "fig11_realworld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_realworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_downstream_lstm.dir/fig22_downstream_lstm.cc.o"
+  "CMakeFiles/fig22_downstream_lstm.dir/fig22_downstream_lstm.cc.o.d"
+  "fig22_downstream_lstm"
+  "fig22_downstream_lstm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_downstream_lstm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sort_gbench.dir/micro_sort_gbench.cc.o"
+  "CMakeFiles/micro_sort_gbench.dir/micro_sort_gbench.cc.o.d"
+  "micro_sort_gbench"
+  "micro_sort_gbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sort_gbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

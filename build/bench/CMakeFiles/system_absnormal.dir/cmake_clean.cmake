@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_absnormal.dir/system_absnormal.cc.o"
+  "CMakeFiles/system_absnormal.dir/system_absnormal.cc.o.d"
+  "system_absnormal"
+  "system_absnormal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_absnormal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_lognormal.dir/system_lognormal.cc.o"
+  "CMakeFiles/system_lognormal.dir/system_lognormal.cc.o.d"
+  "system_lognormal"
+  "system_lognormal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_lognormal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_realworld.dir/system_realworld.cc.o"
+  "CMakeFiles/system_realworld.dir/system_realworld.cc.o.d"
+  "system_realworld"
+  "system_realworld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_realworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecast_pipeline.dir/forecast_pipeline.cpp.o"
+  "CMakeFiles/forecast_pipeline.dir/forecast_pipeline.cpp.o.d"
+  "forecast_pipeline"
+  "forecast_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecast_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

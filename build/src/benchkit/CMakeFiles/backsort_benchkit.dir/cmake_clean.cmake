@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backsort_benchkit.dir/csv.cc.o"
+  "CMakeFiles/backsort_benchkit.dir/csv.cc.o.d"
+  "CMakeFiles/backsort_benchkit.dir/workload.cc.o"
+  "CMakeFiles/backsort_benchkit.dir/workload.cc.o.d"
+  "libbacksort_benchkit.a"
+  "libbacksort_benchkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backsort_benchkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backsort_common.dir/crc32.cc.o"
+  "CMakeFiles/backsort_common.dir/crc32.cc.o.d"
+  "CMakeFiles/backsort_common.dir/stats.cc.o"
+  "CMakeFiles/backsort_common.dir/stats.cc.o.d"
+  "CMakeFiles/backsort_common.dir/status.cc.o"
+  "CMakeFiles/backsort_common.dir/status.cc.o.d"
+  "libbacksort_common.a"
+  "libbacksort_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backsort_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

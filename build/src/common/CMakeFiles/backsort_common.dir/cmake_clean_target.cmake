@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbacksort_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backsort_core.dir/sorter_registry.cc.o"
+  "CMakeFiles/backsort_core.dir/sorter_registry.cc.o.d"
+  "libbacksort_core.a"
+  "libbacksort_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backsort_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

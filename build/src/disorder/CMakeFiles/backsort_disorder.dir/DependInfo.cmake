@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disorder/datasets.cc" "src/disorder/CMakeFiles/backsort_disorder.dir/datasets.cc.o" "gcc" "src/disorder/CMakeFiles/backsort_disorder.dir/datasets.cc.o.d"
+  "/root/repo/src/disorder/delay_distribution.cc" "src/disorder/CMakeFiles/backsort_disorder.dir/delay_distribution.cc.o" "gcc" "src/disorder/CMakeFiles/backsort_disorder.dir/delay_distribution.cc.o.d"
+  "/root/repo/src/disorder/inversion.cc" "src/disorder/CMakeFiles/backsort_disorder.dir/inversion.cc.o" "gcc" "src/disorder/CMakeFiles/backsort_disorder.dir/inversion.cc.o.d"
+  "/root/repo/src/disorder/series_generator.cc" "src/disorder/CMakeFiles/backsort_disorder.dir/series_generator.cc.o" "gcc" "src/disorder/CMakeFiles/backsort_disorder.dir/series_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/backsort_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backsort_disorder.dir/datasets.cc.o"
+  "CMakeFiles/backsort_disorder.dir/datasets.cc.o.d"
+  "CMakeFiles/backsort_disorder.dir/delay_distribution.cc.o"
+  "CMakeFiles/backsort_disorder.dir/delay_distribution.cc.o.d"
+  "CMakeFiles/backsort_disorder.dir/inversion.cc.o"
+  "CMakeFiles/backsort_disorder.dir/inversion.cc.o.d"
+  "CMakeFiles/backsort_disorder.dir/series_generator.cc.o"
+  "CMakeFiles/backsort_disorder.dir/series_generator.cc.o.d"
+  "libbacksort_disorder.a"
+  "libbacksort_disorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backsort_disorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backsort_encoding.dir/encoding.cc.o"
+  "CMakeFiles/backsort_encoding.dir/encoding.cc.o.d"
+  "libbacksort_encoding.a"
+  "libbacksort_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backsort_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/aggregate.cc" "src/engine/CMakeFiles/backsort_engine.dir/aggregate.cc.o" "gcc" "src/engine/CMakeFiles/backsort_engine.dir/aggregate.cc.o.d"
+  "/root/repo/src/engine/storage_engine.cc" "src/engine/CMakeFiles/backsort_engine.dir/storage_engine.cc.o" "gcc" "src/engine/CMakeFiles/backsort_engine.dir/storage_engine.cc.o.d"
+  "/root/repo/src/engine/wal.cc" "src/engine/CMakeFiles/backsort_engine.dir/wal.cc.o" "gcc" "src/engine/CMakeFiles/backsort_engine.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/backsort_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsfile/CMakeFiles/backsort_tsfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/disorder/CMakeFiles/backsort_disorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/backsort_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/backsort_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backsort_engine.dir/aggregate.cc.o"
+  "CMakeFiles/backsort_engine.dir/aggregate.cc.o.d"
+  "CMakeFiles/backsort_engine.dir/storage_engine.cc.o"
+  "CMakeFiles/backsort_engine.dir/storage_engine.cc.o.d"
+  "CMakeFiles/backsort_engine.dir/wal.cc.o"
+  "CMakeFiles/backsort_engine.dir/wal.cc.o.d"
+  "libbacksort_engine.a"
+  "libbacksort_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backsort_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backsort_nn.dir/lstm.cc.o"
+  "CMakeFiles/backsort_nn.dir/lstm.cc.o.d"
+  "libbacksort_nn.a"
+  "libbacksort_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backsort_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

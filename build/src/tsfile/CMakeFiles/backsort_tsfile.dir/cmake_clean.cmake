@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backsort_tsfile.dir/tsfile.cc.o"
+  "CMakeFiles/backsort_tsfile.dir/tsfile.cc.o.d"
+  "libbacksort_tsfile.a"
+  "libbacksort_tsfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backsort_tsfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

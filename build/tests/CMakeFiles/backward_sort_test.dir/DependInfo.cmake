@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/backward_sort_test.cc" "tests/CMakeFiles/backward_sort_test.dir/backward_sort_test.cc.o" "gcc" "tests/CMakeFiles/backward_sort_test.dir/backward_sort_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/backsort_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/disorder/CMakeFiles/backsort_disorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/backsort_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsfile/CMakeFiles/backsort_tsfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/backsort_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchkit/CMakeFiles/backsort_benchkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/backsort_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/backsort_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

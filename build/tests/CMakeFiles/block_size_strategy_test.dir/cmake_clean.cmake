@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_size_strategy_test.dir/block_size_strategy_test.cc.o"
+  "CMakeFiles/block_size_strategy_test.dir/block_size_strategy_test.cc.o.d"
+  "block_size_strategy_test"
+  "block_size_strategy_test.pdb"
+  "block_size_strategy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_size_strategy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

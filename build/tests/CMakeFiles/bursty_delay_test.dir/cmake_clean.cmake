@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bursty_delay_test.dir/bursty_delay_test.cc.o"
+  "CMakeFiles/bursty_delay_test.dir/bursty_delay_test.cc.o.d"
+  "bursty_delay_test"
+  "bursty_delay_test.pdb"
+  "bursty_delay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bursty_delay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_lifecycle_test.dir/engine_lifecycle_test.cc.o"
+  "CMakeFiles/engine_lifecycle_test.dir/engine_lifecycle_test.cc.o.d"
+  "engine_lifecycle_test"
+  "engine_lifecycle_test.pdb"
+  "engine_lifecycle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_lifecycle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

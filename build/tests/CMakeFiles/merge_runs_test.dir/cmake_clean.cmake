@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_runs_test.dir/merge_runs_test.cc.o"
+  "CMakeFiles/merge_runs_test.dir/merge_runs_test.cc.o.d"
+  "merge_runs_test"
+  "merge_runs_test.pdb"
+  "merge_runs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_runs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

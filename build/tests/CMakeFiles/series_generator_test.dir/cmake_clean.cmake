@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/series_generator_test.dir/series_generator_test.cc.o"
+  "CMakeFiles/series_generator_test.dir/series_generator_test.cc.o.d"
+  "series_generator_test"
+  "series_generator_test.pdb"
+  "series_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/series_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

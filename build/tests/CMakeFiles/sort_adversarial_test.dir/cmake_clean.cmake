@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_adversarial_test.dir/sort_adversarial_test.cc.o"
+  "CMakeFiles/sort_adversarial_test.dir/sort_adversarial_test.cc.o.d"
+  "sort_adversarial_test"
+  "sort_adversarial_test.pdb"
+  "sort_adversarial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_adversarial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

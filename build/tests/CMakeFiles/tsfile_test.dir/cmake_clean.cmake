@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsfile_test.dir/tsfile_test.cc.o"
+  "CMakeFiles/tsfile_test.dir/tsfile_test.cc.o.d"
+  "tsfile_test"
+  "tsfile_test.pdb"
+  "tsfile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsfile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvlist_test.dir/tvlist_test.cc.o"
+  "CMakeFiles/tvlist_test.dir/tvlist_test.cc.o.d"
+  "tvlist_test"
+  "tvlist_test.pdb"
+  "tvlist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvlist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sort_algorithms_test[1]_include.cmake")
+include("/root/repo/build/tests/backward_sort_test[1]_include.cmake")
+include("/root/repo/build/tests/inversion_test[1]_include.cmake")
+include("/root/repo/build/tests/series_generator_test[1]_include.cmake")
+include("/root/repo/build/tests/tvlist_test[1]_include.cmake")
+include("/root/repo/build/tests/encoding_test[1]_include.cmake")
+include("/root/repo/build/tests/tsfile_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/lstm_test[1]_include.cmake")
+include("/root/repo/build/tests/wal_test[1]_include.cmake")
+include("/root/repo/build/tests/aggregate_test[1]_include.cmake")
+include("/root/repo/build/tests/block_size_strategy_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/csv_test[1]_include.cmake")
+include("/root/repo/build/tests/bursty_delay_test[1]_include.cmake")
+include("/root/repo/build/tests/merge_runs_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_model_test[1]_include.cmake")
+include("/root/repo/build/tests/sort_adversarial_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_lifecycle_test[1]_include.cmake")
+include("/root/repo/build/tests/counters_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bstool.dir/bstool.cc.o"
+  "CMakeFiles/bstool.dir/bstool.cc.o.d"
+  "bstool"
+  "bstool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bstool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
