@@ -2,6 +2,7 @@
 #define BACKSORT_BENCH_SYSTEM_BENCH_H_
 
 #include <cstdio>
+#include <thread>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -69,6 +70,11 @@ inline void RunSystemFamily(const std::string& figure_ids,
         config.write_percentage = pct;
         config.query_window = std::max<Timestamp>(
             static_cast<Timestamp>(flush_threshold / 2), 1000);
+        // Multi-client mode (BACKSORT_CLIENT_THREADS=N): N clients over N
+        // sensors; pairs with BACKSORT_SHARDS to exercise the sharded
+        // engine at paper-figure scale.
+        config.client_threads = EnvSize("BACKSORT_CLIENT_THREADS", 1);
+        config.sensor_count = std::max<size_t>(config.client_threads, 1);
         WorkloadResult result;
         WorkloadRunner runner(&engine, config);
         st = runner.Run(*panel.delay, &result);
@@ -106,6 +112,84 @@ inline void RunSystemFamily(const std::string& figure_ids,
     for (size_t i = 0; i < write_pcts.size(); ++i) {
       PrintRow(std::to_string(write_pcts[i]), latency[i]);
     }
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(base, ec);
+}
+
+/// Multi-threaded ingestion scaling across engine shards: the same
+/// write-only workload (>=4 client threads over >=4 sensors) driven once
+/// against a 1-shard/1-flush-worker engine and once against a
+/// 4-shard/2-flush-worker engine, printing aggregate write throughput.
+/// With one shard every client serializes on the single engine mutex; with
+/// four shards the clients' sensor sets hash onto different shards and
+/// ingest in parallel.
+inline void RunShardScaling(const std::string& panel_name,
+                            const DelayDistribution& delay) {
+  const size_t points = EnvSize("BACKSORT_SYSTEM_POINTS", 100'000) * 8;
+  const size_t flush_threshold =
+      EnvSize("BACKSORT_FLUSH_THRESHOLD", std::max<size_t>(points / 20, 5'000));
+  const size_t clients =
+      std::max<size_t>(EnvSize("BACKSORT_CLIENT_THREADS", 4), 4);
+
+  struct ShardSetup {
+    std::string label;
+    size_t shards;
+    size_t flush_workers;
+  };
+  const std::vector<ShardSetup> setups = {
+      {"1 shard / 1 flush worker", 1, 1},
+      {"4 shards / 2 flush workers", 4, 2},
+  };
+
+  const std::filesystem::path base =
+      std::filesystem::temp_directory_path() /
+      ("backsort_shard_scaling_" + std::to_string(::getpid()));
+
+  PrintTitle("Shard scaling / " + panel_name + ": aggregate write throughput (" +
+             std::to_string(clients) + " client threads, 1e6 points/s)");
+  // The spread between rows tracks available parallelism: on one core the
+  // sharded engine wins only by shedding lock contention; with >=4 cores
+  // the shards ingest genuinely in parallel.
+  std::printf("(hardware concurrency: %u)\n",
+              std::thread::hardware_concurrency());
+  PrintHeader("configuration", {"ingest", "latency_s", "flushes"});
+  for (const ShardSetup& setup : setups) {
+    EngineOptions opt;
+    opt.data_dir = (base / ("s" + std::to_string(setup.shards))).string();
+    // The engine splits the threshold across shards; scaling it by the
+    // shard count holds the per-shard seal size (and hence file count and
+    // flush granularity) constant across rows, so the comparison isolates
+    // write-path parallelism instead of per-file overhead.
+    opt.memtable_flush_threshold = flush_threshold * setup.shards;
+    // Explicit values: the comparison must pin 1 vs 4 shards even when
+    // BACKSORT_SHARDS is exported for the rest of the suite.
+    opt.shard_count = setup.shards;
+    opt.flush_workers = setup.flush_workers;
+    StorageEngine engine(opt);
+    Status st = engine.Open();
+    if (!st.ok()) {
+      std::fprintf(stderr, "engine open failed: %s\n", st.ToString().c_str());
+      return;
+    }
+    WorkloadConfig config;
+    config.total_points = points;
+    config.write_percentage = 1.0;  // pure ingestion
+    // Several sensors per client so the hash spreads them across all
+    // shards; with exactly one sensor per client the modulo assignment is
+    // lumpy and some shards sit idle.
+    config.sensor_count = clients * 4;
+    config.client_threads = clients;
+    WorkloadResult result;
+    WorkloadRunner runner(&engine, config);
+    st = runner.Run(delay, &result);
+    if (!st.ok()) {
+      std::fprintf(stderr, "workload failed: %s\n", st.ToString().c_str());
+      return;
+    }
+    PrintRow(setup.label,
+             {result.write_throughput / 1e6, result.total_latency_sec,
+              static_cast<double>(result.flush_count)});
   }
   std::error_code ec;
   std::filesystem::remove_all(base, ec);

@@ -14,6 +14,7 @@ int main() {
     std::snprintf(name, sizeof(name), "LogNormal(1,%g)", sigma);
     panels.push_back({name, std::make_unique<LogNormalDelay>(1, sigma)});
   }
+  RunShardScaling(panels[1].name, *panels[1].delay);  // LogNormal(1,1)
   RunSystemFamily("14/17/20", std::move(panels));
   return 0;
 }

@@ -13,6 +13,7 @@ int main() {
   for (DatasetId id : RealWorldDatasets()) {
     panels.push_back({DatasetName(id), MakeDatasetDelay(id)});
   }
+  RunShardScaling(panels[0].name, *panels[0].delay);
   RunSystemFamily("15/18/21", std::move(panels));
   return 0;
 }

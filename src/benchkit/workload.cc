@@ -135,6 +135,10 @@ Status WorkloadRunner::Run(const DelayDistribution& delay,
     result->query_throughput =
         static_cast<double>(result->points_queried) / query_seconds;
   }
+  if (result->total_latency_sec > 0.0) {
+    result->write_throughput =
+        static_cast<double>(result->points_written) / result->total_latency_sec;
+  }
   if (all_latencies.count() > 0) {
     result->query_p50_ms = all_latencies.Percentile(50);
     result->query_p95_ms = all_latencies.Percentile(95);

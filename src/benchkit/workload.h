@@ -37,6 +37,10 @@ struct WorkloadConfig {
 struct WorkloadResult {
   /// Points returned per second of query execution time (client side).
   double query_throughput = 0.0;
+  /// Points ingested per second of total test time (client side); the
+  /// aggregate across all client threads, so it reflects engine-side
+  /// contention — the metric the shard-scaling bench compares.
+  double write_throughput = 0.0;
   /// Wall time of the whole test (client side "total test latency"), sec.
   double total_latency_sec = 0.0;
   /// Average flush pipeline time (server side), ms.

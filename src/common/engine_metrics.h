@@ -1,0 +1,70 @@
+#ifndef BACKSORT_COMMON_ENGINE_METRICS_H_
+#define BACKSORT_COMMON_ENGINE_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace backsort {
+
+/// Server-side flush metrics (paper Section VI-D2): per-flush wall time of
+/// the whole pipeline (sort + encode + I/O) and of the sort step alone.
+/// Each EngineShard accumulates its own copy; the engine facade merges them
+/// into one engine-wide view.
+struct FlushMetrics {
+  RunningStats flush_ms;
+  RunningStats sort_ms;
+
+  void Merge(const FlushMetrics& other) {
+    flush_ms.Merge(other.flush_ms);
+    sort_ms.Merge(other.sort_ms);
+  }
+};
+
+/// Point-in-time view of one shard's write-path state.
+struct ShardMetricsSnapshot {
+  size_t shard_id = 0;
+  /// Sealed memtables waiting in (or executing from) the flush queue.
+  size_t queued_flushes = 0;
+  /// Sealed memtables not yet fully on disk (still visible to queries).
+  size_t flushing_tables = 0;
+  /// Flushes completed since the engine opened.
+  size_t completed_flushes = 0;
+  /// Points buffered in the shard's working seq+unseq memtables.
+  size_t working_points = 0;
+  /// Approximate heap bytes of the working memtables.
+  size_t working_bytes = 0;
+  /// Sealed TsFiles this shard consults at query time.
+  size_t sealed_files = 0;
+  FlushMetrics flush;
+};
+
+/// Engine-wide metrics: the per-shard breakdown plus the merged totals the
+/// benchmark harness reports.
+struct EngineMetricsSnapshot {
+  FlushMetrics flush;  ///< merged across shards
+  std::vector<ShardMetricsSnapshot> shards;
+  /// Distinct sealed TsFiles across the whole engine.
+  size_t sealed_files = 0;
+
+  size_t total_queued_flushes() const {
+    size_t n = 0;
+    for (const ShardMetricsSnapshot& s : shards) n += s.queued_flushes;
+    return n;
+  }
+  size_t total_working_points() const {
+    size_t n = 0;
+    for (const ShardMetricsSnapshot& s : shards) n += s.working_points;
+    return n;
+  }
+  size_t total_completed_flushes() const {
+    size_t n = 0;
+    for (const ShardMetricsSnapshot& s : shards) n += s.completed_flushes;
+    return n;
+  }
+};
+
+}  // namespace backsort
+
+#endif  // BACKSORT_COMMON_ENGINE_METRICS_H_

@@ -12,6 +12,10 @@ class RunningStats {
  public:
   void Add(double x);
 
+  /// Folds another accumulator into this one (parallel Welford combine), so
+  /// per-shard metrics can be aggregated into one engine-wide view.
+  void Merge(const RunningStats& other);
+
   size_t count() const { return count_; }
   double mean() const { return count_ ? mean_ : 0.0; }
   /// Sample variance (n-1 denominator); 0 when fewer than two samples.

@@ -1,0 +1,64 @@
+#ifndef BACKSORT_ENGINE_ENGINE_OPTIONS_H_
+#define BACKSORT_ENGINE_ENGINE_OPTIONS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "core/sorter_registry.h"
+
+namespace backsort {
+
+/// Configuration of the single-node storage engine.
+struct EngineOptions {
+  std::string data_dir;
+
+  /// Which algorithm sorts TVLists at flush and query time — the variable
+  /// under test in the paper's system experiments.
+  SorterId sorter = SorterId::kTim;
+  BackwardSortOptions backward_options;
+
+  /// Seal-and-flush once a shard's working memtable holds
+  /// `memtable_flush_threshold / shard_count` points, so the engine-wide
+  /// in-memory bound stays at this value regardless of shard count
+  /// ("100,000 is the appropriate memory points size in the IoTDB").
+  size_t memtable_flush_threshold = 100'000;
+
+  size_t points_per_page = 1024;
+
+  /// Number of independent engine shards; sensors are hashed onto shards,
+  /// each with its own mutex, working memtables, WAL segments and sealed
+  /// file list, so writers of different sensors do not contend.
+  /// 0 = auto: $BACKSORT_SHARDS when set (the ci.sh test-matrix hook),
+  /// else 1. With 1 shard the engine behaves exactly like the pre-sharding
+  /// single-lock engine.
+  size_t shard_count = 0;
+
+  /// Workers in the shared flush pool draining sealed memtables from all
+  /// shards, so sorts for different shards overlap. 0 = auto:
+  /// $BACKSORT_FLUSH_WORKERS when set, else min(shard_count,
+  /// hardware_concurrency). Ignored when async_flush is false.
+  size_t flush_workers = 0;
+
+  /// Run flushes on background threads (IoTDB's flush is "asynchronously
+  /// awaited"). Tests may turn this off for determinism.
+  bool async_flush = true;
+
+  /// Write-ahead logging: every ingested point is framed and CRC-protected
+  /// in a per-memtable WAL segment before being buffered; segments are
+  /// deleted once their memtable's TsFile is durable. Open() replays any
+  /// leftover segments, so a crash loses at most the torn tail record.
+  bool enable_wal = true;
+
+  /// Force WAL buffers to the OS after every append. Durable but slow;
+  /// benches leave it off (IoTDB likewise groups WAL syncs).
+  bool sync_wal_every_write = false;
+
+  /// Last-write-wins deduplication of equal timestamps on query, matching
+  /// IoTDB's read semantics (an unsequence rewrite of an existing
+  /// timestamp shadows the sequence value). Off = return all duplicates.
+  bool dedup_on_query = true;
+};
+
+}  // namespace backsort
+
+#endif  // BACKSORT_ENGINE_ENGINE_OPTIONS_H_

@@ -1,0 +1,487 @@
+#include "engine/engine_shard.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/timer.h"
+#include "engine/flush_pool.h"
+#include "engine/merge.h"
+#include "sort/sortable.h"
+
+namespace backsort {
+
+EngineShard::EngineShard(size_t shard_id, size_t flush_threshold,
+                         EngineSharedState* shared)
+    : shard_id_(shard_id),
+      flush_threshold_(flush_threshold),
+      shared_(shared),
+      working_seq_(std::make_unique<MemTable>()),
+      working_unseq_(std::make_unique<MemTable>()) {}
+
+EngineShard::~EngineShard() {
+  // The facade stops the flush pool before destroying shards, so no worker
+  // can still touch this shard here.
+  if (wal_seq_ != nullptr) (void)wal_seq_->Close();
+  if (wal_unseq_ != nullptr) (void)wal_unseq_->Close();
+}
+
+Status EngineShard::RotateWalLocked(bool sequence) {
+  std::unique_ptr<WalWriter>& wal = sequence ? wal_seq_ : wal_unseq_;
+  if (wal != nullptr) RETURN_NOT_OK(wal->Close());
+  // Globally allocated id, so lexicographic name order is creation order
+  // across shards; the shard suffix is for operators reading the data dir.
+  char name[48];
+  std::snprintf(name, sizeof(name), "wal-%08zu-s%02zu.log",
+                shared_->next_wal_id.fetch_add(1), shard_id_);
+  wal = std::make_unique<WalWriter>(shared_->options.data_dir + "/" + name);
+  return wal->Open();
+}
+
+Status EngineShard::Write(const std::string& sensor, Timestamp t, double v) {
+  const EngineOptions& options = shared_->options;
+  std::unique_lock<std::mutex> lock(mu_);
+  // Separation policy: points at or below the sensor's flushed watermark
+  // would rewrite history already on disk — they go to the unsequence
+  // memtable instead of the sequence one.
+  auto wm = flush_watermark_.find(sensor);
+  const bool sequence = wm == flush_watermark_.end() || t > wm->second;
+  MemTable* target = sequence ? working_seq_.get() : working_unseq_.get();
+  if (options.enable_wal) {
+    std::unique_ptr<WalWriter>& wal = sequence ? wal_seq_ : wal_unseq_;
+    // Segments are created lazily on first append, so idle shards leave no
+    // files behind.
+    if (wal == nullptr) RETURN_NOT_OK(RotateWalLocked(sequence));
+    RETURN_NOT_OK(wal->Append(sensor, t, v));
+    if (options.sync_wal_every_write) RETURN_NOT_OK(wal->Sync());
+  }
+  target->Write(sensor, t, v);
+  approx_working_points_.fetch_add(1, std::memory_order_relaxed);
+  {
+    auto it = last_cache_.find(sensor);
+    if (it == last_cache_.end() || t >= it->second.t) {
+      last_cache_[sensor] = {t, v};
+    }
+  }
+  if (target->total_points() >= flush_threshold_) {
+    SealLocked(sequence);
+    if (!options.async_flush) {
+      // Synchronous mode: drain the queue inline.
+      while (!flush_queue_.empty()) {
+        FlushJob job = flush_queue_.front();
+        flush_queue_.pop_front();
+        lock.unlock();
+        Status st = FlushTable(job);
+        lock.lock();
+        if (!st.ok()) return st;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void EngineShard::SealLocked(bool sequence) {
+  const EngineOptions& options = shared_->options;
+  std::unique_ptr<MemTable>& working =
+      sequence ? working_seq_ : working_unseq_;
+  if (working->total_points() == 0) return;
+  working->MarkFlushing();
+  // Advance watermarks so later stragglers are separated.
+  if (sequence) {
+    for (const auto& [sensor, list] : working->chunks()) {
+      Timestamp& wm = flush_watermark_[sensor];
+      wm = std::max(wm, list->max_time());
+    }
+  }
+  // The sealed table's WAL segment rides along with the flush job and is
+  // deleted once the TsFile is durable; the new working table lazily opens
+  // a fresh segment on its first write.
+  std::string wal_path;
+  std::unique_ptr<WalWriter>& wal = sequence ? wal_seq_ : wal_unseq_;
+  if (options.enable_wal && wal != nullptr) {
+    wal_path = wal->path();
+    (void)wal->Sync();
+    (void)wal->Close();
+    wal.reset();
+  }
+  std::shared_ptr<MemTable> sealed(working.release());
+  working = std::make_unique<MemTable>();
+  approx_working_points_.store(
+      working_seq_->total_points() + working_unseq_->total_points(),
+      std::memory_order_relaxed);
+  flushing_.push_back(sealed);
+  flush_queue_.push_back(
+      FlushJob{sealed, sequence, wal_path, next_flush_seq_++});
+  if (options.async_flush && shared_->pool != nullptr) {
+    shared_->pool->Submit(this);
+  }
+}
+
+void EngineShard::SealBoth() {
+  std::unique_lock<std::mutex> lock(mu_);
+  SealLocked(true);
+  SealLocked(false);
+}
+
+Status EngineShard::SealAndDrainSync() {
+  std::unique_lock<std::mutex> lock(mu_);
+  SealLocked(true);
+  SealLocked(false);
+  while (!flush_queue_.empty()) {
+    FlushJob job = flush_queue_.front();
+    flush_queue_.pop_front();
+    lock.unlock();
+    Status st = FlushTable(job);
+    lock.lock();
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+void EngineShard::WaitFlushed() {
+  std::unique_lock<std::mutex> lock(mu_);
+  flush_done_cv_.wait(lock, [this] {
+    return flush_queue_.empty() && flushing_.empty();
+  });
+}
+
+void EngineShard::ExecuteOneFlush() {
+  FlushJob job;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (flush_queue_.empty()) return;  // already drained (e.g. by FlushAll)
+    job = flush_queue_.front();
+    flush_queue_.pop_front();
+  }
+  Status st = FlushTable(job);
+  (void)st;  // IO failures surface via FlushAll in tests; keep draining.
+}
+
+Status EngineShard::FlushTable(const FlushJob& job) {
+  const EngineOptions& options = shared_->options;
+  const std::shared_ptr<MemTable>& table = job.table;
+  WallTimer flush_timer;
+  double sort_ms = 0.0;
+
+  char name[48];
+  std::snprintf(name, sizeof(name), "%s%08zu.bstf",
+                job.sequence ? "seq-" : "unseq-",
+                shared_->next_file_id.fetch_add(1));
+  const std::string path = options.data_dir + "/" + name;
+
+  TsFileWriter writer(path);
+  Status write_status = Status::OK();
+  {
+    // The sealed table's TVLists are sorted in place; serialize with any
+    // concurrent query reading this table via the per-table mutex.
+    std::unique_lock<std::mutex> table_lock(table->mu());
+    for (auto& [sensor, list] : table->chunks()) {
+      // Sort the TVList with the configured algorithm (skipped when appends
+      // arrived in order — IoTDB checks the same flag).
+      if (!list->sorted()) {
+        WallTimer sort_timer;
+        TVListSortable<double> seq_adapter(*list);
+        SortWith(options.sorter, seq_adapter, options.backward_options);
+        list->MarkSorted();
+        sort_ms += sort_timer.ElapsedMillis();
+      }
+      std::vector<Timestamp> ts;
+      std::vector<double> values;
+      ts.reserve(list->size());
+      values.reserve(list->size());
+      for (size_t i = 0; i < list->size(); ++i) {
+        ts.push_back(list->TimeAt(i));
+        values.push_back(list->ValueAt(i));
+      }
+      write_status = writer.WriteChunkF64(sensor, ts, values,
+                                          Encoding::kTs2Diff,
+                                          Encoding::kGorilla,
+                                          options.points_per_page);
+      if (!write_status.ok()) break;
+    }
+  }
+  if (write_status.ok()) write_status = writer.Finish();
+
+  {
+    // Publish the file and retire the memtable atomically w.r.t. queries —
+    // in seal order, so a straggler-heavy unsequence table sealed later
+    // never ends up with a lower query priority than an earlier one.
+    std::unique_lock<std::mutex> lock(mu_);
+    publish_cv_.wait(lock, [&] { return published_seq_ == job.seq; });
+    if (write_status.ok()) {
+      sealed_files_.push_back(path);
+      shared_->RegisterFile(path);
+      flushing_.erase(std::remove(flushing_.begin(), flushing_.end(), table),
+                      flushing_.end());
+      // Metrics ride in the publish critical section (mu_ before
+      // metrics_mu_, same order as Snapshot) so an observer never sees a
+      // published file without its completed-flush count.
+      std::unique_lock<std::mutex> mlock(metrics_mu_);
+      metrics_.flush_ms.Add(flush_timer.ElapsedMillis());
+      metrics_.sort_ms.Add(sort_ms);
+      ++completed_flushes_;
+    }
+    // On failure the table stays in `flushing_` (its points remain
+    // queryable and its WAL segment survives), but the publication turn
+    // still advances so later flushes are not jammed.
+    ++published_seq_;
+  }
+  publish_cv_.notify_all();
+  if (!write_status.ok()) return write_status;
+
+  if (!job.wal_path.empty()) {
+    // The data is durable in the TsFile; its WAL coverage is obsolete.
+    std::error_code ec;
+    std::filesystem::remove(job.wal_path, ec);
+  }
+  flush_done_cv_.notify_all();
+  return Status::OK();
+}
+
+std::vector<TvPairDouble> EngineShard::CollectFromMemTable(
+    const MemTable& table, const std::string& sensor, Timestamp t_min,
+    Timestamp t_max) {
+  const EngineOptions& options = shared_->options;
+  // Serialize with the flush worker's in-place sort of sealed tables.
+  std::unique_lock<std::mutex> table_lock(table.mu());
+  const DoubleTVList* list = table.GetChunk(sensor);
+  if (list == nullptr || list->size() == 0) return {};
+  if (list->max_time() < t_min || list->min_time() > t_max) return {};
+  // Snapshot matching points, then sort the snapshot with the configured
+  // algorithm — the query-time sorting cost the paper measures. The
+  // snapshot preserves arrival order, so the sorter sees the same disorder
+  // profile the TVList holds.
+  std::vector<TvPairDouble> snapshot;
+  snapshot.reserve(list->size());
+  for (size_t i = 0; i < list->size(); ++i) {
+    const Timestamp t = list->TimeAt(i);
+    if (t >= t_min && t <= t_max) {
+      snapshot.push_back({t, list->ValueAt(i)});
+    }
+  }
+  if (!snapshot.empty() && !list->sorted()) {
+    // Stable sort so duplicate timestamps keep arrival order and
+    // last-write-wins dedup is well defined. Timsort and the merge-based
+    // sorters are stable; Backward-Sort's quicksorted blocks are not, so
+    // equal-timestamp dedup inside one memtable run is best-effort there —
+    // exactly IoTDB's situation.
+    VectorSortable<double> seq_adapter(snapshot);
+    SortWith(options.sorter, seq_adapter, options.backward_options);
+  }
+  return snapshot;
+}
+
+Status EngineShard::Query(const std::string& sensor, Timestamp t_min,
+                          Timestamp t_max, std::vector<TvPairDouble>* out) {
+  out->clear();
+  // IoTDB's query "takes the lock and blocks the write process" — with
+  // sharding the scope of that lock shrinks to this sensor's shard, so
+  // writers of other shards proceed concurrently.
+  std::unique_lock<std::mutex> lock(mu_);
+  // Gather per-source sorted runs with write-recency priorities: sealed
+  // files in creation order, then in-flight flushing tables, then the
+  // working tables (most recent writes).
+  std::vector<SortedRun> runs;
+  int priority = 0;
+  for (const std::string& path : sealed_files_) {
+    TsFileReader reader(path);
+    Status st = reader.Open();
+    if (!st.ok()) return st;
+    std::vector<Timestamp> ts;
+    std::vector<double> values;
+    st = reader.QueryRangeF64(sensor, t_min, t_max, &ts, &values);
+    ++priority;
+    if (st.IsNotFound()) continue;
+    if (!st.ok()) return st;
+    SortedRun run;
+    run.priority = priority;
+    run.points.resize(ts.size());
+    for (size_t i = 0; i < ts.size(); ++i) run.points[i] = {ts[i], values[i]};
+    runs.push_back(std::move(run));
+  }
+  for (const auto& table : flushing_) {
+    runs.push_back(
+        {CollectFromMemTable(*table, sensor, t_min, t_max), ++priority});
+  }
+  runs.push_back(
+      {CollectFromMemTable(*working_unseq_, sensor, t_min, t_max),
+       ++priority});
+  runs.push_back(
+      {CollectFromMemTable(*working_seq_, sensor, t_min, t_max), ++priority});
+  MergeRuns(std::move(runs), shared_->options.dedup_on_query, out);
+  return Status::OK();
+}
+
+Status EngineShard::AggregateFast(const std::string& sensor, Timestamp t_min,
+                                  Timestamp t_max,
+                                  TsFileReader::RangeStats* stats,
+                                  bool* used_fast_path) {
+  *stats = TsFileReader::RangeStats{};
+  if (used_fast_path != nullptr) *used_fast_path = false;
+  std::unique_lock<std::mutex> lock(mu_);
+
+  // Soundness guard: statistics cannot express last-write-wins shadowing,
+  // so the pushdown requires every point in range to live in exactly one
+  // sequence file. Sequence files never overlap per sensor (the watermark
+  // enforces strictly increasing time ranges).
+  bool fast_ok = true;
+  for (const std::string& path : sealed_files_) {
+    if (path.find("unseq-") != std::string::npos) {
+      fast_ok = false;
+      break;
+    }
+  }
+  auto memtable_touches_range = [&](const MemTable& table) {
+    std::unique_lock<std::mutex> table_lock(table.mu());
+    const DoubleTVList* list = table.GetChunk(sensor);
+    return list != nullptr && list->size() > 0 &&
+           list->max_time() >= t_min && list->min_time() <= t_max;
+  };
+  if (fast_ok) {
+    if (memtable_touches_range(*working_seq_) ||
+        memtable_touches_range(*working_unseq_)) {
+      fast_ok = false;
+    }
+    for (const auto& table : flushing_) {
+      if (fast_ok && memtable_touches_range(*table)) fast_ok = false;
+    }
+  }
+
+  if (fast_ok) {
+    bool have_any = false;
+    for (const std::string& path : sealed_files_) {
+      TsFileReader reader(path);
+      RETURN_NOT_OK(reader.Open());
+      TsFileReader::RangeStats file_stats;
+      Status st =
+          reader.AggregateRangeF64(sensor, t_min, t_max, &file_stats);
+      if (st.IsNotFound()) continue;
+      RETURN_NOT_OK(st);
+      if (file_stats.count == 0) continue;
+      if (!have_any) {
+        *stats = file_stats;
+        have_any = true;
+        continue;
+      }
+      stats->min = std::min(stats->min, file_stats.min);
+      stats->max = std::max(stats->max, file_stats.max);
+      stats->sum += file_stats.sum;
+      stats->count += file_stats.count;
+      // Sequence files are scanned in time order per sensor.
+      if (file_stats.first_time < stats->first_time) {
+        stats->first_time = file_stats.first_time;
+        stats->first = file_stats.first;
+      }
+      if (file_stats.last_time > stats->last_time) {
+        stats->last_time = file_stats.last_time;
+        stats->last = file_stats.last;
+      }
+    }
+    if (used_fast_path != nullptr) *used_fast_path = true;
+    return Status::OK();
+  }
+  lock.unlock();
+
+  // Exact fallback through the dedup merge path.
+  std::vector<TvPairDouble> points;
+  RETURN_NOT_OK(Query(sensor, t_min, t_max, &points));
+  for (const TvPairDouble& p : points) {
+    if (stats->count == 0) {
+      stats->min = p.v;
+      stats->max = p.v;
+      stats->first = p.v;
+      stats->first_time = p.t;
+    }
+    stats->min = std::min(stats->min, p.v);
+    stats->max = std::max(stats->max, p.v);
+    stats->sum += p.v;
+    ++stats->count;
+    stats->last = p.v;
+    stats->last_time = p.t;
+  }
+  return Status::OK();
+}
+
+Status EngineShard::GetLatest(const std::string& sensor, TvPairDouble* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = last_cache_.find(sensor);
+  if (it == last_cache_.end()) {
+    return Status::NotFound("no data for sensor: " + sensor);
+  }
+  *out = it->second;
+  return Status::OK();
+}
+
+FlushMetrics EngineShard::GetFlushMetrics() const {
+  std::unique_lock<std::mutex> lock(metrics_mu_);
+  return metrics_;
+}
+
+ShardMetricsSnapshot EngineShard::Snapshot() const {
+  ShardMetricsSnapshot snap;
+  snap.shard_id = shard_id_;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    snap.queued_flushes = flush_queue_.size();
+    snap.flushing_tables = flushing_.size();
+    snap.working_points =
+        working_seq_->total_points() + working_unseq_->total_points();
+    snap.working_bytes =
+        working_seq_->ApproxMemoryBytes() + working_unseq_->ApproxMemoryBytes();
+    snap.sealed_files = sealed_files_.size();
+  }
+  {
+    std::unique_lock<std::mutex> lock(metrics_mu_);
+    snap.completed_flushes = completed_flushes_;
+    snap.flush = metrics_;
+  }
+  return snap;
+}
+
+void EngineShard::RecoverAdoptFile(const std::string& path) {
+  if (std::find(sealed_files_.begin(), sealed_files_.end(), path) ==
+      sealed_files_.end()) {
+    sealed_files_.push_back(path);
+  }
+}
+
+void EngineShard::RecoverWatermark(const std::string& sensor, Timestamp t) {
+  Timestamp& wm = flush_watermark_[sensor];
+  wm = std::max(wm, t);
+}
+
+void EngineShard::RecoverLastCache(const std::string& sensor, Timestamp t,
+                                   double v) {
+  auto it = last_cache_.find(sensor);
+  if (it == last_cache_.end() || t >= it->second.t) {
+    last_cache_[sensor] = {t, v};
+  }
+}
+
+void EngineShard::RecoverReplayRecord(const WalRecord& r) {
+  auto wm = flush_watermark_.find(r.sensor);
+  const bool sequence = wm == flush_watermark_.end() || r.t > wm->second;
+  MemTable* target = sequence ? working_seq_.get() : working_unseq_.get();
+  target->Write(r.sensor, r.t, r.v);
+  approx_working_points_.fetch_add(1, std::memory_order_relaxed);
+  RecoverLastCache(r.sensor, r.t, r.v);
+}
+
+Status EngineShard::RecoverRelog() {
+  if (!shared_->options.enable_wal) return Status::OK();
+  for (const auto* table : {working_seq_.get(), working_unseq_.get()}) {
+    if (table->total_points() == 0) continue;
+    const bool sequence = table == working_seq_.get();
+    RETURN_NOT_OK(RotateWalLocked(sequence));
+    WalWriter* wal = sequence ? wal_seq_.get() : wal_unseq_.get();
+    for (const auto& [sensor, list] : table->chunks()) {
+      for (size_t i = 0; i < list->size(); ++i) {
+        RETURN_NOT_OK(wal->Append(sensor, list->TimeAt(i), list->ValueAt(i)));
+      }
+    }
+    RETURN_NOT_OK(wal->Sync());
+  }
+  return Status::OK();
+}
+
+}  // namespace backsort

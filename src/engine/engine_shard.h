@@ -1,0 +1,196 @@
+#ifndef BACKSORT_ENGINE_ENGINE_SHARD_H_
+#define BACKSORT_ENGINE_ENGINE_SHARD_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/engine_metrics.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "engine/engine_options.h"
+#include "engine/wal.h"
+#include "memtable/memtable.h"
+#include "tsfile/tsfile.h"
+
+namespace backsort {
+
+class FlushPool;
+
+/// State shared by all shards of one engine: the resolved options, the
+/// flush pool, globally unique file/WAL id allocators (so names never
+/// collide across shards), and the engine-wide registry of distinct sealed
+/// TsFiles in creation order (compaction input + file counting).
+///
+/// Lock hierarchy: facade → shard mu → files_mu. FlushTable publishes a
+/// file under its shard's mu with files_mu nested; Compact acquires every
+/// shard mu in index order before files_mu, so the nesting is acyclic.
+struct EngineSharedState {
+  EngineOptions options;
+  FlushPool* pool = nullptr;
+
+  std::atomic<size_t> next_file_id{0};
+  std::atomic<size_t> next_wal_id{0};
+  std::atomic<size_t> file_count{0};
+
+  mutable std::mutex files_mu;
+  std::vector<std::string> all_files;  // distinct sealed files, creation order
+
+  /// Registers a freshly flushed file. Caller holds the publishing shard's
+  /// mu (see lock hierarchy above).
+  void RegisterFile(const std::string& path) {
+    std::unique_lock<std::mutex> lock(files_mu);
+    all_files.push_back(path);
+    file_count.store(all_files.size());
+  }
+};
+
+/// One sealed memtable queued for flush.
+struct FlushJob {
+  std::shared_ptr<MemTable> table;
+  bool sequence = false;
+  std::string wal_path;  // deleted once the TsFile is durable
+  uint64_t seq = 0;      // per-shard seal order; publication replays it
+};
+
+/// One shard of the storage engine: the former single-lock engine core.
+/// Owns its mutex, working seq/unseq memtables, separation watermarks,
+/// last cache, WAL segments and sealed-file list. Sensors are assigned to
+/// shards by the facade (hash of sensor id), so a sensor's entire history
+/// lives in one shard's files — queries touch exactly one shard.
+class EngineShard {
+ public:
+  EngineShard(size_t shard_id, size_t flush_threshold,
+              EngineSharedState* shared);
+  ~EngineShard();
+
+  EngineShard(const EngineShard&) = delete;
+  EngineShard& operator=(const EngineShard&) = delete;
+
+  size_t shard_id() const { return shard_id_; }
+
+  Status Write(const std::string& sensor, Timestamp t, double v);
+  Status Query(const std::string& sensor, Timestamp t_min, Timestamp t_max,
+               std::vector<TvPairDouble>* out);
+  Status GetLatest(const std::string& sensor, TvPairDouble* out);
+  Status AggregateFast(const std::string& sensor, Timestamp t_min,
+                       Timestamp t_max, TsFileReader::RangeStats* stats,
+                       bool* used_fast_path);
+
+  /// Seals both working memtables into the flush queue (async mode: jobs go
+  /// to the pool; the caller then waits via WaitFlushed).
+  void SealBoth();
+
+  /// Sync-mode FlushAll step: seal both tables and drain the queue inline.
+  Status SealAndDrainSync();
+
+  /// Blocks until the flush queue is empty and no sealed table is still in
+  /// flight. Async mode only.
+  void WaitFlushed();
+
+  /// Pops and executes one job from this shard's flush queue; called by
+  /// pool workers (one call per Submit ticket).
+  void ExecuteOneFlush();
+
+  FlushMetrics GetFlushMetrics() const;
+  ShardMetricsSnapshot Snapshot() const;
+
+  /// Lock-free estimate of points buffered in the working memtables, for
+  /// the facade's cross-shard flush-trigger and metrics decisions.
+  size_t ApproxWorkingPoints() const {
+    return approx_working_points_.load(std::memory_order_relaxed);
+  }
+
+  // --- recovery hooks -------------------------------------------------------
+  // Called by the facade during Open, strictly before any concurrency
+  // exists (no pool workers, no clients), so they do not lock.
+
+  /// Adds a sealed file to this shard's consult list (deduplicated).
+  void RecoverAdoptFile(const std::string& path);
+  /// Raises the separation watermark of `sensor` to at least `t`.
+  void RecoverWatermark(const std::string& sensor, Timestamp t);
+  /// Applies one recovered point to the last cache (file/WAL replay order;
+  /// ties go to the later call, matching write recency).
+  void RecoverLastCache(const std::string& sensor, Timestamp t, double v);
+  /// Replays one WAL record into the working memtables via the separation
+  /// policy, updating the last cache.
+  void RecoverReplayRecord(const WalRecord& r);
+  /// Re-logs the recovered in-memory points into fresh WAL segments and
+  /// syncs them, so each non-empty working table is covered by exactly one
+  /// live segment. No-op when WAL is disabled.
+  Status RecoverRelog();
+
+  // --- compaction support ---------------------------------------------------
+
+  std::mutex& mu() const { return mu_; }
+  /// This shard's sealed-file consult list. Caller holds mu().
+  std::vector<std::string>& sealed_files_locked() { return sealed_files_; }
+
+ private:
+  /// Seals one working memtable into the flush queue. Caller holds mu_.
+  void SealLocked(bool sequence);
+
+  /// Sort + encode + write one sealed memtable to a TsFile, then — in seal
+  /// order, under a single shard-lock critical section — publish the file
+  /// and retire the table from `flushing_` so queries never see its points
+  /// twice. Must be called without holding mu_.
+  Status FlushTable(const FlushJob& job);
+
+  /// Opens a fresh WAL segment for one working table (lazy: the first write
+  /// after open/seal creates it). Caller holds mu_.
+  Status RotateWalLocked(bool sequence);
+
+  /// Collects [t_min, t_max] points of `sensor` from a memtable into one
+  /// sorted run (sorting with the configured algorithm, like IoTDB's
+  /// query-time sort). Caller holds mu_.
+  std::vector<TvPairDouble> CollectFromMemTable(const MemTable& table,
+                                                const std::string& sensor,
+                                                Timestamp t_min,
+                                                Timestamp t_max);
+
+  const size_t shard_id_;
+  const size_t flush_threshold_;
+  EngineSharedState* const shared_;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<MemTable> working_seq_;
+  std::unique_ptr<MemTable> working_unseq_;
+  /// Last flushed (or flush-queued) max time per sensor — the separation
+  /// policy watermark.
+  std::map<std::string, Timestamp> flush_watermark_;
+  /// Last cache: newest point per sensor (largest timestamp; last write on
+  /// ties). Rebuilt from files + WAL on recovery.
+  std::map<std::string, TvPairDouble> last_cache_;
+  /// Tables sealed but not yet fully on disk; still visible to queries.
+  std::vector<std::shared_ptr<MemTable>> flushing_;
+
+  std::deque<FlushJob> flush_queue_;
+  std::condition_variable flush_done_cv_;
+
+  /// Publication sequencing: jobs are numbered at seal; FlushTable waits
+  /// its turn before publishing, so same-shard files enter the consult
+  /// list in seal order even with concurrent pool workers (last-write-wins
+  /// priority between unsequence files depends on it).
+  uint64_t next_flush_seq_ = 0;
+  uint64_t published_seq_ = 0;
+  std::condition_variable publish_cv_;
+
+  std::unique_ptr<WalWriter> wal_seq_;
+  std::unique_ptr<WalWriter> wal_unseq_;
+
+  mutable std::mutex metrics_mu_;
+  FlushMetrics metrics_;
+  size_t completed_flushes_ = 0;
+
+  std::vector<std::string> sealed_files_;
+  std::atomic<size_t> approx_working_points_{0};
+};
+
+}  // namespace backsort
+
+#endif  // BACKSORT_ENGINE_ENGINE_SHARD_H_

@@ -1,11 +1,14 @@
 #include "engine/storage_engine.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <functional>
+#include <map>
+#include <thread>
 
-#include "common/timer.h"
 #include "engine/merge.h"
-#include "sort/sortable.h"
 
 namespace backsort {
 
@@ -29,132 +32,147 @@ void MergeSortedInto(std::vector<TvPairDouble>& acc,
   acc = std::move(merged);
 }
 
+size_t EnvCount(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return 0;
+  return static_cast<size_t>(std::strtoull(v, nullptr, 10));
+}
+
 }  // namespace
 
-StorageEngine::StorageEngine(EngineOptions options)
-    : options_(std::move(options)),
-      working_seq_(std::make_unique<MemTable>()),
-      working_unseq_(std::make_unique<MemTable>()) {}
+StorageEngine::StorageEngine(EngineOptions options) {
+  shared_.options = std::move(options);
+  shared_.pool = &pool_;
+
+  // Resolve the auto (0) settings: the BACKSORT_SHARDS /
+  // BACKSORT_FLUSH_WORKERS environment hooks let tools/ci.sh run the whole
+  // test suite in a sharded configuration without touching each test;
+  // explicit option values always win.
+  size_t shards = shared_.options.shard_count;
+  if (shards == 0) shards = EnvCount("BACKSORT_SHARDS");
+  if (shards == 0) shards = 1;
+
+  size_t workers = shared_.options.flush_workers;
+  if (workers == 0) workers = EnvCount("BACKSORT_FLUSH_WORKERS");
+  if (workers == 0) {
+    const size_t hw = std::thread::hardware_concurrency();
+    workers = std::min(shards, hw == 0 ? size_t{1} : hw);
+  }
+  flush_workers_ = std::max<size_t>(workers, 1);
+
+  const size_t per_shard_threshold =
+      std::max<size_t>(shared_.options.memtable_flush_threshold / shards, 1);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(
+        std::make_unique<EngineShard>(i, per_shard_threshold, &shared_));
+  }
+}
 
 StorageEngine::~StorageEngine() {
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    stop_ = true;
-  }
-  flush_cv_.notify_all();
-  if (flush_thread_.joinable()) flush_thread_.join();
-  if (wal_seq_ != nullptr) (void)wal_seq_->Close();
-  if (wal_unseq_ != nullptr) (void)wal_unseq_->Close();
+  // Drain and join the flush workers before any shard (and its WAL
+  // writers) is destroyed.
+  pool_.Stop();
+}
+
+size_t StorageEngine::ShardFor(const std::string& sensor) const {
+  return std::hash<std::string>{}(sensor) % shards_.size();
 }
 
 Status StorageEngine::Open() {
   std::error_code ec;
-  std::filesystem::create_directories(options_.data_dir, ec);
+  std::filesystem::create_directories(shared_.options.data_dir, ec);
   if (ec) {
-    return Status::IOError("cannot create data dir " + options_.data_dir +
-                           ": " + ec.message());
+    return Status::IOError("cannot create data dir " +
+                           shared_.options.data_dir + ": " + ec.message());
   }
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    RETURN_NOT_OK(RecoverLocked());  // also opens the fresh WAL segments
-  }
-  if (options_.async_flush) {
-    flush_thread_ = std::thread([this] { FlushWorker(); });
+  RETURN_NOT_OK(RecoverAll());
+  if (shared_.options.async_flush && !pool_started_) {
+    pool_.Start(flush_workers_);
+    pool_started_ = true;
   }
   return Status::OK();
 }
 
-Status StorageEngine::RecoverLocked() {
-  // 1. Re-adopt sealed TsFiles, rebuild per-sensor watermarks from the
-  //    sequence files, and continue file numbering above what exists.
+Status StorageEngine::RecoverAll() {
+  const std::string& data_dir = shared_.options.data_dir;
+
+  // 1. Scan the data dir once: sealed TsFiles (sorted, their order is the
+  //    query/compaction priority order) and WAL segments (sorted by name =
+  //    globally allocated id = write order).
+  std::vector<std::string> tsfiles;
   std::vector<std::filesystem::path> wal_paths;
-  for (const auto& entry :
-       std::filesystem::directory_iterator(options_.data_dir)) {
+  for (const auto& entry : std::filesystem::directory_iterator(data_dir)) {
     const std::string name = entry.path().filename().string();
     if (name.size() > 5 && name.substr(name.size() - 5) == ".bstf") {
-      sealed_files_.push_back(entry.path().string());
-      file_count_.fetch_add(1);
+      tsfiles.push_back(entry.path().string());
       const size_t dash = name.rfind('-');
       if (dash != std::string::npos) {
         const size_t id = static_cast<size_t>(
             std::strtoull(name.c_str() + dash + 1, nullptr, 10));
-        next_file_id_ = std::max(next_file_id_, id + 1);
-      }
-      if (name.rfind("seq-", 0) == 0) {
-        TsFileReader reader(entry.path().string());
-        RETURN_NOT_OK(reader.Open());
-        for (const std::string& sensor : reader.Sensors()) {
-          std::vector<Timestamp> ts;
-          std::vector<double> values;
-          RETURN_NOT_OK(reader.ReadChunkF64(sensor, &ts, &values));
-          if (!ts.empty()) {
-            Timestamp& wm = flush_watermark_[sensor];
-            wm = std::max(wm, ts.back());
-          }
+        size_t expect = shared_.next_file_id.load();
+        while (expect <= id &&
+               !shared_.next_file_id.compare_exchange_weak(expect, id + 1)) {
         }
       }
     } else if (name.rfind("wal-", 0) == 0) {
       wal_paths.push_back(entry.path());
       const size_t id = static_cast<size_t>(
           std::strtoull(name.c_str() + 4, nullptr, 10));
-      next_wal_id_ = std::max(next_wal_id_, id + 1);
+      size_t expect = shared_.next_wal_id.load();
+      while (expect <= id &&
+             !shared_.next_wal_id.compare_exchange_weak(expect, id + 1)) {
+      }
     }
   }
-  std::sort(sealed_files_.begin(), sealed_files_.end());
+  std::sort(tsfiles.begin(), tsfiles.end());
+  std::sort(wal_paths.begin(), wal_paths.end());
 
-  // Rebuild the last cache from files in priority (recency) order; the WAL
-  // replay below then applies any newer in-memory points on top.
-  for (const std::string& path : sealed_files_) {
+  // 2. Re-adopt sealed files: register each file with every shard owning a
+  //    sensor in it (after a shard-count change one old file can span
+  //    shards), rebuild per-sensor watermarks from the sequence files, and
+  //    rebuild the last cache in file (recency) order.
+  for (const std::string& path : tsfiles) {
+    const std::string name = std::filesystem::path(path).filename().string();
+    const bool sequence = name.rfind("seq-", 0) == 0;
     TsFileReader reader(path);
     RETURN_NOT_OK(reader.Open());
     for (const std::string& sensor : reader.Sensors()) {
+      EngineShard* shard = shards_[ShardFor(sensor)].get();
+      shard->RecoverAdoptFile(path);
       std::vector<Timestamp> ts;
       std::vector<double> values;
       RETURN_NOT_OK(reader.ReadChunkF64(sensor, &ts, &values));
       if (ts.empty()) continue;
-      auto it = last_cache_.find(sensor);
-      if (it == last_cache_.end() || ts.back() >= it->second.t) {
-        last_cache_[sensor] = {ts.back(), values.back()};
-      }
+      if (sequence) shard->RecoverWatermark(sensor, ts.back());
+      shard->RecoverLastCache(sensor, ts.back(), values.back());
     }
   }
+  {
+    std::unique_lock<std::mutex> lock(shared_.files_mu);
+    shared_.all_files = tsfiles;
+    shared_.file_count.store(shared_.all_files.size());
+  }
 
-  // 2. Replay WAL segments in id order into the fresh working memtables.
+  // 3. Replay WAL segments in id order into the fresh working memtables.
   //    Separation is re-derived from the rebuilt watermarks; sealed-but-
   //    unflushed tables simply become working data again.
-  std::sort(wal_paths.begin(), wal_paths.end());
   for (const auto& path : wal_paths) {
     std::vector<WalRecord> records;
     bool torn = false;
     RETURN_NOT_OK(ReadWal(path.string(), &records, &torn));
     for (const WalRecord& r : records) {
-      auto wm = flush_watermark_.find(r.sensor);
-      const bool sequence = wm == flush_watermark_.end() || r.t > wm->second;
-      MemTable* target = sequence ? working_seq_.get() : working_unseq_.get();
-      target->Write(r.sensor, r.t, r.v);
-      auto it = last_cache_.find(r.sensor);
-      if (it == last_cache_.end() || r.t >= it->second.t) {
-        last_cache_[r.sensor] = {r.t, r.v};
-      }
+      shards_[ShardFor(r.sensor)]->RecoverReplayRecord(r);
     }
     (void)torn;  // a torn tail after a crash is expected, not an error
   }
-  if (!options_.enable_wal) return Status::OK();
+  if (!shared_.options.enable_wal) return Status::OK();
 
-  // 3. Re-log the recovered points into fresh segments and sync them, so
+  // 4. Re-log the recovered points into fresh segments and sync them, so
   //    every in-memory point is covered by exactly one live WAL segment;
   //    only then are the replayed segments safe to drop.
-  RETURN_NOT_OK(RotateWalLocked(/*sequence=*/true));
-  RETURN_NOT_OK(RotateWalLocked(/*sequence=*/false));
-  for (const auto* table : {working_seq_.get(), working_unseq_.get()}) {
-    WalWriter* wal =
-        table == working_seq_.get() ? wal_seq_.get() : wal_unseq_.get();
-    for (const auto& [sensor, list] : table->chunks()) {
-      for (size_t i = 0; i < list->size(); ++i) {
-        RETURN_NOT_OK(wal->Append(sensor, list->TimeAt(i), list->ValueAt(i)));
-      }
-    }
-    RETURN_NOT_OK(wal->Sync());
+  for (auto& shard : shards_) {
+    RETURN_NOT_OK(shard->RecoverRelog());
   }
   for (const auto& path : wal_paths) {
     std::error_code ec;
@@ -163,392 +181,84 @@ Status StorageEngine::RecoverLocked() {
   return Status::OK();
 }
 
-Status StorageEngine::RotateWalLocked(bool sequence) {
-  std::unique_ptr<WalWriter>& wal = sequence ? wal_seq_ : wal_unseq_;
-  if (wal != nullptr) RETURN_NOT_OK(wal->Close());
-  char name[32];
-  std::snprintf(name, sizeof(name), "wal-%08zu.log", next_wal_id_++);
-  wal = std::make_unique<WalWriter>(options_.data_dir + "/" + name);
-  return wal->Open();
-}
-
-Status StorageEngine::Write(const std::string& sensor, Timestamp t, double v) {
-  std::unique_lock<std::mutex> lock(mu_);
-  // Separation policy: points at or below the sensor's flushed watermark
-  // would rewrite history already on disk — they go to the unsequence
-  // memtable instead of the sequence one.
-  auto wm = flush_watermark_.find(sensor);
-  const bool sequence = wm == flush_watermark_.end() || t > wm->second;
-  MemTable* target = sequence ? working_seq_.get() : working_unseq_.get();
-  if (options_.enable_wal) {
-    WalWriter* wal = sequence ? wal_seq_.get() : wal_unseq_.get();
-    RETURN_NOT_OK(wal->Append(sensor, t, v));
-    if (options_.sync_wal_every_write) RETURN_NOT_OK(wal->Sync());
-  }
-  target->Write(sensor, t, v);
-  {
-    auto it = last_cache_.find(sensor);
-    if (it == last_cache_.end() || t >= it->second.t) {
-      last_cache_[sensor] = {t, v};
-    }
-  }
-  if (target->total_points() >= options_.memtable_flush_threshold) {
-    SealLocked(sequence);
-    if (!options_.async_flush) {
-      // Synchronous mode: drain the queue inline.
-      while (!flush_queue_.empty()) {
-        FlushJob job = flush_queue_.front();
-        flush_queue_.pop_front();
-        lock.unlock();
-        Status st = FlushTable(job);
-        lock.lock();
-        if (!st.ok()) return st;
-      }
-    }
-  }
-  return Status::OK();
+Status StorageEngine::Write(const std::string& sensor, Timestamp t,
+                            double v) {
+  return shards_[ShardFor(sensor)]->Write(sensor, t, v);
 }
 
 Status StorageEngine::WriteBatch(const std::string& sensor,
                                  const std::vector<TvPairDouble>& points) {
+  EngineShard* shard = shards_[ShardFor(sensor)].get();
   for (const TvPairDouble& p : points) {
-    RETURN_NOT_OK(Write(sensor, p.t, p.v));
+    RETURN_NOT_OK(shard->Write(sensor, p.t, p.v));
   }
   return Status::OK();
-}
-
-void StorageEngine::SealLocked(bool sequence) {
-  std::unique_ptr<MemTable>& working =
-      sequence ? working_seq_ : working_unseq_;
-  if (working->total_points() == 0) return;
-  working->MarkFlushing();
-  // Advance watermarks so later stragglers are separated.
-  if (sequence) {
-    for (const auto& [sensor, list] : working->chunks()) {
-      Timestamp& wm = flush_watermark_[sensor];
-      wm = std::max(wm, list->max_time());
-    }
-  }
-  // The sealed table's WAL segment rides along with the flush job and is
-  // deleted once the TsFile is durable; the new working table gets a fresh
-  // segment.
-  std::string wal_path;
-  if (options_.enable_wal) {
-    WalWriter* wal = sequence ? wal_seq_.get() : wal_unseq_.get();
-    wal_path = wal->path();
-    (void)wal->Sync();
-    Status st = RotateWalLocked(sequence);
-    if (!st.ok()) {
-      // Losing WAL rotation is not fatal for the seal itself; the old
-      // segment keeps covering both tables until flush succeeds.
-      wal_path.clear();
-    }
-  }
-  std::shared_ptr<MemTable> sealed(working.release());
-  working = std::make_unique<MemTable>();
-  flushing_.push_back(sealed);
-  flush_queue_.push_back(FlushJob{sealed, sequence, wal_path});
-  flush_cv_.notify_one();
-}
-
-Status StorageEngine::FlushTable(const FlushJob& job) {
-  const std::shared_ptr<MemTable>& table = job.table;
-  WallTimer flush_timer;
-  double sort_ms = 0.0;
-
-  std::string path;
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    char name[32];
-    std::snprintf(name, sizeof(name), "%s%08zu.bstf",
-                  job.sequence ? "seq-" : "unseq-", next_file_id_++);
-    path = options_.data_dir + "/" + name;
-  }
-  TsFileWriter writer(path);
-  {
-    // The sealed table's TVLists are sorted in place; serialize with any
-    // concurrent query reading this table via the per-table mutex.
-    std::unique_lock<std::mutex> table_lock(table->mu());
-    for (auto& [sensor, list] : table->chunks()) {
-      // Sort the TVList with the configured algorithm (skipped when appends
-      // arrived in order — IoTDB checks the same flag).
-      if (!list->sorted()) {
-        WallTimer sort_timer;
-        TVListSortable<double> seq_adapter(*list);
-        SortWith(options_.sorter, seq_adapter, options_.backward_options);
-        list->MarkSorted();
-        sort_ms += sort_timer.ElapsedMillis();
-      }
-      std::vector<Timestamp> ts;
-      std::vector<double> values;
-      ts.reserve(list->size());
-      values.reserve(list->size());
-      for (size_t i = 0; i < list->size(); ++i) {
-        ts.push_back(list->TimeAt(i));
-        values.push_back(list->ValueAt(i));
-      }
-      RETURN_NOT_OK(writer.WriteChunkF64(sensor, ts, values,
-                                         Encoding::kTs2Diff,
-                                         Encoding::kGorilla,
-                                         options_.points_per_page));
-    }
-  }
-  RETURN_NOT_OK(writer.Finish());
-
-  {
-    // Publish the file and retire the memtable atomically w.r.t. queries.
-    std::unique_lock<std::mutex> lock(mu_);
-    sealed_files_.push_back(path);
-    flushing_.erase(std::remove(flushing_.begin(), flushing_.end(), table),
-                    flushing_.end());
-  }
-  file_count_.fetch_add(1);
-  if (!job.wal_path.empty()) {
-    // The data is durable in the TsFile; its WAL coverage is obsolete.
-    std::error_code ec;
-    std::filesystem::remove(job.wal_path, ec);
-  }
-  flush_done_cv_.notify_all();
-  {
-    std::unique_lock<std::mutex> lock(metrics_mu_);
-    metrics_.flush_ms.Add(flush_timer.ElapsedMillis());
-    metrics_.sort_ms.Add(sort_ms);
-  }
-  return Status::OK();
-}
-
-void StorageEngine::FlushWorker() {
-  for (;;) {
-    FlushJob job;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      flush_cv_.wait(lock, [this] { return stop_ || !flush_queue_.empty(); });
-      if (flush_queue_.empty()) {
-        if (stop_) return;
-        continue;
-      }
-      job = flush_queue_.front();
-      flush_queue_.pop_front();
-    }
-    Status st = FlushTable(job);
-    (void)st;  // IO failures surface via FlushAll in tests; keep draining.
-  }
-}
-
-std::vector<TvPairDouble> StorageEngine::CollectFromMemTable(
-    const MemTable& table, const std::string& sensor, Timestamp t_min,
-    Timestamp t_max) {
-  // Serialize with the flush worker's in-place sort of sealed tables.
-  std::unique_lock<std::mutex> table_lock(table.mu());
-  const DoubleTVList* list = table.GetChunk(sensor);
-  if (list == nullptr || list->size() == 0) return {};
-  if (list->max_time() < t_min || list->min_time() > t_max) return {};
-  // Snapshot matching points, then sort the snapshot with the configured
-  // algorithm — the query-time sorting cost the paper measures. The
-  // snapshot preserves arrival order, so the sorter sees the same disorder
-  // profile the TVList holds.
-  std::vector<TvPairDouble> snapshot;
-  snapshot.reserve(list->size());
-  for (size_t i = 0; i < list->size(); ++i) {
-    const Timestamp t = list->TimeAt(i);
-    if (t >= t_min && t <= t_max) {
-      snapshot.push_back({t, list->ValueAt(i)});
-    }
-  }
-  if (!snapshot.empty() && !list->sorted()) {
-    // Stable sort so duplicate timestamps keep arrival order and
-    // last-write-wins dedup is well defined. Timsort and the merge-based
-    // sorters are stable; Backward-Sort's quicksorted blocks are not, so
-    // equal-timestamp dedup inside one memtable run is best-effort there —
-    // exactly IoTDB's situation.
-    VectorSortable<double> seq_adapter(snapshot);
-    SortWith(options_.sorter, seq_adapter, options_.backward_options);
-  }
-  return snapshot;
 }
 
 Status StorageEngine::Query(const std::string& sensor, Timestamp t_min,
                             Timestamp t_max,
                             std::vector<TvPairDouble>* out) {
-  out->clear();
-  // IoTDB's query "takes the lock and blocks the write process" — the same
-  // global mutex writers use is held for the whole query.
-  std::unique_lock<std::mutex> lock(mu_);
-  // Gather per-source sorted runs with write-recency priorities: sealed
-  // files in creation order, then in-flight flushing tables, then the
-  // working tables (most recent writes).
-  std::vector<SortedRun> runs;
-  int priority = 0;
-  for (const std::string& path : sealed_files_) {
-    TsFileReader reader(path);
-    Status st = reader.Open();
-    if (!st.ok()) return st;
-    std::vector<Timestamp> ts;
-    std::vector<double> values;
-    st = reader.QueryRangeF64(sensor, t_min, t_max, &ts, &values);
-    ++priority;
-    if (st.IsNotFound()) continue;
-    if (!st.ok()) return st;
-    SortedRun run;
-    run.priority = priority;
-    run.points.resize(ts.size());
-    for (size_t i = 0; i < ts.size(); ++i) run.points[i] = {ts[i], values[i]};
-    runs.push_back(std::move(run));
-  }
-  for (const auto& table : flushing_) {
-    runs.push_back(
-        {CollectFromMemTable(*table, sensor, t_min, t_max), ++priority});
-  }
-  runs.push_back(
-      {CollectFromMemTable(*working_unseq_, sensor, t_min, t_max),
-       ++priority});
-  runs.push_back(
-      {CollectFromMemTable(*working_seq_, sensor, t_min, t_max), ++priority});
-  MergeRuns(std::move(runs), options_.dedup_on_query, out);
-  return Status::OK();
+  return shards_[ShardFor(sensor)]->Query(sensor, t_min, t_max, out);
+}
+
+Status StorageEngine::GetLatest(const std::string& sensor,
+                                TvPairDouble* out) {
+  return shards_[ShardFor(sensor)]->GetLatest(sensor, out);
 }
 
 Status StorageEngine::AggregateFast(const std::string& sensor,
                                     Timestamp t_min, Timestamp t_max,
                                     TsFileReader::RangeStats* stats,
                                     bool* used_fast_path) {
-  *stats = TsFileReader::RangeStats{};
-  if (used_fast_path != nullptr) *used_fast_path = false;
-  std::unique_lock<std::mutex> lock(mu_);
-
-  // Soundness guard: statistics cannot express last-write-wins shadowing,
-  // so the pushdown requires every point in range to live in exactly one
-  // sequence file. Sequence files never overlap per sensor (the watermark
-  // enforces strictly increasing time ranges).
-  bool fast_ok = true;
-  for (const std::string& path : sealed_files_) {
-    if (path.find("unseq-") != std::string::npos) {
-      fast_ok = false;
-      break;
-    }
-  }
-  auto memtable_touches_range = [&](const MemTable& table) {
-    std::unique_lock<std::mutex> table_lock(table.mu());
-    const DoubleTVList* list = table.GetChunk(sensor);
-    return list != nullptr && list->size() > 0 &&
-           list->max_time() >= t_min && list->min_time() <= t_max;
-  };
-  if (fast_ok) {
-    if (memtable_touches_range(*working_seq_) ||
-        memtable_touches_range(*working_unseq_)) {
-      fast_ok = false;
-    }
-    for (const auto& table : flushing_) {
-      if (fast_ok && memtable_touches_range(*table)) fast_ok = false;
-    }
-  }
-
-  if (fast_ok) {
-    bool have_any = false;
-    for (const std::string& path : sealed_files_) {
-      TsFileReader reader(path);
-      RETURN_NOT_OK(reader.Open());
-      TsFileReader::RangeStats file_stats;
-      Status st =
-          reader.AggregateRangeF64(sensor, t_min, t_max, &file_stats);
-      if (st.IsNotFound()) continue;
-      RETURN_NOT_OK(st);
-      if (file_stats.count == 0) continue;
-      if (!have_any) {
-        *stats = file_stats;
-        have_any = true;
-        continue;
-      }
-      stats->min = std::min(stats->min, file_stats.min);
-      stats->max = std::max(stats->max, file_stats.max);
-      stats->sum += file_stats.sum;
-      stats->count += file_stats.count;
-      // Sequence files are scanned in time order per sensor.
-      if (file_stats.first_time < stats->first_time) {
-        stats->first_time = file_stats.first_time;
-        stats->first = file_stats.first;
-      }
-      if (file_stats.last_time > stats->last_time) {
-        stats->last_time = file_stats.last_time;
-        stats->last = file_stats.last;
-      }
-    }
-    if (used_fast_path != nullptr) *used_fast_path = true;
-    return Status::OK();
-  }
-  lock.unlock();
-
-  // Exact fallback through the dedup merge path.
-  std::vector<TvPairDouble> points;
-  RETURN_NOT_OK(Query(sensor, t_min, t_max, &points));
-  for (const TvPairDouble& p : points) {
-    if (stats->count == 0) {
-      stats->min = p.v;
-      stats->max = p.v;
-      stats->first = p.v;
-      stats->first_time = p.t;
-    }
-    stats->min = std::min(stats->min, p.v);
-    stats->max = std::max(stats->max, p.v);
-    stats->sum += p.v;
-    ++stats->count;
-    stats->last = p.v;
-    stats->last_time = p.t;
-  }
-  return Status::OK();
-}
-
-Status StorageEngine::GetLatest(const std::string& sensor,
-                                TvPairDouble* out) {
-  std::unique_lock<std::mutex> lock(mu_);
-  auto it = last_cache_.find(sensor);
-  if (it == last_cache_.end()) {
-    return Status::NotFound("no data for sensor: " + sensor);
-  }
-  *out = it->second;
-  return Status::OK();
+  return shards_[ShardFor(sensor)]->AggregateFast(sensor, t_min, t_max, stats,
+                                                  used_fast_path);
 }
 
 Status StorageEngine::FlushAll() {
-  std::unique_lock<std::mutex> lock(mu_);
-  SealLocked(true);
-  SealLocked(false);
-  if (!options_.async_flush) {
-    while (!flush_queue_.empty()) {
-      FlushJob job = flush_queue_.front();
-      flush_queue_.pop_front();
-      lock.unlock();
-      Status st = FlushTable(job);
-      lock.lock();
-      if (!st.ok()) return st;
+  if (!shared_.options.async_flush) {
+    for (auto& shard : shards_) {
+      RETURN_NOT_OK(shard->SealAndDrainSync());
     }
     return Status::OK();
   }
-  flush_cv_.notify_all();
-  flush_done_cv_.wait(lock, [this] {
-    return flush_queue_.empty() && flushing_.empty();
-  });
+  // Seal every shard first so the pool overlaps their flushes, then wait.
+  for (auto& shard : shards_) shard->SealBoth();
+  for (auto& shard : shards_) shard->WaitFlushed();
   return Status::OK();
 }
 
 FlushMetrics StorageEngine::GetFlushMetrics() const {
-  std::unique_lock<std::mutex> lock(metrics_mu_);
-  return metrics_;
+  FlushMetrics merged;
+  for (const auto& shard : shards_) {
+    merged.Merge(shard->GetFlushMetrics());
+  }
+  return merged;
+}
+
+EngineMetricsSnapshot StorageEngine::GetMetricsSnapshot() const {
+  EngineMetricsSnapshot snap;
+  snap.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    snap.shards.push_back(shard->Snapshot());
+    snap.flush.Merge(snap.shards.back().flush);
+  }
+  snap.sealed_files = shared_.file_count.load();
+  return snap;
 }
 
 Status StorageEngine::Compact() {
-  // Snapshot the current file set; flushes may append more files while the
-  // merge runs, and those must survive the swap untouched.
+  // Snapshot the current engine-wide file set; flushes may append more
+  // files while the merge runs, and those must survive the swap untouched.
   std::vector<std::string> inputs;
-  std::string out_path;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (sealed_files_.size() < 2) return Status::OK();
-    inputs = sealed_files_;
-    char name[32];
-    std::snprintf(name, sizeof(name), "seq-%08zu.bstf", next_file_id_++);
-    out_path = options_.data_dir + "/" + name;
+    std::unique_lock<std::mutex> lock(shared_.files_mu);
+    if (shared_.all_files.size() < 2) return Status::OK();
+    inputs = shared_.all_files;
   }
+  char name[48];
+  std::snprintf(name, sizeof(name), "seq-%08zu.bstf",
+                shared_.next_file_id.fetch_add(1));
+  const std::string out_path = shared_.options.data_dir + "/" + name;
 
   // Merge every sensor's runs across all input files, resolving duplicate
   // timestamps last-write-wins (newer files shadow older ones) — after
@@ -588,26 +298,42 @@ Status StorageEngine::Compact() {
     }
     RETURN_NOT_OK(writer.WriteChunkF64(sensor, ts, values,
                                        Encoding::kTs2Diff, Encoding::kGorilla,
-                                       options_.points_per_page));
+                                       shared_.options.points_per_page));
   }
   RETURN_NOT_OK(writer.Finish());
 
-  // Swap: replace exactly the snapshot inputs with the compacted file,
-  // keeping any files flushed meanwhile.
+  // Swap: replace exactly the snapshot inputs with the compacted file in
+  // every shard's consult list, keeping any files flushed meanwhile. All
+  // shard locks are taken in index order, then files_mu (the documented
+  // hierarchy), so queries across shards never observe a half-swapped set.
+  auto is_input = [&](const std::string& f) {
+    return std::find(inputs.begin(), inputs.end(), f) != inputs.end();
+  };
   std::vector<std::string> obsolete;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(shards_.size());
+    for (auto& shard : shards_) locks.emplace_back(shard->mu());
+    for (auto& shard : shards_) {
+      std::vector<std::string> next;
+      next.push_back(out_path);
+      for (const std::string& f : shard->sealed_files_locked()) {
+        if (!is_input(f)) next.push_back(f);
+      }
+      shard->sealed_files_locked() = std::move(next);
+    }
+    std::unique_lock<std::mutex> files_lock(shared_.files_mu);
     std::vector<std::string> next;
     next.push_back(out_path);
-    for (const std::string& f : sealed_files_) {
-      if (std::find(inputs.begin(), inputs.end(), f) == inputs.end()) {
+    for (const std::string& f : shared_.all_files) {
+      if (!is_input(f)) {
         next.push_back(f);
       } else {
         obsolete.push_back(f);
       }
     }
-    sealed_files_ = std::move(next);
-    file_count_.store(sealed_files_.size());
+    shared_.all_files = std::move(next);
+    shared_.file_count.store(shared_.all_files.size());
   }
   for (const std::string& f : obsolete) {
     std::error_code ec;

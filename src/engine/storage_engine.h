@@ -1,76 +1,30 @@
 #ifndef BACKSORT_ENGINE_STORAGE_ENGINE_H_
 #define BACKSORT_ENGINE_STORAGE_ENGINE_H_
 
-#include <atomic>
-#include <condition_variable>
-#include <deque>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
-#include "common/stats.h"
+#include "common/engine_metrics.h"
 #include "common/status.h"
 #include "common/types.h"
-#include "core/sorter_registry.h"
-#include "engine/wal.h"
-#include "memtable/memtable.h"
+#include "engine/engine_options.h"
+#include "engine/engine_shard.h"
+#include "engine/flush_pool.h"
 #include "tsfile/tsfile.h"
 
 namespace backsort {
 
-/// Configuration of the single-node storage engine.
-struct EngineOptions {
-  std::string data_dir;
-
-  /// Which algorithm sorts TVLists at flush and query time — the variable
-  /// under test in the paper's system experiments.
-  SorterId sorter = SorterId::kTim;
-  BackwardSortOptions backward_options;
-
-  /// Seal-and-flush once the working memtable holds this many points
-  /// ("100,000 is the appropriate memory points size in the IoTDB").
-  size_t memtable_flush_threshold = 100'000;
-
-  size_t points_per_page = 1024;
-
-  /// Run flushes on a background thread (IoTDB's flush is "asynchronously
-  /// awaited"). Tests may turn this off for determinism.
-  bool async_flush = true;
-
-  /// Write-ahead logging: every ingested point is framed and CRC-protected
-  /// in a per-memtable WAL segment before being buffered; segments are
-  /// deleted once their memtable's TsFile is durable. Open() replays any
-  /// leftover segments, so a crash loses at most the torn tail record.
-  bool enable_wal = true;
-
-  /// Force WAL buffers to the OS after every append. Durable but slow;
-  /// benches leave it off (IoTDB likewise groups WAL syncs).
-  bool sync_wal_every_write = false;
-
-  /// Last-write-wins deduplication of equal timestamps on query, matching
-  /// IoTDB's read semantics (an unsequence rewrite of an existing
-  /// timestamp shadows the sequence value). Off = return all duplicates.
-  bool dedup_on_query = true;
-};
-
-/// Server-side flush metrics (paper Section VI-D2): per-flush wall time of
-/// the whole pipeline (sort + encode + I/O) and of the sort step alone.
-struct FlushMetrics {
-  RunningStats flush_ms;
-  RunningStats sort_ms;
-};
-
-/// A miniature Apache-IoTDB-shaped storage engine: working/flushing
-/// memtables of TVLists, sequence/unsequence **separation policy** (any
-/// write whose timestamp is at or below the sensor's last flushed time goes
-/// to the unsequence memtable, keeping extreme stragglers away from the
-/// sort path), a flush pipeline that sorts each TVList with a pluggable
-/// algorithm and persists TsFile chunks, and a time-range query that — like
-/// IoTDB — takes the global lock, sorts in-memory data, and merges it with
-/// on-disk chunks.
+/// A miniature Apache-IoTDB-shaped storage engine, sharded for write
+/// concurrency: sensor ids are hashed onto `EngineOptions::shard_count`
+/// EngineShards, each the former single-lock engine core (own mutex,
+/// working/flushing memtables of TVLists, sequence/unsequence **separation
+/// policy**, WAL segments, last cache, sealed-file list). A shared flush
+/// pool (`EngineOptions::flush_workers`) drains sealed memtables from all
+/// shards, so the pluggable sort + encode + TsFile write of different
+/// shards overlaps. Queries take only their sensor's shard lock — writers
+/// of other shards proceed concurrently; with shard_count = 1 and one
+/// flush worker the engine behaves exactly like the pre-sharding engine.
 class StorageEngine {
  public:
   explicit StorageEngine(EngineOptions options);
@@ -80,7 +34,9 @@ class StorageEngine {
   StorageEngine& operator=(const StorageEngine&) = delete;
 
   /// Creates the data directory, recovers sealed TsFiles and WAL segments
-  /// from a previous incarnation, and starts the flush worker.
+  /// from a previous incarnation (routing each sensor's state to its
+  /// current shard, so the shard count may change between runs), and
+  /// starts the flush pool.
   Status Open();
 
   /// Ingests one point (arrival order = call order).
@@ -92,7 +48,8 @@ class StorageEngine {
 
   /// Time-range query [t_min, t_max]: sorted, may contain points from the
   /// working memtable, in-flight flushing memtables, and sealed files.
-  /// Blocks writers for its duration, mirroring IoTDB's lock behavior.
+  /// Blocks writers of the same shard for its duration, mirroring IoTDB's
+  /// lock behavior at shard granularity.
   Status Query(const std::string& sensor, Timestamp t_min, Timestamp t_max,
                std::vector<TvPairDouble>* out);
 
@@ -106,22 +63,32 @@ class StorageEngine {
   /// last over [t_min, t_max]). The fast path skips decoding interior
   /// pages, but is only sound when no data source can shadow another
   /// (duplicate timestamps are resolved last-write-wins by Query); it is
-  /// taken only when the sensor has no unsequence files and no in-memory
-  /// points in range, and `used_fast_path` reports the decision. Otherwise
-  /// falls back to the exact Query-based computation — results are
-  /// identical either way.
+  /// taken only when the sensor's shard has no unsequence files and no
+  /// in-memory points in range, and `used_fast_path` reports the decision.
+  /// Otherwise falls back to the exact Query-based computation — results
+  /// are identical either way.
   Status AggregateFast(const std::string& sensor, Timestamp t_min,
                        Timestamp t_max, TsFileReader::RangeStats* stats,
                        bool* used_fast_path = nullptr);
 
-  /// Seals the current working memtable (if non-empty) and waits until all
-  /// queued flushes hit disk.
+  /// Seals every shard's working memtables (if non-empty) and waits until
+  /// all queued flushes hit disk. Sealing all shards first lets their
+  /// flushes overlap in the pool.
   Status FlushAll();
 
-  /// Snapshot of flush metrics (thread-safe).
+  /// Merged flush metrics across all shards (thread-safe).
   FlushMetrics GetFlushMetrics() const;
 
-  size_t sealed_file_count() const { return file_count_.load(); }
+  /// Engine-wide metrics with the per-shard breakdown (queue depths, flush
+  /// counts, working set sizes).
+  EngineMetricsSnapshot GetMetricsSnapshot() const;
+
+  /// Distinct sealed TsFiles across the whole engine.
+  size_t sealed_file_count() const { return shared_.file_count.load(); }
+
+  /// Resolved shard / flush-worker counts (after env and auto defaults).
+  size_t shard_count() const { return shards_.size(); }
+  size_t flush_worker_count() const { return flush_workers_; }
 
   /// Merges every sealed TsFile (sequence and unsequence) into one compact
   /// sequence file per run — the LSM-style compaction that bounds read
@@ -130,68 +97,17 @@ class StorageEngine {
   Status Compact();
 
  private:
-  struct FlushJob {
-    std::shared_ptr<MemTable> table;
-    bool sequence;
-    std::string wal_path;  // deleted once the TsFile is durable
-  };
+  size_t ShardFor(const std::string& sensor) const;
 
-  /// Seals the working memtable into the flush queue. Caller holds mu_.
-  void SealLocked(bool sequence);
+  /// Replays leftover TsFiles and WAL segments from `data_dir` into the
+  /// shards. Runs single-threaded during Open, before the pool starts.
+  Status RecoverAll();
 
-  /// Sort + encode + write one sealed memtable to a TsFile, then — under a
-  /// single engine-lock critical section — publish the file and retire the
-  /// table from `flushing_` so queries never see its points twice. Must be
-  /// called without holding mu_.
-  Status FlushTable(const FlushJob& job);
-
-  /// Replays leftover TsFiles and WAL segments from `data_dir`. Caller
-  /// holds mu_ (during Open, before the flush worker starts).
-  Status RecoverLocked();
-
-  /// Opens a fresh WAL segment for one working table. Caller holds mu_.
-  Status RotateWalLocked(bool sequence);
-
-  void FlushWorker();
-
-  /// Collects [t_min, t_max] points of `sensor` from a memtable into one
-  /// sorted run (sorting with the configured algorithm, like IoTDB's
-  /// query-time sort). Caller holds mu_.
-  std::vector<TvPairDouble> CollectFromMemTable(const MemTable& table,
-                                                const std::string& sensor,
-                                                Timestamp t_min,
-                                                Timestamp t_max);
-
-  EngineOptions options_;
-
-  mutable std::mutex mu_;
-  std::unique_ptr<MemTable> working_seq_;
-  std::unique_ptr<MemTable> working_unseq_;
-  /// Last flushed (or flush-queued) max time per sensor — the separation
-  /// policy watermark.
-  std::map<std::string, Timestamp> flush_watermark_;
-  /// Last cache: newest point per sensor (largest timestamp; last write on
-  /// ties). Rebuilt from files + WAL on recovery.
-  std::map<std::string, TvPairDouble> last_cache_;
-  /// Tables sealed but not yet fully on disk; still visible to queries.
-  std::vector<std::shared_ptr<MemTable>> flushing_;
-
-  std::deque<FlushJob> flush_queue_;
-  std::condition_variable flush_cv_;
-  std::condition_variable flush_done_cv_;
-  bool stop_ = false;
-  std::thread flush_thread_;
-
-  std::unique_ptr<WalWriter> wal_seq_;
-  std::unique_ptr<WalWriter> wal_unseq_;
-  size_t next_wal_id_ = 0;
-
-  mutable std::mutex metrics_mu_;
-  FlushMetrics metrics_;
-
-  std::vector<std::string> sealed_files_;
-  std::atomic<size_t> file_count_{0};
-  size_t next_file_id_ = 0;
+  EngineSharedState shared_;
+  size_t flush_workers_ = 1;
+  std::vector<std::unique_ptr<EngineShard>> shards_;
+  FlushPool pool_;
+  bool pool_started_ = false;
 };
 
 }  // namespace backsort

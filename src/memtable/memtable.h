@@ -1,6 +1,7 @@
 #ifndef BACKSORT_MEMTABLE_MEMTABLE_H_
 #define BACKSORT_MEMTABLE_MEMTABLE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -27,19 +28,28 @@ class MemTable {
   MemTable(const MemTable&) = delete;
   MemTable& operator=(const MemTable&) = delete;
 
-  /// Appends one point in arrival order. Only legal while working.
+  /// Appends one point in arrival order. Only legal while working, under
+  /// the owning shard's lock.
   void Write(const std::string& sensor, Timestamp t, double v) {
     auto it = chunks_.find(sensor);
     if (it == chunks_.end()) {
       it = chunks_.emplace(sensor, std::make_unique<DoubleTVList>()).first;
     }
+    const size_t before = it->second->MemoryBytes();
     it->second->Put(t, v);
-    ++total_points_;
+    approx_bytes_.fetch_add(it->second->MemoryBytes() - before,
+                            std::memory_order_relaxed);
+    total_points_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Total points across all sensors — the flush trigger input. The paper
-  /// notes ~100k points is the appropriate in-memory size in IoTDB.
-  size_t total_points() const { return total_points_; }
+  /// notes ~100k points is the appropriate in-memory size in IoTDB (the
+  /// engine splits that budget across shards). Atomic, so the engine
+  /// facade can read it for cross-shard flush-trigger and metrics
+  /// decisions without taking the shard lock.
+  size_t total_points() const {
+    return total_points_.load(std::memory_order_relaxed);
+  }
 
   State state() const { return state_; }
   /// Seals the table: no further writes; flush pipeline takes over.
@@ -61,10 +71,18 @@ class MemTable {
     return it == chunks_.end() ? nullptr : it->second.get();
   }
 
+  /// Exact heap footprint; walks the chunk map, so the caller must hold
+  /// the owning shard's lock (or have exclusive access).
   size_t MemoryBytes() const {
     size_t total = 0;
     for (const auto& [_, list] : chunks_) total += list->MemoryBytes();
     return total;
+  }
+
+  /// Lock-free footprint estimate maintained on every Write, for the
+  /// engine facade's metrics snapshot and flush accounting.
+  size_t ApproxMemoryBytes() const {
+    return approx_bytes_.load(std::memory_order_relaxed);
   }
 
   /// Guards post-seal access: the flush worker sorts chunk TVLists in place
@@ -74,7 +92,8 @@ class MemTable {
 
  private:
   std::map<std::string, std::unique_ptr<DoubleTVList>> chunks_;
-  size_t total_points_ = 0;
+  std::atomic<size_t> total_points_{0};
+  std::atomic<size_t> approx_bytes_{0};
   State state_ = State::kWorking;
   mutable std::mutex mu_;
 };

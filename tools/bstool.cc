@@ -16,6 +16,11 @@
 //   bstool iir <in.csv>
 //       Print the interval inversion ratio profile at power-of-two
 //       intervals — the Fig. 8a diagnostic for choosing block sizes.
+//   bstool ingest <dir> <points> <dist> [--shards=N] [--flush-workers=N]
+//                 [--threads=N] [--sensors=N] [--batch=N] [--seed=N]
+//       Drive a multi-threaded write-only workload into a (possibly
+//       sharded) storage engine under <dir> and print aggregate write
+//       throughput plus per-shard flush metrics.
 //   bstool algos
 //       List registered sorting algorithms.
 
@@ -27,6 +32,7 @@
 #include <vector>
 
 #include "benchkit/csv.h"
+#include "benchkit/workload.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "core/sorter_registry.h"
@@ -45,12 +51,16 @@ int Fail(const Status& st) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: bstool inspect|dump|gen|sort|iir|algos ...\n"
+               "usage: bstool inspect|dump|gen|sort|iir|ingest|algos ...\n"
                "  inspect <file.bstf>\n"
                "  dump <file.bstf> <sensor> [limit]\n"
                "  gen <out.csv> <points> <dist> [seed]\n"
                "  sort <in.csv> <out.csv> [algo]\n"
-               "  iir <in.csv>\n");
+               "  iir <in.csv>\n"
+               "  ingest <dir> <points> <dist> [--shards=N]"
+               " [--flush-workers=N]\n"
+               "         [--threads=N] [--sensors=N] [--batch=N]"
+               " [--seed=N]\n");
   return 2;
 }
 
@@ -186,6 +196,79 @@ int CmdIir(int argc, char** argv) {
   return 0;
 }
 
+/// Parses `--name=value` into `out`; returns false when `arg` is a
+/// different flag.
+bool FlagValue(const char* arg, const char* name, size_t* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = static_cast<size_t>(std::strtoull(arg + len + 1, nullptr, 10));
+  return true;
+}
+
+int CmdIngest(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string dir = argv[0];
+  const size_t points =
+      static_cast<size_t>(std::strtoull(argv[1], nullptr, 10));
+  auto delay = ParseDistribution(argv[2]);
+  if (delay == nullptr) {
+    std::fprintf(stderr, "unknown distribution: %s\n", argv[2]);
+    return 2;
+  }
+  size_t shards = 0, flush_workers = 0;  // 0 = engine auto/env resolution
+  size_t threads = 4, sensors = 0, batch = 500, seed = 42;
+  for (int i = 3; i < argc; ++i) {
+    if (FlagValue(argv[i], "--shards", &shards) ||
+        FlagValue(argv[i], "--flush-workers", &flush_workers) ||
+        FlagValue(argv[i], "--threads", &threads) ||
+        FlagValue(argv[i], "--sensors", &sensors) ||
+        FlagValue(argv[i], "--batch", &batch) ||
+        FlagValue(argv[i], "--seed", &seed)) {
+      continue;
+    }
+    std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+    return Usage();
+  }
+  if (sensors == 0) sensors = std::max<size_t>(threads, 1);
+
+  EngineOptions opt;
+  opt.data_dir = dir;
+  opt.shard_count = shards;
+  opt.flush_workers = flush_workers;
+  StorageEngine engine(opt);
+  if (Status st = engine.Open(); !st.ok()) return Fail(st);
+
+  WorkloadConfig config;
+  config.total_points = points;
+  config.write_percentage = 1.0;
+  config.sensor_count = sensors;
+  config.client_threads = threads;
+  config.batch_size = batch;
+  config.seed = seed;
+  WorkloadResult result;
+  WorkloadRunner runner(&engine, config);
+  if (Status st = runner.Run(*delay, &result); !st.ok()) return Fail(st);
+
+  std::printf("ingested %zu points (%s) with %zu client threads over"
+              " %zu sensors\n",
+              result.points_written, delay->Name().c_str(), threads, sensors);
+  std::printf("engine: %zu shard(s), %zu flush worker(s)\n",
+              engine.shard_count(), engine.flush_worker_count());
+  std::printf("write throughput: %.0f points/s (%.3f s total)\n",
+              result.write_throughput, result.total_latency_sec);
+  const EngineMetricsSnapshot snap = engine.GetMetricsSnapshot();
+  std::printf("%-8s %12s %12s %12s %12s %14s\n", "shard", "points", "queued",
+              "flushes", "files", "avg flush ms");
+  for (const ShardMetricsSnapshot& s : snap.shards) {
+    std::printf("%-8zu %12zu %12zu %12zu %12zu %14.3f\n", s.shard_id,
+                s.working_points, s.queued_flushes, s.completed_flushes,
+                s.sealed_files, s.flush.flush_ms.mean());
+  }
+  std::printf("total: %zu flushes, %zu sealed files\n",
+              snap.total_completed_flushes(), snap.sealed_files);
+  return 0;
+}
+
 int CmdAlgos() {
   for (SorterId id : AllSorters()) {
     std::printf("%s\n", SorterName(id).c_str());
@@ -201,6 +284,7 @@ int Main(int argc, char** argv) {
   if (cmd == "gen") return CmdGen(argc - 2, argv + 2);
   if (cmd == "sort") return CmdSort(argc - 2, argv + 2);
   if (cmd == "iir") return CmdIir(argc - 2, argv + 2);
+  if (cmd == "ingest") return CmdIngest(argc - 2, argv + 2);
   if (cmd == "algos") return CmdAlgos();
   return Usage();
 }

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI for the backsort repo:
+#   1. tier-1 verify line (ROADMAP.md): configure, build, run full ctest
+#   2. re-run the engine-facing suites against a sharded engine
+#      (BACKSORT_SHARDS=4 BACKSORT_FLUSH_WORKERS=2) to catch facade
+#      regressions the default single-shard config would hide
+#   3. build the engine concurrency test under ThreadSanitizer and run it
+#
+# Usage: tools/ci.sh   (from the repo root; build dirs: build/, build-tsan/)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== [1/3] tier-1: configure + build + full test suite ==="
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+echo "=== [2/3] engine suites at 4 shards / 2 flush workers ==="
+(cd build && BACKSORT_SHARDS=4 BACKSORT_FLUSH_WORKERS=2 \
+  ctest --output-on-failure -R 'Engine|Wal|Workload|Aggregate' -j)
+
+echo "=== [3/3] concurrency test under ThreadSanitizer ==="
+cmake -B build-tsan -S . -DBACKSORT_SANITIZE=thread
+cmake --build build-tsan -j --target engine_concurrency_test
+./build-tsan/tests/engine_concurrency_test
+
+echo "=== CI passed ==="
