@@ -27,6 +27,12 @@ inline size_t EnvSize(const char* name, size_t fallback) {
   return static_cast<size_t>(std::strtoull(v, nullptr, 10));
 }
 
+/// String-valued environment override (e.g. BACKSORT_METRICS_DIR).
+inline std::string EnvStr(const char* name, const char* fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? fallback : v;
+}
+
 /// Builds an IntTVList holding the arrival stream of `delay` — the
 /// "IntTVList(<long,int> T-V pair)" setting of the paper's algorithm
 /// experiments.

@@ -14,7 +14,9 @@ int main() {
     std::snprintf(name, sizeof(name), "AbsNormal(1,%g)", sigma);
     panels.push_back({name, std::make_unique<AbsNormalDelay>(1, sigma)});
   }
-  RunShardScaling(panels[1].name, *panels[1].delay);  // AbsNormal(1,1)
-  RunSystemFamily("13/16/19", std::move(panels));
+  MetricsRegistry metrics;
+  RunShardScaling(panels[1].name, *panels[1].delay, &metrics);  // AbsNormal(1,1)
+  RunSystemFamily("13/16/19", std::move(panels), &metrics);
+  WriteBenchMetrics(metrics, "system_absnormal");
   return 0;
 }

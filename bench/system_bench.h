@@ -10,6 +10,7 @@
 
 #include "bench/bench_util.h"
 #include "benchkit/workload.h"
+#include "common/metrics_registry.h"
 #include "engine/storage_engine.h"
 
 namespace backsort::bench {
@@ -21,6 +22,21 @@ struct SystemPanel {
   std::unique_ptr<DelayDistribution> delay;
 };
 
+/// Writes a bench process's accumulated metrics registry next to its
+/// printed results: `<BACKSORT_METRICS_DIR or .>/<bench>.metrics.prom`, in
+/// Prometheus text format, so every bench run leaves a machine-readable
+/// percentile record alongside the human-readable tables.
+inline void WriteBenchMetrics(const MetricsRegistry& metrics,
+                              const std::string& bench_name) {
+  const std::string path =
+      EnvStr("BACKSORT_METRICS_DIR", ".") + "/" + bench_name + ".metrics.prom";
+  if (Status st = metrics.WriteFile(path); !st.ok()) {
+    std::fprintf(stderr, "metrics write failed: %s\n", st.ToString().c_str());
+    return;
+  }
+  std::printf("\nmetrics: wrote %s\n", path.c_str());
+}
+
 /// Runs the paper's system experiment family over the given panels and
 /// prints, per panel, the query-throughput (Figs. 13-15), flush-time
 /// (Figs. 16-18) and total-test-latency (Figs. 19-21) tables.
@@ -28,8 +44,13 @@ struct SystemPanel {
 /// The write percentages match the paper: 25%, 50%, 75%, 90%, 95%, 99% for
 /// the query-dependent metrics, plus 100% for flush/latency (at 100% there
 /// are no queries, hence no throughput row).
+///
+/// When `metrics` is non-null, every engine run's final snapshot is
+/// exported into it under {panel, write_pct, sorter} labels (see
+/// WriteBenchMetrics).
 inline void RunSystemFamily(const std::string& figure_ids,
-                            std::vector<SystemPanel> panels) {
+                            std::vector<SystemPanel> panels,
+                            MetricsRegistry* metrics = nullptr) {
   // Scaled-down defaults (paper: 10M points, 100k memtable). The ratios
   // between sorters — the figure shapes — survive the scaling; export
   // BACKSORT_SYSTEM_POINTS / BACKSORT_FLUSH_THRESHOLD to raise the scale.
@@ -85,6 +106,15 @@ inline void RunSystemFamily(const std::string& figure_ids,
         t_row.push_back(result.query_throughput / 1e6);  // 1e6 points/s
         f_row.push_back(result.avg_flush_ms);
         l_row.push_back(result.total_latency_sec);
+        if (metrics != nullptr) {
+          char pct_label[16];
+          std::snprintf(pct_label, sizeof(pct_label), "%g", pct);
+          ExportEngineMetrics(engine.GetMetricsSnapshot(),
+                              {{"panel", panel.name},
+                               {"write_pct", pct_label},
+                               {"sorter", SorterName(sorter)}},
+                              /*include_traces=*/false, metrics);
+        }
       }
       throughput.push_back(std::move(t_row));
       flush_ms.push_back(std::move(f_row));
@@ -124,8 +154,11 @@ inline void RunSystemFamily(const std::string& figure_ids,
 /// With one shard every client serializes on the single engine mutex; with
 /// four shards the clients' sensor sets hash onto different shards and
 /// ingest in parallel.
+/// When `metrics` is non-null, each configuration's final snapshot is
+/// exported under {panel, config} labels.
 inline void RunShardScaling(const std::string& panel_name,
-                            const DelayDistribution& delay) {
+                            const DelayDistribution& delay,
+                            MetricsRegistry* metrics = nullptr) {
   const size_t points = EnvSize("BACKSORT_SYSTEM_POINTS", 100'000) * 8;
   const size_t flush_threshold =
       EnvSize("BACKSORT_FLUSH_THRESHOLD", std::max<size_t>(points / 20, 5'000));
@@ -190,6 +223,11 @@ inline void RunShardScaling(const std::string& panel_name,
     PrintRow(setup.label,
              {result.write_throughput / 1e6, result.total_latency_sec,
               static_cast<double>(result.flush_count)});
+    if (metrics != nullptr) {
+      ExportEngineMetrics(engine.GetMetricsSnapshot(),
+                          {{"panel", panel_name}, {"config", setup.label}},
+                          /*include_traces=*/false, metrics);
+    }
   }
   std::error_code ec;
   std::filesystem::remove_all(base, ec);

@@ -14,7 +14,9 @@ int main() {
     std::snprintf(name, sizeof(name), "LogNormal(1,%g)", sigma);
     panels.push_back({name, std::make_unique<LogNormalDelay>(1, sigma)});
   }
-  RunShardScaling(panels[1].name, *panels[1].delay);  // LogNormal(1,1)
-  RunSystemFamily("14/17/20", std::move(panels));
+  MetricsRegistry metrics;
+  RunShardScaling(panels[1].name, *panels[1].delay, &metrics);  // LogNormal(1,1)
+  RunSystemFamily("14/17/20", std::move(panels), &metrics);
+  WriteBenchMetrics(metrics, "system_lognormal");
   return 0;
 }

@@ -13,7 +13,9 @@ int main() {
   for (DatasetId id : RealWorldDatasets()) {
     panels.push_back({DatasetName(id), MakeDatasetDelay(id)});
   }
-  RunShardScaling(panels[0].name, *panels[0].delay);
-  RunSystemFamily("15/18/21", std::move(panels));
+  MetricsRegistry metrics;
+  RunShardScaling(panels[0].name, *panels[0].delay, &metrics);
+  RunSystemFamily("15/18/21", std::move(panels), &metrics);
+  WriteBenchMetrics(metrics, "system_realworld");
   return 0;
 }

@@ -2,8 +2,10 @@
 #define BACKSORT_COMMON_ENGINE_METRICS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "common/latency_histogram.h"
 #include "common/stats.h"
 
 namespace backsort {
@@ -13,17 +15,86 @@ namespace backsort {
 /// Each EngineShard accumulates its own copy; the engine facade merges them
 /// into one engine-wide view.
 struct FlushMetrics {
+  /// Whole flush pipeline wall time per flush, milliseconds.
   RunningStats flush_ms;
+  /// TVList sort time inside the flush, milliseconds.
   RunningStats sort_ms;
 
+  /// Folds another shard's accumulators into this one.
   void Merge(const FlushMetrics& other) {
     flush_ms.Merge(other.flush_ms);
     sort_ms.Merge(other.sort_ms);
   }
 };
 
+/// One completed flush as a lightweight trace span, retrievable from the
+/// metrics snapshot (each shard keeps the most recent flushes in a fixed
+/// ring buffer). Times are steady-clock nanoseconds since the engine's
+/// construction (`seal_ns`/`dequeue_ns`/`publish_ns` are points on that
+/// clock; `sort_ns`/`encode_ns`/`fsync_ns` are phase durations inside
+/// [dequeue_ns, publish_ns], because sort and encode interleave per sensor
+/// chunk rather than forming two contiguous windows).
+struct FlushTrace {
+  /// Shard that owned the flushed memtable.
+  size_t shard_id = 0;
+  /// Per-shard seal sequence number (publication order).
+  uint64_t seq = 0;
+  /// True for a sequence-memtable flush, false for unsequence.
+  bool sequence = false;
+  /// Points in the flushed memtable.
+  size_t points = 0;
+  /// When the memtable was sealed into the flush queue.
+  int64_t seal_ns = 0;
+  /// When a flush worker dequeued the job (queue wait = dequeue - seal).
+  int64_t dequeue_ns = 0;
+  /// When the TsFile was published and the memtable retired.
+  int64_t publish_ns = 0;
+  /// Total TVList sort time within this flush.
+  int64_t sort_ns = 0;
+  /// Total encode+write time (column building, encodings, page writes).
+  int64_t encode_ns = 0;
+  /// File seal time: footer write + flush to the OS (TsFileWriter::Finish).
+  int64_t fsync_ns = 0;
+
+  /// Time the sealed memtable waited in the flush queue.
+  int64_t queue_wait_ns() const { return dequeue_ns - seal_ns; }
+  /// Whole pipeline wall time, dequeue to publish.
+  int64_t pipeline_ns() const { return publish_ns - dequeue_ns; }
+};
+
+/// Engine-wide write-path latency distributions, one histogram snapshot per
+/// instrumented stage. All values are nanoseconds; recording is lock-free
+/// (relaxed atomics shared by every shard and flush worker).
+struct StageLatencySnapshots {
+  /// One Write call: separation policy + WAL append + memtable insert,
+  /// including shard-lock wait (and inline flush stalls when async_flush
+  /// is off) — the client-visible write-enqueue latency.
+  HistogramSnapshot enqueue;
+  /// Seal -> dequeue wait of a sealed memtable in the flush queue.
+  HistogramSnapshot queue_wait;
+  /// Per-flush total TVList sort time.
+  HistogramSnapshot sort;
+  /// Per-flush total encode+write time.
+  HistogramSnapshot encode;
+  /// Per-flush file seal (footer + flush to OS) time.
+  HistogramSnapshot seal;
+  /// Per-flush whole pipeline (dequeue -> publish) wall time.
+  HistogramSnapshot flush;
+
+  /// Folds another set of stage snapshots into this one, bucket-wise.
+  void Merge(const StageLatencySnapshots& other) {
+    enqueue.Merge(other.enqueue);
+    queue_wait.Merge(other.queue_wait);
+    sort.Merge(other.sort);
+    encode.Merge(other.encode);
+    seal.Merge(other.seal);
+    flush.Merge(other.flush);
+  }
+};
+
 /// Point-in-time view of one shard's write-path state.
 struct ShardMetricsSnapshot {
+  /// Index of the shard within the engine ([0, shard_count)).
   size_t shard_id = 0;
   /// Sealed memtables waiting in (or executing from) the flush queue.
   size_t queued_flushes = 0;
@@ -37,30 +108,48 @@ struct ShardMetricsSnapshot {
   size_t working_bytes = 0;
   /// Sealed TsFiles this shard consults at query time.
   size_t sealed_files = 0;
+  /// Mean/variance flush accumulators (kept alongside the histograms for
+  /// the paper's avg-flush-time tables).
   FlushMetrics flush;
+  /// Most recent completed flushes, oldest first (bounded ring; see
+  /// FlushTrace for field semantics).
+  std::vector<FlushTrace> recent_traces;
 };
 
 /// Engine-wide metrics: the per-shard breakdown plus the merged totals the
 /// benchmark harness reports.
 struct EngineMetricsSnapshot {
-  FlushMetrics flush;  ///< merged across shards
+  /// Merged mean/variance flush accumulators across shards.
+  FlushMetrics flush;
+  /// Per-shard breakdown, indexed by shard id.
   std::vector<ShardMetricsSnapshot> shards;
   /// Distinct sealed TsFiles across the whole engine.
   size_t sealed_files = 0;
+  /// Engine-wide write-path latency histograms (shared by all shards).
+  StageLatencySnapshots stages;
 
+  /// Sealed memtables currently queued for flush, summed over shards.
   size_t total_queued_flushes() const {
     size_t n = 0;
     for (const ShardMetricsSnapshot& s : shards) n += s.queued_flushes;
     return n;
   }
+  /// Points buffered in working memtables, summed over shards.
   size_t total_working_points() const {
     size_t n = 0;
     for (const ShardMetricsSnapshot& s : shards) n += s.working_points;
     return n;
   }
+  /// Flushes completed since open, summed over shards.
   size_t total_completed_flushes() const {
     size_t n = 0;
     for (const ShardMetricsSnapshot& s : shards) n += s.completed_flushes;
+    return n;
+  }
+  /// Approximate working-memtable heap bytes, summed over shards.
+  size_t total_working_bytes() const {
+    size_t n = 0;
+    for (const ShardMetricsSnapshot& s : shards) n += s.working_bytes;
     return n;
   }
 };

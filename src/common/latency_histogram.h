@@ -1,0 +1,161 @@
+#ifndef BACKSORT_COMMON_LATENCY_HISTOGRAM_H_
+#define BACKSORT_COMMON_LATENCY_HISTOGRAM_H_
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace backsort {
+
+/// Shared bucket geometry of LatencyHistogram / HistogramSnapshot: a fixed
+/// log-linear layout (HdrHistogram-style) over the whole uint64 range.
+/// Values below 4 get exact unit buckets; every larger power-of-two octave
+/// is split into 4 linear sub-buckets, so the relative quantile error is
+/// bounded by 1/4 regardless of magnitude. The layout is value-agnostic;
+/// the engine records nanoseconds.
+struct HistogramBuckets {
+  /// 4 exact buckets + 62 octaves x 4 sub-buckets (msb 2..63).
+  static constexpr size_t kBucketCount = 4 + 62 * 4;
+
+  static constexpr size_t BucketIndex(uint64_t v) {
+    if (v < 4) return static_cast<size_t>(v);
+    // msb >= 2; the two bits below the msb pick the sub-bucket.
+    int msb = 63;
+    while ((v >> msb) == 0) --msb;
+    const size_t sub = static_cast<size_t>((v >> (msb - 2)) & 3);
+    return static_cast<size_t>(msb - 1) * 4 + sub;
+  }
+
+  /// Smallest value mapped to bucket `i` (inclusive).
+  static constexpr uint64_t LowerBound(size_t i) {
+    if (i < 8) return i;  // exact + first-octave region: width-1 buckets
+    const size_t msb = i / 4 + 1;
+    const size_t sub = i % 4;
+    return static_cast<uint64_t>(4 + sub) << (msb - 2);
+  }
+
+  /// One past the largest value mapped to bucket `i` (exclusive). Saturates
+  /// at UINT64_MAX for the top bucket instead of wrapping.
+  static constexpr uint64_t UpperBound(size_t i) {
+    if (i + 1 >= kBucketCount) return UINT64_MAX;
+    return LowerBound(i + 1);
+  }
+};
+
+/// Immutable point-in-time copy of a LatencyHistogram: the bucket counts
+/// plus exact count/sum/min/max side counters. Plain data — safe to merge,
+/// copy between threads and ship inside EngineMetricsSnapshot.
+struct HistogramSnapshot {
+  std::array<uint64_t, HistogramBuckets::kBucketCount> buckets{};
+  uint64_t count = 0;
+  uint64_t sum = 0;  ///< exact sum of recorded values (not bucket midpoints)
+  uint64_t min = 0;  ///< 0 when empty
+  uint64_t max = 0;  ///< 0 when empty
+
+  /// Value at quantile `q` in [0, 1], linearly interpolated inside the
+  /// containing bucket and clamped to the observed [min, max] (so
+  /// ValueAtQuantile(1) is the exact max). Returns 0 when empty.
+  double ValueAtQuantile(double q) const {
+    if (count == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the target sample, 1-based.
+    uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count));
+    if (target < 1) target = 1;
+    if (target > count) target = count;
+    uint64_t cum = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      if (buckets[i] == 0) continue;
+      cum += buckets[i];
+      if (cum < target) continue;
+      // Interpolate within [lo, hi), tightened by the observed extremes.
+      double lo = static_cast<double>(
+          std::max(HistogramBuckets::LowerBound(i), min));
+      double hi =
+          static_cast<double>(std::min(HistogramBuckets::UpperBound(i), max));
+      if (hi < lo) hi = lo;
+      const uint64_t before = cum - buckets[i];
+      const double frac = static_cast<double>(target - before) /
+                          static_cast<double>(buckets[i]);
+      return lo + frac * (hi - lo);
+    }
+    return static_cast<double>(max);  // unreachable: cum == count >= target
+  }
+
+  /// Percentile in [0, 100] — ValueAtQuantile(p / 100).
+  double Percentile(double p) const { return ValueAtQuantile(p / 100.0); }
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Folds `other` into this snapshot (exact for count/sum/min/max, bucket-
+  /// wise for the distribution) — used to aggregate across histograms.
+  void Merge(const HistogramSnapshot& other) {
+    for (size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+    if (other.count > 0) {
+      min = count == 0 ? other.min : std::min(min, other.min);
+      max = count == 0 ? other.max : std::max(max, other.max);
+    }
+    count += other.count;
+    sum += other.sum;
+  }
+};
+
+/// Fixed-bucket log-scale latency histogram with lock-free recording:
+/// Record() is a handful of relaxed atomic adds (no locks, no allocation),
+/// cheap enough to sit on the per-point write path. Concurrent recorders
+/// never wait on each other; Snapshot() reads the buckets with relaxed
+/// loads, so a snapshot taken during recording is approximate in the usual
+/// monitoring sense (each individual counter is atomic, the set is not cut
+/// at one instant).
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Records one value (the engine records nanoseconds). Wait-free apart
+  /// from the min/max CAS loops, which only retry while the extremes are
+  /// actively moving.
+  void Record(uint64_t v) {
+    buckets_[HistogramBuckets::BucketIndex(v)].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  HistogramSnapshot Snapshot() const {
+    HistogramSnapshot snap;
+    for (size_t i = 0; i < HistogramBuckets::kBucketCount; ++i) {
+      snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    snap.count = count_.load(std::memory_order_relaxed);
+    snap.sum = sum_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+    const uint64_t mn = min_.load(std::memory_order_relaxed);
+    snap.min = snap.count == 0 ? 0 : mn;
+    return snap;
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, HistogramBuckets::kBucketCount> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace backsort
+
+#endif  // BACKSORT_COMMON_LATENCY_HISTOGRAM_H_

@@ -1,0 +1,254 @@
+#include "common/metrics_registry.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+namespace backsort {
+
+namespace {
+
+/// Prometheus float rendering: enough digits to round-trip, special
+/// spellings for NaN/Inf.
+std::string FormatValue(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string EscapeHelp(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+MetricsRegistry::Family* MetricsRegistry::FamilyFor(const std::string& name,
+                                                    const std::string& help,
+                                                    const std::string& type) {
+  auto it = family_index_.find(name);
+  if (it != family_index_.end()) return &families_[it->second];
+  family_index_[name] = families_.size();
+  families_.push_back(Family{name, help, type, {}});
+  return &families_.back();
+}
+
+void MetricsRegistry::AddSample(Family* family, const std::string& sample_name,
+                                const Labels& labels, double value) {
+  std::string line = sample_name;
+  if (!labels.empty()) {
+    line += '{';
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+      if (!first) line += ',';
+      first = false;
+      line += k;
+      line += "=\"";
+      line += EscapeLabelValue(v);
+      line += '"';
+    }
+    line += '}';
+  }
+  line += ' ';
+  line += FormatValue(value);
+  family->lines.push_back(std::move(line));
+}
+
+void MetricsRegistry::Gauge(const std::string& name, const std::string& help,
+                            const Labels& labels, double value) {
+  AddSample(FamilyFor(name, help, "gauge"), name, labels, value);
+}
+
+void MetricsRegistry::Counter(const std::string& name, const std::string& help,
+                              const Labels& labels, double value) {
+  AddSample(FamilyFor(name, help, "counter"), name, labels, value);
+}
+
+void MetricsRegistry::Summary(const std::string& name, const std::string& help,
+                              const Labels& labels,
+                              const HistogramSnapshot& snapshot, double scale) {
+  static constexpr double kQuantiles[] = {0.5, 0.9, 0.99, 1.0};
+  Family* family = FamilyFor(name, help, "summary");
+  for (double q : kQuantiles) {
+    Labels with_quantile = labels;
+    with_quantile.emplace_back("quantile", FormatValue(q));
+    const double v = snapshot.count == 0
+                         ? std::nan("")
+                         : snapshot.ValueAtQuantile(q) * scale;
+    AddSample(family, name, with_quantile, v);
+  }
+  AddSample(family, name + "_sum", labels,
+            static_cast<double>(snapshot.sum) * scale);
+  AddSample(family, name + "_count", labels,
+            static_cast<double>(snapshot.count));
+}
+
+void MetricsRegistry::Comment(const std::string& text) {
+  comments_.push_back("# " + text);
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::ostringstream out;
+  for (const Family& f : families_) {
+    out << "# HELP " << f.name << ' ' << EscapeHelp(f.help) << '\n';
+    out << "# TYPE " << f.name << ' ' << f.type << '\n';
+    for (const std::string& line : f.lines) out << line << '\n';
+  }
+  for (const std::string& c : comments_) out << c << '\n';
+  return out.str();
+}
+
+Status MetricsRegistry::WriteFile(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open metrics file for write: " + tmp);
+  }
+  const std::string text = RenderPrometheus();
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != text.size() || !close_ok) {
+    return Status::IOError("short write to metrics file: " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IOError("cannot publish metrics file " + path + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+void ExportEngineMetrics(const EngineMetricsSnapshot& snapshot,
+                         const MetricsRegistry::Labels& base_labels,
+                         bool include_traces, MetricsRegistry* registry) {
+  constexpr double kNsToSec = 1e-9;
+  constexpr double kNsToMs = 1e-6;
+  constexpr double kMsToSec = 1e-3;
+
+  const struct {
+    const char* stage;
+    const HistogramSnapshot& hist;
+  } stages[] = {
+      {"enqueue", snapshot.stages.enqueue},
+      {"queue_wait", snapshot.stages.queue_wait},
+      {"sort", snapshot.stages.sort},
+      {"encode", snapshot.stages.encode},
+      {"seal", snapshot.stages.seal},
+      {"flush", snapshot.stages.flush},
+  };
+  for (const auto& s : stages) {
+    MetricsRegistry::Labels labels = base_labels;
+    labels.emplace_back("stage", s.stage);
+    registry->Summary(
+        "backsort_stage_duration_seconds",
+        "Write-path stage latency in seconds (stages: enqueue, queue_wait, "
+        "sort, encode, seal, flush); quantile=\"1\" is the observed max.",
+        labels, s.hist, kNsToSec);
+  }
+
+  registry->Gauge("backsort_shard_count", "Engine shards.", base_labels,
+                  static_cast<double>(snapshot.shards.size()));
+  registry->Gauge("backsort_sealed_files",
+                  "Distinct sealed TsFiles across the engine.", base_labels,
+                  static_cast<double>(snapshot.sealed_files));
+  registry->Gauge("backsort_working_points",
+                  "Points buffered in working memtables, all shards.",
+                  base_labels,
+                  static_cast<double>(snapshot.total_working_points()));
+  registry->Gauge("backsort_working_bytes",
+                  "Approximate heap bytes of working memtables, all shards.",
+                  base_labels,
+                  static_cast<double>(snapshot.total_working_bytes()));
+  registry->Gauge("backsort_queued_flushes",
+                  "Sealed memtables waiting in flush queues, all shards.",
+                  base_labels,
+                  static_cast<double>(snapshot.total_queued_flushes()));
+  registry->Counter("backsort_flushes_total",
+                    "Flushes completed since the engine opened.", base_labels,
+                    static_cast<double>(snapshot.total_completed_flushes()));
+
+  for (const ShardMetricsSnapshot& shard : snapshot.shards) {
+    MetricsRegistry::Labels labels = base_labels;
+    labels.emplace_back("shard", std::to_string(shard.shard_id));
+    registry->Gauge("backsort_shard_working_points",
+                    "Points buffered in one shard's working memtables.",
+                    labels, static_cast<double>(shard.working_points));
+    registry->Gauge("backsort_shard_working_bytes",
+                    "Approximate heap bytes of one shard's working memtables.",
+                    labels, static_cast<double>(shard.working_bytes));
+    registry->Gauge("backsort_shard_queued_flushes",
+                    "Sealed memtables waiting in one shard's flush queue.",
+                    labels, static_cast<double>(shard.queued_flushes));
+    registry->Gauge(
+        "backsort_shard_flushing_tables",
+        "Sealed memtables of one shard not yet fully on disk.", labels,
+        static_cast<double>(shard.flushing_tables));
+    registry->Gauge("backsort_shard_sealed_files",
+                    "Sealed TsFiles one shard consults at query time.", labels,
+                    static_cast<double>(shard.sealed_files));
+    registry->Counter("backsort_shard_flushes_total",
+                      "Flushes one shard completed since the engine opened.",
+                      labels, static_cast<double>(shard.completed_flushes));
+    registry->Gauge("backsort_shard_flush_mean_seconds",
+                    "Mean whole-pipeline flush time of one shard, seconds.",
+                    labels, shard.flush.flush_ms.mean() * kMsToSec);
+    registry->Gauge("backsort_shard_sort_mean_seconds",
+                    "Mean in-flush sort time of one shard, seconds.", labels,
+                    shard.flush.sort_ms.mean() * kMsToSec);
+  }
+
+  if (!include_traces) return;
+  for (const ShardMetricsSnapshot& shard : snapshot.shards) {
+    for (const FlushTrace& t : shard.recent_traces) {
+      char buf[256];
+      std::snprintf(
+          buf, sizeof(buf),
+          "flush-trace shard=%zu seq=%llu kind=%s points=%zu seal_ms=%.3f "
+          "queue_wait_ms=%.3f sort_ms=%.3f encode_ms=%.3f fsync_ms=%.3f "
+          "publish_ms=%.3f pipeline_ms=%.3f",
+          t.shard_id, static_cast<unsigned long long>(t.seq),
+          t.sequence ? "seq" : "unseq", t.points,
+          static_cast<double>(t.seal_ns) * kNsToMs,
+          static_cast<double>(t.queue_wait_ns()) * kNsToMs,
+          static_cast<double>(t.sort_ns) * kNsToMs,
+          static_cast<double>(t.encode_ns) * kNsToMs,
+          static_cast<double>(t.fsync_ns) * kNsToMs,
+          static_cast<double>(t.publish_ns) * kNsToMs,
+          static_cast<double>(t.pipeline_ns()) * kNsToMs);
+      registry->Comment(buf);
+    }
+  }
+}
+
+}  // namespace backsort

@@ -8,13 +8,20 @@
 
 namespace backsort {
 
-/// Configuration of the single-node storage engine.
+/// Configuration of the single-node storage engine. Every field has a
+/// usable default except `data_dir`; operator-facing knobs are documented
+/// in docs/OPERATIONS.md.
 struct EngineOptions {
+  /// Root directory for sealed TsFiles and WAL segments. Created by
+  /// Open() if absent; a non-empty directory is recovered, not truncated.
   std::string data_dir;
 
   /// Which algorithm sorts TVLists at flush and query time — the variable
   /// under test in the paper's system experiments.
   SorterId sorter = SorterId::kTim;
+
+  /// Tuning of Backward-Sort itself (block-size rule Θ/L0, strategy);
+  /// consulted only when `sorter` selects it.
   BackwardSortOptions backward_options;
 
   /// Seal-and-flush once a shard's working memtable holds
@@ -23,6 +30,8 @@ struct EngineOptions {
   /// ("100,000 is the appropriate memory points size in the IoTDB").
   size_t memtable_flush_threshold = 100'000;
 
+  /// Points per TsFile page — the granularity of page statistics and of
+  /// the aggregation pushdown's decode skipping.
   size_t points_per_page = 1024;
 
   /// Number of independent engine shards; sensors are hashed onto shards,

@@ -40,6 +40,9 @@ Status EngineShard::RotateWalLocked(bool sequence) {
 
 Status EngineShard::Write(const std::string& sensor, Timestamp t, double v) {
   const EngineOptions& options = shared_->options;
+  // Write-enqueue latency: the whole call including shard-lock wait (and
+  // inline flush stalls when async_flush is off) — what a client sees.
+  WallTimer enqueue_timer;
   std::unique_lock<std::mutex> lock(mu_);
   // Separation policy: points at or below the sensor's flushed watermark
   // would rewrite history already on disk — they go to the unsequence
@@ -77,6 +80,8 @@ Status EngineShard::Write(const std::string& sensor, Timestamp t, double v) {
       }
     }
   }
+  shared_->histograms.enqueue.Record(
+      static_cast<uint64_t>(enqueue_timer.ElapsedNanos()));
   return Status::OK();
 }
 
@@ -110,8 +115,9 @@ void EngineShard::SealLocked(bool sequence) {
       working_seq_->total_points() + working_unseq_->total_points(),
       std::memory_order_relaxed);
   flushing_.push_back(sealed);
-  flush_queue_.push_back(
-      FlushJob{sealed, sequence, wal_path, next_flush_seq_++});
+  flush_queue_.push_back(FlushJob{sealed, sequence, wal_path,
+                                  next_flush_seq_++, shared_->NowNs(),
+                                  sealed->total_points()});
   if (options.async_flush && shared_->pool != nullptr) {
     shared_->pool->Submit(this);
   }
@@ -161,6 +167,13 @@ Status EngineShard::FlushTable(const FlushJob& job) {
   const EngineOptions& options = shared_->options;
   const std::shared_ptr<MemTable>& table = job.table;
   WallTimer flush_timer;
+  FlushTrace trace;
+  trace.shard_id = shard_id_;
+  trace.seq = job.seq;
+  trace.sequence = job.sequence;
+  trace.points = job.points;
+  trace.seal_ns = job.seal_ns;
+  trace.dequeue_ns = shared_->NowNs();
   double sort_ms = 0.0;
 
   char name[48];
@@ -183,8 +196,11 @@ Status EngineShard::FlushTable(const FlushJob& job) {
         TVListSortable<double> seq_adapter(*list);
         SortWith(options.sorter, seq_adapter, options.backward_options);
         list->MarkSorted();
-        sort_ms += sort_timer.ElapsedMillis();
+        const int64_t sorted_ns = sort_timer.ElapsedNanos();
+        sort_ms += static_cast<double>(sorted_ns) / 1e6;
+        trace.sort_ns += sorted_ns;
       }
+      WallTimer encode_timer;
       std::vector<Timestamp> ts;
       std::vector<double> values;
       ts.reserve(list->size());
@@ -197,10 +213,15 @@ Status EngineShard::FlushTable(const FlushJob& job) {
                                           Encoding::kTs2Diff,
                                           Encoding::kGorilla,
                                           options.points_per_page);
+      trace.encode_ns += encode_timer.ElapsedNanos();
       if (!write_status.ok()) break;
     }
   }
-  if (write_status.ok()) write_status = writer.Finish();
+  if (write_status.ok()) {
+    WallTimer seal_timer;
+    write_status = writer.Finish();
+    trace.fsync_ns = seal_timer.ElapsedNanos();
+  }
 
   {
     // Publish the file and retire the memtable atomically w.r.t. queries —
@@ -213,6 +234,7 @@ Status EngineShard::FlushTable(const FlushJob& job) {
       shared_->RegisterFile(path);
       flushing_.erase(std::remove(flushing_.begin(), flushing_.end(), table),
                       flushing_.end());
+      trace.publish_ns = shared_->NowNs();
       // Metrics ride in the publish critical section (mu_ before
       // metrics_mu_, same order as Snapshot) so an observer never sees a
       // published file without its completed-flush count.
@@ -220,6 +242,13 @@ Status EngineShard::FlushTable(const FlushJob& job) {
       metrics_.flush_ms.Add(flush_timer.ElapsedMillis());
       metrics_.sort_ms.Add(sort_ms);
       ++completed_flushes_;
+      // Trace ring: overwrite the oldest slot once the ring is full.
+      if (trace_ring_.size() < kTraceRingCapacity) {
+        trace_ring_.push_back(trace);
+      } else {
+        trace_ring_[trace_next_ % kTraceRingCapacity] = trace;
+      }
+      trace_next_ = (trace_next_ + 1) % kTraceRingCapacity;
     }
     // On failure the table stays in `flushing_` (its points remain
     // queryable and its WAL segment survives), but the publication turn
@@ -228,6 +257,17 @@ Status EngineShard::FlushTable(const FlushJob& job) {
   }
   publish_cv_.notify_all();
   if (!write_status.ok()) return write_status;
+
+  // Lock-free stage recording, consistent with the trace by construction:
+  // every histogram value is a duration derived from this trace's spans.
+  WritePathHistograms& h = shared_->histograms;
+  h.queue_wait.Record(static_cast<uint64_t>(
+      std::max<int64_t>(trace.queue_wait_ns(), 0)));
+  h.sort.Record(static_cast<uint64_t>(trace.sort_ns));
+  h.encode.Record(static_cast<uint64_t>(trace.encode_ns));
+  h.seal.Record(static_cast<uint64_t>(trace.fsync_ns));
+  h.flush.Record(static_cast<uint64_t>(
+      std::max<int64_t>(trace.pipeline_ns(), 0)));
 
   if (!job.wal_path.empty()) {
     // The data is durable in the TsFile; its WAL coverage is obsolete.
@@ -434,6 +474,14 @@ ShardMetricsSnapshot EngineShard::Snapshot() const {
     std::unique_lock<std::mutex> lock(metrics_mu_);
     snap.completed_flushes = completed_flushes_;
     snap.flush = metrics_;
+    // Unroll the trace ring into chronological (oldest-first) order.
+    snap.recent_traces.reserve(trace_ring_.size());
+    const size_t start =
+        trace_ring_.size() < kTraceRingCapacity ? 0 : trace_next_;
+    for (size_t i = 0; i < trace_ring_.size(); ++i) {
+      snap.recent_traces.push_back(
+          trace_ring_[(start + i) % trace_ring_.size()]);
+    }
   }
   return snap;
 }

@@ -2,6 +2,7 @@
 #define BACKSORT_ENGINE_ENGINE_SHARD_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <map>
@@ -11,6 +12,7 @@
 #include <vector>
 
 #include "common/engine_metrics.h"
+#include "common/latency_histogram.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "engine/engine_options.h"
@@ -21,6 +23,30 @@
 namespace backsort {
 
 class FlushPool;
+
+/// Engine-wide write-path latency histograms, one per instrumented stage
+/// (see StageLatencySnapshots for stage semantics). Shared by every shard
+/// and flush worker; recording is lock-free, so the histograms sit on the
+/// per-point write path without adding contention.
+struct WritePathHistograms {
+  LatencyHistogram enqueue;
+  LatencyHistogram queue_wait;
+  LatencyHistogram sort;
+  LatencyHistogram encode;
+  LatencyHistogram seal;
+  LatencyHistogram flush;
+
+  StageLatencySnapshots Snapshot() const {
+    StageLatencySnapshots snap;
+    snap.enqueue = enqueue.Snapshot();
+    snap.queue_wait = queue_wait.Snapshot();
+    snap.sort = sort.Snapshot();
+    snap.encode = encode.Snapshot();
+    snap.seal = seal.Snapshot();
+    snap.flush = flush.Snapshot();
+    return snap;
+  }
+};
 
 /// State shared by all shards of one engine: the resolved options, the
 /// flush pool, globally unique file/WAL id allocators (so names never
@@ -37,6 +63,21 @@ struct EngineSharedState {
   std::atomic<size_t> next_file_id{0};
   std::atomic<size_t> next_wal_id{0};
   std::atomic<size_t> file_count{0};
+
+  /// Lock-free stage latency histograms (see WritePathHistograms).
+  WritePathHistograms histograms;
+
+  /// Epoch of every FlushTrace timestamp: engine construction time on the
+  /// steady clock.
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+
+  /// Steady-clock nanoseconds since `epoch` — the trace timebase.
+  int64_t NowNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+  }
 
   mutable std::mutex files_mu;
   std::vector<std::string> all_files;  // distinct sealed files, creation order
@@ -56,6 +97,8 @@ struct FlushJob {
   bool sequence = false;
   std::string wal_path;  // deleted once the TsFile is durable
   uint64_t seq = 0;      // per-shard seal order; publication replays it
+  int64_t seal_ns = 0;   // seal time (trace timebase); queue-wait start
+  size_t points = 0;     // points in the sealed table, for the trace
 };
 
 /// One shard of the storage engine: the former single-lock engine core.
@@ -186,6 +229,11 @@ class EngineShard {
   mutable std::mutex metrics_mu_;
   FlushMetrics metrics_;
   size_t completed_flushes_ = 0;
+  /// Ring buffer of the most recent completed flush traces (capacity
+  /// kTraceRingCapacity); trace_next_ is the slot the next trace lands in.
+  static constexpr size_t kTraceRingCapacity = 32;
+  std::vector<FlushTrace> trace_ring_;
+  size_t trace_next_ = 0;
 
   std::vector<std::string> sealed_files_;
   std::atomic<size_t> approx_working_points_{0};

@@ -243,6 +243,7 @@ EngineMetricsSnapshot StorageEngine::GetMetricsSnapshot() const {
     snap.flush.Merge(snap.shards.back().flush);
   }
   snap.sealed_files = shared_.file_count.load();
+  snap.stages = shared_.histograms.Snapshot();
   return snap;
 }
 

@@ -27,7 +27,13 @@ namespace backsort {
 /// flush worker the engine behaves exactly like the pre-sharding engine.
 class StorageEngine {
  public:
+  /// Stores the options and builds the shards; no I/O happens until
+  /// Open(). The construction instant is the epoch of all flush-trace
+  /// timestamps (see FlushTrace in common/engine_metrics.h).
   explicit StorageEngine(EngineOptions options);
+
+  /// Drains the flush pool (pending sealed memtables reach disk) and
+  /// stops its workers before tearing down the shards.
   ~StorageEngine();
 
   StorageEngine(const StorageEngine&) = delete;
@@ -80,7 +86,9 @@ class StorageEngine {
   FlushMetrics GetFlushMetrics() const;
 
   /// Engine-wide metrics with the per-shard breakdown (queue depths, flush
-  /// counts, working set sizes).
+  /// counts, working set sizes), the write-path stage latency histograms,
+  /// and each shard's recent flush traces. Render with ExportEngineMetrics
+  /// (common/metrics_registry.h); metric reference in docs/METRICS.md.
   EngineMetricsSnapshot GetMetricsSnapshot() const;
 
   /// Distinct sealed TsFiles across the whole engine.

@@ -1,0 +1,173 @@
+// Unit tests for the lock-free log-scale LatencyHistogram: bucket
+// geometry, quantile interpolation, merge, and lossless concurrent
+// recording (run under TSan by tools/ci.sh).
+
+#include "common/latency_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace backsort {
+namespace {
+
+TEST(HistogramBuckets, SmallValuesGetExactUnitBuckets) {
+  for (uint64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(HistogramBuckets::BucketIndex(v), v);
+    EXPECT_EQ(HistogramBuckets::LowerBound(v), v);
+    EXPECT_EQ(HistogramBuckets::UpperBound(v), v + 1);
+  }
+}
+
+TEST(HistogramBuckets, EveryBucketContainsItsValues) {
+  std::vector<uint64_t> values = {0, 1, 2, 3};
+  for (int p = 2; p < 64; ++p) {
+    const uint64_t v = uint64_t{1} << p;
+    values.push_back(v - 1);
+    values.push_back(v);
+    values.push_back(v + 1);
+    values.push_back(v + (v >> 1));           // mid-octave
+    values.push_back(v + (v >> 1) + (v >> 2));  // three quarters in
+  }
+  values.push_back(UINT64_MAX - 1);
+  values.push_back(UINT64_MAX);
+  for (uint64_t v : values) {
+    const size_t i = HistogramBuckets::BucketIndex(v);
+    ASSERT_LT(i, HistogramBuckets::kBucketCount) << "value " << v;
+    EXPECT_LE(HistogramBuckets::LowerBound(i), v) << "value " << v;
+    if (i + 1 < HistogramBuckets::kBucketCount) {
+      EXPECT_LT(v, HistogramBuckets::UpperBound(i)) << "value " << v;
+    }
+  }
+}
+
+TEST(HistogramBuckets, BucketsAreContiguousAndMonotone) {
+  for (size_t i = 0; i + 1 < HistogramBuckets::kBucketCount; ++i) {
+    EXPECT_EQ(HistogramBuckets::UpperBound(i),
+              HistogramBuckets::LowerBound(i + 1))
+        << "gap/overlap at bucket " << i;
+    EXPECT_LT(HistogramBuckets::LowerBound(i),
+              HistogramBuckets::LowerBound(i + 1));
+  }
+}
+
+TEST(HistogramBuckets, RelativeBucketWidthBoundedByQuarter) {
+  // The p50/p99 error bound the docs promise: width / lower <= 1/4 for all
+  // buckets past the exact region.
+  for (size_t i = 8; i + 1 < HistogramBuckets::kBucketCount; ++i) {
+    const double lo = static_cast<double>(HistogramBuckets::LowerBound(i));
+    const double width =
+        static_cast<double>(HistogramBuckets::UpperBound(i)) - lo;
+    EXPECT_LE(width / lo, 0.25 + 1e-12) << "bucket " << i;
+  }
+}
+
+TEST(LatencyHistogram, CountSumMinMax) {
+  LatencyHistogram h;
+  h.Record(30);
+  h.Record(10);
+  h.Record(20);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.sum, 60u);
+  EXPECT_EQ(s.min, 10u);
+  EXPECT_EQ(s.max, 30u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 20.0);
+}
+
+TEST(LatencyHistogram, EmptySnapshotIsZero) {
+  LatencyHistogram h;
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_DOUBLE_EQ(s.ValueAtQuantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+}
+
+TEST(LatencyHistogram, QuantileInterpolationOnUniformData) {
+  LatencyHistogram h;
+  constexpr uint64_t kN = 10'000;
+  for (uint64_t v = 1; v <= kN; ++v) h.Record(v);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, kN);
+  // Log-linear buckets bound the relative error by the bucket width (25%);
+  // uniform data interpolates much closer in practice.
+  EXPECT_NEAR(s.Percentile(50), 5000.0, 5000.0 * 0.25);
+  EXPECT_NEAR(s.Percentile(90), 9000.0, 9000.0 * 0.25);
+  EXPECT_NEAR(s.Percentile(99), 9900.0, 9900.0 * 0.25);
+  // The extremes are exact: min clamps the bottom, max clamps the top.
+  EXPECT_DOUBLE_EQ(s.ValueAtQuantile(1.0), static_cast<double>(kN));
+  EXPECT_GE(s.ValueAtQuantile(0.0), 1.0);
+  // Quantiles are monotone in q.
+  double prev = 0.0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double v = s.ValueAtQuantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(LatencyHistogram, QuantilesOfSingleValue) {
+  LatencyHistogram h;
+  h.Record(123456);
+  const HistogramSnapshot s = h.Snapshot();
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(s.ValueAtQuantile(q), 123456.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramSnapshot, MergeCombinesExactlyAndKeepsQuantilesSane) {
+  LatencyHistogram a, b;
+  for (uint64_t v = 1; v <= 1000; ++v) a.Record(v);
+  for (uint64_t v = 1001; v <= 2000; ++v) b.Record(v);
+  HistogramSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.count, 2000u);
+  EXPECT_EQ(merged.sum, 2000u * 2001u / 2u);
+  EXPECT_EQ(merged.min, 1u);
+  EXPECT_EQ(merged.max, 2000u);
+  EXPECT_NEAR(merged.Percentile(50), 1000.0, 1000.0 * 0.25);
+  EXPECT_NEAR(merged.Percentile(99), 1980.0, 1980.0 * 0.25);
+
+  // Merging an empty snapshot is the identity.
+  HistogramSnapshot empty;
+  HistogramSnapshot copy = merged;
+  copy.Merge(empty);
+  EXPECT_EQ(copy.count, merged.count);
+  EXPECT_EQ(copy.min, merged.min);
+  EXPECT_EQ(copy.max, merged.max);
+
+  // Merging into an empty snapshot adopts the other side's extremes.
+  HistogramSnapshot adopted;
+  adopted.Merge(merged);
+  EXPECT_EQ(adopted.min, 1u);
+  EXPECT_EQ(adopted.max, 2000u);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordingIsLossless) {
+  // 4 writers x 50k records through the relaxed-atomic path; every record
+  // must land (no lost updates), and min/max/sum must be exact. tools/ci.sh
+  // re-runs this binary under ThreadSanitizer.
+  LatencyHistogram h;
+  constexpr size_t kThreads = 4;
+  constexpr uint64_t kPerThread = 50'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h] {
+      for (uint64_t v = 1; v <= kPerThread; ++v) h.Record(v);
+    });
+  }
+  for (auto& w : workers) w.join();
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  EXPECT_EQ(s.sum, kThreads * (kPerThread * (kPerThread + 1) / 2));
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, kPerThread);
+}
+
+}  // namespace
+}  // namespace backsort

@@ -1,0 +1,328 @@
+// Golden test for the Prometheus text exposition produced by
+// MetricsRegistry / ExportEngineMetrics: parses RenderPrometheus() output
+// line by line, pins the exact set of exported family names, checks the
+// stage summaries against the engine's FlushTrace spans, and cross-checks
+// that docs/METRICS.md documents every exported metric.
+
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics_registry.h"
+#include "engine/storage_engine.h"
+
+namespace backsort {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Exposition-format parser (strict enough to catch format regressions).
+
+struct ParsedSample {
+  std::string name;    // sample name (may carry _sum/_count suffix)
+  std::string labels;  // raw text between the braces, "" when unlabeled
+  double value = 0.0;
+};
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name[0])) && name[0] != '_') {
+    return false;
+  }
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  return true;
+}
+
+struct Exposition {
+  std::map<std::string, std::string> types;  // family -> gauge|counter|summary
+  std::set<std::string> helped;              // families with a HELP line
+  std::vector<ParsedSample> samples;
+  std::vector<std::string> trace_comments;
+};
+
+// Parses and structurally validates the text: every line is a HELP, TYPE,
+// flush-trace comment, or well-formed sample whose family was declared
+// (HELP then TYPE) earlier in the stream. Out-param (not a return value)
+// because gtest ASSERTs need a void function.
+void ParseExposition(const std::string& text, Exposition* out_ptr) {
+  Exposition& out = *out_ptr;
+  std::istringstream stream(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    SCOPED_TRACE("line " + std::to_string(line_no) + ": " + line);
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line[0] == '#') {
+      if (line.rfind("# HELP ", 0) == 0) {
+        const std::string rest = line.substr(7);
+        const size_t sp = rest.find(' ');
+        ASSERT_NE(sp, std::string::npos) << "HELP without text";
+        const std::string family = rest.substr(0, sp);
+        EXPECT_TRUE(ValidMetricName(family));
+        EXPECT_EQ(out.helped.count(family), 0u) << "duplicate HELP";
+        out.helped.insert(family);
+      } else if (line.rfind("# TYPE ", 0) == 0) {
+        const std::string rest = line.substr(7);
+        const size_t sp = rest.find(' ');
+        ASSERT_NE(sp, std::string::npos) << "TYPE without kind";
+        const std::string family = rest.substr(0, sp);
+        const std::string type = rest.substr(sp + 1);
+        EXPECT_TRUE(ValidMetricName(family));
+        EXPECT_EQ(out.helped.count(family), 1u) << "TYPE before HELP";
+        EXPECT_EQ(out.types.count(family), 0u) << "duplicate TYPE";
+        EXPECT_TRUE(type == "gauge" || type == "counter" || type == "summary")
+            << "unexpected type " << type;
+        out.types[family] = type;
+      } else if (line.rfind("# flush-trace ", 0) == 0) {
+        out.trace_comments.push_back(line);
+      } else {
+        ADD_FAILURE() << "unexpected comment line";
+      }
+      continue;
+    }
+
+    // Sample line: name[{labels}] value
+    ParsedSample sample;
+    size_t pos = line.find_first_of("{ ");
+    ASSERT_NE(pos, std::string::npos) << "sample without value";
+    sample.name = line.substr(0, pos);
+    EXPECT_TRUE(ValidMetricName(sample.name));
+    if (line[pos] == '{') {
+      const size_t close = line.find('}', pos);
+      ASSERT_NE(close, std::string::npos) << "unterminated label set";
+      sample.labels = line.substr(pos + 1, close - pos - 1);
+      EXPECT_FALSE(sample.labels.empty());
+      pos = close + 1;
+      ASSERT_LT(pos, line.size());
+      ASSERT_EQ(line[pos], ' ');
+    }
+    const std::string value_text = line.substr(pos + 1);
+    ASSERT_FALSE(value_text.empty());
+    char* end = nullptr;
+    sample.value = std::strtod(value_text.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << "trailing junk after value: " << value_text;
+
+    // The owning family (summaries add _sum/_count to the family name)
+    // must have been declared above this line.
+    std::string family = sample.name;
+    for (const char* suffix : {"_sum", "_count"}) {
+      const std::string s(suffix);
+      if (family.size() > s.size() &&
+          family.compare(family.size() - s.size(), s.size(), s) == 0) {
+        const std::string stripped = family.substr(0, family.size() - s.size());
+        if (out.types.count(stripped) != 0) family = stripped;
+      }
+    }
+    EXPECT_EQ(out.types.count(family), 1u)
+        << "sample before its TYPE declaration (family " << family << ")";
+    out.samples.push_back(std::move(sample));
+  }
+}
+
+// Value of the sample whose name and raw label text match exactly;
+// NaN when absent.
+double SampleValue(const Exposition& e, const std::string& name,
+                   const std::string& labels) {
+  for (const ParsedSample& s : e.samples) {
+    if (s.name == name && s.labels == labels) return s.value;
+  }
+  return std::nan("");
+}
+
+// ---------------------------------------------------------------------------
+// Shared engine run: a small multi-shard ingest with enough points to
+// complete several flushes while staying within every shard's trace ring.
+
+class MetricsExpositionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("backsort_expo_test_" + std::to_string(::getpid())))
+               .string();
+    EngineOptions opt;
+    opt.data_dir = dir_;
+    opt.shard_count = 2;  // explicit: immune to BACKSORT_SHARDS
+    opt.flush_workers = 1;
+    opt.memtable_flush_threshold = 400;
+    StorageEngine engine(opt);
+    ASSERT_TRUE(engine.Open().ok());
+    const std::vector<std::string> sensors = {"s0", "s1", "s2", "s3"};
+    for (size_t i = 0; i < 600; ++i) {
+      for (const std::string& sensor : sensors) {
+        // Mild disorder: every 7th point arrives 3 ticks late.
+        const Timestamp t = static_cast<Timestamp>(i % 7 == 0 && i > 3
+                                                       ? i - 3
+                                                       : i);
+        ASSERT_TRUE(engine.Write(sensor, t, static_cast<double>(i)).ok());
+      }
+    }
+    ASSERT_TRUE(engine.FlushAll().ok());
+    snapshot_ = new EngineMetricsSnapshot(engine.GetMetricsSnapshot());
+  }
+
+  static void TearDownTestSuite() {
+    delete snapshot_;
+    snapshot_ = nullptr;
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  static const EngineMetricsSnapshot& snapshot() { return *snapshot_; }
+
+  static std::string Render(bool include_traces) {
+    MetricsRegistry registry;
+    ExportEngineMetrics(snapshot(), {}, include_traces, &registry);
+    return registry.RenderPrometheus();
+  }
+
+  static std::string dir_;
+  static EngineMetricsSnapshot* snapshot_;
+};
+
+std::string MetricsExpositionTest::dir_;
+EngineMetricsSnapshot* MetricsExpositionTest::snapshot_ = nullptr;
+
+TEST_F(MetricsExpositionTest, GoldenFamilySet) {
+  Exposition e;
+  ParseExposition(Render(/*include_traces=*/false), &e);
+  // The exact families ExportEngineMetrics emits. Adding or renaming a
+  // metric must update this list AND docs/METRICS.md.
+  const std::map<std::string, std::string> expected = {
+      {"backsort_stage_duration_seconds", "summary"},
+      {"backsort_shard_count", "gauge"},
+      {"backsort_sealed_files", "gauge"},
+      {"backsort_working_points", "gauge"},
+      {"backsort_working_bytes", "gauge"},
+      {"backsort_queued_flushes", "gauge"},
+      {"backsort_flushes_total", "counter"},
+      {"backsort_shard_working_points", "gauge"},
+      {"backsort_shard_working_bytes", "gauge"},
+      {"backsort_shard_queued_flushes", "gauge"},
+      {"backsort_shard_flushing_tables", "gauge"},
+      {"backsort_shard_sealed_files", "gauge"},
+      {"backsort_shard_flushes_total", "counter"},
+      {"backsort_shard_flush_mean_seconds", "gauge"},
+      {"backsort_shard_sort_mean_seconds", "gauge"},
+  };
+  EXPECT_EQ(e.types, expected);
+  // Prometheus convention: counters end in _total, nothing else does.
+  for (const auto& [family, type] : e.types) {
+    const bool ends_total =
+        family.size() > 6 &&
+        family.compare(family.size() - 6, 6, "_total") == 0;
+    EXPECT_EQ(type == "counter", ends_total) << family;
+  }
+}
+
+TEST_F(MetricsExpositionTest, StageSummariesCarryRequiredQuantiles) {
+  Exposition e;
+  ParseExposition(Render(/*include_traces=*/false), &e);
+  for (const char* stage : {"enqueue", "queue_wait", "sort", "flush"}) {
+    for (const char* q : {"0.5", "0.99"}) {
+      const std::string labels =
+          std::string("stage=\"") + stage + "\",quantile=\"" + q + "\"";
+      const double v =
+          SampleValue(e, "backsort_stage_duration_seconds", labels);
+      EXPECT_FALSE(std::isnan(v)) << stage << " p" << q << " missing/NaN";
+      EXPECT_GE(v, 0.0) << stage;
+      EXPECT_LT(v, 3600.0) << stage;  // sanity: under an hour
+    }
+  }
+  // The flush summary counts completed flushes.
+  const double flush_count = SampleValue(
+      e, "backsort_stage_duration_seconds_count", "stage=\"flush\"");
+  EXPECT_GT(flush_count, 0.0);
+  EXPECT_EQ(flush_count,
+            static_cast<double>(snapshot().total_completed_flushes()));
+  // One enqueue record per Write call.
+  EXPECT_EQ(SampleValue(e, "backsort_stage_duration_seconds_count",
+                        "stage=\"enqueue\""),
+            600.0 * 4);
+}
+
+TEST_F(MetricsExpositionTest, TracesAgreeWithStageHistograms) {
+  Exposition e;
+  ParseExposition(Render(/*include_traces=*/true), &e);
+  size_t trace_count = 0;
+  uint64_t trace_sort_ns = 0;
+  for (const ShardMetricsSnapshot& shard : snapshot().shards) {
+    for (const FlushTrace& t : shard.recent_traces) {
+      ++trace_count;
+      trace_sort_ns += static_cast<uint64_t>(t.sort_ns);
+      // Span sanity: the pipeline is ordered and its measured
+      // sub-intervals are disjoint pieces of [dequeue, publish].
+      EXPECT_LE(t.seal_ns, t.dequeue_ns);
+      EXPECT_LE(t.dequeue_ns, t.publish_ns);
+      EXPECT_GE(t.sort_ns, 0);
+      EXPECT_GE(t.encode_ns, 0);
+      EXPECT_GE(t.fsync_ns, 0);
+      EXPECT_LE(t.sort_ns + t.encode_ns + t.fsync_ns, t.pipeline_ns());
+      EXPECT_GT(t.points, 0u);
+    }
+  }
+  // Every completed flush ran within the ring capacity here, so traces,
+  // comments, and the flush histogram all agree on the count.
+  EXPECT_EQ(trace_count, snapshot().total_completed_flushes());
+  EXPECT_EQ(e.trace_comments.size(), trace_count);
+  EXPECT_EQ(snapshot().stages.flush.count, trace_count);
+  // The sort histogram records exactly the traces' sort spans.
+  EXPECT_EQ(snapshot().stages.sort.sum, trace_sort_ns);
+  const double rendered_sort_sum = SampleValue(
+      e, "backsort_stage_duration_seconds_sum", "stage=\"sort\"");
+  EXPECT_NEAR(rendered_sort_sum, static_cast<double>(trace_sort_ns) * 1e-9,
+              static_cast<double>(trace_sort_ns) * 1e-9 * 1e-6 + 1e-12);
+}
+
+TEST_F(MetricsExpositionTest, DocsListEveryExportedFamily) {
+  Exposition e;
+  ParseExposition(Render(/*include_traces=*/true), &e);
+  const std::string docs_path =
+      std::string(BACKSORT_SOURCE_DIR) + "/docs/METRICS.md";
+  std::ifstream in(docs_path);
+  ASSERT_TRUE(in.is_open()) << "missing " << docs_path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string docs = buf.str();
+  for (const auto& [family, type] : e.types) {
+    EXPECT_NE(docs.find("`" + family + "`"), std::string::npos)
+        << family << " not documented in docs/METRICS.md";
+  }
+  EXPECT_NE(docs.find("flush-trace"), std::string::npos)
+      << "flush-trace comment format not documented";
+}
+
+TEST(MetricsRegistryFormat, LabelEscapingAndEmptySummaries) {
+  MetricsRegistry registry;
+  registry.Gauge("demo_gauge", "g", {{"path", "a\"b\\c\nd"}}, 1.0);
+  LatencyHistogram empty;
+  registry.Summary("demo_seconds", "s", {}, empty.Snapshot(), 1e-9);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("demo_gauge{path=\"a\\\"b\\\\c\\nd\"} 1"),
+            std::string::npos)
+      << text;
+  // Empty summaries render NaN quantiles but a real zero count.
+  EXPECT_NE(text.find("demo_seconds{quantile=\"0.5\"} NaN"),
+            std::string::npos);
+  EXPECT_NE(text.find("demo_seconds_count 0"), std::string::npos);
+  Exposition e;
+  ParseExposition(text, &e);
+  EXPECT_EQ(e.types.at("demo_gauge"), "gauge");
+  EXPECT_EQ(e.types.at("demo_seconds"), "summary");
+}
+
+}  // namespace
+}  // namespace backsort

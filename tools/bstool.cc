@@ -18,21 +18,39 @@
 //       intervals — the Fig. 8a diagnostic for choosing block sizes.
 //   bstool ingest <dir> <points> <dist> [--shards=N] [--flush-workers=N]
 //                 [--threads=N] [--sensors=N] [--batch=N] [--seed=N]
+//                 [--metrics-interval=MS] [--metrics-file=PATH]
 //       Drive a multi-threaded write-only workload into a (possibly
 //       sharded) storage engine under <dir> and print aggregate write
-//       throughput plus per-shard flush metrics.
+//       throughput, per-shard flush metrics and stage latency percentiles.
+//       While running (and at exit) the full engine state is exported in
+//       Prometheus text format to <dir>/metrics.prom (see docs/METRICS.md).
+//   bstool metrics <dir-or-file>
+//       One-shot dump of the Prometheus exposition written by `ingest`
+//       (<dir>/metrics.prom, or an explicit file path).
+//   bstool watch <dir-or-file> [--interval=MS] [--count=N]
+//       Periodically re-read the metrics file and print a compact one-line
+//       summary — run it next to `bstool ingest` on the same <dir> to watch
+//       queue depths and stage percentiles evolve live.
 //   bstool algos
 //       List registered sorting algorithms.
 
+#include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "benchkit/csv.h"
 #include "benchkit/workload.h"
+#include "common/metrics_registry.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "core/sorter_registry.h"
@@ -51,7 +69,8 @@ int Fail(const Status& st) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: bstool inspect|dump|gen|sort|iir|ingest|algos ...\n"
+               "usage: bstool inspect|dump|gen|sort|iir|ingest|metrics|watch|"
+               "algos ...\n"
                "  inspect <file.bstf>\n"
                "  dump <file.bstf> <sensor> [limit]\n"
                "  gen <out.csv> <points> <dist> [seed]\n"
@@ -60,7 +79,10 @@ int Usage() {
                "  ingest <dir> <points> <dist> [--shards=N]"
                " [--flush-workers=N]\n"
                "         [--threads=N] [--sensors=N] [--batch=N]"
-               " [--seed=N]\n");
+               " [--seed=N]\n"
+               "         [--metrics-interval=MS] [--metrics-file=PATH]\n"
+               "  metrics <dir-or-file>\n"
+               "  watch <dir-or-file> [--interval=MS] [--count=N]\n");
   return 2;
 }
 
@@ -205,6 +227,125 @@ bool FlagValue(const char* arg, const char* name, size_t* out) {
   return true;
 }
 
+/// String-valued variant of FlagValue.
+bool FlagStr(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+/// `bstool metrics`/`watch` accept either the data dir (where `ingest`
+/// drops metrics.prom) or an explicit file path.
+std::string ResolveMetricsPath(const std::string& arg) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(arg, ec)) return arg + "/metrics.prom";
+  return arg;
+}
+
+/// Exports the engine's current snapshot (with flush traces) to `path` in
+/// Prometheus text format, atomically (temp file + rename).
+Status DumpEngineMetrics(const StorageEngine& engine,
+                         const std::string& path) {
+  MetricsRegistry registry;
+  ExportEngineMetrics(engine.GetMetricsSnapshot(), {}, /*include_traces=*/true,
+                      &registry);
+  return registry.WriteFile(path);
+}
+
+/// Reads a rendered exposition file into sample-name -> value, keyed by the
+/// full sample text including labels (comments skipped). Returns false when
+/// the file cannot be read.
+bool ParseMetricsFile(const std::string& path,
+                      std::map<std::string, double>* out) {
+  out->clear();
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  char line[1024];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (line[0] == '#' || line[0] == '\n') continue;
+    char* last_space = std::strrchr(line, ' ');
+    if (last_space == nullptr) continue;
+    *last_space = '\0';
+    (*out)[line] = std::strtod(last_space + 1, nullptr);
+  }
+  std::fclose(f);
+  return true;
+}
+
+/// Looks up one sample (0 when missing, e.g. NaN-free default for display).
+double Sample(const std::map<std::string, double>& samples,
+              const std::string& key) {
+  auto it = samples.find(key);
+  return it == samples.end() || std::isnan(it->second) ? 0.0 : it->second;
+}
+
+int CmdMetrics(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  const std::string path = ResolveMetricsPath(argv[0]);
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    std::fprintf(stderr,
+                 "error: cannot read %s\n"
+                 "hint: `bstool ingest <dir> ...` writes <dir>/metrics.prom\n",
+                 path.c_str());
+    return 1;
+  }
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    std::fwrite(buf, 1, n, stdout);
+  }
+  std::fclose(f);
+  return 0;
+}
+
+int CmdWatch(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  const std::string path = ResolveMetricsPath(argv[0]);
+  size_t interval_ms = 1000;
+  size_t count = 0;  // 0 = until interrupted
+  for (int i = 1; i < argc; ++i) {
+    if (FlagValue(argv[i], "--interval", &interval_ms) ||
+        FlagValue(argv[i], "--count", &count)) {
+      continue;
+    }
+    std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+    return Usage();
+  }
+  auto stage_p99_ms = [](const std::map<std::string, double>& s,
+                         const char* stage) {
+    return Sample(s, std::string("backsort_stage_duration_seconds{stage=\"") +
+                         stage + "\",quantile=\"0.99\"}") *
+           1e3;
+  };
+  for (size_t tick = 0; count == 0 || tick < count; ++tick) {
+    std::map<std::string, double> samples;
+    if (!ParseMetricsFile(path, &samples)) {
+      std::printf("[watch] waiting for %s ...\n", path.c_str());
+    } else {
+      const std::time_t now = std::time(nullptr);
+      char clock[16];
+      std::strftime(clock, sizeof(clock), "%H:%M:%S", std::localtime(&now));
+      std::printf(
+          "[%s] flushes=%-6.0f queued=%-4.0f working=%-9.0f files=%-5.0f | "
+          "p99 ms: enqueue=%.3f qwait=%.1f sort=%.1f encode=%.1f seal=%.1f "
+          "flush=%.1f\n",
+          clock, Sample(samples, "backsort_flushes_total"),
+          Sample(samples, "backsort_queued_flushes"),
+          Sample(samples, "backsort_working_points"),
+          Sample(samples, "backsort_sealed_files"),
+          stage_p99_ms(samples, "enqueue"), stage_p99_ms(samples, "queue_wait"),
+          stage_p99_ms(samples, "sort"), stage_p99_ms(samples, "encode"),
+          stage_p99_ms(samples, "seal"), stage_p99_ms(samples, "flush"));
+    }
+    std::fflush(stdout);
+    if (count != 0 && tick + 1 >= count) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  return 0;
+}
+
 int CmdIngest(int argc, char** argv) {
   if (argc < 3) return Usage();
   const std::string dir = argv[0];
@@ -217,19 +358,24 @@ int CmdIngest(int argc, char** argv) {
   }
   size_t shards = 0, flush_workers = 0;  // 0 = engine auto/env resolution
   size_t threads = 4, sensors = 0, batch = 500, seed = 42;
+  size_t metrics_interval = 1000;  // ms between exports; 0 = final only
+  std::string metrics_file;        // default <dir>/metrics.prom
   for (int i = 3; i < argc; ++i) {
     if (FlagValue(argv[i], "--shards", &shards) ||
         FlagValue(argv[i], "--flush-workers", &flush_workers) ||
         FlagValue(argv[i], "--threads", &threads) ||
         FlagValue(argv[i], "--sensors", &sensors) ||
         FlagValue(argv[i], "--batch", &batch) ||
-        FlagValue(argv[i], "--seed", &seed)) {
+        FlagValue(argv[i], "--seed", &seed) ||
+        FlagValue(argv[i], "--metrics-interval", &metrics_interval) ||
+        FlagStr(argv[i], "--metrics-file", &metrics_file)) {
       continue;
     }
     std::fprintf(stderr, "unknown option: %s\n", argv[i]);
     return Usage();
   }
   if (sensors == 0) sensors = std::max<size_t>(threads, 1);
+  if (metrics_file.empty()) metrics_file = dir + "/metrics.prom";
 
   EngineOptions opt;
   opt.data_dir = dir;
@@ -245,9 +391,29 @@ int CmdIngest(int argc, char** argv) {
   config.client_threads = threads;
   config.batch_size = batch;
   config.seed = seed;
+  // Periodic Prometheus export while the workload runs, so a concurrent
+  // `bstool watch <dir>` sees live queue depths and percentiles.
+  std::atomic<bool> stop_refresher{false};
+  std::thread refresher;
+  if (metrics_interval > 0) {
+    refresher = std::thread([&engine, &metrics_file, &stop_refresher,
+                             metrics_interval] {
+      while (!stop_refresher.load()) {
+        (void)DumpEngineMetrics(engine, metrics_file);
+        for (size_t slept = 0;
+             slept < metrics_interval && !stop_refresher.load(); slept += 50) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+      }
+    });
+  }
+
   WorkloadResult result;
   WorkloadRunner runner(&engine, config);
-  if (Status st = runner.Run(*delay, &result); !st.ok()) return Fail(st);
+  Status run_status = runner.Run(*delay, &result);
+  stop_refresher.store(true);
+  if (refresher.joinable()) refresher.join();
+  if (!run_status.ok()) return Fail(run_status);
 
   std::printf("ingested %zu points (%s) with %zu client threads over"
               " %zu sensors\n",
@@ -266,6 +432,31 @@ int CmdIngest(int argc, char** argv) {
   }
   std::printf("total: %zu flushes, %zu sealed files\n",
               snap.total_completed_flushes(), snap.sealed_files);
+
+  // Stage latency percentiles from the engine-wide histograms (ns -> ms).
+  const struct {
+    const char* name;
+    const HistogramSnapshot& hist;
+  } stages[] = {
+      {"enqueue", snap.stages.enqueue}, {"queue-wait", snap.stages.queue_wait},
+      {"sort", snap.stages.sort},       {"encode", snap.stages.encode},
+      {"seal", snap.stages.seal},       {"flush", snap.stages.flush},
+  };
+  std::printf("%-12s %12s %12s %12s %12s %12s\n", "stage (ms)", "p50", "p90",
+              "p99", "max", "count");
+  for (const auto& s : stages) {
+    std::printf("%-12s %12.4f %12.4f %12.4f %12.4f %12llu\n", s.name,
+                s.hist.Percentile(50) / 1e6, s.hist.Percentile(90) / 1e6,
+                s.hist.Percentile(99) / 1e6,
+                static_cast<double>(s.hist.max) / 1e6,
+                static_cast<unsigned long long>(s.hist.count));
+  }
+
+  if (Status st = DumpEngineMetrics(engine, metrics_file); !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("metrics: wrote %s (try `bstool metrics %s`)\n",
+              metrics_file.c_str(), dir.c_str());
   return 0;
 }
 
@@ -285,6 +476,8 @@ int Main(int argc, char** argv) {
   if (cmd == "sort") return CmdSort(argc - 2, argv + 2);
   if (cmd == "iir") return CmdIir(argc - 2, argv + 2);
   if (cmd == "ingest") return CmdIngest(argc - 2, argv + 2);
+  if (cmd == "metrics") return CmdMetrics(argc - 2, argv + 2);
+  if (cmd == "watch") return CmdWatch(argc - 2, argv + 2);
   if (cmd == "algos") return CmdAlgos();
   return Usage();
 }

@@ -4,24 +4,54 @@
 #   2. re-run the engine-facing suites against a sharded engine
 #      (BACKSORT_SHARDS=4 BACKSORT_FLUSH_WORKERS=2) to catch facade
 #      regressions the default single-shard config would hide
-#   3. build the engine concurrency test under ThreadSanitizer and run it
+#   3. build the concurrency + histogram tests under ThreadSanitizer and
+#      run them (the histogram's relaxed-atomic recording is TSan-clean by
+#      design; keep it that way)
+#   4. docs link check: every relative markdown link in README.md and
+#      docs/*.md must resolve
 #
 # Usage: tools/ci.sh   (from the repo root; build dirs: build/, build-tsan/)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "=== [1/3] tier-1: configure + build + full test suite ==="
+echo "=== [1/4] tier-1: configure + build + full test suite ==="
 cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
-echo "=== [2/3] engine suites at 4 shards / 2 flush workers ==="
+echo "=== [2/4] engine suites at 4 shards / 2 flush workers ==="
 (cd build && BACKSORT_SHARDS=4 BACKSORT_FLUSH_WORKERS=2 \
   ctest --output-on-failure -R 'Engine|Wal|Workload|Aggregate' -j)
 
-echo "=== [3/3] concurrency test under ThreadSanitizer ==="
+echo "=== [3/4] concurrency + histogram tests under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DBACKSORT_SANITIZE=thread
-cmake --build build-tsan -j --target engine_concurrency_test
+cmake --build build-tsan -j --target engine_concurrency_test histogram_test
 ./build-tsan/tests/engine_concurrency_test
+./build-tsan/tests/histogram_test
+
+echo "=== [4/4] docs link check ==="
+# Extract the target of every inline markdown link and verify that
+# non-URL, non-anchor targets exist relative to the linking file.
+docs_fail=0
+for doc in README.md docs/*.md; do
+  [ -f "$doc" ] || continue
+  doc_dir=$(dirname "$doc")
+  while IFS= read -r link; do
+    case "$link" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    target=${link%%#*}            # drop intra-page anchors
+    [ -n "$target" ] || continue
+    if [ ! -e "$doc_dir/$target" ] && [ ! -e "$target" ]; then
+      echo "broken link in $doc: $link"
+      docs_fail=1
+    fi
+  done < <(grep -o '\][(][^)]*[)]' "$doc" | sed 's/^](//; s/)$//' || true)
+done
+if [ "$docs_fail" -ne 0 ]; then
+  echo "docs link check FAILED"
+  exit 1
+fi
+echo "docs link check passed"
 
 echo "=== CI passed ==="
