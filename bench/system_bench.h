@@ -1,6 +1,8 @@
 #ifndef BACKSORT_BENCH_SYSTEM_BENCH_H_
 #define BACKSORT_BENCH_SYSTEM_BENCH_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <thread>
 #include <filesystem>
@@ -223,6 +225,147 @@ inline void RunShardScaling(const std::string& panel_name,
     PrintRow(setup.label,
              {result.write_throughput / 1e6, result.total_latency_sec,
               static_cast<double>(result.flush_count)});
+    if (metrics != nullptr) {
+      ExportEngineMetrics(engine.GetMetricsSnapshot(),
+                          {{"panel", panel_name}, {"config", setup.label}},
+                          /*include_traces=*/false, metrics);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(base, ec);
+}
+
+/// Mixed read/write benchmark for the lock-free read path: an engine is
+/// preloaded with sealed files, then writer threads stream fresh points
+/// while reader threads repeat fixed-range queries. Run once with the
+/// chunk cache at its default capacity and once with it disabled, so the
+/// printed table shows what the cache and file pruning buy:
+///
+///   configuration | write throughput | query p50/p99 (ms) | cache hit rate
+///
+/// Repeating the same ranges makes the cached run converge to memory-speed
+/// reads; the uncached run re-opens and re-decodes its files every time.
+/// When `metrics` is non-null each configuration's final snapshot (query
+/// stage histograms, cache counters) is exported under {panel, config}.
+inline void RunQueryMix(const std::string& panel_name,
+                        const DelayDistribution& delay,
+                        MetricsRegistry* metrics = nullptr) {
+  const size_t preload = EnvSize("BACKSORT_SYSTEM_POINTS", 100'000);
+  const size_t stream = std::max<size_t>(preload / 2, 10'000);
+  const size_t flush_threshold =
+      EnvSize("BACKSORT_FLUSH_THRESHOLD", std::max<size_t>(preload / 10, 5'000));
+  const size_t readers = std::max<size_t>(EnvSize("BACKSORT_QUERY_THREADS", 2), 1);
+  const size_t sensor_count = 4;
+  const Timestamp window = static_cast<Timestamp>(
+      std::max<size_t>(flush_threshold / 2, 1'000));
+
+  struct CacheSetup {
+    std::string label;
+    size_t cache_bytes;
+    bool pruning;
+  };
+  const std::vector<CacheSetup> setups = {
+      {"cache+pruning", EngineOptions::kDefaultChunkCacheBytes, true},
+      {"no cache/pruning", 0, false},
+  };
+
+  const std::filesystem::path base =
+      std::filesystem::temp_directory_path() /
+      ("backsort_query_mix_" + std::to_string(::getpid()));
+
+  PrintTitle("Query mix / " + panel_name + ": " + std::to_string(readers) +
+             " readers vs 1 writer (preload " + std::to_string(preload) +
+             ", stream " + std::to_string(stream) + ")");
+  PrintHeader("configuration",
+              {"write_mps", "q_p50_ms", "q_p99_ms", "hit_rate"});
+  for (const CacheSetup& setup : setups) {
+    EngineOptions opt;
+    opt.data_dir = (base / (setup.pruning ? "fast" : "plain")).string();
+    opt.memtable_flush_threshold = flush_threshold;
+    opt.shard_count = 2;
+    opt.flush_workers = 2;
+    opt.chunk_cache_bytes = setup.cache_bytes;
+    opt.enable_file_pruning = setup.pruning;
+    StorageEngine engine(opt);
+    if (Status st = engine.Open(); !st.ok()) {
+      std::fprintf(stderr, "engine open failed: %s\n", st.ToString().c_str());
+      return;
+    }
+
+    // Preload: a disordered stream per sensor, sealed to files.
+    auto sensor_of = [](size_t i) { return "qm" + std::to_string(i); };
+    {
+      Rng rng(42);
+      for (size_t s = 0; s < sensor_count; ++s) {
+        const auto ts = GenerateArrivalOrderedTimestamps(
+            preload / sensor_count, delay, rng);
+        for (const Timestamp t : ts) {
+          if (Status st = engine.Write(sensor_of(s), t, double(t)); !st.ok()) {
+            std::fprintf(stderr, "preload failed: %s\n", st.ToString().c_str());
+            return;
+          }
+        }
+      }
+      if (Status st = engine.FlushAll(); !st.ok()) {
+        std::fprintf(stderr, "flush failed: %s\n", st.ToString().c_str());
+        return;
+      }
+    }
+
+    // Mixed phase: one writer streams on, readers hammer fixed ranges.
+    std::atomic<bool> writer_done{false};
+    double write_seconds = 0;
+    std::thread writer([&] {
+      Rng rng(43);
+      const auto ts = GenerateArrivalOrderedTimestamps(stream, delay, rng);
+      WallTimer timer;
+      for (size_t i = 0; i < ts.size(); ++i) {
+        const Timestamp t =
+            ts[i] + static_cast<Timestamp>(preload / sensor_count);
+        (void)engine.Write(sensor_of(i % sensor_count), t, double(t));
+      }
+      write_seconds = timer.ElapsedMillis() / 1e3;
+      writer_done.store(true);
+    });
+    std::vector<std::vector<double>> latencies(readers);
+    std::vector<std::thread> reader_threads;
+    for (size_t r = 0; r < readers; ++r) {
+      reader_threads.emplace_back([&, r] {
+        std::vector<TvPairDouble> out;
+        size_t round = 0;
+        while (!writer_done.load()) {
+          // Fixed, recurring ranges: the cacheable access pattern.
+          const std::string sensor = sensor_of(round++ % sensor_count);
+          const Timestamp lo = static_cast<Timestamp>(
+              (round % 4) * static_cast<size_t>(window) / 2);
+          WallTimer timer;
+          if (engine.Query(sensor, lo, lo + window, &out).ok()) {
+            latencies[r].push_back(timer.ElapsedMillis());
+          }
+        }
+      });
+    }
+    writer.join();
+    for (std::thread& t : reader_threads) t.join();
+
+    std::vector<double> all;
+    for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+    const double p50 = all.empty() ? 0 : all[all.size() / 2];
+    const double p99 = all.empty() ? 0 : all[all.size() * 99 / 100];
+    const ChunkCacheStats cache = engine.GetChunkCacheStats();
+    const double hit_rate =
+        cache.hits + cache.misses == 0
+            ? 0.0
+            : double(cache.hits) / double(cache.hits + cache.misses);
+    const double write_mps =
+        write_seconds <= 0 ? 0 : double(stream) / write_seconds / 1e6;
+    PrintRow(setup.label, {write_mps, p50, p99, hit_rate});
+    std::printf("  (%zu queries, %llu cache hits, %llu misses, %llu pruned)\n",
+                all.size(), static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses),
+                static_cast<unsigned long long>(
+                    engine.GetMetricsSnapshot().query_files_pruned));
     if (metrics != nullptr) {
       ExportEngineMetrics(engine.GetMetricsSnapshot(),
                           {{"panel", panel_name}, {"config", setup.label}},

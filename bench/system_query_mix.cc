@@ -1,0 +1,21 @@
+// Mixed read/write benchmark for the rebuilt read path: readers repeat
+// fixed-range queries while a writer streams disordered points, once with
+// the shared chunk cache + file pruning enabled and once with both off.
+// Prints write throughput, query p50/p99 latency and the cache hit rate
+// per configuration, and writes the full metric registries (query-stage
+// histograms, cache counters) to
+// $BACKSORT_METRICS_DIR/system_query_mix.metrics.prom.
+
+#include "bench/system_bench.h"
+
+int main() {
+  using namespace backsort;
+  using namespace backsort::bench;
+  MetricsRegistry metrics;
+  AbsNormalDelay mild(1, 1.0);
+  RunQueryMix("AbsNormal(1,1)", mild, &metrics);
+  AbsNormalDelay heavy(1, 100.0);
+  RunQueryMix("AbsNormal(1,100)", heavy, &metrics);
+  WriteBenchMetrics(metrics, "system_query_mix");
+  return 0;
+}

@@ -1,0 +1,150 @@
+#include "common/chunk_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace backsort {
+
+namespace {
+
+/// Chunk keys are 'c' + file + '\0' + sensor; footer keys are 'f' + file.
+/// The leading tag keeps the two namespaces disjoint even for odd sensor
+/// ids, and the embedded file name lets InvalidateFile match by prefix.
+std::string ChunkKey(const std::string& file, const std::string& sensor) {
+  std::string key;
+  key.reserve(1 + file.size() + 1 + sensor.size());
+  key += 'c';
+  key += file;
+  key += '\0';
+  key += sensor;
+  return key;
+}
+
+std::string FooterKey(const std::string& file) { return 'f' + file; }
+
+size_t FooterBytes(const FooterMap& footer) {
+  size_t bytes = sizeof(FooterMap);
+  for (const auto& [sensor, locator] : footer) {
+    bytes += sensor.size() + sizeof(locator) + 48;  // node overhead estimate
+  }
+  return bytes;
+}
+
+}  // namespace
+
+ChunkCache::ChunkCache(size_t capacity_bytes)
+    : capacity_(capacity_bytes),
+      shard_capacity_(std::max<size_t>(capacity_bytes / kShardCount, 1)) {
+  if (capacity_ == 0) return;
+  shards_.reserve(kShardCount);
+  for (size_t i = 0; i < kShardCount; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ChunkCache::Shard& ChunkCache::ShardFor(const std::string& file) {
+  return *shards_[std::hash<std::string>{}(file) % kShardCount];
+}
+
+std::shared_ptr<const void> ChunkCache::Lookup(const std::string& file,
+                                               const std::string& key) {
+  Shard& shard = ShardFor(file);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return nullptr;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->value;
+}
+
+void ChunkCache::Insert(const std::string& file, std::string key,
+                        std::shared_ptr<const void> value, size_t bytes) {
+  Shard& shard = ShardFor(file);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    shard.bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+  }
+  shard.lru.push_front(Entry{std::move(key), file, std::move(value), bytes});
+  shard.map[shard.lru.front().key] = shard.lru.begin();
+  shard.bytes += bytes;
+  while (shard.bytes > shard_capacity_ && shard.lru.size() > 1) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.map.erase(victim.key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::shared_ptr<const CachedChunk> ChunkCache::GetChunk(
+    const std::string& file, const std::string& sensor) {
+  if (!enabled()) return nullptr;
+  auto value = Lookup(file, ChunkKey(file, sensor));
+  if (value == nullptr) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return std::static_pointer_cast<const CachedChunk>(value);
+}
+
+void ChunkCache::PutChunk(const std::string& file, const std::string& sensor,
+                          std::shared_ptr<const CachedChunk> chunk) {
+  if (!enabled() || chunk == nullptr) return;
+  const size_t bytes = chunk->ApproxBytes();
+  Insert(file, ChunkKey(file, sensor), std::move(chunk), bytes);
+}
+
+std::shared_ptr<const FooterMap> ChunkCache::GetFooter(
+    const std::string& file) {
+  if (!enabled()) return nullptr;
+  auto value = Lookup(file, FooterKey(file));
+  if (value == nullptr) {
+    footer_misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  footer_hits_.fetch_add(1, std::memory_order_relaxed);
+  return std::static_pointer_cast<const FooterMap>(value);
+}
+
+void ChunkCache::PutFooter(const std::string& file,
+                           std::shared_ptr<const FooterMap> footer) {
+  if (!enabled() || footer == nullptr) return;
+  const size_t bytes = FooterBytes(*footer);
+  Insert(file, FooterKey(file), std::move(footer), bytes);
+}
+
+void ChunkCache::InvalidateFile(const std::string& file) {
+  if (!enabled()) return;
+  Shard& shard = ShardFor(file);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+    if (it->file == file) {
+      shard.bytes -= it->bytes;
+      shard.map.erase(it->key);
+      it = shard.lru.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+ChunkCacheStats ChunkCache::GetStats() const {
+  ChunkCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.footer_hits = footer_hits_.load(std::memory_order_relaxed);
+  stats.footer_misses = footer_misses_.load(std::memory_order_relaxed);
+  stats.capacity_bytes = capacity_;
+  for (const auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->mu);
+    stats.bytes += shard->bytes;
+    stats.entries += shard->lru.size();
+  }
+  return stats;
+}
+
+}  // namespace backsort

@@ -1,0 +1,38 @@
+#ifndef BACKSORT_COMMON_CHUNK_LOCATOR_H_
+#define BACKSORT_COMMON_CHUNK_LOCATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/types.h"
+
+namespace backsort {
+
+/// Where one sensor's chunk lives inside a sealed TsFile, plus the
+/// per-sensor statistics the read path prunes on. Produced by the TsFile
+/// writer at seal time, re-parsed from the file footer on recovery, and
+/// cached (as part of a FooterMap) in the ChunkCache so repeated queries
+/// never re-read the index block. Lives in common/ because both the file
+/// format layer (src/tsfile/) and the cache layer depend on it.
+struct ChunkLocator {
+  /// Byte offset of the chunk from the start of the file.
+  uint64_t offset = 0;
+  /// Byte length of the chunk (up to the next chunk or the index block).
+  uint64_t length = 0;
+  /// Points stored in the chunk.
+  uint64_t points = 0;
+  /// Smallest timestamp in the chunk; min_t > max_t encodes "empty".
+  Timestamp min_t = 0;
+  /// Largest timestamp in the chunk.
+  Timestamp max_t = -1;
+  /// On-disk DataType byte (kept raw so common/ needs no tsfile types).
+  uint8_t raw_type = 0;
+};
+
+/// One file's footer: sensor id -> chunk locator.
+using FooterMap = std::map<std::string, ChunkLocator>;
+
+}  // namespace backsort
+
+#endif  // BACKSORT_COMMON_CHUNK_LOCATOR_H_

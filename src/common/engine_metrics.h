@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/chunk_cache.h"
 #include "common/latency_histogram.h"
 #include "common/stats.h"
 
@@ -92,6 +93,31 @@ struct StageLatencySnapshots {
   }
 };
 
+/// Engine-wide read-path latency distributions, one histogram snapshot per
+/// query stage. All values are nanoseconds; recording is lock-free. The
+/// stages partition one Query call: only `snapshot` runs under the shard
+/// lock — everything after it (pruning, file reads, merge) is lock-free,
+/// which is the read-path contract these histograms make observable.
+struct QueryStageSnapshots {
+  /// Consistent-snapshot acquisition under the shard lock: copying the
+  /// sealed-file refs, flushing-table refs and working-memtable points.
+  HistogramSnapshot snapshot;
+  /// Footer-based file-level pruning of the sealed-file list.
+  HistogramSnapshot prune;
+  /// File/cache reads + memtable collection + query-time sorting.
+  HistogramSnapshot read;
+  /// K-way last-write-wins merge of the gathered runs.
+  HistogramSnapshot merge;
+
+  /// Folds another set of stage snapshots into this one, bucket-wise.
+  void Merge(const QueryStageSnapshots& other) {
+    snapshot.Merge(other.snapshot);
+    prune.Merge(other.prune);
+    read.Merge(other.read);
+    merge.Merge(other.merge);
+  }
+};
+
 /// Point-in-time view of one shard's write-path state.
 struct ShardMetricsSnapshot {
   /// Index of the shard within the engine ([0, shard_count)).
@@ -127,6 +153,18 @@ struct EngineMetricsSnapshot {
   size_t sealed_files = 0;
   /// Engine-wide write-path latency histograms (shared by all shards).
   StageLatencySnapshots stages;
+  /// Engine-wide read-path latency histograms (shared by all shards).
+  QueryStageSnapshots query_stages;
+  /// Range queries served since open (Query calls, all shards).
+  uint64_t queries = 0;
+  /// Sealed files skipped by footer-based time pruning, summed over
+  /// queries.
+  uint64_t query_files_pruned = 0;
+  /// Sealed files that contributed a run to a query (opened or served from
+  /// cache), summed over queries.
+  uint64_t query_files_opened = 0;
+  /// Shared chunk-cache counters (see ChunkCacheStats).
+  ChunkCacheStats cache;
 
   /// Sealed memtables currently queued for flush, summed over shards.
   size_t total_queued_flushes() const {

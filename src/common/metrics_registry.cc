@@ -177,6 +177,67 @@ void ExportEngineMetrics(const EngineMetricsSnapshot& snapshot,
         labels, s.hist, kNsToSec);
   }
 
+  const struct {
+    const char* stage;
+    const HistogramSnapshot& hist;
+  } query_stages[] = {
+      {"snapshot", snapshot.query_stages.snapshot},
+      {"prune", snapshot.query_stages.prune},
+      {"read", snapshot.query_stages.read},
+      {"merge", snapshot.query_stages.merge},
+  };
+  for (const auto& s : query_stages) {
+    MetricsRegistry::Labels labels = base_labels;
+    labels.emplace_back("stage", s.stage);
+    registry->Summary(
+        "backsort_query_stage_duration_seconds",
+        "Read-path stage latency in seconds (stages: snapshot, prune, read, "
+        "merge; only snapshot holds the shard lock); quantile=\"1\" is the "
+        "observed max.",
+        labels, s.hist, kNsToSec);
+  }
+
+  registry->Counter("backsort_queries_total",
+                    "Range queries served since the engine opened.",
+                    base_labels, static_cast<double>(snapshot.queries));
+  registry->Counter(
+      "backsort_query_files_pruned_total",
+      "Sealed files skipped by footer time-range pruning, all queries.",
+      base_labels, static_cast<double>(snapshot.query_files_pruned));
+  registry->Counter(
+      "backsort_query_files_opened_total",
+      "Sealed files that contributed a run to a query (disk or cache), all "
+      "queries.",
+      base_labels, static_cast<double>(snapshot.query_files_opened));
+
+  registry->Counter("backsort_chunk_cache_hits_total",
+                    "Decoded-chunk lookups served from the chunk cache.",
+                    base_labels, static_cast<double>(snapshot.cache.hits));
+  registry->Counter("backsort_chunk_cache_misses_total",
+                    "Decoded-chunk lookups that went to disk.", base_labels,
+                    static_cast<double>(snapshot.cache.misses));
+  registry->Counter(
+      "backsort_chunk_cache_evictions_total",
+      "Chunk-cache entries evicted to stay under capacity.", base_labels,
+      static_cast<double>(snapshot.cache.evictions));
+  registry->Counter(
+      "backsort_chunk_cache_footer_hits_total",
+      "Footer/index lookups served from the chunk cache.", base_labels,
+      static_cast<double>(snapshot.cache.footer_hits));
+  registry->Counter("backsort_chunk_cache_footer_misses_total",
+                    "Footer/index lookups that read the file.", base_labels,
+                    static_cast<double>(snapshot.cache.footer_misses));
+  registry->Gauge("backsort_chunk_cache_bytes",
+                  "Resident chunk-cache bytes (chunks + footers).",
+                  base_labels, static_cast<double>(snapshot.cache.bytes));
+  registry->Gauge("backsort_chunk_cache_entries",
+                  "Resident chunk-cache entries (chunks + footers).",
+                  base_labels, static_cast<double>(snapshot.cache.entries));
+  registry->Gauge(
+      "backsort_chunk_cache_capacity_bytes",
+      "Configured chunk-cache capacity in bytes (0 = cache disabled).",
+      base_labels, static_cast<double>(snapshot.cache.capacity_bytes));
+
   registry->Gauge("backsort_shard_count", "Engine shards.", base_labels,
                   static_cast<double>(snapshot.shards.size()));
   registry->Gauge("backsort_sealed_files",

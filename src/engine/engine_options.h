@@ -2,6 +2,7 @@
 #define BACKSORT_ENGINE_ENGINE_OPTIONS_H_
 
 #include <cstddef>
+#include <functional>
 #include <string>
 
 #include "core/sorter_registry.h"
@@ -61,6 +62,33 @@ struct EngineOptions {
   /// Force WAL buffers to the OS after every append. Durable but slow;
   /// benches leave it off (IoTDB likewise groups WAL syncs).
   bool sync_wal_every_write = false;
+
+  /// Sentinel for `chunk_cache_bytes`: resolve from the environment / the
+  /// built-in default at engine construction.
+  static constexpr size_t kChunkCacheAuto = static_cast<size_t>(-1);
+  /// Built-in chunk-cache capacity when nothing else is configured.
+  static constexpr size_t kDefaultChunkCacheBytes = 64u << 20;  // 64 MiB
+
+  /// Byte capacity of the engine-wide chunk cache (decoded sensor chunks +
+  /// parsed footers, shared by all shards; see common/chunk_cache.h).
+  /// kChunkCacheAuto = resolve $BACKSORT_CHUNK_CACHE_BYTES when set, else
+  /// 64 MiB. 0 disables the cache entirely: every query re-opens and
+  /// re-decodes its files, exactly the pre-cache read path. Sizing
+  /// guidance in docs/OPERATIONS.md.
+  size_t chunk_cache_bytes = kChunkCacheAuto;
+
+  /// File-level time pruning: skip sealed files whose footer says the
+  /// sensor has no points in the query range, without opening them. Off =
+  /// every file is consulted (the pre-pruning read path; useful for A/B
+  /// checks and as the conservative fallback while debugging).
+  bool enable_file_pruning = true;
+
+  /// Test hook, invoked by Query after the snapshot is taken and the shard
+  /// lock released, before any file I/O. Lets tests hold a query mid-read
+  /// and assert that writers still make progress (the lock-free read path
+  /// contract) and that the result reflects the snapshot, not later
+  /// writes. Null in production.
+  std::function<void()> query_read_hook;
 
   /// Last-write-wins deduplication of equal timestamps on query, matching
   /// IoTDB's read semantics (an unsequence rewrite of an existing

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 
 #include "common/timer.h"
 #include "engine/flush_pool.h"
@@ -223,6 +224,17 @@ Status EngineShard::FlushTable(const FlushJob& job) {
     trace.fsync_ns = seal_timer.ElapsedNanos();
   }
 
+  SealedFileRef meta;
+  if (write_status.ok()) {
+    // Register the pruning metadata straight from the writer and warm the
+    // footer cache — the first query of this file then skips the index
+    // read entirely.
+    meta = std::make_shared<SealedFileMeta>(path, writer.Locators(),
+                                            shared_->chunk_cache.get());
+    shared_->chunk_cache->PutFooter(
+        path, std::make_shared<FooterMap>(writer.Locators()));
+  }
+
   {
     // Publish the file and retire the memtable atomically w.r.t. queries —
     // in seal order, so a straggler-heavy unsequence table sealed later
@@ -230,8 +242,8 @@ Status EngineShard::FlushTable(const FlushJob& job) {
     std::unique_lock<std::mutex> lock(mu_);
     publish_cv_.wait(lock, [&] { return published_seq_ == job.seq; });
     if (write_status.ok()) {
-      sealed_files_.push_back(path);
-      shared_->RegisterFile(path);
+      sealed_files_.push_back(meta);
+      shared_->RegisterFile(meta);
       flushing_.erase(std::remove(flushing_.begin(), flushing_.end(), table),
                       flushing_.end());
       trace.publish_ns = shared_->NowNs();
@@ -282,7 +294,7 @@ std::vector<TvPairDouble> EngineShard::CollectFromMemTable(
     const MemTable& table, const std::string& sensor, Timestamp t_min,
     Timestamp t_max) {
   const EngineOptions& options = shared_->options;
-  // Serialize with the flush worker's in-place sort of sealed tables.
+  // Serialize with the flush worker's in-place sort of this sealed table.
   std::unique_lock<std::mutex> table_lock(table.mu());
   const DoubleTVList* list = table.GetChunk(sensor);
   if (list == nullptr || list->size() == 0) return {};
@@ -311,44 +323,174 @@ std::vector<TvPairDouble> EngineShard::CollectFromMemTable(
   return snapshot;
 }
 
+void EngineShard::TakeSnapshot(const std::string& sensor, Timestamp t_min,
+                               Timestamp t_max, bool want_points,
+                               ReadSnapshot* snap) {
+  std::unique_lock<std::mutex> lock(mu_);
+  snap->files = sealed_files_;
+  snap->flushing = flushing_;
+  // Working tables only mutate under mu_ (flush workers touch sealed
+  // tables exclusively), so reading them here needs no per-table lock.
+  auto bounds_overlap = [&](const MemTable& table) {
+    const DoubleTVList* list = table.GetChunk(sensor);
+    return list != nullptr && list->size() > 0 &&
+           list->max_time() >= t_min && list->min_time() <= t_max;
+  };
+  snap->working_in_range =
+      bounds_overlap(*working_seq_) || bounds_overlap(*working_unseq_);
+  if (want_points) {
+    // Copy matching points in arrival order; the caller sorts outside the
+    // lock when the list was not already sorted, so the configured sorter
+    // still sees the TVList's disorder profile.
+    auto copy_points = [&](const MemTable& table,
+                           std::vector<TvPairDouble>* dst, bool* sorted) {
+      const DoubleTVList* list = table.GetChunk(sensor);
+      if (list == nullptr || list->size() == 0) return;
+      if (list->max_time() < t_min || list->min_time() > t_max) return;
+      dst->reserve(list->size());
+      for (size_t i = 0; i < list->size(); ++i) {
+        const Timestamp t = list->TimeAt(i);
+        if (t >= t_min && t <= t_max) dst->push_back({t, list->ValueAt(i)});
+      }
+      *sorted = list->sorted();
+    };
+    copy_points(*working_unseq_, &snap->working_unseq,
+                &snap->working_unseq_sorted);
+    copy_points(*working_seq_, &snap->working_seq,
+                &snap->working_seq_sorted);
+  }
+  auto it = last_cache_.find(sensor);
+  if (it != last_cache_.end()) {
+    snap->have_last = true;
+    snap->last = it->second;
+  }
+}
+
+Status EngineShard::ReadFileRange(const SealedFileMeta& file,
+                                  const std::string& sensor, Timestamp t_min,
+                                  Timestamp t_max,
+                                  std::vector<Timestamp>* ts,
+                                  std::vector<double>* values) {
+  ChunkCache* cache = shared_->chunk_cache.get();
+  if (!cache->enabled()) {
+    // Cache disabled: the pre-cache read path, bit for bit.
+    TsFileReader reader(file.path());
+    RETURN_NOT_OK(reader.Open());
+    return reader.QueryRangeF64(sensor, t_min, t_max, ts, values);
+  }
+  std::shared_ptr<const CachedChunk> chunk =
+      cache->GetChunk(file.path(), sensor);
+  if (chunk == nullptr) {
+    std::shared_ptr<const FooterMap> footer = cache->GetFooter(file.path());
+    if (footer == nullptr) {
+      auto fresh = std::make_shared<FooterMap>();
+      RETURN_NOT_OK(ReadTsFileFooter(file.path(), fresh.get()));
+      cache->PutFooter(file.path(), fresh);
+      footer = std::move(fresh);
+    }
+    auto it = footer->find(sensor);
+    if (it == footer->end()) return Status::NotFound("sensor: " + sensor);
+    auto decoded = std::make_shared<CachedChunk>();
+    RETURN_NOT_OK(ReadTsFileChunkF64(file.path(), sensor, it->second,
+                                     &decoded->ts, &decoded->values));
+    cache->PutChunk(file.path(), sensor, decoded);
+    chunk = std::move(decoded);
+  }
+  // Chunks are sorted ascending (the writer enforces it), so the range
+  // filter is a binary search over the shared decoded columns.
+  const auto lo =
+      std::lower_bound(chunk->ts.begin(), chunk->ts.end(), t_min);
+  const auto hi = std::upper_bound(lo, chunk->ts.end(), t_max);
+  const size_t a = static_cast<size_t>(lo - chunk->ts.begin());
+  const size_t b = static_cast<size_t>(hi - chunk->ts.begin());
+  ts->assign(chunk->ts.begin() + a, chunk->ts.begin() + b);
+  values->assign(chunk->values.begin() + a, chunk->values.begin() + b);
+  return Status::OK();
+}
+
 Status EngineShard::Query(const std::string& sensor, Timestamp t_min,
                           Timestamp t_max, std::vector<TvPairDouble>* out) {
   out->clear();
-  // IoTDB's query "takes the lock and blocks the write process" — with
-  // sharding the scope of that lock shrinks to this sensor's shard, so
-  // writers of other shards proceed concurrently.
-  std::unique_lock<std::mutex> lock(mu_);
-  // Gather per-source sorted runs with write-recency priorities: sealed
-  // files in creation order, then in-flight flushing tables, then the
-  // working tables (most recent writes).
-  std::vector<SortedRun> runs;
+  EngineSharedState& shared = *shared_;
+  shared.queries.fetch_add(1, std::memory_order_relaxed);
+  QueryPathHistograms& qh = shared.query_histograms;
+
+  // Stage 1 — the only part under the shard lock: a cheap consistent
+  // snapshot. (IoTDB's query "takes the lock and blocks the write
+  // process"; here the blocked window shrinks to this copy.) File I/O,
+  // decoding and merging all happen lock-free against the snapshot.
+  WallTimer snapshot_timer;
+  ReadSnapshot snap;
+  TakeSnapshot(sensor, t_min, t_max, /*want_points=*/true, &snap);
+  qh.snapshot.Record(static_cast<uint64_t>(snapshot_timer.ElapsedNanos()));
+
+  if (shared.options.query_read_hook) shared.options.query_read_hook();
+
+  // Stage 2 — footer-based file pruning: a file whose footer says the
+  // sensor has no points in range is skipped without being opened.
+  // Priorities are assigned by list position (creation order) whether or
+  // not a file survives pruning, so last-write-wins ordering is unchanged.
+  WallTimer prune_timer;
+  std::vector<std::pair<SealedFileRef, int>> files;
+  files.reserve(snap.files.size());
   int priority = 0;
-  for (const std::string& path : sealed_files_) {
-    TsFileReader reader(path);
-    Status st = reader.Open();
-    if (!st.ok()) return st;
+  uint64_t pruned = 0;
+  for (const SealedFileRef& file : snap.files) {
+    ++priority;
+    if (shared.options.enable_file_pruning &&
+        !file->Overlaps(sensor, t_min, t_max)) {
+      ++pruned;
+      continue;
+    }
+    files.emplace_back(file, priority);
+  }
+  if (pruned > 0) {
+    shared.query_files_pruned.fetch_add(pruned, std::memory_order_relaxed);
+  }
+  qh.prune.Record(static_cast<uint64_t>(prune_timer.ElapsedNanos()));
+
+  // Stage 3 — gather per-source sorted runs with write-recency priorities:
+  // sealed files in creation order, then in-flight flushing tables, then
+  // the working-table copies (most recent writes).
+  WallTimer read_timer;
+  std::vector<SortedRun> runs;
+  for (auto& [file, file_priority] : files) {
     std::vector<Timestamp> ts;
     std::vector<double> values;
-    st = reader.QueryRangeF64(sensor, t_min, t_max, &ts, &values);
-    ++priority;
+    Status st = ReadFileRange(*file, sensor, t_min, t_max, &ts, &values);
     if (st.IsNotFound()) continue;
-    if (!st.ok()) return st;
+    if (!st.ok()) {
+      // Propagate the failure with no partial state: a half-gathered
+      // result must never masquerade as the query answer.
+      out->clear();
+      return st;
+    }
+    shared.query_files_opened.fetch_add(1, std::memory_order_relaxed);
     SortedRun run;
-    run.priority = priority;
+    run.priority = file_priority;
     run.points.resize(ts.size());
     for (size_t i = 0; i < ts.size(); ++i) run.points[i] = {ts[i], values[i]};
     runs.push_back(std::move(run));
   }
-  for (const auto& table : flushing_) {
+  for (const auto& table : snap.flushing) {
     runs.push_back(
         {CollectFromMemTable(*table, sensor, t_min, t_max), ++priority});
   }
-  runs.push_back(
-      {CollectFromMemTable(*working_unseq_, sensor, t_min, t_max),
-       ++priority});
-  runs.push_back(
-      {CollectFromMemTable(*working_seq_, sensor, t_min, t_max), ++priority});
-  MergeRuns(std::move(runs), shared_->options.dedup_on_query, out);
+  auto finish_working = [&](std::vector<TvPairDouble>&& points, bool sorted) {
+    if (!sorted && !points.empty()) {
+      VectorSortable<double> adapter(points);
+      SortWith(shared.options.sorter, adapter, shared.options.backward_options);
+    }
+    runs.push_back({std::move(points), ++priority});
+  };
+  finish_working(std::move(snap.working_unseq), snap.working_unseq_sorted);
+  finish_working(std::move(snap.working_seq), snap.working_seq_sorted);
+  qh.read.Record(static_cast<uint64_t>(read_timer.ElapsedNanos()));
+
+  // Stage 4 — k-way last-write-wins merge.
+  WallTimer merge_timer;
+  MergeRuns(std::move(runs), shared.options.dedup_on_query, out);
+  qh.merge.Record(static_cast<uint64_t>(merge_timer.ElapsedNanos()));
   return Status::OK();
 }
 
@@ -358,17 +500,26 @@ Status EngineShard::AggregateFast(const std::string& sensor, Timestamp t_min,
                                   bool* used_fast_path) {
   *stats = TsFileReader::RangeStats{};
   if (used_fast_path != nullptr) *used_fast_path = false;
-  std::unique_lock<std::mutex> lock(mu_);
+  ReadSnapshot snap;
+  TakeSnapshot(sensor, t_min, t_max, /*want_points=*/false, &snap);
 
   // Soundness guard: statistics cannot express last-write-wins shadowing,
   // so the pushdown requires every point in range to live in exactly one
   // sequence file. Sequence files never overlap per sensor (the watermark
-  // enforces strictly increasing time ranges).
-  bool fast_ok = true;
-  for (const std::string& path : sealed_files_) {
-    if (path.find("unseq-") != std::string::npos) {
-      fast_ok = false;
-      break;
+  // enforces strictly increasing time ranges). With pruning metadata the
+  // guard sharpens: an unsequence file disqualifies only when it actually
+  // holds points of this sensor inside the range (a non-overlapping one
+  // cannot shadow anything the aggregate sees); with pruning disabled the
+  // guard stays maximally conservative.
+  bool fast_ok = !snap.working_in_range;
+  if (fast_ok) {
+    for (const SealedFileRef& file : snap.files) {
+      if (!file->unsequence()) continue;
+      if (!shared_->options.enable_file_pruning ||
+          file->Overlaps(sensor, t_min, t_max)) {
+        fast_ok = false;
+        break;
+      }
     }
   }
   auto memtable_touches_range = [&](const MemTable& table) {
@@ -378,49 +529,58 @@ Status EngineShard::AggregateFast(const std::string& sensor, Timestamp t_min,
            list->max_time() >= t_min && list->min_time() <= t_max;
   };
   if (fast_ok) {
-    if (memtable_touches_range(*working_seq_) ||
-        memtable_touches_range(*working_unseq_)) {
-      fast_ok = false;
-    }
-    for (const auto& table : flushing_) {
-      if (fast_ok && memtable_touches_range(*table)) fast_ok = false;
+    for (const auto& table : snap.flushing) {
+      if (memtable_touches_range(*table)) {
+        fast_ok = false;
+        break;
+      }
     }
   }
 
   if (fast_ok) {
+    // All file I/O and statistics folding happen lock-free against the
+    // snapshot; the refs keep every input readable throughout.
     bool have_any = false;
-    for (const std::string& path : sealed_files_) {
-      TsFileReader reader(path);
-      RETURN_NOT_OK(reader.Open());
-      TsFileReader::RangeStats file_stats;
-      Status st =
-          reader.AggregateRangeF64(sensor, t_min, t_max, &file_stats);
-      if (st.IsNotFound()) continue;
-      RETURN_NOT_OK(st);
-      if (file_stats.count == 0) continue;
-      if (!have_any) {
-        *stats = file_stats;
-        have_any = true;
+    for (const SealedFileRef& file : snap.files) {
+      if (shared_->options.enable_file_pruning &&
+          !file->Overlaps(sensor, t_min, t_max)) {
         continue;
       }
-      stats->min = std::min(stats->min, file_stats.min);
-      stats->max = std::max(stats->max, file_stats.max);
-      stats->sum += file_stats.sum;
-      stats->count += file_stats.count;
-      // Sequence files are scanned in time order per sensor.
-      if (file_stats.first_time < stats->first_time) {
-        stats->first_time = file_stats.first_time;
-        stats->first = file_stats.first;
+      TsFileReader reader(file->path());
+      Status st = reader.Open();
+      if (st.ok()) {
+        TsFileReader::RangeStats file_stats;
+        st = reader.AggregateRangeF64(sensor, t_min, t_max, &file_stats);
+        if (st.IsNotFound()) continue;
+        if (st.ok()) {
+          if (file_stats.count == 0) continue;
+          if (!have_any) {
+            *stats = file_stats;
+            have_any = true;
+            continue;
+          }
+          stats->min = std::min(stats->min, file_stats.min);
+          stats->max = std::max(stats->max, file_stats.max);
+          stats->sum += file_stats.sum;
+          stats->count += file_stats.count;
+          // Sequence files are scanned in time order per sensor.
+          if (file_stats.first_time < stats->first_time) {
+            stats->first_time = file_stats.first_time;
+            stats->first = file_stats.first;
+          }
+          if (file_stats.last_time > stats->last_time) {
+            stats->last_time = file_stats.last_time;
+            stats->last = file_stats.last;
+          }
+          continue;
+        }
       }
-      if (file_stats.last_time > stats->last_time) {
-        stats->last_time = file_stats.last_time;
-        stats->last = file_stats.last;
-      }
+      *stats = TsFileReader::RangeStats{};  // no partial aggregate on error
+      return st;
     }
     if (used_fast_path != nullptr) *used_fast_path = true;
     return Status::OK();
   }
-  lock.unlock();
 
   // Exact fallback through the dedup merge path.
   std::vector<TvPairDouble> points;
@@ -443,12 +603,17 @@ Status EngineShard::AggregateFast(const std::string& sensor, Timestamp t_min,
 }
 
 Status EngineShard::GetLatest(const std::string& sensor, TvPairDouble* out) {
-  std::unique_lock<std::mutex> lock(mu_);
-  auto it = last_cache_.find(sensor);
-  if (it == last_cache_.end()) {
+  // Same snapshot helper as Query/AggregateFast (want_points = false skips
+  // the working-table copies); the answer is the snapshot's last-cache
+  // entry.
+  ReadSnapshot snap;
+  TakeSnapshot(sensor, std::numeric_limits<Timestamp>::min(),
+               std::numeric_limits<Timestamp>::max(), /*want_points=*/false,
+               &snap);
+  if (!snap.have_last) {
     return Status::NotFound("no data for sensor: " + sensor);
   }
-  *out = it->second;
+  *out = snap.last;
   return Status::OK();
 }
 
@@ -486,10 +651,10 @@ ShardMetricsSnapshot EngineShard::Snapshot() const {
   return snap;
 }
 
-void EngineShard::RecoverAdoptFile(const std::string& path) {
-  if (std::find(sealed_files_.begin(), sealed_files_.end(), path) ==
+void EngineShard::RecoverAdoptFile(const SealedFileRef& file) {
+  if (std::find(sealed_files_.begin(), sealed_files_.end(), file) ==
       sealed_files_.end()) {
-    sealed_files_.push_back(path);
+    sealed_files_.push_back(file);
   }
 }
 

@@ -11,11 +11,13 @@
 #include <string>
 #include <vector>
 
+#include "common/chunk_cache.h"
 #include "common/engine_metrics.h"
 #include "common/latency_histogram.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "engine/engine_options.h"
+#include "engine/file_registry.h"
 #include "engine/wal.h"
 #include "memtable/memtable.h"
 #include "tsfile/tsfile.h"
@@ -48,17 +50,44 @@ struct WritePathHistograms {
   }
 };
 
+/// Engine-wide read-path latency histograms, one per query stage (see
+/// QueryStageSnapshots for stage semantics). Shared by every shard;
+/// recording is lock-free.
+struct QueryPathHistograms {
+  LatencyHistogram snapshot;
+  LatencyHistogram prune;
+  LatencyHistogram read;
+  LatencyHistogram merge;
+
+  QueryStageSnapshots Snapshot() const {
+    QueryStageSnapshots snap;
+    snap.snapshot = snapshot.Snapshot();
+    snap.prune = prune.Snapshot();
+    snap.read = read.Snapshot();
+    snap.merge = merge.Snapshot();
+    return snap;
+  }
+};
+
 /// State shared by all shards of one engine: the resolved options, the
 /// flush pool, globally unique file/WAL id allocators (so names never
-/// collide across shards), and the engine-wide registry of distinct sealed
-/// TsFiles in creation order (compaction input + file counting).
+/// collide across shards), the shared chunk cache, and the engine-wide
+/// registry of distinct sealed TsFiles in creation order (compaction input
+/// + file counting).
 ///
 /// Lock hierarchy: facade → shard mu → files_mu. FlushTable publishes a
 /// file under its shard's mu with files_mu nested; Compact acquires every
 /// shard mu in index order before files_mu, so the nesting is acyclic.
+/// ChunkCache shard mutexes are leaves taken with no engine lock held.
 struct EngineSharedState {
   EngineOptions options;
   FlushPool* pool = nullptr;
+
+  /// Shared read cache (decoded chunks + footers). Created by the facade
+  /// constructor before any shard exists; never null once the engine is
+  /// built. Declared before the file registries below so it outlives every
+  /// SealedFileMeta (whose destructor invalidates its cache entries).
+  std::unique_ptr<ChunkCache> chunk_cache;
 
   std::atomic<size_t> next_file_id{0};
   std::atomic<size_t> next_wal_id{0};
@@ -66,6 +95,15 @@ struct EngineSharedState {
 
   /// Lock-free stage latency histograms (see WritePathHistograms).
   WritePathHistograms histograms;
+
+  /// Lock-free query-stage latency histograms (see QueryPathHistograms).
+  QueryPathHistograms query_histograms;
+
+  /// Read-path counters, engine-wide (relaxed; exact totals, approximate
+  /// ordering — same contract as the histograms).
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> query_files_pruned{0};
+  std::atomic<uint64_t> query_files_opened{0};
 
   /// Epoch of every FlushTrace timestamp: engine construction time on the
   /// steady clock.
@@ -80,13 +118,17 @@ struct EngineSharedState {
   }
 
   mutable std::mutex files_mu;
-  std::vector<std::string> all_files;  // distinct sealed files, creation order
+  /// Distinct sealed files, creation order. Holds the engine-wide refs;
+  /// shards hold additional refs in their consult lists and queries take
+  /// short-lived snapshot refs. Destroyed before `chunk_cache` (declared
+  /// after it), so obsolete-file destructors can still invalidate.
+  std::vector<SealedFileRef> all_files;
 
   /// Registers a freshly flushed file. Caller holds the publishing shard's
   /// mu (see lock hierarchy above).
-  void RegisterFile(const std::string& path) {
+  void RegisterFile(const SealedFileRef& file) {
     std::unique_lock<std::mutex> lock(files_mu);
-    all_files.push_back(path);
+    all_files.push_back(file);
     file_count.store(all_files.size());
   }
 };
@@ -153,8 +195,9 @@ class EngineShard {
   // Called by the facade during Open, strictly before any concurrency
   // exists (no pool workers, no clients), so they do not lock.
 
-  /// Adds a sealed file to this shard's consult list (deduplicated).
-  void RecoverAdoptFile(const std::string& path);
+  /// Adds a sealed file to this shard's consult list (deduplicated by
+  /// identity; one meta per file is shared across adopting shards).
+  void RecoverAdoptFile(const SealedFileRef& file);
   /// Raises the separation watermark of `sensor` to at least `t`.
   void RecoverWatermark(const std::string& sensor, Timestamp t);
   /// Applies one recovered point to the last cache (file/WAL replay order;
@@ -172,9 +215,47 @@ class EngineShard {
 
   std::mutex& mu() const { return mu_; }
   /// This shard's sealed-file consult list. Caller holds mu().
-  std::vector<std::string>& sealed_files_locked() { return sealed_files_; }
+  std::vector<SealedFileRef>& sealed_files_locked() { return sealed_files_; }
 
  private:
+  /// Everything one read needs, captured atomically under mu_ and consumed
+  /// entirely outside it: sealed-file refs (priority = list order),
+  /// flushing-table refs, filtered copies of the working memtables'
+  /// matching points (arrival order; sorted outside the lock when needed),
+  /// and the last-cache entry. Refs keep retired files readable and
+  /// retired memtables alive for the snapshot's lifetime, so the view
+  /// stays consistent however far writes, flushes or compaction progress
+  /// meanwhile.
+  struct ReadSnapshot {
+    std::vector<SealedFileRef> files;
+    std::vector<std::shared_ptr<MemTable>> flushing;
+    std::vector<TvPairDouble> working_unseq;
+    bool working_unseq_sorted = true;
+    std::vector<TvPairDouble> working_seq;
+    bool working_seq_sorted = true;
+    /// Either working table's chunk bounds overlap [t_min, t_max] — the
+    /// (conservative) aggregation fast-path disqualifier.
+    bool working_in_range = false;
+    bool have_last = false;
+    TvPairDouble last{};
+  };
+
+  /// Takes the consistent read snapshot under mu_ — the only part of a
+  /// query that holds the shard lock. `want_points` = false skips copying
+  /// working-memtable points (GetLatest / aggregation probing).
+  void TakeSnapshot(const std::string& sensor, Timestamp t_min,
+                    Timestamp t_max, bool want_points, ReadSnapshot* snap);
+
+  /// Reads `sensor`'s points in [t_min, t_max] from one sealed file, via
+  /// the shared chunk cache when enabled (footer lookup + single-chunk
+  /// read + binary-search filter) or the direct whole-file reader when
+  /// disabled (bit-identical to the pre-cache path). Runs without any
+  /// engine lock.
+  Status ReadFileRange(const SealedFileMeta& file, const std::string& sensor,
+                       Timestamp t_min, Timestamp t_max,
+                       std::vector<Timestamp>* ts,
+                       std::vector<double>* values);
+
   /// Seals one working memtable into the flush queue. Caller holds mu_.
   void SealLocked(bool sequence);
 
@@ -188,9 +269,10 @@ class EngineShard {
   /// after open/seal creates it). Caller holds mu_.
   Status RotateWalLocked(bool sequence);
 
-  /// Collects [t_min, t_max] points of `sensor` from a memtable into one
-  /// sorted run (sorting with the configured algorithm, like IoTDB's
-  /// query-time sort). Caller holds mu_.
+  /// Collects [t_min, t_max] points of `sensor` from a sealed (flushing)
+  /// memtable into one sorted run (sorting with the configured algorithm,
+  /// like IoTDB's query-time sort). Takes the per-table mutex to serialize
+  /// with the flush worker's in-place sort; called without mu_.
   std::vector<TvPairDouble> CollectFromMemTable(const MemTable& table,
                                                 const std::string& sensor,
                                                 Timestamp t_min,
@@ -235,7 +317,7 @@ class EngineShard {
   std::vector<FlushTrace> trace_ring_;
   size_t trace_next_ = 0;
 
-  std::vector<std::string> sealed_files_;
+  std::vector<SealedFileRef> sealed_files_;
   std::atomic<size_t> approx_working_points_{0};
 };
 

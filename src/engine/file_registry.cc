@@ -1,0 +1,45 @@
+#include "engine/file_registry.h"
+
+#include <filesystem>
+
+namespace backsort {
+
+namespace {
+
+bool IsUnsequenceFile(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string name =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  return name.rfind("unseq-", 0) == 0;
+}
+
+}  // namespace
+
+SealedFileMeta::SealedFileMeta(std::string path, FooterMap ranges,
+                               ChunkCache* cache)
+    : path_(std::move(path)),
+      ranges_(std::move(ranges)),
+      cache_(cache),
+      unsequence_(IsUnsequenceFile(path_)) {}
+
+SealedFileMeta::~SealedFileMeta() {
+  if (!obsolete_.load(std::memory_order_acquire)) return;
+  if (cache_ != nullptr) cache_->InvalidateFile(path_);
+  std::error_code ec;
+  std::filesystem::remove(path_, ec);  // best effort; orphans are harmless
+}
+
+const ChunkLocator* SealedFileMeta::RangeFor(const std::string& sensor) const {
+  auto it = ranges_.find(sensor);
+  return it == ranges_.end() ? nullptr : &it->second;
+}
+
+bool SealedFileMeta::Overlaps(const std::string& sensor, Timestamp t_min,
+                              Timestamp t_max) const {
+  const ChunkLocator* locator = RangeFor(sensor);
+  if (locator == nullptr) return false;
+  if (locator->min_t > locator->max_t) return false;  // empty chunk
+  return locator->max_t >= t_min && locator->min_t <= t_max;
+}
+
+}  // namespace backsort

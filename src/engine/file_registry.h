@@ -1,0 +1,70 @@
+#ifndef BACKSORT_ENGINE_FILE_REGISTRY_H_
+#define BACKSORT_ENGINE_FILE_REGISTRY_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "common/chunk_cache.h"
+#include "common/chunk_locator.h"
+#include "common/types.h"
+
+namespace backsort {
+
+/// Immutable metadata of one sealed TsFile: its path, whether it is an
+/// unsequence file, and the per-sensor chunk locators ([min_t, max_t],
+/// point count, byte span) parsed from the footer at seal or recovery
+/// time. Queries snapshot a vector of refs under the shard lock and then
+/// prune/read entirely outside it.
+///
+/// Lifetime doubles as deferred deletion: compaction retires a file by
+/// calling MarkObsolete() and dropping its registry refs. The last reader
+/// holding a ref keeps the bytes on disk readable; when that ref dies the
+/// destructor invalidates the file's cache entries and unlinks it. File
+/// ids are never reused (the engine's file counter is monotonic), so a
+/// stale cache entry for a retired path can never alias a new file.
+class SealedFileMeta {
+ public:
+  /// `cache` may be null (cache disabled); only used for invalidation.
+  SealedFileMeta(std::string path, FooterMap ranges, ChunkCache* cache);
+  ~SealedFileMeta();
+
+  SealedFileMeta(const SealedFileMeta&) = delete;
+  SealedFileMeta& operator=(const SealedFileMeta&) = delete;
+
+  const std::string& path() const { return path_; }
+  /// True for out-of-order flush output ("unseq-*.bstf").
+  bool unsequence() const { return unsequence_; }
+  const FooterMap& ranges() const { return ranges_; }
+
+  /// Locator of `sensor`'s chunk, or nullptr if the file has no chunk for
+  /// it.
+  const ChunkLocator* RangeFor(const std::string& sensor) const;
+
+  /// True iff the file holds at least one point of `sensor` inside
+  /// [t_min, t_max] according to footer metadata — the file-level pruning
+  /// predicate. An empty chunk (min_t > max_t) never overlaps.
+  bool Overlaps(const std::string& sensor, Timestamp t_min,
+                Timestamp t_max) const;
+
+  /// Flags the file for deletion once the last ref drops. Called by
+  /// compaction after the replacement file is published.
+  void MarkObsolete() { obsolete_.store(true, std::memory_order_release); }
+  bool obsolete() const { return obsolete_.load(std::memory_order_acquire); }
+
+ private:
+  std::string path_;
+  FooterMap ranges_;
+  ChunkCache* cache_;
+  bool unsequence_;
+  std::atomic<bool> obsolete_{false};
+};
+
+/// Shared handle to a sealed file's metadata. Copied into query snapshots;
+/// the engine's registries (per-shard sealed list + engine-wide file list)
+/// hold the long-lived refs.
+using SealedFileRef = std::shared_ptr<SealedFileMeta>;
+
+}  // namespace backsort
+
+#endif  // BACKSORT_ENGINE_FILE_REGISTRY_H_

@@ -44,6 +44,20 @@ StorageEngine::StorageEngine(EngineOptions options) {
   shared_.options = std::move(options);
   shared_.pool = &pool_;
 
+  // Resolve the chunk-cache capacity. EnvCount-style parsing is not usable
+  // here: an explicit "0" must disable the cache, which is distinct from
+  // the variable being unset, so getenv is consulted directly.
+  size_t cache_bytes = shared_.options.chunk_cache_bytes;
+  if (cache_bytes == EngineOptions::kChunkCacheAuto) {
+    const char* env = std::getenv("BACKSORT_CHUNK_CACHE_BYTES");
+    if (env != nullptr && *env != '\0') {
+      cache_bytes = static_cast<size_t>(std::strtoull(env, nullptr, 10));
+    } else {
+      cache_bytes = EngineOptions::kDefaultChunkCacheBytes;
+    }
+  }
+  shared_.chunk_cache = std::make_unique<ChunkCache>(cache_bytes);
+
   // Resolve the auto (0) settings: the BACKSORT_SHARDS /
   // BACKSORT_FLUSH_WORKERS environment hooks let tools/ci.sh run the whole
   // test suite in a sharded configuration without touching each test;
@@ -128,18 +142,24 @@ Status StorageEngine::RecoverAll() {
   std::sort(tsfiles.begin(), tsfiles.end());
   std::sort(wal_paths.begin(), wal_paths.end());
 
-  // 2. Re-adopt sealed files: register each file with every shard owning a
-  //    sensor in it (after a shard-count change one old file can span
-  //    shards), rebuild per-sensor watermarks from the sequence files, and
-  //    rebuild the last cache in file (recency) order.
+  // 2. Re-adopt sealed files: parse each footer into a shared
+  //    SealedFileMeta (the pruning metadata), register it with every shard
+  //    owning a sensor in it (after a shard-count change one old file can
+  //    span shards), rebuild per-sensor watermarks from the sequence
+  //    files, and rebuild the last cache in file (recency) order.
+  std::vector<SealedFileRef> metas;
+  metas.reserve(tsfiles.size());
   for (const std::string& path : tsfiles) {
     const std::string name = std::filesystem::path(path).filename().string();
     const bool sequence = name.rfind("seq-", 0) == 0;
     TsFileReader reader(path);
     RETURN_NOT_OK(reader.Open());
+    SealedFileRef meta = std::make_shared<SealedFileMeta>(
+        path, reader.Locators(), shared_.chunk_cache.get());
+    metas.push_back(meta);
     for (const std::string& sensor : reader.Sensors()) {
       EngineShard* shard = shards_[ShardFor(sensor)].get();
-      shard->RecoverAdoptFile(path);
+      shard->RecoverAdoptFile(meta);
       std::vector<Timestamp> ts;
       std::vector<double> values;
       RETURN_NOT_OK(reader.ReadChunkF64(sensor, &ts, &values));
@@ -150,7 +170,7 @@ Status StorageEngine::RecoverAll() {
   }
   {
     std::unique_lock<std::mutex> lock(shared_.files_mu);
-    shared_.all_files = tsfiles;
+    shared_.all_files = std::move(metas);
     shared_.file_count.store(shared_.all_files.size());
   }
 
@@ -244,13 +264,24 @@ EngineMetricsSnapshot StorageEngine::GetMetricsSnapshot() const {
   }
   snap.sealed_files = shared_.file_count.load();
   snap.stages = shared_.histograms.Snapshot();
+  snap.query_stages = shared_.query_histograms.Snapshot();
+  snap.queries = shared_.queries.load(std::memory_order_relaxed);
+  snap.query_files_pruned =
+      shared_.query_files_pruned.load(std::memory_order_relaxed);
+  snap.query_files_opened =
+      shared_.query_files_opened.load(std::memory_order_relaxed);
+  snap.cache = shared_.chunk_cache->GetStats();
   return snap;
+}
+
+ChunkCacheStats StorageEngine::GetChunkCacheStats() const {
+  return shared_.chunk_cache->GetStats();
 }
 
 Status StorageEngine::Compact() {
   // Snapshot the current engine-wide file set; flushes may append more
   // files while the merge runs, and those must survive the swap untouched.
-  std::vector<std::string> inputs;
+  std::vector<SealedFileRef> inputs;
   {
     std::unique_lock<std::mutex> lock(shared_.files_mu);
     if (shared_.all_files.size() < 2) return Status::OK();
@@ -266,8 +297,8 @@ Status StorageEngine::Compact() {
   // compaction every timestamp lives exactly once, which is what re-enables
   // the statistics-pushdown fast path over the output file.
   std::map<std::string, std::vector<TvPairDouble>> merged;
-  for (const std::string& path : inputs) {
-    TsFileReader reader(path);
+  for (const SealedFileRef& input : inputs) {
+    TsFileReader reader(input->path());
     RETURN_NOT_OK(reader.Open());
     for (const std::string& sensor : reader.Sensors()) {
       std::vector<Timestamp> ts;
@@ -302,31 +333,36 @@ Status StorageEngine::Compact() {
                                        shared_.options.points_per_page));
   }
   RETURN_NOT_OK(writer.Finish());
+  SealedFileRef out_meta = std::make_shared<SealedFileMeta>(
+      out_path, writer.Locators(), shared_.chunk_cache.get());
+  shared_.chunk_cache->PutFooter(
+      out_path, std::make_shared<FooterMap>(writer.Locators()));
 
   // Swap: replace exactly the snapshot inputs with the compacted file in
   // every shard's consult list, keeping any files flushed meanwhile. All
   // shard locks are taken in index order, then files_mu (the documented
   // hierarchy), so queries across shards never observe a half-swapped set.
-  auto is_input = [&](const std::string& f) {
+  // Identity comparison, not path comparison: refs to one file are shared.
+  auto is_input = [&](const SealedFileRef& f) {
     return std::find(inputs.begin(), inputs.end(), f) != inputs.end();
   };
-  std::vector<std::string> obsolete;
+  std::vector<SealedFileRef> obsolete;
   {
     std::vector<std::unique_lock<std::mutex>> locks;
     locks.reserve(shards_.size());
     for (auto& shard : shards_) locks.emplace_back(shard->mu());
     for (auto& shard : shards_) {
-      std::vector<std::string> next;
-      next.push_back(out_path);
-      for (const std::string& f : shard->sealed_files_locked()) {
+      std::vector<SealedFileRef> next;
+      next.push_back(out_meta);
+      for (const SealedFileRef& f : shard->sealed_files_locked()) {
         if (!is_input(f)) next.push_back(f);
       }
       shard->sealed_files_locked() = std::move(next);
     }
     std::unique_lock<std::mutex> files_lock(shared_.files_mu);
-    std::vector<std::string> next;
-    next.push_back(out_path);
-    for (const std::string& f : shared_.all_files) {
+    std::vector<SealedFileRef> next;
+    next.push_back(out_meta);
+    for (const SealedFileRef& f : shared_.all_files) {
       if (!is_input(f)) {
         next.push_back(f);
       } else {
@@ -336,10 +372,14 @@ Status StorageEngine::Compact() {
     shared_.all_files = std::move(next);
     shared_.file_count.store(shared_.all_files.size());
   }
-  for (const std::string& f : obsolete) {
-    std::error_code ec;
-    std::filesystem::remove(f, ec);
-  }
+  // Deferred deletion: mark the inputs obsolete and drop this function's
+  // refs. A query that snapshotted before the swap still holds refs and
+  // keeps reading the old bytes; the last ref's destructor invalidates the
+  // file's cache entries and unlinks it. With no concurrent readers that
+  // happens right here.
+  for (const SealedFileRef& f : obsolete) f->MarkObsolete();
+  obsolete.clear();
+  inputs.clear();
   return Status::OK();
 }
 

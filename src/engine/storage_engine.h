@@ -54,8 +54,12 @@ class StorageEngine {
 
   /// Time-range query [t_min, t_max]: sorted, may contain points from the
   /// working memtable, in-flight flushing memtables, and sealed files.
-  /// Blocks writers of the same shard for its duration, mirroring IoTDB's
-  /// lock behavior at shard granularity.
+  /// Holds the shard lock only long enough to take a consistent snapshot
+  /// (sealed-file refs + memtable copies); all file I/O, cache lookups,
+  /// decoding and merging run lock-free, so same-shard writers progress
+  /// while a query reads. Files are pruned by footer time range before
+  /// being opened, and decoded chunks are served from the shared
+  /// ChunkCache (EngineOptions::chunk_cache_bytes).
   Status Query(const std::string& sensor, Timestamp t_min, Timestamp t_max,
                std::vector<TvPairDouble>* out);
 
@@ -93,6 +97,16 @@ class StorageEngine {
 
   /// Distinct sealed TsFiles across the whole engine.
   size_t sealed_file_count() const { return shared_.file_count.load(); }
+
+  /// Point-in-time counters of the shared chunk cache (also embedded in
+  /// GetMetricsSnapshot; this is the cheap standalone probe tests and
+  /// tools use).
+  ChunkCacheStats GetChunkCacheStats() const;
+
+  /// Resolved chunk-cache capacity in bytes (0 = disabled).
+  size_t chunk_cache_capacity() const {
+    return shared_.chunk_cache->capacity_bytes();
+  }
 
   /// Resolved shard / flush-worker counts (after env and auto defaults).
   size_t shard_count() const { return shards_.size(); }

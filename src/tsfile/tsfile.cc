@@ -18,6 +18,135 @@ Status EncodeTimeAndValues(Encoding time_enc,
   return EncodeI64(time_enc, ts, out);
 }
 
+Status DecodeValuesDispatch(Encoding enc, ByteReader* reader, size_t count,
+                            std::vector<int64_t>* out) {
+  return DecodeI64(enc, reader, count, out);
+}
+
+Status DecodeValuesDispatch(Encoding enc, ByteReader* reader, size_t count,
+                            std::vector<double>* out) {
+  return DecodeF64(enc, reader, count, out);
+}
+
+/// Decodes one chunk from its byte span (header + pages), appending the
+/// points inside [t_min, t_max] to the output columns. Shared by the
+/// whole-file reader and the standalone single-chunk read, so both paths
+/// stay byte-for-byte identical in what they accept and return.
+template <typename V>
+Status DecodeChunkSpan(const uint8_t* chunk, size_t size,
+                       const std::string& sensor, DataType expect_type,
+                       Timestamp t_min, Timestamp t_max,
+                       std::vector<Timestamp>* ts, std::vector<V>* values) {
+  ByteReader r(chunk, size);
+  std::string stored_sensor;
+  RETURN_NOT_OK(r.GetLengthPrefixedString(&stored_sensor));
+  if (stored_sensor != sensor) {
+    return Status::Corruption("chunk header sensor mismatch");
+  }
+  uint8_t type = 0, time_enc = 0, value_enc = 0;
+  RETURN_NOT_OK(r.GetU8(&type));
+  RETURN_NOT_OK(r.GetU8(&time_enc));
+  RETURN_NOT_OK(r.GetU8(&value_enc));
+  if (static_cast<DataType>(type) != expect_type) {
+    return Status::InvalidArgument("data type mismatch for " + sensor);
+  }
+  uint64_t page_count = 0;
+  RETURN_NOT_OK(r.GetVarint64(&page_count));
+
+  ts->clear();
+  values->clear();
+  std::vector<Timestamp> page_ts;
+  std::vector<V> page_vals;
+  for (uint64_t p = 0; p < page_count; ++p) {
+    uint64_t count = 0;
+    RETURN_NOT_OK(r.GetVarint64(&count));
+    int64_t page_min = 0, page_max = 0;
+    RETURN_NOT_OK(r.GetVarintSigned64(&page_min));
+    RETURN_NOT_OK(r.GetVarintSigned64(&page_max));
+    RETURN_NOT_OK(r.Skip(3 * 8));  // value stats: min, max, sum
+    uint64_t time_size = 0;
+    RETURN_NOT_OK(r.GetVarint64(&time_size));
+    const bool prune = page_max < t_min || page_min > t_max;
+    if (prune) {
+      RETURN_NOT_OK(r.Skip(time_size));
+      uint64_t value_size = 0;
+      RETURN_NOT_OK(r.GetVarint64(&value_size));
+      RETURN_NOT_OK(r.Skip(value_size));
+      continue;
+    }
+    if (time_size > r.remaining()) {
+      return Status::Corruption("page time buffer overruns file");
+    }
+    {
+      ByteReader time_reader(chunk + r.position(), time_size);
+      RETURN_NOT_OK(DecodeI64(static_cast<Encoding>(time_enc), &time_reader,
+                              count, &page_ts));
+      RETURN_NOT_OK(r.Skip(time_size));
+    }
+    uint64_t value_size = 0;
+    RETURN_NOT_OK(r.GetVarint64(&value_size));
+    if (value_size > r.remaining()) {
+      return Status::Corruption("page value buffer overruns file");
+    }
+    {
+      ByteReader value_reader(chunk + r.position(), value_size);
+      RETURN_NOT_OK(DecodeValuesDispatch(static_cast<Encoding>(value_enc),
+                                         &value_reader, count, &page_vals));
+      RETURN_NOT_OK(r.Skip(value_size));
+    }
+    for (size_t i = 0; i < page_ts.size(); ++i) {
+      if (page_ts[i] >= t_min && page_ts[i] <= t_max) {
+        ts->push_back(page_ts[i]);
+        values->push_back(page_vals[i]);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// Parses one serialized index block into locators. `index_offset` (where
+/// the block starts in the file) doubles as the end of the last chunk, so
+/// chunk lengths can be derived from consecutive offsets.
+Status ParseIndexBlock(const uint8_t* block, size_t size,
+                       uint64_t index_offset, uint64_t file_size,
+                       FooterMap* out) {
+  out->clear();
+  ByteReader idx(block, size);
+  uint64_t n = 0;
+  RETURN_NOT_OK(idx.GetVarint64(&n));
+  // Entries are serialized in write order = ascending offset order; the
+  // next entry's offset (or the index block) bounds each chunk.
+  std::vector<std::pair<std::string, ChunkLocator>> entries;
+  entries.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string sensor;
+    RETURN_NOT_OK(idx.GetLengthPrefixedString(&sensor));
+    ChunkLocator locator;
+    RETURN_NOT_OK(idx.GetFixed64(&locator.offset));
+    RETURN_NOT_OK(idx.GetU8(&locator.raw_type));
+    RETURN_NOT_OK(idx.GetVarint64(&locator.points));
+    int64_t lo = 0, hi = 0;
+    RETURN_NOT_OK(idx.GetVarintSigned64(&lo));
+    RETURN_NOT_OK(idx.GetVarintSigned64(&hi));
+    locator.min_t = lo;
+    locator.max_t = hi;
+    if (locator.offset >= file_size || locator.offset > index_offset) {
+      return Status::Corruption("chunk offset out of bounds");
+    }
+    if (i > 0 && locator.offset < entries.back().second.offset) {
+      return Status::Corruption("chunk offsets not ascending");
+    }
+    entries.emplace_back(std::move(sensor), locator);
+  }
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const uint64_t end =
+        i + 1 < entries.size() ? entries[i + 1].second.offset : index_offset;
+    entries[i].second.length = end - entries[i].second.offset;
+    (*out)[entries[i].first] = entries[i].second;
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 // --- writer -----------------------------------------------------------------
@@ -42,7 +171,9 @@ Status TsFileWriter::WriteChunkImpl(const std::string& sensor,
   if (buffer_.size() == 0) {
     buffer_.PutBytes(kMagic, kMagicLen);
   }
-  index_.push_back({sensor, buffer_.size(), type});
+  index_.push_back({sensor, buffer_.size(), type, ts.size(),
+                    ts.empty() ? Timestamp{0} : ts.front(),
+                    ts.empty() ? Timestamp{-1} : ts.back()});
 
   buffer_.PutLengthPrefixedString(sensor);
   buffer_.PutU8(static_cast<uint8_t>(type));
@@ -130,9 +261,27 @@ Status TsFileWriter::Finish() {
     buffer_.PutLengthPrefixedString(e.sensor);
     buffer_.PutFixed64(e.offset);
     buffer_.PutU8(static_cast<uint8_t>(e.type));
+    buffer_.PutVarint64(e.points);
+    buffer_.PutVarintSigned64(e.min_t);
+    buffer_.PutVarintSigned64(e.max_t);
   }
   buffer_.PutFixed64(index_offset);
   buffer_.PutBytes(kMagic, kMagicLen);
+
+  locators_.clear();
+  for (size_t i = 0; i < index_.size(); ++i) {
+    const IndexEntry& e = index_[i];
+    ChunkLocator locator;
+    locator.offset = e.offset;
+    locator.length =
+        (i + 1 < index_.size() ? index_[i + 1].offset : index_offset) -
+        e.offset;
+    locator.points = e.points;
+    locator.min_t = e.min_t;
+    locator.max_t = e.max_t;
+    locator.raw_type = static_cast<uint8_t>(e.type);
+    locators_[e.sensor] = locator;
+  }
 
   std::ofstream out(path_, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IOError("cannot open for write: " + path_);
@@ -169,53 +318,31 @@ Status TsFileReader::Open() {
   ByteReader footer(data_.data() + data_.size() - kMagicLen - 8, 8);
   uint64_t index_offset = 0;
   RETURN_NOT_OK(footer.GetFixed64(&index_offset));
-  if (index_offset >= data_.size()) {
+  // data_.size() >= 2 * kMagicLen + 8 was checked above, so the
+  // subtraction cannot underflow (and an offset near UINT64_MAX cannot
+  // slip past via addition overflow).
+  if (index_offset >= data_.size() - kMagicLen - 8 ||
+      index_offset < kMagicLen) {
     return Status::Corruption("index offset out of bounds");
   }
-  ByteReader idx(data_.data() + index_offset, data_.size() - index_offset);
-  uint64_t n = 0;
-  RETURN_NOT_OK(idx.GetVarint64(&n));
-  index_.clear();
-  for (uint64_t i = 0; i < n; ++i) {
-    std::string sensor;
-    RETURN_NOT_OK(idx.GetLengthPrefixedString(&sensor));
-    uint64_t offset = 0;
-    RETURN_NOT_OK(idx.GetFixed64(&offset));
-    uint8_t type = 0;
-    RETURN_NOT_OK(idx.GetU8(&type));
-    if (offset >= data_.size()) {
-      return Status::Corruption("chunk offset out of bounds");
-    }
-    index_[sensor] = {offset, static_cast<DataType>(type)};
-  }
-  return Status::OK();
+  return ParseIndexBlock(data_.data() + index_offset,
+                         data_.size() - index_offset - kMagicLen - 8,
+                         index_offset, data_.size(), &locators_);
 }
 
 std::vector<std::string> TsFileReader::Sensors() const {
   std::vector<std::string> out;
-  out.reserve(index_.size());
-  for (const auto& [sensor, _] : index_) out.push_back(sensor);
+  out.reserve(locators_.size());
+  for (const auto& [sensor, _] : locators_) out.push_back(sensor);
   return out;
 }
 
 Status TsFileReader::GetDataType(const std::string& sensor,
                                  DataType* out) const {
-  auto it = index_.find(sensor);
-  if (it == index_.end()) return Status::NotFound("sensor: " + sensor);
-  *out = it->second.second;
+  auto it = locators_.find(sensor);
+  if (it == locators_.end()) return Status::NotFound("sensor: " + sensor);
+  *out = static_cast<DataType>(it->second.raw_type);
   return Status::OK();
-}
-
-Status TsFileReader::DecodeValues(Encoding enc, ByteReader* reader,
-                                  size_t count,
-                                  std::vector<int64_t>* out) const {
-  return DecodeI64(enc, reader, count, out);
-}
-
-Status TsFileReader::DecodeValues(Encoding enc, ByteReader* reader,
-                                  size_t count,
-                                  std::vector<double>* out) const {
-  return DecodeF64(enc, reader, count, out);
 }
 
 template <typename V>
@@ -224,76 +351,14 @@ Status TsFileReader::ReadChunkImpl(const std::string& sensor,
                                    Timestamp t_max,
                                    std::vector<Timestamp>* ts,
                                    std::vector<V>* values) const {
-  auto it = index_.find(sensor);
-  if (it == index_.end()) return Status::NotFound("sensor: " + sensor);
-  if (it->second.second != expect_type) {
+  auto it = locators_.find(sensor);
+  if (it == locators_.end()) return Status::NotFound("sensor: " + sensor);
+  if (static_cast<DataType>(it->second.raw_type) != expect_type) {
     return Status::InvalidArgument("data type mismatch for " + sensor);
   }
-  const uint64_t offset = it->second.first;
-  ByteReader r(data_.data() + offset, data_.size() - offset);
-
-  std::string stored_sensor;
-  RETURN_NOT_OK(r.GetLengthPrefixedString(&stored_sensor));
-  if (stored_sensor != sensor) {
-    return Status::Corruption("chunk header sensor mismatch");
-  }
-  uint8_t type = 0, time_enc = 0, value_enc = 0;
-  RETURN_NOT_OK(r.GetU8(&type));
-  RETURN_NOT_OK(r.GetU8(&time_enc));
-  RETURN_NOT_OK(r.GetU8(&value_enc));
-  uint64_t page_count = 0;
-  RETURN_NOT_OK(r.GetVarint64(&page_count));
-
-  ts->clear();
-  values->clear();
-  std::vector<Timestamp> page_ts;
-  std::vector<V> page_vals;
-  for (uint64_t p = 0; p < page_count; ++p) {
-    uint64_t count = 0;
-    RETURN_NOT_OK(r.GetVarint64(&count));
-    int64_t page_min = 0, page_max = 0;
-    RETURN_NOT_OK(r.GetVarintSigned64(&page_min));
-    RETURN_NOT_OK(r.GetVarintSigned64(&page_max));
-    RETURN_NOT_OK(r.Skip(3 * 8));  // value stats: min, max, sum
-    uint64_t time_size = 0;
-    RETURN_NOT_OK(r.GetVarint64(&time_size));
-    const bool prune = page_max < t_min || page_min > t_max;
-    if (prune) {
-      RETURN_NOT_OK(r.Skip(time_size));
-      uint64_t value_size = 0;
-      RETURN_NOT_OK(r.GetVarint64(&value_size));
-      RETURN_NOT_OK(r.Skip(value_size));
-      continue;
-    }
-    if (time_size > r.remaining()) {
-      return Status::Corruption("page time buffer overruns file");
-    }
-    {
-      ByteReader time_reader(data_.data() + offset + r.position(), time_size);
-      RETURN_NOT_OK(DecodeI64(static_cast<Encoding>(time_enc), &time_reader,
-                              count, &page_ts));
-      RETURN_NOT_OK(r.Skip(time_size));
-    }
-    uint64_t value_size = 0;
-    RETURN_NOT_OK(r.GetVarint64(&value_size));
-    if (value_size > r.remaining()) {
-      return Status::Corruption("page value buffer overruns file");
-    }
-    {
-      ByteReader value_reader(data_.data() + offset + r.position(),
-                              value_size);
-      RETURN_NOT_OK(DecodeValues(static_cast<Encoding>(value_enc),
-                                 &value_reader, count, &page_vals));
-      RETURN_NOT_OK(r.Skip(value_size));
-    }
-    for (size_t i = 0; i < page_ts.size(); ++i) {
-      if (page_ts[i] >= t_min && page_ts[i] <= t_max) {
-        ts->push_back(page_ts[i]);
-        values->push_back(page_vals[i]);
-      }
-    }
-  }
-  return Status::OK();
+  const ChunkLocator& locator = it->second;
+  return DecodeChunkSpan(data_.data() + locator.offset, locator.length,
+                         sensor, expect_type, t_min, t_max, ts, values);
 }
 
 Status TsFileReader::ReadChunkI64(const std::string& sensor,
@@ -325,12 +390,12 @@ Status TsFileReader::AggregateRangeF64(const std::string& sensor,
                                        size_t* pages_skipped) const {
   *stats = RangeStats{};
   if (pages_skipped != nullptr) *pages_skipped = 0;
-  auto it = index_.find(sensor);
-  if (it == index_.end()) return Status::NotFound("sensor: " + sensor);
-  if (it->second.second != DataType::kDouble) {
+  auto it = locators_.find(sensor);
+  if (it == locators_.end()) return Status::NotFound("sensor: " + sensor);
+  if (static_cast<DataType>(it->second.raw_type) != DataType::kDouble) {
     return Status::InvalidArgument("data type mismatch for " + sensor);
   }
-  const uint64_t offset = it->second.first;
+  const uint64_t offset = it->second.offset;
   ByteReader r(data_.data() + offset, data_.size() - offset);
   std::string stored_sensor;
   RETURN_NOT_OK(r.GetLengthPrefixedString(&stored_sensor));
@@ -440,6 +505,62 @@ Status TsFileReader::AggregateRangeF64(const std::string& sensor,
     }
   }
   return Status::OK();
+}
+
+// --- standalone footer/chunk reads ------------------------------------------
+
+Status ReadTsFileFooter(const std::string& path, FooterMap* out) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
+  if (file_size < 2 * kMagicLen + 8) {
+    return Status::Corruption("file too small for header/footer");
+  }
+
+  // Tail = fixed64 index offset + magic.
+  uint8_t tail[8 + kMagicLen];
+  in.seekg(static_cast<std::streamoff>(file_size - sizeof(tail)));
+  in.read(reinterpret_cast<char*>(tail), sizeof(tail));
+  if (!in) return Status::IOError("read failed: " + path);
+  if (std::memcmp(tail + 8, TsFileWriter::kMagic, kMagicLen) != 0) {
+    return Status::Corruption("bad tail magic (truncated file?)");
+  }
+  ByteReader tail_reader(tail, 8);
+  uint64_t index_offset = 0;
+  RETURN_NOT_OK(tail_reader.GetFixed64(&index_offset));
+  if (index_offset >= file_size - sizeof(tail) || index_offset < kMagicLen) {
+    return Status::Corruption("index offset out of bounds");
+  }
+
+  const size_t block_size =
+      static_cast<size_t>(file_size - sizeof(tail) - index_offset);
+  std::vector<uint8_t> block(block_size);
+  in.seekg(static_cast<std::streamoff>(index_offset));
+  in.read(reinterpret_cast<char*>(block.data()),
+          static_cast<std::streamsize>(block_size));
+  if (!in) return Status::IOError("read failed: " + path);
+  return ParseIndexBlock(block.data(), block.size(), index_offset, file_size,
+                         out);
+}
+
+Status ReadTsFileChunkF64(const std::string& path, const std::string& sensor,
+                          const ChunkLocator& locator,
+                          std::vector<Timestamp>* ts,
+                          std::vector<double>* values) {
+  if (static_cast<DataType>(locator.raw_type) != DataType::kDouble) {
+    return Status::InvalidArgument("data type mismatch for " + sensor);
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::vector<uint8_t> chunk(static_cast<size_t>(locator.length));
+  in.seekg(static_cast<std::streamoff>(locator.offset));
+  in.read(reinterpret_cast<char*>(chunk.data()),
+          static_cast<std::streamsize>(chunk.size()));
+  if (!in) return Status::IOError("read failed: " + path);
+  return DecodeChunkSpan(chunk.data(), chunk.size(), sensor,
+                         DataType::kDouble,
+                         std::numeric_limits<Timestamp>::min(),
+                         std::numeric_limits<Timestamp>::max(), ts, values);
 }
 
 }  // namespace backsort

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/chunk_locator.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "encoding/encoding.h"
@@ -25,9 +26,16 @@ enum class DataType : uint8_t {
 /// Layout:
 ///   [magic "BSTF1"]
 ///   [chunk 0][chunk 1]...
-///   [index block: per chunk {sensor, offset, data type}]
+///   [index block: per chunk {sensor, offset, data type,
+///                            point count, min_time, max_time}]
 ///   [index offset : fixed64]
 ///   [magic "BSTF1"]
+///
+/// The index block carries each chunk's point count and [min_time,
+/// max_time], so the engine prunes whole files against a query range from
+/// the footer alone — without decoding (or even mapping) any chunk — and
+/// rebuilds its pruning metadata on recovery with a tail-only read
+/// (ReadTsFileFooter).
 ///
 /// Chunk layout:
 ///   sensor name (length-prefixed), data type (u8),
@@ -69,11 +77,20 @@ class TsFileWriter {
 
   size_t chunk_count() const { return index_.size(); }
 
+  /// Chunk locators of the sealed file (offset, length, point count, time
+  /// range per sensor) — what ReadTsFileFooter would parse back. Valid
+  /// after Finish(); the engine uses it to build pruning metadata and warm
+  /// the footer cache without re-reading the file it just wrote.
+  const FooterMap& Locators() const { return locators_; }
+
  private:
   struct IndexEntry {
     std::string sensor;
     uint64_t offset;
     DataType type;
+    uint64_t points;
+    Timestamp min_t;
+    Timestamp max_t;
   };
 
   template <typename V>
@@ -86,6 +103,7 @@ class TsFileWriter {
   std::string path_;
   ByteBuffer buffer_;
   std::vector<IndexEntry> index_;
+  FooterMap locators_;  // built by Finish()
   bool finished_ = false;
 };
 
@@ -130,6 +148,11 @@ class TsFileReader {
                            Timestamp t_max, RangeStats* stats,
                            size_t* pages_skipped = nullptr) const;
 
+  /// The parsed index block: per-sensor chunk offset/length, point count
+  /// and time range — the pruning metadata the engine registers at seal
+  /// and recovery time.
+  const FooterMap& Locators() const { return locators_; }
+
  private:
   template <typename V>
   Status ReadChunkImpl(const std::string& sensor, DataType expect_type,
@@ -137,15 +160,26 @@ class TsFileReader {
                        std::vector<Timestamp>* ts,
                        std::vector<V>* values) const;
 
-  Status DecodeValues(Encoding enc, ByteReader* reader, size_t count,
-                      std::vector<int64_t>* out) const;
-  Status DecodeValues(Encoding enc, ByteReader* reader, size_t count,
-                      std::vector<double>* out) const;
-
   std::string path_;
   std::vector<uint8_t> data_;
-  std::map<std::string, std::pair<uint64_t, DataType>> index_;
+  FooterMap locators_;
 };
+
+/// Tail-only footer read: parses the index block of a sealed TsFile (the
+/// last few KB of the file) into per-sensor chunk locators without
+/// slurping any chunk data. This is the read path's source of pruning and
+/// seek metadata when the footer is not already cached.
+Status ReadTsFileFooter(const std::string& path, FooterMap* out);
+
+/// Reads and decodes exactly one sensor's chunk — a seek + one
+/// `locator.length`-byte read, independent of file size — returning the
+/// full sorted column pair. Pair with ReadTsFileFooter for cache fills:
+/// the decoded chunk is what the ChunkCache stores and every query range
+/// then filters with binary search.
+Status ReadTsFileChunkF64(const std::string& path, const std::string& sensor,
+                          const ChunkLocator& locator,
+                          std::vector<Timestamp>* ts,
+                          std::vector<double>* values);
 
 }  // namespace backsort
 

@@ -7,6 +7,7 @@
 // corrupted points. Run under ThreadSanitizer via
 // `cmake -DBACKSORT_SANITIZE=thread` (see tools/ci.sh).
 
+#include <algorithm>
 #include <atomic>
 #include <filesystem>
 #include <thread>
@@ -179,6 +180,140 @@ TEST_F(EngineConcurrencyTest, SingleShardStillCorrectUnderContention) {
   EXPECT_EQ(engine.shard_count(), 1u);
   RunWritersWithConcurrentReaders(&engine, /*writers=*/4,
                                   /*points_per_writer=*/3'000);
+}
+
+// Readers race writers, flushes AND compactions. Compact retires sealed
+// files while queries hold snapshot refs to them — the refcounted
+// registry must keep those files readable (and their cache entries
+// coherent) until the last reader drops them.
+TEST_F(EngineConcurrencyTest, ReadersRaceCompaction) {
+  EngineOptions opt = Options(/*shards=*/2, /*flush_workers=*/2);
+  opt.memtable_flush_threshold = 2'000;  // many small files to compact
+  StorageEngine engine(opt);
+  ASSERT_TRUE(engine.Open().ok());
+
+  constexpr size_t kWriters = 3;
+  constexpr size_t kPoints = 5'000;
+  std::atomic<bool> done{false};
+  std::atomic<size_t> compactions{0};
+  auto sensor_of = [](size_t w) { return "root.sg.c" + std::to_string(w); };
+  auto value_of = [](size_t w, Timestamp t) {
+    return static_cast<double>(w * 1'000'000 + static_cast<size_t>(t));
+  };
+
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(200 + w);
+      AbsNormalDelay delay(1, 40);
+      const auto ts = GenerateArrivalOrderedTimestamps(kPoints, delay, rng);
+      for (const Timestamp t : ts) {
+        ASSERT_TRUE(engine.Write(sensor_of(w), t, value_of(w, t)).ok());
+      }
+    });
+  }
+  // Reader thread per writer sensor: results always sorted + uncorrupted,
+  // even while the files underneath are being swapped by Compact.
+  for (size_t w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      std::vector<TvPairDouble> out;
+      while (!done.load()) {
+        ASSERT_TRUE(engine.Query(sensor_of(w), 0, 1'000'000'000, &out).ok());
+        for (size_t i = 0; i < out.size(); ++i) {
+          if (i > 0) {
+            ASSERT_LT(out[i - 1].t, out[i].t);
+          }
+          ASSERT_DOUBLE_EQ(out[i].v, value_of(w, out[i].t));
+        }
+      }
+    });
+  }
+  // Compactor: continuously merges sealed files under the readers.
+  threads.emplace_back([&] {
+    while (!done.load()) {
+      ASSERT_TRUE(engine.FlushAll().ok());
+      ASSERT_TRUE(engine.Compact().ok());
+      compactions.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  for (size_t w = 0; w < kWriters; ++w) threads[w].join();
+  done.store(true);
+  for (size_t i = kWriters; i < threads.size(); ++i) threads[i].join();
+  EXPECT_GT(compactions.load(), 0u);
+
+  ASSERT_TRUE(engine.FlushAll().ok());
+  ASSERT_TRUE(engine.Compact().ok());
+  std::vector<TvPairDouble> out;
+  for (size_t w = 0; w < kWriters; ++w) {
+    ASSERT_TRUE(engine.Query(sensor_of(w), 0, 1'000'000'000, &out).ok());
+    ASSERT_EQ(out.size(), kPoints);
+    for (size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i].t, static_cast<Timestamp>(i));
+      ASSERT_DOUBLE_EQ(out[i].v, value_of(w, out[i].t));
+    }
+  }
+}
+
+// Last-write-wins under concurrency: one writer rewrites the same
+// timestamp window in rounds of increasing value while readers observe.
+// Any observed value must be a plausible LWW state: values along one
+// query are from at most two adjacent rounds (the one being written and
+// the previous), never older.
+TEST_F(EngineConcurrencyTest, RewriteRoundsStayLastWriteWins) {
+  EngineOptions opt = Options(/*shards=*/1, /*flush_workers=*/1);
+  opt.memtable_flush_threshold = 500;  // rewrites spill to unsequence files
+  StorageEngine engine(opt);
+  ASSERT_TRUE(engine.Open().ok());
+
+  constexpr Timestamp kWindow = 400;
+  constexpr int kRounds = 30;
+  const std::string sensor = "root.sg.lww";
+  std::atomic<bool> done{false};
+
+  std::thread writer([&] {
+    for (int round = 1; round <= kRounds; ++round) {
+      for (Timestamp t = 0; t < kWindow; ++t) {
+        ASSERT_TRUE(
+            engine.Write(sensor, t, static_cast<double>(round)).ok());
+      }
+      if (round % 7 == 0) {
+        ASSERT_TRUE(engine.FlushAll().ok());
+      }
+    }
+    done.store(true);
+  });
+  std::thread reader([&] {
+    std::vector<TvPairDouble> out;
+    while (!done.load()) {
+      ASSERT_TRUE(engine.Query(sensor, 0, kWindow, &out).ok());
+      if (out.empty()) continue;
+      double lo = out[0].v, hi = out[0].v;
+      for (size_t i = 0; i < out.size(); ++i) {
+        if (i > 0) {
+          ASSERT_LT(out[i - 1].t, out[i].t);
+          // The writer sweeps t ascending, so along one snapshot the
+          // round number never increases with t.
+          ASSERT_GE(out[i - 1].v, out[i].v);
+        }
+        lo = std::min(lo, out[i].v);
+        hi = std::max(hi, out[i].v);
+      }
+      // At most the in-progress round and its predecessor are visible.
+      ASSERT_LE(hi - lo, 1.0);
+    }
+  });
+  writer.join();
+  reader.join();
+
+  ASSERT_TRUE(engine.FlushAll().ok());
+  std::vector<TvPairDouble> out;
+  ASSERT_TRUE(engine.Query(sensor, 0, kWindow, &out).ok());
+  ASSERT_EQ(out.size(), static_cast<size_t>(kWindow));
+  for (const TvPairDouble& p : out) {
+    ASSERT_DOUBLE_EQ(p.v, static_cast<double>(kRounds));
+  }
 }
 
 TEST_F(EngineConcurrencyTest, ShardedStateSurvivesRestart) {

@@ -171,6 +171,20 @@ class MetricsExpositionTest : public ::testing::Test {
       }
     }
     ASSERT_TRUE(engine.FlushAll().ok());
+    // Exercise the read path so the query-stage histograms and cache
+    // counters carry data: the repeated range hits the chunk cache on the
+    // second pass.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const std::string& sensor : sensors) {
+        std::vector<TvPairDouble> points;
+        ASSERT_TRUE(engine.Query(sensor, 100, 500, &points).ok());
+        ASSERT_FALSE(points.empty());
+        TvPairDouble last{};
+        ASSERT_TRUE(engine.GetLatest(sensor, &last).ok());
+        TsFileReader::RangeStats stats;
+        ASSERT_TRUE(engine.AggregateFast(sensor, 100, 500, &stats).ok());
+      }
+    }
     snapshot_ = new EngineMetricsSnapshot(engine.GetMetricsSnapshot());
   }
 
@@ -203,6 +217,18 @@ TEST_F(MetricsExpositionTest, GoldenFamilySet) {
   // metric must update this list AND docs/METRICS.md.
   const std::map<std::string, std::string> expected = {
       {"backsort_stage_duration_seconds", "summary"},
+      {"backsort_query_stage_duration_seconds", "summary"},
+      {"backsort_queries_total", "counter"},
+      {"backsort_query_files_pruned_total", "counter"},
+      {"backsort_query_files_opened_total", "counter"},
+      {"backsort_chunk_cache_hits_total", "counter"},
+      {"backsort_chunk_cache_misses_total", "counter"},
+      {"backsort_chunk_cache_evictions_total", "counter"},
+      {"backsort_chunk_cache_footer_hits_total", "counter"},
+      {"backsort_chunk_cache_footer_misses_total", "counter"},
+      {"backsort_chunk_cache_bytes", "gauge"},
+      {"backsort_chunk_cache_entries", "gauge"},
+      {"backsort_chunk_cache_capacity_bytes", "gauge"},
       {"backsort_shard_count", "gauge"},
       {"backsort_sealed_files", "gauge"},
       {"backsort_working_points", "gauge"},
@@ -252,6 +278,31 @@ TEST_F(MetricsExpositionTest, StageSummariesCarryRequiredQuantiles) {
   EXPECT_EQ(SampleValue(e, "backsort_stage_duration_seconds_count",
                         "stage=\"enqueue\""),
             600.0 * 4);
+}
+
+TEST_F(MetricsExpositionTest, QueryStagesAndCacheCountersCarryData) {
+  Exposition e;
+  ParseExposition(Render(/*include_traces=*/false), &e);
+  for (const char* stage : {"snapshot", "prune", "read", "merge"}) {
+    for (const char* q : {"0.5", "0.99"}) {
+      const std::string labels =
+          std::string("stage=\"") + stage + "\",quantile=\"" + q + "\"";
+      const double v =
+          SampleValue(e, "backsort_query_stage_duration_seconds", labels);
+      EXPECT_FALSE(std::isnan(v)) << stage << " p" << q << " missing/NaN";
+      EXPECT_GE(v, 0.0) << stage;
+    }
+    // Every full query passes through every stage.
+    const double count =
+        SampleValue(e, "backsort_query_stage_duration_seconds_count",
+                    std::string("stage=\"") + stage + "\"");
+    EXPECT_GT(count, 0.0) << stage;
+  }
+  EXPECT_GT(SampleValue(e, "backsort_queries_total", ""), 0.0);
+  // The second query pass over the same range must be served from cache.
+  EXPECT_GT(SampleValue(e, "backsort_chunk_cache_hits_total", ""), 0.0);
+  EXPECT_GT(SampleValue(e, "backsort_chunk_cache_capacity_bytes", ""), 0.0);
+  EXPECT_GT(SampleValue(e, "backsort_chunk_cache_entries", ""), 0.0);
 }
 
 TEST_F(MetricsExpositionTest, TracesAgreeWithStageHistograms) {

@@ -19,18 +19,22 @@
 //   bstool ingest <dir> <points> <dist> [--shards=N] [--flush-workers=N]
 //                 [--threads=N] [--sensors=N] [--batch=N] [--seed=N]
 //                 [--metrics-interval=MS] [--metrics-file=PATH]
+//                 [--chunk-cache-bytes=N]
 //       Drive a multi-threaded write-only workload into a (possibly
 //       sharded) storage engine under <dir> and print aggregate write
 //       throughput, per-shard flush metrics and stage latency percentiles.
+//       --chunk-cache-bytes sizes the shared chunk cache (0 disables it;
+//       unset = $BACKSORT_CHUNK_CACHE_BYTES or the 64 MiB default).
 //       While running (and at exit) the full engine state is exported in
 //       Prometheus text format to <dir>/metrics.prom (see docs/METRICS.md).
 //   bstool metrics <dir-or-file>
 //       One-shot dump of the Prometheus exposition written by `ingest`
-//       (<dir>/metrics.prom, or an explicit file path).
+//       (<dir>/metrics.prom, or an explicit file path); a chunk-cache
+//       hit-rate summary goes to stderr so stdout stays valid exposition.
 //   bstool watch <dir-or-file> [--interval=MS] [--count=N]
 //       Periodically re-read the metrics file and print a compact one-line
-//       summary — run it next to `bstool ingest` on the same <dir> to watch
-//       queue depths and stage percentiles evolve live.
+//       summary (queue depths, stage percentiles, cache hit rate) — run it
+//       next to `bstool ingest` on the same <dir> to watch the engine live.
 //   bstool algos
 //       List registered sorting algorithms.
 
@@ -81,6 +85,7 @@ int Usage() {
                "         [--threads=N] [--sensors=N] [--batch=N]"
                " [--seed=N]\n"
                "         [--metrics-interval=MS] [--metrics-file=PATH]\n"
+               "         [--chunk-cache-bytes=N]\n"
                "  metrics <dir-or-file>\n"
                "  watch <dir-or-file> [--interval=MS] [--count=N]\n");
   return 2;
@@ -297,6 +302,15 @@ int CmdMetrics(int argc, char** argv) {
     std::fwrite(buf, 1, n, stdout);
   }
   std::fclose(f);
+  // Human summary on stderr, so stdout remains a valid exposition.
+  std::map<std::string, double> samples;
+  if (ParseMetricsFile(path, &samples)) {
+    const double hits = Sample(samples, "backsort_chunk_cache_hits_total");
+    const double lookups =
+        hits + Sample(samples, "backsort_chunk_cache_misses_total");
+    std::fprintf(stderr, "chunk cache hit rate: %.1f%% (%.0f/%.0f lookups)\n",
+                 lookups == 0 ? 0.0 : 100.0 * hits / lookups, hits, lookups);
+  }
   return 0;
 }
 
@@ -327,14 +341,19 @@ int CmdWatch(int argc, char** argv) {
       const std::time_t now = std::time(nullptr);
       char clock[16];
       std::strftime(clock, sizeof(clock), "%H:%M:%S", std::localtime(&now));
+      const double cache_hits =
+          Sample(samples, "backsort_chunk_cache_hits_total");
+      const double cache_lookups =
+          cache_hits + Sample(samples, "backsort_chunk_cache_misses_total");
       std::printf(
-          "[%s] flushes=%-6.0f queued=%-4.0f working=%-9.0f files=%-5.0f | "
-          "p99 ms: enqueue=%.3f qwait=%.1f sort=%.1f encode=%.1f seal=%.1f "
-          "flush=%.1f\n",
+          "[%s] flushes=%-6.0f queued=%-4.0f working=%-9.0f files=%-5.0f "
+          "cache=%5.1f%% | p99 ms: enqueue=%.3f qwait=%.1f sort=%.1f "
+          "encode=%.1f seal=%.1f flush=%.1f\n",
           clock, Sample(samples, "backsort_flushes_total"),
           Sample(samples, "backsort_queued_flushes"),
           Sample(samples, "backsort_working_points"),
           Sample(samples, "backsort_sealed_files"),
+          cache_lookups == 0 ? 0.0 : 100.0 * cache_hits / cache_lookups,
           stage_p99_ms(samples, "enqueue"), stage_p99_ms(samples, "queue_wait"),
           stage_p99_ms(samples, "sort"), stage_p99_ms(samples, "encode"),
           stage_p99_ms(samples, "seal"), stage_p99_ms(samples, "flush"));
@@ -360,7 +379,15 @@ int CmdIngest(int argc, char** argv) {
   size_t threads = 4, sensors = 0, batch = 500, seed = 42;
   size_t metrics_interval = 1000;  // ms between exports; 0 = final only
   std::string metrics_file;        // default <dir>/metrics.prom
+  // Separate found-flag: an explicit --chunk-cache-bytes=0 (cache off) must
+  // be distinguishable from "flag absent" (engine auto/env resolution).
+  size_t chunk_cache_bytes = 0;
+  bool chunk_cache_set = false;
   for (int i = 3; i < argc; ++i) {
+    if (FlagValue(argv[i], "--chunk-cache-bytes", &chunk_cache_bytes)) {
+      chunk_cache_set = true;
+      continue;
+    }
     if (FlagValue(argv[i], "--shards", &shards) ||
         FlagValue(argv[i], "--flush-workers", &flush_workers) ||
         FlagValue(argv[i], "--threads", &threads) ||
@@ -381,6 +408,7 @@ int CmdIngest(int argc, char** argv) {
   opt.data_dir = dir;
   opt.shard_count = shards;
   opt.flush_workers = flush_workers;
+  if (chunk_cache_set) opt.chunk_cache_bytes = chunk_cache_bytes;
   StorageEngine engine(opt);
   if (Status st = engine.Open(); !st.ok()) return Fail(st);
 
@@ -432,6 +460,16 @@ int CmdIngest(int argc, char** argv) {
   }
   std::printf("total: %zu flushes, %zu sealed files\n",
               snap.total_completed_flushes(), snap.sealed_files);
+  const ChunkCacheStats& cache = snap.cache;
+  const uint64_t lookups = cache.hits + cache.misses;
+  std::printf("chunk cache: %zu bytes capacity, %llu entries (%llu bytes), "
+              "hit rate %.1f%% (%llu/%llu lookups)\n",
+              engine.chunk_cache_capacity(),
+              static_cast<unsigned long long>(cache.entries),
+              static_cast<unsigned long long>(cache.bytes),
+              lookups == 0 ? 0.0 : 100.0 * double(cache.hits) / double(lookups),
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(lookups));
 
   // Stage latency percentiles from the engine-wide histograms (ns -> ms).
   const struct {

@@ -4,32 +4,70 @@
 #   2. re-run the engine-facing suites against a sharded engine
 #      (BACKSORT_SHARDS=4 BACKSORT_FLUSH_WORKERS=2) to catch facade
 #      regressions the default single-shard config would hide
-#   3. build the concurrency + histogram tests under ThreadSanitizer and
-#      run them (the histogram's relaxed-atomic recording is TSan-clean by
-#      design; keep it that way)
-#   4. docs link check: every relative markdown link in README.md and
+#   3. build the concurrency, histogram, chunk-cache and read-path tests
+#      under ThreadSanitizer and run them (the histogram's relaxed-atomic
+#      recording is TSan-clean by design; keep it that way). The read-path
+#      tests pin the lock-free query snapshot contract under TSan.
+#   4. chunk-cache effectiveness smoke: a small ingest + repeated queries
+#      must show a non-zero cache hit rate in the exported metrics, and a
+#      run with --chunk-cache-bytes=0 must export a zero capacity
+#   5. docs link check: every relative markdown link in README.md and
 #      docs/*.md must resolve
 #
 # Usage: tools/ci.sh   (from the repo root; build dirs: build/, build-tsan/)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "=== [1/4] tier-1: configure + build + full test suite ==="
+echo "=== [1/5] tier-1: configure + build + full test suite ==="
 cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
-echo "=== [2/4] engine suites at 4 shards / 2 flush workers ==="
+echo "=== [2/5] engine suites at 4 shards / 2 flush workers ==="
 (cd build && BACKSORT_SHARDS=4 BACKSORT_FLUSH_WORKERS=2 \
-  ctest --output-on-failure -R 'Engine|Wal|Workload|Aggregate' -j)
+  ctest --output-on-failure -R 'Engine|Wal|Workload|Aggregate|ReadPath' -j)
 
-echo "=== [3/4] concurrency + histogram tests under ThreadSanitizer ==="
+echo "=== [3/5] concurrency + read-path tests under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DBACKSORT_SANITIZE=thread
-cmake --build build-tsan -j --target engine_concurrency_test histogram_test
+cmake --build build-tsan -j --target engine_concurrency_test histogram_test \
+  chunk_cache_test read_path_test
 ./build-tsan/tests/engine_concurrency_test
 ./build-tsan/tests/histogram_test
+./build-tsan/tests/chunk_cache_test
+./build-tsan/tests/read_path_test
 
-echo "=== [4/4] docs link check ==="
+echo "=== [4/5] chunk-cache effectiveness smoke ==="
+# The read_path suite covers cache correctness; this step checks the
+# operator-visible surface end to end: bstool flag -> engine -> exporter.
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+./build/tools/bstool ingest "$smoke_dir/on" 20000 absnormal:1,5 \
+  --shards=2 --metrics-interval=0 > /dev/null
+grep -q '^backsort_chunk_cache_capacity_bytes [1-9]' \
+  "$smoke_dir/on/metrics.prom" || {
+  echo "cache smoke FAILED: default run exported zero cache capacity"
+  exit 1
+}
+./build/tools/bstool ingest "$smoke_dir/off" 20000 absnormal:1,5 \
+  --shards=2 --chunk-cache-bytes=0 --metrics-interval=0 > /dev/null
+grep -q '^backsort_chunk_cache_capacity_bytes 0' \
+  "$smoke_dir/off/metrics.prom" || {
+  echo "cache smoke FAILED: --chunk-cache-bytes=0 did not disable the cache"
+  exit 1
+}
+# Repeated fixed-range queries against sealed files must hit the cache:
+# the query-mix bench exercises exactly that and exports the counters.
+BACKSORT_SYSTEM_POINTS=20000 BACKSORT_METRICS_DIR="$smoke_dir" \
+  ./build/bench/system_query_mix > /dev/null
+hits=$(grep -E '^backsort_chunk_cache_hits_total\{[^}]*config="cache\+pruning"' \
+  "$smoke_dir/system_query_mix.metrics.prom" | head -1 | awk '{print $2}')
+if [ -z "$hits" ] || [ "${hits%%.*}" -le 0 ]; then
+  echo "cache smoke FAILED: no cache hits in query-mix run (hits=${hits:-none})"
+  exit 1
+fi
+echo "cache smoke passed (query-mix cache hits: $hits)"
+
+echo "=== [5/5] docs link check ==="
 # Extract the target of every inline markdown link and verify that
 # non-URL, non-anchor targets exist relative to the linking file.
 docs_fail=0
