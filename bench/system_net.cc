@@ -1,0 +1,247 @@
+// Loopback benchmark of the network service layer: a BacksortServer on
+// 127.0.0.1 driven by concurrent BacksortClients, against the same
+// workload run directly on an in-process StorageEngine. Reports per-RPC
+// round-trip p50/p99 and write/query throughput for both, so the wire
+// protocol + socket + dispatch overhead is a single visible delta
+// (EXPERIMENTS.md "system_net" row). Scale knobs:
+//   BACKSORT_SYSTEM_POINTS   total points written      (default 50'000)
+//   BACKSORT_NET_CLIENTS     concurrent client threads (default 4)
+//   BACKSORT_NET_QUERIES     queries per client        (default 50)
+// The server's merged engine+net exposition is written via
+// WriteBenchMetrics to $BACKSORT_METRICS_DIR/system_net.metrics.prom.
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/system_bench.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace backsort::bench {
+namespace {
+
+double PercentileMs(std::vector<double>& ms, double pct) {
+  if (ms.empty()) return 0.0;
+  std::sort(ms.begin(), ms.end());
+  const size_t idx = static_cast<size_t>(pct / 100.0 *
+                                         static_cast<double>(ms.size() - 1));
+  return ms[idx];
+}
+
+/// Per-sensor synthetic ascending-time batch (identical for loopback and
+/// in-process runs, so the two sides ingest the same bytes).
+std::vector<TvPairDouble> MakeBatch(size_t start, size_t count) {
+  std::vector<TvPairDouble> points;
+  points.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const auto t = static_cast<Timestamp>(start + i);
+    points.push_back({t, static_cast<double>(t) * 0.5});
+  }
+  return points;
+}
+
+struct SideResult {
+  double write_points_per_sec = 0;
+  double write_p50_ms = 0, write_p99_ms = 0;
+  double query_per_sec = 0;
+  double query_p50_ms = 0, query_p99_ms = 0;
+  double ping_p50_ms = 0, ping_p99_ms = 0;  // loopback only
+};
+
+int Run() {
+  const size_t total_points = EnvSize("BACKSORT_SYSTEM_POINTS", 50'000);
+  const size_t clients = std::max<size_t>(EnvSize("BACKSORT_NET_CLIENTS", 4),
+                                          1);
+  const size_t queries_per_client = EnvSize("BACKSORT_NET_QUERIES", 50);
+  const size_t batch = 500;
+  const size_t points_per_client = total_points / clients;
+
+  const std::filesystem::path base =
+      std::filesystem::temp_directory_path() /
+      ("backsort_system_net_" + std::to_string(::getpid()));
+  std::error_code ec;
+  std::filesystem::remove_all(base, ec);
+
+  std::printf("system_net: %zu points, %zu clients, %zu queries/client\n",
+              total_points, clients, queries_per_client);
+
+  // --- loopback side --------------------------------------------------------
+  SideResult net;
+  MetricsRegistry metrics;
+  {
+    EngineOptions engine_opt;
+    engine_opt.data_dir = (base / "net").string();
+    ServerOptions server_opt;
+    server_opt.workers = clients;
+    BacksortServer server(engine_opt, server_opt);
+    if (Status st = server.Start(); !st.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+
+    std::vector<std::vector<double>> write_ms(clients), query_ms(clients),
+        ping_ms(clients);
+    std::vector<std::thread> threads;
+    WallTimer write_timer;
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        BacksortClient client;
+        if (!client.Connect("127.0.0.1", server.port()).ok()) return;
+        const std::string sensor = "net.sensor." + std::to_string(c);
+        for (size_t i = 0; i < points_per_client; i += batch) {
+          const size_t n = std::min(batch, points_per_client - i);
+          const auto points = MakeBatch(i, n);
+          WallTimer t;
+          if (!client.WriteBatch(sensor, points).ok()) return;
+          write_ms[c].push_back(t.ElapsedMillis());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double write_sec = write_timer.ElapsedSeconds();
+    threads.clear();
+
+    WallTimer query_timer;
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        BacksortClient client;
+        if (!client.Connect("127.0.0.1", server.port()).ok()) return;
+        const std::string sensor = "net.sensor." + std::to_string(c);
+        const auto span = static_cast<Timestamp>(points_per_client);
+        for (size_t q = 0; q < queries_per_client; ++q) {
+          const Timestamp lo = (static_cast<Timestamp>(q) * 37) % span;
+          std::vector<TvPairDouble> out;
+          WallTimer t;
+          if (!client.Query(sensor, lo, lo + span / 10, &out).ok()) return;
+          query_ms[c].push_back(t.ElapsedMillis());
+        }
+        for (size_t p = 0; p < 100; ++p) {
+          WallTimer t;
+          if (!client.Ping().ok()) return;
+          ping_ms[c].push_back(t.ElapsedMillis());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double query_sec = query_timer.ElapsedSeconds();
+
+    std::vector<double> all_write, all_query, all_ping;
+    for (size_t c = 0; c < clients; ++c) {
+      all_write.insert(all_write.end(), write_ms[c].begin(), write_ms[c].end());
+      all_query.insert(all_query.end(), query_ms[c].begin(), query_ms[c].end());
+      all_ping.insert(all_ping.end(), ping_ms[c].begin(), ping_ms[c].end());
+    }
+    net.write_points_per_sec =
+        write_sec > 0 ? static_cast<double>(points_per_client * clients) /
+                            write_sec
+                      : 0;
+    net.write_p50_ms = PercentileMs(all_write, 50);
+    net.write_p99_ms = PercentileMs(all_write, 99);
+    net.query_per_sec =
+        query_sec > 0
+            ? static_cast<double>(queries_per_client * clients) / query_sec
+            : 0;
+    net.query_p50_ms = PercentileMs(all_query, 50);
+    net.query_p99_ms = PercentileMs(all_query, 99);
+    net.ping_p50_ms = PercentileMs(all_ping, 50);
+    net.ping_p99_ms = PercentileMs(all_ping, 99);
+
+    ExportEngineMetrics(server.engine()->GetMetricsSnapshot(),
+                        {{"side", "loopback"}}, /*include_traces=*/false,
+                        &metrics);
+    ExportNetMetrics(server.GetNetMetrics(), {{"side", "loopback"}},
+                     &metrics);
+    server.Stop();
+  }
+
+  // --- in-process baseline --------------------------------------------------
+  SideResult local;
+  {
+    EngineOptions engine_opt;
+    engine_opt.data_dir = (base / "local").string();
+    StorageEngine engine(engine_opt);
+    if (Status st = engine.Open(); !st.ok()) {
+      std::fprintf(stderr, "engine open failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+
+    std::vector<std::vector<double>> write_ms(clients), query_ms(clients);
+    std::vector<std::thread> threads;
+    WallTimer write_timer;
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        const std::string sensor = "net.sensor." + std::to_string(c);
+        for (size_t i = 0; i < points_per_client; i += batch) {
+          const size_t n = std::min(batch, points_per_client - i);
+          const auto points = MakeBatch(i, n);
+          WallTimer t;
+          if (!engine.WriteBatch(sensor, points).ok()) return;
+          write_ms[c].push_back(t.ElapsedMillis());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double write_sec = write_timer.ElapsedSeconds();
+    threads.clear();
+
+    WallTimer query_timer;
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        const std::string sensor = "net.sensor." + std::to_string(c);
+        const auto span = static_cast<Timestamp>(points_per_client);
+        for (size_t q = 0; q < queries_per_client; ++q) {
+          const Timestamp lo = (static_cast<Timestamp>(q) * 37) % span;
+          std::vector<TvPairDouble> out;
+          WallTimer t;
+          if (!engine.Query(sensor, lo, lo + span / 10, &out).ok()) return;
+          query_ms[c].push_back(t.ElapsedMillis());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double query_sec = query_timer.ElapsedSeconds();
+
+    std::vector<double> all_write, all_query;
+    for (size_t c = 0; c < clients; ++c) {
+      all_write.insert(all_write.end(), write_ms[c].begin(), write_ms[c].end());
+      all_query.insert(all_query.end(), query_ms[c].begin(), query_ms[c].end());
+    }
+    local.write_points_per_sec =
+        write_sec > 0 ? static_cast<double>(points_per_client * clients) /
+                            write_sec
+                      : 0;
+    local.write_p50_ms = PercentileMs(all_write, 50);
+    local.write_p99_ms = PercentileMs(all_write, 99);
+    local.query_per_sec =
+        query_sec > 0
+            ? static_cast<double>(queries_per_client * clients) / query_sec
+            : 0;
+    local.query_p50_ms = PercentileMs(all_query, 50);
+    local.query_p99_ms = PercentileMs(all_query, 99);
+  }
+
+  PrintTitle("network round-trip vs in-process (batch=500)");
+  PrintHeader("metric", {"loopback", "in-process"});
+  PrintRow("write kpts/s",
+           {net.write_points_per_sec / 1e3, local.write_points_per_sec / 1e3});
+  PrintRow("write p50 ms", {net.write_p50_ms, local.write_p50_ms});
+  PrintRow("write p99 ms", {net.write_p99_ms, local.write_p99_ms});
+  PrintRow("query/s", {net.query_per_sec, local.query_per_sec});
+  PrintRow("query p50 ms", {net.query_p50_ms, local.query_p50_ms});
+  PrintRow("query p99 ms", {net.query_p99_ms, local.query_p99_ms});
+  PrintRow("ping p50 ms", {net.ping_p50_ms, 0.0});
+  PrintRow("ping p99 ms", {net.ping_p99_ms, 0.0});
+
+  WriteBenchMetrics(metrics, "system_net");
+  std::filesystem::remove_all(base, ec);
+  return 0;
+}
+
+}  // namespace
+}  // namespace backsort::bench
+
+int main() { return backsort::bench::Run(); }

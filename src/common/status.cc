@@ -20,6 +20,8 @@ const char* CodeName(Status::Code code) {
       return "NotSupported";
     case Status::Code::kOutOfRange:
       return "OutOfRange";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

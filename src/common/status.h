@@ -21,6 +21,7 @@ class Status {
     kIOError,
     kNotSupported,
     kOutOfRange,
+    kUnavailable,
   };
 
   Status() = default;
@@ -44,6 +45,11 @@ class Status {
   static Status OutOfRange(std::string msg) {
     return Status(Code::kOutOfRange, std::move(msg));
   }
+  /// The peer is alive but refusing work right now (admission control shed
+  /// the request, or every retry drew an Overloaded response). Retryable.
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
@@ -52,6 +58,7 @@ class Status {
   bool IsIOError() const { return code_ == Code::kIOError; }
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

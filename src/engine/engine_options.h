@@ -63,6 +63,13 @@ struct EngineOptions {
   /// benches leave it off (IoTDB likewise groups WAL syncs).
   bool sync_wal_every_write = false;
 
+  /// Make every WAL Sync() also ::fsync the segment to the storage device,
+  /// not just into the OS page cache. Off, a Sync survives a process crash
+  /// but not a power cut; on, it survives both at a large latency cost
+  /// (combine with sync_wal_every_write for per-point durability). Default
+  /// off to keep benches honest; tradeoff in DESIGN.md's WAL section.
+  bool wal_fsync = false;
+
   /// Sentinel for `chunk_cache_bytes`: resolve from the environment / the
   /// built-in default at engine construction.
   static constexpr size_t kChunkCacheAuto = static_cast<size_t>(-1);

@@ -35,7 +35,8 @@ Status EngineShard::RotateWalLocked(bool sequence) {
   char name[48];
   std::snprintf(name, sizeof(name), "wal-%08zu-s%02zu.log",
                 shared_->next_wal_id.fetch_add(1), shard_id_);
-  wal = std::make_unique<WalWriter>(shared_->options.data_dir + "/" + name);
+  wal = std::make_unique<WalWriter>(shared_->options.data_dir + "/" + name,
+                                    shared_->options.wal_fsync);
   return wal->Open();
 }
 

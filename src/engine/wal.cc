@@ -1,6 +1,9 @@
 #include "engine/wal.h"
 
+#include <unistd.h>
+
 #include <cstring>
+#include <fstream>
 
 #include "common/crc32.h"
 #include "encoding/bytes.h"
@@ -8,13 +11,14 @@
 namespace backsort {
 
 Status WalWriter::Open() {
-  out_.open(path_, std::ios::binary | std::ios::app);
-  if (!out_) return Status::IOError("cannot open WAL: " + path_);
+  if (out_ != nullptr) return Status::InvalidArgument("WAL already open");
+  out_ = std::fopen(path_.c_str(), "ab");
+  if (out_ == nullptr) return Status::IOError("cannot open WAL: " + path_);
   return Status::OK();
 }
 
 Status WalWriter::Append(const std::string& sensor, Timestamp t, double v) {
-  if (!out_.is_open()) return Status::InvalidArgument("WAL not open");
+  if (out_ == nullptr) return Status::InvalidArgument("WAL not open");
   ByteBuffer payload;
   payload.PutLengthPrefixedString(sensor);
   payload.PutFixed64(static_cast<uint64_t>(t));
@@ -26,24 +30,32 @@ Status WalWriter::Append(const std::string& sensor, Timestamp t, double v) {
   frame.PutFixed32(static_cast<uint32_t>(payload.size()));
   frame.PutFixed32(Crc32(payload.data().data(), payload.size()));
   frame.Append(payload);
-  out_.write(reinterpret_cast<const char*>(frame.data().data()),
-             static_cast<std::streamsize>(frame.size()));
-  if (!out_) return Status::IOError("WAL append failed: " + path_);
+  if (std::fwrite(frame.data().data(), 1, frame.size(), out_) !=
+      frame.size()) {
+    return Status::IOError("WAL append failed: " + path_);
+  }
   return Status::OK();
 }
 
 Status WalWriter::Sync() {
-  if (!out_.is_open()) return Status::InvalidArgument("WAL not open");
-  out_.flush();
-  if (!out_) return Status::IOError("WAL sync failed: " + path_);
+  if (out_ == nullptr) return Status::InvalidArgument("WAL not open");
+  if (std::fflush(out_) != 0) {
+    return Status::IOError("WAL sync failed: " + path_);
+  }
+  if (fsync_on_sync_ && ::fsync(::fileno(out_)) != 0) {
+    return Status::IOError("WAL fsync failed: " + path_);
+  }
   return Status::OK();
 }
 
 Status WalWriter::Close() {
-  if (out_.is_open()) {
-    out_.flush();
-    out_.close();
-    if (out_.fail()) return Status::IOError("WAL close failed: " + path_);
+  if (out_ == nullptr) return Status::OK();
+  const bool flushed = std::fflush(out_) == 0;
+  const bool synced = !fsync_on_sync_ || ::fsync(::fileno(out_)) == 0;
+  const bool closed = std::fclose(out_) == 0;
+  out_ = nullptr;
+  if (!flushed || !synced || !closed) {
+    return Status::IOError("WAL close failed: " + path_);
   }
   return Status::OK();
 }

@@ -2,7 +2,7 @@
 #define BACKSORT_ENGINE_WAL_H_
 
 #include <cstdint>
-#include <fstream>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -24,13 +24,26 @@ struct WalRecord {
 /// bits. Recovery replays records until the first frame whose size or CRC
 /// does not check out — a torn tail from a crash loses at most the last
 /// record, never poisons earlier ones.
+///
+/// The segment is an fd-backed stdio stream, so Sync() has two strengths:
+/// by default it flushes the user-space buffer into the OS page cache
+/// (survives a process crash, not a power cut); with `fsync_on_sync` it
+/// additionally issues ::fsync, pushing the segment to the device
+/// (EngineOptions::wal_fsync — durable but an order of magnitude slower;
+/// tradeoff in DESIGN.md's WAL section).
 class WalWriter {
  public:
-  explicit WalWriter(std::string path) : path_(std::move(path)) {}
+  explicit WalWriter(std::string path, bool fsync_on_sync = false)
+      : path_(std::move(path)), fsync_on_sync_(fsync_on_sync) {}
+  ~WalWriter() { (void)Close(); }
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
 
   Status Open();
 
-  /// Appends one point. Buffered; call Sync() to force it to the OS.
+  /// Appends one point. Buffered; call Sync() to force it to the OS (and,
+  /// in fsync mode, to the device).
   Status Append(const std::string& sensor, Timestamp t, double v);
 
   Status Sync();
@@ -40,7 +53,8 @@ class WalWriter {
 
  private:
   std::string path_;
-  std::ofstream out_;
+  bool fsync_on_sync_;
+  std::FILE* out_ = nullptr;
 };
 
 /// Replays a WAL segment. `tail_truncated` reports whether replay stopped

@@ -1,0 +1,69 @@
+#ifndef BACKSORT_NET_ADMISSION_H_
+#define BACKSORT_NET_ADMISSION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace backsort {
+
+/// Bounded in-flight budget — the server's load-shedding valve. Each
+/// request tries to reserve one request slot and its payload bytes before
+/// dispatching to the engine; when either bound would be exceeded the
+/// request is shed with an Overloaded response instead of queueing
+/// unboundedly behind a saturated engine. A payload larger than the whole
+/// byte budget can never be admitted (the caller reports that
+/// deterministically, which the overload tests rely on).
+///
+/// Lock-free: a single CAS loop packs nothing — requests and bytes are
+/// tracked in separate atomics with optimistic acquire + rollback, which
+/// can transiently over-count by one in-flight request during a race but
+/// never exceeds either bound after rollback. That conservative bias is
+/// the right direction for a shedding valve.
+class AdmissionController {
+ public:
+  AdmissionController(size_t max_requests, size_t max_bytes)
+      : max_requests_(max_requests), max_bytes_(max_bytes) {}
+
+  /// Reserves one request + `bytes`; false = shed (nothing reserved).
+  bool TryAdmit(size_t bytes) {
+    const uint64_t r = requests_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (r > max_requests_) {
+      requests_.fetch_sub(1, std::memory_order_relaxed);
+      return false;
+    }
+    const uint64_t b =
+        bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (b > max_bytes_) {
+      bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+      requests_.fetch_sub(1, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  /// Returns a TryAdmit reservation.
+  void Release(size_t bytes) {
+    bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+    requests_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  uint64_t inflight_requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  uint64_t inflight_bytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  size_t max_requests() const { return max_requests_; }
+  size_t max_bytes() const { return max_bytes_; }
+
+ private:
+  const uint64_t max_requests_;
+  const uint64_t max_bytes_;
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> bytes_{0};
+};
+
+}  // namespace backsort
+
+#endif  // BACKSORT_NET_ADMISSION_H_

@@ -1,0 +1,162 @@
+#include "net/client.h"
+
+#include <chrono>
+#include <thread>
+
+namespace backsort {
+
+namespace {
+
+/// The client caps a response payload well above anything the server
+/// sends (a full metrics exposition or a large query result), but low
+/// enough that a corrupt length field cannot trigger a huge allocation.
+constexpr size_t kMaxResponseBytes = 64u << 20;
+
+}  // namespace
+
+Status BacksortClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  ScopedFd fd;
+  RETURN_NOT_OK(TcpConnect(host, port, options_.connect_timeout_ms, &fd));
+  RETURN_NOT_OK(SetSocketTimeouts(fd.get(), options_.request_timeout_ms,
+                                  options_.request_timeout_ms));
+  fd_ = std::move(fd);
+  return Status::OK();
+}
+
+Status BacksortClient::Ping() {
+  std::vector<uint8_t> response;
+  return Call(MsgType::kPing, ByteBuffer(), &response);
+}
+
+Status BacksortClient::WriteBatch(const std::string& sensor,
+                                  const std::vector<TvPairDouble>& points) {
+  WriteBatchRequest req;
+  req.sensor = sensor;
+  req.points = points;
+  ByteBuffer payload;
+  EncodeWriteBatchRequest(req, &payload);
+  std::vector<uint8_t> response;
+  return Call(MsgType::kWriteBatch, payload, &response);
+}
+
+Status BacksortClient::Query(const std::string& sensor, Timestamp t_min,
+                             Timestamp t_max,
+                             std::vector<TvPairDouble>* out) {
+  RangeRequest req{sensor, t_min, t_max};
+  ByteBuffer payload;
+  EncodeRangeRequest(req, &payload);
+  std::vector<uint8_t> response;
+  RETURN_NOT_OK(Call(MsgType::kQuery, payload, &response));
+  ByteReader reader(response);
+  RETURN_NOT_OK(DecodePointList(&reader, out));
+  return Status::OK();
+}
+
+Status BacksortClient::GetLatest(const std::string& sensor,
+                                 TvPairDouble* out) {
+  SensorRequest req{sensor};
+  ByteBuffer payload;
+  EncodeSensorRequest(req, &payload);
+  std::vector<uint8_t> response;
+  RETURN_NOT_OK(Call(MsgType::kGetLatest, payload, &response));
+  ByteReader reader(response);
+  RETURN_NOT_OK(DecodePoint(&reader, out));
+  return Status::OK();
+}
+
+Status BacksortClient::AggregateFast(const std::string& sensor,
+                                     Timestamp t_min, Timestamp t_max,
+                                     TsFileReader::RangeStats* stats,
+                                     bool* used_fast_path) {
+  RangeRequest req{sensor, t_min, t_max};
+  ByteBuffer payload;
+  EncodeRangeRequest(req, &payload);
+  std::vector<uint8_t> response;
+  RETURN_NOT_OK(Call(MsgType::kAggregateFast, payload, &response));
+  ByteReader reader(response);
+  AggregateResult result;
+  RETURN_NOT_OK(DecodeAggregateResult(&reader, &result));
+  *stats = result.stats;
+  if (used_fast_path != nullptr) *used_fast_path = result.used_fast_path;
+  return Status::OK();
+}
+
+Status BacksortClient::MetricsSnapshot(std::string* exposition) {
+  std::vector<uint8_t> response;
+  RETURN_NOT_OK(Call(MsgType::kMetricsSnapshot, ByteBuffer(), &response));
+  ByteReader reader(response);
+  RETURN_NOT_OK(reader.GetLengthPrefixedString(exposition));
+  return Status::OK();
+}
+
+Status BacksortClient::Call(MsgType type, const ByteBuffer& request_payload,
+                            std::vector<uint8_t>* response) {
+  int backoff_ms = options_.backoff_initial_ms;
+  for (int attempt = 0;; ++attempt) {
+    Status st = CallOnce(type, request_payload, response);
+    if (!st.IsUnavailable()) return st;
+    ++overload_retries_;
+    if (attempt >= options_.max_retries) return st;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms *= 2;
+  }
+}
+
+Status BacksortClient::CallOnce(MsgType type,
+                                const ByteBuffer& request_payload,
+                                std::vector<uint8_t>* response) {
+  if (!fd_.valid()) return Status::InvalidArgument("client not connected");
+
+  ByteBuffer frame;
+  EncodeFrame(type, /*is_response=*/false, request_payload, &frame);
+  Status st = SendAll(fd_.get(), frame.data().data(), frame.size());
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+
+  uint8_t header_bytes[kFrameHeaderSize];
+  st = RecvAll(fd_.get(), header_bytes, kFrameHeaderSize, nullptr);
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+  FrameHeader header;
+  st = ParseFrameHeader(header_bytes, &header);
+  if (st.ok() && (!header.is_response || header.type != type)) {
+    st = Status::Corruption("response frame does not match request");
+  }
+  if (st.ok() && header.payload_size > kMaxResponseBytes) {
+    st = Status::Corruption("response payload exceeds sanity cap");
+  }
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+  response->resize(header.payload_size);
+  st = RecvAll(fd_.get(), response->data(), response->size(), nullptr);
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+  st = CheckPayloadCrc(header, response->data(), response->size());
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+
+  // Peel the leading wire status; the caller sees only the body bytes.
+  ByteReader reader(*response);
+  Status rpc_status;
+  st = DecodeResponseStatus(&reader, &rpc_status);
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+  response->erase(response->begin(),
+                  response->begin() + static_cast<long>(reader.position()));
+  return rpc_status;
+}
+
+}  // namespace backsort

@@ -1,0 +1,92 @@
+#ifndef BACKSORT_NET_CLIENT_H_
+#define BACKSORT_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "tsfile/tsfile.h"
+
+namespace backsort {
+
+struct ClientOptions {
+  /// Deadline for establishing the TCP connection.
+  int connect_timeout_ms = 5'000;
+
+  /// Per-request socket deadline (applies to both halves of the round
+  /// trip); an expired deadline surfaces as IOError and closes the
+  /// connection, since a late response would desynchronize the stream.
+  int request_timeout_ms = 10'000;
+
+  /// Bounded retry of Overloaded responses: up to `max_retries` re-sends
+  /// with doubling backoff starting at `backoff_initial_ms`. Retrying is
+  /// safe — a shed request was never applied. Set max_retries = 0 to
+  /// surface Overloaded to the caller immediately.
+  int max_retries = 3;
+  int backoff_initial_ms = 10;
+};
+
+/// Blocking client for the backsort wire protocol: one TCP connection, one
+/// request in flight at a time (the server responds in order, so a
+/// connection is a simple request/response pipe). Methods mirror the
+/// StorageEngine API and return the server's status verbatim; Overloaded
+/// sheds come back as Status::Unavailable after retries are exhausted.
+/// Not thread-safe — use one client per thread (bench/system_net does).
+class BacksortClient {
+ public:
+  explicit BacksortClient(ClientOptions options = {}) : options_(options) {}
+
+  /// Connects (with the configured deadline) and applies the request
+  /// timeout to the socket. Reconnecting an open client closes the old
+  /// connection first.
+  Status Connect(const std::string& host, uint16_t port);
+
+  void Close() { fd_.Reset(); }
+  bool connected() const { return fd_.valid(); }
+
+  /// Round-trip liveness probe (empty payload both ways).
+  Status Ping();
+
+  Status WriteBatch(const std::string& sensor,
+                    const std::vector<TvPairDouble>& points);
+
+  Status Query(const std::string& sensor, Timestamp t_min, Timestamp t_max,
+               std::vector<TvPairDouble>* out);
+
+  Status GetLatest(const std::string& sensor, TvPairDouble* out);
+
+  Status AggregateFast(const std::string& sensor, Timestamp t_min,
+                       Timestamp t_max, TsFileReader::RangeStats* stats,
+                       bool* used_fast_path = nullptr);
+
+  /// Fetches the server's merged engine + net Prometheus exposition.
+  Status MetricsSnapshot(std::string* exposition);
+
+  /// Overloaded responses absorbed by retry (plus the final one when
+  /// retries ran out) since construction — the bench reports this.
+  uint64_t overload_retries() const { return overload_retries_; }
+
+ private:
+  /// One request/response exchange with bounded Overloaded retry. On OK,
+  /// `response` holds the response body bytes after the wire status.
+  Status Call(MsgType type, const ByteBuffer& request_payload,
+              std::vector<uint8_t>* response);
+
+  /// Sends one frame and reads the matching response; no retry. Transport
+  /// and framing failures close the connection (the stream can no longer
+  /// be trusted); server-reported errors keep it open.
+  Status CallOnce(MsgType type, const ByteBuffer& request_payload,
+                  std::vector<uint8_t>* response);
+
+  ClientOptions options_;
+  ScopedFd fd_;
+  uint64_t overload_retries_ = 0;
+};
+
+}  // namespace backsort
+
+#endif  // BACKSORT_NET_CLIENT_H_

@@ -1,0 +1,74 @@
+#ifndef BACKSORT_NET_NET_METRICS_H_
+#define BACKSORT_NET_NET_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "common/latency_histogram.h"
+#include "common/metrics_registry.h"
+#include "net/protocol.h"
+
+namespace backsort {
+
+/// Point-in-time view of the server's network counters, shipped to tests
+/// and rendered by ExportNetMetrics (metric reference in docs/METRICS.md).
+struct NetMetricsSnapshot {
+  uint64_t connections_total = 0;   ///< accepted since Start
+  uint64_t active_connections = 0;  ///< currently open
+  uint64_t bytes_in = 0;            ///< request frame bytes received
+  uint64_t bytes_out = 0;           ///< response frame bytes sent
+  uint64_t overload_rejections = 0; ///< requests shed with Overloaded
+  uint64_t protocol_errors = 0;     ///< malformed frames (connection closed)
+  uint64_t inflight_requests = 0;   ///< admission slots held right now
+  uint64_t inflight_bytes = 0;      ///< admission bytes held right now
+  /// Served requests and their round-trip (decode -> response written)
+  /// latency, indexed by MsgTypeIndex. Shed requests count in
+  /// overload_rejections, not here.
+  std::array<uint64_t, kNumMsgTypes> requests_total{};
+  std::array<HistogramSnapshot, kNumMsgTypes> request_duration;
+};
+
+/// Lock-free network counters shared by the accept loop and every worker
+/// (relaxed atomics — same contract as the engine histograms).
+struct NetMetrics {
+  std::atomic<uint64_t> connections_total{0};
+  std::atomic<uint64_t> active_connections{0};
+  std::atomic<uint64_t> bytes_in{0};
+  std::atomic<uint64_t> bytes_out{0};
+  std::atomic<uint64_t> overload_rejections{0};
+  std::atomic<uint64_t> protocol_errors{0};
+  std::array<std::atomic<uint64_t>, kNumMsgTypes> requests_total{};
+  std::array<LatencyHistogram, kNumMsgTypes> request_ns;
+
+  /// Snapshot without the admission gauges (the server layers those in).
+  NetMetricsSnapshot Snapshot() const {
+    NetMetricsSnapshot snap;
+    snap.connections_total = connections_total.load(std::memory_order_relaxed);
+    snap.active_connections =
+        active_connections.load(std::memory_order_relaxed);
+    snap.bytes_in = bytes_in.load(std::memory_order_relaxed);
+    snap.bytes_out = bytes_out.load(std::memory_order_relaxed);
+    snap.overload_rejections =
+        overload_rejections.load(std::memory_order_relaxed);
+    snap.protocol_errors = protocol_errors.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < kNumMsgTypes; ++i) {
+      snap.requests_total[i] =
+          requests_total[i].load(std::memory_order_relaxed);
+      snap.request_duration[i] = request_ns[i].Snapshot();
+    }
+    return snap;
+  }
+};
+
+/// Renders one network snapshot as `backsort_net_*` registry samples with
+/// `base_labels` attached — merged into the same exposition as
+/// ExportEngineMetrics (the server's MetricsSnapshot RPC and `bstool
+/// serve` both emit engine + net families in one document).
+void ExportNetMetrics(const NetMetricsSnapshot& snapshot,
+                      const MetricsRegistry::Labels& base_labels,
+                      MetricsRegistry* registry);
+
+}  // namespace backsort
+
+#endif  // BACKSORT_NET_NET_METRICS_H_

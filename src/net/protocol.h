@@ -1,0 +1,162 @@
+#ifndef BACKSORT_NET_PROTOCOL_H_
+#define BACKSORT_NET_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "encoding/bytes.h"
+#include "tsfile/tsfile.h"
+
+namespace backsort {
+
+/// Binary wire protocol of the backsort network service — the same framing
+/// discipline as the WAL (length prefix + CRC32 over the payload), plus a
+/// magic preamble so a connection speaking the wrong protocol is rejected
+/// on its first frame. All integers are little-endian (ByteBuffer /
+/// ByteReader); doubles travel as their IEEE-754 bit patterns in fixed64.
+///
+/// Frame layout (header is kFrameHeaderSize = 13 bytes):
+///
+///   [magic   : fixed32]  kFrameMagic ("BSN1")
+///   [type    : u8]       MsgType; responses set kResponseBit
+///   [size    : fixed32]  payload byte count (capped by the receiver)
+///   [crc     : fixed32]  Crc32(payload)
+///   [payload : size bytes]
+///
+/// Every response payload begins with a wire status (u8 code +
+/// length-prefixed message); a type-specific body follows only when the
+/// code is kWireOk. `kWireOverloaded` is the admission-control shed signal
+/// — the request was not applied and may be retried (BacksortClient does,
+/// with bounded backoff).
+
+/// "BSN1" as a little-endian fixed32.
+inline constexpr uint32_t kFrameMagic = 0x314E5342u;
+
+/// Bytes before the payload: magic + type + size + crc.
+inline constexpr size_t kFrameHeaderSize = 4 + 1 + 4 + 4;
+
+/// Request message types. A response echoes the request type with
+/// kResponseBit set.
+enum class MsgType : uint8_t {
+  kPing = 0x01,
+  kWriteBatch = 0x02,
+  kQuery = 0x03,
+  kGetLatest = 0x04,
+  kAggregateFast = 0x05,
+  kMetricsSnapshot = 0x06,
+};
+
+inline constexpr uint8_t kResponseBit = 0x80;
+
+/// Number of request types (dense, starting at kPing = 1) — sizes the
+/// per-RPC metric arrays.
+inline constexpr size_t kNumMsgTypes = 6;
+
+/// Dense [0, kNumMsgTypes) index of a request type, for metric arrays.
+inline constexpr size_t MsgTypeIndex(MsgType t) {
+  return static_cast<size_t>(t) - 1;
+}
+
+/// True when `raw` (with kResponseBit cleared) names a known request type.
+bool ValidMsgType(uint8_t raw);
+
+/// Metric label / log name of a request type ("write_batch", "query", ...).
+const char* MsgTypeName(MsgType t);
+
+/// Status codes as they travel on the wire.
+enum class WireCode : uint8_t {
+  kOk = 0,
+  kOverloaded = 1,  // admission control shed the request; retryable
+  kInvalidArgument = 2,
+  kNotFound = 3,
+  kCorruption = 4,
+  kIOError = 5,
+  kNotSupported = 6,
+  kOutOfRange = 7,
+  kInternal = 8,
+};
+
+/// Parsed frame header (the 13 bytes before the payload).
+struct FrameHeader {
+  MsgType type = MsgType::kPing;
+  bool is_response = false;
+  uint32_t payload_size = 0;
+  uint32_t crc = 0;
+};
+
+/// Appends a whole frame (header + payload) for `type` to `out`.
+void EncodeFrame(MsgType type, bool is_response, const ByteBuffer& payload,
+                 ByteBuffer* out);
+
+/// Parses the fixed-size header. Corruption on bad magic or unknown type;
+/// the caller enforces its own payload-size cap and CRC check (the payload
+/// has not been read yet).
+Status ParseFrameHeader(const uint8_t* header, FrameHeader* out);
+
+/// Verifies `header.crc` against the received payload bytes.
+Status CheckPayloadCrc(const FrameHeader& header, const uint8_t* payload,
+                       size_t size);
+
+// --- response status --------------------------------------------------------
+
+/// Serializes `st` as the leading wire status of a response payload.
+/// Status::Unavailable maps to kWireOverloaded.
+void EncodeResponseStatus(const Status& st, ByteBuffer* out);
+
+/// Reads the leading wire status of a response payload into `rpc_status`
+/// (OK when the server reported success). Returns non-OK only when the
+/// bytes themselves are malformed.
+Status DecodeResponseStatus(ByteReader* reader, Status* rpc_status);
+
+// --- request payloads -------------------------------------------------------
+
+struct WriteBatchRequest {
+  std::string sensor;
+  std::vector<TvPairDouble> points;
+};
+
+struct RangeRequest {  // Query and AggregateFast share this shape
+  std::string sensor;
+  Timestamp t_min = 0;
+  Timestamp t_max = 0;
+};
+
+struct SensorRequest {  // GetLatest
+  std::string sensor;
+};
+
+void EncodeWriteBatchRequest(const WriteBatchRequest& req, ByteBuffer* out);
+Status DecodeWriteBatchRequest(const uint8_t* payload, size_t size,
+                               WriteBatchRequest* out);
+
+void EncodeRangeRequest(const RangeRequest& req, ByteBuffer* out);
+Status DecodeRangeRequest(const uint8_t* payload, size_t size,
+                          RangeRequest* out);
+
+void EncodeSensorRequest(const SensorRequest& req, ByteBuffer* out);
+Status DecodeSensorRequest(const uint8_t* payload, size_t size,
+                           SensorRequest* out);
+
+// --- response bodies (appended after an OK wire status) ---------------------
+
+void EncodePointList(const std::vector<TvPairDouble>& points, ByteBuffer* out);
+Status DecodePointList(ByteReader* reader, std::vector<TvPairDouble>* out);
+
+void EncodePoint(const TvPairDouble& p, ByteBuffer* out);
+Status DecodePoint(ByteReader* reader, TvPairDouble* out);
+
+struct AggregateResult {
+  TsFileReader::RangeStats stats;
+  bool used_fast_path = false;
+};
+
+void EncodeAggregateResult(const AggregateResult& r, ByteBuffer* out);
+Status DecodeAggregateResult(ByteReader* reader, AggregateResult* out);
+
+}  // namespace backsort
+
+#endif  // BACKSORT_NET_PROTOCOL_H_

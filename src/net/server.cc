@@ -1,0 +1,265 @@
+#include "net/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+
+#include <utility>
+
+#include "common/timer.h"
+
+namespace backsort {
+
+BacksortServer::BacksortServer(EngineOptions engine_options,
+                               ServerOptions options)
+    : engine_options_(std::move(engine_options)),
+      options_(std::move(options)),
+      admission_(options_.max_inflight_requests,
+                 options_.max_inflight_bytes) {}
+
+BacksortServer::~BacksortServer() { Stop(); }
+
+Status BacksortServer::Start() {
+  if (started_) return Status::InvalidArgument("server already started");
+  engine_ = std::make_unique<StorageEngine>(engine_options_);
+  Status st = engine_->Open();
+  if (!st.ok()) {
+    engine_.reset();
+    return st;
+  }
+  st = listener_.Open(options_.host, options_.port,
+                      /*backlog=*/128);
+  if (!st.ok()) {
+    engine_.reset();
+    return st;
+  }
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void BacksortServer::Stop() {
+  if (!started_ || stopped_) return;
+  stopping_.store(true, std::memory_order_release);
+  // Wake the accept loop without closing the listener fd — the accept
+  // thread still reads it until joined below.
+  listener_.Shutdown();
+  {
+    // Wake workers blocked mid-recv; their write side stays open so the
+    // request already being served still gets its response.
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (int fd : serving_fds_) ShutdownRead(fd);
+  }
+  queue_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    metrics_.active_connections.fetch_sub(pending_.size(),
+                                          std::memory_order_relaxed);
+    pending_.clear();  // never-served connections just close
+  }
+  stopped_ = true;
+}
+
+NetMetricsSnapshot BacksortServer::GetNetMetrics() const {
+  NetMetricsSnapshot snap = metrics_.Snapshot();
+  snap.inflight_requests = admission_.inflight_requests();
+  snap.inflight_bytes = admission_.inflight_bytes();
+  return snap;
+}
+
+std::string BacksortServer::RenderMetricsExposition() {
+  MetricsRegistry registry;
+  ExportEngineMetrics(engine_->GetMetricsSnapshot(), /*base_labels=*/{},
+                      /*include_traces=*/false, &registry);
+  ExportNetMetrics(GetNetMetrics(), /*base_labels=*/{}, &registry);
+  return registry.RenderPrometheus();
+}
+
+void BacksortServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    ScopedFd conn;
+    if (!listener_.Accept(&conn).ok()) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      continue;  // transient accept error (e.g. peer reset in the backlog)
+    }
+    metrics_.connections_total.fetch_add(1, std::memory_order_relaxed);
+    (void)SetSocketTimeouts(conn.get(), options_.conn_recv_timeout_ms,
+                            options_.conn_send_timeout_ms);
+    int one = 1;
+    ::setsockopt(conn.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (pending_.size() >= options_.max_pending_connections) {
+        // Shed at the door: the worker pool is saturated and the waiting
+        // room is full. Closing is the only safe answer — queueing more
+        // would hide the overload from the client.
+        metrics_.overload_rejections.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      metrics_.active_connections.fetch_add(1, std::memory_order_relaxed);
+      pending_.push_back(std::move(conn));
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void BacksortServer::WorkerLoop() {
+  while (true) {
+    ScopedFd conn;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_acquire) || !pending_.empty();
+      });
+      if (stopping_.load(std::memory_order_acquire)) return;
+      conn = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    ServeConnection(std::move(conn));
+  }
+}
+
+void BacksortServer::ServeConnection(ScopedFd conn) {
+  const int fd = conn.get();
+  RegisterConn(fd);
+  std::vector<uint8_t> payload;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    uint8_t header_bytes[kFrameHeaderSize];
+    bool clean_eof = false;
+    Status st = RecvAll(fd, header_bytes, kFrameHeaderSize, &clean_eof);
+    if (!st.ok()) {
+      // A peer close between frames is the normal end of a connection;
+      // anything else (EOF mid-header, timeout, reset) is a torn frame.
+      if (!clean_eof) {
+        metrics_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
+    FrameHeader header;
+    st = ParseFrameHeader(header_bytes, &header);
+    if (!st.ok() || header.is_response ||
+        header.payload_size > options_.max_frame_bytes) {
+      metrics_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    payload.resize(header.payload_size);
+    st = RecvAll(fd, payload.data(), payload.size(), nullptr);
+    if (!st.ok()) {
+      metrics_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    metrics_.bytes_in.fetch_add(kFrameHeaderSize + payload.size(),
+                                std::memory_order_relaxed);
+    st = CheckPayloadCrc(header, payload.data(), payload.size());
+    if (!st.ok()) {
+      metrics_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (!HandleRequest(fd, header, payload)) break;
+  }
+  UnregisterConn(fd);
+  metrics_.active_connections.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool BacksortServer::HandleRequest(int fd, const FrameHeader& header,
+                                   const std::vector<uint8_t>& payload) {
+  if (!admission_.TryAdmit(payload.size())) {
+    metrics_.overload_rejections.fetch_add(1, std::memory_order_relaxed);
+    const Status shed = Status::Unavailable(
+        "server overloaded: in-flight budget exhausted, retry with backoff");
+    return WriteResponse(fd, header.type, shed, ByteBuffer()).ok();
+  }
+  WallTimer timer;
+  ByteBuffer body;
+  const Status rpc = Dispatch(header.type, payload, &body);
+  const Status sent = WriteResponse(fd, header.type, rpc, body);
+  admission_.Release(payload.size());
+  const size_t idx = MsgTypeIndex(header.type);
+  metrics_.requests_total[idx].fetch_add(1, std::memory_order_relaxed);
+  metrics_.request_ns[idx].Record(timer.ElapsedNanos());
+  return sent.ok();
+}
+
+Status BacksortServer::Dispatch(MsgType type,
+                                const std::vector<uint8_t>& payload,
+                                ByteBuffer* body) {
+  switch (type) {
+    case MsgType::kPing:
+      return Status::OK();
+    case MsgType::kWriteBatch: {
+      WriteBatchRequest req;
+      RETURN_NOT_OK(DecodeWriteBatchRequest(payload.data(), payload.size(),
+                                            &req));
+      return engine_->WriteBatch(req.sensor, req.points);
+    }
+    case MsgType::kQuery: {
+      RangeRequest req;
+      RETURN_NOT_OK(DecodeRangeRequest(payload.data(), payload.size(), &req));
+      std::vector<TvPairDouble> points;
+      RETURN_NOT_OK(engine_->Query(req.sensor, req.t_min, req.t_max, &points));
+      EncodePointList(points, body);
+      return Status::OK();
+    }
+    case MsgType::kGetLatest: {
+      SensorRequest req;
+      RETURN_NOT_OK(DecodeSensorRequest(payload.data(), payload.size(), &req));
+      TvPairDouble latest;
+      RETURN_NOT_OK(engine_->GetLatest(req.sensor, &latest));
+      EncodePoint(latest, body);
+      return Status::OK();
+    }
+    case MsgType::kAggregateFast: {
+      RangeRequest req;
+      RETURN_NOT_OK(DecodeRangeRequest(payload.data(), payload.size(), &req));
+      AggregateResult result;
+      RETURN_NOT_OK(engine_->AggregateFast(req.sensor, req.t_min, req.t_max,
+                                           &result.stats,
+                                           &result.used_fast_path));
+      EncodeAggregateResult(result, body);
+      return Status::OK();
+    }
+    case MsgType::kMetricsSnapshot: {
+      body->PutLengthPrefixedString(RenderMetricsExposition());
+      return Status::OK();
+    }
+  }
+  // Unreachable: ParseFrameHeader rejects unknown types before dispatch.
+  return Status::InvalidArgument("unhandled message type");
+}
+
+Status BacksortServer::WriteResponse(int fd, MsgType type,
+                                     const Status& rpc_status,
+                                     const ByteBuffer& body) {
+  ByteBuffer payload;
+  EncodeResponseStatus(rpc_status, &payload);
+  if (rpc_status.ok()) payload.Append(body);
+  ByteBuffer frame;
+  EncodeFrame(type, /*is_response=*/true, payload, &frame);
+  RETURN_NOT_OK(SendAll(fd, frame.data().data(), frame.size()));
+  metrics_.bytes_out.fetch_add(frame.size(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void BacksortServer::RegisterConn(int fd) {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  serving_fds_.insert(fd);
+  // Stop() may have swept serving_fds_ before this connection arrived in
+  // it; re-check so a late registrant still gets its read side woken.
+  if (stopping_.load(std::memory_order_acquire)) ShutdownRead(fd);
+}
+
+void BacksortServer::UnregisterConn(int fd) {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  serving_fds_.erase(fd);
+}
+
+}  // namespace backsort

@@ -1,0 +1,151 @@
+#ifndef BACKSORT_NET_SERVER_H_
+#define BACKSORT_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/storage_engine.h"
+#include "net/admission.h"
+#include "net/net_metrics.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace backsort {
+
+/// Tuning of the TCP front door. Every field has a usable default;
+/// operator-facing knobs are documented in docs/OPERATIONS.md.
+struct ServerOptions {
+  /// Listen address (numeric IPv4) and port; port 0 binds an ephemeral
+  /// port, readable via port() after Start().
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+
+  /// Connection-handling threads. Each worker owns one connection at a
+  /// time (blocking sockets), so this is also the concurrent-connection
+  /// service limit; further accepted connections wait in the pending
+  /// queue.
+  size_t workers = 4;
+
+  /// Accepted connections waiting for a free worker. Beyond this the
+  /// accept loop sheds at the door (closes immediately) instead of
+  /// queueing unboundedly.
+  size_t max_pending_connections = 64;
+
+  /// Admission control: in-flight request and payload-byte budgets. A
+  /// request that would exceed either bound is answered with Overloaded
+  /// and not applied; a payload larger than max_inflight_bytes can never
+  /// be admitted.
+  size_t max_inflight_requests = 64;
+  size_t max_inflight_bytes = 64u << 20;
+
+  /// Largest payload a frame header may declare; bigger is a protocol
+  /// error (connection closed before any allocation).
+  size_t max_frame_bytes = 16u << 20;
+
+  /// Per-connection socket timeouts. Receive defaults to 0 (block forever;
+  /// graceful shutdown wakes blocked reads via shutdown(SHUT_RD)), send is
+  /// bounded so one dead client cannot wedge a worker mid-response.
+  int conn_recv_timeout_ms = 0;
+  int conn_send_timeout_ms = 10'000;
+};
+
+/// Multi-threaded blocking-socket TCP server exposing one StorageEngine
+/// over the CRC-framed wire protocol (net/protocol.h): an accept loop
+/// feeds a bounded worker pool; each worker runs one connection's
+/// read/decode/dispatch/encode cycle. Admission control sheds load with
+/// Overloaded instead of queueing unboundedly, malformed frames close
+/// only their own connection, and Stop() drains in-flight requests before
+/// the engine destructor runs. Observable via `backsort_net_*` metrics
+/// merged into the engine's Prometheus exposition (docs/METRICS.md).
+class BacksortServer {
+ public:
+  /// Stores the options; the engine is built and opened by Start().
+  BacksortServer(EngineOptions engine_options, ServerOptions options);
+
+  /// Stops the service (graceful) and then destroys the engine, which
+  /// drains its flush pool — so every applied write reaches the WAL/files.
+  ~BacksortServer();
+
+  BacksortServer(const BacksortServer&) = delete;
+  BacksortServer& operator=(const BacksortServer&) = delete;
+
+  /// Opens the engine, binds the listener and spawns the accept loop and
+  /// worker pool. Fails without side threads on engine/bind errors.
+  Status Start();
+
+  /// Graceful shutdown, idempotent: stop accepting, wake workers blocked
+  /// in recv (their in-flight request still completes and its response is
+  /// written), join all threads, close pending connections. The engine
+  /// stays alive for inspection until destruction.
+  void Stop();
+
+  /// Resolved listen port (after Start with port 0).
+  uint16_t port() const { return listener_.port(); }
+
+  /// The served engine; valid after a successful Start(). Tests use it to
+  /// cross-check results; it must not be destroyed before the server.
+  StorageEngine* engine() { return engine_.get(); }
+
+  /// Network counters + admission gauges (thread-safe).
+  NetMetricsSnapshot GetNetMetrics() const;
+
+  /// Engine + network metrics rendered as one Prometheus exposition — the
+  /// MetricsSnapshot RPC payload, also used by `bstool serve`.
+  std::string RenderMetricsExposition();
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(ScopedFd conn);
+
+  /// Decode + admission + dispatch + respond for one request frame whose
+  /// payload passed the CRC. Returns false when the connection must close.
+  bool HandleRequest(int fd, const FrameHeader& header,
+                     const std::vector<uint8_t>& payload);
+
+  /// Runs the engine call for one request, appending the OK response body.
+  Status Dispatch(MsgType type, const std::vector<uint8_t>& payload,
+                  ByteBuffer* body);
+
+  Status WriteResponse(int fd, MsgType type, const Status& rpc_status,
+                       const ByteBuffer& body);
+
+  void RegisterConn(int fd);
+  void UnregisterConn(int fd);
+
+  EngineOptions engine_options_;
+  ServerOptions options_;
+  std::unique_ptr<StorageEngine> engine_;
+  TcpListener listener_;
+  AdmissionController admission_;
+  mutable NetMetrics metrics_;
+
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<ScopedFd> pending_;
+
+  /// Connections currently inside ServeConnection, for shutdown wakeup.
+  /// Guarded by conns_mu_; a worker unregisters (under the mutex) before
+  /// closing, so Stop never touches a recycled fd.
+  std::mutex conns_mu_;
+  std::set<int> serving_fds_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace backsort
+
+#endif  // BACKSORT_NET_SERVER_H_

@@ -1,0 +1,193 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace backsort {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void ScopedFd::Reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status TcpListener::Open(const std::string& host, uint16_t port,
+                         int backlog) {
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("listen host must be an IPv4 address: " +
+                                   host);
+  }
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd.get(), backlog) != 0) return Errno("listen");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+  fd_ = std::move(fd);
+  return Status::OK();
+}
+
+Status TcpListener::Accept(ScopedFd* conn) {
+  while (true) {
+    const int fd = ::accept(fd_.get(), nullptr, nullptr);
+    if (fd >= 0) {
+      *conn = ScopedFd(fd);
+      return Status::OK();
+    }
+    if (errno == EINTR) continue;
+    return Errno("accept");
+  }
+}
+
+void TcpListener::Shutdown() {
+  // shutdown() wakes a blocked accept on Linux with EINVAL; the fd itself
+  // stays open (and fd_ unmodified) until Close(), so a racing accept
+  // thread never reads a recycled descriptor number.
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+}
+
+void TcpListener::Close() {
+  if (fd_.valid()) {
+    ::shutdown(fd_.get(), SHUT_RDWR);
+    fd_.Reset();
+  }
+}
+
+Status TcpConnect(const std::string& host, uint16_t port, int timeout_ms,
+                  ScopedFd* out) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const std::string port_text = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), port_text.c_str(), &hints, &result) != 0 ||
+      result == nullptr) {
+    return Status::IOError("cannot resolve " + host);
+  }
+
+  ScopedFd fd(::socket(result->ai_family, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    ::freeaddrinfo(result);
+    return Errno("socket");
+  }
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK);
+  const int rc = ::connect(fd.get(), result->ai_addr,
+                           static_cast<socklen_t>(result->ai_addrlen));
+  ::freeaddrinfo(result);
+  if (rc != 0 && errno != EINPROGRESS) {
+    return Errno("connect " + host + ":" + port_text);
+  }
+  if (rc != 0) {
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms <= 0 ? -1 : timeout_ms);
+    if (ready == 0) {
+      return Status::IOError("connect timeout to " + host + ":" + port_text);
+    }
+    if (ready < 0) return Errno("poll");
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 ||
+        err != 0) {
+      errno = err != 0 ? err : errno;
+      return Errno("connect " + host + ":" + port_text);
+    }
+  }
+  ::fcntl(fd.get(), F_SETFL, flags);  // back to blocking
+  int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  *out = std::move(fd);
+  return Status::OK();
+}
+
+Status SetSocketTimeouts(int fd, int recv_timeout_ms, int send_timeout_ms) {
+  const auto apply = [fd](int opt, int ms) {
+    timeval tv{};
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = (ms % 1000) * 1000;
+    return ::setsockopt(fd, SOL_SOCKET, opt, &tv, sizeof(tv)) == 0;
+  };
+  if (!apply(SO_RCVTIMEO, recv_timeout_ms) ||
+      !apply(SO_SNDTIMEO, send_timeout_ms)) {
+    return Errno("setsockopt timeout");
+  }
+  return Status::OK();
+}
+
+Status SendAll(int fd, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t sent = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::IOError("send timeout");
+      }
+      return Errno("send");
+    }
+    p += sent;
+    n -= static_cast<size_t>(sent);
+  }
+  return Status::OK();
+}
+
+Status RecvAll(int fd, void* data, size_t n, bool* clean_eof) {
+  if (clean_eof != nullptr) *clean_eof = false;
+  uint8_t* p = static_cast<uint8_t*>(data);
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, p + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      if (got == 0 && clean_eof != nullptr) *clean_eof = true;
+      return Status::IOError(got == 0 ? "connection closed"
+                                      : "connection closed mid-frame");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::IOError("recv timeout");
+    }
+    return Errno("recv");
+  }
+  return Status::OK();
+}
+
+void ShutdownRead(int fd) { ::shutdown(fd, SHUT_RD); }
+
+}  // namespace backsort

@@ -1,0 +1,100 @@
+#ifndef BACKSORT_NET_SOCKET_H_
+#define BACKSORT_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace backsort {
+
+/// Thin RAII + Status wrappers over blocking POSIX TCP sockets — just what
+/// the server and client need: bind/listen/accept, connect with a
+/// deadline, send-all / recv-exactly with timeout mapping, and half-close
+/// to wake a peer blocked in recv. No event loop; concurrency comes from
+/// the server's worker threads.
+
+/// Owns one file descriptor; closes it on destruction. Movable, not
+/// copyable.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { Reset(); }
+
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.Release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() { return std::exchange(fd_, -1); }
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening IPv4 socket. Open() binds (port 0 = kernel-assigned; the
+/// resolved port is readable afterwards) and listens.
+class TcpListener {
+ public:
+  Status Open(const std::string& host, uint16_t port, int backlog);
+
+  /// Blocks for the next connection. IOError once the listener is closed
+  /// (the server's shutdown path) or on a fatal accept error.
+  Status Accept(ScopedFd* conn);
+
+  /// Unblocks any Accept in progress without touching the descriptor, so
+  /// a concurrent accept-loop thread may keep reading `fd_` safely. The
+  /// caller closes via Close() after joining that thread.
+  void Shutdown();
+
+  /// Unblocks any Accept in progress and closes the socket. Not safe
+  /// while another thread may still use the listener — see Shutdown().
+  void Close();
+
+  uint16_t port() const { return port_; }
+  bool valid() const { return fd_.valid(); }
+
+ private:
+  ScopedFd fd_;
+  uint16_t port_ = 0;
+};
+
+/// Connects to host:port with a deadline (non-blocking connect + poll),
+/// then returns a blocking socket. `host` is a numeric IPv4 address or a
+/// name resolvable by getaddrinfo.
+Status TcpConnect(const std::string& host, uint16_t port, int timeout_ms,
+                  ScopedFd* out);
+
+/// Applies SO_RCVTIMEO / SO_SNDTIMEO (0 = block forever).
+Status SetSocketTimeouts(int fd, int recv_timeout_ms, int send_timeout_ms);
+
+/// Writes all `n` bytes (MSG_NOSIGNAL; a dead peer yields IOError, not
+/// SIGPIPE).
+Status SendAll(int fd, const void* data, size_t n);
+
+/// Reads exactly `n` bytes. `clean_eof` (may be null) reports a peer close
+/// before the first byte — a normal end of stream, still returned as a
+/// non-OK IOError so callers can't mistake it for data. EOF mid-buffer and
+/// timeouts are plain IOErrors with clean_eof = false.
+Status RecvAll(int fd, void* data, size_t n, bool* clean_eof);
+
+/// shutdown(SHUT_RD): wakes a thread blocked reading this socket without
+/// tearing down the write side (in-flight responses still go out).
+void ShutdownRead(int fd);
+
+}  // namespace backsort
+
+#endif  // BACKSORT_NET_SOCKET_H_

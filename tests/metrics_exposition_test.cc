@@ -22,6 +22,7 @@
 
 #include "common/metrics_registry.h"
 #include "engine/storage_engine.h"
+#include "net/net_metrics.h"
 
 namespace backsort {
 namespace {
@@ -354,6 +355,116 @@ TEST_F(MetricsExpositionTest, DocsListEveryExportedFamily) {
   }
   EXPECT_NE(docs.find("flush-trace"), std::string::npos)
       << "flush-trace comment format not documented";
+}
+
+// ---------------------------------------------------------------------------
+// Network metrics (ExportNetMetrics) — same golden discipline as the
+// engine families: pin the exact set, the counter-naming convention, and
+// docs/METRICS.md coverage.
+
+NetMetricsSnapshot SyntheticNetSnapshot() {
+  NetMetrics metrics;
+  metrics.connections_total = 5;
+  metrics.active_connections = 2;
+  metrics.bytes_in = 4'096;
+  metrics.bytes_out = 1'024;
+  metrics.overload_rejections = 3;
+  metrics.protocol_errors = 1;
+  for (size_t i = 0; i < kNumMsgTypes; ++i) {
+    metrics.requests_total[i] = 10 * (i + 1);
+    metrics.request_ns[i].Record(static_cast<int64_t>(1'000 * (i + 1)));
+  }
+  NetMetricsSnapshot snap = metrics.Snapshot();
+  snap.inflight_requests = 4;
+  snap.inflight_bytes = 512;
+  return snap;
+}
+
+std::string RenderNet() {
+  MetricsRegistry registry;
+  ExportNetMetrics(SyntheticNetSnapshot(), {}, &registry);
+  return registry.RenderPrometheus();
+}
+
+TEST(NetMetricsExposition, GoldenFamilySet) {
+  Exposition e;
+  ParseExposition(RenderNet(), &e);
+  // The exact families ExportNetMetrics emits. Adding or renaming one must
+  // update this list AND docs/METRICS.md.
+  const std::map<std::string, std::string> expected = {
+      {"backsort_net_connections_total", "counter"},
+      {"backsort_net_active_connections", "gauge"},
+      {"backsort_net_bytes_in_total", "counter"},
+      {"backsort_net_bytes_out_total", "counter"},
+      {"backsort_net_overload_rejections_total", "counter"},
+      {"backsort_net_protocol_errors_total", "counter"},
+      {"backsort_net_inflight_requests", "gauge"},
+      {"backsort_net_inflight_bytes", "gauge"},
+      {"backsort_net_requests_total", "counter"},
+      {"backsort_net_request_duration_seconds", "summary"},
+  };
+  EXPECT_EQ(e.types, expected);
+  for (const auto& [family, type] : e.types) {
+    const bool ends_total =
+        family.size() > 6 &&
+        family.compare(family.size() - 6, 6, "_total") == 0;
+    EXPECT_EQ(type == "counter", ends_total) << family;
+  }
+}
+
+TEST(NetMetricsExposition, PerTypeSamplesCarryValues) {
+  Exposition e;
+  ParseExposition(RenderNet(), &e);
+  const char* type_names[] = {"ping",       "write_batch",    "query",
+                              "get_latest", "aggregate_fast", "metrics_snapshot"};
+  for (size_t i = 0; i < kNumMsgTypes; ++i) {
+    const std::string label = std::string("type=\"") + type_names[i] + "\"";
+    EXPECT_EQ(SampleValue(e, "backsort_net_requests_total", label),
+              10.0 * static_cast<double>(i + 1))
+        << type_names[i];
+    EXPECT_EQ(SampleValue(e, "backsort_net_request_duration_seconds_count",
+                          label),
+              1.0)
+        << type_names[i];
+    // One recorded latency of (i+1) microseconds, rendered in seconds.
+    const double max = SampleValue(e, "backsort_net_request_duration_seconds",
+                                   label + ",quantile=\"1\"");
+    EXPECT_NEAR(max, 1e-6 * static_cast<double>(i + 1), 1e-7)
+        << type_names[i];
+  }
+  EXPECT_EQ(SampleValue(e, "backsort_net_connections_total", ""), 5.0);
+  EXPECT_EQ(SampleValue(e, "backsort_net_inflight_requests", ""), 4.0);
+  EXPECT_EQ(SampleValue(e, "backsort_net_inflight_bytes", ""), 512.0);
+}
+
+TEST(NetMetricsExposition, DocsListEveryExportedFamily) {
+  Exposition e;
+  ParseExposition(RenderNet(), &e);
+  const std::string docs_path =
+      std::string(BACKSORT_SOURCE_DIR) + "/docs/METRICS.md";
+  std::ifstream in(docs_path);
+  ASSERT_TRUE(in.is_open()) << "missing " << docs_path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string docs = buf.str();
+  for (const auto& [family, type] : e.types) {
+    EXPECT_NE(docs.find("`" + family + "`"), std::string::npos)
+        << family << " not documented in docs/METRICS.md";
+  }
+}
+
+TEST_F(MetricsExpositionTest, MergedEngineAndNetExpositionParses) {
+  // The server's MetricsSnapshot RPC renders both exports into one
+  // registry; the combined document must still be structurally valid and
+  // contain both family groups.
+  MetricsRegistry registry;
+  ExportEngineMetrics(snapshot(), {}, /*include_traces=*/false, &registry);
+  ExportNetMetrics(SyntheticNetSnapshot(), {}, &registry);
+  const std::string text = registry.RenderPrometheus();
+  Exposition e;
+  ParseExposition(text, &e);
+  EXPECT_EQ(e.types.count("backsort_flushes_total"), 1u);
+  EXPECT_EQ(e.types.count("backsort_net_requests_total"), 1u);
 }
 
 TEST(MetricsRegistryFormat, LabelEscapingAndEmptySummaries) {

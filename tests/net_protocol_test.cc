@@ -1,0 +1,382 @@
+// Wire-protocol robustness: codec round trips, and a live server fed
+// malformed bytes — truncated frames, CRC-flipped payloads, oversized
+// declared lengths, garbage preambles. Every malformed input must produce
+// a clean per-connection failure (connection closed, protocol-error
+// counter bumped) and never a crash, a hang, or a partially applied
+// request; the server must keep serving well-formed peers afterwards.
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "net/socket.h"
+
+namespace backsort {
+namespace {
+
+// --- codec round trips ---------------------------------------------------------
+
+TEST(NetProtocol, FrameRoundTrip) {
+  ByteBuffer payload;
+  payload.PutLengthPrefixedString("hello");
+  ByteBuffer frame;
+  EncodeFrame(MsgType::kQuery, /*is_response=*/false, payload, &frame);
+  ASSERT_EQ(frame.size(), kFrameHeaderSize + payload.size());
+
+  FrameHeader header;
+  ASSERT_TRUE(ParseFrameHeader(frame.data().data(), &header).ok());
+  EXPECT_EQ(header.type, MsgType::kQuery);
+  EXPECT_FALSE(header.is_response);
+  EXPECT_EQ(header.payload_size, payload.size());
+  EXPECT_TRUE(CheckPayloadCrc(header, frame.data().data() + kFrameHeaderSize,
+                              payload.size())
+                  .ok());
+}
+
+TEST(NetProtocol, ResponseBitSurvivesRoundTrip) {
+  ByteBuffer frame;
+  EncodeFrame(MsgType::kPing, /*is_response=*/true, ByteBuffer(), &frame);
+  FrameHeader header;
+  ASSERT_TRUE(ParseFrameHeader(frame.data().data(), &header).ok());
+  EXPECT_EQ(header.type, MsgType::kPing);
+  EXPECT_TRUE(header.is_response);
+}
+
+TEST(NetProtocol, BadMagicRejected) {
+  ByteBuffer frame;
+  EncodeFrame(MsgType::kPing, false, ByteBuffer(), &frame);
+  std::vector<uint8_t> bytes = frame.data();
+  bytes[0] ^= 0xff;
+  FrameHeader header;
+  EXPECT_TRUE(ParseFrameHeader(bytes.data(), &header).IsCorruption());
+}
+
+TEST(NetProtocol, UnknownTypeRejected) {
+  ByteBuffer frame;
+  EncodeFrame(MsgType::kPing, false, ByteBuffer(), &frame);
+  std::vector<uint8_t> bytes = frame.data();
+  bytes[4] = 0x7f;  // type byte: not a known request
+  FrameHeader header;
+  EXPECT_TRUE(ParseFrameHeader(bytes.data(), &header).IsCorruption());
+}
+
+TEST(NetProtocol, CrcMismatchDetected) {
+  ByteBuffer payload;
+  payload.PutFixed64(12345);
+  ByteBuffer frame;
+  EncodeFrame(MsgType::kWriteBatch, false, payload, &frame);
+  std::vector<uint8_t> bytes = frame.data();
+  bytes[kFrameHeaderSize] ^= 0x01;  // flip one payload bit
+  FrameHeader header;
+  ASSERT_TRUE(ParseFrameHeader(bytes.data(), &header).ok());
+  EXPECT_TRUE(CheckPayloadCrc(header, bytes.data() + kFrameHeaderSize,
+                              payload.size())
+                  .IsCorruption());
+}
+
+TEST(NetProtocol, ResponseStatusRoundTrip) {
+  const Status cases[] = {
+      Status::OK(),
+      Status::Unavailable("shed"),
+      Status::InvalidArgument("bad"),
+      Status::NotFound("missing"),
+      Status::Corruption("mangled"),
+      Status::IOError("disk"),
+      Status::NotSupported("nope"),
+      Status::OutOfRange("far"),
+  };
+  for (const Status& st : cases) {
+    ByteBuffer buf;
+    EncodeResponseStatus(st, &buf);
+    ByteReader reader(buf.data());
+    Status decoded;
+    ASSERT_TRUE(DecodeResponseStatus(&reader, &decoded).ok());
+    EXPECT_EQ(decoded.code(), st.code()) << st.ToString();
+    if (!st.ok()) EXPECT_EQ(decoded.message(), st.message());
+  }
+}
+
+TEST(NetProtocol, WriteBatchRoundTrip) {
+  WriteBatchRequest req;
+  req.sensor = "root.sg.d1.s1";
+  req.points = {{10, 1.5}, {-3, -0.25}, {11, 2.0}};
+  ByteBuffer buf;
+  EncodeWriteBatchRequest(req, &buf);
+  WriteBatchRequest out;
+  ASSERT_TRUE(
+      DecodeWriteBatchRequest(buf.data().data(), buf.size(), &out).ok());
+  EXPECT_EQ(out.sensor, req.sensor);
+  ASSERT_EQ(out.points.size(), req.points.size());
+  for (size_t i = 0; i < out.points.size(); ++i) {
+    EXPECT_EQ(out.points[i], req.points[i]);
+  }
+}
+
+TEST(NetProtocol, WriteBatchRejectsOverdeclaredCount) {
+  // A count field claiming more points than the payload holds must fail
+  // cleanly, without attempting a matching allocation.
+  ByteBuffer buf;
+  buf.PutLengthPrefixedString("s");
+  buf.PutVarint64(1u << 30);
+  WriteBatchRequest out;
+  EXPECT_TRUE(DecodeWriteBatchRequest(buf.data().data(), buf.size(), &out)
+                  .IsCorruption());
+}
+
+TEST(NetProtocol, WriteBatchRejectsTrailingBytes) {
+  WriteBatchRequest req;
+  req.sensor = "s";
+  req.points = {{1, 1.0}};
+  ByteBuffer buf;
+  EncodeWriteBatchRequest(req, &buf);
+  buf.PutU8(0);  // one stray byte
+  WriteBatchRequest out;
+  EXPECT_TRUE(DecodeWriteBatchRequest(buf.data().data(), buf.size(), &out)
+                  .IsCorruption());
+}
+
+TEST(NetProtocol, RangeAndSensorRequestRoundTrip) {
+  RangeRequest range{"sensor.x", -100, 1'000'000};
+  ByteBuffer buf;
+  EncodeRangeRequest(range, &buf);
+  RangeRequest range_out;
+  ASSERT_TRUE(DecodeRangeRequest(buf.data().data(), buf.size(), &range_out)
+                  .ok());
+  EXPECT_EQ(range_out.sensor, range.sensor);
+  EXPECT_EQ(range_out.t_min, range.t_min);
+  EXPECT_EQ(range_out.t_max, range.t_max);
+
+  SensorRequest sensor{"sensor.y"};
+  ByteBuffer buf2;
+  EncodeSensorRequest(sensor, &buf2);
+  SensorRequest sensor_out;
+  ASSERT_TRUE(DecodeSensorRequest(buf2.data().data(), buf2.size(),
+                                  &sensor_out)
+                  .ok());
+  EXPECT_EQ(sensor_out.sensor, sensor.sensor);
+}
+
+TEST(NetProtocol, PointListAndAggregateRoundTrip) {
+  const std::vector<TvPairDouble> points = {{1, 0.5}, {2, -1e300}, {3, 0.0}};
+  ByteBuffer buf;
+  EncodePointList(points, &buf);
+  ByteReader reader(buf.data());
+  std::vector<TvPairDouble> out;
+  ASSERT_TRUE(DecodePointList(&reader, &out).ok());
+  EXPECT_EQ(out, points);
+
+  AggregateResult agg;
+  agg.stats = {3, 1.5, -1.0, 2.0, 1, 0.5, 3, 0.0};
+  agg.used_fast_path = true;
+  ByteBuffer buf2;
+  EncodeAggregateResult(agg, &buf2);
+  ByteReader reader2(buf2.data());
+  AggregateResult agg_out;
+  ASSERT_TRUE(DecodeAggregateResult(&reader2, &agg_out).ok());
+  EXPECT_EQ(agg_out.stats.count, agg.stats.count);
+  EXPECT_DOUBLE_EQ(agg_out.stats.sum, agg.stats.sum);
+  EXPECT_DOUBLE_EQ(agg_out.stats.min, agg.stats.min);
+  EXPECT_DOUBLE_EQ(agg_out.stats.max, agg.stats.max);
+  EXPECT_EQ(agg_out.stats.first_time, agg.stats.first_time);
+  EXPECT_EQ(agg_out.stats.last_time, agg.stats.last_time);
+  EXPECT_TRUE(agg_out.used_fast_path);
+}
+
+TEST(NetProtocol, TruncatedPayloadsFailCleanly) {
+  WriteBatchRequest req;
+  req.sensor = "s";
+  req.points = {{1, 1.0}, {2, 2.0}};
+  ByteBuffer buf;
+  EncodeWriteBatchRequest(req, &buf);
+  // Every prefix must decode to an error, never crash or succeed.
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    WriteBatchRequest out;
+    EXPECT_FALSE(
+        DecodeWriteBatchRequest(buf.data().data(), cut, &out).ok())
+        << "prefix length " << cut;
+  }
+}
+
+// --- malformed bytes against a live server -------------------------------------
+
+class NetMalformedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("net_proto_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    EngineOptions engine_opt;
+    engine_opt.data_dir = dir_.string();
+    ServerOptions server_opt;  // ephemeral port, defaults otherwise
+    server_ = std::make_unique<BacksortServer>(engine_opt, server_opt);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+  void TearDown() override {
+    server_.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  /// Raw connection with bounded timeouts, so a buggy server that neither
+  /// answers nor closes fails the test instead of hanging it.
+  ScopedFd RawConnect() {
+    ScopedFd fd;
+    EXPECT_TRUE(TcpConnect("127.0.0.1", server_->port(), 2'000, &fd).ok());
+    EXPECT_TRUE(SetSocketTimeouts(fd.get(), 2'000, 2'000).ok());
+    return fd;
+  }
+
+  /// True when the server closed the connection (EOF) instead of replying.
+  bool ServerClosed(const ScopedFd& fd) {
+    uint8_t byte = 0;
+    bool clean_eof = false;
+    const Status st = RecvAll(fd.get(), &byte, 1, &clean_eof);
+    return !st.ok() && clean_eof;
+  }
+
+  uint64_t ProtocolErrors() {
+    return server_->GetNetMetrics().protocol_errors;
+  }
+
+  /// A well-formed peer must still get service after another connection
+  /// misbehaved.
+  void ExpectServerStillHealthy() {
+    BacksortClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+    EXPECT_TRUE(client.Ping().ok());
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<BacksortServer> server_;
+};
+
+TEST_F(NetMalformedTest, GarbagePreambleClosesConnection) {
+  ScopedFd fd = RawConnect();
+  uint8_t garbage[kFrameHeaderSize];
+  std::memset(garbage, 0xab, sizeof(garbage));
+  ASSERT_TRUE(SendAll(fd.get(), garbage, sizeof(garbage)).ok());
+  EXPECT_TRUE(ServerClosed(fd));
+  EXPECT_EQ(ProtocolErrors(), 1u);
+  ExpectServerStillHealthy();
+}
+
+TEST_F(NetMalformedTest, TruncatedFrameClosesConnection) {
+  WriteBatchRequest req;
+  req.sensor = "s";
+  req.points = {{1, 1.0}, {2, 2.0}};
+  ByteBuffer payload;
+  EncodeWriteBatchRequest(req, &payload);
+  ByteBuffer frame;
+  EncodeFrame(MsgType::kWriteBatch, false, payload, &frame);
+  {
+    // Send the header plus half the payload, then close: a torn frame.
+    ScopedFd fd = RawConnect();
+    ASSERT_TRUE(
+        SendAll(fd.get(), frame.data().data(), kFrameHeaderSize + 5).ok());
+  }
+  // The server notices the tear when its read hits EOF mid-payload.
+  BacksortClient probe;
+  ASSERT_TRUE(probe.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(probe.Ping().ok());
+  for (int i = 0; i < 100 && ProtocolErrors() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(ProtocolErrors(), 1u);
+  // The torn write batch must not be partially applied.
+  std::vector<TvPairDouble> out;
+  EXPECT_TRUE(server_->engine()->Query("s", 0, 100, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(NetMalformedTest, CrcFlippedPayloadClosesWithoutApplying) {
+  WriteBatchRequest req;
+  req.sensor = "s";
+  req.points = {{1, 1.0}, {2, 2.0}};
+  ByteBuffer payload;
+  EncodeWriteBatchRequest(req, &payload);
+  ByteBuffer frame;
+  EncodeFrame(MsgType::kWriteBatch, false, payload, &frame);
+  std::vector<uint8_t> bytes = frame.data();
+  bytes[kFrameHeaderSize + 3] ^= 0x10;  // corrupt payload, keep old CRC
+
+  ScopedFd fd = RawConnect();
+  ASSERT_TRUE(SendAll(fd.get(), bytes.data(), bytes.size()).ok());
+  EXPECT_TRUE(ServerClosed(fd));
+  EXPECT_EQ(ProtocolErrors(), 1u);
+  std::vector<TvPairDouble> out;
+  EXPECT_TRUE(server_->engine()->Query("s", 0, 100, &out).ok());
+  EXPECT_TRUE(out.empty());  // nothing applied, not even partially
+  ExpectServerStillHealthy();
+}
+
+TEST_F(NetMalformedTest, OversizedDeclaredLengthClosesConnection) {
+  // Header declares a payload far beyond max_frame_bytes; the server must
+  // reject it from the header alone (no allocation, no read).
+  ByteBuffer header;
+  header.PutFixed32(kFrameMagic);
+  header.PutU8(static_cast<uint8_t>(MsgType::kWriteBatch));
+  header.PutFixed32(0xf0000000u);
+  header.PutFixed32(0);
+  ScopedFd fd = RawConnect();
+  ASSERT_TRUE(SendAll(fd.get(), header.data().data(), header.size()).ok());
+  EXPECT_TRUE(ServerClosed(fd));
+  EXPECT_EQ(ProtocolErrors(), 1u);
+  ExpectServerStillHealthy();
+}
+
+TEST_F(NetMalformedTest, ResponseBitOnRequestClosesConnection) {
+  // A "response" arriving at the server is a protocol violation.
+  ByteBuffer frame;
+  EncodeFrame(MsgType::kPing, /*is_response=*/true, ByteBuffer(), &frame);
+  ScopedFd fd = RawConnect();
+  ASSERT_TRUE(SendAll(fd.get(), frame.data().data(), frame.size()).ok());
+  EXPECT_TRUE(ServerClosed(fd));
+  EXPECT_EQ(ProtocolErrors(), 1u);
+  ExpectServerStillHealthy();
+}
+
+TEST_F(NetMalformedTest, MalformedDecodeKeepsConnectionOpen) {
+  // A CRC-valid frame whose payload fails request decoding is the client's
+  // bug, not a torn stream: the server answers with an error status and
+  // keeps serving the same connection.
+  ByteBuffer payload;
+  payload.PutU8(0xff);  // not a valid WriteBatchRequest
+  ByteBuffer frame;
+  EncodeFrame(MsgType::kWriteBatch, false, payload, &frame);
+  ScopedFd fd = RawConnect();
+  ASSERT_TRUE(SendAll(fd.get(), frame.data().data(), frame.size()).ok());
+
+  uint8_t header_bytes[kFrameHeaderSize];
+  ASSERT_TRUE(RecvAll(fd.get(), header_bytes, kFrameHeaderSize, nullptr).ok());
+  FrameHeader header;
+  ASSERT_TRUE(ParseFrameHeader(header_bytes, &header).ok());
+  EXPECT_TRUE(header.is_response);
+  std::vector<uint8_t> response(header.payload_size);
+  ASSERT_TRUE(
+      RecvAll(fd.get(), response.data(), response.size(), nullptr).ok());
+  ByteReader reader(response);
+  Status rpc_status;
+  ASSERT_TRUE(DecodeResponseStatus(&reader, &rpc_status).ok());
+  EXPECT_TRUE(rpc_status.IsCorruption());
+  EXPECT_EQ(ProtocolErrors(), 0u);
+
+  // Same connection still serves a valid request.
+  ByteBuffer ping;
+  EncodeFrame(MsgType::kPing, false, ByteBuffer(), &ping);
+  ASSERT_TRUE(SendAll(fd.get(), ping.data().data(), ping.size()).ok());
+  ASSERT_TRUE(RecvAll(fd.get(), header_bytes, kFrameHeaderSize, nullptr).ok());
+  ASSERT_TRUE(ParseFrameHeader(header_bytes, &header).ok());
+  EXPECT_EQ(header.type, MsgType::kPing);
+}
+
+}  // namespace
+}  // namespace backsort

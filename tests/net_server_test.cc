@@ -1,0 +1,291 @@
+// Loopback server tests: a BacksortServer on an ephemeral port must give
+// results bit-identical to driving the StorageEngine in-process, shed load
+// with Overloaded when the admission budget is exhausted (never partially
+// applying a shed request), retry transparently in the client, survive
+// concurrent clients (the TSan build of this binary is the race check),
+// and drain in-flight requests on graceful shutdown.
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "disorder/series_generator.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace backsort {
+namespace {
+
+class NetServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("net_server_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+  }
+  void TearDown() override {
+    server_.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  void StartServer(ServerOptions server_opt = {},
+                   EngineOptions engine_opt = {}) {
+    engine_opt.data_dir = (dir_ / "served").string();
+    server_ = std::make_unique<BacksortServer>(engine_opt, server_opt);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  BacksortClient Connected(ClientOptions options = {}) {
+    BacksortClient client(options);
+    EXPECT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+    return client;
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<BacksortServer> server_;
+};
+
+TEST_F(NetServerTest, PingRoundTrip) {
+  StartServer();
+  BacksortClient client = Connected();
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_TRUE(client.Ping().ok());
+  const NetMetricsSnapshot net = server_->GetNetMetrics();
+  EXPECT_EQ(net.requests_total[MsgTypeIndex(MsgType::kPing)], 2u);
+  EXPECT_EQ(net.connections_total, 1u);
+}
+
+TEST_F(NetServerTest, RequestOnUnconnectedClientFails) {
+  BacksortClient client;
+  EXPECT_TRUE(client.Ping().IsInvalidArgument());
+}
+
+TEST_F(NetServerTest, ResultsBitIdenticalToInProcessEngine) {
+  StartServer();
+  // A disordered-arrival series, the workload the engine is built for.
+  Rng rng(7);
+  AbsNormalDelay delay(1, 25);
+  const auto series = GenerateArrivalOrderedSeries<double>(20'000, delay, rng);
+
+  // Same points through the wire and into a local engine.
+  BacksortClient client = Connected();
+  EngineOptions local_opt;
+  local_opt.data_dir = (dir_ / "local").string();
+  StorageEngine local(local_opt);
+  ASSERT_TRUE(local.Open().ok());
+  const size_t batch = 500;
+  for (size_t i = 0; i < series.size(); i += batch) {
+    const std::vector<TvPairDouble> points(
+        series.begin() + i,
+        series.begin() + std::min(i + batch, series.size()));
+    ASSERT_TRUE(client.WriteBatch("s", points).ok());
+    ASSERT_TRUE(local.WriteBatch("s", points).ok());
+  }
+
+  // Query: every point, and a sub-range, bit-identical (same t and the
+  // same IEEE-754 value bits — doubles travel as raw bits on the wire).
+  const Timestamp spans[][2] = {{0, 30'000}, {1'000, 2'000}, {19'000, 30'000}};
+  for (const auto& span : spans) {
+    std::vector<TvPairDouble> remote, expect;
+    ASSERT_TRUE(client.Query("s", span[0], span[1], &remote).ok());
+    ASSERT_TRUE(local.Query("s", span[0], span[1], &expect).ok());
+    ASSERT_EQ(remote.size(), expect.size());
+    for (size_t i = 0; i < remote.size(); ++i) {
+      ASSERT_EQ(remote[i].t, expect[i].t);
+      ASSERT_EQ(std::memcmp(&remote[i].v, &expect[i].v, sizeof(double)), 0);
+    }
+  }
+
+  // AggregateFast: identical stats and fast-path decision.
+  TsFileReader::RangeStats remote_stats, local_stats;
+  bool remote_fast = false, local_fast = false;
+  ASSERT_TRUE(
+      client.AggregateFast("s", 0, 30'000, &remote_stats, &remote_fast).ok());
+  ASSERT_TRUE(
+      local.AggregateFast("s", 0, 30'000, &local_stats, &local_fast).ok());
+  EXPECT_EQ(remote_stats.count, local_stats.count);
+  EXPECT_EQ(std::memcmp(&remote_stats.sum, &local_stats.sum, sizeof(double)),
+            0);
+  EXPECT_EQ(remote_stats.first_time, local_stats.first_time);
+  EXPECT_EQ(remote_stats.last_time, local_stats.last_time);
+  EXPECT_EQ(remote_fast, local_fast);
+
+  // GetLatest: same last point.
+  TvPairDouble remote_last{}, local_last{};
+  ASSERT_TRUE(client.GetLatest("s", &remote_last).ok());
+  ASSERT_TRUE(local.GetLatest("s", &local_last).ok());
+  EXPECT_EQ(remote_last.t, local_last.t);
+  EXPECT_EQ(std::memcmp(&remote_last.v, &local_last.v, sizeof(double)), 0);
+}
+
+TEST_F(NetServerTest, ServerErrorsTravelAsStatuses) {
+  StartServer();
+  BacksortClient client = Connected();
+  TvPairDouble p{};
+  EXPECT_TRUE(client.GetLatest("no.such.sensor", &p).IsNotFound());
+  // The connection survives a server-side error.
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(NetServerTest, MetricsSnapshotMergesEngineAndNetFamilies) {
+  StartServer();
+  BacksortClient client = Connected();
+  ASSERT_TRUE(client.WriteBatch("s", {{1, 1.0}, {2, 2.0}}).ok());
+  std::string exposition;
+  ASSERT_TRUE(client.MetricsSnapshot(&exposition).ok());
+  EXPECT_NE(exposition.find("backsort_flushes_total"), std::string::npos);
+  EXPECT_NE(exposition.find("backsort_net_requests_total"), std::string::npos);
+  EXPECT_NE(exposition.find("type=\"write_batch\""), std::string::npos);
+  EXPECT_NE(exposition.find("backsort_net_active_connections"),
+            std::string::npos);
+}
+
+TEST_F(NetServerTest, OverloadShedsWithUnavailableAndNeverApplies) {
+  // A byte budget smaller than the request payload can never admit it —
+  // deterministic shed, no racing needed.
+  ServerOptions server_opt;
+  server_opt.max_inflight_bytes = 64;
+  StartServer(server_opt);
+  ClientOptions no_retry;
+  no_retry.max_retries = 0;
+  BacksortClient client = Connected(no_retry);
+
+  std::vector<TvPairDouble> points;
+  for (int i = 0; i < 100; ++i) points.push_back({i, 1.0});  // ~1.6 KB
+  const Status st = client.WriteBatch("s", points);
+  EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+
+  const NetMetricsSnapshot net = server_->GetNetMetrics();
+  EXPECT_EQ(net.overload_rejections, 1u);
+  EXPECT_EQ(net.requests_total[MsgTypeIndex(MsgType::kWriteBatch)], 0u);
+  std::vector<TvPairDouble> out;
+  ASSERT_TRUE(server_->engine()->Query("s", 0, 1'000, &out).ok());
+  EXPECT_TRUE(out.empty());  // a shed request is never applied
+
+  // Small requests still go through on the same connection.
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_TRUE(client.WriteBatch("s", {{1, 1.0}}).ok());
+}
+
+TEST_F(NetServerTest, ClientRetriesOverloadWithBackoff) {
+  ServerOptions server_opt;
+  server_opt.max_inflight_bytes = 64;  // the batch below never fits
+  StartServer(server_opt);
+  ClientOptions retrying;
+  retrying.max_retries = 2;
+  retrying.backoff_initial_ms = 1;
+  BacksortClient client = Connected(retrying);
+
+  std::vector<TvPairDouble> points;
+  for (int i = 0; i < 100; ++i) points.push_back({i, 1.0});
+  EXPECT_TRUE(client.WriteBatch("s", points).IsUnavailable());
+  // Initial attempt + 2 retries, each answered Overloaded.
+  EXPECT_EQ(client.overload_retries(), 3u);
+  EXPECT_EQ(server_->GetNetMetrics().overload_rejections, 3u);
+}
+
+TEST_F(NetServerTest, ConcurrentClientsStayBitIdentical) {
+  // Run under the TSan build (build-tsan) this is the data-race check for
+  // the accept loop, worker pool, admission counters and metrics.
+  StartServer();
+  const size_t kClients = 4;
+  const size_t kPoints = 5'000;
+  std::vector<std::thread> threads;
+  // One byte per thread: vector<bool> would pack bits into shared words.
+  std::vector<char> ok(kClients, 0);
+  for (size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([this, c, &ok] {
+      BacksortClient client;
+      if (!client.Connect("127.0.0.1", server_->port()).ok()) return;
+      const std::string sensor = "s" + std::to_string(c);
+      Rng rng(100 + c);
+      AbsNormalDelay delay(1, 10);
+      const auto series =
+          GenerateArrivalOrderedSeries<double>(kPoints, delay, rng);
+      for (size_t i = 0; i < series.size(); i += 500) {
+        const std::vector<TvPairDouble> batch(
+            series.begin() + i,
+            series.begin() + std::min(i + 500, series.size()));
+        if (!client.WriteBatch(sensor, batch).ok()) return;
+      }
+      if (!client.Ping().ok()) return;
+      std::vector<TvPairDouble> out;
+      if (!client.Query(sensor, 0, 1'000'000, &out).ok()) return;
+      ok[c] = out.size() == kPoints;
+    });
+  }
+  // Metrics scrapes race the request traffic on purpose.
+  std::thread scraper([this] {
+    for (int i = 0; i < 20; ++i) {
+      BacksortClient client;
+      if (!client.Connect("127.0.0.1", server_->port()).ok()) return;
+      std::string exposition;
+      (void)client.MetricsSnapshot(&exposition);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  for (auto& t : threads) t.join();
+  scraper.join();
+  for (size_t c = 0; c < kClients; ++c) {
+    EXPECT_TRUE(ok[c]) << "client " << c;
+  }
+  // Wire results match the engine queried directly, per sensor.
+  for (size_t c = 0; c < kClients; ++c) {
+    std::vector<TvPairDouble> direct;
+    ASSERT_TRUE(server_->engine()
+                    ->Query("s" + std::to_string(c), 0, 1'000'000, &direct)
+                    .ok());
+    EXPECT_EQ(direct.size(), kPoints);
+  }
+}
+
+TEST_F(NetServerTest, GracefulShutdownDrainsBeforeEngineTeardown) {
+  StartServer();
+  BacksortClient client = Connected();
+  ASSERT_TRUE(client.WriteBatch("s", {{1, 1.0}, {2, 2.0}, {3, 3.0}}).ok());
+  server_->Stop();
+  // After Stop the engine is still alive and owns every applied write.
+  std::vector<TvPairDouble> out;
+  ASSERT_TRUE(server_->engine()->Query("s", 0, 100, &out).ok());
+  EXPECT_EQ(out.size(), 3u);
+  // New requests on the drained connection fail cleanly (closed), they
+  // don't hang.
+  EXPECT_FALSE(client.Ping().ok());
+  // Stop is idempotent; destruction after Stop is clean (TearDown).
+  server_->Stop();
+}
+
+TEST_F(NetServerTest, StartTwiceFails) {
+  StartServer();
+  EXPECT_TRUE(server_->Start().IsInvalidArgument());
+}
+
+TEST_F(NetServerTest, DataSurvivesServerRestart) {
+  StartServer();
+  {
+    BacksortClient client = Connected();
+    ASSERT_TRUE(client.WriteBatch("s", {{1, 1.5}, {2, 2.5}}).ok());
+  }
+  server_.reset();  // graceful stop + engine shutdown (WAL/flush durable)
+
+  EngineOptions engine_opt;
+  ServerOptions server_opt;
+  StartServer(server_opt, engine_opt);  // same data_dir
+  BacksortClient client = Connected();
+  std::vector<TvPairDouble> out;
+  ASSERT_TRUE(client.Query("s", 0, 100, &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].v, 1.5);
+  EXPECT_DOUBLE_EQ(out[1].v, 2.5);
+}
+
+}  // namespace
+}  // namespace backsort

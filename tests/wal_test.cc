@@ -115,6 +115,61 @@ TEST_F(WalTest, MissingFileIsIOError) {
   EXPECT_TRUE(ReadWal(Path("nope.log"), &records, nullptr).IsIOError());
 }
 
+// --- fsync durability ----------------------------------------------------------
+
+TEST_F(WalTest, FsyncModeAppendsAndReplays) {
+  const std::string path = Path("wal-fsync.log");
+  WalWriter writer(path, /*fsync_on_sync=*/true);
+  ASSERT_TRUE(writer.Open().ok());
+  ASSERT_TRUE(writer.Append("s", 1, 1.5).ok());
+  ASSERT_TRUE(writer.Sync().ok());
+  // After a device-level Sync the record is visible to an independent
+  // reader while the writer is still open (fflush + fsync completed).
+  std::vector<WalRecord> records;
+  bool torn = true;
+  ASSERT_TRUE(ReadWal(path, &records, &torn).ok());
+  EXPECT_FALSE(torn);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].t, 1);
+  ASSERT_TRUE(writer.Append("s", 2, 2.5).ok());
+  ASSERT_TRUE(writer.Sync().ok());
+  ASSERT_TRUE(writer.Close().ok());
+  ASSERT_TRUE(ReadWal(path, &records, &torn).ok());
+  EXPECT_EQ(records.size(), 2u);
+}
+
+TEST_F(WalTest, SyncOnUnopenedWriterFails) {
+  WalWriter writer(Path("never-opened.log"), /*fsync_on_sync=*/true);
+  EXPECT_TRUE(writer.Sync().IsInvalidArgument());
+}
+
+TEST_F(WalTest, EngineWalFsyncStillRecovers) {
+  // wal_fsync + sync_wal_every_write = per-point device durability; the
+  // recovery contract must be unchanged from the page-cache default.
+  const std::string data_dir = Path("engine_fsync");
+  {
+    EngineOptions opt;
+    opt.data_dir = data_dir;
+    opt.wal_fsync = true;
+    opt.sync_wal_every_write = true;
+    opt.memtable_flush_threshold = 1'000'000;  // never flush
+    StorageEngine engine(opt);
+    ASSERT_TRUE(engine.Open().ok());
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(engine.Write("s", i, i * 2.0).ok());
+    }
+  }
+  EngineOptions opt;
+  opt.data_dir = data_dir;
+  StorageEngine engine(opt);
+  ASSERT_TRUE(engine.Open().ok());
+  std::vector<TvPairDouble> out;
+  ASSERT_TRUE(engine.Query("s", 0, 1'000, &out).ok());
+  ASSERT_EQ(out.size(), 200u);
+  EXPECT_EQ(out.back().t, 199);
+  EXPECT_DOUBLE_EQ(out.back().v, 398.0);
+}
+
 // --- engine crash recovery -----------------------------------------------------
 
 TEST_F(WalTest, EngineRecoversUnflushedPoints) {

@@ -35,10 +35,30 @@
 //       Periodically re-read the metrics file and print a compact one-line
 //       summary (queue depths, stage percentiles, cache hit rate) — run it
 //       next to `bstool ingest` on the same <dir> to watch the engine live.
+//   bstool serve <dir> [--host=A] [--port=N] [--port-file=PATH]
+//                [--workers=N] [--shards=N] [--flush-workers=N]
+//                [--max-inflight-requests=N] [--max-inflight-bytes=N]
+//                [--wal-fsync]
+//       Serve a storage engine under <dir> over the CRC-framed wire
+//       protocol until SIGINT/SIGTERM, then shut down gracefully (in-flight
+//       requests drain, the engine flushes). --port=0 (default) binds an
+//       ephemeral port; --port-file writes the bound port for scripts. A
+//       final request summary is printed on exit; live metrics are served
+//       by the MetricsSnapshot RPC (`bstool client <addr> metrics`).
+//   bstool client <host:port> ping|write|query|latest|agg|metrics [...]
+//       One-shot wire-protocol client for a running `bstool serve`:
+//         ping                       round-trip latency probe
+//         write <sensor> <count> [--t0=N] [--batch=N]
+//                                    synthetic ascending-time points
+//         query <sensor> <t_min> <t_max>     CSV on stdout
+//         latest <sensor>                    last point
+//         agg <sensor> <t_min> <t_max>       aggregate stats
+//         metrics                            server exposition on stdout
 //   bstool algos
 //       List registered sorting algorithms.
 
 #include <atomic>
+#include <csignal>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -61,6 +81,8 @@
 #include "disorder/datasets.h"
 #include "disorder/inversion.h"
 #include "disorder/series_generator.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "tsfile/tsfile.h"
 
 namespace backsort {
@@ -87,7 +109,14 @@ int Usage() {
                "         [--metrics-interval=MS] [--metrics-file=PATH]\n"
                "         [--chunk-cache-bytes=N]\n"
                "  metrics <dir-or-file>\n"
-               "  watch <dir-or-file> [--interval=MS] [--count=N]\n");
+               "  watch <dir-or-file> [--interval=MS] [--count=N]\n"
+               "  serve <dir> [--host=A] [--port=N] [--port-file=PATH]"
+               " [--workers=N]\n"
+               "        [--shards=N] [--flush-workers=N]"
+               " [--max-inflight-requests=N]\n"
+               "        [--max-inflight-bytes=N] [--wal-fsync]\n"
+               "  client <host:port>"
+               " ping|write|query|latest|agg|metrics [...]\n");
   return 2;
 }
 
@@ -498,6 +527,193 @@ int CmdIngest(int argc, char** argv) {
   return 0;
 }
 
+/// Set by SIGINT/SIGTERM; `bstool serve` polls it.
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void HandleServeSignal(int) { g_serve_stop = 1; }
+
+int CmdServe(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  EngineOptions engine_opt;
+  engine_opt.data_dir = argv[0];
+  ServerOptions server_opt;
+  size_t port = 0, workers = server_opt.workers;
+  size_t shards = 0, flush_workers = 0;
+  size_t max_inflight_requests = server_opt.max_inflight_requests;
+  size_t max_inflight_bytes = server_opt.max_inflight_bytes;
+  std::string host = server_opt.host, port_file;
+  bool wal_fsync = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--wal-fsync") == 0) {
+      wal_fsync = true;
+      continue;
+    }
+    if (FlagStr(argv[i], "--host", &host) ||
+        FlagStr(argv[i], "--port-file", &port_file) ||
+        FlagValue(argv[i], "--port", &port) ||
+        FlagValue(argv[i], "--workers", &workers) ||
+        FlagValue(argv[i], "--shards", &shards) ||
+        FlagValue(argv[i], "--flush-workers", &flush_workers) ||
+        FlagValue(argv[i], "--max-inflight-requests",
+                  &max_inflight_requests) ||
+        FlagValue(argv[i], "--max-inflight-bytes", &max_inflight_bytes)) {
+      continue;
+    }
+    std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+    return Usage();
+  }
+  engine_opt.shard_count = shards;
+  engine_opt.flush_workers = flush_workers;
+  engine_opt.wal_fsync = wal_fsync;
+  server_opt.host = host;
+  server_opt.port = static_cast<uint16_t>(port);
+  server_opt.workers = workers;
+  server_opt.max_inflight_requests = max_inflight_requests;
+  server_opt.max_inflight_bytes = max_inflight_bytes;
+
+  BacksortServer server(std::move(engine_opt), std::move(server_opt));
+  if (Status st = server.Start(); !st.ok()) return Fail(st);
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u\n", server.port());
+    std::fclose(f);
+  }
+  std::printf("serving %s on %s:%u (%zu workers); Ctrl-C stops\n", argv[0],
+              host.c_str(), server.port(), workers);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleServeSignal);
+  std::signal(SIGTERM, HandleServeSignal);
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.Stop();
+
+  const NetMetricsSnapshot net = server.GetNetMetrics();
+  std::printf("shutdown: %llu connections, %llu overload sheds, "
+              "%llu protocol errors\n",
+              static_cast<unsigned long long>(net.connections_total),
+              static_cast<unsigned long long>(net.overload_rejections),
+              static_cast<unsigned long long>(net.protocol_errors));
+  for (size_t i = 0; i < kNumMsgTypes; ++i) {
+    if (net.requests_total[i] == 0) continue;
+    const MsgType type = static_cast<MsgType>(i + 1);
+    std::printf("  %-16s %10llu requests, p99 %.3f ms\n", MsgTypeName(type),
+                static_cast<unsigned long long>(net.requests_total[i]),
+                net.request_duration[i].Percentile(99) / 1e6);
+  }
+  return 0;
+}
+
+int CmdClient(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string addr = argv[0];
+  const size_t colon = addr.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "error: address must be host:port, got %s\n",
+                 addr.c_str());
+    return 2;
+  }
+  const std::string host = addr.substr(0, colon);
+  const uint16_t port =
+      static_cast<uint16_t>(std::strtoul(addr.c_str() + colon + 1, nullptr,
+                                         10));
+  const std::string op = argv[1];
+  argc -= 2;
+  argv += 2;
+
+  BacksortClient client;
+  if (Status st = client.Connect(host, port); !st.ok()) return Fail(st);
+
+  if (op == "ping") {
+    WallTimer timer;
+    if (Status st = client.Ping(); !st.ok()) return Fail(st);
+    std::printf("PONG from %s in %.3f ms\n", addr.c_str(),
+                timer.ElapsedMillis());
+    return 0;
+  }
+  if (op == "write") {
+    if (argc < 2) return Usage();
+    const std::string sensor = argv[0];
+    const size_t count =
+        static_cast<size_t>(std::strtoull(argv[1], nullptr, 10));
+    size_t t0 = 0, batch = 500;
+    for (int i = 2; i < argc; ++i) {
+      if (FlagValue(argv[i], "--t0", &t0) ||
+          FlagValue(argv[i], "--batch", &batch)) {
+        continue;
+      }
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      return Usage();
+    }
+    WallTimer timer;
+    std::vector<TvPairDouble> points;
+    for (size_t i = 0; i < count;) {
+      points.clear();
+      for (size_t j = 0; j < batch && i < count; ++j, ++i) {
+        const Timestamp t = static_cast<Timestamp>(t0 + i);
+        points.push_back({t, static_cast<double>(i)});
+      }
+      if (Status st = client.WriteBatch(sensor, points); !st.ok()) {
+        return Fail(st);
+      }
+    }
+    std::printf("wrote %zu points to %s in %.3f ms\n", count, sensor.c_str(),
+                timer.ElapsedMillis());
+    return 0;
+  }
+  if (op == "query") {
+    if (argc < 3) return Usage();
+    std::vector<TvPairDouble> points;
+    if (Status st = client.Query(argv[0], std::atoll(argv[1]),
+                                 std::atoll(argv[2]), &points);
+        !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("timestamp,value\n");
+    for (const TvPairDouble& p : points) {
+      std::printf("%lld,%.17g\n", static_cast<long long>(p.t), p.v);
+    }
+    return 0;
+  }
+  if (op == "latest") {
+    if (argc < 1) return Usage();
+    TvPairDouble p{};
+    if (Status st = client.GetLatest(argv[0], &p); !st.ok()) return Fail(st);
+    std::printf("%lld,%.17g\n", static_cast<long long>(p.t), p.v);
+    return 0;
+  }
+  if (op == "agg") {
+    if (argc < 3) return Usage();
+    TsFileReader::RangeStats stats;
+    bool fast = false;
+    if (Status st = client.AggregateFast(argv[0], std::atoll(argv[1]),
+                                         std::atoll(argv[2]), &stats, &fast);
+        !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("count=%zu sum=%.17g min=%.17g max=%.17g first=%.17g "
+                "last=%.17g fast_path=%d\n",
+                stats.count, stats.sum, stats.min, stats.max, stats.first,
+                stats.last, fast ? 1 : 0);
+    return 0;
+  }
+  if (op == "metrics") {
+    std::string exposition;
+    if (Status st = client.MetricsSnapshot(&exposition); !st.ok()) {
+      return Fail(st);
+    }
+    std::fwrite(exposition.data(), 1, exposition.size(), stdout);
+    return 0;
+  }
+  std::fprintf(stderr, "unknown client op: %s\n", op.c_str());
+  return Usage();
+}
+
 int CmdAlgos() {
   for (SorterId id : AllSorters()) {
     std::printf("%s\n", SorterName(id).c_str());
@@ -516,6 +732,8 @@ int Main(int argc, char** argv) {
   if (cmd == "ingest") return CmdIngest(argc - 2, argv + 2);
   if (cmd == "metrics") return CmdMetrics(argc - 2, argv + 2);
   if (cmd == "watch") return CmdWatch(argc - 2, argv + 2);
+  if (cmd == "serve") return CmdServe(argc - 2, argv + 2);
+  if (cmd == "client") return CmdClient(argc - 2, argv + 2);
   if (cmd == "algos") return CmdAlgos();
   return Usage();
 }

@@ -11,23 +11,27 @@
 #   4. chunk-cache effectiveness smoke: a small ingest + repeated queries
 #      must show a non-zero cache hit rate in the exported metrics, and a
 #      run with --chunk-cache-bytes=0 must export a zero capacity
-#   5. docs link check: every relative markdown link in README.md and
+#   5. network smoke: the wire-protocol and server suites under TSan,
+#      then a real bstool serve on an ephemeral port answering
+#      bstool client ping / write / query / metrics before a clean
+#      SIGTERM shutdown
+#   6. docs link check: every relative markdown link in README.md and
 #      docs/*.md must resolve
 #
 # Usage: tools/ci.sh   (from the repo root; build dirs: build/, build-tsan/)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "=== [1/5] tier-1: configure + build + full test suite ==="
+echo "=== [1/6] tier-1: configure + build + full test suite ==="
 cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
-echo "=== [2/5] engine suites at 4 shards / 2 flush workers ==="
+echo "=== [2/6] engine suites at 4 shards / 2 flush workers ==="
 (cd build && BACKSORT_SHARDS=4 BACKSORT_FLUSH_WORKERS=2 \
   ctest --output-on-failure -R 'Engine|Wal|Workload|Aggregate|ReadPath' -j)
 
-echo "=== [3/5] concurrency + read-path tests under ThreadSanitizer ==="
+echo "=== [3/6] concurrency + read-path tests under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DBACKSORT_SANITIZE=thread
 cmake --build build-tsan -j --target engine_concurrency_test histogram_test \
   chunk_cache_test read_path_test
@@ -36,7 +40,7 @@ cmake --build build-tsan -j --target engine_concurrency_test histogram_test \
 ./build-tsan/tests/chunk_cache_test
 ./build-tsan/tests/read_path_test
 
-echo "=== [4/5] chunk-cache effectiveness smoke ==="
+echo "=== [4/6] chunk-cache effectiveness smoke ==="
 # The read_path suite covers cache correctness; this step checks the
 # operator-visible surface end to end: bstool flag -> engine -> exporter.
 smoke_dir=$(mktemp -d)
@@ -67,7 +71,49 @@ if [ -z "$hits" ] || [ "${hits%%.*}" -le 0 ]; then
 fi
 echo "cache smoke passed (query-mix cache hits: $hits)"
 
-echo "=== [5/5] docs link check ==="
+echo "=== [5/6] network loopback smoke ==="
+# Wire protocol + server correctness under ThreadSanitizer: concurrent
+# clients must stay bit-identical and the shutdown drain must be clean.
+cmake --build build-tsan -j --target net_protocol_test net_server_test
+./build-tsan/tests/net_protocol_test
+./build-tsan/tests/net_server_test
+# Operator surface end to end: serve on an ephemeral port, round-trip
+# ping/write/query/metrics with the client, then a graceful SIGTERM stop.
+./build/tools/bstool serve "$smoke_dir/served" --port=0 \
+  --port-file="$smoke_dir/port" --workers=2 > "$smoke_dir/serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 50); do
+  [ -s "$smoke_dir/port" ] && break
+  sleep 0.1
+done
+[ -s "$smoke_dir/port" ] || {
+  echo "net smoke FAILED: server never wrote its port file"
+  cat "$smoke_dir/serve.log"
+  exit 1
+}
+addr="127.0.0.1:$(cat "$smoke_dir/port")"
+./build/tools/bstool client "$addr" ping
+./build/tools/bstool client "$addr" write ci.sensor 1000 --batch=200 > /dev/null
+# Drop the timestamp,value CSV header before counting data rows.
+rows=$(./build/tools/bstool client "$addr" query ci.sensor 0 1000 \
+  | tail -n +2 | wc -l)
+if [ "$rows" -ne 1000 ]; then
+  echo "net smoke FAILED: wrote 1000 points, query returned $rows rows"
+  exit 1
+fi
+./build/tools/bstool client "$addr" metrics \
+  | grep -q '^backsort_net_requests_total' || {
+  echo "net smoke FAILED: wire metrics missing backsort_net_requests_total"
+  exit 1
+}
+kill -TERM "$serve_pid"
+wait "$serve_pid" || {
+  echo "net smoke FAILED: server did not exit cleanly on SIGTERM"
+  exit 1
+}
+echo "net smoke passed ($rows rows round-tripped via $addr)"
+
+echo "=== [6/6] docs link check ==="
 # Extract the target of every inline markdown link and verify that
 # non-URL, non-anchor targets exist relative to the linking file.
 docs_fail=0
