@@ -75,13 +75,13 @@ class ByteReader {
   bool AtEnd() const { return pos_ >= size_; }
 
   Status GetU8(uint8_t* out) {
-    if (pos_ + 1 > size_) return Truncated("u8");
+    if (remaining() < 1) return Truncated("u8");
     *out = data_[pos_++];
     return Status::OK();
   }
 
   Status GetFixed32(uint32_t* out) {
-    if (pos_ + 4 > size_) return Truncated("fixed32");
+    if (remaining() < 4) return Truncated("fixed32");
     uint32_t v = 0;
     for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
     *out = v;
@@ -89,15 +89,19 @@ class ByteReader {
   }
 
   Status GetFixed64(uint64_t* out) {
-    if (pos_ + 8 > size_) return Truncated("fixed64");
+    if (remaining() < 8) return Truncated("fixed64");
     uint64_t v = 0;
     for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
     *out = v;
     return Status::OK();
   }
 
+  // All bounds checks compare the requested count against remaining()
+  // rather than computing pos_ + n, which would wrap for attacker-chosen
+  // n near SIZE_MAX and let the check pass (these decoders see raw
+  // network payloads, where every length field is untrusted).
   Status GetBytes(void* dst, size_t n) {
-    if (pos_ + n > size_) return Truncated("bytes");
+    if (n > remaining()) return Truncated("bytes");
     std::memcpy(dst, data_ + pos_, n);
     pos_ += n;
     return Status::OK();
@@ -130,7 +134,7 @@ class ByteReader {
   Status GetLengthPrefixedString(std::string* out) {
     uint64_t len = 0;
     RETURN_NOT_OK(GetVarint64(&len));
-    if (pos_ + len > size_) return Truncated("string body");
+    if (len > remaining()) return Truncated("string body");
     out->assign(reinterpret_cast<const char*>(data_ + pos_),
                 static_cast<size_t>(len));
     pos_ += static_cast<size_t>(len);
@@ -138,7 +142,7 @@ class ByteReader {
   }
 
   Status Skip(size_t n) {
-    if (pos_ + n > size_) return Truncated("skip");
+    if (n > remaining()) return Truncated("skip");
     pos_ += n;
     return Status::OK();
   }

@@ -50,6 +50,9 @@ Status BacksortClient::Query(const std::string& sensor, Timestamp t_min,
   RETURN_NOT_OK(Call(MsgType::kQuery, payload, &response));
   ByteReader reader(response);
   RETURN_NOT_OK(DecodePointList(&reader, out));
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes in query response");
+  }
   return Status::OK();
 }
 
@@ -62,6 +65,9 @@ Status BacksortClient::GetLatest(const std::string& sensor,
   RETURN_NOT_OK(Call(MsgType::kGetLatest, payload, &response));
   ByteReader reader(response);
   RETURN_NOT_OK(DecodePoint(&reader, out));
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes in get-latest response");
+  }
   return Status::OK();
 }
 
@@ -77,6 +83,9 @@ Status BacksortClient::AggregateFast(const std::string& sensor,
   ByteReader reader(response);
   AggregateResult result;
   RETURN_NOT_OK(DecodeAggregateResult(&reader, &result));
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes in aggregate response");
+  }
   *stats = result.stats;
   if (used_fast_path != nullptr) *used_fast_path = result.used_fast_path;
   return Status::OK();
@@ -87,6 +96,9 @@ Status BacksortClient::MetricsSnapshot(std::string* exposition) {
   RETURN_NOT_OK(Call(MsgType::kMetricsSnapshot, ByteBuffer(), &response));
   ByteReader reader(response);
   RETURN_NOT_OK(reader.GetLengthPrefixedString(exposition));
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes in metrics response");
+  }
   return Status::OK();
 }
 

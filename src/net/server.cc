@@ -44,7 +44,14 @@ Status BacksortServer::Start() {
 
 void BacksortServer::Stop() {
   if (!started_ || stopped_) return;
-  stopping_.store(true, std::memory_order_release);
+  {
+    // Set under queue_mu_: a worker that evaluated the wait predicate
+    // with stopping_=false is still holding the lock until it blocks, so
+    // it cannot slip between this store and the notify below and miss
+    // the only wakeup.
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_.store(true, std::memory_order_release);
+  }
   // Wake the accept loop without closing the listener fd — the accept
   // thread still reads it until joined below.
   listener_.Shutdown();

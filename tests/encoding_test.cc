@@ -67,6 +67,26 @@ TEST(Bytes, TruncatedReadsFailCleanly) {
   EXPECT_TRUE(r2.GetVarint64(&v).IsCorruption());
 }
 
+TEST(Bytes, HugeDeclaredLengthsFailWithoutWrapping) {
+  // A length prefix near 2^64 must not wrap the bounds check in size_t
+  // arithmetic: these decoders see attacker-controlled network payloads,
+  // and a wrapped check would read out of bounds or throw from assign().
+  ByteBuffer buf;
+  buf.PutVarint64(UINT64_MAX);  // declared string length: 2^64 - 1
+  buf.PutU8('x');
+  {
+    ByteReader r(buf.data());
+    std::string s;
+    EXPECT_TRUE(r.GetLengthPrefixedString(&s).IsCorruption());
+  }
+  const uint8_t byte = 0;
+  ByteReader r(&byte, 1);
+  EXPECT_TRUE(r.Skip(SIZE_MAX).IsCorruption());
+  uint8_t dst[8];
+  ByteReader r2(&byte, 1);
+  EXPECT_TRUE(r2.GetBytes(dst, SIZE_MAX).IsCorruption());
+}
+
 TEST(Bytes, StringRoundTrip) {
   ByteBuffer buf;
   buf.PutLengthPrefixedString("root.sg.d0.s1");

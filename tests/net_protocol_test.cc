@@ -132,6 +132,19 @@ TEST(NetProtocol, WriteBatchRejectsOverdeclaredCount) {
                   .IsCorruption());
 }
 
+TEST(NetProtocol, WriteBatchRejectsHugeSensorLength) {
+  // Sensor-name length declared as 2^64-1: the bounds check must not wrap
+  // in size_t arithmetic, or assign() throws std::length_error (uncaught
+  // in the server worker -> std::terminate) or reads out of bounds. The
+  // attacker controls this varint and can compute a matching frame CRC.
+  ByteBuffer buf;
+  buf.PutVarint64(UINT64_MAX);
+  buf.PutU8('s');
+  WriteBatchRequest out;
+  EXPECT_TRUE(DecodeWriteBatchRequest(buf.data().data(), buf.size(), &out)
+                  .IsCorruption());
+}
+
 TEST(NetProtocol, WriteBatchRejectsTrailingBytes) {
   WriteBatchRequest req;
   req.sensor = "s";

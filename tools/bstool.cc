@@ -562,6 +562,10 @@ int CmdServe(int argc, char** argv) {
     std::fprintf(stderr, "unknown option: %s\n", argv[i]);
     return Usage();
   }
+  if (port > 65535) {
+    std::fprintf(stderr, "error: --port=%zu out of range [0, 65535]\n", port);
+    return 2;
+  }
   engine_opt.shard_count = shards;
   engine_opt.flush_workers = flush_workers;
   engine_opt.wal_fsync = wal_fsync;
@@ -619,9 +623,16 @@ int CmdClient(int argc, char** argv) {
     return 2;
   }
   const std::string host = addr.substr(0, colon);
-  const uint16_t port =
-      static_cast<uint16_t>(std::strtoul(addr.c_str() + colon + 1, nullptr,
-                                         10));
+  const char* port_str = addr.c_str() + colon + 1;
+  char* port_end = nullptr;
+  const unsigned long port_val = std::strtoul(port_str, &port_end, 10);
+  if (port_str[0] == '\0' || port_end == nullptr || *port_end != '\0' ||
+      port_val > 65535) {
+    std::fprintf(stderr, "error: invalid port in %s (want [0, 65535])\n",
+                 addr.c_str());
+    return 2;
+  }
+  const uint16_t port = static_cast<uint16_t>(port_val);
   const std::string op = argv[1];
   argc -= 2;
   argv += 2;
