@@ -33,6 +33,82 @@ inline std::string EnvStr(const char* name, const char* fallback) {
   return (v == nullptr || *v == '\0') ? fallback : v;
 }
 
+/// Minimal JSON document builder for the machine-readable bench records
+/// (`BENCH_<name>.json`): nested objects and scalar fields only, rendered
+/// one key per line so `grep '"key"' file` finds any value without a JSON
+/// parser (tools/ci.sh gates the perf smoke on the ingest speedup this
+/// way). The document root is an object; Finish() closes it.
+class JsonWriter {
+ public:
+  JsonWriter() { stack_.push_back(false); }
+
+  void Field(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    Item(Quote(key) + ": " + buf);
+  }
+  void Field(const std::string& key, size_t v) {
+    Item(Quote(key) + ": " + std::to_string(v));
+  }
+  void Field(const std::string& key, int v) {
+    Item(Quote(key) + ": " + std::to_string(v));
+  }
+  void Field(const std::string& key, const std::string& v) {
+    Item(Quote(key) + ": " + Quote(v));
+  }
+  void BeginObject(const std::string& key) {
+    Item(Quote(key) + ": {");
+    stack_.push_back(false);
+  }
+  void EndObject() {
+    stack_.pop_back();
+    out_ += "\n";
+    out_.append(2 * stack_.size(), ' ');
+    out_ += "}";
+  }
+
+  /// Closes the root object and returns the whole document.
+  std::string Finish() const { return "{" + out_ + "\n}\n"; }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string q = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') q += '\\';
+      q += c;  // bench keys and values are ASCII; no control characters
+    }
+    q += '"';
+    return q;
+  }
+  void Item(const std::string& text) {
+    out_ += stack_.back() ? ",\n" : "\n";
+    stack_.back() = true;
+    out_.append(2 * stack_.size(), ' ');
+    out_ += text;
+  }
+
+  std::string out_;
+  std::vector<bool> stack_;
+};
+
+/// Writes a finished JsonWriter document to
+/// `<BACKSORT_METRICS_DIR or .>/BENCH_<bench>.json` — the machine-readable
+/// companion of a bench's printed tables (throughput, per-stage p50/p99,
+/// run config). Baseline copies live in bench/baselines/.
+inline void WriteBenchJson(JsonWriter& json, const std::string& bench_name) {
+  const std::string path =
+      EnvStr("BACKSORT_METRICS_DIR", ".") + "/BENCH_" + bench_name + ".json";
+  const std::string doc = json.Finish();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench json write failed: %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  std::printf("bench json: wrote %s\n", path.c_str());
+}
+
 /// Builds an IntTVList holding the arrival stream of `delay` — the
 /// "IntTVList(<long,int> T-V pair)" setting of the paper's algorithm
 /// experiments.

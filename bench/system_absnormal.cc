@@ -15,8 +15,12 @@ int main() {
     panels.push_back({name, std::make_unique<AbsNormalDelay>(1, sigma)});
   }
   MetricsRegistry metrics;
-  RunShardScaling(panels[1].name, *panels[1].delay, &metrics);  // AbsNormal(1,1)
-  RunSystemFamily("13/16/19", std::move(panels), &metrics);
+  JsonWriter json;
+  json.Field("bench", "system_absnormal");
+  RunShardScaling(panels[1].name, *panels[1].delay, &metrics,
+                  &json);  // AbsNormal(1,1)
+  RunSystemFamily("13/16/19", std::move(panels), &metrics, &json);
   WriteBenchMetrics(metrics, "system_absnormal");
+  WriteBenchJson(json, "system_absnormal");
   return 0;
 }

@@ -39,6 +39,52 @@ inline void WriteBenchMetrics(const MetricsRegistry& metrics,
   std::printf("\nmetrics: wrote %s\n", path.c_str());
 }
 
+/// Emits one `<stage>_p50_ms` / `<stage>_p99_ms` / `<stage>_count` field
+/// triple per write-path stage into the current JSON object — the
+/// machine-readable form of the stage table `bstool ingest` prints.
+inline void JsonStagePercentiles(JsonWriter& json,
+                                 const StageLatencySnapshots& stages) {
+  const struct {
+    const char* name;
+    const HistogramSnapshot& hist;
+  } rows[] = {
+      {"enqueue", stages.enqueue},
+      {"batch_apply", stages.batch_apply},
+      {"queue_wait", stages.queue_wait},
+      {"sort", stages.sort},
+      {"sort_job", stages.sort_job},
+      {"encode", stages.encode},
+      {"seal", stages.seal},
+      {"flush", stages.flush},
+  };
+  for (const auto& r : rows) {
+    const std::string name = r.name;
+    json.Field(name + "_p50_ms", r.hist.Percentile(50) / 1e6);
+    json.Field(name + "_p99_ms", r.hist.Percentile(99) / 1e6);
+    json.Field(name + "_count", static_cast<size_t>(r.hist.count));
+  }
+}
+
+/// Same for the read-path stages of QueryStageSnapshots.
+inline void JsonQueryStagePercentiles(JsonWriter& json,
+                                      const QueryStageSnapshots& stages) {
+  const struct {
+    const char* name;
+    const HistogramSnapshot& hist;
+  } rows[] = {
+      {"q_snapshot", stages.snapshot},
+      {"q_prune", stages.prune},
+      {"q_read", stages.read},
+      {"q_merge", stages.merge},
+  };
+  for (const auto& r : rows) {
+    const std::string name = r.name;
+    json.Field(name + "_p50_ms", r.hist.Percentile(50) / 1e6);
+    json.Field(name + "_p99_ms", r.hist.Percentile(99) / 1e6);
+    json.Field(name + "_count", static_cast<size_t>(r.hist.count));
+  }
+}
+
 /// Runs the paper's system experiment family over the given panels and
 /// prints, per panel, the query-throughput (Figs. 13-15), flush-time
 /// (Figs. 16-18) and total-test-latency (Figs. 19-21) tables.
@@ -49,10 +95,13 @@ inline void WriteBenchMetrics(const MetricsRegistry& metrics,
 ///
 /// When `metrics` is non-null, every engine run's final snapshot is
 /// exported into it under {panel, write_pct, sorter} labels (see
-/// WriteBenchMetrics).
+/// WriteBenchMetrics). When `json` is non-null, one
+/// `"<panel>|<write_pct>|<sorter>"` object per run is appended with the
+/// run's throughputs and per-stage percentiles (see WriteBenchJson).
 inline void RunSystemFamily(const std::string& figure_ids,
                             std::vector<SystemPanel> panels,
-                            MetricsRegistry* metrics = nullptr) {
+                            MetricsRegistry* metrics = nullptr,
+                            JsonWriter* json = nullptr) {
   // Scaled-down defaults (paper: 10M points, 100k memtable). The ratios
   // between sorters — the figure shapes — survive the scaling; export
   // BACKSORT_SYSTEM_POINTS / BACKSORT_FLUSH_THRESHOLD to raise the scale.
@@ -108,14 +157,33 @@ inline void RunSystemFamily(const std::string& figure_ids,
         t_row.push_back(result.query_throughput / 1e6);  // 1e6 points/s
         f_row.push_back(result.avg_flush_ms);
         l_row.push_back(result.total_latency_sec);
-        if (metrics != nullptr) {
+        if (metrics != nullptr || json != nullptr) {
+          const EngineMetricsSnapshot snap = engine.GetMetricsSnapshot();
           char pct_label[16];
           std::snprintf(pct_label, sizeof(pct_label), "%g", pct);
-          ExportEngineMetrics(engine.GetMetricsSnapshot(),
-                              {{"panel", panel.name},
-                               {"write_pct", pct_label},
-                               {"sorter", SorterName(sorter)}},
-                              /*include_traces=*/false, metrics);
+          if (metrics != nullptr) {
+            ExportEngineMetrics(snap,
+                                {{"panel", panel.name},
+                                 {"write_pct", pct_label},
+                                 {"sorter", SorterName(sorter)}},
+                                /*include_traces=*/false, metrics);
+          }
+          if (json != nullptr) {
+            json->BeginObject(panel.name + "|" + pct_label + "|" +
+                              SorterName(sorter));
+            json->Field("panel", panel.name);
+            json->Field("write_pct", pct);
+            json->Field("sorter", SorterName(sorter));
+            json->Field("points", points);
+            json->Field("flush_threshold", flush_threshold);
+            json->Field("client_threads", config.client_threads);
+            json->Field("write_throughput_pps", result.write_throughput);
+            json->Field("query_throughput_pps", result.query_throughput);
+            json->Field("avg_flush_ms", result.avg_flush_ms);
+            json->Field("total_latency_sec", result.total_latency_sec);
+            JsonStagePercentiles(*json, snap.stages);
+            json->EndObject();
+          }
         }
       }
       throughput.push_back(std::move(t_row));
@@ -157,10 +225,12 @@ inline void RunSystemFamily(const std::string& figure_ids,
 /// four shards the clients' sensor sets hash onto different shards and
 /// ingest in parallel.
 /// When `metrics` is non-null, each configuration's final snapshot is
-/// exported under {panel, config} labels.
+/// exported under {panel, config} labels; when `json` is non-null each
+/// configuration appends a `"shard_scaling|..."` object.
 inline void RunShardScaling(const std::string& panel_name,
                             const DelayDistribution& delay,
-                            MetricsRegistry* metrics = nullptr) {
+                            MetricsRegistry* metrics = nullptr,
+                            JsonWriter* json = nullptr) {
   const size_t points = EnvSize("BACKSORT_SYSTEM_POINTS", 100'000) * 8;
   const size_t flush_threshold =
       EnvSize("BACKSORT_FLUSH_THRESHOLD", std::max<size_t>(points / 20, 5'000));
@@ -225,10 +295,25 @@ inline void RunShardScaling(const std::string& panel_name,
     PrintRow(setup.label,
              {result.write_throughput / 1e6, result.total_latency_sec,
               static_cast<double>(result.flush_count)});
-    if (metrics != nullptr) {
-      ExportEngineMetrics(engine.GetMetricsSnapshot(),
-                          {{"panel", panel_name}, {"config", setup.label}},
-                          /*include_traces=*/false, metrics);
+    if (metrics != nullptr || json != nullptr) {
+      const EngineMetricsSnapshot snap = engine.GetMetricsSnapshot();
+      if (metrics != nullptr) {
+        ExportEngineMetrics(snap,
+                            {{"panel", panel_name}, {"config", setup.label}},
+                            /*include_traces=*/false, metrics);
+      }
+      if (json != nullptr) {
+        json->BeginObject("shard_scaling|" + panel_name + "|" + setup.label);
+        json->Field("panel", panel_name);
+        json->Field("config", setup.label);
+        json->Field("points", points);
+        json->Field("client_threads", clients);
+        json->Field("write_throughput_pps", result.write_throughput);
+        json->Field("total_latency_sec", result.total_latency_sec);
+        json->Field("flushes", static_cast<size_t>(result.flush_count));
+        JsonStagePercentiles(*json, snap.stages);
+        json->EndObject();
+      }
     }
   }
   std::error_code ec;
@@ -246,10 +331,13 @@ inline void RunShardScaling(const std::string& panel_name,
 /// Repeating the same ranges makes the cached run converge to memory-speed
 /// reads; the uncached run re-opens and re-decodes its files every time.
 /// When `metrics` is non-null each configuration's final snapshot (query
-/// stage histograms, cache counters) is exported under {panel, config}.
+/// stage histograms, cache counters) is exported under {panel, config};
+/// when `json` is non-null each configuration appends a `"query_mix|..."`
+/// object with throughput, query p50/p99 and per-stage percentiles.
 inline void RunQueryMix(const std::string& panel_name,
                         const DelayDistribution& delay,
-                        MetricsRegistry* metrics = nullptr) {
+                        MetricsRegistry* metrics = nullptr,
+                        JsonWriter* json = nullptr) {
   const size_t preload = EnvSize("BACKSORT_SYSTEM_POINTS", 100'000);
   const size_t stream = std::max<size_t>(preload / 2, 10'000);
   const size_t flush_threshold =
@@ -366,10 +454,28 @@ inline void RunQueryMix(const std::string& panel_name,
                 static_cast<unsigned long long>(cache.misses),
                 static_cast<unsigned long long>(
                     engine.GetMetricsSnapshot().query_files_pruned));
-    if (metrics != nullptr) {
-      ExportEngineMetrics(engine.GetMetricsSnapshot(),
-                          {{"panel", panel_name}, {"config", setup.label}},
-                          /*include_traces=*/false, metrics);
+    if (metrics != nullptr || json != nullptr) {
+      const EngineMetricsSnapshot snap = engine.GetMetricsSnapshot();
+      if (metrics != nullptr) {
+        ExportEngineMetrics(snap,
+                            {{"panel", panel_name}, {"config", setup.label}},
+                            /*include_traces=*/false, metrics);
+      }
+      if (json != nullptr) {
+        json->BeginObject("query_mix|" + panel_name + "|" + setup.label);
+        json->Field("panel", panel_name);
+        json->Field("config", setup.label);
+        json->Field("preload_points", preload);
+        json->Field("stream_points", stream);
+        json->Field("readers", readers);
+        json->Field("write_throughput_pps", write_mps * 1e6);
+        json->Field("query_p50_ms", p50);
+        json->Field("query_p99_ms", p99);
+        json->Field("queries", all.size());
+        json->Field("cache_hit_rate", hit_rate);
+        JsonQueryStagePercentiles(*json, snap.query_stages);
+        json->EndObject();
+      }
     }
   }
   std::error_code ec;

@@ -15,8 +15,12 @@ int main() {
     panels.push_back({name, std::make_unique<LogNormalDelay>(1, sigma)});
   }
   MetricsRegistry metrics;
-  RunShardScaling(panels[1].name, *panels[1].delay, &metrics);  // LogNormal(1,1)
-  RunSystemFamily("14/17/20", std::move(panels), &metrics);
+  JsonWriter json;
+  json.Field("bench", "system_lognormal");
+  RunShardScaling(panels[1].name, *panels[1].delay, &metrics,
+                  &json);  // LogNormal(1,1)
+  RunSystemFamily("14/17/20", std::move(panels), &metrics, &json);
   WriteBenchMetrics(metrics, "system_lognormal");
+  WriteBenchJson(json, "system_lognormal");
   return 0;
 }

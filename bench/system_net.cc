@@ -236,7 +236,30 @@ int Run() {
   PrintRow("ping p50 ms", {net.ping_p50_ms, 0.0});
   PrintRow("ping p99 ms", {net.ping_p99_ms, 0.0});
 
+  JsonWriter json;
+  json.Field("bench", "system_net");
+  json.Field("points", total_points);
+  json.Field("clients", clients);
+  json.Field("queries_per_client", queries_per_client);
+  json.Field("batch", batch);
+  const struct {
+    const char* key;
+    const SideResult& side;
+  } sides[] = {{"loopback", net}, {"in_process", local}};
+  for (const auto& s : sides) {
+    json.BeginObject(s.key);
+    json.Field("write_points_per_sec", s.side.write_points_per_sec);
+    json.Field("write_p50_ms", s.side.write_p50_ms);
+    json.Field("write_p99_ms", s.side.write_p99_ms);
+    json.Field("query_per_sec", s.side.query_per_sec);
+    json.Field("query_p50_ms", s.side.query_p50_ms);
+    json.Field("query_p99_ms", s.side.query_p99_ms);
+    json.Field("ping_p50_ms", s.side.ping_p50_ms);
+    json.Field("ping_p99_ms", s.side.ping_p99_ms);
+    json.EndObject();
+  }
   WriteBenchMetrics(metrics, "system_net");
+  WriteBenchJson(json, "system_net");
   std::filesystem::remove_all(base, ec);
   return 0;
 }

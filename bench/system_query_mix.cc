@@ -12,10 +12,13 @@ int main() {
   using namespace backsort;
   using namespace backsort::bench;
   MetricsRegistry metrics;
+  JsonWriter json;
+  json.Field("bench", "system_query_mix");
   AbsNormalDelay mild(1, 1.0);
-  RunQueryMix("AbsNormal(1,1)", mild, &metrics);
+  RunQueryMix("AbsNormal(1,1)", mild, &metrics, &json);
   AbsNormalDelay heavy(1, 100.0);
-  RunQueryMix("AbsNormal(1,100)", heavy, &metrics);
+  RunQueryMix("AbsNormal(1,100)", heavy, &metrics, &json);
   WriteBenchMetrics(metrics, "system_query_mix");
+  WriteBenchJson(json, "system_query_mix");
   return 0;
 }

@@ -14,8 +14,11 @@ int main() {
     panels.push_back({DatasetName(id), MakeDatasetDelay(id)});
   }
   MetricsRegistry metrics;
-  RunShardScaling(panels[0].name, *panels[0].delay, &metrics);
-  RunSystemFamily("15/18/21", std::move(panels), &metrics);
+  JsonWriter json;
+  json.Field("bench", "system_realworld");
+  RunShardScaling(panels[0].name, *panels[0].delay, &metrics, &json);
+  RunSystemFamily("15/18/21", std::move(panels), &metrics, &json);
   WriteBenchMetrics(metrics, "system_realworld");
+  WriteBenchJson(json, "system_realworld");
   return 0;
 }

@@ -71,10 +71,18 @@ struct StageLatencySnapshots {
   /// including shard-lock wait (and inline flush stalls when async_flush
   /// is off) — the client-visible write-enqueue latency.
   HistogramSnapshot enqueue;
+  /// One WriteBatch call applied to a shard: the batched analog of
+  /// `enqueue` — one sample per batch, spanning the whole group commit
+  /// (partition + WAL batch record + bulk memtable appends).
+  HistogramSnapshot batch_apply;
   /// Seal -> dequeue wait of a sealed memtable in the flush queue.
   HistogramSnapshot queue_wait;
   /// Per-flush total TVList sort time.
   HistogramSnapshot sort;
+  /// One per-sensor sort+encode job inside a flush — the unit of work the
+  /// intra-flush parallelism fans out (one sample per sensor per flush,
+  /// whatever the parallelism).
+  HistogramSnapshot sort_job;
   /// Per-flush total encode+write time.
   HistogramSnapshot encode;
   /// Per-flush file seal (footer + flush to OS) time.
@@ -85,8 +93,10 @@ struct StageLatencySnapshots {
   /// Folds another set of stage snapshots into this one, bucket-wise.
   void Merge(const StageLatencySnapshots& other) {
     enqueue.Merge(other.enqueue);
+    batch_apply.Merge(other.batch_apply);
     queue_wait.Merge(other.queue_wait);
     sort.Merge(other.sort);
+    sort_job.Merge(other.sort_job);
     encode.Merge(other.encode);
     seal.Merge(other.seal);
     flush.Merge(other.flush);
@@ -165,6 +175,10 @@ struct EngineMetricsSnapshot {
   uint64_t query_files_opened = 0;
   /// Shared chunk-cache counters (see ChunkCacheStats).
   ChunkCacheStats cache;
+  /// Batched write calls applied via the group-commit path since open.
+  uint64_t batch_writes = 0;
+  /// Points ingested via the batched write path since open.
+  uint64_t batch_points = 0;
 
   /// Sealed memtables currently queued for flush, summed over shards.
   size_t total_queued_flushes() const {

@@ -161,8 +161,10 @@ void ExportEngineMetrics(const EngineMetricsSnapshot& snapshot,
     const HistogramSnapshot& hist;
   } stages[] = {
       {"enqueue", snapshot.stages.enqueue},
+      {"batch_apply", snapshot.stages.batch_apply},
       {"queue_wait", snapshot.stages.queue_wait},
       {"sort", snapshot.stages.sort},
+      {"sort_job", snapshot.stages.sort_job},
       {"encode", snapshot.stages.encode},
       {"seal", snapshot.stages.seal},
       {"flush", snapshot.stages.flush},
@@ -172,8 +174,9 @@ void ExportEngineMetrics(const EngineMetricsSnapshot& snapshot,
     labels.emplace_back("stage", s.stage);
     registry->Summary(
         "backsort_stage_duration_seconds",
-        "Write-path stage latency in seconds (stages: enqueue, queue_wait, "
-        "sort, encode, seal, flush); quantile=\"1\" is the observed max.",
+        "Write-path stage latency in seconds (stages: enqueue, batch_apply, "
+        "queue_wait, sort, sort_job, encode, seal, flush); quantile=\"1\" is "
+        "the observed max.",
         labels, s.hist, kNsToSec);
   }
 
@@ -196,6 +199,14 @@ void ExportEngineMetrics(const EngineMetricsSnapshot& snapshot,
         "observed max.",
         labels, s.hist, kNsToSec);
   }
+
+  registry->Counter(
+      "backsort_engine_batch_writes_total",
+      "Batched write calls applied via the group-commit ingest path.",
+      base_labels, static_cast<double>(snapshot.batch_writes));
+  registry->Counter("backsort_engine_batch_points_total",
+                    "Points ingested via the batched write path.",
+                    base_labels, static_cast<double>(snapshot.batch_points));
 
   registry->Counter("backsort_queries_total",
                     "Range queries served since the engine opened.",

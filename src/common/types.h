@@ -1,7 +1,9 @@
 #ifndef BACKSORT_COMMON_TYPES_H_
 #define BACKSORT_COMMON_TYPES_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace backsort {
 
@@ -26,6 +28,16 @@ using TvPairInt = TvPair<int32_t>;
 using TvPairLong = TvPair<int64_t>;
 using TvPairFloat = TvPair<float>;
 using TvPairDouble = TvPair<double>;
+
+/// One sensor's contiguous slice of a multi-sensor write batch. Non-owning:
+/// the sensor name and the point array must outlive the span. This is the
+/// unit the batched ingest path hands around — engine facade → shard →
+/// WAL group-commit record — without copying points at any hop.
+struct SensorSpanDouble {
+  const std::string* sensor = nullptr;
+  const TvPairDouble* points = nullptr;
+  size_t count = 0;
+};
 
 }  // namespace backsort
 

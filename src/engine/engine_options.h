@@ -49,6 +49,15 @@ struct EngineOptions {
   /// hardware_concurrency). Ignored when async_flush is false.
   size_t flush_workers = 0;
 
+  /// Intra-flush parallelism: how many worker threads one flush may fan
+  /// its per-sensor sort+encode jobs across. Output is deterministic at
+  /// any setting — encoded chunks are appended to the TsFile in sensor
+  /// order, so the sealed bytes are identical to the serial path. 0 =
+  /// auto: $BACKSORT_FLUSH_PARALLELISM when set, else 1. With 1 the flush
+  /// loop runs inline on the flush worker, exactly the pre-parallel
+  /// behavior. Tuning notes in docs/OPERATIONS.md.
+  size_t flush_parallelism = 0;
+
   /// Run flushes on background threads (IoTDB's flush is "asynchronously
   /// awaited"). Tests may turn this off for determinism.
   bool async_flush = true;

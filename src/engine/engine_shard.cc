@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <limits>
+#include <thread>
 
 #include "common/timer.h"
 #include "engine/flush_pool.h"
@@ -84,6 +85,133 @@ Status EngineShard::Write(const std::string& sensor, Timestamp t, double v) {
   }
   shared_->histograms.enqueue.Record(
       static_cast<uint64_t>(enqueue_timer.ElapsedNanos()));
+  return Status::OK();
+}
+
+Status EngineShard::WriteBatch(const SensorSpanDouble* groups,
+                               size_t group_count, size_t* applied) {
+  const EngineOptions& options = shared_->options;
+  if (applied != nullptr) *applied = 0;
+  size_t total = 0;
+  for (size_t g = 0; g < group_count; ++g) total += groups[g].count;
+  if (total == 0) return Status::OK();
+
+  // Batch-apply latency: the whole group commit including shard-lock wait
+  // (and inline flush stalls when async_flush is off) — the batched
+  // counterpart of the per-point enqueue stage.
+  WallTimer batch_timer;
+  std::unique_lock<std::mutex> lock(mu_);
+
+  // Partition every group against its sensor's watermark in one pass: one
+  // watermark lookup per group instead of one per point. Groups that land
+  // entirely on one side are passed through as views of the caller's
+  // array — no copy; split groups are stably copy-partitioned into the
+  // reused scratch vectors (reserved up front, so the spans into them
+  // never dangle).
+  part_seq_.clear();
+  part_unseq_.clear();
+  spans_seq_.clear();
+  spans_unseq_.clear();
+  part_seq_.reserve(total);
+  part_unseq_.reserve(total);
+  for (size_t g = 0; g < group_count; ++g) {
+    const SensorSpanDouble& group = groups[g];
+    if (group.count == 0) continue;
+    const auto wm = flush_watermark_.find(*group.sensor);
+    size_t unseq_n = 0;
+    if (wm != flush_watermark_.end()) {
+      for (size_t i = 0; i < group.count; ++i) {
+        if (group.points[i].t <= wm->second) ++unseq_n;
+      }
+    }
+    if (unseq_n == 0) {
+      spans_seq_.push_back(group);
+    } else if (unseq_n == group.count) {
+      spans_unseq_.push_back(group);
+    } else {
+      const TvPairDouble* seq_begin = part_seq_.data() + part_seq_.size();
+      const TvPairDouble* unseq_begin =
+          part_unseq_.data() + part_unseq_.size();
+      for (size_t i = 0; i < group.count; ++i) {
+        (group.points[i].t <= wm->second ? part_unseq_ : part_seq_)
+            .push_back(group.points[i]);
+      }
+      spans_seq_.push_back({group.sensor, seq_begin, group.count - unseq_n});
+      spans_unseq_.push_back({group.sensor, unseq_begin, unseq_n});
+    }
+  }
+
+  // Apply one target memtable's partition: one group-commit WAL record for
+  // all its spans, then bulk memtable appends. A target is either fully
+  // applied or untouched (the WAL record precedes any memtable write), so
+  // `applied` stays an exact count across mid-batch failures.
+  size_t applied_points = 0;
+  auto apply_target = [&](bool sequence,
+                          const std::vector<SensorSpanDouble>& spans)
+      -> Status {
+    if (spans.empty()) return Status::OK();
+    if (options.enable_wal) {
+      std::unique_ptr<WalWriter>& wal = sequence ? wal_seq_ : wal_unseq_;
+      if (wal == nullptr) RETURN_NOT_OK(RotateWalLocked(sequence));
+      RETURN_NOT_OK(wal->AppendBatch(spans.data(), spans.size()));
+      if (options.sync_wal_every_write) RETURN_NOT_OK(wal->Sync());
+    }
+    MemTable* target = sequence ? working_seq_.get() : working_unseq_.get();
+    size_t target_points = 0;
+    for (const SensorSpanDouble& span : spans) {
+      target->WriteN(*span.sensor, span.points, span.count);
+      // Last-cache update: arrival-order scan with the per-point >= tie
+      // rule. The two partitions of one group can never tie against each
+      // other (equal timestamps fall on the same side of the watermark),
+      // so per-span scans reproduce the per-point result exactly.
+      auto it = last_cache_.find(*span.sensor);
+      bool have = it != last_cache_.end();
+      TvPairDouble best = have ? it->second : TvPairDouble{};
+      for (size_t i = 0; i < span.count; ++i) {
+        if (!have || span.points[i].t >= best.t) {
+          best = span.points[i];
+          have = true;
+        }
+      }
+      if (it != last_cache_.end()) {
+        it->second = best;
+      } else {
+        last_cache_.emplace(*span.sensor, best);
+      }
+      target_points += span.count;
+    }
+    approx_working_points_.fetch_add(target_points,
+                                     std::memory_order_relaxed);
+    applied_points += target_points;
+    return Status::OK();
+  };
+
+  Status st = apply_target(true, spans_seq_);
+  if (st.ok()) st = apply_target(false, spans_unseq_);
+  if (applied != nullptr) *applied = applied_points;
+  if (!st.ok()) return st;
+  shared_->batch_writes.fetch_add(1, std::memory_order_relaxed);
+  shared_->batch_points.fetch_add(total, std::memory_order_relaxed);
+
+  // Seal checks after the whole batch (see the header note on threshold
+  // overshoot); both targets may have crossed their trigger.
+  for (const bool sequence : {true, false}) {
+    MemTable* target = sequence ? working_seq_.get() : working_unseq_.get();
+    if (target->total_points() >= flush_threshold_) SealLocked(sequence);
+  }
+  if (!options.async_flush) {
+    while (!flush_queue_.empty()) {
+      FlushJob job = flush_queue_.front();
+      flush_queue_.pop_front();
+      lock.unlock();
+      Status flush_status = FlushTable(job);
+      lock.lock();
+      // The batch itself is staged and queryable; only the flush failed.
+      if (!flush_status.ok()) return flush_status;
+    }
+  }
+  shared_->histograms.batch_apply.Record(
+      static_cast<uint64_t>(batch_timer.ElapsedNanos()));
   return Status::OK();
 }
 
@@ -188,9 +316,45 @@ Status EngineShard::FlushTable(const FlushJob& job) {
   Status write_status = Status::OK();
   {
     // The sealed table's TVLists are sorted in place; serialize with any
-    // concurrent query reading this table via the per-table mutex.
+    // concurrent query reading this table via the per-table mutex. Workers
+    // spawned below run entirely inside this critical section (created and
+    // joined while the coordinator holds the lock), so their accesses are
+    // ordered against every other mu()-synchronized reader through the
+    // coordinator's acquire/release plus the thread create/join edges.
     std::unique_lock<std::mutex> table_lock(table->mu());
+
+    // One sort+encode job per sensor, in map (sensor-name) order. Encoded
+    // chunk bodies are position-independent, so jobs run on any worker in
+    // any order; the coordinator appends results in job order below,
+    // making the sealed file byte-identical to the serial loop at every
+    // parallelism setting.
+    struct SensorJob {
+      const std::string* sensor;
+      DoubleTVList* list;
+    };
+    struct JobResult {
+      TsFileWriter::EncodedChunk chunk;
+      Status status;
+      int64_t sort_ns = 0;
+      int64_t encode_ns = 0;
+    };
+    std::vector<SensorJob> jobs;
+    jobs.reserve(table->chunks().size());
     for (auto& [sensor, list] : table->chunks()) {
+      jobs.push_back({&sensor, list.get()});
+    }
+    std::vector<JobResult> results(jobs.size());
+
+    // Per-worker reusable column scratch: grown once to the largest chunk
+    // a worker sees, not reallocated per sensor.
+    struct Scratch {
+      std::vector<Timestamp> ts;
+      std::vector<double> values;
+    };
+    auto run_job = [&](size_t i, Scratch& scratch) {
+      DoubleTVList* list = jobs[i].list;
+      JobResult& res = results[i];
+      WallTimer job_timer;
       // Sort the TVList with the configured algorithm (skipped when appends
       // arrived in order — IoTDB checks the same flag).
       if (!list->sorted()) {
@@ -198,24 +362,59 @@ Status EngineShard::FlushTable(const FlushJob& job) {
         TVListSortable<double> seq_adapter(*list);
         SortWith(options.sorter, seq_adapter, options.backward_options);
         list->MarkSorted();
-        const int64_t sorted_ns = sort_timer.ElapsedNanos();
-        sort_ms += static_cast<double>(sorted_ns) / 1e6;
-        trace.sort_ns += sorted_ns;
+        res.sort_ns = sort_timer.ElapsedNanos();
       }
       WallTimer encode_timer;
-      std::vector<Timestamp> ts;
-      std::vector<double> values;
-      ts.reserve(list->size());
-      values.reserve(list->size());
-      for (size_t i = 0; i < list->size(); ++i) {
-        ts.push_back(list->TimeAt(i));
-        values.push_back(list->ValueAt(i));
+      scratch.ts.clear();
+      scratch.values.clear();
+      scratch.ts.reserve(list->size());
+      scratch.values.reserve(list->size());
+      for (size_t k = 0; k < list->size(); ++k) {
+        scratch.ts.push_back(list->TimeAt(k));
+        scratch.values.push_back(list->ValueAt(k));
       }
-      write_status = writer.WriteChunkF64(sensor, ts, values,
-                                          Encoding::kTs2Diff,
-                                          Encoding::kGorilla,
-                                          options.points_per_page);
-      trace.encode_ns += encode_timer.ElapsedNanos();
+      res.status = TsFileWriter::EncodeChunkF64(
+          *jobs[i].sensor, scratch.ts, scratch.values, Encoding::kTs2Diff,
+          Encoding::kGorilla, options.points_per_page, &res.chunk);
+      res.encode_ns = encode_timer.ElapsedNanos();
+      shared_->histograms.sort_job.Record(
+          static_cast<uint64_t>(job_timer.ElapsedNanos()));
+    };
+
+    const size_t parallelism = std::min(
+        std::max<size_t>(options.flush_parallelism, 1), jobs.size());
+    if (parallelism <= 1) {
+      // Inline on the flush worker — the pre-parallel path.
+      Scratch scratch;
+      for (size_t i = 0; i < jobs.size(); ++i) run_job(i, scratch);
+    } else {
+      std::atomic<size_t> next{0};
+      std::vector<std::thread> task_group;
+      task_group.reserve(parallelism);
+      for (size_t w = 0; w < parallelism; ++w) {
+        task_group.emplace_back([&] {
+          Scratch scratch;
+          for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
+               i < jobs.size();
+               i = next.fetch_add(1, std::memory_order_relaxed)) {
+            run_job(i, scratch);
+          }
+        });
+      }
+      for (auto& worker : task_group) worker.join();
+    }
+
+    // Deterministic assembly in job (sensor) order; first failure wins,
+    // like the serial loop.
+    for (size_t i = 0; i < results.size(); ++i) {
+      JobResult& res = results[i];
+      sort_ms += static_cast<double>(res.sort_ns) / 1e6;
+      trace.sort_ns += res.sort_ns;
+      trace.encode_ns += res.encode_ns;
+      write_status = res.status;
+      if (write_status.ok()) {
+        write_status = writer.AppendEncodedChunk(*jobs[i].sensor, res.chunk);
+      }
       if (!write_status.ok()) break;
     }
   }
@@ -688,10 +887,18 @@ Status EngineShard::RecoverRelog() {
     const bool sequence = table == working_seq_.get();
     RETURN_NOT_OK(RotateWalLocked(sequence));
     WalWriter* wal = sequence ? wal_seq_.get() : wal_unseq_.get();
+    // One group-commit batch record per sensor (not one per point): the
+    // relogged segment is smaller and the replay path that reads it is the
+    // same batch expansion recovery already exercises.
+    std::vector<TvPairDouble> points;
     for (const auto& [sensor, list] : table->chunks()) {
+      points.clear();
+      points.reserve(list->size());
       for (size_t i = 0; i < list->size(); ++i) {
-        RETURN_NOT_OK(wal->Append(sensor, list->TimeAt(i), list->ValueAt(i)));
+        points.push_back({list->TimeAt(i), list->ValueAt(i)});
       }
+      const SensorSpanDouble span{&sensor, points.data(), points.size()};
+      RETURN_NOT_OK(wal->AppendBatch(&span, 1));
     }
     RETURN_NOT_OK(wal->Sync());
   }

@@ -32,8 +32,10 @@ class FlushPool;
 /// per-point write path without adding contention.
 struct WritePathHistograms {
   LatencyHistogram enqueue;
+  LatencyHistogram batch_apply;
   LatencyHistogram queue_wait;
   LatencyHistogram sort;
+  LatencyHistogram sort_job;
   LatencyHistogram encode;
   LatencyHistogram seal;
   LatencyHistogram flush;
@@ -41,8 +43,10 @@ struct WritePathHistograms {
   StageLatencySnapshots Snapshot() const {
     StageLatencySnapshots snap;
     snap.enqueue = enqueue.Snapshot();
+    snap.batch_apply = batch_apply.Snapshot();
     snap.queue_wait = queue_wait.Snapshot();
     snap.sort = sort.Snapshot();
+    snap.sort_job = sort_job.Snapshot();
     snap.encode = encode.Snapshot();
     snap.seal = seal.Snapshot();
     snap.flush = flush.Snapshot();
@@ -105,6 +109,11 @@ struct EngineSharedState {
   std::atomic<uint64_t> query_files_pruned{0};
   std::atomic<uint64_t> query_files_opened{0};
 
+  /// Batched-ingest counters: WriteBatch calls whose points were applied,
+  /// and the points they carried (relaxed, same contract as above).
+  std::atomic<uint64_t> batch_writes{0};
+  std::atomic<uint64_t> batch_points{0};
+
   /// Epoch of every FlushTrace timestamp: engine construction time on the
   /// steady clock.
   std::chrono::steady_clock::time_point epoch =
@@ -160,6 +169,30 @@ class EngineShard {
   size_t shard_id() const { return shard_id_; }
 
   Status Write(const std::string& sensor, Timestamp t, double v);
+
+  /// Batch-native ingest: applies every group's points under ONE shard-lock
+  /// acquisition — each group is partitioned against its sensor's watermark
+  /// in a single pass, each target memtable gets one group-commit WAL
+  /// record (WalWriter::AppendBatch) and bulk appends
+  /// (MemTable::WriteN), amortizing the per-point mutex/map/WAL-frame
+  /// costs the per-point path pays N times.
+  ///
+  /// `applied` (optional) reports how many of the batch's points were
+  /// durably staged (WAL record written, memtable updated) when the call
+  /// returns — the partial-apply contract. Points apply target-by-target
+  /// (sequence partition first, then unsequence), so on a mid-batch error
+  /// the applied points are a whole target partition, not necessarily a
+  /// prefix of the caller's arrival order; on success it equals the batch
+  /// size. An error from the inline synchronous flush (async_flush off)
+  /// reports all points applied: they are staged and queryable even though
+  /// the flush itself failed.
+  ///
+  /// Seal checks run after the whole batch is applied, so a batch may
+  /// overshoot `flush_threshold` by up to its own size (the per-point path
+  /// seals mid-stream); the threshold is a trigger, not a cap.
+  Status WriteBatch(const SensorSpanDouble* groups, size_t group_count,
+                    size_t* applied);
+
   Status Query(const std::string& sensor, Timestamp t_min, Timestamp t_max,
                std::vector<TvPairDouble>* out);
   Status GetLatest(const std::string& sensor, TvPairDouble* out);
@@ -293,6 +326,17 @@ class EngineShard {
   std::map<std::string, TvPairDouble> last_cache_;
   /// Tables sealed but not yet fully on disk; still visible to queries.
   std::vector<std::shared_ptr<MemTable>> flushing_;
+
+  /// WriteBatch partition scratch, reused across batches so the steady
+  /// state allocates nothing. Guarded by mu_ like the structures above.
+  /// The span vectors hold non-owning views into either the caller's
+  /// arrays (single-target groups) or the part vectors (split groups);
+  /// part vectors are reserved to the batch size up front so those views
+  /// stay stable.
+  std::vector<TvPairDouble> part_seq_;
+  std::vector<TvPairDouble> part_unseq_;
+  std::vector<SensorSpanDouble> spans_seq_;
+  std::vector<SensorSpanDouble> spans_unseq_;
 
   std::deque<FlushJob> flush_queue_;
   std::condition_variable flush_done_cv_;

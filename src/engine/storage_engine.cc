@@ -74,6 +74,11 @@ StorageEngine::StorageEngine(EngineOptions options) {
   }
   flush_workers_ = std::max<size_t>(workers, 1);
 
+  size_t parallelism = shared_.options.flush_parallelism;
+  if (parallelism == 0) parallelism = EnvCount("BACKSORT_FLUSH_PARALLELISM");
+  if (parallelism == 0) parallelism = 1;
+  shared_.options.flush_parallelism = parallelism;
+
   const size_t per_shard_threshold =
       std::max<size_t>(shared_.options.memtable_flush_threshold / shards, 1);
   shards_.reserve(shards);
@@ -207,10 +212,30 @@ Status StorageEngine::Write(const std::string& sensor, Timestamp t,
 }
 
 Status StorageEngine::WriteBatch(const std::string& sensor,
-                                 const std::vector<TvPairDouble>& points) {
-  EngineShard* shard = shards_[ShardFor(sensor)].get();
-  for (const TvPairDouble& p : points) {
-    RETURN_NOT_OK(shard->Write(sensor, p.t, p.v));
+                                 const std::vector<TvPairDouble>& points,
+                                 size_t* applied) {
+  const SensorSpanDouble group{&sensor, points.data(), points.size()};
+  return shards_[ShardFor(sensor)]->WriteBatch(&group, 1, applied);
+}
+
+Status StorageEngine::WriteMulti(const std::vector<SensorBatch>& batches,
+                                 size_t* applied) {
+  if (applied != nullptr) *applied = 0;
+  // Group by shard so each shard sees one batched call covering all its
+  // sensors' slices.
+  std::vector<std::vector<SensorSpanDouble>> per_shard(shards_.size());
+  for (const SensorBatch& batch : batches) {
+    if (batch.points.empty()) continue;
+    per_shard[ShardFor(batch.sensor)].push_back(
+        {&batch.sensor, batch.points.data(), batch.points.size()});
+  }
+  for (size_t s = 0; s < per_shard.size(); ++s) {
+    if (per_shard[s].empty()) continue;
+    size_t shard_applied = 0;
+    const Status st = shards_[s]->WriteBatch(
+        per_shard[s].data(), per_shard[s].size(), &shard_applied);
+    if (applied != nullptr) *applied += shard_applied;
+    RETURN_NOT_OK(st);
   }
   return Status::OK();
 }
@@ -271,6 +296,8 @@ EngineMetricsSnapshot StorageEngine::GetMetricsSnapshot() const {
   snap.query_files_opened =
       shared_.query_files_opened.load(std::memory_order_relaxed);
   snap.cache = shared_.chunk_cache->GetStats();
+  snap.batch_writes = shared_.batch_writes.load(std::memory_order_relaxed);
+  snap.batch_points = shared_.batch_points.load(std::memory_order_relaxed);
   return snap;
 }
 

@@ -48,9 +48,35 @@ class StorageEngine {
   /// Ingests one point (arrival order = call order).
   Status Write(const std::string& sensor, Timestamp t, double v);
 
-  /// Ingests a batch (the benchmark writes batches of 500).
+  /// Ingests a batch of one sensor's points through the batch-native shard
+  /// path (the benchmark writes batches of 500): one shard-lock
+  /// acquisition, one watermark partition pass, one group-commit WAL
+  /// record per target memtable and bulk TVList appends — instead of the
+  /// per-point costs N times over.
+  ///
+  /// `applied` (optional) reports how many points were durably staged when
+  /// the call returns: the batch size on success, an exact count on a
+  /// mid-batch error (see EngineShard::WriteBatch for the target-by-target
+  /// partial-apply contract).
   Status WriteBatch(const std::string& sensor,
-                    const std::vector<TvPairDouble>& points);
+                    const std::vector<TvPairDouble>& points,
+                    size_t* applied = nullptr);
+
+  /// One sensor's slice of a multi-sensor batch (owning, unlike the
+  /// non-owning SensorSpanDouble the internals use).
+  struct SensorBatch {
+    std::string sensor;
+    std::vector<TvPairDouble> points;
+  };
+
+  /// Multi-sensor batched ingest: groups the batches by shard and
+  /// dispatches ONE batched call per shard, so a batch spanning S sensors
+  /// on one shard still pays one lock/WAL-record round instead of S.
+  /// Shards apply in index order; `applied` accumulates exact per-shard
+  /// counts and the first shard error stops the dispatch (later shards'
+  /// points are not applied).
+  Status WriteMulti(const std::vector<SensorBatch>& batches,
+                    size_t* applied = nullptr);
 
   /// Time-range query [t_min, t_max]: sorted, may contain points from the
   /// working memtable, in-flight flushing memtables, and sealed files.
@@ -111,6 +137,11 @@ class StorageEngine {
   /// Resolved shard / flush-worker counts (after env and auto defaults).
   size_t shard_count() const { return shards_.size(); }
   size_t flush_worker_count() const { return flush_workers_; }
+
+  /// Resolved intra-flush parallelism (after env and auto defaults; >= 1).
+  size_t flush_parallelism() const {
+    return shared_.options.flush_parallelism;
+  }
 
   /// Merges every sealed TsFile (sequence and unsequence) into one compact
   /// sequence file per run — the LSM-style compaction that bounds read

@@ -10,31 +10,111 @@
 
 namespace backsort {
 
+namespace {
+
+// Segment header of versioned WALs: magic + format version (see wal.h for
+// why this cannot collide with a legacy frame).
+constexpr char kWalMagic[4] = {'B', 'W', 'A', 'L'};
+constexpr uint8_t kWalVersion = 2;
+constexpr size_t kWalHeaderLen = sizeof(kWalMagic) + 1;
+
+// Leading byte of every v2 record payload.
+enum WalRecordType : uint8_t {
+  kWalPoint = 1,
+  kWalBatch = 2,
+};
+
+void PutPoint(Timestamp t, double v, ByteBuffer* payload) {
+  payload->PutFixed64(static_cast<uint64_t>(t));
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  payload->PutFixed64(bits);
+}
+
+Status AppendFrame(std::FILE* out, const std::string& path,
+                   const ByteBuffer& payload) {
+  ByteBuffer frame;
+  frame.PutFixed32(static_cast<uint32_t>(payload.size()));
+  frame.PutFixed32(Crc32(payload.data().data(), payload.size()));
+  frame.Append(payload);
+  if (std::fwrite(frame.data().data(), 1, frame.size(), out) !=
+      frame.size()) {
+    return Status::IOError("WAL append failed: " + path);
+  }
+  return Status::OK();
+}
+
+bool ParsePointBody(ByteReader* body, WalRecord* record) {
+  uint64_t t_bits = 0, v_bits = 0;
+  if (!body->GetLengthPrefixedString(&record->sensor).ok() ||
+      !body->GetFixed64(&t_bits).ok() || !body->GetFixed64(&v_bits).ok()) {
+    return false;
+  }
+  record->t = static_cast<Timestamp>(t_bits);
+  std::memcpy(&record->v, &v_bits, sizeof(record->v));
+  return true;
+}
+
+}  // namespace
+
 Status WalWriter::Open() {
   if (out_ != nullptr) return Status::InvalidArgument("WAL already open");
   out_ = std::fopen(path_.c_str(), "ab");
   if (out_ == nullptr) return Status::IOError("cannot open WAL: " + path_);
+  // A brand-new segment gets the version header; a non-empty one already
+  // has its format fixed (segments are never reopened across versions —
+  // recovery rewrites leftover segments into fresh ones).
+  if (std::fseek(out_, 0, SEEK_END) != 0) {
+    (void)Close();
+    return Status::IOError("cannot seek WAL: " + path_);
+  }
+  const long size = std::ftell(out_);
+  if (size < 0) {
+    (void)Close();
+    return Status::IOError("cannot size WAL: " + path_);
+  }
+  if (size == 0) {
+    uint8_t header[kWalHeaderLen];
+    std::memcpy(header, kWalMagic, sizeof(kWalMagic));
+    header[sizeof(kWalMagic)] = kWalVersion;
+    if (std::fwrite(header, 1, sizeof(header), out_) != sizeof(header)) {
+      (void)Close();
+      return Status::IOError("WAL header write failed: " + path_);
+    }
+  }
   return Status::OK();
 }
 
 Status WalWriter::Append(const std::string& sensor, Timestamp t, double v) {
   if (out_ == nullptr) return Status::InvalidArgument("WAL not open");
   ByteBuffer payload;
+  payload.PutU8(kWalPoint);
   payload.PutLengthPrefixedString(sensor);
-  payload.PutFixed64(static_cast<uint64_t>(t));
-  uint64_t bits = 0;
-  std::memcpy(&bits, &v, sizeof(bits));
-  payload.PutFixed64(bits);
+  PutPoint(t, v, &payload);
+  return AppendFrame(out_, path_, payload);
+}
 
-  ByteBuffer frame;
-  frame.PutFixed32(static_cast<uint32_t>(payload.size()));
-  frame.PutFixed32(Crc32(payload.data().data(), payload.size()));
-  frame.Append(payload);
-  if (std::fwrite(frame.data().data(), 1, frame.size(), out_) !=
-      frame.size()) {
-    return Status::IOError("WAL append failed: " + path_);
+Status WalWriter::AppendBatch(const SensorSpanDouble* groups,
+                              size_t group_count) {
+  if (out_ == nullptr) return Status::InvalidArgument("WAL not open");
+  size_t non_empty = 0;
+  for (size_t g = 0; g < group_count; ++g) {
+    if (groups[g].count > 0) ++non_empty;
   }
-  return Status::OK();
+  if (non_empty == 0) return Status::OK();
+  ByteBuffer payload;
+  payload.PutU8(kWalBatch);
+  payload.PutVarint64(non_empty);
+  for (size_t g = 0; g < group_count; ++g) {
+    const SensorSpanDouble& group = groups[g];
+    if (group.count == 0) continue;
+    payload.PutLengthPrefixedString(*group.sensor);
+    payload.PutVarint64(group.count);
+    for (size_t i = 0; i < group.count; ++i) {
+      PutPoint(group.points[i].t, group.points[i].v, &payload);
+    }
+  }
+  return AppendFrame(out_, path_, payload);
 }
 
 Status WalWriter::Sync() {
@@ -72,7 +152,17 @@ Status ReadWal(const std::string& path, std::vector<WalRecord>* records,
   in.read(reinterpret_cast<char*>(data.data()), size);
   if (!in) return Status::IOError("WAL read failed: " + path);
 
-  ByteReader reader(data);
+  // Format sniff: the v2 header, or a legacy header-less segment whose
+  // frames start at byte 0. A torn header (crash before the 5 bytes made
+  // it out) falls into the legacy branch and stops at the first frame
+  // check, losing nothing that was ever synced.
+  const bool v2 =
+      data.size() >= kWalHeaderLen &&
+      std::memcmp(data.data(), kWalMagic, sizeof(kWalMagic)) == 0 &&
+      data[sizeof(kWalMagic)] == kWalVersion;
+  const size_t header = v2 ? kWalHeaderLen : 0;
+
+  ByteReader reader(data.data() + header, data.size() - header);
   while (!reader.AtEnd()) {
     uint32_t payload_size = 0;
     uint32_t expected_crc = 0;
@@ -82,23 +172,60 @@ Status ReadWal(const std::string& path, std::vector<WalRecord>* records,
       if (tail_truncated != nullptr) *tail_truncated = true;
       break;
     }
-    const uint8_t* payload = data.data() + reader.position();
+    const uint8_t* payload = data.data() + header + reader.position();
     if (Crc32(payload, payload_size) != expected_crc) {
       if (tail_truncated != nullptr) *tail_truncated = true;
       break;
     }
+    // CRC matched, so from here any parse failure is real corruption, not
+    // a torn tail.
     ByteReader body(payload, payload_size);
-    WalRecord record;
-    uint64_t t_bits = 0, v_bits = 0;
-    if (!body.GetLengthPrefixedString(&record.sensor).ok() ||
-        !body.GetFixed64(&t_bits).ok() || !body.GetFixed64(&v_bits).ok()) {
-      // CRC matched but the payload does not parse: real corruption, not a
-      // torn tail.
-      return Status::Corruption("WAL payload malformed: " + path);
+    if (!v2) {
+      WalRecord record;
+      if (!ParsePointBody(&body, &record)) {
+        return Status::Corruption("WAL payload malformed: " + path);
+      }
+      records->push_back(std::move(record));
+    } else {
+      uint8_t type = 0;
+      if (!body.GetU8(&type).ok()) {
+        return Status::Corruption("WAL payload malformed: " + path);
+      }
+      if (type == kWalPoint) {
+        WalRecord record;
+        if (!ParsePointBody(&body, &record)) {
+          return Status::Corruption("WAL payload malformed: " + path);
+        }
+        records->push_back(std::move(record));
+      } else if (type == kWalBatch) {
+        uint64_t group_count = 0;
+        if (!body.GetVarint64(&group_count).ok()) {
+          return Status::Corruption("WAL batch malformed: " + path);
+        }
+        for (uint64_t g = 0; g < group_count; ++g) {
+          std::string sensor;
+          uint64_t count = 0;
+          if (!body.GetLengthPrefixedString(&sensor).ok() ||
+              !body.GetVarint64(&count).ok()) {
+            return Status::Corruption("WAL batch malformed: " + path);
+          }
+          for (uint64_t i = 0; i < count; ++i) {
+            WalRecord record;
+            record.sensor = sensor;
+            uint64_t t_bits = 0, v_bits = 0;
+            if (!body.GetFixed64(&t_bits).ok() ||
+                !body.GetFixed64(&v_bits).ok()) {
+              return Status::Corruption("WAL batch malformed: " + path);
+            }
+            record.t = static_cast<Timestamp>(t_bits);
+            std::memcpy(&record.v, &v_bits, sizeof(record.v));
+            records->push_back(std::move(record));
+          }
+        }
+      } else {
+        return Status::Corruption("WAL record type unknown: " + path);
+      }
     }
-    record.t = static_cast<Timestamp>(t_bits);
-    std::memcpy(&record.v, &v_bits, sizeof(record.v));
-    records->push_back(std::move(record));
     RETURN_NOT_OK(reader.Skip(payload_size));
   }
   return Status::OK();

@@ -20,10 +20,24 @@ struct WalRecord {
 
 /// Append-only write-ahead log segment. Each record is framed as
 ///   [payload size : fixed32][crc32(payload) : fixed32][payload]
-/// with payload = length-prefixed sensor + fixed64 time + fixed64 value
-/// bits. Recovery replays records until the first frame whose size or CRC
-/// does not check out — a torn tail from a crash loses at most the last
-/// record, never poisons earlier ones.
+/// Recovery replays records until the first frame whose size or CRC does
+/// not check out — a torn tail from a crash loses at most the last record
+/// (for a batch record: the last group commit), never poisons earlier ones.
+///
+/// Format versioning. A fresh segment starts with a 5-byte header, magic
+/// "BWAL" + version byte 2, and every v2 payload then begins with a record
+/// type byte:
+///   point (1): sensor (length-prefixed) + fixed64 time + fixed64 value bits
+///   batch (2): group count (varint), then per group
+///              sensor (length-prefixed) + point count (varint) +
+///              count x (fixed64 time, fixed64 value bits)
+/// The batch record is the group commit of the batched write path: one
+/// frame, one CRC, one buffered write for a whole multi-sensor batch.
+/// Legacy (pre-versioning) segments have no header and bare point payloads;
+/// ReadWal sniffs the header and parses either format, so WALs written
+/// before the version byte existed still replay. (The magic cannot collide
+/// with a legacy frame: it would decode as a ~1.2 GB payload size, which no
+/// legacy segment ever carried.)
 ///
 /// The segment is an fd-backed stdio stream, so Sync() has two strengths:
 /// by default it flushes the user-space buffer into the OS page cache
@@ -40,11 +54,18 @@ class WalWriter {
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
 
+  /// Opens (or creates) the segment for appending; a brand-new segment
+  /// gets the v2 format header.
   Status Open();
 
   /// Appends one point. Buffered; call Sync() to force it to the OS (and,
   /// in fsync mode, to the device).
   Status Append(const std::string& sensor, Timestamp t, double v);
+
+  /// Appends one group-commit batch record covering every non-empty group:
+  /// one frame and one CRC however many sensors and points the batch
+  /// spans. Empty groups are skipped; an all-empty batch writes nothing.
+  Status AppendBatch(const SensorSpanDouble* groups, size_t group_count);
 
   Status Sync();
   Status Close();
@@ -57,8 +78,11 @@ class WalWriter {
   std::FILE* out_ = nullptr;
 };
 
-/// Replays a WAL segment. `tail_truncated` reports whether replay stopped
-/// early at a damaged frame (expected after a crash, not an error).
+/// Replays a WAL segment, v2 or legacy (see the format notes above). Batch
+/// records expand into per-point records in write order, so callers replay
+/// one flat stream whatever mix of record types the segment holds.
+/// `tail_truncated` reports whether replay stopped early at a damaged
+/// frame (expected after a crash, not an error).
 Status ReadWal(const std::string& path, std::vector<WalRecord>* records,
                bool* tail_truncated);
 

@@ -42,6 +42,25 @@ class MemTable {
     total_points_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Appends `n` points of one sensor in arrival order — one chunk-map
+  /// lookup and one footprint/count update for the whole slice, with the
+  /// bulk TVList::AppendN underneath. State is bit-identical to `n` Write
+  /// calls. Same contract as Write: working table only, under the owning
+  /// shard's lock.
+  void WriteN(const std::string& sensor, const TvPairDouble* points,
+              size_t n) {
+    if (n == 0) return;
+    auto it = chunks_.find(sensor);
+    if (it == chunks_.end()) {
+      it = chunks_.emplace(sensor, std::make_unique<DoubleTVList>()).first;
+    }
+    const size_t before = it->second->MemoryBytes();
+    it->second->AppendN(points, n);
+    approx_bytes_.fetch_add(it->second->MemoryBytes() - before,
+                            std::memory_order_relaxed);
+    total_points_.fetch_add(n, std::memory_order_relaxed);
+  }
+
   /// Total points across all sensors — the flush trigger input. The paper
   /// notes ~100k points is the appropriate in-memory size in IoTDB (the
   /// engine splits that budget across shards). Atomic, so the engine

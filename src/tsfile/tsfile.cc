@@ -151,14 +151,18 @@ Status ParseIndexBlock(const uint8_t* block, size_t size,
 
 // --- writer -----------------------------------------------------------------
 
+namespace {
+
+/// Serializes one chunk body (header + pages) into a standalone buffer.
+/// Every byte WriteChunkImpl used to append to the file buffer lands here
+/// in the same order, so encode-then-append is bit-identical to the
+/// in-place path.
 template <typename V>
-Status TsFileWriter::WriteChunkImpl(const std::string& sensor,
-                                    const std::vector<Timestamp>& ts,
-                                    const std::vector<V>& values,
-                                    DataType type, Encoding time_enc,
-                                    Encoding value_enc,
-                                    size_t points_per_page) {
-  if (finished_) return Status::InvalidArgument("writer already finished");
+Status EncodeChunkBody(const std::string& sensor,
+                       const std::vector<Timestamp>& ts,
+                       const std::vector<V>& values, DataType type,
+                       Encoding time_enc, Encoding value_enc,
+                       size_t points_per_page, ByteBuffer* out) {
   if (ts.size() != values.size()) {
     return Status::InvalidArgument("time/value size mismatch");
   }
@@ -166,32 +170,27 @@ Status TsFileWriter::WriteChunkImpl(const std::string& sensor,
     return Status::InvalidArgument(
         "chunk timestamps must be sorted before writing (flush sorts first)");
   }
-  if (points_per_page == 0) points_per_page = kDefaultPointsPerPage;
-
-  if (buffer_.size() == 0) {
-    buffer_.PutBytes(kMagic, kMagicLen);
+  if (points_per_page == 0) {
+    points_per_page = TsFileWriter::kDefaultPointsPerPage;
   }
-  index_.push_back({sensor, buffer_.size(), type, ts.size(),
-                    ts.empty() ? Timestamp{0} : ts.front(),
-                    ts.empty() ? Timestamp{-1} : ts.back()});
 
-  buffer_.PutLengthPrefixedString(sensor);
-  buffer_.PutU8(static_cast<uint8_t>(type));
-  buffer_.PutU8(static_cast<uint8_t>(time_enc));
-  buffer_.PutU8(static_cast<uint8_t>(value_enc));
+  out->PutLengthPrefixedString(sensor);
+  out->PutU8(static_cast<uint8_t>(type));
+  out->PutU8(static_cast<uint8_t>(time_enc));
+  out->PutU8(static_cast<uint8_t>(value_enc));
   const size_t page_count = ts.empty()
                                 ? 0
                                 : (ts.size() + points_per_page - 1) /
                                       points_per_page;
-  buffer_.PutVarint64(page_count);
+  out->PutVarint64(page_count);
 
   for (size_t p = 0; p < page_count; ++p) {
     const size_t begin = p * points_per_page;
     const size_t end = std::min(begin + points_per_page, ts.size());
     const size_t count = end - begin;
-    buffer_.PutVarint64(count);
-    buffer_.PutVarintSigned64(ts[begin]);
-    buffer_.PutVarintSigned64(ts[end - 1]);
+    out->PutVarint64(count);
+    out->PutVarintSigned64(ts[begin]);
+    out->PutVarintSigned64(ts[end - 1]);
     // Per-page value statistics for aggregation pushdown.
     double min_v = static_cast<double>(values[begin]);
     double max_v = min_v;
@@ -202,10 +201,10 @@ Status TsFileWriter::WriteChunkImpl(const std::string& sensor,
       max_v = std::max(max_v, v);
       sum_v += v;
     }
-    auto put_double = [this](double v) {
+    auto put_double = [out](double v) {
       uint64_t bits = 0;
       std::memcpy(&bits, &v, sizeof(bits));
-      buffer_.PutFixed64(bits);
+      out->PutFixed64(bits);
     };
     put_double(min_v);
     put_double(max_v);
@@ -215,8 +214,8 @@ Status TsFileWriter::WriteChunkImpl(const std::string& sensor,
                                    ts.begin() + static_cast<ptrdiff_t>(end));
     ByteBuffer time_buf;
     RETURN_NOT_OK(EncodeTimeAndValues(time_enc, page_ts, &time_buf));
-    buffer_.PutVarint64(time_buf.size());
-    buffer_.Append(time_buf);
+    out->PutVarint64(time_buf.size());
+    out->Append(time_buf);
 
     std::vector<V> page_vals(values.begin() + static_cast<ptrdiff_t>(begin),
                              values.begin() + static_cast<ptrdiff_t>(end));
@@ -226,9 +225,59 @@ Status TsFileWriter::WriteChunkImpl(const std::string& sensor,
     } else {
       RETURN_NOT_OK(EncodeF64(value_enc, page_vals, &value_buf));
     }
-    buffer_.PutVarint64(value_buf.size());
-    buffer_.Append(value_buf);
+    out->PutVarint64(value_buf.size());
+    out->Append(value_buf);
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+template <typename V>
+Status TsFileWriter::WriteChunkImpl(const std::string& sensor,
+                                    const std::vector<Timestamp>& ts,
+                                    const std::vector<V>& values,
+                                    DataType type, Encoding time_enc,
+                                    Encoding value_enc,
+                                    size_t points_per_page) {
+  if (finished_) return Status::InvalidArgument("writer already finished");
+  ByteBuffer body;
+  RETURN_NOT_OK(EncodeChunkBody(sensor, ts, values, type, time_enc,
+                                value_enc, points_per_page, &body));
+  if (buffer_.size() == 0) {
+    buffer_.PutBytes(kMagic, kMagicLen);
+  }
+  index_.push_back({sensor, buffer_.size(), type, ts.size(),
+                    ts.empty() ? Timestamp{0} : ts.front(),
+                    ts.empty() ? Timestamp{-1} : ts.back()});
+  buffer_.Append(body);
+  return Status::OK();
+}
+
+Status TsFileWriter::EncodeChunkF64(const std::string& sensor,
+                                    const std::vector<Timestamp>& ts,
+                                    const std::vector<double>& values,
+                                    Encoding time_enc, Encoding value_enc,
+                                    size_t points_per_page,
+                                    EncodedChunk* out) {
+  out->body.Clear();
+  out->type = DataType::kDouble;
+  out->points = ts.size();
+  out->min_t = ts.empty() ? Timestamp{0} : ts.front();
+  out->max_t = ts.empty() ? Timestamp{-1} : ts.back();
+  return EncodeChunkBody(sensor, ts, values, DataType::kDouble, time_enc,
+                         value_enc, points_per_page, &out->body);
+}
+
+Status TsFileWriter::AppendEncodedChunk(const std::string& sensor,
+                                        const EncodedChunk& chunk) {
+  if (finished_) return Status::InvalidArgument("writer already finished");
+  if (buffer_.size() == 0) {
+    buffer_.PutBytes(kMagic, kMagicLen);
+  }
+  index_.push_back({sensor, buffer_.size(), chunk.type, chunk.points,
+                    chunk.min_t, chunk.max_t});
+  buffer_.Append(chunk.body);
   return Status::OK();
 }
 

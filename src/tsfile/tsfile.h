@@ -72,6 +72,35 @@ class TsFileWriter {
                        Encoding value_enc = Encoding::kGorilla,
                        size_t points_per_page = kDefaultPointsPerPage);
 
+  /// One chunk's serialized body plus the metadata its index entry needs —
+  /// the split that lets encoding run off the writer. Chunk bodies are
+  /// position-independent (the index entry records the offset at append
+  /// time), so parallel flush workers encode different sensors
+  /// concurrently and the coordinator appends the results in a
+  /// deterministic order; the file bytes are identical to the serial
+  /// WriteChunkF64 path by construction.
+  struct EncodedChunk {
+    ByteBuffer body;
+    DataType type = DataType::kDouble;
+    size_t points = 0;
+    Timestamp min_t = 0;
+    Timestamp max_t = -1;  // empty-chunk sentinel, as WriteChunkF64 records
+  };
+
+  /// Encodes one F64 chunk body into `out` without touching any writer.
+  /// Static and stateless — safe to call from any thread. Same validation
+  /// as WriteChunkF64 (sorted timestamps, matching column sizes).
+  static Status EncodeChunkF64(const std::string& sensor,
+                               const std::vector<Timestamp>& ts,
+                               const std::vector<double>& values,
+                               Encoding time_enc, Encoding value_enc,
+                               size_t points_per_page, EncodedChunk* out);
+
+  /// Appends a chunk produced by EncodeChunkF64, recording its index
+  /// entry. WriteChunkF64 == EncodeChunkF64 + AppendEncodedChunk.
+  Status AppendEncodedChunk(const std::string& sensor,
+                            const EncodedChunk& chunk);
+
   /// Writes index + footer and flushes the file to disk.
   Status Finish();
 

@@ -1,6 +1,7 @@
 #ifndef BACKSORT_TVLIST_TV_LIST_H_
 #define BACKSORT_TVLIST_TV_LIST_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <memory>
 #include <vector>
@@ -48,6 +49,45 @@ class TVList {
     if (size_ == 0 || t > max_time_) max_time_ = t;
     if (size_ == 0 || t < min_time_) min_time_ = t;
     ++size_;
+  }
+
+  /// Appends `n` points in arrival order — semantically `n` calls to Put,
+  /// but copied array-chunk by array-chunk so the per-point index math and
+  /// bookkeeping branches are hoisted out of the loop. The resulting list
+  /// state (points, size, sorted flag, min/max times, array chain shape) is
+  /// bit-identical to the per-point path; tvlist_test pins that down.
+  void AppendN(const TvPair<V>* points, size_t n) {
+    if (n == 0) return;
+    size_t size = size_;
+    bool sorted = sorted_;
+    Timestamp min_t = min_time_;
+    Timestamp max_t = max_time_;
+    size_t i = 0;
+    while (i < n) {
+      const size_t arr = size / array_size_;
+      const size_t off = size % array_size_;
+      if (arr == time_arrays_.size()) {
+        time_arrays_.push_back(std::make_unique<Timestamp[]>(array_size_));
+        value_arrays_.push_back(std::make_unique<V[]>(array_size_));
+      }
+      Timestamp* tdst = time_arrays_[arr].get() + off;
+      V* vdst = value_arrays_[arr].get() + off;
+      const size_t take = std::min(array_size_ - off, n - i);
+      for (size_t k = 0; k < take; ++k) {
+        const Timestamp t = points[i + k].t;
+        tdst[k] = t;
+        vdst[k] = points[i + k].v;
+        if (size > 0 && t < max_t) sorted = false;
+        if (size == 0 || t > max_t) max_t = t;
+        if (size == 0 || t < min_t) min_t = t;
+        ++size;
+      }
+      i += take;
+    }
+    size_ = size;
+    sorted_ = sorted;
+    min_time_ = min_t;
+    max_time_ = max_t;
   }
 
   size_t size() const { return size_; }

@@ -316,6 +316,106 @@ TEST_F(EngineConcurrencyTest, RewriteRoundsStayLastWriteWins) {
   }
 }
 
+// The batch-native path under fire: writers ship group-commit batches
+// (private sensor plus a WriteMulti slice of a shared sensor) while
+// readers query, a flusher drives FlushAll, and every flush fans its
+// per-sensor jobs across 4 intra-flush workers. TSan must see clean
+// happens-before edges through the batch apply, the parallel sort+encode
+// workers and the query snapshots.
+TEST_F(EngineConcurrencyTest, BatchedWritersWithParallelFlush) {
+  EngineOptions opt = Options(/*shards=*/4, /*flush_workers=*/2);
+  opt.flush_parallelism = 4;
+  opt.memtable_flush_threshold = 4'000;
+  StorageEngine engine(opt);
+  ASSERT_TRUE(engine.Open().ok());
+
+  constexpr size_t kWriters = 4;
+  constexpr size_t kPoints = 6'000;
+  constexpr size_t kBatch = 250;
+  const std::string shared_sensor = "root.sg.batch.shared";
+  auto own_sensor = [](size_t w) {
+    return "root.sg.batch.w" + std::to_string(w);
+  };
+  auto value_of = [](size_t w, Timestamp t) {
+    return static_cast<double>(w * 1'000'000 + static_cast<size_t>(t));
+  };
+
+  std::atomic<bool> done{false};
+  std::atomic<size_t> queries_ok{0};
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(300 + w);
+      AbsNormalDelay delay(1, 25);
+      const auto ts = GenerateArrivalOrderedTimestamps(kPoints, delay, rng);
+      const std::string sensor = own_sensor(w);
+      std::vector<TvPairDouble> own_batch;
+      std::vector<StorageEngine::SensorBatch> multi(1);
+      multi[0].sensor = shared_sensor;
+      for (size_t i = 0; i < ts.size(); ++i) {
+        own_batch.push_back({ts[i], value_of(w, ts[i])});
+        const auto shared_t = static_cast<Timestamp>(i * kWriters + w);
+        multi[0].points.push_back({shared_t, value_of(w, shared_t)});
+        if (own_batch.size() == kBatch || i + 1 == ts.size()) {
+          size_t applied = 0;
+          ASSERT_TRUE(engine.WriteBatch(sensor, own_batch, &applied).ok());
+          ASSERT_EQ(applied, own_batch.size());
+          applied = 0;
+          ASSERT_TRUE(engine.WriteMulti(multi, &applied).ok());
+          ASSERT_EQ(applied, multi[0].points.size());
+          own_batch.clear();
+          multi[0].points.clear();
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    size_t round = 0;
+    std::vector<TvPairDouble> out;
+    while (!done.load()) {
+      const size_t w = round++ % kWriters;
+      ASSERT_TRUE(engine.Query(own_sensor(w), 0, 1'000'000'000, &out).ok());
+      for (size_t i = 1; i < out.size(); ++i) {
+        ASSERT_LT(out[i - 1].t, out[i].t);
+        ASSERT_DOUBLE_EQ(out[i].v, value_of(w, out[i].t));
+      }
+      queries_ok.fetch_add(1);
+    }
+  });
+  threads.emplace_back([&] {
+    while (!done.load()) {
+      ASSERT_TRUE(engine.FlushAll().ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  for (size_t w = 0; w < kWriters; ++w) threads[w].join();
+  done.store(true);
+  for (size_t i = kWriters; i < threads.size(); ++i) threads[i].join();
+  EXPECT_GT(queries_ok.load(), 0u);
+  ASSERT_TRUE(engine.FlushAll().ok());
+
+  std::vector<TvPairDouble> out;
+  for (size_t w = 0; w < kWriters; ++w) {
+    ASSERT_TRUE(engine.Query(own_sensor(w), 0, 1'000'000'000, &out).ok());
+    ASSERT_EQ(out.size(), kPoints) << own_sensor(w);
+    for (size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i].t, static_cast<Timestamp>(i));
+      ASSERT_DOUBLE_EQ(out[i].v, value_of(w, out[i].t));
+    }
+  }
+  ASSERT_TRUE(engine.Query(shared_sensor, 0, 1'000'000'000, &out).ok());
+  ASSERT_EQ(out.size(), kWriters * kPoints);
+  for (size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i].t, static_cast<Timestamp>(i));
+    ASSERT_DOUBLE_EQ(out[i].v, value_of(i % kWriters, out[i].t));
+  }
+  const EngineMetricsSnapshot snap = engine.GetMetricsSnapshot();
+  EXPECT_GT(snap.batch_writes, 0u);
+  EXPECT_EQ(snap.batch_points, 2 * kWriters * kPoints);
+  EXPECT_GT(snap.total_completed_flushes(), 0u);
+}
+
 TEST_F(EngineConcurrencyTest, ShardedStateSurvivesRestart) {
   constexpr size_t kWriters = 4;
   constexpr size_t kPoints = 4'000;

@@ -1,4 +1,7 @@
+#include <algorithm>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -251,6 +254,197 @@ TEST_F(EngineTest, MultipleSensors) {
   ASSERT_TRUE(engine.Query("b", 0, 10'000, &out).ok());
   ASSERT_EQ(out.size(), 5000u);
   for (const auto& p : out) EXPECT_DOUBLE_EQ(p.v, 2.0);
+}
+
+// --- batched ingest -------------------------------------------------------
+
+TEST_F(EngineTest, WriteBatchAppliedCountOnSuccess) {
+  StorageEngine engine(Options(SorterId::kBackward));
+  ASSERT_TRUE(engine.Open().ok());
+  std::vector<TvPairDouble> batch;
+  for (int i = 0; i < 257; ++i) batch.push_back({i, i * 0.5});
+  size_t applied = 999;
+  ASSERT_TRUE(engine.WriteBatch("bs", batch, &applied).ok());
+  EXPECT_EQ(applied, 257u);
+  ASSERT_TRUE(engine.WriteBatch("bs", {}, &applied).ok());
+  EXPECT_EQ(applied, 0u);
+  std::vector<TvPairDouble> out;
+  ASSERT_TRUE(engine.Query("bs", 0, 1'000, &out).ok());
+  EXPECT_EQ(out.size(), 257u);
+  const auto snap = engine.GetMetricsSnapshot();
+  EXPECT_EQ(snap.batch_writes, 1u);  // the empty batch is a no-op
+  EXPECT_EQ(snap.batch_points, 257u);
+}
+
+TEST_F(EngineTest, WriteBatchSplitsAcrossSeqAndUnseq) {
+  // A batch straddling the flushed watermark must partition mid-batch:
+  // the late points join the unsequence table, yet applied counts the
+  // whole batch and queries see one merged series.
+  StorageEngine engine(Options(SorterId::kBackward));
+  ASSERT_TRUE(engine.Open().ok());
+  for (int i = 0; i <= 100; ++i) ASSERT_TRUE(engine.Write("mix", i, 0.0).ok());
+  ASSERT_TRUE(engine.FlushAll().ok());  // watermark now 100
+
+  std::vector<TvPairDouble> straddle;
+  for (int i = 0; i < 40; ++i) {
+    straddle.push_back({50 + i * 5, 1.0});  // t in [50, 245]: both sides
+  }
+  size_t applied = 0;
+  ASSERT_TRUE(engine.WriteBatch("mix", straddle, &applied).ok());
+  EXPECT_EQ(applied, straddle.size());
+
+  std::vector<TvPairDouble> out;
+  ASSERT_TRUE(engine.Query("mix", 0, 1'000, &out).ok());
+  // 101 flushed + 40 batched, minus the 11 unsequence points that rewrite
+  // a flushed timestamp (t = 50, 55, ..., 100): the rewrite wins the merge.
+  EXPECT_EQ(out.size(), 130u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    ASSERT_LE(out[i - 1].t, out[i].t) << "merge lost ordering at " << i;
+  }
+  for (const auto& p : out) {
+    if (p.t >= 50 && p.t <= 245 && p.t % 5 == 0) {
+      EXPECT_DOUBLE_EQ(p.v, 1.0) << "rewrite lost at t=" << p.t;
+    }
+  }
+  TvPairDouble latest{};
+  ASSERT_TRUE(engine.GetLatest("mix", &latest).ok());
+  EXPECT_EQ(latest.t, 245);
+  EXPECT_DOUBLE_EQ(latest.v, 1.0);
+}
+
+TEST_F(EngineTest, WriteBatchPartialApplyOnMidBatchError) {
+  // The partial-apply contract: a target memtable is fully applied or
+  // untouched. Seal once so the watermark exists and the sequence WAL
+  // segment is already open, then delete the data dir — the open segment
+  // still accepts appends (unlinked but open), while the unsequence
+  // target's lazy WAL rotation cannot create its file. The straddling
+  // batch lands its sequence half and errors on the unsequence half.
+  EngineOptions opt = Options(SorterId::kBackward);
+  StorageEngine engine(opt);
+  ASSERT_TRUE(engine.Open().ok());
+  for (int i = 0; i <= 100; ++i) ASSERT_TRUE(engine.Write("pa", i, 0.0).ok());
+  ASSERT_TRUE(engine.FlushAll().ok());
+  ASSERT_TRUE(engine.Write("pa", 200, 0.0).ok());  // reopens the seq WAL
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir_, ec);
+  const std::vector<TvPairDouble> straddle = {
+      {300, 1.0}, {301, 1.0}, {302, 1.0},  // sequence side
+      {10, 2.0},  {20, 2.0},               // unsequence side
+  };
+  size_t applied = 999;
+  const Status st = engine.WriteBatch("pa", straddle, &applied);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(applied, 3u);  // sequence target applied, unsequence untouched
+
+  // The staged sequence points are queryable in memory; the failed
+  // unsequence half left no trace, so the last cache tops out at t=302.
+  std::vector<TvPairDouble> out;
+  ASSERT_TRUE(engine.Query("pa", 250, 400, &out).ok());
+  EXPECT_EQ(out.size(), 3u);
+  TvPairDouble latest{};
+  ASSERT_TRUE(engine.GetLatest("pa", &latest).ok());
+  EXPECT_EQ(latest.t, 302);
+
+  // A fresh engine whose dir vanishes before the first write cannot open
+  // any WAL segment: nothing is applied.
+  const auto dir2 = dir_.string() + "_fresh";
+  EngineOptions opt2 = opt;
+  opt2.data_dir = dir2;
+  StorageEngine fresh(opt2);
+  ASSERT_TRUE(fresh.Open().ok());
+  std::filesystem::remove_all(dir2, ec);
+  applied = 999;
+  EXPECT_FALSE(fresh.WriteBatch("pa", straddle, &applied).ok());
+  EXPECT_EQ(applied, 0u);
+  std::filesystem::remove_all(dir2, ec);
+}
+
+TEST_F(EngineTest, WriteMultiAppliesEverySensor) {
+  StorageEngine engine(Options(SorterId::kBackward));
+  ASSERT_TRUE(engine.Open().ok());
+  std::vector<StorageEngine::SensorBatch> batches;
+  for (int s = 0; s < 5; ++s) {
+    StorageEngine::SensorBatch b;
+    b.sensor = "multi." + std::to_string(s);
+    for (int i = 0; i < 100; ++i) b.points.push_back({i, s + i * 0.001});
+    batches.push_back(std::move(b));
+  }
+  size_t applied = 0;
+  ASSERT_TRUE(engine.WriteMulti(batches, &applied).ok());
+  EXPECT_EQ(applied, 500u);
+  for (int s = 0; s < 5; ++s) {
+    std::vector<TvPairDouble> out;
+    ASSERT_TRUE(
+        engine.Query("multi." + std::to_string(s), 0, 1'000, &out).ok());
+    ASSERT_EQ(out.size(), 100u) << s;
+    EXPECT_DOUBLE_EQ(out[7].v, s + 7 * 0.001);
+  }
+  const auto snap = engine.GetMetricsSnapshot();
+  EXPECT_EQ(snap.batch_points, 500u);
+  EXPECT_GE(snap.batch_writes, 1u);  // one call per shard touched
+}
+
+TEST_F(EngineTest, ParallelFlushSealsByteIdenticalFiles) {
+  // flush_parallelism only changes who encodes each sensor, never the
+  // bytes: chunks are appended in sensor order, so the sealed files of a
+  // parallelism-4 engine must equal the serial engine's bit for bit.
+  auto ingest = [&](const std::string& sub, size_t parallelism,
+                    std::filesystem::path* out_dir) {
+    EngineOptions opt = Options(SorterId::kBackward, /*async=*/false);
+    opt.data_dir = (dir_ / sub).string();
+    opt.memtable_flush_threshold = 2'000;
+    opt.flush_parallelism = parallelism;
+    *out_dir = opt.data_dir;
+    StorageEngine engine(opt);
+    ASSERT_TRUE(engine.Open().ok());
+    Rng rng(1234);
+    AbsNormalDelay delay(1, 25.0);
+    for (int s = 0; s < 6; ++s) {
+      const std::string sensor = "pf.sensor." + std::to_string(s);
+      const auto ts = GenerateArrivalOrderedTimestamps(3'000, delay, rng);
+      std::vector<TvPairDouble> batch;
+      for (size_t i = 0; i < ts.size(); ++i) {
+        batch.push_back({ts[i], static_cast<double>(ts[i]) * 0.25});
+        if (batch.size() == 700 || i + 1 == ts.size()) {
+          ASSERT_TRUE(engine.WriteBatch(sensor, batch).ok());
+          batch.clear();
+        }
+      }
+    }
+    ASSERT_TRUE(engine.FlushAll().ok());
+  };
+
+  std::filesystem::path serial_dir, parallel_dir;
+  ingest("serial", 1, &serial_dir);
+  ingest("parallel", 4, &parallel_dir);
+
+  auto list_tsfiles = [](const std::filesystem::path& root) {
+    std::vector<std::filesystem::path> files;
+    for (const auto& e : std::filesystem::recursive_directory_iterator(root)) {
+      if (e.is_regular_file() && e.path().extension() == ".bstf") {
+        files.push_back(std::filesystem::relative(e.path(), root));
+      }
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+  };
+  auto read_file = [](const std::filesystem::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+
+  const auto serial_files = list_tsfiles(serial_dir);
+  const auto parallel_files = list_tsfiles(parallel_dir);
+  ASSERT_FALSE(serial_files.empty());
+  ASSERT_EQ(parallel_files, serial_files);
+  for (const auto& rel : serial_files) {
+    const std::string a = read_file(serial_dir / rel);
+    const std::string b = read_file(parallel_dir / rel);
+    ASSERT_FALSE(a.empty()) << rel;
+    EXPECT_EQ(a, b) << "sealed bytes diverge in " << rel;
+  }
 }
 
 }  // namespace

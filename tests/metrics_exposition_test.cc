@@ -171,6 +171,25 @@ class MetricsExpositionTest : public ::testing::Test {
         ASSERT_TRUE(engine.Write(sensor, t, static_cast<double>(i)).ok());
       }
     }
+    // Exercise the batched ingest path too, so the batch_apply stage and
+    // the batch counters carry data: one single-sensor WriteBatch and one
+    // multi-sensor WriteMulti (which fans out as one batched call per
+    // shard). The timestamps sit past the per-point data so the query
+    // assertions below are unaffected.
+    std::vector<TvPairDouble> batch;
+    for (size_t i = 0; i < 50; ++i) {
+      batch.push_back({static_cast<Timestamp>(1000 + i),
+                       static_cast<double>(i)});
+    }
+    size_t applied = 0;
+    ASSERT_TRUE(engine.WriteBatch("s0", batch, &applied).ok());
+    ASSERT_EQ(applied, batch.size());
+    std::vector<StorageEngine::SensorBatch> multi;
+    multi.push_back({"s1", batch});
+    multi.push_back({"s2", batch});
+    applied = 0;
+    ASSERT_TRUE(engine.WriteMulti(multi, &applied).ok());
+    ASSERT_EQ(applied, 2 * batch.size());
     ASSERT_TRUE(engine.FlushAll().ok());
     // Exercise the read path so the query-stage histograms and cache
     // counters carry data: the repeated range hits the chunk cache on the
@@ -236,6 +255,8 @@ TEST_F(MetricsExpositionTest, GoldenFamilySet) {
       {"backsort_working_bytes", "gauge"},
       {"backsort_queued_flushes", "gauge"},
       {"backsort_flushes_total", "counter"},
+      {"backsort_engine_batch_writes_total", "counter"},
+      {"backsort_engine_batch_points_total", "counter"},
       {"backsort_shard_working_points", "gauge"},
       {"backsort_shard_working_bytes", "gauge"},
       {"backsort_shard_queued_flushes", "gauge"},
@@ -279,6 +300,35 @@ TEST_F(MetricsExpositionTest, StageSummariesCarryRequiredQuantiles) {
   EXPECT_EQ(SampleValue(e, "backsort_stage_duration_seconds_count",
                         "stage=\"enqueue\""),
             600.0 * 4);
+}
+
+TEST_F(MetricsExpositionTest, BatchStageAndCountersCarryData) {
+  Exposition e;
+  ParseExposition(Render(/*include_traces=*/false), &e);
+  // One batch_apply sample per successful shard-level batched call, so the
+  // summary count and the batch-writes counter must agree exactly.
+  const double batch_writes =
+      SampleValue(e, "backsort_engine_batch_writes_total", "");
+  EXPECT_EQ(batch_writes, static_cast<double>(snapshot().batch_writes));
+  EXPECT_GT(batch_writes, 0.0);
+  EXPECT_EQ(SampleValue(e, "backsort_stage_duration_seconds_count",
+                        "stage=\"batch_apply\""),
+            batch_writes);
+  // The fixture pushed 50 points via WriteBatch plus 2×50 via WriteMulti.
+  EXPECT_EQ(SampleValue(e, "backsort_engine_batch_points_total", ""), 150.0);
+  for (const char* q : {"0.5", "0.99"}) {
+    const std::string labels =
+        std::string("stage=\"batch_apply\",quantile=\"") + q + "\"";
+    const double v = SampleValue(e, "backsort_stage_duration_seconds", labels);
+    EXPECT_FALSE(std::isnan(v)) << "batch_apply p" << q << " missing/NaN";
+    EXPECT_GE(v, 0.0);
+  }
+  // One sort_job sample per sensor per flush, at every parallelism
+  // setting — never fewer samples than completed flushes.
+  const double sort_jobs = SampleValue(
+      e, "backsort_stage_duration_seconds_count", "stage=\"sort_job\"");
+  EXPECT_GE(sort_jobs,
+            static_cast<double>(snapshot().total_completed_flushes()));
 }
 
 TEST_F(MetricsExpositionTest, QueryStagesAndCacheCountersCarryData) {

@@ -5,6 +5,7 @@
 #include "common/rng.h"
 #include "core/sorter_registry.h"
 #include "disorder/series_generator.h"
+#include "memtable/memtable.h"
 #include "tvlist/tv_list.h"
 
 namespace backsort {
@@ -81,6 +82,113 @@ TEST(TVList, ClearResets) {
   list.Clear();
   EXPECT_EQ(list.size(), 0u);
   EXPECT_TRUE(list.sorted());
+}
+
+// --- bulk append ----------------------------------------------------------------
+
+TEST(TVList, AppendNBitIdenticalToPut) {
+  // The bulk path must leave every observable — contents, size, sorted
+  // flag, min/max, memory accounting — exactly as the per-point loop
+  // would, across array-boundary-straddling sizes.
+  Rng rng(7);
+  AbsNormalDelay delay(1, 20);
+  for (const size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{8},
+                         size_t{9}, size_t{1000}}) {
+    const auto series = GenerateArrivalOrderedSeries<int32_t>(n, delay, rng);
+    IntTVList a(/*array_size=*/8), b(/*array_size=*/8);
+    for (const auto& p : series) a.Put(p.t, p.v);
+    b.AppendN(series.data(), series.size());
+    ASSERT_EQ(b.size(), a.size()) << "n=" << n;
+    ASSERT_EQ(b.sorted(), a.sorted()) << "n=" << n;
+    ASSERT_EQ(b.min_time(), a.min_time()) << "n=" << n;
+    ASSERT_EQ(b.max_time(), a.max_time()) << "n=" << n;
+    ASSERT_EQ(b.MemoryBytes(), a.MemoryBytes()) << "n=" << n;
+    for (size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(b.TimeAt(i), a.TimeAt(i)) << "n=" << n << " i=" << i;
+      ASSERT_EQ(b.ValueAt(i), a.ValueAt(i)) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(TVList, AppendNContinuesExistingList) {
+  // Slicing one stream into Put and several AppendN calls at odd offsets
+  // must equal the all-Put twin — the flags carry across call boundaries.
+  Rng rng(8);
+  AbsNormalDelay delay(1, 5);
+  const auto series = GenerateArrivalOrderedSeries<int32_t>(100, delay, rng);
+  IntTVList a(8), b(8);
+  for (const auto& p : series) a.Put(p.t, p.v);
+  for (size_t i = 0; i < 13; ++i) b.Put(series[i].t, series[i].v);
+  b.AppendN(series.data() + 13, 3);
+  b.AppendN(series.data() + 16, 0);
+  b.AppendN(series.data() + 16, 84);
+  ASSERT_EQ(b.size(), a.size());
+  EXPECT_EQ(b.sorted(), a.sorted());
+  EXPECT_EQ(b.min_time(), a.min_time());
+  EXPECT_EQ(b.max_time(), a.max_time());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(b.TimeAt(i), a.TimeAt(i));
+    ASSERT_EQ(b.ValueAt(i), a.ValueAt(i));
+  }
+}
+
+TEST(TVList, AppendNFlagSemanticsMatchPut) {
+  // Equal timestamps keep the list sorted (Put's `<` comparison), and a
+  // single backward point flips it — both through the bulk path.
+  const TvPairInt sorted_pairs[] = {{5, 1}, {5, 2}, {6, 3}};
+  IntTVList stays;
+  stays.AppendN(sorted_pairs, 3);
+  EXPECT_TRUE(stays.sorted());
+  EXPECT_EQ(stays.min_time(), 5);
+  EXPECT_EQ(stays.max_time(), 6);
+
+  const TvPairInt disordered[] = {{10, 1}, {20, 2}, {15, 3}};
+  IntTVList flips;
+  flips.AppendN(disordered, 3);
+  EXPECT_FALSE(flips.sorted());
+  EXPECT_EQ(flips.max_time(), 20);
+  EXPECT_EQ(flips.min_time(), 10);
+}
+
+TEST(MemTable, WriteNBitIdenticalToWrite) {
+  // The memtable bulk path (one map lookup + one accounting update per
+  // slice) must leave the same state as per-point Write, including the
+  // lock-free footprint estimate queries read for flush triggering.
+  Rng rng(9);
+  AbsNormalDelay delay(1, 10);
+  std::vector<TvPairDouble> s0, s1;
+  for (const auto& p : GenerateArrivalOrderedSeries<int32_t>(300, delay, rng)) {
+    s0.push_back({p.t, static_cast<double>(p.v)});
+  }
+  for (const auto& p : GenerateArrivalOrderedSeries<int32_t>(40, delay, rng)) {
+    s1.push_back({p.t, static_cast<double>(p.v)});
+  }
+
+  MemTable a, b;
+  for (const auto& p : s0) a.Write("s0", p.t, p.v);
+  for (const auto& p : s1) a.Write("s1", p.t, p.v);
+  b.WriteN("s0", s0.data(), 120);
+  b.WriteN("s0", s0.data() + 120, s0.size() - 120);
+  b.WriteN("s1", s1.data(), s1.size());
+  b.WriteN("s1", s1.data() + s1.size(), 0);
+
+  EXPECT_EQ(b.total_points(), a.total_points());
+  EXPECT_EQ(b.MemoryBytes(), a.MemoryBytes());
+  EXPECT_EQ(b.ApproxMemoryBytes(), a.ApproxMemoryBytes());
+  ASSERT_EQ(b.chunks().size(), a.chunks().size());
+  for (const auto& [sensor, list_a] : a.chunks()) {
+    const DoubleTVList* list_b =
+        static_cast<const MemTable&>(b).GetChunk(sensor);
+    ASSERT_NE(list_b, nullptr) << sensor;
+    ASSERT_EQ(list_b->size(), list_a->size()) << sensor;
+    EXPECT_EQ(list_b->sorted(), list_a->sorted()) << sensor;
+    EXPECT_EQ(list_b->min_time(), list_a->min_time()) << sensor;
+    EXPECT_EQ(list_b->max_time(), list_a->max_time()) << sensor;
+    for (size_t i = 0; i < list_a->size(); ++i) {
+      ASSERT_EQ(list_b->TimeAt(i), list_a->TimeAt(i)) << sensor << " " << i;
+      ASSERT_EQ(list_b->ValueAt(i), list_a->ValueAt(i)) << sensor << " " << i;
+    }
+  }
 }
 
 // Every registered sorter must sort a TVList through the adapter, carrying

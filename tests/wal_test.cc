@@ -1,3 +1,4 @@
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <vector>
@@ -7,6 +8,7 @@
 #include "common/crc32.h"
 #include "common/rng.h"
 #include "disorder/series_generator.h"
+#include "encoding/bytes.h"
 #include "engine/storage_engine.h"
 #include "engine/wal.h"
 
@@ -110,6 +112,162 @@ TEST_F(WalTest, BitFlipDetectedByCrc) {
   EXPECT_TRUE(records.empty());
 }
 
+// --- batch records and format versioning ---------------------------------------
+
+TEST_F(WalTest, BatchAppendExpandsInWriteOrder) {
+  const std::string path = Path("wal-batch.log");
+  const std::string s1 = "a", s2 = "b";
+  const std::vector<TvPairDouble> p1 = {{1, 1.0}, {2, 2.0}, {3, -0.5}};
+  const std::vector<TvPairDouble> p2 = {{5, -1.5}};
+  {
+    WalWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(writer.Append("solo", 0, 9.0).ok());
+    const SensorSpanDouble groups[] = {
+        {&s1, p1.data(), p1.size()},
+        {&s2, nullptr, 0},  // empty group: skipped, not encoded
+        {&s2, p2.data(), p2.size()},
+    };
+    ASSERT_TRUE(writer.AppendBatch(groups, 3).ok());
+    ASSERT_TRUE(writer.Append("solo", 1, 10.0).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  std::vector<WalRecord> records;
+  bool torn = true;
+  ASSERT_TRUE(ReadWal(path, &records, &torn).ok());
+  EXPECT_FALSE(torn);
+  // The batch flattens to per-point records in write order, between the
+  // two per-point frames around it.
+  ASSERT_EQ(records.size(), 6u);
+  EXPECT_EQ(records[0].sensor, "solo");
+  EXPECT_EQ(records[1].sensor, "a");
+  EXPECT_EQ(records[1].t, 1);
+  EXPECT_EQ(records[2].t, 2);
+  EXPECT_EQ(records[3].t, 3);
+  EXPECT_DOUBLE_EQ(records[3].v, -0.5);
+  EXPECT_EQ(records[4].sensor, "b");
+  EXPECT_EQ(records[4].t, 5);
+  EXPECT_DOUBLE_EQ(records[4].v, -1.5);
+  EXPECT_EQ(records[5].sensor, "solo");
+  EXPECT_EQ(records[5].t, 1);
+}
+
+TEST_F(WalTest, AllEmptyBatchWritesNothing) {
+  const std::string path = Path("wal-empty-batch.log");
+  // First open+close persists just the version header; its on-disk size is
+  // the baseline an all-empty batch must not grow.
+  {
+    WalWriter header_only(path);
+    ASSERT_TRUE(header_only.Open().ok());
+    ASSERT_TRUE(header_only.Close().ok());
+  }
+  const auto header_size = std::filesystem::file_size(path);
+  ASSERT_GT(header_size, 0u);
+  WalWriter writer(path);
+  ASSERT_TRUE(writer.Open().ok());
+  const std::string s = "a";
+  const SensorSpanDouble group{&s, nullptr, 0};
+  ASSERT_TRUE(writer.AppendBatch(&group, 1).ok());
+  ASSERT_TRUE(writer.AppendBatch(nullptr, 0).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  EXPECT_EQ(std::filesystem::file_size(path), header_size);
+  std::vector<WalRecord> records;
+  bool torn = true;
+  ASSERT_TRUE(ReadWal(path, &records, &torn).ok());
+  EXPECT_FALSE(torn);
+  EXPECT_TRUE(records.empty());
+}
+
+TEST_F(WalTest, BatchTornTailLosesOnlyLastFrame) {
+  const std::string path = Path("wal-batch-torn.log");
+  std::vector<TvPairDouble> points;
+  for (int i = 0; i < 10; ++i) points.push_back({i, i * 1.0});
+  const std::string s = "s";
+  const SensorSpanDouble group{&s, points.data(), points.size()};
+  {
+    WalWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(writer.Append("s", -1, 0.5).ok());
+    ASSERT_TRUE(writer.AppendBatch(&group, 1).ok());
+    ASSERT_TRUE(writer.AppendBatch(&group, 1).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 7);  // tear the last batch frame
+  std::vector<WalRecord> records;
+  bool torn = false;
+  ASSERT_TRUE(ReadWal(path, &records, &torn).ok());
+  EXPECT_TRUE(torn);
+  // The whole torn batch is dropped; the intact frames before it survive.
+  ASSERT_EQ(records.size(), 11u);
+  EXPECT_EQ(records[0].t, -1);
+  EXPECT_EQ(records.back().t, 9);
+}
+
+// Builds one legacy (pre-versioning) frame: no type byte, payload is
+// lp-sensor + fixed64 time + fixed64 value-bits.
+void AppendLegacyFrame(std::ofstream& out, const std::string& sensor,
+                       Timestamp t, double v) {
+  ByteBuffer payload;
+  payload.PutLengthPrefixedString(sensor);
+  payload.PutFixed64(static_cast<uint64_t>(t));
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  payload.PutFixed64(bits);
+  ByteBuffer frame;
+  frame.PutFixed32(static_cast<uint32_t>(payload.size()));
+  frame.PutFixed32(Crc32(payload.data().data(), payload.size()));
+  frame.Append(payload);
+  out.write(reinterpret_cast<const char*>(frame.data().data()),
+            static_cast<std::streamsize>(frame.size()));
+}
+
+TEST_F(WalTest, LegacyHeaderlessSegmentStillReplays) {
+  // A segment written by the pre-versioning engine: frames from byte 0,
+  // no magic, no type bytes. The reader must sniff the absent header and
+  // fall back to the legacy parse.
+  const std::string path = Path("wal-legacy.log");
+  {
+    std::ofstream out(path, std::ios::binary);
+    AppendLegacyFrame(out, "old1", 10, 1.5);
+    AppendLegacyFrame(out, "old2", -3, -2.25);
+    AppendLegacyFrame(out, "old1", 11, 3.0);
+  }
+  std::vector<WalRecord> records;
+  bool torn = true;
+  ASSERT_TRUE(ReadWal(path, &records, &torn).ok());
+  EXPECT_FALSE(torn);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].sensor, "old1");
+  EXPECT_EQ(records[0].t, 10);
+  EXPECT_DOUBLE_EQ(records[0].v, 1.5);
+  EXPECT_EQ(records[1].sensor, "old2");
+  EXPECT_EQ(records[1].t, -3);
+  EXPECT_EQ(records[2].t, 11);
+}
+
+TEST_F(WalTest, UnknownRecordTypeIsCorruption) {
+  // A v2 segment with a CRC-valid frame of an unknown type byte: that is
+  // real corruption (or a future format), not a torn tail — replay must
+  // refuse rather than silently skip.
+  const std::string path = Path("wal-unknown-type.log");
+  {
+    std::ofstream out(path, std::ios::binary);
+    const char header[] = {'B', 'W', 'A', 'L', 2};
+    out.write(header, sizeof(header));
+    ByteBuffer payload;
+    payload.PutU8(99);
+    ByteBuffer frame;
+    frame.PutFixed32(static_cast<uint32_t>(payload.size()));
+    frame.PutFixed32(Crc32(payload.data().data(), payload.size()));
+    frame.Append(payload);
+    out.write(reinterpret_cast<const char*>(frame.data().data()),
+              static_cast<std::streamsize>(frame.size()));
+  }
+  std::vector<WalRecord> records;
+  EXPECT_TRUE(ReadWal(path, &records, nullptr).IsCorruption());
+}
+
 TEST_F(WalTest, MissingFileIsIOError) {
   std::vector<WalRecord> records;
   EXPECT_TRUE(ReadWal(Path("nope.log"), &records, nullptr).IsIOError());
@@ -201,6 +359,49 @@ TEST_F(WalTest, EngineRecoversUnflushedPoints) {
       ASSERT_DOUBLE_EQ(out[i].v, i * 2.0);
     }
   }
+}
+
+TEST_F(WalTest, EngineRecoversBatchedWrites) {
+  // Batched ingest writes one group-commit record per target memtable;
+  // recovery must replay those exactly like per-point records, including
+  // when the two paths interleave on one sensor.
+  const std::string data_dir = Path("engine_batch");
+  {
+    EngineOptions opt;
+    opt.data_dir = data_dir;
+    opt.memtable_flush_threshold = 1'000'000;  // never flush
+    StorageEngine engine(opt);
+    ASSERT_TRUE(engine.Open().ok());
+    std::vector<TvPairDouble> batch;
+    for (int i = 0; i < 1000; ++i) {
+      batch.push_back({i, i * 0.5});
+    }
+    size_t applied = 0;
+    ASSERT_TRUE(engine.WriteBatch("bs", batch, &applied).ok());
+    EXPECT_EQ(applied, batch.size());
+    ASSERT_TRUE(engine.Write("bs", 2000, 7.0).ok());
+    std::vector<StorageEngine::SensorBatch> multi;
+    multi.push_back({"m0", {{1, 1.0}, {2, 2.0}}});
+    multi.push_back({"m1", {{3, 3.0}}});
+    ASSERT_TRUE(engine.WriteMulti(multi).ok());
+    // Destroyed without FlushAll: simulated crash.
+  }
+  EngineOptions opt;
+  opt.data_dir = data_dir;
+  StorageEngine engine(opt);
+  ASSERT_TRUE(engine.Open().ok());
+  std::vector<TvPairDouble> out;
+  ASSERT_TRUE(engine.Query("bs", 0, 10'000, &out).ok());
+  ASSERT_EQ(out.size(), 1001u);
+  EXPECT_EQ(out.back().t, 2000);
+  EXPECT_DOUBLE_EQ(out.back().v, 7.0);
+  ASSERT_TRUE(engine.Query("m0", 0, 10, &out).ok());
+  EXPECT_EQ(out.size(), 2u);
+  ASSERT_TRUE(engine.Query("m1", 0, 10, &out).ok());
+  EXPECT_EQ(out.size(), 1u);
+  TvPairDouble last{};
+  ASSERT_TRUE(engine.GetLatest("bs", &last).ok());
+  EXPECT_EQ(last.t, 2000);
 }
 
 TEST_F(WalTest, EngineRecoversAcrossFlushedAndUnflushedData) {

@@ -104,17 +104,19 @@ int Usage() {
                "  iir <in.csv>\n"
                "  ingest <dir> <points> <dist> [--shards=N]"
                " [--flush-workers=N]\n"
-               "         [--threads=N] [--sensors=N] [--batch=N]"
-               " [--seed=N]\n"
-               "         [--metrics-interval=MS] [--metrics-file=PATH]\n"
+               "         [--flush-parallelism=N] [--threads=N] [--sensors=N]"
+               " [--batch=N]\n"
+               "         [--seed=N] [--metrics-interval=MS]"
+               " [--metrics-file=PATH]\n"
                "         [--chunk-cache-bytes=N]\n"
                "  metrics <dir-or-file>\n"
                "  watch <dir-or-file> [--interval=MS] [--count=N]\n"
                "  serve <dir> [--host=A] [--port=N] [--port-file=PATH]"
                " [--workers=N]\n"
                "        [--shards=N] [--flush-workers=N]"
-               " [--max-inflight-requests=N]\n"
-               "        [--max-inflight-bytes=N] [--wal-fsync]\n"
+               " [--flush-parallelism=N]\n"
+               "        [--max-inflight-requests=N]"
+               " [--max-inflight-bytes=N] [--wal-fsync]\n"
                "  client <host:port>"
                " ping|write|query|latest|agg|metrics [...]\n");
   return 2;
@@ -404,7 +406,8 @@ int CmdIngest(int argc, char** argv) {
     std::fprintf(stderr, "unknown distribution: %s\n", argv[2]);
     return 2;
   }
-  size_t shards = 0, flush_workers = 0;  // 0 = engine auto/env resolution
+  // 0 = engine auto/env resolution
+  size_t shards = 0, flush_workers = 0, flush_parallelism = 0;
   size_t threads = 4, sensors = 0, batch = 500, seed = 42;
   size_t metrics_interval = 1000;  // ms between exports; 0 = final only
   std::string metrics_file;        // default <dir>/metrics.prom
@@ -419,6 +422,7 @@ int CmdIngest(int argc, char** argv) {
     }
     if (FlagValue(argv[i], "--shards", &shards) ||
         FlagValue(argv[i], "--flush-workers", &flush_workers) ||
+        FlagValue(argv[i], "--flush-parallelism", &flush_parallelism) ||
         FlagValue(argv[i], "--threads", &threads) ||
         FlagValue(argv[i], "--sensors", &sensors) ||
         FlagValue(argv[i], "--batch", &batch) ||
@@ -437,6 +441,7 @@ int CmdIngest(int argc, char** argv) {
   opt.data_dir = dir;
   opt.shard_count = shards;
   opt.flush_workers = flush_workers;
+  opt.flush_parallelism = flush_parallelism;
   if (chunk_cache_set) opt.chunk_cache_bytes = chunk_cache_bytes;
   StorageEngine engine(opt);
   if (Status st = engine.Open(); !st.ok()) return Fail(st);
@@ -475,8 +480,10 @@ int CmdIngest(int argc, char** argv) {
   std::printf("ingested %zu points (%s) with %zu client threads over"
               " %zu sensors\n",
               result.points_written, delay->Name().c_str(), threads, sensors);
-  std::printf("engine: %zu shard(s), %zu flush worker(s)\n",
-              engine.shard_count(), engine.flush_worker_count());
+  std::printf("engine: %zu shard(s), %zu flush worker(s), "
+              "flush parallelism %zu\n",
+              engine.shard_count(), engine.flush_worker_count(),
+              engine.flush_parallelism());
   std::printf("write throughput: %.0f points/s (%.3f s total)\n",
               result.write_throughput, result.total_latency_sec);
   const EngineMetricsSnapshot snap = engine.GetMetricsSnapshot();
@@ -505,9 +512,14 @@ int CmdIngest(int argc, char** argv) {
     const char* name;
     const HistogramSnapshot& hist;
   } stages[] = {
-      {"enqueue", snap.stages.enqueue}, {"queue-wait", snap.stages.queue_wait},
-      {"sort", snap.stages.sort},       {"encode", snap.stages.encode},
-      {"seal", snap.stages.seal},       {"flush", snap.stages.flush},
+      {"enqueue", snap.stages.enqueue},
+      {"batch-apply", snap.stages.batch_apply},
+      {"queue-wait", snap.stages.queue_wait},
+      {"sort", snap.stages.sort},
+      {"sort-job", snap.stages.sort_job},
+      {"encode", snap.stages.encode},
+      {"seal", snap.stages.seal},
+      {"flush", snap.stages.flush},
   };
   std::printf("%-12s %12s %12s %12s %12s %12s\n", "stage (ms)", "p50", "p90",
               "p99", "max", "count");
@@ -538,7 +550,7 @@ int CmdServe(int argc, char** argv) {
   engine_opt.data_dir = argv[0];
   ServerOptions server_opt;
   size_t port = 0, workers = server_opt.workers;
-  size_t shards = 0, flush_workers = 0;
+  size_t shards = 0, flush_workers = 0, flush_parallelism = 0;
   size_t max_inflight_requests = server_opt.max_inflight_requests;
   size_t max_inflight_bytes = server_opt.max_inflight_bytes;
   std::string host = server_opt.host, port_file;
@@ -554,6 +566,7 @@ int CmdServe(int argc, char** argv) {
         FlagValue(argv[i], "--workers", &workers) ||
         FlagValue(argv[i], "--shards", &shards) ||
         FlagValue(argv[i], "--flush-workers", &flush_workers) ||
+        FlagValue(argv[i], "--flush-parallelism", &flush_parallelism) ||
         FlagValue(argv[i], "--max-inflight-requests",
                   &max_inflight_requests) ||
         FlagValue(argv[i], "--max-inflight-bytes", &max_inflight_bytes)) {
@@ -568,6 +581,7 @@ int CmdServe(int argc, char** argv) {
   }
   engine_opt.shard_count = shards;
   engine_opt.flush_workers = flush_workers;
+  engine_opt.flush_parallelism = flush_parallelism;
   engine_opt.wal_fsync = wal_fsync;
   server_opt.host = host;
   server_opt.port = static_cast<uint16_t>(port);

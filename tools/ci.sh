@@ -17,21 +17,25 @@
 #      SIGTERM shutdown
 #   6. docs link check: every relative markdown link in README.md and
 #      docs/*.md must resolve
+#   7. ingest perf smoke: a scaled-down bench/system_ingest run must
+#      show the batched write path at >= 1.5x the per-point path
+#      (BENCH_ingest.json "speedup_batched_over_per_point"); the full-
+#      scale reference run is committed at bench/baselines/
 #
 # Usage: tools/ci.sh   (from the repo root; build dirs: build/, build-tsan/)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "=== [1/6] tier-1: configure + build + full test suite ==="
+echo "=== [1/7] tier-1: configure + build + full test suite ==="
 cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
-echo "=== [2/6] engine suites at 4 shards / 2 flush workers ==="
+echo "=== [2/7] engine suites at 4 shards / 2 flush workers ==="
 (cd build && BACKSORT_SHARDS=4 BACKSORT_FLUSH_WORKERS=2 \
   ctest --output-on-failure -R 'Engine|Wal|Workload|Aggregate|ReadPath' -j)
 
-echo "=== [3/6] concurrency + read-path tests under ThreadSanitizer ==="
+echo "=== [3/7] concurrency + read-path tests under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DBACKSORT_SANITIZE=thread
 cmake --build build-tsan -j --target engine_concurrency_test histogram_test \
   chunk_cache_test read_path_test
@@ -40,7 +44,7 @@ cmake --build build-tsan -j --target engine_concurrency_test histogram_test \
 ./build-tsan/tests/chunk_cache_test
 ./build-tsan/tests/read_path_test
 
-echo "=== [4/6] chunk-cache effectiveness smoke ==="
+echo "=== [4/7] chunk-cache effectiveness smoke ==="
 # The read_path suite covers cache correctness; this step checks the
 # operator-visible surface end to end: bstool flag -> engine -> exporter.
 smoke_dir=$(mktemp -d)
@@ -71,7 +75,7 @@ if [ -z "$hits" ] || [ "${hits%%.*}" -le 0 ]; then
 fi
 echo "cache smoke passed (query-mix cache hits: $hits)"
 
-echo "=== [5/6] network loopback smoke ==="
+echo "=== [5/7] network loopback smoke ==="
 # Wire protocol + server correctness under ThreadSanitizer: concurrent
 # clients must stay bit-identical and the shutdown drain must be clean.
 cmake --build build-tsan -j --target net_protocol_test net_server_test
@@ -113,7 +117,7 @@ wait "$serve_pid" || {
 }
 echo "net smoke passed ($rows rows round-tripped via $addr)"
 
-echo "=== [6/6] docs link check ==="
+echo "=== [6/7] docs link check ==="
 # Extract the target of every inline markdown link and verify that
 # non-URL, non-anchor targets exist relative to the linking file.
 docs_fail=0
@@ -137,5 +141,22 @@ if [ "$docs_fail" -ne 0 ]; then
   exit 1
 fi
 echo "docs link check passed"
+
+echo "=== [7/7] ingest perf smoke: batched >= 1.5x per-point ==="
+# Scaled-down system_ingest run; the JSON is flat one-key-per-line so the
+# gate needs only grep + awk. Noise margin: full scale measures ~5x.
+BACKSORT_SYSTEM_POINTS=60000 BACKSORT_METRICS_DIR="$smoke_dir" \
+  ./build/bench/system_ingest > /dev/null
+speedup=$(grep '"speedup_batched_over_per_point"' \
+  "$smoke_dir/BENCH_ingest.json" | awk -F': ' '{print $2}' | tr -d ',')
+if [ -z "$speedup" ]; then
+  echo "perf smoke FAILED: BENCH_ingest.json has no speedup key"
+  exit 1
+fi
+awk -v s="$speedup" 'BEGIN { exit (s >= 1.5) ? 0 : 1 }' || {
+  echo "perf smoke FAILED: batched/per-point speedup $speedup < 1.5"
+  exit 1
+}
+echo "perf smoke passed (batched/per-point speedup: ${speedup}x)"
 
 echo "=== CI passed ==="
