@@ -128,6 +128,30 @@ struct QueryStageSnapshots {
   }
 };
 
+/// Compaction-path latency distributions, one histogram snapshot per
+/// stage of a compaction cycle. All values are nanoseconds; recording is
+/// lock-free like the other stage histograms.
+struct CompactionStageSnapshots {
+  /// One planner pass: registry snapshot + size-tier grouping (one sample
+  /// per scheduler poll or explicit CompactStep, performed or not).
+  HistogramSnapshot plan;
+  /// One CompactionJob: streaming loser-tree merge of the input window
+  /// into the renamed output file (dominant stage; runs without any
+  /// engine lock held).
+  HistogramSnapshot merge;
+  /// Registry swap of one completed job: shard locks + files_mu window
+  /// replacement + obsolete marking — the only part foreground writers
+  /// can contend with.
+  HistogramSnapshot publish;
+
+  /// Folds another set of stage snapshots into this one, bucket-wise.
+  void Merge(const CompactionStageSnapshots& other) {
+    plan.Merge(other.plan);
+    merge.Merge(other.merge);
+    publish.Merge(other.publish);
+  }
+};
+
 /// Point-in-time view of one shard's write-path state.
 struct ShardMetricsSnapshot {
   /// Index of the shard within the engine ([0, shard_count)).
@@ -179,6 +203,17 @@ struct EngineMetricsSnapshot {
   uint64_t batch_writes = 0;
   /// Points ingested via the batched write path since open.
   uint64_t batch_points = 0;
+  /// Compaction-path latency histograms (plan / merge / publish).
+  CompactionStageSnapshots compaction_stages;
+  /// Compaction jobs completed (registry swapped) since open.
+  uint64_t compaction_jobs = 0;
+  /// Compaction jobs that failed (corrupt input, I/O error); the registry
+  /// is untouched by a failed job.
+  uint64_t compaction_failures = 0;
+  /// Input files consumed by completed compaction jobs.
+  uint64_t compaction_input_files = 0;
+  /// Bytes written to compaction output files by completed jobs.
+  uint64_t compaction_output_bytes = 0;
 
   /// Sealed memtables currently queued for flush, summed over shards.
   size_t total_queued_flushes() const {

@@ -200,6 +200,41 @@ void ExportEngineMetrics(const EngineMetricsSnapshot& snapshot,
         labels, s.hist, kNsToSec);
   }
 
+  const struct {
+    const char* stage;
+    const HistogramSnapshot& hist;
+  } compaction_stages[] = {
+      {"plan", snapshot.compaction_stages.plan},
+      {"merge", snapshot.compaction_stages.merge},
+      {"publish", snapshot.compaction_stages.publish},
+  };
+  for (const auto& s : compaction_stages) {
+    MetricsRegistry::Labels labels = base_labels;
+    labels.emplace_back("stage", s.stage);
+    registry->Summary(
+        "backsort_compaction_stage_duration_seconds",
+        "Compaction stage latency in seconds (stages: plan, merge, publish; "
+        "only publish holds shard locks); quantile=\"1\" is the observed max.",
+        labels, s.hist, kNsToSec);
+  }
+
+  registry->Counter(
+      "backsort_engine_compaction_jobs_total",
+      "Compaction merges completed (one output file swapped in each).",
+      base_labels, static_cast<double>(snapshot.compaction_jobs));
+  registry->Counter(
+      "backsort_engine_compaction_failures_total",
+      "Compaction merges that failed and left the registry unchanged.",
+      base_labels, static_cast<double>(snapshot.compaction_failures));
+  registry->Counter(
+      "backsort_engine_compaction_input_files_total",
+      "Sealed files consumed (merged away) by completed compactions.",
+      base_labels, static_cast<double>(snapshot.compaction_input_files));
+  registry->Counter(
+      "backsort_engine_compaction_output_bytes_total",
+      "Bytes written into compaction output files (post-merge sizes).",
+      base_labels, static_cast<double>(snapshot.compaction_output_bytes));
+
   registry->Counter(
       "backsort_engine_batch_writes_total",
       "Batched write calls applied via the group-commit ingest path.",

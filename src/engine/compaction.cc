@@ -1,0 +1,395 @@
+#include "engine/compaction.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <system_error>
+#include <utility>
+
+#include "engine/flush_pool.h"
+#include "engine/storage_engine.h"
+
+namespace backsort {
+
+// --- planner ----------------------------------------------------------------
+
+size_t CompactionPlanner::TierOf(uint64_t bytes) const {
+  const double ratio = config_.tier_ratio > 1.0
+                           ? config_.tier_ratio
+                           : CompactionConfig::kDefaultTierRatio;
+  size_t tier = 0;
+  double bound = static_cast<double>(CompactionConfig::kTierBaseBytes);
+  while (static_cast<double>(bytes) > bound) {
+    ++tier;
+    bound *= ratio;
+    if (tier > 64) break;  // unreachable with sane ratios; stay finite
+  }
+  return tier;
+}
+
+size_t CompactionPlanner::StableFileBound(uint64_t total_bytes) const {
+  // A converged engine holds at most trigger_files - 1 files per occupied
+  // tier (one more would trigger); every tier up to the one holding all
+  // the data can be occupied.
+  const size_t tiers = TierOf(total_bytes) + 1;
+  const size_t per_tier =
+      config_.trigger_files > 1 ? config_.trigger_files - 1 : 1;
+  return std::max<size_t>(1, tiers * per_tier);
+}
+
+CompactionPlan CompactionPlanner::WindowPlan(
+    const std::vector<SealedFileRef>& files,
+    const std::vector<uint64_t>& sizes, size_t begin, size_t count) const {
+  CompactionPlan plan;
+  plan.begin = begin;
+  plan.inputs.assign(files.begin() + static_cast<ptrdiff_t>(begin),
+                     files.begin() + static_cast<ptrdiff_t>(begin + count));
+  plan.input_bytes.assign(sizes.begin() + static_cast<ptrdiff_t>(begin),
+                          sizes.begin() + static_cast<ptrdiff_t>(begin + count));
+  bool all_seq = true;
+  for (const SealedFileRef& f : plan.inputs) {
+    if (f->unsequence()) all_seq = false;
+  }
+  plan.sequence_output = all_seq || count == files.size();
+  return plan;
+}
+
+CompactionPlan CompactionPlanner::PlanTiered(
+    const std::vector<SealedFileRef>& files,
+    const std::vector<uint64_t>& sizes) const {
+  CompactionPlan none;
+  if (files.size() < 2 || files.size() != sizes.size()) return none;
+  const size_t trigger = std::max<size_t>(2, config_.trigger_files);
+  const size_t fanin = std::max<size_t>(2, config_.max_fanin);
+
+  // Maximal runs of consecutive same-tier files, creation order. Among
+  // runs long enough to trigger, pick the smallest tier (fresh flushes
+  // land there, so that is where file count grows fastest); merge the
+  // run's oldest files.
+  size_t best_begin = 0, best_len = 0, best_tier = 0;
+  bool have_best = false;
+  size_t run_begin = 0;
+  size_t run_tier = TierOf(sizes[0]);
+  auto consider = [&](size_t begin, size_t len, size_t tier) {
+    if (len < trigger) return;
+    if (!have_best || tier < best_tier ||
+        (tier == best_tier && len > best_len)) {
+      have_best = true;
+      best_begin = begin;
+      best_len = len;
+      best_tier = tier;
+    }
+  };
+  for (size_t i = 1; i <= files.size(); ++i) {
+    const size_t tier = i < files.size() ? TierOf(sizes[i]) : SIZE_MAX;
+    if (i == files.size() || tier != run_tier) {
+      consider(run_begin, i - run_begin, run_tier);
+      run_begin = i;
+      run_tier = tier;
+    }
+  }
+  if (!have_best) return none;
+  CompactionPlan plan =
+      WindowPlan(files, sizes, best_begin, std::min(best_len, fanin));
+  plan.tier = best_tier;
+  return plan;
+}
+
+CompactionPlan CompactionPlanner::PlanFull(
+    const std::vector<SealedFileRef>& files,
+    const std::vector<uint64_t>& sizes, size_t limit) const {
+  CompactionPlan none;
+  if (files.size() < 2 || files.size() != sizes.size()) return none;
+  const size_t fanin = std::max<size_t>(2, config_.max_fanin);
+  const size_t count = std::min({files.size(), fanin, limit});
+  if (count < 2) return none;
+  return WindowPlan(files, sizes, 0, count);
+}
+
+// --- loser tree -------------------------------------------------------------
+
+void LoserTree::Init(size_t players, std::function<bool(size_t, size_t)> less) {
+  players_ = players;
+  less_ = std::move(less);
+  tree_.assign(std::max<size_t>(players, 1), kNone);
+  if (players <= 1) {
+    tree_[0] = 0;
+    return;
+  }
+  // Seat each leaf: walk toward the root, playing a match at every
+  // occupied node (winner moves up, loser stays) and parking at the first
+  // empty one. After all K leaves, tree_[0] holds the champion and every
+  // internal node the loser of its match.
+  for (size_t s = 0; s < players_; ++s) {
+    size_t candidate = s;
+    size_t node = (s + players_) / 2;
+    while (node > 0 && tree_[node] != kNone) {
+      if (less_(tree_[node], candidate)) {
+        std::swap(tree_[node], candidate);
+      }
+      node /= 2;
+    }
+    if (node == 0) {
+      tree_[0] = candidate;
+    } else {
+      tree_[node] = candidate;
+    }
+  }
+}
+
+void LoserTree::Replay() {
+  if (players_ <= 1) return;
+  size_t candidate = tree_[0];
+  for (size_t node = (candidate + players_) / 2; node > 0; node /= 2) {
+    if (less_(tree_[node], candidate)) {
+      std::swap(tree_[node], candidate);
+    }
+  }
+  tree_[0] = candidate;
+}
+
+// --- job --------------------------------------------------------------------
+
+namespace {
+
+/// Output chunks spill to disk once this much encoded data is buffered,
+/// keeping writer memory independent of output size (Finish produces the
+/// same bytes regardless).
+constexpr size_t kCompactionSpillBytes = 1u << 20;  // 1 MiB
+
+}  // namespace
+
+Status CompactionJob::MergeSensor(const CompactionPlan& plan,
+                                  const std::vector<SensorSource>& sources,
+                                  const std::string& sensor,
+                                  TsFileWriter* writer, uint64_t* survivors,
+                                  CompactionStats* stats) {
+  *survivors = 0;
+  const size_t k = sources.size();
+  std::vector<std::unique_ptr<TsFileReader::RunCursor>> cursors;
+  cursors.reserve(k);
+  for (const SensorSource& src : sources) {
+    cursors.push_back(std::make_unique<TsFileReader::RunCursor>(
+        plan.inputs[src.input]->path(), sensor, src.locator));
+    RETURN_NOT_OK(cursors.back()->Open());
+  }
+
+  // Exhausted cursors order last; equal timestamps order by window
+  // position so the newest input pops LAST and overwrites the pending
+  // point — the same last-write-wins rule MergeRuns applies at query
+  // time (sources are in ascending window position by construction).
+  LoserTree tree;
+  tree.Init(k, [&cursors](size_t a, size_t b) {
+    const bool da = cursors[a]->done(), db = cursors[b]->done();
+    if (da != db) return !da;
+    if (da) return a < b;
+    const Timestamp ta = cursors[a]->time(), tb = cursors[b]->time();
+    if (ta != tb) return ta < tb;
+    return a < b;
+  });
+
+  const size_t points_per_page = config_.points_per_page == 0
+                                     ? TsFileWriter::kDefaultPointsPerPage
+                                     : config_.points_per_page;
+  std::vector<Timestamp> page_ts;
+  std::vector<double> page_vals;
+  page_ts.reserve(points_per_page);
+  page_vals.reserve(points_per_page);
+
+  // Streaming LWW: hold back one point; a successor with the same
+  // timestamp (necessarily from an equal-or-newer input, per the pop
+  // order) replaces it, anything else flushes it out.
+  bool have_pending = false;
+  Timestamp pending_t = 0;
+  double pending_v = 0.0;
+
+  size_t cursor_resident = 0;  // decoded points across all open cursors
+  for (const auto& c : cursors) cursor_resident += c->page_points();
+
+  auto note_resident = [&]() {
+    const size_t resident =
+        cursor_resident + page_ts.size() + (have_pending ? 1 : 0);
+    if (resident > stats->max_resident_points) {
+      stats->max_resident_points = resident;
+    }
+  };
+  note_resident();
+
+  auto emit = [&](Timestamp t, double v) -> Status {
+    ++*survivors;
+    if (writer == nullptr) return Status::OK();
+    page_ts.push_back(t);
+    page_vals.push_back(v);
+    if (page_ts.size() == points_per_page) {
+      note_resident();
+      RETURN_NOT_OK(writer->AppendPageF64(page_ts, page_vals));
+      page_ts.clear();
+      page_vals.clear();
+    }
+    return Status::OK();
+  };
+
+  for (;;) {
+    const size_t w = tree.winner();
+    if (cursors[w]->done()) break;
+    const Timestamp t = cursors[w]->time();
+    const double v = cursors[w]->value();
+    if (have_pending && pending_t == t) {
+      pending_v = v;  // newer input (or later duplicate) shadows it
+    } else {
+      if (have_pending) RETURN_NOT_OK(emit(pending_t, pending_v));
+      pending_t = t;
+      pending_v = v;
+      have_pending = true;
+    }
+    const size_t before = cursors[w]->page_points();
+    RETURN_NOT_OK(cursors[w]->Advance());
+    const size_t after = cursors[w]->page_points();
+    if (after != before) {
+      cursor_resident += after;
+      cursor_resident -= before;
+      note_resident();
+    }
+    tree.Replay();
+  }
+  if (have_pending) RETURN_NOT_OK(emit(pending_t, pending_v));
+  if (writer != nullptr && !page_ts.empty()) {
+    RETURN_NOT_OK(writer->AppendPageF64(page_ts, page_vals));
+  }
+  return Status::OK();
+}
+
+Status CompactionJob::Run(const CompactionPlan& plan, SealedFileRef* out_meta,
+                          CompactionStats* stats) {
+  *out_meta = nullptr;
+  *stats = CompactionStats{};
+  if (plan.empty()) {
+    return Status::InvalidArgument("compaction plan needs >= 2 inputs");
+  }
+  stats->input_files = plan.inputs.size();
+  for (uint64_t b : plan.input_bytes) stats->input_bytes += b;
+
+  // Union of sensors across inputs; each sensor's sources stay in window
+  // order (= LWW priority order) because inputs are visited in order.
+  std::map<std::string, std::vector<SensorSource>> sensors;
+  for (size_t i = 0; i < plan.inputs.size(); ++i) {
+    for (const auto& [sensor, locator] : plan.inputs[i]->ranges()) {
+      if (locator.points == 0) continue;
+      sensors[sensor].push_back(SensorSource{i, locator});
+    }
+  }
+  stats->sensors = sensors.size();
+
+  const size_t id = next_file_id_->fetch_add(1);
+  char name[48];
+  std::snprintf(name, sizeof(name), "%s%08zu.bstf",
+                plan.sequence_output ? "seq-" : "unseq-", id);
+  const std::string final_path = config_.data_dir + "/" + name;
+  const std::string tmp_path = final_path + ".tmp";
+
+  auto fail = [&tmp_path](Status st) {
+    std::error_code ec;
+    std::filesystem::remove(tmp_path, ec);
+    return st;
+  };
+
+  TsFileWriter writer(tmp_path);
+  writer.set_spill_threshold(kCompactionSpillBytes);
+  for (const auto& [sensor, sources] : sensors) {
+    // Pass 1: count LWW survivors so the page count is known up front.
+    uint64_t survivors = 0;
+    Status st = MergeSensor(plan, sources, sensor, nullptr, &survivors, stats);
+    if (!st.ok()) return fail(st);
+    if (survivors == 0) continue;
+    const size_t points_per_page = config_.points_per_page == 0
+                                       ? TsFileWriter::kDefaultPointsPerPage
+                                       : config_.points_per_page;
+    const uint64_t pages =
+        (survivors + points_per_page - 1) / points_per_page;
+    st = writer.BeginChunkF64(sensor, pages);
+    if (!st.ok()) return fail(st);
+    // Pass 2: the identical merge, emitting pages this time.
+    uint64_t emitted = 0;
+    st = MergeSensor(plan, sources, sensor, &writer, &emitted, stats);
+    if (!st.ok()) return fail(st);
+    if (emitted != survivors) {
+      return fail(Status::Corruption("compaction input changed between merge "
+                                     "passes: " +
+                                     sensor));
+    }
+    st = writer.EndChunk();
+    if (!st.ok()) return fail(st);
+    stats->output_points += emitted;
+  }
+  Status st = writer.Finish();
+  if (!st.ok()) return fail(st);
+
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    return fail(Status::IOError("rename failed: " + tmp_path + ": " +
+                                ec.message()));
+  }
+  stats->output_bytes = std::filesystem::file_size(final_path, ec);
+  if (ec) stats->output_bytes = 0;
+
+  SealedFileRef meta = std::make_shared<SealedFileMeta>(
+      final_path, writer.Locators(), cache_);
+  if (cache_ != nullptr) {
+    cache_->PutFooter(final_path,
+                      std::make_shared<FooterMap>(writer.Locators()));
+  }
+  *out_meta = std::move(meta);
+  return Status::OK();
+}
+
+// --- scheduler --------------------------------------------------------------
+
+void CompactionScheduler::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  stop_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void CompactionScheduler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+}
+
+void CompactionScheduler::Loop() {
+  const auto interval = std::chrono::milliseconds(
+      interval_ms_ == 0 ? CompactionConfig::kDefaultCheckIntervalMs
+                        : interval_ms_);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, interval, [this] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    // Drain what the planner finds, but re-check for foreground work and
+    // shutdown between jobs: flushes preempt maintenance.
+    for (;;) {
+      if (pool_ != nullptr && pool_->queue_depth() > 0) break;
+      bool performed = false;
+      // Failures are already counted in the engine's metrics; the
+      // scheduler just moves on and retries next tick.
+      (void)engine_->CompactStep(&performed);
+      if (!performed) break;
+      std::lock_guard<std::mutex> check(mu_);
+      if (stop_) break;
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace backsort

@@ -1,0 +1,239 @@
+#ifndef BACKSORT_ENGINE_COMPACTION_H_
+#define BACKSORT_ENGINE_COMPACTION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/chunk_cache.h"
+#include "common/status.h"
+#include "engine/file_registry.h"
+#include "tsfile/tsfile.h"
+
+namespace backsort {
+
+class FlushPool;
+class StorageEngine;
+
+/// Resolved tiered-compaction tuning. StorageEngine builds one from
+/// EngineOptions (applying the env-var auto resolution documented there)
+/// and hands it to the planner, jobs and scheduler.
+struct CompactionConfig {
+  static constexpr size_t kDefaultMaxFanin = 8;
+  static constexpr double kDefaultTierRatio = 4.0;
+  static constexpr size_t kDefaultTriggerFiles = 4;
+  static constexpr size_t kDefaultCheckIntervalMs = 250;
+  /// Upper size bound of tier 0; each tier above covers `tier_ratio`
+  /// times the previous one's range. Small enough that freshly flushed
+  /// bench/test files land in tier 0 and tier together.
+  static constexpr uint64_t kTierBaseBytes = 64u << 10;  // 64 KiB
+
+  std::string data_dir;
+  size_t max_fanin = kDefaultMaxFanin;
+  double tier_ratio = kDefaultTierRatio;
+  size_t trigger_files = kDefaultTriggerFiles;
+  size_t points_per_page = 1024;
+  size_t check_interval_ms = kDefaultCheckIntervalMs;
+};
+
+/// One planned merge: a CONTIGUOUS window [begin, begin + inputs.size())
+/// of the engine-wide creation-order file list. Contiguity is a
+/// correctness requirement, not a heuristic: query-time last-write-wins
+/// resolves equal timestamps by list order, so merging a non-contiguous
+/// subset could hoist an older file's value past an unmerged newer file
+/// (or vice versa). Replacing a contiguous window with its merge at the
+/// same position preserves every file's order relative to every
+/// non-input file — per-shard consult lists are order-preserving
+/// subsequences of the engine list, so they stay consistent too.
+struct CompactionPlan {
+  std::vector<SealedFileRef> inputs;
+  /// On-disk byte size per input, parallel to `inputs`.
+  std::vector<uint64_t> input_bytes;
+  /// Window start in the planning snapshot of the creation-order list.
+  /// Stable until the swap because compaction runs serialized and
+  /// concurrent flushes only append.
+  size_t begin = 0;
+  /// Size tier the inputs share (informational; PlanFull leaves it 0).
+  size_t tier = 0;
+  /// Whether the output may carry the "seq-" name (and so stay eligible
+  /// for the aggregation statistics fast path): all inputs are sequence
+  /// files, or the window covers the entire file list — in which case
+  /// the merge IS the total LWW resolution and its output is totally
+  /// ordered with no shadowing possible.
+  bool sequence_output = false;
+
+  bool empty() const { return inputs.size() < 2; }
+};
+
+/// Groups the sealed-file registry into size tiers and picks the next
+/// bounded-fan-in merge. Stateless; every method is const.
+class CompactionPlanner {
+ public:
+  explicit CompactionPlanner(const CompactionConfig& config)
+      : config_(config) {}
+
+  /// Tier of a file of `bytes`: 0 for anything up to kTierBaseBytes,
+  /// +1 per tier_ratio beyond.
+  size_t TierOf(uint64_t bytes) const;
+
+  /// Sealed files a fully compacted engine holding `total_bytes` may
+  /// stably accumulate before the planner triggers again: fewer than
+  /// `trigger_files` per occupied tier. The soak bench and ci.sh gate
+  /// post-compaction file counts against this.
+  size_t StableFileBound(uint64_t total_bytes) const;
+
+  /// Plans one tiered merge over the creation-order file list (`sizes`
+  /// parallel, on-disk bytes): finds runs of consecutive same-tier files,
+  /// and when some tier has a run of at least `trigger_files`, returns
+  /// its oldest `max_fanin` files (smallest tier wins ties — that is
+  /// where churn concentrates). Returns an empty plan when nothing is
+  /// triggered.
+  CompactionPlan PlanTiered(const std::vector<SealedFileRef>& files,
+                            const std::vector<uint64_t>& sizes) const;
+
+  /// Plans one step of a full compaction: the oldest min(max_fanin, n,
+  /// limit) files regardless of tiers. Repeated to a fixpoint this
+  /// reduces the list to one file — the explicit Compact() behavior.
+  /// `limit` caps the window so a full compaction started over N files
+  /// never chases files flushed after it began.
+  CompactionPlan PlanFull(const std::vector<SealedFileRef>& files,
+                          const std::vector<uint64_t>& sizes,
+                          size_t limit = static_cast<size_t>(-1)) const;
+
+ private:
+  CompactionPlan WindowPlan(const std::vector<SealedFileRef>& files,
+                            const std::vector<uint64_t>& sizes, size_t begin,
+                            size_t count) const;
+
+  CompactionConfig config_;
+};
+
+/// Tournament loser tree selecting the minimum of K sorted cursors in
+/// O(log K) comparisons per pop (vs the binary heap's pop+push pair).
+/// Players are cursor indices; `less(a, b)` orders player a's current key
+/// before player b's. tree_[0] holds the overall winner, tree_[1..K-1]
+/// hold the losers of their subtree matches; after the winner's cursor
+/// advances, Replay re-runs only the matches on its leaf-to-root path.
+class LoserTree {
+ public:
+  /// Builds the tree over `players` cursors. `less` must totally order
+  /// the players (exhausted cursors compare last).
+  void Init(size_t players, std::function<bool(size_t, size_t)> less);
+
+  size_t winner() const { return tree_[0]; }
+
+  /// Re-seats the current winner after its key changed (advance or
+  /// exhaustion).
+  void Replay();
+
+ private:
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+
+  size_t players_ = 0;
+  std::function<bool(size_t, size_t)> less_;
+  /// tree_[0] = winner; tree_[1..players-1] = internal loser nodes. Leaf
+  /// s enters at node (s + players) / 2.
+  std::vector<size_t> tree_;
+};
+
+/// Per-job outcome, for metrics and the streaming-memory tests.
+struct CompactionStats {
+  size_t input_files = 0;
+  uint64_t input_bytes = 0;
+  uint64_t output_bytes = 0;
+  /// Points surviving last-write-wins dedup across all sensors.
+  size_t output_points = 0;
+  size_t sensors = 0;
+  /// Peak decoded points resident at any instant of the merge: the open
+  /// run cursors' current pages + the output page being built + the
+  /// lookahead point. The streaming bound — independent of input size.
+  size_t max_resident_points = 0;
+};
+
+/// Merges one plan's input files into a single fresh sealed file with a
+/// streaming per-sensor loser-tree k-way merge: every sensor chunk is
+/// read page by page through TsFileReader::RunCursor, deduplicated
+/// last-write-wins across sequence/unsequence inputs (higher window
+/// position = newer wins), and written page by page, so job memory is
+/// bounded by fan-in × page size — never by dataset size. The output is
+/// written to "<name>.tmp" and atomically renamed; on any error the
+/// temporary is removed and nothing else has changed.
+class CompactionJob {
+ public:
+  /// `cache` (nullable) is warmed with the output's footer on success.
+  /// `next_file_id` allocates the output's name id.
+  CompactionJob(const CompactionConfig& config, ChunkCache* cache,
+                std::atomic<size_t>* next_file_id)
+      : config_(config), cache_(cache), next_file_id_(next_file_id) {}
+
+  /// Runs the merge. On success `*out_meta` is the new sealed file
+  /// (registered nowhere yet — the engine swaps it in). On failure the
+  /// returned status describes the first error, `*out_meta` is null, and
+  /// no temporary output remains.
+  Status Run(const CompactionPlan& plan, SealedFileRef* out_meta,
+             CompactionStats* stats);
+
+ private:
+  struct SensorSource {
+    size_t input;  // index into plan.inputs = LWW priority (higher wins)
+    ChunkLocator locator;
+  };
+
+  /// One streaming merge pass over a sensor's runs. With `writer` null it
+  /// only counts LWW survivors (the page-count pass); non-null it emits
+  /// pages into the open streaming chunk. Both passes execute the exact
+  /// same merge, so the counted layout is the written layout.
+  Status MergeSensor(const CompactionPlan& plan,
+                     const std::vector<SensorSource>& sources,
+                     const std::string& sensor, TsFileWriter* writer,
+                     uint64_t* survivors, CompactionStats* stats);
+
+  CompactionConfig config_;
+  ChunkCache* cache_;
+  std::atomic<size_t>* next_file_id_;
+};
+
+/// Background thread that keeps the registry tiered: wakes every
+/// check_interval_ms, yields whenever foreground flushes are queued
+/// (compaction is maintenance — ingest goes first), and otherwise runs
+/// StorageEngine::CompactStep until the planner finds nothing to do.
+/// Started by the engine when compaction_enabled; Stop() (engine
+/// shutdown, before the flush pool stops) finishes any in-flight job and
+/// joins.
+class CompactionScheduler {
+ public:
+  CompactionScheduler(StorageEngine* engine, FlushPool* pool,
+                      size_t check_interval_ms)
+      : engine_(engine), pool_(pool), interval_ms_(check_interval_ms) {}
+  ~CompactionScheduler() { Stop(); }
+
+  CompactionScheduler(const CompactionScheduler&) = delete;
+  CompactionScheduler& operator=(const CompactionScheduler&) = delete;
+
+  void Start();
+  /// Idempotent; returns with the thread joined.
+  void Stop();
+
+ private:
+  void Loop();
+
+  StorageEngine* engine_;
+  FlushPool* pool_;
+  size_t interval_ms_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace backsort
+
+#endif  // BACKSORT_ENGINE_COMPACTION_H_

@@ -110,6 +110,32 @@ struct EngineOptions {
   /// IoTDB's read semantics (an unsequence rewrite of an existing
   /// timestamp shadows the sequence value). Off = return all duplicates.
   bool dedup_on_query = true;
+
+  /// Run the tiered background compaction scheduler (engine/compaction.h):
+  /// a thread that keeps the sealed-file count bounded by merging size
+  /// tiers of the registry with the streaming loser-tree merge. Off (the
+  /// default), files accumulate until an explicit Compact()/CompactStep().
+  /// Can be forced on via $BACKSORT_COMPACTION=1 when left false.
+  bool compaction_enabled = false;
+
+  /// Maximum files merged by one compaction job (the k of the k-way
+  /// merge; also the bound on open run cursors, hence on job memory).
+  /// 0 = auto: $BACKSORT_COMPACTION_MAX_FANIN when set, else 8.
+  size_t compaction_max_fanin = 0;
+
+  /// Size ratio between consecutive tiers: a file of `bytes` lives in
+  /// tier floor(log_ratio(bytes / 64KiB)). 0 = auto:
+  /// $BACKSORT_COMPACTION_TIER_RATIO when set, else 4.
+  double compaction_tier_ratio = 0.0;
+
+  /// How many same-tier files must accumulate (consecutively, in creation
+  /// order) before the planner schedules a merge of that tier. 0 = auto:
+  /// $BACKSORT_COMPACTION_TRIGGER_FILES when set, else 4.
+  size_t compaction_trigger_files = 0;
+
+  /// Poll interval of the background scheduler, milliseconds. 0 = auto:
+  /// $BACKSORT_COMPACTION_INTERVAL_MS when set, else 250.
+  size_t compaction_check_interval_ms = 0;
 };
 
 }  // namespace backsort

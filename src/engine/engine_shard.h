@@ -73,6 +73,23 @@ struct QueryPathHistograms {
   }
 };
 
+/// Compaction-path latency histograms, one per stage of a compaction
+/// cycle (see CompactionStageSnapshots for stage semantics). Recording is
+/// lock-free like the other stage histograms.
+struct CompactionPathHistograms {
+  LatencyHistogram plan;
+  LatencyHistogram merge;
+  LatencyHistogram publish;
+
+  CompactionStageSnapshots Snapshot() const {
+    CompactionStageSnapshots snap;
+    snap.plan = plan.Snapshot();
+    snap.merge = merge.Snapshot();
+    snap.publish = publish.Snapshot();
+    return snap;
+  }
+};
+
 /// State shared by all shards of one engine: the resolved options, the
 /// flush pool, globally unique file/WAL id allocators (so names never
 /// collide across shards), the shared chunk cache, and the engine-wide
@@ -113,6 +130,16 @@ struct EngineSharedState {
   /// and the points they carried (relaxed, same contract as above).
   std::atomic<uint64_t> batch_writes{0};
   std::atomic<uint64_t> batch_points{0};
+
+  /// Compaction stage histograms (see CompactionPathHistograms).
+  CompactionPathHistograms compaction_histograms;
+
+  /// Compaction counters (relaxed, same contract as above): completed
+  /// jobs, failed jobs, input files consumed, output bytes written.
+  std::atomic<uint64_t> compaction_jobs{0};
+  std::atomic<uint64_t> compaction_failures{0};
+  std::atomic<uint64_t> compaction_input_files{0};
+  std::atomic<uint64_t> compaction_output_bytes{0};
 
   /// Epoch of every FlushTrace timestamp: engine construction time on the
   /// steady clock.

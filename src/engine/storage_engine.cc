@@ -7,35 +7,22 @@
 #include <functional>
 #include <map>
 #include <thread>
-
-#include "engine/merge.h"
+#include <unordered_set>
 
 namespace backsort {
 
 namespace {
 
-/// Sorted-merge of a new sorted run into an accumulating sorted vector.
-void MergeSortedInto(std::vector<TvPairDouble>& acc,
-                     std::vector<TvPairDouble>&& run) {
-  if (run.empty()) return;
-  if (acc.empty()) {
-    acc = std::move(run);
-    return;
-  }
-  std::vector<TvPairDouble> merged;
-  merged.reserve(acc.size() + run.size());
-  std::merge(acc.begin(), acc.end(), run.begin(), run.end(),
-             std::back_inserter(merged),
-             [](const TvPairDouble& a, const TvPairDouble& b) {
-               return a.t < b.t;
-             });
-  acc = std::move(merged);
-}
-
 size_t EnvCount(const char* name) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return 0;
   return static_cast<size_t>(std::strtoull(v, nullptr, 10));
+}
+
+double EnvRatio(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return 0.0;
+  return std::strtod(v, nullptr);
 }
 
 }  // namespace
@@ -79,6 +66,31 @@ StorageEngine::StorageEngine(EngineOptions options) {
   if (parallelism == 0) parallelism = 1;
   shared_.options.flush_parallelism = parallelism;
 
+  // Tiered-compaction tuning: explicit option values win, auto (0)
+  // consults the BACKSORT_COMPACTION* environment, then the built-in
+  // defaults. The enabled flag can only be forced ON by the environment,
+  // never off (tests that construct with it set rely on that).
+  compaction_enabled_ = shared_.options.compaction_enabled ||
+                        EnvCount("BACKSORT_COMPACTION") != 0;
+  compaction_config_.data_dir = shared_.options.data_dir;
+  compaction_config_.points_per_page = shared_.options.points_per_page;
+  size_t fanin = shared_.options.compaction_max_fanin;
+  if (fanin == 0) fanin = EnvCount("BACKSORT_COMPACTION_MAX_FANIN");
+  if (fanin == 0) fanin = CompactionConfig::kDefaultMaxFanin;
+  compaction_config_.max_fanin = std::max<size_t>(fanin, 2);
+  double ratio = shared_.options.compaction_tier_ratio;
+  if (ratio <= 0.0) ratio = EnvRatio("BACKSORT_COMPACTION_TIER_RATIO");
+  if (ratio <= 1.0) ratio = CompactionConfig::kDefaultTierRatio;
+  compaction_config_.tier_ratio = ratio;
+  size_t trigger = shared_.options.compaction_trigger_files;
+  if (trigger == 0) trigger = EnvCount("BACKSORT_COMPACTION_TRIGGER_FILES");
+  if (trigger == 0) trigger = CompactionConfig::kDefaultTriggerFiles;
+  compaction_config_.trigger_files = std::max<size_t>(trigger, 2);
+  size_t interval = shared_.options.compaction_check_interval_ms;
+  if (interval == 0) interval = EnvCount("BACKSORT_COMPACTION_INTERVAL_MS");
+  if (interval == 0) interval = CompactionConfig::kDefaultCheckIntervalMs;
+  compaction_config_.check_interval_ms = interval;
+
   const size_t per_shard_threshold =
       std::max<size_t>(shared_.options.memtable_flush_threshold / shards, 1);
   shards_.reserve(shards);
@@ -89,6 +101,10 @@ StorageEngine::StorageEngine(EngineOptions options) {
 }
 
 StorageEngine::~StorageEngine() {
+  // Stop the compaction scheduler first: an in-flight job may still
+  // consult pool_.queue_depth() and swap files into the shards, so both
+  // must outlive it.
+  if (compaction_scheduler_ != nullptr) compaction_scheduler_->Stop();
   // Drain and join the flush workers before any shard (and its WAL
   // writers) is destroyed.
   pool_.Stop();
@@ -105,10 +121,30 @@ Status StorageEngine::Open() {
     return Status::IOError("cannot create data dir " +
                            shared_.options.data_dir + ": " + ec.message());
   }
+  // Sweep orphaned compaction temporaries before recovery scans the
+  // directory: a crash between a job's output write and its rename
+  // leaves "*.bstf.tmp" files that are not data and must neither be
+  // replayed nor accumulate.
+  for (const auto& entry :
+       std::filesystem::directory_iterator(shared_.options.data_dir)) {
+    const std::string name = entry.path().filename().string();
+    constexpr const char kTmpSuffix[] = ".bstf.tmp";
+    constexpr size_t kTmpSuffixLen = sizeof(kTmpSuffix) - 1;
+    if (name.size() > kTmpSuffixLen &&
+        name.compare(name.size() - kTmpSuffixLen, kTmpSuffixLen,
+                     kTmpSuffix) == 0) {
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
   RETURN_NOT_OK(RecoverAll());
   if (shared_.options.async_flush && !pool_started_) {
     pool_.Start(flush_workers_);
     pool_started_ = true;
+  }
+  if (compaction_enabled_ && compaction_scheduler_ == nullptr) {
+    compaction_scheduler_ = std::make_unique<CompactionScheduler>(
+        this, &pool_, compaction_config_.check_interval_ms);
+    compaction_scheduler_->Start();
   }
   return Status::OK();
 }
@@ -298,6 +334,15 @@ EngineMetricsSnapshot StorageEngine::GetMetricsSnapshot() const {
   snap.cache = shared_.chunk_cache->GetStats();
   snap.batch_writes = shared_.batch_writes.load(std::memory_order_relaxed);
   snap.batch_points = shared_.batch_points.load(std::memory_order_relaxed);
+  snap.compaction_stages = shared_.compaction_histograms.Snapshot();
+  snap.compaction_jobs =
+      shared_.compaction_jobs.load(std::memory_order_relaxed);
+  snap.compaction_failures =
+      shared_.compaction_failures.load(std::memory_order_relaxed);
+  snap.compaction_input_files =
+      shared_.compaction_input_files.load(std::memory_order_relaxed);
+  snap.compaction_output_bytes =
+      shared_.compaction_output_bytes.load(std::memory_order_relaxed);
   return snap;
 }
 
@@ -305,108 +350,168 @@ ChunkCacheStats StorageEngine::GetChunkCacheStats() const {
   return shared_.chunk_cache->GetStats();
 }
 
-Status StorageEngine::Compact() {
-  // Snapshot the current engine-wide file set; flushes may append more
-  // files while the merge runs, and those must survive the swap untouched.
-  std::vector<SealedFileRef> inputs;
+void StorageEngine::SnapshotFiles(std::vector<SealedFileRef>* files,
+                                  std::vector<uint64_t>* sizes) const {
   {
     std::unique_lock<std::mutex> lock(shared_.files_mu);
-    if (shared_.all_files.size() < 2) return Status::OK();
-    inputs = shared_.all_files;
+    *files = shared_.all_files;
   }
-  char name[48];
-  std::snprintf(name, sizeof(name), "seq-%08zu.bstf",
-                shared_.next_file_id.fetch_add(1));
-  const std::string out_path = shared_.options.data_dir + "/" + name;
+  sizes->clear();
+  sizes->reserve(files->size());
+  for (const SealedFileRef& f : *files) {
+    std::error_code ec;
+    const uint64_t bytes = std::filesystem::file_size(f->path(), ec);
+    sizes->push_back(ec ? 0 : bytes);
+  }
+}
 
-  // Merge every sensor's runs across all input files, resolving duplicate
-  // timestamps last-write-wins (newer files shadow older ones) — after
-  // compaction every timestamp lives exactly once, which is what re-enables
-  // the statistics-pushdown fast path over the output file.
-  std::map<std::string, std::vector<TvPairDouble>> merged;
-  for (const SealedFileRef& input : inputs) {
-    TsFileReader reader(input->path());
-    RETURN_NOT_OK(reader.Open());
-    for (const std::string& sensor : reader.Sensors()) {
-      std::vector<Timestamp> ts;
-      std::vector<double> values;
-      RETURN_NOT_OK(reader.ReadChunkF64(sensor, &ts, &values));
-      std::vector<TvPairDouble> run(ts.size());
-      for (size_t i = 0; i < ts.size(); ++i) run[i] = {ts[i], values[i]};
-      MergeSortedInto(merged[sensor], std::move(run));
-    }
-  }
-  for (auto& [sensor, points] : merged) {
-    // std::merge keeps earlier-file points before later-file points on
-    // ties, so the last of each equal-timestamp group is the newest write.
-    size_t w = 0;
-    for (size_t i = 0; i < points.size(); ++i) {
-      if (i + 1 < points.size() && points[i + 1].t == points[i].t) continue;
-      points[w++] = points[i];
-    }
-    points.resize(w);
-  }
+size_t StorageEngine::CompactionFileBound() const {
+  std::vector<SealedFileRef> files;
+  std::vector<uint64_t> sizes;
+  SnapshotFiles(&files, &sizes);
+  uint64_t total = 0;
+  for (uint64_t b : sizes) total += b;
+  return CompactionPlanner(compaction_config_).StableFileBound(total);
+}
 
-  TsFileWriter writer(out_path);
-  for (const auto& [sensor, points] : merged) {
-    std::vector<Timestamp> ts(points.size());
-    std::vector<double> values(points.size());
-    for (size_t i = 0; i < points.size(); ++i) {
-      ts[i] = points[i].t;
-      values[i] = points[i].v;
-    }
-    RETURN_NOT_OK(writer.WriteChunkF64(sensor, ts, values,
-                                       Encoding::kTs2Diff, Encoding::kGorilla,
-                                       shared_.options.points_per_page));
-  }
-  RETURN_NOT_OK(writer.Finish());
-  SealedFileRef out_meta = std::make_shared<SealedFileMeta>(
-      out_path, writer.Locators(), shared_.chunk_cache.get());
-  shared_.chunk_cache->PutFooter(
-      out_path, std::make_shared<FooterMap>(writer.Locators()));
-
-  // Swap: replace exactly the snapshot inputs with the compacted file in
-  // every shard's consult list, keeping any files flushed meanwhile. All
-  // shard locks are taken in index order, then files_mu (the documented
-  // hierarchy), so queries across shards never observe a half-swapped set.
-  // Identity comparison, not path comparison: refs to one file are shared.
-  auto is_input = [&](const SealedFileRef& f) {
-    return std::find(inputs.begin(), inputs.end(), f) != inputs.end();
-  };
+Status StorageEngine::ApplyCompactionSwap(const CompactionPlan& plan,
+                                          const SealedFileRef& out_meta) {
+  std::unordered_set<const SealedFileMeta*> input_set;
+  for (const SealedFileRef& f : plan.inputs) input_set.insert(f.get());
   std::vector<SealedFileRef> obsolete;
   {
+    // All shard locks in index order, then files_mu — the documented
+    // hierarchy; queries across shards never observe a half-swapped set.
     std::vector<std::unique_lock<std::mutex>> locks;
     locks.reserve(shards_.size());
     for (auto& shard : shards_) locks.emplace_back(shard->mu());
-    for (auto& shard : shards_) {
-      std::vector<SealedFileRef> next;
-      next.push_back(out_meta);
-      for (const SealedFileRef& f : shard->sealed_files_locked()) {
-        if (!is_input(f)) next.push_back(f);
-      }
-      shard->sealed_files_locked() = std::move(next);
-    }
     std::unique_lock<std::mutex> files_lock(shared_.files_mu);
-    std::vector<SealedFileRef> next;
-    next.push_back(out_meta);
-    for (const SealedFileRef& f : shared_.all_files) {
-      if (!is_input(f)) {
-        next.push_back(f);
-      } else {
-        obsolete.push_back(f);
+
+    // The plan's window must still sit at its snapshot position:
+    // compaction is serialized and flushes only append, so anything else
+    // means a bookkeeping bug — refuse to touch the registry.
+    std::vector<SealedFileRef>& all = shared_.all_files;
+    if (plan.begin + plan.inputs.size() > all.size()) {
+      return Status::Corruption("compaction window outran the registry");
+    }
+    for (size_t i = 0; i < plan.inputs.size(); ++i) {
+      if (all[plan.begin + i].get() != plan.inputs[i].get()) {
+        return Status::Corruption("compaction window moved during merge");
       }
     }
-    shared_.all_files = std::move(next);
-    shared_.file_count.store(shared_.all_files.size());
+
+    // Shard consult lists are order-preserving subsequences of the
+    // engine list, so each shard's window members are contiguous there
+    // too: the output replaces them in place (shards with no input from
+    // the window never see the output — none of their sensors live in
+    // it).
+    for (auto& shard : shards_) {
+      std::vector<SealedFileRef>& list = shard->sealed_files_locked();
+      std::vector<SealedFileRef> next;
+      next.reserve(list.size());
+      bool inserted = false;
+      for (const SealedFileRef& f : list) {
+        if (input_set.count(f.get()) != 0) {
+          if (!inserted) {
+            next.push_back(out_meta);
+            inserted = true;
+          }
+          continue;
+        }
+        next.push_back(f);
+      }
+      list = std::move(next);
+    }
+
+    obsolete.assign(all.begin() + static_cast<ptrdiff_t>(plan.begin),
+                    all.begin() +
+                        static_cast<ptrdiff_t>(plan.begin +
+                                               plan.inputs.size()));
+    all.erase(all.begin() + static_cast<ptrdiff_t>(plan.begin),
+              all.begin() +
+                  static_cast<ptrdiff_t>(plan.begin + plan.inputs.size()));
+    all.insert(all.begin() + static_cast<ptrdiff_t>(plan.begin), out_meta);
+    shared_.file_count.store(all.size());
   }
-  // Deferred deletion: mark the inputs obsolete and drop this function's
-  // refs. A query that snapshotted before the swap still holds refs and
-  // keeps reading the old bytes; the last ref's destructor invalidates the
-  // file's cache entries and unlinks it. With no concurrent readers that
-  // happens right here.
+  // Deferred deletion: queries that snapshotted before the swap still
+  // hold refs and keep reading the old bytes; the last ref's destructor
+  // invalidates each file's cache entries and unlinks it.
   for (const SealedFileRef& f : obsolete) f->MarkObsolete();
-  obsolete.clear();
-  inputs.clear();
+  return Status::OK();
+}
+
+Status StorageEngine::RunCompactionPlan(const CompactionPlan& plan,
+                                        bool* performed) {
+  CompactionJob job(compaction_config_, shared_.chunk_cache.get(),
+                    &shared_.next_file_id);
+  SealedFileRef out_meta;
+  CompactionStats cstats;
+  const int64_t merge_start = shared_.NowNs();
+  Status st = job.Run(plan, &out_meta, &cstats);
+  shared_.compaction_histograms.merge.Record(
+      static_cast<uint64_t>(shared_.NowNs() - merge_start));
+  if (!st.ok()) {
+    shared_.compaction_failures.fetch_add(1, std::memory_order_relaxed);
+    return st;
+  }
+  const int64_t publish_start = shared_.NowNs();
+  st = ApplyCompactionSwap(plan, out_meta);
+  if (!st.ok()) {
+    // Defensive: the output was never registered; obsolete it so its
+    // bytes are removed when the local ref drops.
+    out_meta->MarkObsolete();
+    shared_.compaction_failures.fetch_add(1, std::memory_order_relaxed);
+    return st;
+  }
+  shared_.compaction_histograms.publish.Record(
+      static_cast<uint64_t>(shared_.NowNs() - publish_start));
+  shared_.compaction_jobs.fetch_add(1, std::memory_order_relaxed);
+  shared_.compaction_input_files.fetch_add(plan.inputs.size(),
+                                           std::memory_order_relaxed);
+  shared_.compaction_output_bytes.fetch_add(cstats.output_bytes,
+                                            std::memory_order_relaxed);
+  if (performed != nullptr) *performed = true;
+  return Status::OK();
+}
+
+Status StorageEngine::CompactStep(bool* performed) {
+  if (performed != nullptr) *performed = false;
+  std::lock_guard<std::mutex> serial(compact_mu_);
+  std::vector<SealedFileRef> files;
+  std::vector<uint64_t> sizes;
+  const int64_t plan_start = shared_.NowNs();
+  SnapshotFiles(&files, &sizes);
+  const CompactionPlanner planner(compaction_config_);
+  CompactionPlan plan = planner.PlanTiered(files, sizes);
+  shared_.compaction_histograms.plan.Record(
+      static_cast<uint64_t>(shared_.NowNs() - plan_start));
+  if (plan.empty()) return Status::OK();
+  return RunCompactionPlan(plan, performed);
+}
+
+Status StorageEngine::Compact() {
+  std::lock_guard<std::mutex> serial(compact_mu_);
+  // Only the files present now are this call's responsibility; anything
+  // flushed while it runs is appended behind the window and left alone
+  // (also what bounds the loop under continuous ingest).
+  size_t remaining = 0;
+  {
+    std::unique_lock<std::mutex> lock(shared_.files_mu);
+    remaining = shared_.all_files.size();
+  }
+  const CompactionPlanner planner(compaction_config_);
+  while (remaining >= 2) {
+    std::vector<SealedFileRef> files;
+    std::vector<uint64_t> sizes;
+    const int64_t plan_start = shared_.NowNs();
+    SnapshotFiles(&files, &sizes);
+    CompactionPlan plan = planner.PlanFull(files, sizes, remaining);
+    shared_.compaction_histograms.plan.Record(
+        static_cast<uint64_t>(shared_.NowNs() - plan_start));
+    if (plan.empty()) break;
+    RETURN_NOT_OK(RunCompactionPlan(plan, nullptr));
+    remaining = remaining - plan.inputs.size() + 1;
+  }
   return Status::OK();
 }
 

@@ -2,12 +2,14 @@
 #define BACKSORT_ENGINE_STORAGE_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/engine_metrics.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "engine/compaction.h"
 #include "engine/engine_options.h"
 #include "engine/engine_shard.h"
 #include "engine/flush_pool.h"
@@ -143,14 +145,52 @@ class StorageEngine {
     return shared_.options.flush_parallelism;
   }
 
-  /// Merges every sealed TsFile (sequence and unsequence) into one compact
-  /// sequence file per run — the LSM-style compaction that bounds read
-  /// amplification once the separation policy has scattered stragglers
-  /// across unsequence files. Blocks writes for the file swap only.
+  /// Full compaction to a fixpoint: repeatedly merges the oldest
+  /// max-fan-in window of the sealed-file list (streaming, bounded
+  /// memory; see engine/compaction.h) until the files present when the
+  /// call began are one sequence file. Files flushed while it runs are
+  /// left alone. Blocks writes for each window's registry swap only;
+  /// serialized against CompactStep and the background scheduler.
   Status Compact();
+
+  /// One tiered compaction step: plans over the current registry
+  /// (CompactionPlanner::PlanTiered) and, when some size tier has
+  /// accumulated enough consecutive files, merges one bounded-fan-in
+  /// window. `performed` (optional) reports whether a merge ran. The
+  /// background scheduler calls this in a loop; tools and tests can too.
+  Status CompactStep(bool* performed = nullptr);
+
+  /// Resolved compaction tuning (after env and auto defaults).
+  const CompactionConfig& compaction_config() const {
+    return compaction_config_;
+  }
+  /// Whether the background compaction scheduler runs (option or
+  /// $BACKSORT_COMPACTION).
+  bool compaction_enabled() const { return compaction_enabled_; }
+
+  /// Planner's stable-file bound for the data currently on disk: the
+  /// sealed-file count a converged engine may hold before compaction
+  /// triggers again. The soak bench and ci.sh gate against this.
+  size_t CompactionFileBound() const;
 
  private:
   size_t ShardFor(const std::string& sensor) const;
+
+  /// Snapshots the creation-order file list (under files_mu) and the
+  /// inputs' on-disk byte sizes (outside it).
+  void SnapshotFiles(std::vector<SealedFileRef>* files,
+                     std::vector<uint64_t>* sizes) const;
+
+  /// Runs one planned merge end to end: CompactionJob + registry swap +
+  /// metrics. Caller holds compact_mu_.
+  Status RunCompactionPlan(const CompactionPlan& plan, bool* performed);
+
+  /// Replaces the plan's window with the merged output at the same list
+  /// position, in every shard's consult list and the engine list, under
+  /// all shard locks (index order) then files_mu; marks the inputs
+  /// obsolete after the locks drop.
+  Status ApplyCompactionSwap(const CompactionPlan& plan,
+                             const SealedFileRef& out_meta);
 
   /// Replays leftover TsFiles and WAL segments from `data_dir` into the
   /// shards. Runs single-threaded during Open, before the pool starts.
@@ -161,6 +201,17 @@ class StorageEngine {
   std::vector<std::unique_ptr<EngineShard>> shards_;
   FlushPool pool_;
   bool pool_started_ = false;
+
+  /// Resolved at construction (options + BACKSORT_COMPACTION* env).
+  CompactionConfig compaction_config_;
+  bool compaction_enabled_ = false;
+  /// Serializes whole compaction cycles (scheduler, CompactStep,
+  /// Compact): plans stay valid until their swap because only appends
+  /// can happen concurrently. Ordered before any shard mu.
+  std::mutex compact_mu_;
+  /// Started by Open when compaction_enabled_; stopped in the destructor
+  /// before the flush pool (a draining job may still yield to it).
+  std::unique_ptr<CompactionScheduler> compaction_scheduler_;
 };
 
 }  // namespace backsort

@@ -188,10 +188,12 @@ bool BacksortServer::HandleRequest(int fd, const FrameHeader& header,
   WallTimer timer;
   ByteBuffer body;
   const Status rpc = Dispatch(header.type, payload, &body);
-  const Status sent = WriteResponse(fd, header.type, rpc, body);
-  admission_.Release(payload.size());
+  // Count before the response is written: a client that has received its
+  // reply must be able to observe the incremented counter in a snapshot.
   const size_t idx = MsgTypeIndex(header.type);
   metrics_.requests_total[idx].fetch_add(1, std::memory_order_relaxed);
+  const Status sent = WriteResponse(fd, header.type, rpc, body);
+  admission_.Release(payload.size());
   metrics_.request_ns[idx].Record(timer.ElapsedNanos());
   return sent.ok();
 }

@@ -153,6 +153,57 @@ Status ParseIndexBlock(const uint8_t* block, size_t size,
 
 namespace {
 
+/// Serializes one page — stats header plus the encoded time/value buffers
+/// — covering points [begin, end) of the columns. The single definition
+/// of page bytes: the whole-chunk path and the streaming chunk path both
+/// call it, so their output is bit-identical by construction.
+template <typename V>
+Status EncodePage(const std::vector<Timestamp>& ts,
+                  const std::vector<V>& values, size_t begin, size_t end,
+                  Encoding time_enc, Encoding value_enc, ByteBuffer* out) {
+  const size_t count = end - begin;
+  out->PutVarint64(count);
+  out->PutVarintSigned64(ts[begin]);
+  out->PutVarintSigned64(ts[end - 1]);
+  // Per-page value statistics for aggregation pushdown.
+  double min_v = static_cast<double>(values[begin]);
+  double max_v = min_v;
+  double sum_v = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    const double v = static_cast<double>(values[i]);
+    min_v = std::min(min_v, v);
+    max_v = std::max(max_v, v);
+    sum_v += v;
+  }
+  auto put_double = [out](double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    out->PutFixed64(bits);
+  };
+  put_double(min_v);
+  put_double(max_v);
+  put_double(sum_v);
+
+  std::vector<Timestamp> page_ts(ts.begin() + static_cast<ptrdiff_t>(begin),
+                                 ts.begin() + static_cast<ptrdiff_t>(end));
+  ByteBuffer time_buf;
+  RETURN_NOT_OK(EncodeTimeAndValues(time_enc, page_ts, &time_buf));
+  out->PutVarint64(time_buf.size());
+  out->Append(time_buf);
+
+  std::vector<V> page_vals(values.begin() + static_cast<ptrdiff_t>(begin),
+                           values.begin() + static_cast<ptrdiff_t>(end));
+  ByteBuffer value_buf;
+  if constexpr (std::is_same_v<V, int64_t>) {
+    RETURN_NOT_OK(EncodeI64(value_enc, page_vals, &value_buf));
+  } else {
+    RETURN_NOT_OK(EncodeF64(value_enc, page_vals, &value_buf));
+  }
+  out->PutVarint64(value_buf.size());
+  out->Append(value_buf);
+  return Status::OK();
+}
+
 /// Serializes one chunk body (header + pages) into a standalone buffer.
 /// Every byte WriteChunkImpl used to append to the file buffer lands here
 /// in the same order, so encode-then-append is bit-identical to the
@@ -187,46 +238,8 @@ Status EncodeChunkBody(const std::string& sensor,
   for (size_t p = 0; p < page_count; ++p) {
     const size_t begin = p * points_per_page;
     const size_t end = std::min(begin + points_per_page, ts.size());
-    const size_t count = end - begin;
-    out->PutVarint64(count);
-    out->PutVarintSigned64(ts[begin]);
-    out->PutVarintSigned64(ts[end - 1]);
-    // Per-page value statistics for aggregation pushdown.
-    double min_v = static_cast<double>(values[begin]);
-    double max_v = min_v;
-    double sum_v = 0.0;
-    for (size_t i = begin; i < end; ++i) {
-      const double v = static_cast<double>(values[i]);
-      min_v = std::min(min_v, v);
-      max_v = std::max(max_v, v);
-      sum_v += v;
-    }
-    auto put_double = [out](double v) {
-      uint64_t bits = 0;
-      std::memcpy(&bits, &v, sizeof(bits));
-      out->PutFixed64(bits);
-    };
-    put_double(min_v);
-    put_double(max_v);
-    put_double(sum_v);
-
-    std::vector<Timestamp> page_ts(ts.begin() + static_cast<ptrdiff_t>(begin),
-                                   ts.begin() + static_cast<ptrdiff_t>(end));
-    ByteBuffer time_buf;
-    RETURN_NOT_OK(EncodeTimeAndValues(time_enc, page_ts, &time_buf));
-    out->PutVarint64(time_buf.size());
-    out->Append(time_buf);
-
-    std::vector<V> page_vals(values.begin() + static_cast<ptrdiff_t>(begin),
-                             values.begin() + static_cast<ptrdiff_t>(end));
-    ByteBuffer value_buf;
-    if constexpr (std::is_same_v<V, int64_t>) {
-      RETURN_NOT_OK(EncodeI64(value_enc, page_vals, &value_buf));
-    } else {
-      RETURN_NOT_OK(EncodeF64(value_enc, page_vals, &value_buf));
-    }
-    out->PutVarint64(value_buf.size());
-    out->Append(value_buf);
+    RETURN_NOT_OK(
+        EncodePage(ts, values, begin, end, time_enc, value_enc, out));
   }
   return Status::OK();
 }
@@ -241,17 +254,20 @@ Status TsFileWriter::WriteChunkImpl(const std::string& sensor,
                                     Encoding value_enc,
                                     size_t points_per_page) {
   if (finished_) return Status::InvalidArgument("writer already finished");
+  if (chunk_open_) {
+    return Status::InvalidArgument("streaming chunk still open");
+  }
   ByteBuffer body;
   RETURN_NOT_OK(EncodeChunkBody(sensor, ts, values, type, time_enc,
                                 value_enc, points_per_page, &body));
-  if (buffer_.size() == 0) {
+  if (FileOffset() == 0) {
     buffer_.PutBytes(kMagic, kMagicLen);
   }
-  index_.push_back({sensor, buffer_.size(), type, ts.size(),
+  index_.push_back({sensor, FileOffset(), type, ts.size(),
                     ts.empty() ? Timestamp{0} : ts.front(),
                     ts.empty() ? Timestamp{-1} : ts.back()});
   buffer_.Append(body);
-  return Status::OK();
+  return MaybeSpill();
 }
 
 Status TsFileWriter::EncodeChunkF64(const std::string& sensor,
@@ -272,13 +288,16 @@ Status TsFileWriter::EncodeChunkF64(const std::string& sensor,
 Status TsFileWriter::AppendEncodedChunk(const std::string& sensor,
                                         const EncodedChunk& chunk) {
   if (finished_) return Status::InvalidArgument("writer already finished");
-  if (buffer_.size() == 0) {
+  if (chunk_open_) {
+    return Status::InvalidArgument("streaming chunk still open");
+  }
+  if (FileOffset() == 0) {
     buffer_.PutBytes(kMagic, kMagicLen);
   }
-  index_.push_back({sensor, buffer_.size(), chunk.type, chunk.points,
+  index_.push_back({sensor, FileOffset(), chunk.type, chunk.points,
                     chunk.min_t, chunk.max_t});
   buffer_.Append(chunk.body);
-  return Status::OK();
+  return MaybeSpill();
 }
 
 Status TsFileWriter::WriteChunkI64(const std::string& sensor,
@@ -299,12 +318,103 @@ Status TsFileWriter::WriteChunkF64(const std::string& sensor,
                         value_enc, points_per_page);
 }
 
-Status TsFileWriter::Finish() {
+Status TsFileWriter::SpillBuffer() {
+  if (buffer_.size() == 0) return Status::OK();
+  if (!spill_out_.is_open()) {
+    spill_out_.open(path_, std::ios::binary | std::ios::trunc);
+    if (!spill_out_) {
+      return Status::IOError("cannot open for write: " + path_);
+    }
+  }
+  spill_out_.write(reinterpret_cast<const char*>(buffer_.data().data()),
+                   static_cast<std::streamsize>(buffer_.size()));
+  if (!spill_out_) return Status::IOError("write failed: " + path_);
+  spilled_bytes_ += buffer_.size();
+  buffer_.Clear();
+  return Status::OK();
+}
+
+Status TsFileWriter::MaybeSpill() {
+  if (spill_threshold_ == 0 || buffer_.size() < spill_threshold_) {
+    return Status::OK();
+  }
+  return SpillBuffer();
+}
+
+Status TsFileWriter::BeginChunkF64(const std::string& sensor,
+                                   uint64_t page_count, Encoding time_enc,
+                                   Encoding value_enc) {
   if (finished_) return Status::InvalidArgument("writer already finished");
-  if (buffer_.size() == 0) {
+  if (chunk_open_) {
+    return Status::InvalidArgument("streaming chunk still open");
+  }
+  if (FileOffset() == 0) {
     buffer_.PutBytes(kMagic, kMagicLen);
   }
-  const uint64_t index_offset = buffer_.size();
+  chunk_offset_ = FileOffset();
+  buffer_.PutLengthPrefixedString(sensor);
+  buffer_.PutU8(static_cast<uint8_t>(DataType::kDouble));
+  buffer_.PutU8(static_cast<uint8_t>(time_enc));
+  buffer_.PutU8(static_cast<uint8_t>(value_enc));
+  buffer_.PutVarint64(page_count);
+  chunk_open_ = true;
+  chunk_sensor_ = sensor;
+  chunk_time_enc_ = time_enc;
+  chunk_value_enc_ = value_enc;
+  chunk_declared_pages_ = page_count;
+  chunk_appended_pages_ = 0;
+  chunk_points_ = 0;
+  chunk_min_t_ = 0;
+  chunk_max_t_ = -1;
+  return Status::OK();
+}
+
+Status TsFileWriter::AppendPageF64(const std::vector<Timestamp>& ts,
+                                   const std::vector<double>& values) {
+  if (!chunk_open_) return Status::InvalidArgument("no streaming chunk open");
+  if (chunk_appended_pages_ == chunk_declared_pages_) {
+    return Status::InvalidArgument("more pages than declared");
+  }
+  if (ts.empty() || ts.size() != values.size()) {
+    return Status::InvalidArgument("bad page columns");
+  }
+  if (!std::is_sorted(ts.begin(), ts.end())) {
+    return Status::InvalidArgument("page timestamps must be sorted");
+  }
+  if (chunk_points_ > 0 && ts.front() < chunk_max_t_) {
+    return Status::InvalidArgument("pages must be appended in time order");
+  }
+  RETURN_NOT_OK(EncodePage(ts, values, 0, ts.size(), chunk_time_enc_,
+                           chunk_value_enc_, &buffer_));
+  if (chunk_points_ == 0) chunk_min_t_ = ts.front();
+  chunk_max_t_ = ts.back();
+  chunk_points_ += ts.size();
+  ++chunk_appended_pages_;
+  return MaybeSpill();
+}
+
+Status TsFileWriter::EndChunk() {
+  if (!chunk_open_) return Status::InvalidArgument("no streaming chunk open");
+  if (chunk_appended_pages_ != chunk_declared_pages_) {
+    return Status::InvalidArgument("fewer pages appended than declared");
+  }
+  index_.push_back({chunk_sensor_, chunk_offset_, DataType::kDouble,
+                    chunk_points_, chunk_points_ == 0 ? Timestamp{0}
+                                                      : chunk_min_t_,
+                    chunk_points_ == 0 ? Timestamp{-1} : chunk_max_t_});
+  chunk_open_ = false;
+  return Status::OK();
+}
+
+Status TsFileWriter::Finish() {
+  if (finished_) return Status::InvalidArgument("writer already finished");
+  if (chunk_open_) {
+    return Status::InvalidArgument("streaming chunk still open");
+  }
+  if (FileOffset() == 0) {
+    buffer_.PutBytes(kMagic, kMagicLen);
+  }
+  const uint64_t index_offset = FileOffset();
   buffer_.PutVarint64(index_.size());
   for (const IndexEntry& e : index_) {
     buffer_.PutLengthPrefixedString(e.sensor);
@@ -332,12 +442,10 @@ Status TsFileWriter::Finish() {
     locators_[e.sensor] = locator;
   }
 
-  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for write: " + path_);
-  out.write(reinterpret_cast<const char*>(buffer_.data().data()),
-            static_cast<std::streamsize>(buffer_.size()));
-  out.flush();
-  if (!out) return Status::IOError("write failed: " + path_);
+  RETURN_NOT_OK(SpillBuffer());
+  spill_out_.flush();
+  if (!spill_out_) return Status::IOError("write failed: " + path_);
+  spill_out_.close();
   finished_ = true;
   return Status::OK();
 }
@@ -554,6 +662,194 @@ Status TsFileReader::AggregateRangeF64(const std::string& sensor,
     }
   }
   return Status::OK();
+}
+
+// --- streaming run cursor ---------------------------------------------------
+
+namespace {
+// Sliding-window size for RunCursor's buffered reads: big enough that
+// header fields and page stats come out of one read, small enough that an
+// open cursor's raw-byte footprint is negligible next to a decoded page.
+constexpr size_t kRunCursorBufBytes = 4096;
+}  // namespace
+
+TsFileReader::RunCursor::RunCursor(std::string path, std::string sensor,
+                                   ChunkLocator locator)
+    : path_(std::move(path)),
+      sensor_(std::move(sensor)),
+      locator_(locator) {}
+
+Status TsFileReader::RunCursor::NextByte(uint8_t* out) {
+  if (buf_pos_ == buf_len_) {
+    const size_t want =
+        static_cast<size_t>(std::min<uint64_t>(kRunCursorBufBytes, unread_));
+    if (want == 0) {
+      return Status::Corruption("chunk truncated: " + path_);
+    }
+    buf_.resize(want);
+    in_.read(reinterpret_cast<char*>(buf_.data()),
+             static_cast<std::streamsize>(want));
+    if (in_.gcount() != static_cast<std::streamsize>(want)) {
+      return Status::Corruption("chunk truncated: " + path_);
+    }
+    unread_ -= want;
+    buf_pos_ = 0;
+    buf_len_ = want;
+  }
+  *out = buf_[buf_pos_++];
+  return Status::OK();
+}
+
+Status TsFileReader::RunCursor::ReadExact(uint8_t* dst, size_t n) {
+  // Drain the window first, then read the remainder straight from the
+  // file (page buffers are usually larger than the window).
+  const size_t from_buf = std::min(n, buf_len_ - buf_pos_);
+  std::memcpy(dst, buf_.data() + buf_pos_, from_buf);
+  buf_pos_ += from_buf;
+  const size_t rest = n - from_buf;
+  if (rest == 0) return Status::OK();
+  if (rest > unread_) {
+    return Status::Corruption("chunk truncated: " + path_);
+  }
+  in_.read(reinterpret_cast<char*>(dst + from_buf),
+           static_cast<std::streamsize>(rest));
+  if (in_.gcount() != static_cast<std::streamsize>(rest)) {
+    return Status::Corruption("chunk truncated: " + path_);
+  }
+  unread_ -= rest;
+  return Status::OK();
+}
+
+Status TsFileReader::RunCursor::SkipBytes(size_t n) {
+  const size_t from_buf = std::min(n, buf_len_ - buf_pos_);
+  buf_pos_ += from_buf;
+  const size_t rest = n - from_buf;
+  if (rest == 0) return Status::OK();
+  if (rest > unread_) {
+    return Status::Corruption("chunk truncated: " + path_);
+  }
+  in_.seekg(static_cast<std::streamoff>(rest), std::ios::cur);
+  if (!in_) return Status::Corruption("chunk truncated: " + path_);
+  unread_ -= rest;
+  return Status::OK();
+}
+
+Status TsFileReader::RunCursor::ReadVarint64(uint64_t* out) {
+  uint64_t result = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    uint8_t byte = 0;
+    RETURN_NOT_OK(NextByte(&byte));
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = result;
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("varint too long: " + path_);
+}
+
+Status TsFileReader::RunCursor::ReadVarintSigned64(int64_t* out) {
+  uint64_t zigzag = 0;
+  RETURN_NOT_OK(ReadVarint64(&zigzag));
+  *out = static_cast<int64_t>(zigzag >> 1) ^ -static_cast<int64_t>(zigzag & 1);
+  return Status::OK();
+}
+
+Status TsFileReader::RunCursor::Open() {
+  if (locator_.points == 0) {
+    done_ = true;
+    return Status::OK();
+  }
+  in_.open(path_, std::ios::binary);
+  if (!in_) return Status::IOError("cannot open for read: " + path_);
+  in_.seekg(static_cast<std::streamoff>(locator_.offset));
+  if (!in_) return Status::Corruption("chunk offset beyond file: " + path_);
+  unread_ = locator_.length;
+
+  // Chunk header: sensor, type, encodings, page count — the same field
+  // sequence DecodeChunkSpan parses.
+  uint64_t name_len = 0;
+  RETURN_NOT_OK(ReadVarint64(&name_len));
+  if (name_len > locator_.length) {
+    return Status::Corruption("chunk sensor name overruns chunk: " + path_);
+  }
+  std::string stored_sensor(name_len, '\0');
+  RETURN_NOT_OK(
+      ReadExact(reinterpret_cast<uint8_t*>(stored_sensor.data()), name_len));
+  if (stored_sensor != sensor_) {
+    return Status::Corruption("chunk header sensor mismatch: " + path_);
+  }
+  uint8_t type = 0, time_enc = 0, value_enc = 0;
+  RETURN_NOT_OK(NextByte(&type));
+  RETURN_NOT_OK(NextByte(&time_enc));
+  RETURN_NOT_OK(NextByte(&value_enc));
+  if (static_cast<DataType>(type) != DataType::kDouble) {
+    return Status::InvalidArgument("data type mismatch for " + sensor_);
+  }
+  time_enc_ = static_cast<Encoding>(time_enc);
+  value_enc_ = static_cast<Encoding>(value_enc);
+  RETURN_NOT_OK(ReadVarint64(&pages_remaining_));
+  return LoadNextPage();
+}
+
+Status TsFileReader::RunCursor::LoadNextPage() {
+  while (pages_remaining_ > 0) {
+    --pages_remaining_;
+    uint64_t count = 0;
+    RETURN_NOT_OK(ReadVarint64(&count));
+    if (count > locator_.points) {
+      return Status::Corruption("page count exceeds chunk points: " + path_);
+    }
+    int64_t page_min = 0, page_max = 0;
+    RETURN_NOT_OK(ReadVarintSigned64(&page_min));
+    RETURN_NOT_OK(ReadVarintSigned64(&page_max));
+    RETURN_NOT_OK(SkipBytes(3 * 8));  // value stats: min, max, sum
+    uint64_t time_size = 0;
+    RETURN_NOT_OK(ReadVarint64(&time_size));
+    if (time_size > locator_.length) {
+      return Status::Corruption("page time buffer overruns chunk: " + path_);
+    }
+    if (count == 0) {
+      RETURN_NOT_OK(SkipBytes(time_size));
+      uint64_t value_size = 0;
+      RETURN_NOT_OK(ReadVarint64(&value_size));
+      RETURN_NOT_OK(SkipBytes(value_size));
+      continue;
+    }
+    scratch_.resize(time_size);
+    RETURN_NOT_OK(ReadExact(scratch_.data(), time_size));
+    {
+      ByteReader time_reader(scratch_.data(), time_size);
+      RETURN_NOT_OK(DecodeI64(time_enc_, &time_reader, count, &page_ts_));
+    }
+    uint64_t value_size = 0;
+    RETURN_NOT_OK(ReadVarint64(&value_size));
+    if (value_size > locator_.length) {
+      return Status::Corruption("page value buffer overruns chunk: " + path_);
+    }
+    scratch_.resize(value_size);
+    RETURN_NOT_OK(ReadExact(scratch_.data(), value_size));
+    {
+      ByteReader value_reader(scratch_.data(), value_size);
+      RETURN_NOT_OK(DecodeF64(value_enc_, &value_reader, count, &page_vals_));
+    }
+    if (page_ts_.size() != count || page_vals_.size() != count) {
+      return Status::Corruption("page decode count mismatch: " + path_);
+    }
+    page_idx_ = 0;
+    ++pages_decoded_;
+    return Status::OK();
+  }
+  done_ = true;
+  page_ts_.clear();
+  page_vals_.clear();
+  return Status::OK();
+}
+
+Status TsFileReader::RunCursor::Advance() {
+  if (done_) return Status::InvalidArgument("cursor already done");
+  if (++page_idx_ < page_ts_.size()) return Status::OK();
+  return LoadNextPage();
 }
 
 // --- standalone footer/chunk reads ------------------------------------------

@@ -2,6 +2,7 @@
 #define BACKSORT_TSFILE_TSFILE_H_
 
 #include <cstdint>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -101,6 +102,32 @@ class TsFileWriter {
   Status AppendEncodedChunk(const std::string& sensor,
                             const EncodedChunk& chunk);
 
+  /// Streaming chunk construction, for writers that produce pages
+  /// incrementally and know the page count up front (the compaction
+  /// merge's counting pass): BeginChunkF64 emits the chunk header for
+  /// exactly `page_count` pages, each AppendPageF64 encodes and appends
+  /// one page, EndChunk validates the count and records the index entry.
+  /// Page bytes are identical to WriteChunkF64 splitting the same points
+  /// at the same boundaries. Cannot interleave with WriteChunk*.
+  Status BeginChunkF64(const std::string& sensor, uint64_t page_count,
+                       Encoding time_enc = Encoding::kTs2Diff,
+                       Encoding value_enc = Encoding::kGorilla);
+
+  /// Appends one page to the open streaming chunk. Timestamps must be
+  /// sorted and must not precede the previous page's last timestamp.
+  Status AppendPageF64(const std::vector<Timestamp>& ts,
+                       const std::vector<double>& values);
+
+  Status EndChunk();
+
+  /// Bounds the in-memory build buffer: once it exceeds `bytes`, buffered
+  /// content is appended to the file on disk and the buffer reset
+  /// (Finish still produces the complete file — same bytes either way).
+  /// 0 (the default) keeps the whole file in memory until Finish, which
+  /// is the flush path's behavior. Compaction sets a small threshold so
+  /// job memory stays bounded by open pages, not output size.
+  void set_spill_threshold(size_t bytes) { spill_threshold_ = bytes; }
+
   /// Writes index + footer and flushes the file to disk.
   Status Finish();
 
@@ -129,11 +156,38 @@ class TsFileWriter {
                         Encoding time_enc, Encoding value_enc,
                         size_t points_per_page);
 
+  /// Absolute position the next appended byte lands at in the final file:
+  /// bytes already spilled to disk plus the current buffer. With no spill
+  /// threshold this is just buffer_.size(), so offsets match the original
+  /// in-memory-only path bit for bit.
+  uint64_t FileOffset() const { return spilled_bytes_ + buffer_.size(); }
+
+  /// Appends the buffer to the on-disk file (opening it on first call)
+  /// and resets the buffer.
+  Status SpillBuffer();
+  Status MaybeSpill();
+
   std::string path_;
   ByteBuffer buffer_;
   std::vector<IndexEntry> index_;
   FooterMap locators_;  // built by Finish()
   bool finished_ = false;
+
+  size_t spill_threshold_ = 0;  // 0 = never spill before Finish
+  uint64_t spilled_bytes_ = 0;
+  std::ofstream spill_out_;  // opened lazily by SpillBuffer
+
+  // Streaming chunk state (BeginChunkF64 .. EndChunk).
+  bool chunk_open_ = false;
+  std::string chunk_sensor_;
+  Encoding chunk_time_enc_ = Encoding::kTs2Diff;
+  Encoding chunk_value_enc_ = Encoding::kGorilla;
+  uint64_t chunk_offset_ = 0;
+  uint64_t chunk_declared_pages_ = 0;
+  uint64_t chunk_appended_pages_ = 0;
+  uint64_t chunk_points_ = 0;
+  Timestamp chunk_min_t_ = 0;
+  Timestamp chunk_max_t_ = -1;  // empty-chunk sentinel
 };
 
 /// Read side. The file is slurped into memory on Open (flush files in this
@@ -181,6 +235,61 @@ class TsFileReader {
   /// and time range — the pruning metadata the engine registers at seal
   /// and recovery time.
   const FooterMap& Locators() const { return locators_; }
+
+  /// Streaming cursor over one sensor's chunk: decodes one page at a time
+  /// from its own file handle instead of slurping the chunk (or file) like
+  /// ReadChunkF64. This is the compaction merge's input — resident memory
+  /// per open run is one decoded page plus a small read buffer, regardless
+  /// of chunk size. Standalone by design: it needs only the path and the
+  /// footer's ChunkLocator, not an open TsFileReader.
+  class RunCursor {
+   public:
+    RunCursor(std::string path, std::string sensor, ChunkLocator locator);
+
+    /// Opens the file, parses the chunk header and decodes the first
+    /// page. A cursor over an empty chunk opens already done().
+    Status Open();
+
+    bool done() const { return done_; }
+    /// Current point; valid while !done().
+    Timestamp time() const { return page_ts_[page_idx_]; }
+    double value() const { return page_vals_[page_idx_]; }
+
+    /// Moves to the next point, decoding the next page when the current
+    /// one is exhausted (the only I/O after Open).
+    Status Advance();
+
+    /// Points in the currently decoded page — the cursor's entire decoded
+    /// footprint (the streaming-memory tests pin fan-in × this).
+    size_t page_points() const { return page_ts_.size(); }
+    size_t pages_decoded() const { return pages_decoded_; }
+
+   private:
+    Status ReadExact(uint8_t* dst, size_t n);
+    Status SkipBytes(size_t n);
+    Status NextByte(uint8_t* out);
+    Status ReadVarint64(uint64_t* out);
+    Status ReadVarintSigned64(int64_t* out);
+    Status LoadNextPage();
+
+    std::string path_;
+    std::string sensor_;
+    ChunkLocator locator_;
+    std::ifstream in_;
+    uint64_t unread_ = 0;  // chunk-span bytes not yet read from the file
+    std::vector<uint8_t> buf_;  // small sliding read window
+    size_t buf_pos_ = 0;
+    size_t buf_len_ = 0;
+    Encoding time_enc_ = Encoding::kTs2Diff;
+    Encoding value_enc_ = Encoding::kGorilla;
+    uint64_t pages_remaining_ = 0;
+    std::vector<Timestamp> page_ts_;
+    std::vector<double> page_vals_;
+    std::vector<uint8_t> scratch_;  // one encoded page buffer at a time
+    size_t page_idx_ = 0;
+    bool done_ = false;
+    size_t pages_decoded_ = 0;
+  };
 
  private:
   template <typename V>

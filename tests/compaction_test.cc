@@ -1,0 +1,709 @@
+// Tests for the tiered compaction subsystem (engine/compaction.{h,cc})
+// and its tsfile substrate: the paged RunCursor, the streaming
+// page-at-a-time chunk writer (byte-identical to the monolithic path),
+// the loser-tree k-way merge, the size-tier planner, the CompactionJob
+// (LWW dedup, bounded streaming memory, clean failure on corrupt input,
+// atomic .tmp + rename output), and the StorageEngine integration
+// (query/aggregate results identical before/after, orphan .tmp sweep on
+// open, CompactStep tier triggering, background scheduler convergence).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/compaction.h"
+#include "engine/storage_engine.h"
+#include "tsfile/tsfile.h"
+
+namespace backsort {
+namespace {
+
+class CompactionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("compaction_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  EngineOptions Options() {
+    EngineOptions opt;
+    opt.data_dir = dir_.string();
+    opt.shard_count = 1;
+    opt.flush_workers = 1;
+    // Files are sealed only by explicit FlushAll, so each test controls
+    // its file layout exactly.
+    opt.memtable_flush_threshold = 1'000'000;
+    return opt;
+  }
+
+  /// Writes one sealed TsFile holding `sensor` with the given columns and
+  /// returns a registry-style meta over it (not registered anywhere; the
+  /// meta is never marked obsolete, so destruction leaves the file).
+  SealedFileRef WriteFile(const std::string& name, const std::string& sensor,
+                          const std::vector<Timestamp>& ts,
+                          const std::vector<double>& vals) {
+    const std::string path = (dir_ / name).string();
+    TsFileWriter writer(path);
+    EXPECT_TRUE(writer.WriteChunkF64(sensor, ts, vals).ok());
+    EXPECT_TRUE(writer.Finish().ok());
+    return std::make_shared<SealedFileMeta>(path, writer.Locators(), nullptr);
+  }
+
+  static std::vector<uint64_t> SizesOf(const std::vector<SealedFileRef>& fs) {
+    std::vector<uint64_t> sizes;
+    for (const SealedFileRef& f : fs) {
+      sizes.push_back(std::filesystem::file_size(f->path()));
+    }
+    return sizes;
+  }
+
+  /// Fake meta for planner-only tests: the path never exists and the meta
+  /// is never marked obsolete, so nothing touches the filesystem.
+  SealedFileRef FakeMeta(const std::string& name) {
+    return std::make_shared<SealedFileMeta>((dir_ / name).string(), FooterMap{},
+                                            nullptr);
+  }
+
+  size_t TmpFileCount() const {
+    size_t n = 0;
+    for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+      if (e.path().string().size() >= 4 &&
+          e.path().string().compare(e.path().string().size() - 4, 4, ".tmp") ==
+              0) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  std::filesystem::path dir_;
+};
+
+// --- TsFileReader::RunCursor ----------------------------------------------
+
+TEST_F(CompactionTest, RunCursorMatchesReadChunk) {
+  std::vector<Timestamp> ts;
+  std::vector<double> vals;
+  for (Timestamp t = 0; t < 5000; ++t) {
+    ts.push_back(t * 3);  // non-trivial deltas for the ts2diff decoder
+    vals.push_back(static_cast<double>(t) * 0.5 - 7.0);
+  }
+  const std::string path = (dir_ / "seq-00000000.bstf").string();
+  TsFileWriter writer(path);
+  ASSERT_TRUE(writer.WriteChunkF64("s", ts, vals).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+
+  TsFileReader reader(path);
+  ASSERT_TRUE(reader.Open().ok());
+  const ChunkLocator& locator = reader.Locators().at("s");
+
+  TsFileReader::RunCursor cursor(path, "s", locator);
+  ASSERT_TRUE(cursor.Open().ok());
+  std::vector<Timestamp> got_ts;
+  std::vector<double> got_vals;
+  size_t max_page = 0;
+  while (!cursor.done()) {
+    got_ts.push_back(cursor.time());
+    got_vals.push_back(cursor.value());
+    max_page = std::max(max_page, cursor.page_points());
+    ASSERT_TRUE(cursor.Advance().ok());
+  }
+  EXPECT_EQ(got_ts, ts);
+  EXPECT_EQ(got_vals, vals);
+  // One decoded page at a time, never the whole 5000-point chunk.
+  EXPECT_LE(max_page, TsFileWriter::kDefaultPointsPerPage);
+  EXPECT_EQ(cursor.pages_decoded(),
+            (ts.size() + TsFileWriter::kDefaultPointsPerPage - 1) /
+                TsFileWriter::kDefaultPointsPerPage);
+}
+
+TEST_F(CompactionTest, RunCursorEmptyLocatorIsDone) {
+  ChunkLocator locator;  // points == 0
+  TsFileReader::RunCursor cursor((dir_ / "nope.bstf").string(), "s", locator);
+  ASSERT_TRUE(cursor.Open().ok());
+  EXPECT_TRUE(cursor.done());
+}
+
+TEST_F(CompactionTest, RunCursorTruncatedFileFails) {
+  std::vector<Timestamp> ts;
+  std::vector<double> vals;
+  for (Timestamp t = 0; t < 4000; ++t) {
+    ts.push_back(t);
+    vals.push_back(static_cast<double>(t));
+  }
+  const std::string path = (dir_ / "seq-00000000.bstf").string();
+  TsFileWriter writer(path);
+  ASSERT_TRUE(writer.WriteChunkF64("s", ts, vals).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  TsFileReader reader(path);
+  ASSERT_TRUE(reader.Open().ok());
+  const ChunkLocator locator = reader.Locators().at("s");
+
+  // Cut the file in the middle of the chunk: the cursor must surface an
+  // error (on Open or a later Advance), never crash or fabricate points.
+  std::filesystem::resize_file(path, locator.offset + locator.length / 2);
+  TsFileReader::RunCursor cursor(path, "s", locator);
+  Status st = cursor.Open();
+  size_t steps = 0;
+  while (st.ok() && !cursor.done() && steps < ts.size() + 1) {
+    st = cursor.Advance();
+    ++steps;
+  }
+  EXPECT_FALSE(st.ok() && cursor.done() && steps == ts.size());
+  EXPECT_FALSE(st.ok());
+}
+
+// --- Streaming chunk writer -----------------------------------------------
+
+TEST_F(CompactionTest, StreamingWriterByteIdenticalToMonolithic) {
+  std::vector<Timestamp> ts;
+  std::vector<double> vals;
+  for (Timestamp t = 0; t < 350; ++t) {
+    ts.push_back(t * 2);
+    vals.push_back(std::sin(static_cast<double>(t)));
+  }
+  const size_t page = 100;
+
+  const std::string mono_path = (dir_ / "mono.bstf").string();
+  TsFileWriter mono(mono_path);
+  ASSERT_TRUE(mono.WriteChunkF64("s", ts, vals, Encoding::kTs2Diff,
+                                 Encoding::kGorilla, page)
+                  .ok());
+  ASSERT_TRUE(mono.Finish().ok());
+
+  // Same points, page-at-a-time, with an aggressive spill threshold so the
+  // build buffer hits disk repeatedly mid-file.
+  const std::string stream_path = (dir_ / "stream.bstf").string();
+  TsFileWriter stream(stream_path);
+  stream.set_spill_threshold(64);
+  const uint64_t pages = (ts.size() + page - 1) / page;
+  ASSERT_TRUE(stream.BeginChunkF64("s", pages).ok());
+  for (size_t begin = 0; begin < ts.size(); begin += page) {
+    const size_t end = std::min(begin + page, ts.size());
+    std::vector<Timestamp> pts(ts.begin() + begin, ts.begin() + end);
+    std::vector<double> pvs(vals.begin() + begin, vals.begin() + end);
+    ASSERT_TRUE(stream.AppendPageF64(pts, pvs).ok());
+  }
+  ASSERT_TRUE(stream.EndChunk().ok());
+  ASSERT_TRUE(stream.Finish().ok());
+
+  auto slurp = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string mono_bytes = slurp(mono_path);
+  const std::string stream_bytes = slurp(stream_path);
+  ASSERT_FALSE(mono_bytes.empty());
+  EXPECT_EQ(mono_bytes, stream_bytes);
+
+  // And the streamed file reads back through the normal reader.
+  TsFileReader reader(stream_path);
+  ASSERT_TRUE(reader.Open().ok());
+  std::vector<Timestamp> got_ts;
+  std::vector<double> got_vals;
+  ASSERT_TRUE(reader.ReadChunkF64("s", &got_ts, &got_vals).ok());
+  EXPECT_EQ(got_ts, ts);
+  EXPECT_EQ(got_vals, vals);
+}
+
+TEST_F(CompactionTest, StreamingWriterValidatesPageOrderAndCount) {
+  TsFileWriter writer((dir_ / "bad.bstf").string());
+  ASSERT_TRUE(writer.BeginChunkF64("s", 2).ok());
+  ASSERT_TRUE(writer.AppendPageF64({10, 11}, {1.0, 2.0}).ok());
+  // Page starting before the previous page's last timestamp.
+  EXPECT_FALSE(writer.AppendPageF64({5, 6}, {3.0, 4.0}).ok());
+  ASSERT_TRUE(writer.AppendPageF64({12}, {5.0}).ok());
+  // Declared 2 pages, appended 2 — a third must fail.
+  EXPECT_FALSE(writer.AppendPageF64({13}, {6.0}).ok());
+  EXPECT_TRUE(writer.EndChunk().ok());
+}
+
+// --- LoserTree -------------------------------------------------------------
+
+TEST_F(CompactionTest, LoserTreeMatchesSortedMerge) {
+  std::mt19937_64 rng(20260808);
+  for (size_t k = 1; k <= 9; ++k) {
+    std::vector<std::vector<int64_t>> runs(k);
+    std::vector<int64_t> all;
+    for (auto& run : runs) {
+      const size_t n = rng() % 40;
+      for (size_t i = 0; i < n; ++i) {
+        run.push_back(static_cast<int64_t>(rng() % 100));
+      }
+      std::sort(run.begin(), run.end());
+      all.insert(all.end(), run.begin(), run.end());
+    }
+    std::vector<size_t> pos(k, 0);
+    LoserTree tree;
+    tree.Init(k, [&](size_t a, size_t b) {
+      const bool da = pos[a] >= runs[a].size();
+      const bool db = pos[b] >= runs[b].size();
+      if (da != db) return !da;
+      if (da) return a < b;
+      if (runs[a][pos[a]] != runs[b][pos[b]]) {
+        return runs[a][pos[a]] < runs[b][pos[b]];
+      }
+      return a < b;
+    });
+    std::vector<int64_t> merged;
+    for (;;) {
+      const size_t w = tree.winner();
+      if (pos[w] >= runs[w].size()) break;
+      merged.push_back(runs[w][pos[w]]);
+      ++pos[w];
+      tree.Replay();
+    }
+    std::sort(all.begin(), all.end());
+    EXPECT_EQ(merged, all) << "k=" << k;
+  }
+}
+
+// --- CompactionPlanner -----------------------------------------------------
+
+TEST_F(CompactionTest, PlannerTriggersOnTierRuns) {
+  CompactionConfig config;
+  config.max_fanin = 8;
+  config.trigger_files = 4;
+  CompactionPlanner planner(config);
+
+  std::vector<SealedFileRef> files;
+  std::vector<uint64_t> sizes;
+  for (int i = 0; i < 10; ++i) {
+    files.push_back(FakeMeta("seq-0000000" + std::to_string(i) + ".bstf"));
+    sizes.push_back(1000);  // tier 0
+  }
+  CompactionPlan plan = planner.PlanTiered(files, sizes);
+  ASSERT_FALSE(plan.empty());
+  EXPECT_EQ(plan.begin, 0u);
+  EXPECT_EQ(plan.inputs.size(), 8u);  // fan-in bound
+  EXPECT_EQ(plan.tier, 0u);
+  EXPECT_TRUE(plan.sequence_output);
+
+  // Below the trigger nothing happens.
+  files.resize(3);
+  sizes.resize(3);
+  EXPECT_TRUE(planner.PlanTiered(files, sizes).empty());
+}
+
+TEST_F(CompactionTest, PlannerPicksSmallestTierAndRunOffset) {
+  CompactionConfig config;
+  config.max_fanin = 8;
+  config.trigger_files = 4;
+  config.tier_ratio = 4.0;
+  CompactionPlanner planner(config);
+
+  // Four tier-1 files (~100 KB) followed by four tier-0 files: both runs
+  // trigger; the smaller tier wins because churn concentrates there.
+  std::vector<SealedFileRef> files;
+  std::vector<uint64_t> sizes;
+  for (int i = 0; i < 4; ++i) {
+    files.push_back(FakeMeta("seq-1000000" + std::to_string(i) + ".bstf"));
+    sizes.push_back(100'000);
+  }
+  for (int i = 0; i < 4; ++i) {
+    files.push_back(FakeMeta("seq-2000000" + std::to_string(i) + ".bstf"));
+    sizes.push_back(1000);
+  }
+  CompactionPlan plan = planner.PlanTiered(files, sizes);
+  ASSERT_FALSE(plan.empty());
+  EXPECT_EQ(plan.begin, 4u);
+  EXPECT_EQ(plan.inputs.size(), 4u);
+  EXPECT_EQ(plan.tier, 0u);
+}
+
+TEST_F(CompactionTest, PlannerSequenceOutputRules) {
+  CompactionConfig config;
+  config.max_fanin = 2;
+  config.trigger_files = 2;
+  CompactionPlanner planner(config);
+
+  // Unsequence file inside the window, window != whole list -> the output
+  // must keep the unseq name (it can still shadow / be shadowed).
+  std::vector<SealedFileRef> files = {
+      FakeMeta("seq-00000001.bstf"), FakeMeta("unseq-00000002.bstf"),
+      FakeMeta("seq-00000003.bstf")};
+  std::vector<uint64_t> sizes = {1000, 1000, 1000};
+  CompactionPlan partial = planner.PlanFull(files, sizes);
+  ASSERT_EQ(partial.inputs.size(), 2u);
+  EXPECT_FALSE(partial.sequence_output);
+
+  // Window == the whole list: the merge IS the total LWW resolution, so
+  // the output is sequence even with unseq inputs.
+  config.max_fanin = 3;
+  CompactionPlanner planner3(config);
+  CompactionPlan total = planner3.PlanFull(files, sizes);
+  ASSERT_EQ(total.inputs.size(), 3u);
+  EXPECT_TRUE(total.sequence_output);
+}
+
+TEST_F(CompactionTest, PlannerFullRespectsLimitAndStableBound) {
+  CompactionConfig config;
+  config.max_fanin = 8;
+  config.trigger_files = 4;
+  CompactionPlanner planner(config);
+
+  std::vector<SealedFileRef> files;
+  std::vector<uint64_t> sizes;
+  for (int i = 0; i < 10; ++i) {
+    files.push_back(FakeMeta("seq-0000000" + std::to_string(i) + ".bstf"));
+    sizes.push_back(1000);
+  }
+  EXPECT_EQ(planner.PlanFull(files, sizes).inputs.size(), 8u);
+  EXPECT_EQ(planner.PlanFull(files, sizes, 3).inputs.size(), 3u);
+  EXPECT_TRUE(planner.PlanFull(files, sizes, 1).empty());
+
+  // trigger 4 -> at most 3 stable files per occupied tier.
+  EXPECT_EQ(planner.StableFileBound(1000), 3u);
+  EXPECT_EQ(planner.StableFileBound(1u << 20), 9u);  // tier 2 -> 3 tiers
+}
+
+// --- CompactionJob ---------------------------------------------------------
+
+TEST_F(CompactionTest, JobMergesLastWriteWins) {
+  std::vector<Timestamp> old_ts, new_ts;
+  std::vector<double> old_vals, new_vals;
+  for (Timestamp t = 0; t < 100; ++t) {
+    old_ts.push_back(t);
+    old_vals.push_back(1.0);
+  }
+  for (Timestamp t = 50; t < 150; ++t) {
+    new_ts.push_back(t);
+    new_vals.push_back(2.0);
+  }
+  CompactionPlan plan;
+  plan.inputs = {WriteFile("seq-00000000.bstf", "s", old_ts, old_vals),
+                 WriteFile("unseq-00000001.bstf", "s", new_ts, new_vals)};
+  plan.input_bytes = SizesOf(plan.inputs);
+  plan.sequence_output = true;  // window == whole "list" in this test
+
+  CompactionConfig config;
+  config.data_dir = dir_.string();
+  std::atomic<size_t> next_id{7};
+  CompactionJob job(config, nullptr, &next_id);
+  SealedFileRef out;
+  CompactionStats stats;
+  ASSERT_TRUE(job.Run(plan, &out, &stats).ok());
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(stats.output_points, 150u);
+  EXPECT_EQ(stats.input_files, 2u);
+  EXPECT_EQ(stats.sensors, 1u);
+  EXPECT_GT(stats.output_bytes, 0u);
+  EXPECT_EQ(TmpFileCount(), 0u);
+  EXPECT_NE(out->path().find("seq-00000007.bstf"), std::string::npos);
+
+  TsFileReader reader(out->path());
+  ASSERT_TRUE(reader.Open().ok());
+  std::vector<Timestamp> ts;
+  std::vector<double> vals;
+  ASSERT_TRUE(reader.ReadChunkF64("s", &ts, &vals).ok());
+  ASSERT_EQ(ts.size(), 150u);
+  for (size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ(ts[i], static_cast<Timestamp>(i));
+    // [0, 50) only in the old file; [50, 150) the newer input wins.
+    EXPECT_EQ(vals[i], ts[i] < 50 ? 1.0 : 2.0) << "t=" << ts[i];
+  }
+}
+
+TEST_F(CompactionTest, JobCorruptInputFailsCleanly) {
+  std::vector<Timestamp> ts;
+  std::vector<double> vals;
+  for (Timestamp t = 0; t < 3000; ++t) {
+    ts.push_back(t);
+    vals.push_back(static_cast<double>(t));
+  }
+  CompactionPlan plan;
+  plan.inputs = {WriteFile("seq-00000000.bstf", "s", ts, vals),
+                 WriteFile("seq-00000001.bstf", "s", ts, vals)};
+  plan.input_bytes = SizesOf(plan.inputs);
+  plan.sequence_output = true;
+
+  // Truncate the second input mid-chunk after its footer was captured.
+  std::filesystem::resize_file(plan.inputs[1]->path(), 64);
+
+  CompactionConfig config;
+  config.data_dir = dir_.string();
+  std::atomic<size_t> next_id{0};
+  CompactionJob job(config, nullptr, &next_id);
+  SealedFileRef out;
+  CompactionStats stats;
+  EXPECT_FALSE(job.Run(plan, &out, &stats).ok());
+  EXPECT_EQ(out, nullptr);
+  // No temporary (or final) output left behind.
+  EXPECT_EQ(TmpFileCount(), 0u);
+  size_t bstf = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+    if (e.path().extension() == ".bstf") ++bstf;
+  }
+  EXPECT_EQ(bstf, 2u);  // just the two inputs
+}
+
+TEST_F(CompactionTest, JobStreamingMemoryIsBoundedByFaninTimesPageSize) {
+  // Four interleaved 50k-point inputs: 200k total, comfortably above the
+  // default 100k-point memtable budget. The old materialize-everything
+  // compactor would hold all 200k points; the streaming merge must stay
+  // within fan-in + 1 pages plus the lookahead point.
+  const size_t kPerFile = 50'000;
+  const size_t kInputs = 4;
+  CompactionPlan plan;
+  for (size_t i = 0; i < kInputs; ++i) {
+    std::vector<Timestamp> ts;
+    std::vector<double> vals;
+    for (size_t j = 0; j < kPerFile; ++j) {
+      ts.push_back(static_cast<Timestamp>(j * kInputs + i));
+      vals.push_back(static_cast<double>(i));
+    }
+    plan.inputs.push_back(
+        WriteFile("seq-0000000" + std::to_string(i) + ".bstf", "s", ts, vals));
+  }
+  plan.input_bytes = SizesOf(plan.inputs);
+  plan.sequence_output = true;
+
+  CompactionConfig config;
+  config.data_dir = dir_.string();
+  config.points_per_page = 1024;
+  std::atomic<size_t> next_id{0};
+  CompactionJob job(config, nullptr, &next_id);
+  SealedFileRef out;
+  CompactionStats stats;
+  ASSERT_TRUE(job.Run(plan, &out, &stats).ok());
+  EXPECT_EQ(stats.output_points, kPerFile * kInputs);
+  // k cursor pages + 1 output page + the pending lookahead point.
+  const size_t bound = (kInputs + 1) * config.points_per_page + 1;
+  EXPECT_LE(stats.max_resident_points, bound);
+  EXPECT_GT(stats.max_resident_points, 0u);
+
+  TsFileReader reader(out->path());
+  ASSERT_TRUE(reader.Open().ok());
+  std::vector<Timestamp> ts;
+  std::vector<double> vals;
+  ASSERT_TRUE(reader.ReadChunkF64("s", &ts, &vals).ok());
+  ASSERT_EQ(ts.size(), kPerFile * kInputs);
+  for (size_t i = 1; i < ts.size(); ++i) {
+    ASSERT_LT(ts[i - 1], ts[i]);
+  }
+}
+
+// --- StorageEngine integration --------------------------------------------
+
+TEST_F(CompactionTest, CompactPreservesQueryAndAggregate) {
+  StorageEngine engine(Options());
+  ASSERT_TRUE(engine.Open().ok());
+  // Seq file: [0, 1000). Then two overwrite generations that land partly
+  // in unsequence files (t <= watermark) and partly in sequence files.
+  for (Timestamp t = 0; t < 1000; ++t) {
+    ASSERT_TRUE(engine.Write("s", t, static_cast<double>(t)).ok());
+  }
+  ASSERT_TRUE(engine.FlushAll().ok());
+  for (Timestamp t = 500; t < 1500; ++t) {
+    ASSERT_TRUE(engine.Write("s", t, static_cast<double>(t) + 10000).ok());
+  }
+  ASSERT_TRUE(engine.FlushAll().ok());
+  for (Timestamp t = 200; t < 300; ++t) {
+    ASSERT_TRUE(engine.Write("s", t, static_cast<double>(t) + 20000).ok());
+  }
+  ASSERT_TRUE(engine.FlushAll().ok());
+  ASSERT_GE(engine.sealed_file_count(), 3u);
+
+  std::vector<TvPairDouble> before;
+  ASSERT_TRUE(engine.Query("s", 0, 2000, &before).ok());
+  TsFileReader::RangeStats agg_before;
+  ASSERT_TRUE(engine.AggregateFast("s", 0, 2000, &agg_before).ok());
+
+  ASSERT_TRUE(engine.Compact().ok());
+  EXPECT_EQ(engine.sealed_file_count(), 1u);
+
+  std::vector<TvPairDouble> after;
+  ASSERT_TRUE(engine.Query("s", 0, 2000, &after).ok());
+  ASSERT_EQ(after.size(), before.size());
+  for (size_t i = 0; i < after.size(); ++i) {
+    EXPECT_EQ(after[i].t, before[i].t);
+    EXPECT_EQ(after[i].v, before[i].v);
+  }
+
+  // The single compacted output is a sequence file, so the statistics
+  // pushdown fast path applies — with identical results.
+  TsFileReader::RangeStats agg_after;
+  bool fast = false;
+  ASSERT_TRUE(engine.AggregateFast("s", 0, 2000, &agg_after, &fast).ok());
+  EXPECT_TRUE(fast);
+  EXPECT_EQ(agg_after.count, agg_before.count);
+  EXPECT_EQ(agg_after.sum, agg_before.sum);
+  EXPECT_EQ(agg_after.min, agg_before.min);
+  EXPECT_EQ(agg_after.max, agg_before.max);
+  EXPECT_EQ(agg_after.first, agg_before.first);
+  EXPECT_EQ(agg_after.last, agg_before.last);
+
+  const EngineMetricsSnapshot snap = engine.GetMetricsSnapshot();
+  EXPECT_GE(snap.compaction_jobs, 1u);
+  EXPECT_GE(snap.compaction_input_files, 3u);
+  EXPECT_GT(snap.compaction_output_bytes, 0u);
+  EXPECT_EQ(snap.compaction_failures, 0u);
+}
+
+TEST_F(CompactionTest, CompactSurvivesReopen) {
+  EngineOptions opt = Options();
+  {
+    StorageEngine engine(opt);
+    ASSERT_TRUE(engine.Open().ok());
+    for (int gen = 0; gen < 4; ++gen) {
+      for (Timestamp t = 0; t < 200; ++t) {
+        ASSERT_TRUE(
+            engine.Write("s", t, static_cast<double>(t + gen * 1000)).ok());
+      }
+      ASSERT_TRUE(engine.FlushAll().ok());
+    }
+    ASSERT_TRUE(engine.Compact().ok());
+    EXPECT_EQ(engine.sealed_file_count(), 1u);
+  }
+  StorageEngine reopened(opt);
+  ASSERT_TRUE(reopened.Open().ok());
+  EXPECT_EQ(reopened.sealed_file_count(), 1u);
+  std::vector<TvPairDouble> out;
+  ASSERT_TRUE(reopened.Query("s", 0, 1000, &out).ok());
+  ASSERT_EQ(out.size(), 200u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].v, static_cast<double>(i + 3000));  // last generation
+  }
+}
+
+TEST_F(CompactionTest, EngineCompactFailureLeavesRegistryUnchanged) {
+  StorageEngine engine(Options());
+  ASSERT_TRUE(engine.Open().ok());
+  for (int gen = 0; gen < 3; ++gen) {
+    for (Timestamp t = 0; t < 2000; ++t) {
+      ASSERT_TRUE(
+          engine.Write("s", t + gen * 2000, static_cast<double>(t)).ok());
+    }
+    ASSERT_TRUE(engine.FlushAll().ok());
+  }
+  const size_t files_before = engine.sealed_file_count();
+  ASSERT_GE(files_before, 3u);
+
+  // Truncate one sealed file on disk; its in-memory footer now points
+  // past EOF, so the merge must fail without touching the registry.
+  std::string victim;
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+    if (e.path().extension() == ".bstf") {
+      victim = e.path().string();
+      break;
+    }
+  }
+  ASSERT_FALSE(victim.empty());
+  std::filesystem::resize_file(victim, 16);
+
+  EXPECT_FALSE(engine.Compact().ok());
+  EXPECT_EQ(engine.sealed_file_count(), files_before);
+  EXPECT_EQ(TmpFileCount(), 0u);
+  const EngineMetricsSnapshot snap = engine.GetMetricsSnapshot();
+  EXPECT_GE(snap.compaction_failures, 1u);
+  EXPECT_EQ(snap.compaction_jobs, 0u);
+}
+
+TEST_F(CompactionTest, OrphanTmpOutputsSweptOnOpen) {
+  // A crash mid-compaction leaves "<name>.bstf.tmp"; Open must remove it
+  // (it was never renamed, so it is not part of the registry).
+  const std::string orphan = (dir_ / "seq-00000042.bstf.tmp").string();
+  std::ofstream(orphan, std::ios::binary) << "partial garbage";
+  ASSERT_TRUE(std::filesystem::exists(orphan));
+
+  StorageEngine engine(Options());
+  ASSERT_TRUE(engine.Open().ok());
+  EXPECT_FALSE(std::filesystem::exists(orphan));
+  EXPECT_EQ(engine.sealed_file_count(), 0u);
+}
+
+TEST_F(CompactionTest, CompactStepHonorsTriggerAndFanin) {
+  EngineOptions opt = Options();
+  opt.compaction_trigger_files = 4;
+  opt.compaction_max_fanin = 4;
+  StorageEngine engine(opt);
+  ASSERT_TRUE(engine.Open().ok());
+
+  // Two small files: below the trigger, the planner must stand down.
+  for (int gen = 0; gen < 2; ++gen) {
+    for (Timestamp t = 0; t < 100; ++t) {
+      ASSERT_TRUE(
+          engine.Write("s", t + gen * 100, static_cast<double>(t)).ok());
+    }
+    ASSERT_TRUE(engine.FlushAll().ok());
+  }
+  bool performed = true;
+  ASSERT_TRUE(engine.CompactStep(&performed).ok());
+  EXPECT_FALSE(performed);
+  EXPECT_EQ(engine.sealed_file_count(), 2u);
+
+  // Two more push tier 0 to the trigger; one step merges exactly fan-in.
+  for (int gen = 2; gen < 4; ++gen) {
+    for (Timestamp t = 0; t < 100; ++t) {
+      ASSERT_TRUE(
+          engine.Write("s", t + gen * 100, static_cast<double>(t)).ok());
+    }
+    ASSERT_TRUE(engine.FlushAll().ok());
+  }
+  ASSERT_TRUE(engine.CompactStep(&performed).ok());
+  EXPECT_TRUE(performed);
+  EXPECT_EQ(engine.sealed_file_count(), 1u);  // 4 merged into 1
+
+  std::vector<TvPairDouble> out;
+  ASSERT_TRUE(engine.Query("s", 0, 400, &out).ok());
+  EXPECT_EQ(out.size(), 400u);
+}
+
+TEST_F(CompactionTest, BackgroundSchedulerConvergesToTierBound) {
+  EngineOptions opt = Options();
+  opt.compaction_enabled = true;
+  opt.compaction_trigger_files = 2;
+  opt.compaction_max_fanin = 4;
+  opt.compaction_check_interval_ms = 10;
+  StorageEngine engine(opt);
+  ASSERT_TRUE(engine.Open().ok());
+  ASSERT_TRUE(engine.compaction_enabled());
+
+  for (int gen = 0; gen < 8; ++gen) {
+    for (Timestamp t = 0; t < 500; ++t) {
+      ASSERT_TRUE(engine
+                      .Write("s", t + gen * 500,
+                             static_cast<double>(t + gen * 500))
+                      .ok());
+    }
+    ASSERT_TRUE(engine.FlushAll().ok());
+  }
+
+  // The background thread must drive the registry down to the planner's
+  // stable bound without any explicit Compact call.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (engine.sealed_file_count() > engine.CompactionFileBound() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_LE(engine.sealed_file_count(), engine.CompactionFileBound());
+
+  std::vector<TvPairDouble> out;
+  ASSERT_TRUE(engine.Query("s", 0, 4000, &out).ok());
+  ASSERT_EQ(out.size(), 4000u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].t, static_cast<Timestamp>(i));
+    EXPECT_EQ(out[i].v, static_cast<double>(i));
+  }
+}
+
+}  // namespace
+}  // namespace backsort

@@ -438,5 +438,84 @@ TEST_F(EngineConcurrencyTest, ShardedStateSurvivesRestart) {
   ASSERT_EQ(out.size(), kWriters * kPoints);
 }
 
+// The background compaction scheduler races writers, readers and the
+// flush pool: tiered merges swap registry windows while queries hold
+// snapshot refs and writers keep appending files. The oracle at the end
+// pins every point; under TSan this also proves the scheduler's
+// lock/shutdown protocol (compact_mu_ -> shard mutexes -> files_mu,
+// scheduler stopped before the pool) is race-free.
+TEST_F(EngineConcurrencyTest, BackgroundCompactionRacesIngestAndQueries) {
+  EngineOptions opt = Options(/*shards=*/2, /*flush_workers=*/2);
+  opt.memtable_flush_threshold = 2'000;  // many small files
+  opt.compaction_enabled = true;
+  opt.compaction_trigger_files = 2;
+  opt.compaction_max_fanin = 4;
+  opt.compaction_check_interval_ms = 5;
+  StorageEngine engine(opt);
+  ASSERT_TRUE(engine.Open().ok());
+  ASSERT_TRUE(engine.compaction_enabled());
+
+  constexpr size_t kWriters = 3;
+  constexpr size_t kPoints = 5'000;
+  std::atomic<bool> done{false};
+  auto sensor_of = [](size_t w) { return "root.sg.bg" + std::to_string(w); };
+  auto value_of = [](size_t w, Timestamp t) {
+    return static_cast<double>(w * 1'000'000 + static_cast<size_t>(t));
+  };
+
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(300 + w);
+      AbsNormalDelay delay(1, 40);
+      const auto ts = GenerateArrivalOrderedTimestamps(kPoints, delay, rng);
+      for (const Timestamp t : ts) {
+        ASSERT_TRUE(engine.Write(sensor_of(w), t, value_of(w, t)).ok());
+      }
+    });
+  }
+  for (size_t w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      std::vector<TvPairDouble> out;
+      while (!done.load()) {
+        ASSERT_TRUE(engine.Query(sensor_of(w), 0, 1'000'000'000, &out).ok());
+        for (size_t i = 0; i < out.size(); ++i) {
+          if (i > 0) {
+            ASSERT_LT(out[i - 1].t, out[i].t);
+          }
+          ASSERT_DOUBLE_EQ(out[i].v, value_of(w, out[i].t));
+        }
+      }
+    });
+  }
+  // Flusher: keeps sealing small files so the scheduler always has tier
+  // runs to chew on while ingest is live.
+  threads.emplace_back([&] {
+    while (!done.load()) {
+      ASSERT_TRUE(engine.FlushAll().ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  for (size_t w = 0; w < kWriters; ++w) threads[w].join();
+  done.store(true);
+  for (size_t i = kWriters; i < threads.size(); ++i) threads[i].join();
+
+  ASSERT_TRUE(engine.FlushAll().ok());
+  const EngineMetricsSnapshot snap = engine.GetMetricsSnapshot();
+  EXPECT_GT(snap.compaction_jobs, 0u);
+  EXPECT_EQ(snap.compaction_failures, 0u);
+
+  std::vector<TvPairDouble> out;
+  for (size_t w = 0; w < kWriters; ++w) {
+    ASSERT_TRUE(engine.Query(sensor_of(w), 0, 1'000'000'000, &out).ok());
+    ASSERT_EQ(out.size(), kPoints);
+    for (size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i].t, static_cast<Timestamp>(i));
+      ASSERT_DOUBLE_EQ(out[i].v, value_of(w, out[i].t));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace backsort

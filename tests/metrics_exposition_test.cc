@@ -205,6 +205,12 @@ class MetricsExpositionTest : public ::testing::Test {
         ASSERT_TRUE(engine.AggregateFast(sensor, 100, 500, &stats).ok());
       }
     }
+    // Full compaction so the compaction stage summaries and counters
+    // carry data (several flushed files exist at this point). Runs after
+    // the query passes, so no earlier assertion sees the merged layout.
+    ASSERT_GT(engine.sealed_file_count(), 1u);
+    ASSERT_TRUE(engine.Compact().ok());
+    ASSERT_EQ(engine.sealed_file_count(), 1u);
     snapshot_ = new EngineMetricsSnapshot(engine.GetMetricsSnapshot());
   }
 
@@ -238,6 +244,11 @@ TEST_F(MetricsExpositionTest, GoldenFamilySet) {
   const std::map<std::string, std::string> expected = {
       {"backsort_stage_duration_seconds", "summary"},
       {"backsort_query_stage_duration_seconds", "summary"},
+      {"backsort_compaction_stage_duration_seconds", "summary"},
+      {"backsort_engine_compaction_jobs_total", "counter"},
+      {"backsort_engine_compaction_failures_total", "counter"},
+      {"backsort_engine_compaction_input_files_total", "counter"},
+      {"backsort_engine_compaction_output_bytes_total", "counter"},
       {"backsort_queries_total", "counter"},
       {"backsort_query_files_pruned_total", "counter"},
       {"backsort_query_files_opened_total", "counter"},
@@ -354,6 +365,40 @@ TEST_F(MetricsExpositionTest, QueryStagesAndCacheCountersCarryData) {
   EXPECT_GT(SampleValue(e, "backsort_chunk_cache_hits_total", ""), 0.0);
   EXPECT_GT(SampleValue(e, "backsort_chunk_cache_capacity_bytes", ""), 0.0);
   EXPECT_GT(SampleValue(e, "backsort_chunk_cache_entries", ""), 0.0);
+}
+
+TEST_F(MetricsExpositionTest, CompactionStagesAndCountersCarryData) {
+  Exposition e;
+  ParseExposition(Render(/*include_traces=*/false), &e);
+  // The fixture ran one full compaction over the flushed files.
+  const double jobs =
+      SampleValue(e, "backsort_engine_compaction_jobs_total", "");
+  EXPECT_GE(jobs, 1.0);
+  EXPECT_EQ(jobs, static_cast<double>(snapshot().compaction_jobs));
+  EXPECT_EQ(SampleValue(e, "backsort_engine_compaction_failures_total", ""),
+            0.0);
+  EXPECT_GE(SampleValue(e, "backsort_engine_compaction_input_files_total", ""),
+            2.0);
+  EXPECT_GT(SampleValue(e, "backsort_engine_compaction_output_bytes_total", ""),
+            0.0);
+  // One merge + publish histogram record per completed job; planning runs
+  // at least once more (the final round that found nothing).
+  EXPECT_EQ(SampleValue(e, "backsort_compaction_stage_duration_seconds_count",
+                        "stage=\"merge\""),
+            jobs);
+  EXPECT_EQ(SampleValue(e, "backsort_compaction_stage_duration_seconds_count",
+                        "stage=\"publish\""),
+            jobs);
+  EXPECT_GE(SampleValue(e, "backsort_compaction_stage_duration_seconds_count",
+                        "stage=\"plan\""),
+            jobs);
+  for (const char* stage : {"plan", "merge", "publish"}) {
+    const double p99 =
+        SampleValue(e, "backsort_compaction_stage_duration_seconds",
+                    std::string("stage=\"") + stage + "\",quantile=\"0.99\"");
+    EXPECT_FALSE(std::isnan(p99)) << stage;
+    EXPECT_GE(p99, 0.0) << stage;
+  }
 }
 
 TEST_F(MetricsExpositionTest, TracesAgreeWithStageHistograms) {

@@ -95,8 +95,8 @@ int Fail(const Status& st) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: bstool inspect|dump|gen|sort|iir|ingest|metrics|watch|"
-               "algos ...\n"
+               "usage: bstool inspect|dump|gen|sort|iir|ingest|compact|"
+               "metrics|watch|algos ...\n"
                "  inspect <file.bstf>\n"
                "  dump <file.bstf> <sensor> [limit]\n"
                "  gen <out.csv> <points> <dist> [seed]\n"
@@ -108,7 +108,8 @@ int Usage() {
                " [--batch=N]\n"
                "         [--seed=N] [--metrics-interval=MS]"
                " [--metrics-file=PATH]\n"
-               "         [--chunk-cache-bytes=N]\n"
+               "         [--chunk-cache-bytes=N] [--compaction]\n"
+               "  compact <dir> [--step] [--fanin=N] [--trigger=N]\n"
                "  metrics <dir-or-file>\n"
                "  watch <dir-or-file> [--interval=MS] [--count=N]\n"
                "  serve <dir> [--host=A] [--port=N] [--port-file=PATH]"
@@ -116,7 +117,7 @@ int Usage() {
                "        [--shards=N] [--flush-workers=N]"
                " [--flush-parallelism=N]\n"
                "        [--max-inflight-requests=N]"
-               " [--max-inflight-bytes=N] [--wal-fsync]\n"
+               " [--max-inflight-bytes=N] [--wal-fsync] [--compaction]\n"
                "  client <host:port>"
                " ping|write|query|latest|agg|metrics [...]\n");
   return 2;
@@ -415,9 +416,14 @@ int CmdIngest(int argc, char** argv) {
   // be distinguishable from "flag absent" (engine auto/env resolution).
   size_t chunk_cache_bytes = 0;
   bool chunk_cache_set = false;
+  bool compaction = false;
   for (int i = 3; i < argc; ++i) {
     if (FlagValue(argv[i], "--chunk-cache-bytes", &chunk_cache_bytes)) {
       chunk_cache_set = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--compaction") == 0) {
+      compaction = true;
       continue;
     }
     if (FlagValue(argv[i], "--shards", &shards) ||
@@ -443,6 +449,7 @@ int CmdIngest(int argc, char** argv) {
   opt.flush_workers = flush_workers;
   opt.flush_parallelism = flush_parallelism;
   if (chunk_cache_set) opt.chunk_cache_bytes = chunk_cache_bytes;
+  opt.compaction_enabled = compaction;
   StorageEngine engine(opt);
   if (Status st = engine.Open(); !st.ok()) return Fail(st);
 
@@ -496,6 +503,15 @@ int CmdIngest(int argc, char** argv) {
   }
   std::printf("total: %zu flushes, %zu sealed files\n",
               snap.total_completed_flushes(), snap.sealed_files);
+  if (engine.compaction_enabled()) {
+    std::printf("compaction: %llu jobs (%llu failed), %llu inputs merged, "
+                "%llu output bytes; stable-file bound %zu\n",
+                static_cast<unsigned long long>(snap.compaction_jobs),
+                static_cast<unsigned long long>(snap.compaction_failures),
+                static_cast<unsigned long long>(snap.compaction_input_files),
+                static_cast<unsigned long long>(snap.compaction_output_bytes),
+                engine.CompactionFileBound());
+  }
   const ChunkCacheStats& cache = snap.cache;
   const uint64_t lookups = cache.hits + cache.misses;
   std::printf("chunk cache: %zu bytes capacity, %llu entries (%llu bytes), "
@@ -539,6 +555,66 @@ int CmdIngest(int argc, char** argv) {
   return 0;
 }
 
+/// Offline compaction over an existing data directory: opens the engine
+/// (recovering sealed files and WAL), then either compacts to a fixpoint
+/// (one sequence file) or, with --step, runs tiered steps until the
+/// planner finds nothing to merge. --fanin / --trigger override the
+/// engine's resolved tuning for this invocation.
+int CmdCompact(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  EngineOptions opt;
+  opt.data_dir = argv[0];
+  bool step = false;
+  size_t fanin = 0, trigger = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--step") == 0) {
+      step = true;
+      continue;
+    }
+    if (FlagValue(argv[i], "--fanin", &fanin) ||
+        FlagValue(argv[i], "--trigger", &trigger)) {
+      continue;
+    }
+    std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+    return Usage();
+  }
+  opt.compaction_max_fanin = fanin;
+  opt.compaction_trigger_files = trigger;
+  StorageEngine engine(opt);
+  if (Status st = engine.Open(); !st.ok()) return Fail(st);
+
+  const size_t files_before = engine.sealed_file_count();
+  WallTimer timer;
+  if (step) {
+    bool performed = true;
+    while (performed) {
+      performed = false;
+      if (Status st = engine.CompactStep(&performed); !st.ok()) {
+        return Fail(st);
+      }
+    }
+  } else {
+    if (Status st = engine.Compact(); !st.ok()) return Fail(st);
+  }
+  const double elapsed_ms = timer.ElapsedMillis();
+
+  const EngineMetricsSnapshot snap = engine.GetMetricsSnapshot();
+  std::printf("compacted %s: %zu -> %zu sealed files in %.3f ms\n", argv[0],
+              files_before, engine.sealed_file_count(), elapsed_ms);
+  std::printf("  %llu merge job(s), %llu input files consumed, "
+              "%llu output bytes\n",
+              static_cast<unsigned long long>(snap.compaction_jobs),
+              static_cast<unsigned long long>(snap.compaction_input_files),
+              static_cast<unsigned long long>(snap.compaction_output_bytes));
+  std::printf("  tuning: fan-in %zu, tier ratio %.1f, trigger %zu; "
+              "stable-file bound %zu\n",
+              engine.compaction_config().max_fanin,
+              engine.compaction_config().tier_ratio,
+              engine.compaction_config().trigger_files,
+              engine.CompactionFileBound());
+  return 0;
+}
+
 /// Set by SIGINT/SIGTERM; `bstool serve` polls it.
 volatile std::sig_atomic_t g_serve_stop = 0;
 
@@ -555,9 +631,14 @@ int CmdServe(int argc, char** argv) {
   size_t max_inflight_bytes = server_opt.max_inflight_bytes;
   std::string host = server_opt.host, port_file;
   bool wal_fsync = false;
+  bool compaction = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--wal-fsync") == 0) {
       wal_fsync = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--compaction") == 0) {
+      compaction = true;
       continue;
     }
     if (FlagStr(argv[i], "--host", &host) ||
@@ -583,6 +664,7 @@ int CmdServe(int argc, char** argv) {
   engine_opt.flush_workers = flush_workers;
   engine_opt.flush_parallelism = flush_parallelism;
   engine_opt.wal_fsync = wal_fsync;
+  engine_opt.compaction_enabled = compaction;
   server_opt.host = host;
   server_opt.port = static_cast<uint16_t>(port);
   server_opt.workers = workers;
@@ -755,6 +837,7 @@ int Main(int argc, char** argv) {
   if (cmd == "sort") return CmdSort(argc - 2, argv + 2);
   if (cmd == "iir") return CmdIir(argc - 2, argv + 2);
   if (cmd == "ingest") return CmdIngest(argc - 2, argv + 2);
+  if (cmd == "compact") return CmdCompact(argc - 2, argv + 2);
   if (cmd == "metrics") return CmdMetrics(argc - 2, argv + 2);
   if (cmd == "watch") return CmdWatch(argc - 2, argv + 2);
   if (cmd == "serve") return CmdServe(argc - 2, argv + 2);

@@ -21,21 +21,28 @@
 #      show the batched write path at >= 1.5x the per-point path
 #      (BENCH_ingest.json "speedup_batched_over_per_point"); the full-
 #      scale reference run is committed at bench/baselines/
+#   8. compaction: the compaction suite (and the background-compaction
+#      concurrency test) under ThreadSanitizer, a scaled-down
+#      bench/system_soak run gated on post-compaction file count staying
+#      within the planner's tier bound, zero LWW digest mismatches and
+#      ingest throughput >= 0.75x of the compaction-off side (noise
+#      margin; full scale measures ~1x, committed at bench/baselines/),
+#      and a bstool compact smoke reducing an ingested dir to one file
 #
 # Usage: tools/ci.sh   (from the repo root; build dirs: build/, build-tsan/)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "=== [1/7] tier-1: configure + build + full test suite ==="
+echo "=== [1/8] tier-1: configure + build + full test suite ==="
 cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
-echo "=== [2/7] engine suites at 4 shards / 2 flush workers ==="
+echo "=== [2/8] engine suites at 4 shards / 2 flush workers ==="
 (cd build && BACKSORT_SHARDS=4 BACKSORT_FLUSH_WORKERS=2 \
   ctest --output-on-failure -R 'Engine|Wal|Workload|Aggregate|ReadPath' -j)
 
-echo "=== [3/7] concurrency + read-path tests under ThreadSanitizer ==="
+echo "=== [3/8] concurrency + read-path tests under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DBACKSORT_SANITIZE=thread
 cmake --build build-tsan -j --target engine_concurrency_test histogram_test \
   chunk_cache_test read_path_test
@@ -44,7 +51,7 @@ cmake --build build-tsan -j --target engine_concurrency_test histogram_test \
 ./build-tsan/tests/chunk_cache_test
 ./build-tsan/tests/read_path_test
 
-echo "=== [4/7] chunk-cache effectiveness smoke ==="
+echo "=== [4/8] chunk-cache effectiveness smoke ==="
 # The read_path suite covers cache correctness; this step checks the
 # operator-visible surface end to end: bstool flag -> engine -> exporter.
 smoke_dir=$(mktemp -d)
@@ -75,7 +82,7 @@ if [ -z "$hits" ] || [ "${hits%%.*}" -le 0 ]; then
 fi
 echo "cache smoke passed (query-mix cache hits: $hits)"
 
-echo "=== [5/7] network loopback smoke ==="
+echo "=== [5/8] network loopback smoke ==="
 # Wire protocol + server correctness under ThreadSanitizer: concurrent
 # clients must stay bit-identical and the shutdown drain must be clean.
 cmake --build build-tsan -j --target net_protocol_test net_server_test
@@ -105,8 +112,10 @@ if [ "$rows" -ne 1000 ]; then
   echo "net smoke FAILED: wrote 1000 points, query returned $rows rows"
   exit 1
 fi
-./build/tools/bstool client "$addr" metrics \
-  | grep -q '^backsort_net_requests_total' || {
+# To a file, not a pipe: `grep -q` exits at first match and the SIGPIPE
+# would fail the pipeline under pipefail even when the family is present.
+./build/tools/bstool client "$addr" metrics > "$smoke_dir/client_metrics.prom"
+grep -q '^backsort_net_requests_total' "$smoke_dir/client_metrics.prom" || {
   echo "net smoke FAILED: wire metrics missing backsort_net_requests_total"
   exit 1
 }
@@ -117,7 +126,7 @@ wait "$serve_pid" || {
 }
 echo "net smoke passed ($rows rows round-tripped via $addr)"
 
-echo "=== [6/7] docs link check ==="
+echo "=== [6/8] docs link check ==="
 # Extract the target of every inline markdown link and verify that
 # non-URL, non-anchor targets exist relative to the linking file.
 docs_fail=0
@@ -142,7 +151,7 @@ if [ "$docs_fail" -ne 0 ]; then
 fi
 echo "docs link check passed"
 
-echo "=== [7/7] ingest perf smoke: batched >= 1.5x per-point ==="
+echo "=== [7/8] ingest perf smoke: batched >= 1.5x per-point ==="
 # Scaled-down system_ingest run; the JSON is flat one-key-per-line so the
 # gate needs only grep + awk. Noise margin: full scale measures ~5x.
 BACKSORT_SYSTEM_POINTS=60000 BACKSORT_METRICS_DIR="$smoke_dir" \
@@ -158,5 +167,55 @@ awk -v s="$speedup" 'BEGIN { exit (s >= 1.5) ? 0 : 1 }' || {
   exit 1
 }
 echo "perf smoke passed (batched/per-point speedup: ${speedup}x)"
+
+echo "=== [8/8] compaction: TSan suite + soak gates + bstool smoke ==="
+# The whole compaction stack under ThreadSanitizer: planner/job/engine
+# suite plus the background scheduler racing ingest and queries.
+cmake --build build-tsan -j --target compaction_test
+./build-tsan/tests/compaction_test
+./build-tsan/tests/engine_concurrency_test \
+  --gtest_filter='*BackgroundCompaction*:*ReadersRaceCompaction*'
+# Scaled-down soak: the bench itself exits non-zero if the post-drain
+# file count exceeds the planner's tier bound or any LWW digest differs
+# between the compaction-off and compaction-on sides; re-assert both from
+# the JSON anyway, plus the throughput floor.
+BACKSORT_SOAK_POINTS=60000 BACKSORT_METRICS_DIR="$smoke_dir" \
+  ./build/bench/system_soak > /dev/null
+for key in files_within_bound lww_checks_failed throughput_ratio_on_over_off
+do
+  val=$(grep "\"$key\"" "$smoke_dir/BENCH_soak.json" \
+    | awk -F': ' '{print $2}' | tr -d ',')
+  [ -n "$val" ] || { echo "soak FAILED: BENCH_soak.json has no $key"; exit 1; }
+  eval "soak_$key=\$val"
+done
+[ "$soak_files_within_bound" = "1" ] || {
+  echo "soak FAILED: post-compaction file count exceeded the tier bound"
+  exit 1
+}
+[ "$soak_lww_checks_failed" = "0" ] || {
+  echo "soak FAILED: $soak_lww_checks_failed LWW digest mismatches"
+  exit 1
+}
+awk -v r="$soak_throughput_ratio_on_over_off" \
+  'BEGIN { exit (r >= 0.75) ? 0 : 1 }' || {
+  echo "soak FAILED: ingest throughput ratio $soak_throughput_ratio_on_over_off < 0.75"
+  exit 1
+}
+# Operator surface: offline bstool compact over a fresh ingest dir must
+# converge the registry to a single sequence file.
+./build/tools/bstool ingest "$smoke_dir/compact" 40000 absnormal:1,5 \
+  --shards=2 --metrics-interval=0 > /dev/null
+./build/tools/bstool compact "$smoke_dir/compact" > "$smoke_dir/compact.log"
+files_after=$(ls "$smoke_dir/compact"/*.bstf | wc -l)
+if [ "$files_after" -ne 1 ]; then
+  echo "compact smoke FAILED: expected 1 sealed file, found $files_after"
+  cat "$smoke_dir/compact.log"
+  exit 1
+fi
+grep -q '^compacted ' "$smoke_dir/compact.log" || {
+  echo "compact smoke FAILED: bstool compact printed no summary"
+  exit 1
+}
+echo "compaction smoke passed (soak ratio ${soak_throughput_ratio_on_over_off}, 1 file after offline compact)"
 
 echo "=== CI passed ==="
