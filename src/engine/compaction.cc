@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <map>
 #include <memory>
@@ -12,6 +13,75 @@
 #include "engine/storage_engine.h"
 
 namespace backsort {
+
+// --- output naming ----------------------------------------------------------
+
+namespace {
+
+/// Generations are zero-padded to this width so they sort numerically;
+/// each increment at one base multiplies the data merged under it, so
+/// the cap is unreachable in practice (and hitting it fails the job
+/// cleanly rather than emitting a name that sorts out of order).
+constexpr size_t kGenDigits = 6;
+constexpr size_t kMaxGeneration = 999'999;
+
+bool AllDigits(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status ParseSealedFileName(const std::string& filename, std::string* base,
+                           size_t* gen) {
+  base->clear();
+  *gen = 0;
+  constexpr const char kExt[] = ".bstf";
+  constexpr size_t kExtLen = sizeof(kExt) - 1;
+  const size_t dash = filename.find('-');
+  if (dash == std::string::npos || filename.size() < dash + 1 + kExtLen ||
+      filename.compare(filename.size() - kExtLen, kExtLen, kExt) != 0) {
+    return Status::InvalidArgument("not a sealed-file name: " + filename);
+  }
+  const std::string stem =
+      filename.substr(dash + 1, filename.size() - kExtLen - (dash + 1));
+  const size_t g = stem.find('g');
+  if (g == std::string::npos) {
+    if (!AllDigits(stem)) {
+      return Status::InvalidArgument("bad base id in: " + filename);
+    }
+    *base = stem;
+    return Status::OK();
+  }
+  const std::string base_part = stem.substr(0, g);
+  const std::string gen_part = stem.substr(g + 1);
+  if (!AllDigits(base_part) || !AllDigits(gen_part) ||
+      gen_part.size() != kGenDigits) {
+    return Status::InvalidArgument("bad base/generation in: " + filename);
+  }
+  *base = base_part;
+  *gen = static_cast<size_t>(std::strtoull(gen_part.c_str(), nullptr, 10));
+  return Status::OK();
+}
+
+Status CompactionOutputName(const std::string& first_input_filename,
+                            bool sequence_output, std::string* out_name) {
+  out_name->clear();
+  std::string base;
+  size_t gen = 0;
+  RETURN_NOT_OK(ParseSealedFileName(first_input_filename, &base, &gen));
+  if (gen >= kMaxGeneration) {
+    return Status::InvalidArgument("compaction generation overflow at: " +
+                                   first_input_filename);
+  }
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), "g%06zu.bstf", gen + 1);
+  *out_name = std::string(sequence_output ? "seq-" : "unseq-") + base + suffix;
+  return Status::OK();
+}
 
 // --- planner ----------------------------------------------------------------
 
@@ -282,10 +352,14 @@ Status CompactionJob::Run(const CompactionPlan& plan, SealedFileRef* out_meta,
   }
   stats->sensors = sensors.size();
 
-  const size_t id = next_file_id_->fetch_add(1);
-  char name[48];
-  std::snprintf(name, sizeof(name), "%s%08zu.bstf",
-                plan.sequence_output ? "seq-" : "unseq-", id);
+  // The output takes the window's list position, so its name must sort
+  // there too — recovery rebuilds query priority by sorting names (see
+  // CompactionOutputName). Inputs are in list = name order, so the
+  // first input is the window's smallest name.
+  std::string name;
+  RETURN_NOT_OK(CompactionOutputName(
+      std::filesystem::path(plan.inputs.front()->path()).filename().string(),
+      plan.sequence_output, &name));
   const std::string final_path = config_.data_dir + "/" + name;
   const std::string tmp_path = final_path + ".tmp";
 
@@ -325,6 +399,13 @@ Status CompactionJob::Run(const CompactionPlan& plan, SealedFileRef* out_meta,
   }
   Status st = writer.Finish();
   if (!st.ok()) return fail(st);
+  // The swap retires (and eventually unlinks) the inputs, which ARE
+  // durable — so the replacement must be just as durable before it can
+  // take their place: fsync the bytes, rename, fsync the directory
+  // entry. A power cut at any point leaves either the old inputs or a
+  // complete output on disk, never neither.
+  st = SyncFileToDisk(tmp_path);
+  if (!st.ok()) return fail(st);
 
   std::error_code ec;
   std::filesystem::rename(tmp_path, final_path, ec);
@@ -332,6 +413,11 @@ Status CompactionJob::Run(const CompactionPlan& plan, SealedFileRef* out_meta,
     return fail(Status::IOError("rename failed: " + tmp_path + ": " +
                                 ec.message()));
   }
+  // Past the rename the name is deterministic, so a retry of this plan
+  // regenerates and atomically replaces it — no cleanup needed on the
+  // (exotic) directory-fsync failure below, and recovery adopting an
+  // unregistered output alongside its live inputs is LWW-identical.
+  RETURN_NOT_OK(SyncDirToDisk(config_.data_dir));
   stats->output_bytes = std::filesystem::file_size(final_path, ec);
   if (ec) stats->output_bytes = 0;
 
@@ -371,22 +457,51 @@ void CompactionScheduler::Loop() {
   const auto interval = std::chrono::milliseconds(
       interval_ms_ == 0 ? CompactionConfig::kDefaultCheckIntervalMs
                         : interval_ms_);
+  // Exponential backoff after consecutive failing cycles: a persistently
+  // failing plan (e.g. a corrupted input the planner keeps picking)
+  // re-runs its full merge I/O before failing, so retrying every tick
+  // burns disk bandwidth and spams the failure counter indefinitely.
+  // Doubles the skipped ticks per failing cycle up to the cap; any
+  // successful step or a changed sealed-file count (the plan may differ
+  // now) resets it.
+  constexpr size_t kMaxBackoffShift = 8;  // <= 256 ticks (64 s at 250 ms)
+  size_t failure_streak = 0;
+  size_t backoff_ticks = 0;
+  size_t files_at_failure = 0;
   std::unique_lock<std::mutex> lock(mu_);
   while (!stop_) {
     cv_.wait_for(lock, interval, [this] { return stop_; });
     if (stop_) break;
     lock.unlock();
+    if (backoff_ticks > 0 &&
+        engine_->sealed_file_count() == files_at_failure) {
+      --backoff_ticks;
+      lock.lock();
+      continue;
+    }
+    backoff_ticks = 0;
     // Drain what the planner finds, but re-check for foreground work and
     // shutdown between jobs: flushes preempt maintenance.
+    bool failed = false;
     for (;;) {
       if (pool_ != nullptr && pool_->queue_depth() > 0) break;
       bool performed = false;
       // Failures are already counted in the engine's metrics; the
-      // scheduler just moves on and retries next tick.
-      (void)engine_->CompactStep(&performed);
+      // scheduler backs off and retries later.
+      if (!engine_->CompactStep(&performed).ok()) {
+        failed = true;
+        break;
+      }
+      failure_streak = 0;
       if (!performed) break;
       std::lock_guard<std::mutex> check(mu_);
       if (stop_) break;
+    }
+    if (failed) {
+      ++failure_streak;
+      files_at_failure = engine_->sealed_file_count();
+      backoff_ticks = size_t{1}
+                      << std::min(failure_streak, kMaxBackoffShift);
     }
     lock.lock();
   }

@@ -1,7 +1,6 @@
 #ifndef BACKSORT_ENGINE_COMPACTION_H_
 #define BACKSORT_ENGINE_COMPACTION_H_
 
-#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -41,6 +40,28 @@ struct CompactionConfig {
   size_t points_per_page = 1024;
   size_t check_interval_ms = kDefaultCheckIntervalMs;
 };
+
+/// Splits a sealed-file name — "<seq|unseq>-<base>.bstf" for flush
+/// outputs, "<seq|unseq>-<base>g<gen>.bstf" for compaction outputs —
+/// into its base id token (the digits allocated when the original flush
+/// published) and its compaction generation (0 for flush outputs).
+/// Returns InvalidArgument for anything else.
+Status ParseSealedFileName(const std::string& filename, std::string* base,
+                           size_t* gen);
+
+/// Derives a compaction output's file name from the window's FIRST
+/// (oldest) input: same base token, generation + 1, prefix from
+/// `sequence_output`. Because recovery rebuilds query priority by
+/// sorting file names, the output must sort exactly where the window
+/// sat in the registry list; "<base>g<gen+1>" sorts after every name
+/// with that base and generation <= gen and before every larger base,
+/// i.e. inside the gap the window leaves behind. A fresh max id (the
+/// old scheme) would instead sort the output AFTER unsequence files
+/// that were flushed later and must shadow it — stale reads after
+/// reopen. The name is deterministic per window, so a crashed-then-
+/// retried job reproduces (and atomically replaces) its own output.
+Status CompactionOutputName(const std::string& first_input_filename,
+                            bool sequence_output, std::string* out_name);
 
 /// One planned merge: a CONTIGUOUS window [begin, begin + inputs.size())
 /// of the engine-wide creation-order file list. Contiguity is a
@@ -162,15 +183,17 @@ struct CompactionStats {
 /// last-write-wins across sequence/unsequence inputs (higher window
 /// position = newer wins), and written page by page, so job memory is
 /// bounded by fan-in × page size — never by dataset size. The output is
-/// written to "<name>.tmp" and atomically renamed; on any error the
-/// temporary is removed and nothing else has changed.
+/// written to "<name>.tmp", fsync'd, and atomically renamed (with a
+/// directory fsync) BEFORE the swap can unlink the durable inputs; on
+/// any error the temporary is removed and nothing else has changed. The
+/// output name derives from the window's first input
+/// (CompactionOutputName), so recovery's name sort keeps it at the
+/// window's list position.
 class CompactionJob {
  public:
   /// `cache` (nullable) is warmed with the output's footer on success.
-  /// `next_file_id` allocates the output's name id.
-  CompactionJob(const CompactionConfig& config, ChunkCache* cache,
-                std::atomic<size_t>* next_file_id)
-      : config_(config), cache_(cache), next_file_id_(next_file_id) {}
+  CompactionJob(const CompactionConfig& config, ChunkCache* cache)
+      : config_(config), cache_(cache) {}
 
   /// Runs the merge. On success `*out_meta` is the new sealed file
   /// (registered nowhere yet — the engine swaps it in). On failure the
@@ -196,16 +219,20 @@ class CompactionJob {
 
   CompactionConfig config_;
   ChunkCache* cache_;
-  std::atomic<size_t>* next_file_id_;
 };
 
 /// Background thread that keeps the registry tiered: wakes every
 /// check_interval_ms, yields whenever foreground flushes are queued
 /// (compaction is maintenance — ingest goes first), and otherwise runs
 /// StorageEngine::CompactStep until the planner finds nothing to do.
-/// Started by the engine when compaction_enabled; Stop() (engine
-/// shutdown, before the flush pool stops) finishes any in-flight job and
-/// joins.
+/// A failing step (e.g. a corrupted input the planner keeps picking)
+/// backs the scheduler off exponentially — doubling the skipped ticks
+/// per consecutive failing cycle up to a cap — instead of re-running
+/// the full merge I/O every tick forever; the backoff resets as soon
+/// as a step succeeds or the sealed-file count changes (new flushes or
+/// an explicit compaction may have changed the plan). Started by the
+/// engine when compaction_enabled; Stop() (engine shutdown, before the
+/// flush pool stops) finishes any in-flight job and joins.
 class CompactionScheduler {
  public:
   CompactionScheduler(StorageEngine* engine, FlushPool* pool,

@@ -75,8 +75,12 @@ struct EngineOptions {
   /// Make every WAL Sync() also ::fsync the segment to the storage device,
   /// not just into the OS page cache. Off, a Sync survives a process crash
   /// but not a power cut; on, it survives both at a large latency cost
-  /// (combine with sync_wal_every_write for per-point durability). Default
-  /// off to keep benches honest; tradeoff in DESIGN.md's WAL section.
+  /// (combine with sync_wal_every_write for per-point durability). Also
+  /// extends the same power-cut guarantee to flush: a sealed file and its
+  /// directory entry are fsync'd before the WAL segment covering it is
+  /// deleted. Default off to keep benches honest; tradeoff in DESIGN.md's
+  /// WAL section. Compaction fsyncs unconditionally — its inputs are
+  /// deleted durable files, so there is no cheaper honest mode.
   bool wal_fsync = false;
 
   /// Sentinel for `chunk_cache_bytes`: resolve from the environment / the

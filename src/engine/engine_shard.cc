@@ -13,6 +13,30 @@
 
 namespace backsort {
 
+Status EngineSharedState::PublishFlushedFile(const std::string& tmp_path,
+                                             bool sequence,
+                                             const FooterMap& locators,
+                                             SealedFileRef* out) {
+  *out = nullptr;
+  std::unique_lock<std::mutex> lock(files_mu);
+  char name[48];
+  std::snprintf(name, sizeof(name), "%s%08zu.bstf",
+                sequence ? "seq-" : "unseq-", next_file_id.fetch_add(1));
+  const std::string final_path = options.data_dir + "/" + name;
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    return Status::IOError("flush rename failed: " + tmp_path + " -> " +
+                           final_path + ": " + ec.message());
+  }
+  SealedFileRef meta = std::make_shared<SealedFileMeta>(final_path, locators,
+                                                        chunk_cache.get());
+  all_files.push_back(meta);
+  file_count.store(all_files.size());
+  *out = std::move(meta);
+  return Status::OK();
+}
+
 EngineShard::EngineShard(size_t shard_id, size_t flush_threshold,
                          EngineSharedState* shared)
     : shard_id_(shard_id),
@@ -306,13 +330,17 @@ Status EngineShard::FlushTable(const FlushJob& job) {
   trace.dequeue_ns = shared_->NowNs();
   double sort_ms = 0.0;
 
-  char name[48];
-  std::snprintf(name, sizeof(name), "%s%08zu.bstf",
-                job.sequence ? "seq-" : "unseq-",
-                shared_->next_file_id.fetch_add(1));
-  const std::string path = options.data_dir + "/" + name;
+  // Write to a shard-local temp name; the final `seq-`/`unseq-` name is
+  // allocated at publish time inside PublishFlushedFile, so lexicographic
+  // file-name order matches publication (query-priority) order even when
+  // flushes from different shards interleave. The `.bstf.tmp` suffix keeps
+  // crash leftovers inside the Open() orphan sweep.
+  char tmp_name[64];
+  std::snprintf(tmp_name, sizeof(tmp_name), "flush-%zu-%zu.bstf.tmp",
+                shard_id_, job.seq);
+  const std::string tmp_path = options.data_dir + "/" + tmp_name;
 
-  TsFileWriter writer(path);
+  TsFileWriter writer(tmp_path);
   Status write_status = Status::OK();
   {
     // The sealed table's TVLists are sorted in place; serialize with any
@@ -421,20 +449,19 @@ Status EngineShard::FlushTable(const FlushJob& job) {
   if (write_status.ok()) {
     WallTimer seal_timer;
     write_status = writer.Finish();
+    if (write_status.ok() && options.wal_fsync) {
+      // Durable mode: the WAL segment is deleted below, so the sealed file
+      // must reach stable storage before its WAL coverage is discarded.
+      write_status = SyncFileToDisk(tmp_path);
+    }
     trace.fsync_ns = seal_timer.ElapsedNanos();
+  }
+  if (!write_status.ok()) {
+    std::error_code ec;
+    std::filesystem::remove(tmp_path, ec);
   }
 
   SealedFileRef meta;
-  if (write_status.ok()) {
-    // Register the pruning metadata straight from the writer and warm the
-    // footer cache — the first query of this file then skips the index
-    // read entirely.
-    meta = std::make_shared<SealedFileMeta>(path, writer.Locators(),
-                                            shared_->chunk_cache.get());
-    shared_->chunk_cache->PutFooter(
-        path, std::make_shared<FooterMap>(writer.Locators()));
-  }
-
   {
     // Publish the file and retire the memtable atomically w.r.t. queries —
     // in seal order, so a straggler-heavy unsequence table sealed later
@@ -442,8 +469,18 @@ Status EngineShard::FlushTable(const FlushJob& job) {
     std::unique_lock<std::mutex> lock(mu_);
     publish_cv_.wait(lock, [&] { return published_seq_ == job.seq; });
     if (write_status.ok()) {
+      // Allocate the final file id, rename, and append to the registry in
+      // one files_mu critical section — the engine-wide list stays strictly
+      // name-ordered within each seq/unseq class.
+      write_status = shared_->PublishFlushedFile(tmp_path, job.sequence,
+                                                 writer.Locators(), &meta);
+    }
+    if (write_status.ok()) {
+      // Warm the footer cache — the first query of this file then skips
+      // the index read entirely.
+      shared_->chunk_cache->PutFooter(
+          meta->path(), std::make_shared<FooterMap>(writer.Locators()));
       sealed_files_.push_back(meta);
-      shared_->RegisterFile(meta);
       flushing_.erase(std::remove(flushing_.begin(), flushing_.end(), table),
                       flushing_.end());
       trace.publish_ns = shared_->NowNs();
@@ -468,7 +505,13 @@ Status EngineShard::FlushTable(const FlushJob& job) {
     ++published_seq_;
   }
   publish_cv_.notify_all();
-  if (!write_status.ok()) return write_status;
+  if (!write_status.ok()) {
+    // Publish-time failure (e.g. rename): drop the orphan temp file; a
+    // pre-publish failure already removed it and this is a no-op.
+    std::error_code ec;
+    std::filesystem::remove(tmp_path, ec);
+    return write_status;
+  }
 
   // Lock-free stage recording, consistent with the trace by construction:
   // every histogram value is a duration derived from this trace's spans.
@@ -482,6 +525,14 @@ Status EngineShard::FlushTable(const FlushJob& job) {
       std::max<int64_t>(trace.pipeline_ns(), 0)));
 
   if (!job.wal_path.empty()) {
+    if (options.wal_fsync) {
+      // Make the rename itself durable before discarding the WAL segment —
+      // otherwise a power cut could lose both the directory entry and the
+      // log that could replay it. On failure keep the WAL (data stays
+      // recoverable) and surface the error.
+      Status dir_st = SyncDirToDisk(options.data_dir);
+      if (!dir_st.ok()) return dir_st;
+    }
     // The data is durable in the TsFile; its WAL coverage is obsolete.
     std::error_code ec;
     std::filesystem::remove(job.wal_path, ec);

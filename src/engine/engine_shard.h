@@ -160,13 +160,19 @@ struct EngineSharedState {
   /// after it), so obsolete-file destructors can still invalidate.
   std::vector<SealedFileRef> all_files;
 
-  /// Registers a freshly flushed file. Caller holds the publishing shard's
-  /// mu (see lock hierarchy above).
-  void RegisterFile(const SealedFileRef& file) {
-    std::unique_lock<std::mutex> lock(files_mu);
-    all_files.push_back(file);
-    file_count.store(all_files.size());
-  }
+  /// Publishes a freshly flushed file: under files_mu, allocates the next
+  /// file id, renames the writer's temporary to its final
+  /// "<seq|unseq>-<id>.bstf" name, and appends the new meta to the
+  /// engine list. Allocating the id inside the same critical section as
+  /// the append keeps the registry list strictly name-ordered (per
+  /// seq/unseq class) at all times — recovery rebuilds query priority by
+  /// sorting names, so list order and name order must never diverge
+  /// (naming the file when the flush STARTED could publish ids out of
+  /// order under concurrent workers). Caller holds the publishing
+  /// shard's mu (see lock hierarchy above). On error (rename failed) the
+  /// registry is untouched and `*out` is null.
+  Status PublishFlushedFile(const std::string& tmp_path, bool sequence,
+                            const FooterMap& locators, SealedFileRef* out);
 };
 
 /// One sealed memtable queued for flush.

@@ -442,8 +442,7 @@ Status StorageEngine::ApplyCompactionSwap(const CompactionPlan& plan,
 
 Status StorageEngine::RunCompactionPlan(const CompactionPlan& plan,
                                         bool* performed) {
-  CompactionJob job(compaction_config_, shared_.chunk_cache.get(),
-                    &shared_.next_file_id);
+  CompactionJob job(compaction_config_, shared_.chunk_cache.get());
   SealedFileRef out_meta;
   CompactionStats cstats;
   const int64_t merge_start = shared_.NowNs();

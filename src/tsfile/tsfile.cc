@@ -1,5 +1,8 @@
 #include "tsfile/tsfile.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstring>
 #include <fstream>
@@ -12,6 +15,20 @@ namespace backsort {
 namespace {
 
 constexpr size_t kMagicLen = 5;
+
+Status FsyncPath(const std::string& path, int flags, const char* what) {
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) {
+    return Status::IOError(std::string("cannot open for ") + what + ": " +
+                           path);
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError(std::string(what) + " failed: " + path);
+  }
+  return Status::OK();
+}
 
 Status EncodeTimeAndValues(Encoding time_enc,
                            const std::vector<Timestamp>& ts, ByteBuffer* out) {
@@ -906,6 +923,14 @@ Status ReadTsFileChunkF64(const std::string& path, const std::string& sensor,
                          DataType::kDouble,
                          std::numeric_limits<Timestamp>::min(),
                          std::numeric_limits<Timestamp>::max(), ts, values);
+}
+
+Status SyncFileToDisk(const std::string& path) {
+  return FsyncPath(path, O_RDONLY, "file fsync");
+}
+
+Status SyncDirToDisk(const std::string& path) {
+  return FsyncPath(path, O_RDONLY | O_DIRECTORY, "directory fsync");
 }
 
 }  // namespace backsort

@@ -319,6 +319,17 @@ Status ReadTsFileChunkF64(const std::string& path, const std::string& sensor,
                           std::vector<Timestamp>* ts,
                           std::vector<double>* values);
 
+/// ::fsync an existing file's contents to the storage device. TsFileWriter
+/// (ofstream-backed) only flushes to the OS cache; paths that delete
+/// another durable copy of the data afterwards — compaction unlinking its
+/// inputs, flush unlinking its WAL segment under wal_fsync — call this
+/// first so a power cut cannot lose both copies.
+Status SyncFileToDisk(const std::string& path);
+
+/// ::fsync a directory, making renames/creations inside it durable. Pair
+/// with SyncFileToDisk around an atomic tmp-then-rename publish.
+Status SyncDirToDisk(const std::string& path);
+
 }  // namespace backsort
 
 #endif  // BACKSORT_TSFILE_TSFILE_H_

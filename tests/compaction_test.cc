@@ -395,8 +395,7 @@ TEST_F(CompactionTest, JobMergesLastWriteWins) {
 
   CompactionConfig config;
   config.data_dir = dir_.string();
-  std::atomic<size_t> next_id{7};
-  CompactionJob job(config, nullptr, &next_id);
+  CompactionJob job(config, nullptr);
   SealedFileRef out;
   CompactionStats stats;
   ASSERT_TRUE(job.Run(plan, &out, &stats).ok());
@@ -406,7 +405,9 @@ TEST_F(CompactionTest, JobMergesLastWriteWins) {
   EXPECT_EQ(stats.sensors, 1u);
   EXPECT_GT(stats.output_bytes, 0u);
   EXPECT_EQ(TmpFileCount(), 0u);
-  EXPECT_NE(out->path().find("seq-00000007.bstf"), std::string::npos);
+  // Output is named after the window's first input plus a generation
+  // suffix, so it sorts exactly at the window's list position.
+  EXPECT_NE(out->path().find("seq-00000000g000001.bstf"), std::string::npos);
 
   TsFileReader reader(out->path());
   ASSERT_TRUE(reader.Open().ok());
@@ -439,8 +440,7 @@ TEST_F(CompactionTest, JobCorruptInputFailsCleanly) {
 
   CompactionConfig config;
   config.data_dir = dir_.string();
-  std::atomic<size_t> next_id{0};
-  CompactionJob job(config, nullptr, &next_id);
+  CompactionJob job(config, nullptr);
   SealedFileRef out;
   CompactionStats stats;
   EXPECT_FALSE(job.Run(plan, &out, &stats).ok());
@@ -478,8 +478,7 @@ TEST_F(CompactionTest, JobStreamingMemoryIsBoundedByFaninTimesPageSize) {
   CompactionConfig config;
   config.data_dir = dir_.string();
   config.points_per_page = 1024;
-  std::atomic<size_t> next_id{0};
-  CompactionJob job(config, nullptr, &next_id);
+  CompactionJob job(config, nullptr);
   SealedFileRef out;
   CompactionStats stats;
   ASSERT_TRUE(job.Run(plan, &out, &stats).ok());
@@ -703,6 +702,136 @@ TEST_F(CompactionTest, BackgroundSchedulerConvergesToTierBound) {
     EXPECT_EQ(out[i].t, static_cast<Timestamp>(i));
     EXPECT_EQ(out[i].v, static_cast<double>(i));
   }
+}
+
+// --- output naming and restart priority -----------------------------------
+
+TEST_F(CompactionTest, CompactionOutputNameSortsAtWindowPosition) {
+  std::string base;
+  size_t gen = 123;
+  ASSERT_TRUE(ParseSealedFileName("seq-00000005.bstf", &base, &gen).ok());
+  EXPECT_EQ(base, "00000005");
+  EXPECT_EQ(gen, 0u);
+  ASSERT_TRUE(
+      ParseSealedFileName("unseq-00000005g000003.bstf", &base, &gen).ok());
+  EXPECT_EQ(base, "00000005");
+  EXPECT_EQ(gen, 3u);
+  EXPECT_FALSE(ParseSealedFileName("nodash.bstf", &base, &gen).ok());
+  EXPECT_FALSE(ParseSealedFileName("seq-abc.bstf", &base, &gen).ok());
+  EXPECT_FALSE(ParseSealedFileName("seq-00000005.tmp", &base, &gen).ok());
+  // Generation must be exactly six digits or lexicographic order breaks.
+  EXPECT_FALSE(ParseSealedFileName("seq-00000005g01.bstf", &base, &gen).ok());
+
+  std::string name;
+  ASSERT_TRUE(CompactionOutputName("seq-00000005.bstf", true, &name).ok());
+  EXPECT_EQ(name, "seq-00000005g000001.bstf");
+  ASSERT_TRUE(
+      CompactionOutputName("seq-00000005g000001.bstf", false, &name).ok());
+  EXPECT_EQ(name, "unseq-00000005g000002.bstf");
+  // Generation cap: refuse rather than emit a name that sorts wrong.
+  EXPECT_FALSE(
+      CompactionOutputName("seq-00000005g999999.bstf", true, &name).ok());
+
+  // The invariant recovery depends on: each generation sorts after its
+  // base and every earlier generation, and before the next base id.
+  const std::string a = "seq-00000005.bstf";
+  const std::string b = "seq-00000005g000001.bstf";
+  const std::string c = "seq-00000005g000002.bstf";
+  const std::string d = "seq-00000006.bstf";
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(c, d);
+}
+
+TEST_F(CompactionTest, MidListUnseqOutputKeepsPriorityAcrossReopen) {
+  // Regression for the restart priority inversion: a tiered merge of a
+  // window that ends mid-list produces an unsequence output, and files
+  // flushed AFTER the window (still un-merged) must keep shadowing it
+  // after a reopen, where priority is rebuilt from the name sort alone.
+  EngineOptions opt = Options();
+  opt.compaction_trigger_files = 4;
+  opt.compaction_max_fanin = 4;
+  {
+    StorageEngine engine(opt);
+    ASSERT_TRUE(engine.Open().ok());
+    // One sequence generation, then five full overwrites; every rewrite
+    // lands at or below the watermark, so each flush seals one
+    // unsequence file: [seq-0, unseq-1, ..., unseq-5].
+    for (int gen = 0; gen < 6; ++gen) {
+      for (Timestamp t = 0; t < 100; ++t) {
+        ASSERT_TRUE(
+            engine.Write("s", t, static_cast<double>(gen * 1000 + t)).ok());
+      }
+      ASSERT_TRUE(engine.FlushAll().ok());
+    }
+    ASSERT_EQ(engine.sealed_file_count(), 6u);
+
+    // One tiered step merges the OLDEST four files — generations 4 and 5
+    // stay behind the merged window with higher query priority.
+    bool performed = false;
+    ASSERT_TRUE(engine.CompactStep(&performed).ok());
+    ASSERT_TRUE(performed);
+    ASSERT_EQ(engine.sealed_file_count(), 3u);
+    std::vector<TvPairDouble> out;
+    ASSERT_TRUE(engine.Query("s", 0, 100, &out).ok());
+    ASSERT_EQ(out.size(), 100u);
+    for (size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i].v, static_cast<double>(5000 + i)) << "t=" << i;
+    }
+  }
+  // After reopen the answer must not change. (With a fresh-max-id output
+  // name the merged file — holding generation-3 values — would sort
+  // after unseq-4/unseq-5 and serve stale data.)
+  StorageEngine reopened(opt);
+  ASSERT_TRUE(reopened.Open().ok());
+  EXPECT_EQ(reopened.sealed_file_count(), 3u);
+  std::vector<TvPairDouble> out;
+  ASSERT_TRUE(reopened.Query("s", 0, 100, &out).ok());
+  ASSERT_EQ(out.size(), 100u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].v, static_cast<double>(5000 + i)) << "t=" << i;
+  }
+}
+
+TEST_F(CompactionTest, SchedulerBacksOffAfterPersistentFailure) {
+  EngineOptions opt = Options();
+  opt.compaction_trigger_files = 4;
+  opt.compaction_max_fanin = 4;
+  StorageEngine engine(opt);
+  ASSERT_TRUE(engine.Open().ok());
+  for (int gen = 0; gen < 4; ++gen) {
+    for (Timestamp t = 0; t < 500; ++t) {
+      ASSERT_TRUE(
+          engine.Write("s", t + gen * 500, static_cast<double>(t)).ok());
+    }
+    ASSERT_TRUE(engine.FlushAll().ok());
+  }
+  const size_t files_before = engine.sealed_file_count();
+  ASSERT_GE(files_before, 4u);
+
+  // Corrupt one input so every planned merge fails the same way.
+  std::string victim;
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+    if (e.path().extension() == ".bstf") {
+      victim = e.path().string();
+      break;
+    }
+  }
+  ASSERT_FALSE(victim.empty());
+  std::filesystem::resize_file(victim, 16);
+
+  // Drive a standalone scheduler at a 5 ms tick for ~0.6 s. Without
+  // backoff it would retry every tick (~120 failures); exponential
+  // backoff fits only a handful of attempts into the window.
+  CompactionScheduler scheduler(&engine, nullptr, 5);
+  scheduler.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  scheduler.Stop();
+
+  const EngineMetricsSnapshot snap = engine.GetMetricsSnapshot();
+  EXPECT_GE(snap.compaction_failures, 2u);   // it kept retrying...
+  EXPECT_LE(snap.compaction_failures, 20u);  // ...but exponentially spaced
+  EXPECT_EQ(engine.sealed_file_count(), files_before);
 }
 
 }  // namespace

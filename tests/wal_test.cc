@@ -328,6 +328,44 @@ TEST_F(WalTest, EngineWalFsyncStillRecovers) {
   EXPECT_DOUBLE_EQ(out.back().v, 398.0);
 }
 
+TEST_F(WalTest, FlushUnderWalFsyncDropsSegmentAndSurvivesReopen) {
+  // Under wal_fsync a flush fsyncs the sealed file and the directory
+  // entry BEFORE deleting the WAL segment that covered it; the visible
+  // contract is unchanged — segment gone after flush, data queryable
+  // across reopen.
+  const std::string data_dir = Path("engine_fsync_flush");
+  {
+    EngineOptions opt;
+    opt.data_dir = data_dir;
+    opt.wal_fsync = true;
+    opt.memtable_flush_threshold = 1'000'000;
+    StorageEngine engine(opt);
+    ASSERT_TRUE(engine.Open().ok());
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(engine.Write("s", i, i * 2.0).ok());
+    }
+    ASSERT_TRUE(engine.FlushAll().ok());
+    EXPECT_EQ(engine.sealed_file_count(), 1u);
+  }
+  size_t wal_segments = 0, sealed = 0;
+  for (const auto& e : std::filesystem::directory_iterator(data_dir)) {
+    const std::string name = e.path().filename().string();
+    if (name.find("wal") != std::string::npos) ++wal_segments;
+    if (e.path().extension() == ".bstf") ++sealed;
+  }
+  EXPECT_EQ(wal_segments, 0u);
+  EXPECT_EQ(sealed, 1u);
+
+  EngineOptions opt;
+  opt.data_dir = data_dir;
+  StorageEngine engine(opt);
+  ASSERT_TRUE(engine.Open().ok());
+  std::vector<TvPairDouble> out;
+  ASSERT_TRUE(engine.Query("s", 0, 1'000, &out).ok());
+  ASSERT_EQ(out.size(), 200u);
+  EXPECT_DOUBLE_EQ(out.back().v, 398.0);
+}
+
 // --- engine crash recovery -----------------------------------------------------
 
 TEST_F(WalTest, EngineRecoversUnflushedPoints) {
