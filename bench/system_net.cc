@@ -3,14 +3,21 @@
 // workload run directly on an in-process StorageEngine. Reports per-RPC
 // round-trip p50/p99 and write/query throughput for both, so the wire
 // protocol + socket + dispatch overhead is a single visible delta
-// (EXPERIMENTS.md "system_net" row). Scale knobs:
+// (EXPERIMENTS.md "system_net" row). A third side repeats the write
+// phase with pipelined clients (a window of BACKSORT_NET_PIPELINE
+// batches in flight per connection, then a drain) against a fresh
+// server — the per-request round-trip wait disappears from the critical
+// path, and the JSON's "pipelined_write_ratio" key pins how close the
+// socket path gets to the in-process engine. Scale knobs:
 //   BACKSORT_SYSTEM_POINTS   total points written      (default 50'000)
 //   BACKSORT_NET_CLIENTS     concurrent client threads (default 4)
 //   BACKSORT_NET_QUERIES     queries per client        (default 50)
+//   BACKSORT_NET_PIPELINE    pipelined batches per window (default 8)
 // The server's merged engine+net exposition is written via
 // WriteBenchMetrics to $BACKSORT_METRICS_DIR/system_net.metrics.prom.
 
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <string>
 #include <thread>
@@ -57,6 +64,8 @@ int Run() {
   const size_t clients = std::max<size_t>(EnvSize("BACKSORT_NET_CLIENTS", 4),
                                           1);
   const size_t queries_per_client = EnvSize("BACKSORT_NET_QUERIES", 50);
+  const size_t pipeline_depth =
+      std::max<size_t>(EnvSize("BACKSORT_NET_PIPELINE", 8), 1);
   const size_t batch = 500;
   const size_t points_per_client = total_points / clients;
 
@@ -66,8 +75,9 @@ int Run() {
   std::error_code ec;
   std::filesystem::remove_all(base, ec);
 
-  std::printf("system_net: %zu points, %zu clients, %zu queries/client\n",
-              total_points, clients, queries_per_client);
+  std::printf("system_net: %zu points, %zu clients, %zu queries/client, "
+              "pipeline window %zu\n",
+              total_points, clients, queries_per_client, pipeline_depth);
 
   // --- loopback side --------------------------------------------------------
   SideResult net;
@@ -158,6 +168,100 @@ int Run() {
     server.Stop();
   }
 
+  // --- loopback pipelined side ----------------------------------------------
+  // Same bytes, same connection count, but each client keeps a window of
+  // `pipeline_depth` WriteBatch frames in flight and drains the window's
+  // responses together, so the per-request round-trip wait overlaps with
+  // server-side execution. Latency samples are per drained window.
+  SideResult piped;
+  {
+    EngineOptions engine_opt;
+    engine_opt.data_dir = (base / "netp").string();
+    ServerOptions server_opt;
+    server_opt.workers = clients;
+    // Size the admission budget for the offered load: every client may
+    // legitimately have a full window decoded at once, and pipelined
+    // writes are not retried on Overloaded (the drain surfaces it).
+    server_opt.max_pipeline_depth = pipeline_depth;
+    server_opt.max_inflight_requests = 2 * clients * pipeline_depth;
+    BacksortServer server(engine_opt, server_opt);
+    if (Status st = server.Start(); !st.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+
+    std::vector<std::vector<double>> write_ms(clients);
+    std::vector<std::thread> threads;
+    std::atomic<size_t> failures{0};
+    WallTimer write_timer;
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        const auto fail = [&](const Status& st) {
+          std::fprintf(stderr, "pipelined client %zu: %s\n", c,
+                       st.ToString().c_str());
+          failures.fetch_add(1);
+        };
+        BacksortClient client;
+        if (Status st = client.Connect("127.0.0.1", server.port()); !st.ok()) {
+          return fail(st);
+        }
+        const std::string sensor = "net.sensor." + std::to_string(c);
+        // Sliding window, drained in half-window gulps: once the window
+        // is full, read responses until only half remain in flight. The
+        // server always has at least half a window queued (it never
+        // starves like stop-and-wait), and the client blocks once per
+        // window/2 batches instead of once per batch — on a single core
+        // that halves the client/server context-switch rate, and the
+        // buffered reader turns each gulp into ~one recv syscall. A
+        // latency sample approximates a full window round trip: the
+        // elapsed time of one half-window cycle, doubled.
+        const size_t drain_to = pipeline_depth / 2;
+        WallTimer iter;
+        for (size_t i = 0; i < points_per_client; i += batch) {
+          const size_t n = std::min(batch, points_per_client - i);
+          if (Status st = client.PipelineWriteBatch(sensor, MakeBatch(i, n));
+              !st.ok()) {
+            return fail(st);
+          }
+          if (client.pipeline_depth() >= pipeline_depth) {
+            if (Status st = client.PipelineDrain(drain_to); !st.ok()) {
+              return fail(st);
+            }
+            write_ms[c].push_back(iter.ElapsedMillis() * 2.0);
+            iter.Restart();
+          }
+        }
+        WallTimer tail;
+        if (Status st = client.PipelineDrain(); !st.ok()) return fail(st);
+        if (client.pipeline_depth() == 0) {
+          write_ms[c].push_back(tail.ElapsedMillis());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double write_sec = write_timer.ElapsedSeconds();
+    if (failures.load() != 0) {
+      std::fprintf(stderr, "pipelined side failed on %zu clients\n",
+                   failures.load());
+      return 1;
+    }
+
+    std::vector<double> all_write;
+    for (size_t c = 0; c < clients; ++c) {
+      all_write.insert(all_write.end(), write_ms[c].begin(), write_ms[c].end());
+    }
+    piped.write_points_per_sec =
+        write_sec > 0 ? static_cast<double>(points_per_client * clients) /
+                            write_sec
+                      : 0;
+    piped.write_p50_ms = PercentileMs(all_write, 50);
+    piped.write_p99_ms = PercentileMs(all_write, 99);
+
+    ExportNetMetrics(server.GetNetMetrics(),
+                     {{"side", "loopback_pipelined"}}, &metrics);
+    server.Stop();
+  }
+
   // --- in-process baseline --------------------------------------------------
   SideResult local;
   {
@@ -224,17 +328,28 @@ int Run() {
     local.query_p99_ms = PercentileMs(all_query, 99);
   }
 
+  const double pipelined_write_ratio =
+      local.write_points_per_sec > 0
+          ? piped.write_points_per_sec / local.write_points_per_sec
+          : 0;
+
   PrintTitle("network round-trip vs in-process (batch=500)");
-  PrintHeader("metric", {"loopback", "in-process"});
+  PrintHeader("metric", {"loopback", "pipelined", "in-process"});
   PrintRow("write kpts/s",
-           {net.write_points_per_sec / 1e3, local.write_points_per_sec / 1e3});
-  PrintRow("write p50 ms", {net.write_p50_ms, local.write_p50_ms});
-  PrintRow("write p99 ms", {net.write_p99_ms, local.write_p99_ms});
-  PrintRow("query/s", {net.query_per_sec, local.query_per_sec});
-  PrintRow("query p50 ms", {net.query_p50_ms, local.query_p50_ms});
-  PrintRow("query p99 ms", {net.query_p99_ms, local.query_p99_ms});
-  PrintRow("ping p50 ms", {net.ping_p50_ms, 0.0});
-  PrintRow("ping p99 ms", {net.ping_p99_ms, 0.0});
+           {net.write_points_per_sec / 1e3, piped.write_points_per_sec / 1e3,
+            local.write_points_per_sec / 1e3});
+  PrintRow("write p50 ms",
+           {net.write_p50_ms, piped.write_p50_ms, local.write_p50_ms});
+  PrintRow("write p99 ms",
+           {net.write_p99_ms, piped.write_p99_ms, local.write_p99_ms});
+  PrintRow("query/s", {net.query_per_sec, 0.0, local.query_per_sec});
+  PrintRow("query p50 ms", {net.query_p50_ms, 0.0, local.query_p50_ms});
+  PrintRow("query p99 ms", {net.query_p99_ms, 0.0, local.query_p99_ms});
+  PrintRow("ping p50 ms", {net.ping_p50_ms, 0.0, 0.0});
+  PrintRow("ping p99 ms", {net.ping_p99_ms, 0.0, 0.0});
+  std::printf("pipelined write throughput = %.2fx of in-process "
+              "(window %zu; pipelined p50/p99 are per drained window)\n",
+              pipelined_write_ratio, pipeline_depth);
 
   JsonWriter json;
   json.Field("bench", "system_net");
@@ -242,10 +357,14 @@ int Run() {
   json.Field("clients", clients);
   json.Field("queries_per_client", queries_per_client);
   json.Field("batch", batch);
+  json.Field("pipeline_depth", pipeline_depth);
+  json.Field("pipelined_write_ratio", pipelined_write_ratio);
   const struct {
     const char* key;
     const SideResult& side;
-  } sides[] = {{"loopback", net}, {"in_process", local}};
+  } sides[] = {{"loopback", net},
+               {"loopback_pipelined", piped},
+               {"in_process", local}};
   for (const auto& s : sides) {
     json.BeginObject(s.key);
     json.Field("write_points_per_sec", s.side.write_points_per_sec);

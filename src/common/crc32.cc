@@ -1,32 +1,79 @@
 #include "common/crc32.h"
 
+#include <cstring>
+
 namespace backsort {
 
 namespace {
 
-struct Crc32Table {
-  uint32_t entries[256];
+// Slicing-by-16 CRC-32 (polynomial 0xedb88320, the zlib/WAL CRC):
+// entries[0] is the classic byte-at-a-time table; entries[k][b] carries
+// a CRC whose current low byte is `b` across k further zero bytes, so
+// one step folds sixteen input bytes with sixteen independent table
+// lookups instead of a serial chain of sixteen dependent ones. Same
+// polynomial, same values, several times the throughput — this sits on
+// the WAL append path and on both sides of every network frame. The
+// 32-bit loads assume little-endian, like the rest of the codebase (the
+// wire protocol's zero-copy decode already hard-requires it).
+struct Crc32Tables {
+  uint32_t entries[16][256];
 
-  constexpr Crc32Table() : entries() {
+  constexpr Crc32Tables() : entries() {
     for (uint32_t i = 0; i < 256; ++i) {
       uint32_t c = i;
       for (int k = 0; k < 8; ++k) {
         c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
       }
-      entries[i] = c;
+      entries[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = entries[0][i];
+      for (int t = 1; t < 16; ++t) {
+        c = entries[0][c & 0xffu] ^ (c >> 8);
+        entries[t][i] = c;
+      }
     }
   }
 };
 
-constexpr Crc32Table kTable;
+constexpr Crc32Tables kTables;
 
 }  // namespace
 
 uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
   const uint8_t* p = static_cast<const uint8_t*>(data);
   uint32_t c = seed ^ 0xffffffffu;
-  for (size_t i = 0; i < n; ++i) {
-    c = kTable.entries[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  while (n >= 16) {
+    uint32_t w0;
+    uint32_t w1;
+    uint32_t w2;
+    uint32_t w3;
+    std::memcpy(&w0, p, 4);
+    std::memcpy(&w1, p + 4, 4);
+    std::memcpy(&w2, p + 8, 4);
+    std::memcpy(&w3, p + 12, 4);
+    w0 ^= c;
+    c = kTables.entries[15][w0 & 0xffu] ^
+        kTables.entries[14][(w0 >> 8) & 0xffu] ^
+        kTables.entries[13][(w0 >> 16) & 0xffu] ^
+        kTables.entries[12][w0 >> 24] ^
+        kTables.entries[11][w1 & 0xffu] ^
+        kTables.entries[10][(w1 >> 8) & 0xffu] ^
+        kTables.entries[9][(w1 >> 16) & 0xffu] ^
+        kTables.entries[8][w1 >> 24] ^
+        kTables.entries[7][w2 & 0xffu] ^
+        kTables.entries[6][(w2 >> 8) & 0xffu] ^
+        kTables.entries[5][(w2 >> 16) & 0xffu] ^
+        kTables.entries[4][w2 >> 24] ^
+        kTables.entries[3][w3 & 0xffu] ^
+        kTables.entries[2][(w3 >> 8) & 0xffu] ^
+        kTables.entries[1][(w3 >> 16) & 0xffu] ^
+        kTables.entries[0][w3 >> 24];
+    p += 16;
+    n -= 16;
+  }
+  while (n-- > 0) {
+    c = kTables.entries[0][(c ^ *p++) & 0xffu] ^ (c >> 8);
   }
   return c ^ 0xffffffffu;
 }

@@ -16,12 +16,21 @@ class ByteBuffer {
  public:
   void PutU8(uint8_t v) { data_.push_back(v); }
 
+  // The fixed-width writers stage into a local array and append with one
+  // insert: eight separate push_backs cost a capacity check and branch
+  // each, which dominates hot encode loops (point batches, TsFile pages);
+  // the shift form keeps the output little-endian on any host and
+  // compiles to a plain store where the host already is.
   void PutFixed32(uint32_t v) {
-    for (int i = 0; i < 4; ++i) data_.push_back((v >> (8 * i)) & 0xff);
+    uint8_t b[4];
+    for (int i = 0; i < 4; ++i) b[i] = (v >> (8 * i)) & 0xff;
+    PutBytes(b, 4);
   }
 
   void PutFixed64(uint64_t v) {
-    for (int i = 0; i < 8; ++i) data_.push_back((v >> (8 * i)) & 0xff);
+    uint8_t b[8];
+    for (int i = 0; i < 8; ++i) b[i] = (v >> (8 * i)) & 0xff;
+    PutBytes(b, 8);
   }
 
   void PutBytes(const void* src, size_t n) {
@@ -47,6 +56,15 @@ class ByteBuffer {
   void PutLengthPrefixedString(const std::string& s) {
     PutVarint64(s.size());
     PutBytes(s.data(), s.size());
+  }
+
+  /// Overwrites 4 already-written bytes at `offset` with `v` in little
+  /// endian — for fixed-width fields (frame sizes, CRCs) whose value is
+  /// only known after the bytes that follow them have been encoded.
+  void PatchFixed32(size_t offset, uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      data_.at(offset + static_cast<size_t>(i)) = (v >> (8 * i)) & 0xff;
+    }
   }
 
   const std::vector<uint8_t>& data() const { return data_; }

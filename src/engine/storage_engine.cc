@@ -256,14 +256,24 @@ Status StorageEngine::WriteBatch(const std::string& sensor,
 
 Status StorageEngine::WriteMulti(const std::vector<SensorBatch>& batches,
                                  size_t* applied) {
+  std::vector<SensorSpanDouble> spans;
+  spans.reserve(batches.size());
+  for (const SensorBatch& batch : batches) {
+    spans.push_back({&batch.sensor, batch.points.data(), batch.points.size()});
+  }
+  return WriteMulti(spans.data(), spans.size(), applied);
+}
+
+Status StorageEngine::WriteMulti(const SensorSpanDouble* spans,
+                                 size_t span_count, size_t* applied) {
   if (applied != nullptr) *applied = 0;
   // Group by shard so each shard sees one batched call covering all its
   // sensors' slices.
   std::vector<std::vector<SensorSpanDouble>> per_shard(shards_.size());
-  for (const SensorBatch& batch : batches) {
-    if (batch.points.empty()) continue;
-    per_shard[ShardFor(batch.sensor)].push_back(
-        {&batch.sensor, batch.points.data(), batch.points.size()});
+  for (size_t i = 0; i < span_count; ++i) {
+    const SensorSpanDouble& span = spans[i];
+    if (span.count == 0) continue;
+    per_shard[ShardFor(*span.sensor)].push_back(span);
   }
   for (size_t s = 0; s < per_shard.size(); ++s) {
     if (per_shard[s].empty()) continue;

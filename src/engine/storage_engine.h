@@ -80,6 +80,15 @@ class StorageEngine {
   Status WriteMulti(const std::vector<SensorBatch>& batches,
                     size_t* applied = nullptr);
 
+  /// Non-owning flavor of WriteMulti: the spans' sensor names and point
+  /// arrays must stay alive for the duration of the call. This is the
+  /// zero-copy entry the network server feeds from its streaming
+  /// WriteBatch decode (net/protocol.h WriteBatchView) — wire payload
+  /// bytes flow into the shard group-commit without an owning
+  /// intermediate vector. The owning overload above is a thin wrapper.
+  Status WriteMulti(const SensorSpanDouble* spans, size_t span_count,
+                    size_t* applied = nullptr);
+
   /// Time-range query [t_min, t_max]: sorted, may contain points from the
   /// working memtable, in-flight flushing memtables, and sealed files.
   /// Holds the shard lock only long enough to take a consistent snapshot

@@ -1,7 +1,11 @@
 #include "net/client.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <thread>
+
+#include "common/crc32.h"
 
 namespace backsort {
 
@@ -18,8 +22,11 @@ Status BacksortClient::Connect(const std::string& host, uint16_t port) {
   Close();
   ScopedFd fd;
   RETURN_NOT_OK(TcpConnect(host, port, options_.connect_timeout_ms, &fd));
-  RETURN_NOT_OK(SetSocketTimeouts(fd.get(), options_.request_timeout_ms,
-                                  options_.request_timeout_ms));
+  // Non-blocking from here on: SendAllDeadline / RecvAllDeadline enforce
+  // one budget across the whole transfer. (SO_RCVTIMEO would restart per
+  // recv() call, so a server dribbling one byte per interval could stall
+  // a "10 second" request forever.)
+  RETURN_NOT_OK(SetNonBlocking(fd.get(), true));
   fd_ = std::move(fd);
   return Status::OK();
 }
@@ -31,11 +38,8 @@ Status BacksortClient::Ping() {
 
 Status BacksortClient::WriteBatch(const std::string& sensor,
                                   const std::vector<TvPairDouble>& points) {
-  WriteBatchRequest req;
-  req.sensor = sensor;
-  req.points = points;
   ByteBuffer payload;
-  EncodeWriteBatchRequest(req, &payload);
+  EncodeWriteBatchRequest(sensor, points.data(), points.size(), &payload);
   std::vector<uint8_t> response;
   return Call(MsgType::kWriteBatch, payload, &response);
 }
@@ -102,8 +106,65 @@ Status BacksortClient::MetricsSnapshot(std::string* exposition) {
   return Status::OK();
 }
 
+Status BacksortClient::PipelineWriteBatch(
+    const std::string& sensor, const std::vector<TvPairDouble>& points) {
+  if (!fd_.valid()) return Status::InvalidArgument("client not connected");
+  // Encode the frame in place in the cork buffer: header with size/CRC
+  // placeholders, payload straight from the caller's array, then patch
+  // the two fields — no intermediate payload or frame copy.
+  const size_t frame_off = sendbuf_.size();
+  sendbuf_.PutFixed32(kFrameMagic);
+  sendbuf_.PutU8(static_cast<uint8_t>(MsgType::kWriteBatch));
+  sendbuf_.PutFixed32(0);  // payload size, patched below
+  sendbuf_.PutFixed32(0);  // payload CRC, patched below
+  const size_t payload_off = sendbuf_.size();
+  EncodeWriteBatchRequest(sensor, points.data(), points.size(), &sendbuf_);
+  const size_t payload_size = sendbuf_.size() - payload_off;
+  sendbuf_.PatchFixed32(frame_off + 5, static_cast<uint32_t>(payload_size));
+  sendbuf_.PatchFixed32(
+      frame_off + 9,
+      Crc32(sendbuf_.data().data() + payload_off, payload_size));
+  pending_.push_back(MsgType::kWriteBatch);
+  // Flush once the cork holds a socket-buffer-sized burst; smaller
+  // residue ships when the next drain needs responses to exist.
+  constexpr size_t kCorkFlushBytes = 64 * 1024;
+  if (sendbuf_.size() >= kCorkFlushBytes) {
+    return FlushPipeline(RequestDeadline());
+  }
+  return Status::OK();
+}
+
+Status BacksortClient::FlushPipeline(int64_t deadline_ms) {
+  if (sendbuf_.size() == 0) return Status::OK();
+  const Status st = SendAllDeadline(fd_.get(), sendbuf_.data().data(),
+                                   sendbuf_.size(), deadline_ms);
+  sendbuf_.Clear();
+  if (!st.ok()) Close();
+  return st;
+}
+
+Status BacksortClient::PipelineDrain(size_t target_depth) {
+  if (pending_.size() > target_depth) {
+    RETURN_NOT_OK(FlushPipeline(RequestDeadline()));
+  }
+  Status first;
+  while (pending_.size() > target_depth) {
+    const MsgType type = pending_.front();
+    const Status st = RecvResponse(type, RequestDeadline(), nullptr);
+    if (!connected()) return st;  // transport failure; pipeline discarded
+    pending_.pop_front();
+    if (st.IsUnavailable()) ++overload_retries_;
+    if (first.ok() && !st.ok()) first = st;
+  }
+  return first;
+}
+
 Status BacksortClient::Call(MsgType type, const ByteBuffer& request_payload,
                             std::vector<uint8_t>* response) {
+  if (!pending_.empty()) {
+    return Status::InvalidArgument(
+        "pipelined requests pending; PipelineDrain before calling");
+  }
   int backoff_ms = options_.backoff_initial_ms;
   for (int attempt = 0;; ++attempt) {
     Status st = CallOnce(type, request_payload, response);
@@ -118,18 +179,59 @@ Status BacksortClient::Call(MsgType type, const ByteBuffer& request_payload,
 Status BacksortClient::CallOnce(MsgType type,
                                 const ByteBuffer& request_payload,
                                 std::vector<uint8_t>* response) {
-  if (!fd_.valid()) return Status::InvalidArgument("client not connected");
+  // One deadline spans the entire round trip: encode, send every request
+  // byte AND receive every response byte.
+  const int64_t deadline_ms = RequestDeadline();
+  RETURN_NOT_OK(SendRequest(type, request_payload, deadline_ms));
+  return RecvResponse(type, deadline_ms, response);
+}
 
+int64_t BacksortClient::RequestDeadline() const {
+  return options_.request_timeout_ms > 0
+             ? MonotonicMillis() + options_.request_timeout_ms
+             : -1;
+}
+
+Status BacksortClient::SendRequest(MsgType type,
+                                   const ByteBuffer& request_payload,
+                                   int64_t deadline_ms) {
+  if (!fd_.valid()) return Status::InvalidArgument("client not connected");
   ByteBuffer frame;
   EncodeFrame(type, /*is_response=*/false, request_payload, &frame);
-  Status st = SendAll(fd_.get(), frame.data().data(), frame.size());
-  if (!st.ok()) {
-    Close();
-    return st;
+  const Status st =
+      SendAllDeadline(fd_.get(), frame.data().data(), frame.size(),
+                      deadline_ms);
+  if (!st.ok()) Close();
+  return st;
+}
+
+Status BacksortClient::RecvBuffered(void* dst, size_t n,
+                                    int64_t deadline_ms) {
+  while (rbuf_.size() - rpos_ < n) {
+    if (rpos_ == rbuf_.size()) {
+      rbuf_.clear();
+      rpos_ = 0;
+    }
+    constexpr size_t kRecvChunk = 64 * 1024;
+    const size_t old = rbuf_.size();
+    rbuf_.resize(old + std::max(n, kRecvChunk));
+    size_t got = 0;
+    const Status st = RecvSomeDeadline(fd_.get(), rbuf_.data() + old,
+                                       rbuf_.size() - old, &got, deadline_ms);
+    rbuf_.resize(old + got);
+    RETURN_NOT_OK(st);
   }
+  std::memcpy(dst, rbuf_.data() + rpos_, n);
+  rpos_ += n;
+  return Status::OK();
+}
+
+Status BacksortClient::RecvResponse(MsgType type, int64_t deadline_ms,
+                                    std::vector<uint8_t>* response) {
+  if (!fd_.valid()) return Status::InvalidArgument("client not connected");
 
   uint8_t header_bytes[kFrameHeaderSize];
-  st = RecvAll(fd_.get(), header_bytes, kFrameHeaderSize, nullptr);
+  Status st = RecvBuffered(header_bytes, kFrameHeaderSize, deadline_ms);
   if (!st.ok()) {
     Close();
     return st;
@@ -146,28 +248,30 @@ Status BacksortClient::CallOnce(MsgType type,
     Close();
     return st;
   }
-  response->resize(header.payload_size);
-  st = RecvAll(fd_.get(), response->data(), response->size(), nullptr);
+  std::vector<uint8_t> local;
+  std::vector<uint8_t>* payload = response != nullptr ? response : &local;
+  payload->resize(header.payload_size);
+  st = RecvBuffered(payload->data(), payload->size(), deadline_ms);
   if (!st.ok()) {
     Close();
     return st;
   }
-  st = CheckPayloadCrc(header, response->data(), response->size());
+  st = CheckPayloadCrc(header, payload->data(), payload->size());
   if (!st.ok()) {
     Close();
     return st;
   }
 
   // Peel the leading wire status; the caller sees only the body bytes.
-  ByteReader reader(*response);
+  ByteReader reader(*payload);
   Status rpc_status;
   st = DecodeResponseStatus(&reader, &rpc_status);
   if (!st.ok()) {
     Close();
     return st;
   }
-  response->erase(response->begin(),
-                  response->begin() + static_cast<long>(reader.position()));
+  payload->erase(payload->begin(),
+                 payload->begin() + static_cast<long>(reader.position()));
   return rpc_status;
 }
 

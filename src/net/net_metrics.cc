@@ -36,6 +36,30 @@ void ExportNetMetrics(const NetMetricsSnapshot& snapshot,
   registry->Gauge("backsort_net_inflight_bytes",
                   "Payload bytes holding admission budget right now.",
                   base_labels, static_cast<double>(snapshot.inflight_bytes));
+  registry->Counter("backsort_net_event_loop_wakeups_total",
+                    "epoll_wait returns across all event-loop threads.",
+                    base_labels,
+                    static_cast<double>(snapshot.event_loop_wakeups));
+  registry->Counter(
+      "backsort_net_read_pauses_total",
+      "Connections whose reads were paused because their pipeline reached "
+      "max_pipeline_depth (backpressure events).",
+      base_labels, static_cast<double>(snapshot.read_pauses));
+  registry->Summary(
+      "backsort_net_event_loop_events",
+      "Readiness events delivered per epoll_wait return (event-loop "
+      "depth); quantile=\"1\" is the observed max.",
+      base_labels, snapshot.event_loop_events, 1.0);
+  registry->Summary(
+      "backsort_net_pipeline_depth",
+      "In-flight pipelined requests on a connection, sampled as each "
+      "request frame is decoded (1 = plain request/response traffic).",
+      base_labels, snapshot.pipeline_depth, 1.0);
+  registry->Summary(
+      "backsort_net_writev_frames",
+      "Response frames gathered into a single writev call (scatter/gather "
+      "batch size).",
+      base_labels, snapshot.writev_frames, 1.0);
 
   for (size_t i = 0; i < kNumMsgTypes; ++i) {
     const MsgType type = static_cast<MsgType>(i + 1);

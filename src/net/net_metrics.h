@@ -22,6 +22,16 @@ struct NetMetricsSnapshot {
   uint64_t protocol_errors = 0;     ///< malformed frames (connection closed)
   uint64_t inflight_requests = 0;   ///< admission slots held right now
   uint64_t inflight_bytes = 0;      ///< admission bytes held right now
+  uint64_t event_loop_wakeups = 0;  ///< epoll_wait returns across all loops
+  uint64_t read_pauses = 0;         ///< pipeline-cap read backpressure events
+  /// Readiness events delivered per epoll_wait return (event-loop depth).
+  HistogramSnapshot event_loop_events;
+  /// In-flight pipelined requests on a connection, sampled as each request
+  /// frame is decoded (1 = plain request/response traffic).
+  HistogramSnapshot pipeline_depth;
+  /// Response frames gathered into one writev call (scatter/gather batch
+  /// size).
+  HistogramSnapshot writev_frames;
   /// Served requests and their round-trip (decode -> response written)
   /// latency, indexed by MsgTypeIndex. Shed requests count in
   /// overload_rejections, not here.
@@ -38,6 +48,11 @@ struct NetMetrics {
   std::atomic<uint64_t> bytes_out{0};
   std::atomic<uint64_t> overload_rejections{0};
   std::atomic<uint64_t> protocol_errors{0};
+  std::atomic<uint64_t> event_loop_wakeups{0};
+  std::atomic<uint64_t> read_pauses{0};
+  LatencyHistogram event_loop_events;
+  LatencyHistogram pipeline_depth;
+  LatencyHistogram writev_frames;
   std::array<std::atomic<uint64_t>, kNumMsgTypes> requests_total{};
   std::array<LatencyHistogram, kNumMsgTypes> request_ns;
 
@@ -52,6 +67,12 @@ struct NetMetrics {
     snap.overload_rejections =
         overload_rejections.load(std::memory_order_relaxed);
     snap.protocol_errors = protocol_errors.load(std::memory_order_relaxed);
+    snap.event_loop_wakeups =
+        event_loop_wakeups.load(std::memory_order_relaxed);
+    snap.read_pauses = read_pauses.load(std::memory_order_relaxed);
+    snap.event_loop_events = event_loop_events.Snapshot();
+    snap.pipeline_depth = pipeline_depth.Snapshot();
+    snap.writev_frames = writev_frames.Snapshot();
     for (size_t i = 0; i < kNumMsgTypes; ++i) {
       snap.requests_total[i] =
           requests_total[i].load(std::memory_order_relaxed);

@@ -1,5 +1,6 @@
 #include "net/protocol.h"
 
+#include <cstddef>
 #include <cstring>
 
 #include "common/crc32.h"
@@ -26,6 +27,30 @@ Status GetTimestamp(ByteReader* reader, Timestamp* out) {
   RETURN_NOT_OK(reader->GetFixed64(&bits));
   *out = static_cast<Timestamp>(bits);
   return Status::OK();
+}
+
+// The wire point layout (fixed64 LE timestamp + fixed64 LE IEEE-754
+// value bits) is byte-identical to the in-memory TvPairDouble on a
+// little-endian host, so bulk point runs move as one memcpy in both
+// directions; big-endian hosts take the per-field path.
+static_assert(sizeof(TvPairDouble) == 16);
+static_assert(offsetof(TvPairDouble, t) == 0);
+static_assert(offsetof(TvPairDouble, v) == 8);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+inline constexpr bool kPointsAreWireLayout = true;
+#else
+inline constexpr bool kPointsAreWireLayout = false;
+#endif
+
+void PutPoints(const TvPairDouble* points, size_t count, ByteBuffer* out) {
+  if (kPointsAreWireLayout) {
+    out->PutBytes(points, count * sizeof(TvPairDouble));
+    return;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    out->PutFixed64(static_cast<uint64_t>(points[i].t));
+    PutDoubleBits(points[i].v, out);
+  }
 }
 
 WireCode StatusToWire(const Status& st) {
@@ -80,6 +105,30 @@ bool ValidMsgType(uint8_t raw) {
   const uint8_t base = raw & static_cast<uint8_t>(~kResponseBit);
   return base >= static_cast<uint8_t>(MsgType::kPing) &&
          base <= static_cast<uint8_t>(MsgType::kMetricsSnapshot);
+}
+
+const char* WireCodeName(WireCode code) {
+  switch (code) {
+    case WireCode::kOk:
+      return "ok";
+    case WireCode::kOverloaded:
+      return "overloaded";
+    case WireCode::kInvalidArgument:
+      return "invalid_argument";
+    case WireCode::kNotFound:
+      return "not_found";
+    case WireCode::kCorruption:
+      return "corruption";
+    case WireCode::kIOError:
+      return "io_error";
+    case WireCode::kNotSupported:
+      return "not_supported";
+    case WireCode::kOutOfRange:
+      return "out_of_range";
+    case WireCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
 }
 
 const char* MsgTypeName(MsgType t) {
@@ -156,13 +205,17 @@ Status DecodeResponseStatus(ByteReader* reader, Status* rpc_status) {
   return Status::OK();
 }
 
+void EncodeWriteBatchRequest(const std::string& sensor,
+                             const TvPairDouble* points, size_t count,
+                             ByteBuffer* out) {
+  out->PutLengthPrefixedString(sensor);
+  out->PutVarint64(count);
+  PutPoints(points, count, out);
+}
+
 void EncodeWriteBatchRequest(const WriteBatchRequest& req, ByteBuffer* out) {
-  out->PutLengthPrefixedString(req.sensor);
-  out->PutVarint64(req.points.size());
-  for (const TvPairDouble& p : req.points) {
-    out->PutFixed64(static_cast<uint64_t>(p.t));
-    PutDoubleBits(p.v, out);
-  }
+  EncodeWriteBatchRequest(req.sensor, req.points.data(), req.points.size(),
+                          out);
 }
 
 Status DecodeWriteBatchRequest(const uint8_t* payload, size_t size,
@@ -185,6 +238,45 @@ Status DecodeWriteBatchRequest(const uint8_t* payload, size_t size,
     out->points.push_back(p);
   }
   if (!reader.AtEnd()) return Status::Corruption("trailing bytes in request");
+  return Status::OK();
+}
+
+Status DecodeWriteBatchView(const uint8_t* payload, size_t size,
+                            std::vector<TvPairDouble>* scratch,
+                            WriteBatchView* out) {
+  ByteReader reader(payload, size);
+  RETURN_NOT_OK(reader.GetLengthPrefixedString(&out->sensor));
+  uint64_t count = 0;
+  RETURN_NOT_OK(reader.GetVarint64(&count));
+  // Points are exactly the remaining bytes: 16 each, nothing trailing.
+  // Divide instead of multiplying so an attacker-chosen count can't wrap.
+  if (count > reader.remaining() / 16) {
+    return Status::Corruption("write batch count exceeds payload");
+  }
+  if (count * 16 != reader.remaining()) {
+    return Status::Corruption("trailing bytes in request");
+  }
+  out->count = static_cast<size_t>(count);
+  const uint8_t* raw = payload + reader.position();
+  if (kPointsAreWireLayout) {
+    // An aligned little-endian payload needs no decode at all.
+    if (reinterpret_cast<uintptr_t>(raw) % alignof(TvPairDouble) == 0) {
+      out->points = reinterpret_cast<const TvPairDouble*>(raw);
+      return Status::OK();
+    }
+    // Misaligned: one bulk relayout into the caller's reusable scratch.
+    scratch->resize(out->count);
+    std::memcpy(scratch->data(), raw, out->count * sizeof(TvPairDouble));
+  } else {
+    // Big-endian host: per-field decode into scratch.
+    scratch->resize(out->count);
+    ByteReader points_reader(raw, reader.remaining());
+    for (size_t i = 0; i < out->count; ++i) {
+      RETURN_NOT_OK(GetTimestamp(&points_reader, &(*scratch)[i].t));
+      RETURN_NOT_OK(GetDoubleBits(&points_reader, &(*scratch)[i].v));
+    }
+  }
+  out->points = scratch->data();
   return Status::OK();
 }
 
@@ -219,10 +311,7 @@ Status DecodeSensorRequest(const uint8_t* payload, size_t size,
 void EncodePointList(const std::vector<TvPairDouble>& points,
                      ByteBuffer* out) {
   out->PutVarint64(points.size());
-  for (const TvPairDouble& p : points) {
-    out->PutFixed64(static_cast<uint64_t>(p.t));
-    PutDoubleBits(p.v, out);
-  }
+  PutPoints(points.data(), points.size(), out);
 }
 
 Status DecodePointList(ByteReader* reader, std::vector<TvPairDouble>* out) {
@@ -232,6 +321,10 @@ Status DecodePointList(ByteReader* reader, std::vector<TvPairDouble>* out) {
     return Status::Corruption("point list count exceeds payload");
   }
   out->clear();
+  if (kPointsAreWireLayout) {
+    out->resize(static_cast<size_t>(count));
+    return reader->GetBytes(out->data(), out->size() * sizeof(TvPairDouble));
+  }
   out->reserve(static_cast<size_t>(count));
   for (uint64_t i = 0; i < count; ++i) {
     TvPairDouble p{};

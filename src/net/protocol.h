@@ -80,6 +80,13 @@ enum class WireCode : uint8_t {
   kInternal = 8,
 };
 
+/// Number of wire status codes (dense, starting at kOk = 0) — the docs
+/// golden test walks this range against docs/WIRE_PROTOCOL.md.
+inline constexpr size_t kNumWireCodes = 9;
+
+/// Spec / log name of a wire status code ("ok", "overloaded", ...).
+const char* WireCodeName(WireCode code);
+
 /// Parsed frame header (the 13 bytes before the payload).
 struct FrameHeader {
   MsgType type = MsgType::kPing;
@@ -130,8 +137,31 @@ struct SensorRequest {  // GetLatest
 };
 
 void EncodeWriteBatchRequest(const WriteBatchRequest& req, ByteBuffer* out);
+/// Span form: encodes straight from the caller's array, so hot send
+/// paths (client pipelining) skip the WriteBatchRequest vector copy.
+void EncodeWriteBatchRequest(const std::string& sensor,
+                             const TvPairDouble* points, size_t count,
+                             ByteBuffer* out);
 Status DecodeWriteBatchRequest(const uint8_t* payload, size_t size,
                                WriteBatchRequest* out);
+
+/// Non-owning view of a decoded WriteBatch request: `points` aliases
+/// either the payload bytes themselves (the zero-copy fast path — the
+/// wire point layout is exactly TvPairDouble on little-endian hosts) or
+/// `scratch` when the payload happens to be misaligned / the host is
+/// big-endian. Valid only while both the payload and `scratch` live.
+struct WriteBatchView {
+  std::string sensor;
+  const TvPairDouble* points = nullptr;
+  size_t count = 0;
+};
+
+/// Streaming decode for the server's write path: validates the payload
+/// like DecodeWriteBatchRequest but never materializes an owning point
+/// vector — the view feeds StorageEngine::WriteMulti spans directly.
+Status DecodeWriteBatchView(const uint8_t* payload, size_t size,
+                            std::vector<TvPairDouble>* scratch,
+                            WriteBatchView* out);
 
 void EncodeRangeRequest(const RangeRequest& req, ByteBuffer* out);
 Status DecodeRangeRequest(const uint8_t* payload, size_t size,

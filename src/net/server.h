@@ -7,7 +7,6 @@
 #include <deque>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,16 +27,20 @@ struct ServerOptions {
   std::string host = "127.0.0.1";
   uint16_t port = 0;
 
-  /// Connection-handling threads. Each worker owns one connection at a
-  /// time (blocking sockets), so this is also the concurrent-connection
-  /// service limit; further accepted connections wait in the pending
-  /// queue.
+  /// epoll readiness threads. Each connection is owned by exactly one
+  /// loop, which does its non-blocking reads, frame assembly and writev
+  /// response flushing; loops never block on the engine.
+  size_t event_loops = 2;
+
+  /// Request-execution threads. Decoded requests are dispatched here so a
+  /// slow engine call (a large query, a flush stall) never stalls the
+  /// readiness loops.
   size_t workers = 4;
 
-  /// Accepted connections waiting for a free worker. Beyond this the
-  /// accept loop sheds at the door (closes immediately) instead of
-  /// queueing unboundedly.
-  size_t max_pending_connections = 64;
+  /// Accept-time cap on open connections. Beyond this the accept loop
+  /// sheds at the door (closes immediately) instead of registering more
+  /// sockets than the loops can keep fair.
+  size_t max_connections = 1024;
 
   /// Admission control: in-flight request and payload-byte budgets. A
   /// request that would exceed either bound is answered with Overloaded
@@ -50,21 +53,38 @@ struct ServerOptions {
   /// error (connection closed before any allocation).
   size_t max_frame_bytes = 16u << 20;
 
-  /// Per-connection socket timeouts. Receive defaults to 0 (block forever;
-  /// graceful shutdown wakes blocked reads via shutdown(SHUT_RD)), send is
-  /// bounded so one dead client cannot wedge a worker mid-response.
+  /// Per-connection pipelining cap: decoded-but-unanswered requests a
+  /// single connection may hold. At the cap the loop stops reading that
+  /// connection (backpressure via TCP flow control) instead of shedding —
+  /// admission control still bounds the global in-flight budget.
+  size_t max_pipeline_depth = 32;
+
+  /// Idle timeout: a connection with no complete frame activity for this
+  /// long is closed (0 = never). Coarse-grained (checked on the event
+  /// loop's periodic sweep).
   int conn_recv_timeout_ms = 0;
+
+  /// Stalled-send bound: a connection whose pending responses make no
+  /// write progress for this long is closed, so one dead client cannot
+  /// pin response buffers forever. Also bounds the graceful-shutdown
+  /// drain.
   int conn_send_timeout_ms = 10'000;
 };
 
-/// Multi-threaded blocking-socket TCP server exposing one StorageEngine
-/// over the CRC-framed wire protocol (net/protocol.h): an accept loop
-/// feeds a bounded worker pool; each worker runs one connection's
-/// read/decode/dispatch/encode cycle. Admission control sheds load with
-/// Overloaded instead of queueing unboundedly, malformed frames close
-/// only their own connection, and Stop() drains in-flight requests before
-/// the engine destructor runs. Observable via `backsort_net_*` metrics
-/// merged into the engine's Prometheus exposition (docs/METRICS.md).
+/// Event-driven TCP server exposing one StorageEngine over the CRC-framed
+/// BSN1 wire protocol (net/protocol.h, spec in docs/WIRE_PROTOCOL.md). A
+/// small set of epoll readiness loops own the connections: non-blocking
+/// reads into per-connection frame-assembly buffers, request pipelining
+/// (multiple in-flight frames per connection, responses written in
+/// request order), and writev scatter/gather response flushing (header +
+/// payload iovecs, no intermediate frame copy). Decoded requests execute
+/// on a separate worker pool against the engine; admission control sheds
+/// with Overloaded instead of queueing unboundedly, the per-connection
+/// pipeline cap pushes back through TCP flow control, malformed frames
+/// close only their own connection (after draining the responses already
+/// in flight), and Stop() drains accepted requests before the engine
+/// destructor runs. Observable via `backsort_net_*` metrics merged into
+/// the engine's Prometheus exposition (docs/METRICS.md).
 class BacksortServer {
  public:
   /// Stores the options; the engine is built and opened by Start().
@@ -77,14 +97,15 @@ class BacksortServer {
   BacksortServer(const BacksortServer&) = delete;
   BacksortServer& operator=(const BacksortServer&) = delete;
 
-  /// Opens the engine, binds the listener and spawns the accept loop and
-  /// worker pool. Fails without side threads on engine/bind errors.
+  /// Opens the engine, binds the listener and spawns the event loops,
+  /// worker pool and accept thread. Fails without side threads on
+  /// engine/bind errors.
   Status Start();
 
-  /// Graceful shutdown, idempotent: stop accepting, wake workers blocked
-  /// in recv (their in-flight request still completes and its response is
-  /// written), join all threads, close pending connections. The engine
-  /// stays alive for inspection until destruction.
+  /// Graceful shutdown, idempotent: stop accepting, stop reading new
+  /// frames, execute every request already decoded, flush every pending
+  /// response (bounded by conn_send_timeout_ms), join all threads. The
+  /// engine stays alive for inspection until destruction.
   void Stop();
 
   /// Resolved listen port (after Start with port 0).
@@ -102,24 +123,35 @@ class BacksortServer {
   std::string RenderMetricsExposition();
 
  private:
+  class EventLoop;
+  struct Connection;
+  struct ResponseSlot;
+
+  /// One decoded, admitted request waiting for a worker.
+  struct Request {
+    std::shared_ptr<Connection> conn;
+    ResponseSlot* slot = nullptr;
+    MsgType type = MsgType::kPing;
+    std::vector<uint8_t> payload;
+    size_t admitted_bytes = 0;
+  };
+
   void AcceptLoop();
   void WorkerLoop();
-  void ServeConnection(ScopedFd conn);
 
-  /// Decode + admission + dispatch + respond for one request frame whose
-  /// payload passed the CRC. Returns false when the connection must close.
-  bool HandleRequest(int fd, const FrameHeader& header,
-                     const std::vector<uint8_t>& payload);
+  /// Enqueues a batch of decoded requests for the worker pool (called by
+  /// loops). One lock acquisition and one wake per parse round, however
+  /// many frames a readiness event yielded.
+  void SubmitRequests(std::vector<Request>* requests);
+
+  /// Executes one request end to end on a worker: dispatch against the
+  /// engine, encode the response into its slot, release admission, mark
+  /// ready and wake the owning loop.
+  void ExecuteRequest(Request& request);
 
   /// Runs the engine call for one request, appending the OK response body.
   Status Dispatch(MsgType type, const std::vector<uint8_t>& payload,
                   ByteBuffer* body);
-
-  Status WriteResponse(int fd, MsgType type, const Status& rpc_status,
-                       const ByteBuffer& body);
-
-  void RegisterConn(int fd);
-  void UnregisterConn(int fd);
 
   EngineOptions engine_options_;
   ServerOptions options_;
@@ -132,15 +164,20 @@ class BacksortServer {
   bool started_ = false;
   bool stopped_ = false;
 
+  /// Open connections across all loops, for the accept-time cap.
+  std::atomic<size_t> open_connections_{0};
+
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  size_t next_loop_ = 0;
+
+  /// Loops that have entered shutdown drain (no further request
+  /// submission); workers exit only once every loop has drained and the
+  /// queue is empty.
+  std::atomic<size_t> loops_drained_{0};
+
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<ScopedFd> pending_;
-
-  /// Connections currently inside ServeConnection, for shutdown wakeup.
-  /// Guarded by conns_mu_; a worker unregisters (under the mutex) before
-  /// closing, so Stop never touches a recycled fd.
-  std::mutex conns_mu_;
-  std::set<int> serving_fds_;
+  std::deque<Request> request_queue_;
 
   std::thread accept_thread_;
   std::vector<std::thread> workers_;

@@ -10,6 +10,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 
 namespace backsort {
@@ -189,5 +191,112 @@ Status RecvAll(int fd, void* data, size_t n, bool* clean_eof) {
 }
 
 void ShutdownRead(int fd) { ::shutdown(fd, SHUT_RD); }
+
+Status SetNonBlocking(int fd, bool enabled) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  const int want = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd, F_SETFL, want) != 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
+  return Status::OK();
+}
+
+int64_t MonotonicMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+namespace {
+
+/// Polls `fd` for `events` until the deadline. OK = ready; IOError with
+/// `what` on expiry or poll failure.
+Status PollUntil(int fd, short events, int64_t deadline_ms,
+                 const char* what) {
+  while (true) {
+    int wait_ms = -1;
+    if (deadline_ms > 0) {
+      const int64_t left = deadline_ms - MonotonicMillis();
+      if (left <= 0) return Status::IOError(what);
+      wait_ms = static_cast<int>(std::min<int64_t>(left, 1'000'000));
+    }
+    pollfd pfd{fd, events, 0};
+    const int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready > 0) return Status::OK();
+    if (ready == 0) return Status::IOError(what);
+    if (errno != EINTR) return Errno("poll");
+  }
+}
+
+}  // namespace
+
+Status SendAllDeadline(int fd, const void* data, size_t n,
+                       int64_t deadline_ms) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t sent = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (sent > 0) {
+      p += sent;
+      n -= static_cast<size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && errno == EINTR) continue;
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      RETURN_NOT_OK(PollUntil(fd, POLLOUT, deadline_ms,
+                              "send deadline exceeded"));
+      continue;
+    }
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Status RecvAllDeadline(int fd, void* data, size_t n, int64_t deadline_ms,
+                       bool* clean_eof) {
+  if (clean_eof != nullptr) *clean_eof = false;
+  uint8_t* p = static_cast<uint8_t*>(data);
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, p + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      if (got == 0 && clean_eof != nullptr) *clean_eof = true;
+      return Status::IOError(got == 0 ? "connection closed"
+                                      : "connection closed mid-frame");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      RETURN_NOT_OK(PollUntil(fd, POLLIN, deadline_ms,
+                              "recv deadline exceeded"));
+      continue;
+    }
+    return Errno("recv");
+  }
+  return Status::OK();
+}
+
+Status RecvSomeDeadline(int fd, void* data, size_t n, size_t* got,
+                        int64_t deadline_ms) {
+  *got = 0;
+  while (true) {
+    const ssize_t r = ::recv(fd, data, n, 0);
+    if (r > 0) {
+      *got = static_cast<size_t>(r);
+      return Status::OK();
+    }
+    if (r == 0) return Status::IOError("connection closed");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      RETURN_NOT_OK(PollUntil(fd, POLLIN, deadline_ms,
+                              "recv deadline exceeded"));
+      continue;
+    }
+    return Errno("recv");
+  }
+}
 
 }  // namespace backsort

@@ -11,11 +11,13 @@
 
 namespace backsort {
 
-/// Thin RAII + Status wrappers over blocking POSIX TCP sockets — just what
-/// the server and client need: bind/listen/accept, connect with a
-/// deadline, send-all / recv-exactly with timeout mapping, and half-close
-/// to wake a peer blocked in recv. No event loop; concurrency comes from
-/// the server's worker threads.
+/// Thin RAII + Status wrappers over POSIX TCP sockets — just what the
+/// server and client need: bind/listen/accept, connect with a deadline,
+/// send-all / recv-exactly with timeout mapping, deadline-bounded I/O on
+/// non-blocking descriptors (the client's whole-round-trip budget), and
+/// half-close to wake a peer blocked in recv. The server's epoll
+/// readiness loop lives in net/server.cc; these helpers stay
+/// loop-agnostic.
 
 /// Owns one file descriptor; closes it on destruction. Movable, not
 /// copyable.
@@ -94,6 +96,33 @@ Status RecvAll(int fd, void* data, size_t n, bool* clean_eof);
 /// shutdown(SHUT_RD): wakes a thread blocked reading this socket without
 /// tearing down the write side (in-flight responses still go out).
 void ShutdownRead(int fd);
+
+/// Sets or clears O_NONBLOCK.
+Status SetNonBlocking(int fd, bool enabled);
+
+/// Monotonic milliseconds (steady clock) for I/O deadlines.
+int64_t MonotonicMillis();
+
+/// Writes all `n` bytes to a non-blocking socket, polling for writability
+/// until `deadline_ms` (MonotonicMillis clock; <= 0 = no deadline). An
+/// expired deadline surfaces as IOError("send deadline ..."). This is the
+/// deadline-correct counterpart of SendAll: the budget spans the whole
+/// transfer, not each individual send() call.
+Status SendAllDeadline(int fd, const void* data, size_t n,
+                       int64_t deadline_ms);
+
+/// Reads exactly `n` bytes from a non-blocking socket under the same
+/// whole-transfer deadline contract. `clean_eof` as in RecvAll.
+Status RecvAllDeadline(int fd, void* data, size_t n, int64_t deadline_ms,
+                       bool* clean_eof);
+
+/// Reads whatever one successful recv returns — between 1 and `n` bytes
+/// into `data`, count in `*got` — polling until readable or `deadline_ms`
+/// expires. Lets buffered readers drain many small frames per syscall
+/// instead of issuing one exact-size recv per field. EOF surfaces as
+/// IOError("connection closed").
+Status RecvSomeDeadline(int fd, void* data, size_t n, size_t* got,
+                        int64_t deadline_ms);
 
 }  // namespace backsort
 

@@ -465,6 +465,11 @@ NetMetricsSnapshot SyntheticNetSnapshot() {
   metrics.bytes_out = 1'024;
   metrics.overload_rejections = 3;
   metrics.protocol_errors = 1;
+  metrics.event_loop_wakeups = 42;
+  metrics.read_pauses = 2;
+  metrics.event_loop_events.Record(7);
+  metrics.pipeline_depth.Record(3);
+  metrics.writev_frames.Record(5);
   for (size_t i = 0; i < kNumMsgTypes; ++i) {
     metrics.requests_total[i] = 10 * (i + 1);
     metrics.request_ns[i].Record(static_cast<int64_t>(1'000 * (i + 1)));
@@ -495,6 +500,11 @@ TEST(NetMetricsExposition, GoldenFamilySet) {
       {"backsort_net_protocol_errors_total", "counter"},
       {"backsort_net_inflight_requests", "gauge"},
       {"backsort_net_inflight_bytes", "gauge"},
+      {"backsort_net_event_loop_wakeups_total", "counter"},
+      {"backsort_net_read_pauses_total", "counter"},
+      {"backsort_net_event_loop_events", "summary"},
+      {"backsort_net_pipeline_depth", "summary"},
+      {"backsort_net_writev_frames", "summary"},
       {"backsort_net_requests_total", "counter"},
       {"backsort_net_request_duration_seconds", "summary"},
   };
@@ -530,6 +540,17 @@ TEST(NetMetricsExposition, PerTypeSamplesCarryValues) {
   EXPECT_EQ(SampleValue(e, "backsort_net_connections_total", ""), 5.0);
   EXPECT_EQ(SampleValue(e, "backsort_net_inflight_requests", ""), 4.0);
   EXPECT_EQ(SampleValue(e, "backsort_net_inflight_bytes", ""), 512.0);
+  // Event-loop and pipelining families: counters verbatim, depth
+  // summaries with unit scale (a depth of 3 renders as 3, not seconds).
+  EXPECT_EQ(SampleValue(e, "backsort_net_event_loop_wakeups_total", ""), 42.0);
+  EXPECT_EQ(SampleValue(e, "backsort_net_read_pauses_total", ""), 2.0);
+  EXPECT_EQ(SampleValue(e, "backsort_net_event_loop_events",
+                        "quantile=\"1\""),
+            7.0);
+  EXPECT_EQ(SampleValue(e, "backsort_net_pipeline_depth", "quantile=\"1\""),
+            3.0);
+  EXPECT_EQ(SampleValue(e, "backsort_net_writev_frames", "quantile=\"1\""),
+            5.0);
 }
 
 TEST(NetMetricsExposition, DocsListEveryExportedFamily) {

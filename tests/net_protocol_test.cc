@@ -248,6 +248,25 @@ class NetMalformedTest : public ::testing::Test {
     return fd;
   }
 
+  /// Reads one full response frame, checks its framing (type echo with the
+  /// response bit, CRC) and returns the decoded wire status.
+  Status ReadResponse(const ScopedFd& fd, MsgType expect_type) {
+    uint8_t header_bytes[kFrameHeaderSize];
+    RETURN_NOT_OK(RecvAll(fd.get(), header_bytes, kFrameHeaderSize, nullptr));
+    FrameHeader header;
+    RETURN_NOT_OK(ParseFrameHeader(header_bytes, &header));
+    if (!header.is_response || header.type != expect_type) {
+      return Status::Corruption("unexpected response frame");
+    }
+    std::vector<uint8_t> payload(header.payload_size);
+    RETURN_NOT_OK(RecvAll(fd.get(), payload.data(), payload.size(), nullptr));
+    RETURN_NOT_OK(CheckPayloadCrc(header, payload.data(), payload.size()));
+    ByteReader reader(payload);
+    Status rpc_status;
+    RETURN_NOT_OK(DecodeResponseStatus(&reader, &rpc_status));
+    return rpc_status;
+  }
+
   /// True when the server closed the connection (EOF) instead of replying.
   bool ServerClosed(const ScopedFd& fd) {
     uint8_t byte = 0;
@@ -271,6 +290,102 @@ class NetMalformedTest : public ::testing::Test {
   std::filesystem::path dir_;
   std::unique_ptr<BacksortServer> server_;
 };
+
+TEST_F(NetMalformedTest, PartialFramesAcrossWakeupsReassemble) {
+  // A frame trickling in over many epoll wakeups — and two frames whose
+  // boundary falls mid-header in one send — must reassemble exactly.
+  ScopedFd fd = RawConnect();
+
+  // Ping sent one byte at a time.
+  ByteBuffer ping;
+  EncodeFrame(MsgType::kPing, false, ByteBuffer(), &ping);
+  for (const uint8_t byte : ping.data()) {
+    ASSERT_TRUE(SendAll(fd.get(), &byte, 1).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(ReadResponse(fd, MsgType::kPing).ok());
+
+  // Two write frames concatenated, split mid-way through the second
+  // header: [frame1 | 5 bytes of frame2]  ...  [rest of frame2].
+  ByteBuffer w1, w2;
+  {
+    WriteBatchRequest req;
+    req.sensor = "s";
+    req.points = {{1, 1.0}};
+    ByteBuffer payload;
+    EncodeWriteBatchRequest(req, &payload);
+    EncodeFrame(MsgType::kWriteBatch, false, payload, &w1);
+    req.points = {{2, 2.0}};
+    ByteBuffer payload2;
+    EncodeWriteBatchRequest(req, &payload2);
+    EncodeFrame(MsgType::kWriteBatch, false, payload2, &w2);
+  }
+  std::vector<uint8_t> chunk1 = w1.data();
+  chunk1.insert(chunk1.end(), w2.data().begin(), w2.data().begin() + 5);
+  ASSERT_TRUE(SendAll(fd.get(), chunk1.data(), chunk1.size()).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(
+      SendAll(fd.get(), w2.data().data() + 5, w2.size() - 5).ok());
+
+  ASSERT_TRUE(ReadResponse(fd, MsgType::kWriteBatch).ok());
+  ASSERT_TRUE(ReadResponse(fd, MsgType::kWriteBatch).ok());
+  EXPECT_EQ(ProtocolErrors(), 0u);
+  std::vector<TvPairDouble> out;
+  ASSERT_TRUE(server_->engine()->Query("s", 0, 100, &out).ok());
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(NetMalformedTest, ConcatenatedFramesPipelineInOrder) {
+  // Three pings in ONE send land in the server's buffer together, so the
+  // decode loop must see depth 1, 2, 3 before any response is written —
+  // and the responses must come back in request order.
+  ByteBuffer ping;
+  EncodeFrame(MsgType::kPing, false, ByteBuffer(), &ping);
+  std::vector<uint8_t> burst;
+  for (int i = 0; i < 3; ++i) {
+    burst.insert(burst.end(), ping.data().begin(), ping.data().end());
+  }
+  ScopedFd fd = RawConnect();
+  ASSERT_TRUE(SendAll(fd.get(), burst.data(), burst.size()).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(ReadResponse(fd, MsgType::kPing).ok()) << "response " << i;
+  }
+  const NetMetricsSnapshot net = server_->GetNetMetrics();
+  EXPECT_EQ(net.pipeline_depth.count, 3u);
+  EXPECT_EQ(net.pipeline_depth.max, 3u);
+}
+
+TEST_F(NetMalformedTest, MalformedFrameMidPipelineDrainsPriorResponses) {
+  // [valid ping][valid write][garbage header] in one burst: the two valid
+  // requests must be answered, in order and uncorrupted, before the
+  // connection closes for the garbage.
+  ByteBuffer ping;
+  EncodeFrame(MsgType::kPing, false, ByteBuffer(), &ping);
+  WriteBatchRequest req;
+  req.sensor = "s";
+  req.points = {{7, 7.5}};
+  ByteBuffer payload;
+  EncodeWriteBatchRequest(req, &payload);
+  ByteBuffer write;
+  EncodeFrame(MsgType::kWriteBatch, false, payload, &write);
+
+  std::vector<uint8_t> burst = ping.data();
+  burst.insert(burst.end(), write.data().begin(), write.data().end());
+  burst.insert(burst.end(), kFrameHeaderSize, uint8_t{0xab});
+
+  ScopedFd fd = RawConnect();
+  ASSERT_TRUE(SendAll(fd.get(), burst.data(), burst.size()).ok());
+  ASSERT_TRUE(ReadResponse(fd, MsgType::kPing).ok());
+  ASSERT_TRUE(ReadResponse(fd, MsgType::kWriteBatch).ok());
+  EXPECT_TRUE(ServerClosed(fd));
+  EXPECT_EQ(ProtocolErrors(), 1u);
+  // The write that preceded the garbage was applied exactly once.
+  std::vector<TvPairDouble> out;
+  ASSERT_TRUE(server_->engine()->Query("s", 0, 100, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].v, 7.5);
+  ExpectServerStillHealthy();
+}
 
 TEST_F(NetMalformedTest, GarbagePreambleClosesConnection) {
   ScopedFd fd = RawConnect();

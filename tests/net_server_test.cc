@@ -287,5 +287,165 @@ TEST_F(NetServerTest, DataSurvivesServerRestart) {
   EXPECT_DOUBLE_EQ(out[1].v, 2.5);
 }
 
+TEST_F(NetServerTest, PipelinedWritesMatchEngineAndReportDepth) {
+  StartServer();
+  BacksortClient client = Connected();
+
+  // Fill a deep pipeline of write batches, then drain: responses come
+  // back in request order and every batch is applied exactly once.
+  const size_t kBatches = 16;
+  const size_t kPerBatch = 100;
+  for (size_t b = 0; b < kBatches; ++b) {
+    std::vector<TvPairDouble> points;
+    points.reserve(kPerBatch);
+    for (size_t i = 0; i < kPerBatch; ++i) {
+      const auto t = static_cast<Timestamp>(b * kPerBatch + i);
+      points.push_back({t, static_cast<double>(t) * 0.5});
+    }
+    ASSERT_TRUE(client.PipelineWriteBatch("s", points).ok());
+  }
+  EXPECT_EQ(client.pipeline_depth(), kBatches);
+  ASSERT_TRUE(client.PipelineDrain().ok());
+  EXPECT_EQ(client.pipeline_depth(), 0u);
+
+  std::vector<TvPairDouble> out;
+  ASSERT_TRUE(client.Query("s", 0, 10'000, &out).ok());
+  ASSERT_EQ(out.size(), kBatches * kPerBatch);
+  for (size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i].t, static_cast<Timestamp>(i));
+    ASSERT_DOUBLE_EQ(out[i].v, static_cast<double>(i) * 0.5);
+  }
+
+  const NetMetricsSnapshot net = server_->GetNetMetrics();
+  EXPECT_EQ(net.requests_total[MsgTypeIndex(MsgType::kWriteBatch)], kBatches);
+  // The depth histogram samples every decoded frame. (Depth > 1 is
+  // asserted deterministically in net_protocol_test's pipelining test,
+  // where the frames arrive in one segment; here worker completions race
+  // the decode loop.)
+  EXPECT_EQ(net.pipeline_depth.count, kBatches + 1);  // writes + the query
+  EXPECT_GE(net.pipeline_depth.max, 1u);
+  EXPECT_GT(net.writev_frames.count, 0u);
+}
+
+TEST_F(NetServerTest, PipelineBackpressurePausesReadsInsteadOfShedding) {
+  ServerOptions server_opt;
+  server_opt.max_pipeline_depth = 1;  // every decoded frame hits the cap
+  StartServer(server_opt);
+  BacksortClient client = Connected();
+
+  const size_t kBatches = 8;
+  for (size_t b = 0; b < kBatches; ++b) {
+    ASSERT_TRUE(
+        client
+            .PipelineWriteBatch(
+                "s", {{static_cast<Timestamp>(b), static_cast<double>(b)}})
+            .ok());
+  }
+  ASSERT_TRUE(client.PipelineDrain().ok());
+
+  const NetMetricsSnapshot net = server_->GetNetMetrics();
+  // Backpressure, not load shedding: reads paused, nothing rejected,
+  // every request applied.
+  EXPECT_GE(net.read_pauses, 1u);
+  EXPECT_EQ(net.overload_rejections, 0u);
+  std::vector<TvPairDouble> out;
+  ASSERT_TRUE(client.Query("s", 0, 100, &out).ok());
+  EXPECT_EQ(out.size(), kBatches);
+}
+
+TEST_F(NetServerTest, CallWhilePipelinePendingIsRejected) {
+  StartServer();
+  BacksortClient client = Connected();
+  ASSERT_TRUE(client.PipelineWriteBatch("s", {{1, 1.0}}).ok());
+  // A plain call would mis-pair the pipelined response; refuse it.
+  EXPECT_TRUE(client.Ping().IsInvalidArgument());
+  ASSERT_TRUE(client.PipelineDrain().ok());
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(NetServerTest, ClientDeadlineCoversWholeRoundTrip) {
+  // Regression: the old client applied SO_RCVTIMEO per recv() call, so a
+  // server dribbling one byte per interval (each arriving "in time")
+  // could stretch a 300 ms request without ever timing out. The deadline
+  // must bound the whole round trip.
+  TcpListener listener;
+  ASSERT_TRUE(listener.Open("127.0.0.1", 0, 4).ok());
+  std::thread dribbler([&listener] {
+    ScopedFd conn;
+    if (!listener.Accept(&conn).ok()) return;
+    uint8_t request[kFrameHeaderSize];
+    if (!RecvAll(conn.get(), request, sizeof(request), nullptr).ok()) return;
+    ByteBuffer payload;
+    EncodeResponseStatus(Status::OK(), &payload);
+    ByteBuffer frame;
+    EncodeFrame(MsgType::kPing, /*is_response=*/true, payload, &frame);
+    // One byte per 100 ms: ~1.5 s for the full response, but every
+    // individual byte lands well inside a 300 ms per-recv timeout.
+    for (const uint8_t byte : frame.data()) {
+      if (!SendAll(conn.get(), &byte, 1).ok()) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  });
+
+  ClientOptions opt;
+  opt.request_timeout_ms = 300;
+  opt.max_retries = 0;
+  BacksortClient client(opt);
+  ASSERT_TRUE(client.Connect("127.0.0.1", listener.port()).ok());
+  const auto start = std::chrono::steady_clock::now();
+  const Status st = client.Ping();
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_FALSE(client.connected());  // a late response can't be trusted
+  EXPECT_GE(elapsed_ms, 250);
+  EXPECT_LT(elapsed_ms, 1'200) << "deadline did not bound the round trip";
+
+  listener.Close();
+  dribbler.join();
+}
+
+TEST_F(NetServerTest, ManyConnectionsFewLoopsStress) {
+  // More connections than event loops and workers combined; the TSan
+  // build of this binary is the race check for the loop/worker handoff.
+  ServerOptions server_opt;
+  server_opt.event_loops = 1;
+  server_opt.workers = 2;
+  StartServer(server_opt);
+
+  const size_t kClients = 12;
+  const size_t kRounds = 5;
+  std::vector<std::thread> threads;
+  // Not vector<bool>: its packed bits share words, so concurrent writes
+  // from different client threads would be a real data race.
+  std::vector<char> ok(kClients, 0);
+  for (size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([this, c, &ok] {
+      BacksortClient client;
+      if (!client.Connect("127.0.0.1", server_->port()).ok()) return;
+      const std::string sensor = "s" + std::to_string(c);
+      for (size_t r = 0; r < kRounds; ++r) {
+        std::vector<TvPairDouble> points;
+        for (size_t i = 0; i < 20; ++i) {
+          const auto t = static_cast<Timestamp>(r * 20 + i);
+          points.push_back({t, static_cast<double>(c)});
+        }
+        if (!client.PipelineWriteBatch(sensor, points).ok()) return;
+        if (r % 2 == 1 && !client.PipelineDrain().ok()) return;
+      }
+      if (!client.PipelineDrain().ok()) return;
+      std::vector<TvPairDouble> out;
+      if (!client.Query(sensor, 0, 1'000'000, &out).ok()) return;
+      if (out.size() != kRounds * 20) return;
+      if (!client.Ping().ok()) return;
+      ok[c] = 1;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (size_t c = 0; c < kClients; ++c) EXPECT_TRUE(ok[c]) << "client " << c;
+}
+
 }  // namespace
 }  // namespace backsort

@@ -1,0 +1,91 @@
+// Golden test: docs/WIRE_PROTOCOL.md must stay in sync with the
+// normative constants in src/net/protocol.h. Changing a message type,
+// status code, or frame constant in the code without updating the spec
+// fails here; so does renaming in the doc without renaming in the code.
+//
+// The doc's tables use the formats
+//   | `0x01` | `ping` | ...        (message types, two-digit hex)
+//   | `0` | `ok` | ...             (status codes, decimal)
+// and this test searches for those exact cell pairs, so a row that
+// drifts from the code is caught even if the name still appears
+// elsewhere in prose.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "net/protocol.h"
+
+namespace backsort::net {
+namespace {
+
+class WireProtocolDocsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string path =
+        std::string(BACKSORT_SOURCE_DIR) + "/docs/WIRE_PROTOCOL.md";
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open()) << "missing " << path;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    docs_ = buf.str();
+    ASSERT_FALSE(docs_.empty()) << path << " is empty";
+  }
+
+  void ExpectDoc(const std::string& needle, const std::string& why) {
+    EXPECT_NE(docs_.find(needle), std::string::npos)
+        << "docs/WIRE_PROTOCOL.md is missing \"" << needle << "\" (" << why
+        << ")";
+  }
+
+  std::string docs_;
+};
+
+TEST_F(WireProtocolDocsTest, FrameConstantsDocumented) {
+  char magic[16];
+  std::snprintf(magic, sizeof(magic), "0x%08X", kFrameMagic);
+  ExpectDoc(magic, "kFrameMagic");
+  ExpectDoc("\"BSN1\"", "magic spelled as ASCII");
+  ExpectDoc(std::to_string(kFrameHeaderSize) + " bytes", "kFrameHeaderSize");
+  char rbit[8];
+  std::snprintf(rbit, sizeof(rbit), "0x%02X", kResponseBit);
+  ExpectDoc("`" + std::string(rbit) + "`", "kResponseBit");
+}
+
+TEST_F(WireProtocolDocsTest, EveryMessageTypeHasASpecRow) {
+  for (size_t i = 0; i < kNumMsgTypes; ++i) {
+    const auto type = static_cast<MsgType>(i + 1);
+    ASSERT_TRUE(ValidMsgType(static_cast<uint8_t>(type)));
+    char cell[32];
+    std::snprintf(cell, sizeof(cell), "| `0x%02X` | `%s` |",
+                  static_cast<unsigned>(type), MsgTypeName(type));
+    ExpectDoc(cell, "message-type table row");
+  }
+}
+
+TEST_F(WireProtocolDocsTest, EveryStatusCodeHasASpecRow) {
+  for (size_t i = 0; i < kNumWireCodes; ++i) {
+    const auto code = static_cast<WireCode>(i);
+    char cell[48];
+    std::snprintf(cell, sizeof(cell), "| `%zu` | `%s` |", i,
+                  WireCodeName(code));
+    ExpectDoc(cell, "status-code table row");
+  }
+}
+
+TEST_F(WireProtocolDocsTest, SpecDoesNotNamePhantomTypes) {
+  // The reverse direction: a type row removed from the code must leave
+  // the doc too. Count message-type rows; exactly kNumMsgTypes expected.
+  size_t rows = 0;
+  for (size_t pos = 0; (pos = docs_.find("| `0x0", pos)) != std::string::npos;
+       ++pos) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, kNumMsgTypes)
+      << "message-type rows in the doc disagree with kNumMsgTypes";
+}
+
+}  // namespace
+}  // namespace backsort::net

@@ -36,20 +36,26 @@
 //       summary (queue depths, stage percentiles, cache hit rate) — run it
 //       next to `bstool ingest` on the same <dir> to watch the engine live.
 //   bstool serve <dir> [--host=A] [--port=N] [--port-file=PATH]
-//                [--workers=N] [--shards=N] [--flush-workers=N]
+//                [--event-loops=N] [--workers=N] [--max-pipeline-depth=N]
+//                [--shards=N] [--flush-workers=N]
 //                [--max-inflight-requests=N] [--max-inflight-bytes=N]
 //                [--wal-fsync]
-//       Serve a storage engine under <dir> over the CRC-framed wire
-//       protocol until SIGINT/SIGTERM, then shut down gracefully (in-flight
-//       requests drain, the engine flushes). --port=0 (default) binds an
-//       ephemeral port; --port-file writes the bound port for scripts. A
-//       final request summary is printed on exit; live metrics are served
-//       by the MetricsSnapshot RPC (`bstool client <addr> metrics`).
+//       Serve a storage engine under <dir> over the BSN1 wire protocol
+//       (docs/WIRE_PROTOCOL.md) until SIGINT/SIGTERM, then shut down
+//       gracefully (in-flight requests drain, the engine flushes).
+//       --event-loops sizes the epoll readiness threads, --workers the
+//       request-execution pool, --max-pipeline-depth the per-connection
+//       pipelining cap. --port=0 (default) binds an ephemeral port;
+//       --port-file writes the bound port for scripts. A final request
+//       summary is printed on exit; live metrics are served by the
+//       MetricsSnapshot RPC (`bstool client <addr> metrics`).
 //   bstool client <host:port> ping|write|query|latest|agg|metrics [...]
 //       One-shot wire-protocol client for a running `bstool serve`:
 //         ping                       round-trip latency probe
-//         write <sensor> <count> [--t0=N] [--batch=N]
-//                                    synthetic ascending-time points
+//         write <sensor> <count> [--t0=N] [--batch=N] [--pipeline=D]
+//                                    synthetic ascending-time points;
+//                                    --pipeline=D keeps D batches in
+//                                    flight on the one connection
 //         query <sensor> <t_min> <t_max>     CSV on stdout
 //         latest <sensor>                    last point
 //         agg <sensor> <t_min> <t_max>       aggregate stats
@@ -113,11 +119,12 @@ int Usage() {
                "  metrics <dir-or-file>\n"
                "  watch <dir-or-file> [--interval=MS] [--count=N]\n"
                "  serve <dir> [--host=A] [--port=N] [--port-file=PATH]"
-               " [--workers=N]\n"
-               "        [--shards=N] [--flush-workers=N]"
-               " [--flush-parallelism=N]\n"
-               "        [--max-inflight-requests=N]"
-               " [--max-inflight-bytes=N] [--wal-fsync] [--compaction]\n"
+               " [--event-loops=N]\n"
+               "        [--workers=N] [--max-pipeline-depth=N]"
+               " [--shards=N] [--flush-workers=N]\n"
+               "        [--flush-parallelism=N] [--max-inflight-requests=N]\n"
+               "        [--max-inflight-bytes=N] [--wal-fsync]"
+               " [--compaction]\n"
                "  client <host:port>"
                " ping|write|query|latest|agg|metrics [...]\n");
   return 2;
@@ -626,6 +633,8 @@ int CmdServe(int argc, char** argv) {
   engine_opt.data_dir = argv[0];
   ServerOptions server_opt;
   size_t port = 0, workers = server_opt.workers;
+  size_t event_loops = server_opt.event_loops;
+  size_t max_pipeline_depth = server_opt.max_pipeline_depth;
   size_t shards = 0, flush_workers = 0, flush_parallelism = 0;
   size_t max_inflight_requests = server_opt.max_inflight_requests;
   size_t max_inflight_bytes = server_opt.max_inflight_bytes;
@@ -645,6 +654,8 @@ int CmdServe(int argc, char** argv) {
         FlagStr(argv[i], "--port-file", &port_file) ||
         FlagValue(argv[i], "--port", &port) ||
         FlagValue(argv[i], "--workers", &workers) ||
+        FlagValue(argv[i], "--event-loops", &event_loops) ||
+        FlagValue(argv[i], "--max-pipeline-depth", &max_pipeline_depth) ||
         FlagValue(argv[i], "--shards", &shards) ||
         FlagValue(argv[i], "--flush-workers", &flush_workers) ||
         FlagValue(argv[i], "--flush-parallelism", &flush_parallelism) ||
@@ -668,6 +679,8 @@ int CmdServe(int argc, char** argv) {
   server_opt.host = host;
   server_opt.port = static_cast<uint16_t>(port);
   server_opt.workers = workers;
+  server_opt.event_loops = event_loops;
+  server_opt.max_pipeline_depth = max_pipeline_depth;
   server_opt.max_inflight_requests = max_inflight_requests;
   server_opt.max_inflight_bytes = max_inflight_bytes;
 
@@ -682,8 +695,9 @@ int CmdServe(int argc, char** argv) {
     std::fprintf(f, "%u\n", server.port());
     std::fclose(f);
   }
-  std::printf("serving %s on %s:%u (%zu workers); Ctrl-C stops\n", argv[0],
-              host.c_str(), server.port(), workers);
+  std::printf("serving %s on %s:%u (%zu event loops, %zu workers); "
+              "Ctrl-C stops\n",
+              argv[0], host.c_str(), server.port(), event_loops, workers);
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleServeSignal);
@@ -748,10 +762,11 @@ int CmdClient(int argc, char** argv) {
     const std::string sensor = argv[0];
     const size_t count =
         static_cast<size_t>(std::strtoull(argv[1], nullptr, 10));
-    size_t t0 = 0, batch = 500;
+    size_t t0 = 0, batch = 500, pipeline = 0;
     for (int i = 2; i < argc; ++i) {
       if (FlagValue(argv[i], "--t0", &t0) ||
-          FlagValue(argv[i], "--batch", &batch)) {
+          FlagValue(argv[i], "--batch", &batch) ||
+          FlagValue(argv[i], "--pipeline", &pipeline)) {
         continue;
       }
       std::fprintf(stderr, "unknown option: %s\n", argv[i]);
@@ -765,12 +780,23 @@ int CmdClient(int argc, char** argv) {
         const Timestamp t = static_cast<Timestamp>(t0 + i);
         points.push_back({t, static_cast<double>(i)});
       }
-      if (Status st = client.WriteBatch(sensor, points); !st.ok()) {
+      if (pipeline > 1) {
+        // Send without waiting; drain whenever the window fills (and
+        // once more after the loop for the tail).
+        if (Status st = client.PipelineWriteBatch(sensor, points); !st.ok()) {
+          return Fail(st);
+        }
+        if (client.pipeline_depth() >= pipeline) {
+          if (Status st = client.PipelineDrain(); !st.ok()) return Fail(st);
+        }
+      } else if (Status st = client.WriteBatch(sensor, points); !st.ok()) {
         return Fail(st);
       }
     }
-    std::printf("wrote %zu points to %s in %.3f ms\n", count, sensor.c_str(),
-                timer.ElapsedMillis());
+    if (Status st = client.PipelineDrain(); !st.ok()) return Fail(st);
+    std::printf("wrote %zu points to %s in %.3f ms%s\n", count, sensor.c_str(),
+                timer.ElapsedMillis(),
+                pipeline > 1 ? " (pipelined)" : "");
     return 0;
   }
   if (op == "query") {
