@@ -13,8 +13,10 @@ namespace {
 // lookups instead of a serial chain of sixteen dependent ones. Same
 // polynomial, same values, several times the throughput — this sits on
 // the WAL append path and on both sides of every network frame. The
-// 32-bit loads assume little-endian, like the rest of the codebase (the
-// wire protocol's zero-copy decode already hard-requires it).
+// 32-bit loads read input bytes out of the low byte first, which is only
+// the stream order on little-endian hosts; big-endian builds take the
+// byte-at-a-time loop (same gate as protocol.cc's kPointsAreWireLayout),
+// keeping Crc32 value-identical across hosts.
 struct Crc32Tables {
   uint32_t entries[16][256];
 
@@ -38,12 +40,18 @@ struct Crc32Tables {
 
 constexpr Crc32Tables kTables;
 
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+inline constexpr bool kHostIsLittleEndian = true;
+#else
+inline constexpr bool kHostIsLittleEndian = false;
+#endif
+
 }  // namespace
 
 uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
   const uint8_t* p = static_cast<const uint8_t*>(data);
   uint32_t c = seed ^ 0xffffffffu;
-  while (n >= 16) {
+  while (kHostIsLittleEndian && n >= 16) {
     uint32_t w0;
     uint32_t w1;
     uint32_t w2;

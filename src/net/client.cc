@@ -208,8 +208,13 @@ Status BacksortClient::SendRequest(MsgType type,
 Status BacksortClient::RecvBuffered(void* dst, size_t n,
                                     int64_t deadline_ms) {
   while (rbuf_.size() - rpos_ < n) {
-    if (rpos_ == rbuf_.size()) {
-      rbuf_.clear();
+    // Compact the consumed prefix before growing, mirroring the server's
+    // EnsureReadCapacity: a long pipeline drain of many small responses
+    // rarely lands on an exact frame boundary at refill time, and
+    // appending forever would retain nearly every byte of the drain. The
+    // unconsumed tail is at most one partial frame, so the move is cheap.
+    if (rpos_ > 0) {
+      rbuf_.erase(rbuf_.begin(), rbuf_.begin() + static_cast<long>(rpos_));
       rpos_ = 0;
     }
     constexpr size_t kRecvChunk = 64 * 1024;

@@ -195,7 +195,12 @@ class BacksortServer::EventLoop {
           CloseConnection(conn);
           continue;
         }
-        if (ev.events & EPOLLOUT) FlushResponses(conn.get());
+        // ServiceBuffered, not a bare flush: if the flush drops the
+        // pipeline below the cap it un-pauses reads with complete frames
+        // possibly still buffered in rbuf, and only the parse loop can
+        // decode those — the kernel has no residual data, so
+        // level-triggered EPOLLIN would never re-fire for them.
+        if (ev.events & EPOLLOUT) ServiceBuffered(conn.get());
         if (!conn->fd.valid()) continue;
         if (ev.events & (EPOLLIN | EPOLLRDHUP)) HandleReadable(conn);
       }
@@ -208,14 +213,27 @@ class BacksortServer::EventLoop {
         if (conns_.empty()) break;
         if (drain_deadline_ms_ >= 0 && now > drain_deadline_ms_) {
           // Drain budget exhausted: whoever still has pending bytes is
-          // not consuming them. Close everything and exit.
-          std::vector<std::shared_ptr<Connection>> victims;
-          victims.reserve(conns_.size());
-          for (auto& [fd, c] : conns_) victims.push_back(c);
-          for (auto& c : victims) CloseConnection(c);
+          // not consuming them. The exit cleanup below closes everything.
           break;
         }
       }
+    }
+    // Common exit cleanup, reached from every break (graceful drain,
+    // exhausted drain budget, or a fatal epoll_wait failure). A fatal
+    // failure exits before MaybeEnterStopping ever ran for this loop, so
+    // the drained count must still be published here — otherwise
+    // WorkerLoop's exit predicate (loops_drained_ == loops_.size()) never
+    // becomes true and Stop() blocks forever joining the workers. The
+    // surviving connections are closed so their sockets aren't leaked.
+    if (!conns_.empty()) {
+      std::vector<std::shared_ptr<Connection>> victims;
+      victims.reserve(conns_.size());
+      for (auto& [fd, c] : conns_) victims.push_back(c);
+      for (auto& c : victims) CloseConnection(c);
+    }
+    if (!stopping_) {
+      stopping_ = true;
+      server_->loops_drained_.fetch_add(1, std::memory_order_release);
     }
   }
 

@@ -5,6 +5,8 @@
 // concurrent clients (the TSan build of this binary is the race check),
 // and drain in-flight requests on graceful shutdown.
 
+#include <sys/socket.h>
+
 #include <chrono>
 #include <cstring>
 #include <filesystem>
@@ -18,7 +20,9 @@
 #include "common/rng.h"
 #include "disorder/series_generator.h"
 #include "net/client.h"
+#include "net/protocol.h"
 #include "net/server.h"
+#include "net/socket.h"
 
 namespace backsort {
 namespace {
@@ -405,6 +409,82 @@ TEST_F(NetServerTest, ClientDeadlineCoversWholeRoundTrip) {
 
   listener.Close();
   dribbler.join();
+}
+
+TEST_F(NetServerTest, EpollOutUnpauseReparsesBufferedFrames) {
+  // Regression: the EPOLLOUT path used to call the response flusher
+  // directly. When that flush drained the pipeline below
+  // max_pipeline_depth it cleared the read pause, but complete frames
+  // already sitting in the connection's read buffer were never
+  // re-parsed — the kernel had no residual data, so level-triggered
+  // EPOLLIN never re-fired, and with the default idle timeout of 0 the
+  // remaining pipelined requests were silently never answered. EPOLLOUT
+  // must route through the same parse/flush/resume cycle as completions.
+  ServerOptions server_opt;
+  server_opt.event_loops = 1;
+  server_opt.workers = 2;
+  // Small cap: a one-segment burst of queries parks most of its frames
+  // in the read buffer behind the pause.
+  server_opt.max_pipeline_depth = 2;
+  StartServer(server_opt);
+
+  // A series large enough that one query response (~8 MB) overwhelms the
+  // socket buffers while the client is deliberately not reading yet,
+  // forcing the flush to block and resume via EPOLLOUT.
+  const size_t kPoints = 500'000;
+  {
+    std::vector<TvPairDouble> points;
+    points.reserve(kPoints);
+    for (size_t i = 0; i < kPoints; ++i) {
+      points.push_back({static_cast<Timestamp>(i), static_cast<double>(i)});
+    }
+    ASSERT_TRUE(server_->engine()->WriteBatch("s", points).ok());
+  }
+
+  // Raw socket: BacksortClient has no pipelined-query API, and the test
+  // needs precise control over when reads start.
+  ScopedFd fd;
+  ASSERT_TRUE(TcpConnect("127.0.0.1", server_->port(), 2'000, &fd).ok());
+  int rcvbuf = 64 * 1024;  // keep this side from absorbing a response
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+
+  // The whole burst in one send: the server's first recv pulls every
+  // frame into its read buffer, decodes two (the cap) and pauses reads
+  // with the rest buffered.
+  RangeRequest req{"s", 0, static_cast<Timestamp>(kPoints)};
+  ByteBuffer payload;
+  EncodeRangeRequest(req, &payload);
+  const size_t kQueries = 8;
+  ByteBuffer burst;
+  for (size_t i = 0; i < kQueries; ++i) {
+    EncodeFrame(MsgType::kQuery, /*is_response=*/false, payload, &burst);
+  }
+  ASSERT_TRUE(SendAll(fd.get(), burst.data().data(), burst.size()).ok());
+
+  // Let the server decode the burst, hit the pipeline cap and block its
+  // writev on the full socket buffers (arming EPOLLOUT) before reading.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  // Drain every response; before the fix the third never arrived.
+  ASSERT_TRUE(SetNonBlocking(fd.get(), true).ok());
+  const int64_t deadline_ms = MonotonicMillis() + 20'000;
+  for (size_t i = 0; i < kQueries; ++i) {
+    uint8_t header_bytes[kFrameHeaderSize];
+    ASSERT_TRUE(RecvAllDeadline(fd.get(), header_bytes, sizeof(header_bytes),
+                                deadline_ms, nullptr)
+                    .ok())
+        << "response " << i << " never arrived";
+    FrameHeader header;
+    ASSERT_TRUE(ParseFrameHeader(header_bytes, &header).ok());
+    EXPECT_TRUE(header.is_response);
+    EXPECT_EQ(header.type, MsgType::kQuery);
+    std::vector<uint8_t> body(header.payload_size);
+    ASSERT_TRUE(RecvAllDeadline(fd.get(), body.data(), body.size(),
+                                deadline_ms, nullptr)
+                    .ok())
+        << "response " << i << " body truncated";
+    ASSERT_TRUE(CheckPayloadCrc(header, body.data(), body.size()).ok());
+  }
 }
 
 TEST_F(NetServerTest, ManyConnectionsFewLoopsStress) {
