@@ -1,6 +1,7 @@
 #ifndef BACKSORT_COMMON_CHUNK_LOCATOR_H_
 #define BACKSORT_COMMON_CHUNK_LOCATOR_H_
 
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -28,6 +29,27 @@ struct ChunkLocator {
   Timestamp max_t = -1;
   /// On-disk DataType byte (kept raw so common/ needs no tsfile types).
   uint8_t raw_type = 0;
+
+  /// True when the footer carried value statistics (BSTF2 files). Stat-less
+  /// BSTF1 files leave this false and the read path falls back to decode.
+  bool has_stats = false;
+  /// Smallest / largest / summed non-NaN value in the chunk. NaN points are
+  /// excluded from these three but still counted in `points`; an all-NaN
+  /// chunk stores min_v=+inf, max_v=-inf, sum_v=0.
+  double min_v = 0;
+  double max_v = 0;
+  double sum_v = 0;
+  /// Raw first/last values in time order (may be NaN).
+  double first_v = 0;
+  double last_v = 0;
+
+  /// Whether the stored value stats can answer min/max/sum without decode.
+  /// NaN-poisoned stats (possible only in hand-crafted files; the writer
+  /// never emits them) force the decode path for safety.
+  bool stats_usable() const {
+    return has_stats && !std::isnan(min_v) && !std::isnan(max_v) &&
+           !std::isnan(sum_v);
+  }
 };
 
 /// One file's footer: sensor id -> chunk locator.

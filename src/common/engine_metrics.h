@@ -128,6 +128,28 @@ struct QueryStageSnapshots {
   }
 };
 
+/// Aggregation-path latency distributions, one histogram snapshot per
+/// stage of an AggregateFast call. All values are nanoseconds; recording
+/// is lock-free. The stages partition the three-tier plan: `plan` is the
+/// snapshot + shadow classification, `stats` folds footer statistics of
+/// fully covered chunks (tier 1), `decode` runs the page-level partial
+/// aggregation and the exact fallback reads (tiers 2/3), `merge` combines
+/// the partials into the final answer.
+struct AggregateStageSnapshots {
+  HistogramSnapshot plan;
+  HistogramSnapshot stats;
+  HistogramSnapshot decode;
+  HistogramSnapshot merge;
+
+  /// Folds another set of stage snapshots into this one, bucket-wise.
+  void Merge(const AggregateStageSnapshots& other) {
+    plan.Merge(other.plan);
+    stats.Merge(other.stats);
+    decode.Merge(other.decode);
+    merge.Merge(other.merge);
+  }
+};
+
 /// Compaction-path latency distributions, one histogram snapshot per
 /// stage of a compaction cycle. All values are nanoseconds; recording is
 /// lock-free like the other stage histograms.
@@ -197,6 +219,16 @@ struct EngineMetricsSnapshot {
   /// Sealed files that contributed a run to a query (opened or served from
   /// cache), summed over queries.
   uint64_t query_files_opened = 0;
+  /// Aggregation-path stage histograms (plan / stats / decode / merge).
+  AggregateStageSnapshots agg_stages;
+  /// AggregateFast calls served since open.
+  uint64_t agg_requests = 0;
+  /// Chunks answered from footer statistics alone (tier 1, no decode).
+  uint64_t agg_stats_hits = 0;
+  /// Sources that fell to a decoding tier: one per partially covered or
+  /// stat-less chunk (tier 2 page-level aggregation) and one per call
+  /// routed through the exact merge fallback (tier 3, shadowed range).
+  uint64_t agg_stats_misses = 0;
   /// Shared chunk-cache counters (see ChunkCacheStats).
   ChunkCacheStats cache;
   /// Batched write calls applied via the group-commit path since open.

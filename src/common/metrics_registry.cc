@@ -203,6 +203,40 @@ void ExportEngineMetrics(const EngineMetricsSnapshot& snapshot,
   const struct {
     const char* stage;
     const HistogramSnapshot& hist;
+  } agg_stages[] = {
+      {"plan", snapshot.agg_stages.plan},
+      {"stats", snapshot.agg_stages.stats},
+      {"decode", snapshot.agg_stages.decode},
+      {"merge", snapshot.agg_stages.merge},
+  };
+  for (const auto& s : agg_stages) {
+    MetricsRegistry::Labels labels = base_labels;
+    labels.emplace_back("stage", s.stage);
+    registry->Summary(
+        "backsort_agg_stage_duration_seconds",
+        "Aggregation-path stage latency in seconds (stages: plan, stats, "
+        "decode, merge; only plan holds the shard lock); quantile=\"1\" is "
+        "the observed max.",
+        labels, s.hist, kNsToSec);
+  }
+
+  registry->Counter("backsort_agg_requests_total",
+                    "AggregateFast calls served since the engine opened.",
+                    base_labels, static_cast<double>(snapshot.agg_requests));
+  registry->Counter(
+      "backsort_agg_stats_hits_total",
+      "Chunks answered from footer statistics alone (tier 1, no decode).",
+      base_labels, static_cast<double>(snapshot.agg_stats_hits));
+  registry->Counter(
+      "backsort_agg_stats_misses_total",
+      "Aggregation sources that needed a decoding tier: partially covered "
+      "or stat-less chunks (tier 2) plus calls routed through the exact "
+      "merge fallback (tier 3).",
+      base_labels, static_cast<double>(snapshot.agg_stats_misses));
+
+  const struct {
+    const char* stage;
+    const HistogramSnapshot& hist;
   } compaction_stages[] = {
       {"plan", snapshot.compaction_stages.plan},
       {"merge", snapshot.compaction_stages.merge},

@@ -87,24 +87,41 @@ Status DecodeTs2DiffI64(ByteReader* in, size_t count,
                         std::vector<int64_t>* out) {
   out->clear();
   if (count == 0) return Status::OK();
-  out->reserve(count);
+  out->resize(count);
   int64_t first = 0;
   RETURN_NOT_OK(in->GetVarintSigned64(&first));
-  out->push_back(first);
-  while (out->size() < count) {
-    const size_t block_n = std::min(kTs2DiffBlockSize, count - out->size());
+  int64_t* dst = out->data();
+  *dst++ = first;
+  int64_t prev = first;
+  size_t decoded = 1;
+  // Block-at-a-time unpack into pre-sized storage: the running value stays
+  // in a register and the inner loop carries no push_back capacity checks,
+  // so a whole page materializes with branch-light prefix summing.
+  while (decoded < count) {
+    const size_t block_n = std::min(kTs2DiffBlockSize, count - decoded);
     int64_t min_delta = 0;
     RETURN_NOT_OK(in->GetVarintSigned64(&min_delta));
     uint8_t width = 0;
     RETURN_NOT_OK(in->GetU8(&width));
     if (width > 64) return Status::Corruption("ts2diff bit width > 64");
+    if (width == 0) {
+      // Constant-stride block (regular sampling, the common case): no bit
+      // reads at all, just an arithmetic ramp.
+      for (size_t i = 0; i < block_n; ++i) {
+        prev += min_delta;
+        *dst++ = prev;
+      }
+      decoded += block_n;
+      continue;
+    }
     BitReader br(in);
     for (size_t i = 0; i < block_n; ++i) {
       uint64_t adj = 0;
       RETURN_NOT_OK(br.ReadBits(width, &adj));
-      const int64_t delta = static_cast<int64_t>(adj) + min_delta;
-      out->push_back(out->back() + delta);
+      prev += static_cast<int64_t>(adj) + min_delta;
+      *dst++ = prev;
     }
+    decoded += block_n;
   }
   return Status::OK();
 }
@@ -313,16 +330,19 @@ Status DecodeGorillaF64(ByteReader* in, size_t count,
                         std::vector<double>* out) {
   out->clear();
   if (count == 0) return Status::OK();
-  out->reserve(count);
+  out->resize(count);
   uint64_t prev = 0;
   RETURN_NOT_OK(in->GetFixed64(&prev));
-  double first;
-  std::memcpy(&first, &prev, sizeof(first));
-  out->push_back(first);
+  double* dst = out->data();
+  std::memcpy(dst, &prev, sizeof(double));
+  ++dst;
   BitReader br(in);
-  int leading = 0;
+  int shift = 0;  // 64 - leading - meaningful, hoisted out of the loop
   int meaningful = 0;
-  while (out->size() < count) {
+  // Page-at-a-time unpack into pre-sized storage: repeated values (the
+  // Gorilla fast case) cost one bit read and one store, and the XOR
+  // window shift is recomputed only when the window changes.
+  for (size_t i = 1; i < count; ++i) {
     bool changed = false;
     RETURN_NOT_OK(br.ReadBit(&changed));
     if (changed) {
@@ -332,20 +352,20 @@ Status DecodeGorillaF64(ByteReader* in, size_t count,
         uint64_t lead = 0, len = 0;
         RETURN_NOT_OK(br.ReadBits(5, &lead));
         RETURN_NOT_OK(br.ReadBits(6, &len));
-        leading = static_cast<int>(lead);
+        const int leading = static_cast<int>(lead);
         meaningful = static_cast<int>(len);
         if (meaningful == 0) meaningful = 64;  // 6-bit field wraps at 64
         if (leading + meaningful > 64) {
           return Status::Corruption("gorilla window exceeds 64 bits");
         }
+        shift = 64 - leading - meaningful;
       }
       uint64_t bits = 0;
       RETURN_NOT_OK(br.ReadBits(meaningful, &bits));
-      prev ^= bits << (64 - leading - meaningful);
+      prev ^= bits << shift;
     }
-    double v;
-    std::memcpy(&v, &prev, sizeof(v));
-    out->push_back(v);
+    std::memcpy(dst, &prev, sizeof(double));
+    ++dst;
   }
   return Status::OK();
 }

@@ -1,6 +1,8 @@
 #include "engine/aggregate.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 namespace backsort {
 
@@ -11,14 +13,21 @@ AggregateResult AggregateSortedRun(const std::vector<TvPairDouble>& points,
   AggregateResult r;
   if (begin >= end) return r;
   r.count = end - begin;
-  r.min = points[begin].v;
-  r.max = points[begin].v;
+  // Engine-wide NaN contract (docs/DESIGN.md §16, same as the statistics
+  // pushdown): NaN is counted and eligible as first/last, but never
+  // contributes to min/max/sum; an all-NaN window reports min = +inf,
+  // max = -inf, sum = 0.
+  r.min = std::numeric_limits<double>::infinity();
+  r.max = -std::numeric_limits<double>::infinity();
+  size_t finite = 0;
   for (size_t i = begin; i < end; ++i) {
+    if (std::isnan(points[i].v)) continue;
+    ++finite;
     r.sum += points[i].v;
     r.min = std::min(r.min, points[i].v);
     r.max = std::max(r.max, points[i].v);
   }
-  r.mean = r.sum / static_cast<double>(r.count);
+  r.mean = finite == 0 ? std::nan("") : r.sum / static_cast<double>(finite);
   // The engine returns points sorted by time, so positional first/last are
   // temporal first/last.
   r.first = points[begin].v;

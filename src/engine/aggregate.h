@@ -14,6 +14,12 @@ namespace backsort {
 /// wrong on disordered data, which is why the engine sorts before serving
 /// (paper Section VI-E: "adjacent points with non-consecutive timestamps
 /// may fluctuate on values").
+///
+/// NaN contract (docs/DESIGN.md §16): NaN values are counted in `count`
+/// and eligible as first/last, but excluded from min/max/sum; `mean`
+/// averages the non-NaN values (NaN when every value in the window is
+/// NaN). A window whose matches are all NaN reports min = +inf,
+/// max = -inf, sum = 0.
 struct AggregateResult {
   size_t count = 0;
   double sum = 0.0;

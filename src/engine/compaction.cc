@@ -370,6 +370,7 @@ Status CompactionJob::Run(const CompactionPlan& plan, SealedFileRef* out_meta,
   };
 
   TsFileWriter writer(tmp_path);
+  writer.set_footer_stats(config_.footer_stats);
   writer.set_spill_threshold(kCompactionSpillBytes);
   for (const auto& [sensor, sources] : sensors) {
     // Pass 1: count LWW survivors so the page count is known up front.

@@ -39,6 +39,11 @@ struct CompactionConfig {
   size_t trigger_files = kDefaultTriggerFiles;
   size_t points_per_page = 1024;
   size_t check_interval_ms = kDefaultCheckIntervalMs;
+  /// Whether merge outputs carry per-chunk value statistics (BSTF2).
+  /// Mirrors EngineOptions::footer_stats; statistics are always recomputed
+  /// from the surviving points during the merge, never copied from inputs
+  /// (LWW dedup may drop points the input stats counted).
+  bool footer_stats = true;
 };
 
 /// Splits a sealed-file name — "<seq|unseq>-<base>.bstf" for flush

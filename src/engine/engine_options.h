@@ -35,6 +35,12 @@ struct EngineOptions {
   /// the aggregation pushdown's decode skipping.
   size_t points_per_page = 1024;
 
+  /// Whether flushed (and compacted) TsFiles carry per-chunk value
+  /// statistics in their footers (the BSTF2 format). False writes the
+  /// stat-less BSTF1 footer — the `--no-footer-stats` escape hatch; the
+  /// engine then answers aggregations through the decoding tiers only.
+  bool footer_stats = true;
+
   /// Number of independent engine shards; sensors are hashed onto shards,
   /// each with its own mutex, working memtables, WAL segments and sealed
   /// file list, so writers of different sensors do not contend.

@@ -1,6 +1,7 @@
 #include "engine/engine_shard.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <limits>
@@ -341,6 +342,7 @@ Status EngineShard::FlushTable(const FlushJob& job) {
   const std::string tmp_path = options.data_dir + "/" + tmp_name;
 
   TsFileWriter writer(tmp_path);
+  writer.set_footer_stats(options.footer_stats);
   Status write_status = Status::OK();
   {
     // The sealed table's TVLists are sorted in place; serialize with any
@@ -751,22 +753,36 @@ Status EngineShard::AggregateFast(const std::string& sensor, Timestamp t_min,
                                   bool* used_fast_path) {
   *stats = TsFileReader::RangeStats{};
   if (used_fast_path != nullptr) *used_fast_path = false;
-  ReadSnapshot snap;
-  TakeSnapshot(sensor, t_min, t_max, /*want_points=*/false, &snap);
+  EngineSharedState& shared = *shared_;
+  shared.agg_requests.fetch_add(1, std::memory_order_relaxed);
+  AggregatePathHistograms& ah = shared.agg_histograms;
 
-  // Soundness guard: statistics cannot express last-write-wins shadowing,
-  // so the pushdown requires every point in range to live in exactly one
+  // An empty time range has a well-defined answer (count == 0) and needs
+  // no snapshot, no I/O, not even the shard lock.
+  if (t_max < t_min) {
+    if (used_fast_path != nullptr) *used_fast_path = true;
+    return Status::OK();
+  }
+
+  // Stage 1 — plan: consistent snapshot + shadow classification.
+  //
+  // Soundness: statistics cannot express last-write-wins shadowing, so the
+  // metadata tiers require every point in range to live in exactly one
   // sequence file. Sequence files never overlap per sensor (the watermark
   // enforces strictly increasing time ranges). With pruning metadata the
   // guard sharpens: an unsequence file disqualifies only when it actually
   // holds points of this sensor inside the range (a non-overlapping one
   // cannot shadow anything the aggregate sees); with pruning disabled the
   // guard stays maximally conservative.
+  WallTimer plan_timer;
+  ReadSnapshot snap;
+  TakeSnapshot(sensor, t_min, t_max, /*want_points=*/false, &snap);
+
   bool fast_ok = !snap.working_in_range;
   if (fast_ok) {
     for (const SealedFileRef& file : snap.files) {
       if (!file->unsequence()) continue;
-      if (!shared_->options.enable_file_pruning ||
+      if (!shared.options.enable_file_pruning ||
           file->Overlaps(sensor, t_min, t_max)) {
         fast_ok = false;
         break;
@@ -788,68 +804,168 @@ Status EngineShard::AggregateFast(const std::string& sensor, Timestamp t_min,
     }
   }
 
-  if (fast_ok) {
-    // All file I/O and statistics folding happen lock-free against the
-    // snapshot; the refs keep every input readable throughout.
-    bool have_any = false;
-    for (const SealedFileRef& file : snap.files) {
-      if (shared_->options.enable_file_pruning &&
-          !file->Overlaps(sensor, t_min, t_max)) {
-        continue;
+  if (!fast_ok) {
+    // Tier 3 — some source can shadow the sealed chunks (working or
+    // flushing memtable points in range, or an overlapping unsequence
+    // file): only the full dedup merge gives the exact answer. Decode
+    // stage = the Query; merge stage = the fold.
+    ah.plan.Record(static_cast<uint64_t>(plan_timer.ElapsedNanos()));
+    shared.agg_stats_misses.fetch_add(1, std::memory_order_relaxed);
+    WallTimer decode_timer;
+    std::vector<TvPairDouble> points;
+    RETURN_NOT_OK(Query(sensor, t_min, t_max, &points));
+    ah.decode.Record(static_cast<uint64_t>(decode_timer.ElapsedNanos()));
+    WallTimer merge_timer;
+    for (const TvPairDouble& p : points) {
+      if (stats->count == 0) {
+        stats->first = p.v;
+        stats->first_time = p.t;
+        stats->min = std::numeric_limits<double>::infinity();
+        stats->max = -std::numeric_limits<double>::infinity();
       }
-      TsFileReader reader(file->path());
-      Status st = reader.Open();
-      if (st.ok()) {
-        TsFileReader::RangeStats file_stats;
-        st = reader.AggregateRangeF64(sensor, t_min, t_max, &file_stats);
-        if (st.IsNotFound()) continue;
-        if (st.ok()) {
-          if (file_stats.count == 0) continue;
-          if (!have_any) {
-            *stats = file_stats;
-            have_any = true;
-            continue;
-          }
-          stats->min = std::min(stats->min, file_stats.min);
-          stats->max = std::max(stats->max, file_stats.max);
-          stats->sum += file_stats.sum;
-          stats->count += file_stats.count;
-          // Sequence files are scanned in time order per sensor.
-          if (file_stats.first_time < stats->first_time) {
-            stats->first_time = file_stats.first_time;
-            stats->first = file_stats.first;
-          }
-          if (file_stats.last_time > stats->last_time) {
-            stats->last_time = file_stats.last_time;
-            stats->last = file_stats.last;
-          }
-          continue;
-        }
+      ++stats->count;
+      stats->last = p.v;
+      stats->last_time = p.t;
+      // Same NaN contract as the statistics tiers (see
+      // TsFileReader::RangeStats): NaN is counted and may be first/last
+      // but never contributes to min/max/sum.
+      if (!std::isnan(p.v)) {
+        stats->min = std::min(stats->min, p.v);
+        stats->max = std::max(stats->max, p.v);
+        stats->sum += p.v;
       }
-      *stats = TsFileReader::RangeStats{};  // no partial aggregate on error
-      return st;
     }
-    if (used_fast_path != nullptr) *used_fast_path = true;
+    ah.merge.Record(static_cast<uint64_t>(merge_timer.ElapsedNanos()));
     return Status::OK();
   }
 
-  // Exact fallback through the dedup merge path.
-  std::vector<TvPairDouble> points;
-  RETURN_NOT_OK(Query(sensor, t_min, t_max, &points));
-  for (const TvPairDouble& p : points) {
-    if (stats->count == 0) {
-      stats->min = p.v;
-      stats->max = p.v;
-      stats->first = p.v;
-      stats->first_time = p.t;
+  // Per-chunk plan over the unshadowed sequence files. `partials` is
+  // indexed by snapshot position so the final combine runs in file order
+  // whatever order the tiers complete in — the floating-point sum is
+  // deterministic for a given file set.
+  struct DecodeTask {
+    size_t slot;              // index into partials
+    const SealedFileMeta* file;
+    const ChunkLocator* locator;
+  };
+  std::vector<TsFileReader::RangeStats> partials(snap.files.size());
+  std::vector<DecodeTask> tasks;
+  uint64_t hits = 0;
+  for (size_t i = 0; i < snap.files.size(); ++i) {
+    const SealedFileMeta& file = *snap.files[i];
+    if (shared.options.enable_file_pruning &&
+        !file.Overlaps(sensor, t_min, t_max)) {
+      continue;
     }
-    stats->min = std::min(stats->min, p.v);
-    stats->max = std::max(stats->max, p.v);
-    stats->sum += p.v;
-    ++stats->count;
-    stats->last = p.v;
-    stats->last_time = p.t;
+    const ChunkLocator* locator = file.RangeFor(sensor);
+    if (locator == nullptr || locator->points == 0 ||
+        locator->max_t < t_min || locator->min_t > t_max) {
+      continue;  // nothing of this sensor in range (pruning disabled path)
+    }
+    if (locator->min_t >= t_min && locator->max_t <= t_max &&
+        locator->stats_usable()) {
+      // Tier 1 — the chunk is fully covered and unshadowed: the footer
+      // statistics ARE the chunk's aggregate; no byte of it is read.
+      TsFileReader::RangeStats& part = partials[i];
+      part.count = locator->points;
+      part.min = locator->min_v;
+      part.max = locator->max_v;
+      part.sum = locator->sum_v;
+      part.first = locator->first_v;
+      part.first_time = locator->min_t;
+      part.last = locator->last_v;
+      part.last_time = locator->max_t;
+      ++hits;
+      continue;
+    }
+    // Tier 2 — partial range overlap or a stat-less (BSTF1) footer: the
+    // page-level partial aggregation decodes only boundary pages.
+    tasks.push_back({i, &file, locator});
   }
+  ah.plan.Record(static_cast<uint64_t>(plan_timer.ElapsedNanos()));
+  if (hits > 0) {
+    shared.agg_stats_hits.fetch_add(hits, std::memory_order_relaxed);
+  }
+  if (!tasks.empty()) {
+    shared.agg_stats_misses.fetch_add(tasks.size(),
+                                      std::memory_order_relaxed);
+  }
+
+  // Stage 2 — stats: nothing left to do for tier-1 chunks (their partials
+  // were filled from the footer during planning); the stage records the
+  // (near-zero) bookkeeping cost so the exposition shows where time does
+  // NOT go.
+  WallTimer stats_timer;
+  ah.stats.Record(static_cast<uint64_t>(stats_timer.ElapsedNanos()));
+
+  // Stage 3 — decode: run the tier-2 chunk aggregations, fanning a small
+  // reader pool across chunks when several need decoding (each task does
+  // its own seek + read + page decode; they share nothing but the cache).
+  WallTimer decode_timer;
+  Status decode_status = Status::OK();
+  if (!tasks.empty()) {
+    std::mutex status_mu;
+    ChunkCache* cache = shared.chunk_cache.get();
+    auto run_task = [&](const DecodeTask& task) {
+      // Boundary pages decoded for one aggregation are worth caching:
+      // repeated range sweeps hit the same chunk edges. The synthesized
+      // per-page key lives under the file's path, so InvalidateFile (file
+      // obsoleted by compaction) drops these entries too.
+      PageCacheHooks hooks;
+      const std::string& path = task.file->path();
+      // NUL separator: no real sensor name can collide with a page key.
+      const std::string key_base = sensor + std::string("\0p", 2);
+      if (cache->enabled()) {
+        hooks.lookup = [&, cache](size_t page) {
+          return cache->GetChunk(path, key_base + std::to_string(page));
+        };
+        hooks.insert = [&, cache](size_t page,
+                                  std::shared_ptr<const CachedChunk> c) {
+          cache->PutChunk(path, key_base + std::to_string(page),
+                          std::move(c));
+        };
+      }
+      Status st = AggregateTsFileChunkF64(
+          path, sensor, *task.locator, t_min, t_max, &partials[task.slot],
+          nullptr, cache->enabled() ? &hooks : nullptr);
+      if (!st.ok() && !st.IsNotFound()) {
+        std::lock_guard<std::mutex> g(status_mu);
+        if (decode_status.ok()) decode_status = st;
+      }
+    };
+    const size_t hw = std::thread::hardware_concurrency();
+    const size_t workers = std::min(
+        {tasks.size(), size_t{4}, hw == 0 ? size_t{1} : hw});
+    if (workers <= 1) {
+      for (const DecodeTask& task : tasks) run_task(task);
+    } else {
+      std::atomic<size_t> next{0};
+      auto drain = [&] {
+        for (size_t i = next.fetch_add(1); i < tasks.size();
+             i = next.fetch_add(1)) {
+          run_task(tasks[i]);
+        }
+      };
+      std::vector<std::thread> pool;
+      pool.reserve(workers - 1);
+      for (size_t w = 0; w + 1 < workers; ++w) pool.emplace_back(drain);
+      drain();
+      for (std::thread& t : pool) t.join();
+    }
+  }
+  ah.decode.Record(static_cast<uint64_t>(decode_timer.ElapsedNanos()));
+  if (!decode_status.ok()) {
+    *stats = TsFileReader::RangeStats{};  // no partial aggregate on error
+    return decode_status;
+  }
+
+  // Stage 4 — merge: combine the per-chunk partials in file order.
+  WallTimer merge_timer;
+  for (const TsFileReader::RangeStats& part : partials) {
+    CombineRangeStats(part, stats);
+  }
+  ah.merge.Record(static_cast<uint64_t>(merge_timer.ElapsedNanos()));
+  if (used_fast_path != nullptr) *used_fast_path = true;
   return Status::OK();
 }
 

@@ -73,6 +73,25 @@ struct QueryPathHistograms {
   }
 };
 
+/// Aggregation-path latency histograms, one per stage of the three-tier
+/// AggregateFast plan (see AggregateStageSnapshots for stage semantics).
+/// Shared by every shard; recording is lock-free.
+struct AggregatePathHistograms {
+  LatencyHistogram plan;
+  LatencyHistogram stats;
+  LatencyHistogram decode;
+  LatencyHistogram merge;
+
+  AggregateStageSnapshots Snapshot() const {
+    AggregateStageSnapshots snap;
+    snap.plan = plan.Snapshot();
+    snap.stats = stats.Snapshot();
+    snap.decode = decode.Snapshot();
+    snap.merge = merge.Snapshot();
+    return snap;
+  }
+};
+
 /// Compaction-path latency histograms, one per stage of a compaction
 /// cycle (see CompactionStageSnapshots for stage semantics). Recording is
 /// lock-free like the other stage histograms.
@@ -125,6 +144,17 @@ struct EngineSharedState {
   std::atomic<uint64_t> queries{0};
   std::atomic<uint64_t> query_files_pruned{0};
   std::atomic<uint64_t> query_files_opened{0};
+
+  /// Lock-free aggregation-stage latency histograms (see
+  /// AggregatePathHistograms).
+  AggregatePathHistograms agg_histograms;
+
+  /// Aggregation counters (relaxed, same contract as above): AggregateFast
+  /// calls, chunks answered from footer statistics alone, and chunks that
+  /// needed a decoding tier.
+  std::atomic<uint64_t> agg_requests{0};
+  std::atomic<uint64_t> agg_stats_hits{0};
+  std::atomic<uint64_t> agg_stats_misses{0};
 
   /// Batched-ingest counters: WriteBatch calls whose points were applied,
   /// and the points they carried (relaxed, same contract as above).

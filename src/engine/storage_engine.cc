@@ -74,6 +74,7 @@ StorageEngine::StorageEngine(EngineOptions options) {
                         EnvCount("BACKSORT_COMPACTION") != 0;
   compaction_config_.data_dir = shared_.options.data_dir;
   compaction_config_.points_per_page = shared_.options.points_per_page;
+  compaction_config_.footer_stats = shared_.options.footer_stats;
   size_t fanin = shared_.options.compaction_max_fanin;
   if (fanin == 0) fanin = EnvCount("BACKSORT_COMPACTION_MAX_FANIN");
   if (fanin == 0) fanin = CompactionConfig::kDefaultMaxFanin;
@@ -341,6 +342,12 @@ EngineMetricsSnapshot StorageEngine::GetMetricsSnapshot() const {
       shared_.query_files_pruned.load(std::memory_order_relaxed);
   snap.query_files_opened =
       shared_.query_files_opened.load(std::memory_order_relaxed);
+  snap.agg_stages = shared_.agg_histograms.Snapshot();
+  snap.agg_requests = shared_.agg_requests.load(std::memory_order_relaxed);
+  snap.agg_stats_hits =
+      shared_.agg_stats_hits.load(std::memory_order_relaxed);
+  snap.agg_stats_misses =
+      shared_.agg_stats_misses.load(std::memory_order_relaxed);
   snap.cache = shared_.chunk_cache->GetStats();
   snap.batch_writes = shared_.batch_writes.load(std::memory_order_relaxed);
   snap.batch_points = shared_.batch_points.load(std::memory_order_relaxed);

@@ -106,14 +106,23 @@ class StorageEngine {
   /// the sensor has no data.
   Status GetLatest(const std::string& sensor, TvPairDouble* out);
 
-  /// Aggregation with page-statistics pushdown (count/sum/min/max/first/
-  /// last over [t_min, t_max]). The fast path skips decoding interior
-  /// pages, but is only sound when no data source can shadow another
-  /// (duplicate timestamps are resolved last-write-wins by Query); it is
-  /// taken only when the sensor's shard has no unsequence files and no
-  /// in-memory points in range, and `used_fast_path` reports the decision.
-  /// Otherwise falls back to the exact Query-based computation — results
-  /// are identical either way.
+  /// Aggregation with statistics pushdown (count/sum/min/max/first/last
+  /// over [t_min, t_max]), planned in three tiers per chunk. Tier 1:
+  /// sequence chunks fully inside the range whose footers carry value
+  /// statistics (BSTF2) answer from metadata alone — no chunk byte is
+  /// read. Tier 2: partially covered (or stat-less BSTF1) chunks run a
+  /// page-level partial aggregation that decodes only boundary pages,
+  /// fanned across a small reader pool when several chunks need it. Both
+  /// tiers are only sound when no data source can shadow another
+  /// (duplicate timestamps are resolved last-write-wins by Query), so any
+  /// in-memory points or overlapping unsequence file in range drops the
+  /// whole call to tier 3 — the exact Query-based computation.
+  /// `used_fast_path` reports true when no tier-3 source existed; results
+  /// are identical either way (sums may differ in floating-point
+  /// rounding, matching per-chunk fold order). An empty range (t_max <
+  /// t_min, or no source overlapping) returns count == 0 without
+  /// scanning. NaN values are excluded from min/max/sum but counted and
+  /// eligible as first/last (docs/DESIGN.md §16).
   Status AggregateFast(const std::string& sensor, Timestamp t_min,
                        Timestamp t_max, TsFileReader::RangeStats* stats,
                        bool* used_fast_path = nullptr);

@@ -4,9 +4,11 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <limits>
+#include <memory>
 
 #include "encoding/bytes.h"
 
@@ -15,6 +17,18 @@ namespace backsort {
 namespace {
 
 constexpr size_t kMagicLen = 5;
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
 
 Status FsyncPath(const std::string& path, int flags, const char* what) {
   const int fd = ::open(path.c_str(), flags);
@@ -126,7 +140,7 @@ Status DecodeChunkSpan(const uint8_t* chunk, size_t size,
 /// chunk lengths can be derived from consecutive offsets.
 Status ParseIndexBlock(const uint8_t* block, size_t size,
                        uint64_t index_offset, uint64_t file_size,
-                       FooterMap* out) {
+                       bool has_stats, FooterMap* out) {
   out->clear();
   ByteReader idx(block, size);
   uint64_t n = 0;
@@ -147,6 +161,17 @@ Status ParseIndexBlock(const uint8_t* block, size_t size,
     RETURN_NOT_OK(idx.GetVarintSigned64(&hi));
     locator.min_t = lo;
     locator.max_t = hi;
+    if (has_stats) {
+      // BSTF2 entries append the chunk's value statistics.
+      uint64_t bits[5];
+      for (uint64_t& b : bits) RETURN_NOT_OK(idx.GetFixed64(&b));
+      locator.min_v = BitsToDouble(bits[0]);
+      locator.max_v = BitsToDouble(bits[1]);
+      locator.sum_v = BitsToDouble(bits[2]);
+      locator.first_v = BitsToDouble(bits[3]);
+      locator.last_v = BitsToDouble(bits[4]);
+      locator.has_stats = true;
+    }
     if (locator.offset >= file_size || locator.offset > index_offset) {
       return Status::Corruption("chunk offset out of bounds");
     }
@@ -177,26 +202,31 @@ namespace {
 template <typename V>
 Status EncodePage(const std::vector<Timestamp>& ts,
                   const std::vector<V>& values, size_t begin, size_t end,
-                  Encoding time_enc, Encoding value_enc, ByteBuffer* out) {
+                  Encoding time_enc, Encoding value_enc, ByteBuffer* out,
+                  ValueStats* chunk_acc = nullptr) {
   const size_t count = end - begin;
   out->PutVarint64(count);
   out->PutVarintSigned64(ts[begin]);
   out->PutVarintSigned64(ts[end - 1]);
-  // Per-page value statistics for aggregation pushdown.
-  double min_v = static_cast<double>(values[begin]);
-  double max_v = min_v;
+  // Per-page value statistics for aggregation pushdown. NaN values are
+  // excluded (an all-NaN page stores min=+inf, max=-inf, sum=0), so the
+  // read path can always fold stored stats without poisoning min/max.
+  // For non-NaN data the bytes match the historical computation exactly.
+  // `chunk_acc`, when given, accumulates the same points in time order
+  // into the chunk-level statistics destined for the footer.
+  double min_v = std::numeric_limits<double>::infinity();
+  double max_v = -std::numeric_limits<double>::infinity();
   double sum_v = 0.0;
   for (size_t i = begin; i < end; ++i) {
     const double v = static_cast<double>(values[i]);
-    min_v = std::min(min_v, v);
-    max_v = std::max(max_v, v);
-    sum_v += v;
+    if (chunk_acc != nullptr) chunk_acc->Fold(v);
+    if (!std::isnan(v)) {
+      min_v = std::min(min_v, v);
+      max_v = std::max(max_v, v);
+      sum_v += v;
+    }
   }
-  auto put_double = [out](double v) {
-    uint64_t bits = 0;
-    std::memcpy(&bits, &v, sizeof(bits));
-    out->PutFixed64(bits);
-  };
+  auto put_double = [out](double v) { out->PutFixed64(DoubleBits(v)); };
   put_double(min_v);
   put_double(max_v);
   put_double(sum_v);
@@ -230,7 +260,8 @@ Status EncodeChunkBody(const std::string& sensor,
                        const std::vector<Timestamp>& ts,
                        const std::vector<V>& values, DataType type,
                        Encoding time_enc, Encoding value_enc,
-                       size_t points_per_page, ByteBuffer* out) {
+                       size_t points_per_page, ByteBuffer* out,
+                       ValueStats* stats_out = nullptr) {
   if (ts.size() != values.size()) {
     return Status::InvalidArgument("time/value size mismatch");
   }
@@ -255,8 +286,8 @@ Status EncodeChunkBody(const std::string& sensor,
   for (size_t p = 0; p < page_count; ++p) {
     const size_t begin = p * points_per_page;
     const size_t end = std::min(begin + points_per_page, ts.size());
-    RETURN_NOT_OK(
-        EncodePage(ts, values, begin, end, time_enc, value_enc, out));
+    RETURN_NOT_OK(EncodePage(ts, values, begin, end, time_enc, value_enc,
+                             out, stats_out));
   }
   return Status::OK();
 }
@@ -275,14 +306,15 @@ Status TsFileWriter::WriteChunkImpl(const std::string& sensor,
     return Status::InvalidArgument("streaming chunk still open");
   }
   ByteBuffer body;
+  ValueStats vstats;
   RETURN_NOT_OK(EncodeChunkBody(sensor, ts, values, type, time_enc,
-                                value_enc, points_per_page, &body));
+                                value_enc, points_per_page, &body, &vstats));
   if (FileOffset() == 0) {
-    buffer_.PutBytes(kMagic, kMagicLen);
+    buffer_.PutBytes(magic(), kMagicLen);
   }
   index_.push_back({sensor, FileOffset(), type, ts.size(),
                     ts.empty() ? Timestamp{0} : ts.front(),
-                    ts.empty() ? Timestamp{-1} : ts.back()});
+                    ts.empty() ? Timestamp{-1} : ts.back(), vstats});
   buffer_.Append(body);
   return MaybeSpill();
 }
@@ -298,8 +330,10 @@ Status TsFileWriter::EncodeChunkF64(const std::string& sensor,
   out->points = ts.size();
   out->min_t = ts.empty() ? Timestamp{0} : ts.front();
   out->max_t = ts.empty() ? Timestamp{-1} : ts.back();
+  out->stats = ValueStats{};
   return EncodeChunkBody(sensor, ts, values, DataType::kDouble, time_enc,
-                         value_enc, points_per_page, &out->body);
+                         value_enc, points_per_page, &out->body,
+                         &out->stats);
 }
 
 Status TsFileWriter::AppendEncodedChunk(const std::string& sensor,
@@ -309,10 +343,10 @@ Status TsFileWriter::AppendEncodedChunk(const std::string& sensor,
     return Status::InvalidArgument("streaming chunk still open");
   }
   if (FileOffset() == 0) {
-    buffer_.PutBytes(kMagic, kMagicLen);
+    buffer_.PutBytes(magic(), kMagicLen);
   }
   index_.push_back({sensor, FileOffset(), chunk.type, chunk.points,
-                    chunk.min_t, chunk.max_t});
+                    chunk.min_t, chunk.max_t, chunk.stats});
   buffer_.Append(chunk.body);
   return MaybeSpill();
 }
@@ -366,7 +400,7 @@ Status TsFileWriter::BeginChunkF64(const std::string& sensor,
     return Status::InvalidArgument("streaming chunk still open");
   }
   if (FileOffset() == 0) {
-    buffer_.PutBytes(kMagic, kMagicLen);
+    buffer_.PutBytes(magic(), kMagicLen);
   }
   chunk_offset_ = FileOffset();
   buffer_.PutLengthPrefixedString(sensor);
@@ -383,6 +417,7 @@ Status TsFileWriter::BeginChunkF64(const std::string& sensor,
   chunk_points_ = 0;
   chunk_min_t_ = 0;
   chunk_max_t_ = -1;
+  chunk_stats_ = ValueStats{};
   return Status::OK();
 }
 
@@ -402,7 +437,7 @@ Status TsFileWriter::AppendPageF64(const std::vector<Timestamp>& ts,
     return Status::InvalidArgument("pages must be appended in time order");
   }
   RETURN_NOT_OK(EncodePage(ts, values, 0, ts.size(), chunk_time_enc_,
-                           chunk_value_enc_, &buffer_));
+                           chunk_value_enc_, &buffer_, &chunk_stats_));
   if (chunk_points_ == 0) chunk_min_t_ = ts.front();
   chunk_max_t_ = ts.back();
   chunk_points_ += ts.size();
@@ -418,7 +453,8 @@ Status TsFileWriter::EndChunk() {
   index_.push_back({chunk_sensor_, chunk_offset_, DataType::kDouble,
                     chunk_points_, chunk_points_ == 0 ? Timestamp{0}
                                                       : chunk_min_t_,
-                    chunk_points_ == 0 ? Timestamp{-1} : chunk_max_t_});
+                    chunk_points_ == 0 ? Timestamp{-1} : chunk_max_t_,
+                    chunk_stats_});
   chunk_open_ = false;
   return Status::OK();
 }
@@ -429,7 +465,7 @@ Status TsFileWriter::Finish() {
     return Status::InvalidArgument("streaming chunk still open");
   }
   if (FileOffset() == 0) {
-    buffer_.PutBytes(kMagic, kMagicLen);
+    buffer_.PutBytes(magic(), kMagicLen);
   }
   const uint64_t index_offset = FileOffset();
   buffer_.PutVarint64(index_.size());
@@ -440,9 +476,16 @@ Status TsFileWriter::Finish() {
     buffer_.PutVarint64(e.points);
     buffer_.PutVarintSigned64(e.min_t);
     buffer_.PutVarintSigned64(e.max_t);
+    if (footer_stats_) {
+      buffer_.PutFixed64(DoubleBits(e.stats.min_v));
+      buffer_.PutFixed64(DoubleBits(e.stats.max_v));
+      buffer_.PutFixed64(DoubleBits(e.stats.sum_v));
+      buffer_.PutFixed64(DoubleBits(e.stats.first_v));
+      buffer_.PutFixed64(DoubleBits(e.stats.last_v));
+    }
   }
   buffer_.PutFixed64(index_offset);
-  buffer_.PutBytes(kMagic, kMagicLen);
+  buffer_.PutBytes(magic(), kMagicLen);
 
   locators_.clear();
   for (size_t i = 0; i < index_.size(); ++i) {
@@ -456,6 +499,14 @@ Status TsFileWriter::Finish() {
     locator.min_t = e.min_t;
     locator.max_t = e.max_t;
     locator.raw_type = static_cast<uint8_t>(e.type);
+    if (footer_stats_) {
+      locator.has_stats = true;
+      locator.min_v = e.stats.min_v;
+      locator.max_v = e.stats.max_v;
+      locator.sum_v = e.stats.sum_v;
+      locator.first_v = e.stats.first_v;
+      locator.last_v = e.stats.last_v;
+    }
     locators_[e.sensor] = locator;
   }
 
@@ -478,15 +529,23 @@ Status TsFileReader::Open() {
   in.read(reinterpret_cast<char*>(data_.data()), size);
   if (!in) return Status::IOError("read failed: " + path_);
 
-  // Validate head magic + tail magic, locate the index.
+  // Validate head magic + tail magic, locate the index. Both format
+  // versions open here: BSTF2 footers carry chunk value statistics,
+  // BSTF1 (stat-less legacy files) parse with has_stats left false.
   if (data_.size() < 2 * kMagicLen + 8) {
     return Status::Corruption("file too small for header/footer");
   }
-  if (std::memcmp(data_.data(), TsFileWriter::kMagic, kMagicLen) != 0) {
+  bool has_stats = false;
+  if (std::memcmp(data_.data(), TsFileWriter::kMagicV2, kMagicLen) == 0) {
+    has_stats = true;
+  } else if (std::memcmp(data_.data(), TsFileWriter::kMagic, kMagicLen) !=
+             0) {
     return Status::Corruption("bad head magic");
   }
-  if (std::memcmp(data_.data() + data_.size() - kMagicLen,
-                  TsFileWriter::kMagic, kMagicLen) != 0) {
+  const char* magic =
+      has_stats ? TsFileWriter::kMagicV2 : TsFileWriter::kMagic;
+  if (std::memcmp(data_.data() + data_.size() - kMagicLen, magic,
+                  kMagicLen) != 0) {
     return Status::Corruption("bad tail magic (truncated file?)");
   }
   ByteReader footer(data_.data() + data_.size() - kMagicLen - 8, 8);
@@ -501,7 +560,7 @@ Status TsFileReader::Open() {
   }
   return ParseIndexBlock(data_.data() + index_offset,
                          data_.size() - index_offset - kMagicLen - 8,
-                         index_offset, data_.size(), &locators_);
+                         index_offset, data_.size(), has_stats, &locators_);
 }
 
 std::vector<std::string> TsFileReader::Sensors() const {
@@ -558,25 +617,34 @@ Status TsFileReader::QueryRangeF64(const std::string& sensor, Timestamp t_min,
   return ReadChunkImpl(sensor, DataType::kDouble, t_min, t_max, ts, values);
 }
 
-Status TsFileReader::AggregateRangeF64(const std::string& sensor,
-                                       Timestamp t_min, Timestamp t_max,
-                                       RangeStats* stats,
-                                       size_t* pages_skipped) const {
-  *stats = RangeStats{};
-  if (pages_skipped != nullptr) *pages_skipped = 0;
-  auto it = locators_.find(sensor);
-  if (it == locators_.end()) return Status::NotFound("sensor: " + sensor);
-  if (static_cast<DataType>(it->second.raw_type) != DataType::kDouble) {
-    return Status::InvalidArgument("data type mismatch for " + sensor);
-  }
-  const uint64_t offset = it->second.offset;
-  ByteReader r(data_.data() + offset, data_.size() - offset);
+namespace {
+
+/// Aggregates one chunk byte span over [t_min, t_max] with page-statistics
+/// pushdown — the single fold both TsFileReader::AggregateRangeF64 and the
+/// standalone AggregateTsFileChunkF64 run, so the slurping and the seeking
+/// paths agree bit for bit. NaN semantics: NaN values are excluded from
+/// min/max/sum, counted in count, kept raw in first/last; a page whose
+/// stored stats are themselves NaN (hand-crafted v1 files) is decoded
+/// instead of trusted.
+Status AggregateChunkSpanF64(const uint8_t* chunk, size_t size,
+                             const std::string& sensor, Timestamp t_min,
+                             Timestamp t_max,
+                             TsFileReader::RangeStats* stats,
+                             size_t* pages_skipped,
+                             const PageCacheHooks* hooks) {
+  ByteReader r(chunk, size);
   std::string stored_sensor;
   RETURN_NOT_OK(r.GetLengthPrefixedString(&stored_sensor));
+  if (stored_sensor != sensor) {
+    return Status::Corruption("chunk header sensor mismatch");
+  }
   uint8_t type = 0, time_enc = 0, value_enc = 0;
   RETURN_NOT_OK(r.GetU8(&type));
   RETURN_NOT_OK(r.GetU8(&time_enc));
   RETURN_NOT_OK(r.GetU8(&value_enc));
+  if (static_cast<DataType>(type) != DataType::kDouble) {
+    return Status::InvalidArgument("data type mismatch for " + sensor);
+  }
   uint64_t page_count = 0;
   RETURN_NOT_OK(r.GetVarint64(&page_count));
 
@@ -586,7 +654,7 @@ Status TsFileReader::AggregateRangeF64(const std::string& sensor,
     uint64_t count;
     Timestamp min_t, max_t;
     double min_v, max_v, sum_v;
-    size_t time_buf_pos;  // absolute offset in data_
+    size_t time_buf_pos;  // offset within the chunk span
     uint64_t time_size;
     size_t value_buf_pos;
     uint64_t value_size;
@@ -605,14 +673,14 @@ Status TsFileReader::AggregateRangeF64(const std::string& sensor,
     m.max_t = hi;
     uint64_t bits[3];
     for (uint64_t& b : bits) RETURN_NOT_OK(r.GetFixed64(&b));
-    std::memcpy(&m.min_v, &bits[0], 8);
-    std::memcpy(&m.max_v, &bits[1], 8);
-    std::memcpy(&m.sum_v, &bits[2], 8);
+    m.min_v = BitsToDouble(bits[0]);
+    m.max_v = BitsToDouble(bits[1]);
+    m.sum_v = BitsToDouble(bits[2]);
     RETURN_NOT_OK(r.GetVarint64(&m.time_size));
-    m.time_buf_pos = static_cast<size_t>(offset) + r.position();
+    m.time_buf_pos = r.position();
     RETURN_NOT_OK(r.Skip(m.time_size));
     RETURN_NOT_OK(r.GetVarint64(&m.value_size));
-    m.value_buf_pos = static_cast<size_t>(offset) + r.position();
+    m.value_buf_pos = r.position();
     RETURN_NOT_OK(r.Skip(m.value_size));
     m.contributes = !(m.max_t < t_min || m.min_t > t_max);
     m.fully_inside = m.min_t >= t_min && m.max_t <= t_max;
@@ -630,17 +698,24 @@ Status TsFileReader::AggregateRangeF64(const std::string& sensor,
     }
   }
   bool have_any = false;
-  auto fold_point = [&](Timestamp t, double v) {
+  auto begin_fold = [&] {
     if (!have_any) {
-      stats->min = v;
-      stats->max = v;
-      stats->first = v;
-      stats->first_time = t;
+      stats->min = std::numeric_limits<double>::infinity();
+      stats->max = -std::numeric_limits<double>::infinity();
       have_any = true;
     }
-    stats->min = std::min(stats->min, v);
-    stats->max = std::max(stats->max, v);
-    stats->sum += v;
+  };
+  auto fold_point = [&](Timestamp t, double v) {
+    if (!have_any) {
+      begin_fold();
+      stats->first = v;
+      stats->first_time = t;
+    }
+    if (!std::isnan(v)) {
+      stats->min = std::min(stats->min, v);
+      stats->max = std::max(stats->max, v);
+      stats->sum += v;
+    }
     ++stats->count;
     stats->last = v;
     stats->last_time = t;
@@ -650,15 +725,14 @@ Status TsFileReader::AggregateRangeF64(const std::string& sensor,
   for (size_t p = 0; p < pages.size(); ++p) {
     const PageMeta& m = pages[p];
     if (!m.contributes) continue;
+    const bool stats_poisoned = std::isnan(m.min_v) ||
+                                std::isnan(m.max_v) || std::isnan(m.sum_v);
     const bool must_decode = !m.fully_inside ||
                              static_cast<ptrdiff_t>(p) == first_idx ||
-                             static_cast<ptrdiff_t>(p) == last_idx;
+                             static_cast<ptrdiff_t>(p) == last_idx ||
+                             stats_poisoned;
     if (!must_decode) {
-      if (!have_any) {
-        stats->min = m.min_v;
-        stats->max = m.max_v;
-        have_any = true;
-      }
+      begin_fold();
       stats->min = std::min(stats->min, m.min_v);
       stats->max = std::max(stats->max, m.max_v);
       stats->sum += m.sum_v;
@@ -666,19 +740,105 @@ Status TsFileReader::AggregateRangeF64(const std::string& sensor,
       if (pages_skipped != nullptr) ++(*pages_skipped);
       continue;
     }
-    ByteReader time_reader(data_.data() + m.time_buf_pos, m.time_size);
-    RETURN_NOT_OK(DecodeI64(static_cast<Encoding>(time_enc), &time_reader,
-                            m.count, &page_ts));
-    ByteReader value_reader(data_.data() + m.value_buf_pos, m.value_size);
-    RETURN_NOT_OK(DecodeF64(static_cast<Encoding>(value_enc), &value_reader,
-                            m.count, &page_vals));
-    for (size_t i = 0; i < page_ts.size(); ++i) {
-      if (page_ts[i] >= t_min && page_ts[i] <= t_max) {
-        fold_point(page_ts[i], page_vals[i]);
+    // Boundary/partial page: batch-decode the whole page (through the
+    // page cache when the caller wired one) and filter.
+    std::shared_ptr<const CachedChunk> cached;
+    if (hooks != nullptr && hooks->lookup) cached = hooks->lookup(p);
+    const std::vector<Timestamp>* pts = nullptr;
+    const std::vector<double>* pvs = nullptr;
+    if (cached != nullptr) {
+      pts = &cached->ts;
+      pvs = &cached->values;
+    } else {
+      ByteReader time_reader(chunk + m.time_buf_pos, m.time_size);
+      RETURN_NOT_OK(DecodeI64(static_cast<Encoding>(time_enc), &time_reader,
+                              m.count, &page_ts));
+      ByteReader value_reader(chunk + m.value_buf_pos, m.value_size);
+      RETURN_NOT_OK(DecodeF64(static_cast<Encoding>(value_enc),
+                              &value_reader, m.count, &page_vals));
+      if (hooks != nullptr && hooks->insert) {
+        auto page = std::make_shared<CachedChunk>();
+        page->ts = page_ts;
+        page->values = page_vals;
+        hooks->insert(p, std::move(page));
+      }
+      pts = &page_ts;
+      pvs = &page_vals;
+    }
+    for (size_t i = 0; i < pts->size(); ++i) {
+      if ((*pts)[i] >= t_min && (*pts)[i] <= t_max) {
+        fold_point((*pts)[i], (*pvs)[i]);
       }
     }
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status TsFileReader::AggregateRangeF64(const std::string& sensor,
+                                       Timestamp t_min, Timestamp t_max,
+                                       RangeStats* stats,
+                                       size_t* pages_skipped) const {
+  *stats = RangeStats{};
+  if (pages_skipped != nullptr) *pages_skipped = 0;
+  auto it = locators_.find(sensor);
+  if (it == locators_.end()) return Status::NotFound("sensor: " + sensor);
+  if (static_cast<DataType>(it->second.raw_type) != DataType::kDouble) {
+    return Status::InvalidArgument("data type mismatch for " + sensor);
+  }
+  const ChunkLocator& locator = it->second;
+  return AggregateChunkSpanF64(data_.data() + locator.offset, locator.length,
+                               sensor, t_min, t_max, stats, pages_skipped,
+                               nullptr);
+}
+
+Status AggregateTsFileChunkF64(const std::string& path,
+                               const std::string& sensor,
+                               const ChunkLocator& locator, Timestamp t_min,
+                               Timestamp t_max,
+                               TsFileReader::RangeStats* stats,
+                               size_t* pages_skipped,
+                               const PageCacheHooks* hooks) {
+  *stats = TsFileReader::RangeStats{};
+  if (pages_skipped != nullptr) *pages_skipped = 0;
+  if (static_cast<DataType>(locator.raw_type) != DataType::kDouble) {
+    return Status::InvalidArgument("data type mismatch for " + sensor);
+  }
+  if (locator.points == 0 || locator.max_t < t_min ||
+      locator.min_t > t_max) {
+    return Status::OK();  // nothing in range; avoid the read entirely
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::vector<uint8_t> chunk(static_cast<size_t>(locator.length));
+  in.seekg(static_cast<std::streamoff>(locator.offset));
+  in.read(reinterpret_cast<char*>(chunk.data()),
+          static_cast<std::streamsize>(chunk.size()));
+  if (!in) return Status::IOError("read failed: " + path);
+  return AggregateChunkSpanF64(chunk.data(), chunk.size(), sensor, t_min,
+                               t_max, stats, pages_skipped, hooks);
+}
+
+void CombineRangeStats(const TsFileReader::RangeStats& part,
+                       TsFileReader::RangeStats* into) {
+  if (part.count == 0) return;
+  if (into->count == 0) {
+    *into = part;
+    return;
+  }
+  into->min = std::min(into->min, part.min);
+  into->max = std::max(into->max, part.max);
+  into->sum += part.sum;
+  into->count += part.count;
+  if (part.first_time < into->first_time) {
+    into->first_time = part.first_time;
+    into->first = part.first;
+  }
+  if (part.last_time > into->last_time) {
+    into->last_time = part.last_time;
+    into->last = part.last;
+  }
 }
 
 // --- streaming run cursor ---------------------------------------------------
@@ -879,12 +1039,17 @@ Status ReadTsFileFooter(const std::string& path, FooterMap* out) {
     return Status::Corruption("file too small for header/footer");
   }
 
-  // Tail = fixed64 index offset + magic.
+  // Tail = fixed64 index offset + magic. The tail magic names the format
+  // version (this is a tail-only read, so the head magic is never seen):
+  // BSTF2 index entries carry value statistics, BSTF1 entries do not.
   uint8_t tail[8 + kMagicLen];
   in.seekg(static_cast<std::streamoff>(file_size - sizeof(tail)));
   in.read(reinterpret_cast<char*>(tail), sizeof(tail));
   if (!in) return Status::IOError("read failed: " + path);
-  if (std::memcmp(tail + 8, TsFileWriter::kMagic, kMagicLen) != 0) {
+  bool has_stats = false;
+  if (std::memcmp(tail + 8, TsFileWriter::kMagicV2, kMagicLen) == 0) {
+    has_stats = true;
+  } else if (std::memcmp(tail + 8, TsFileWriter::kMagic, kMagicLen) != 0) {
     return Status::Corruption("bad tail magic (truncated file?)");
   }
   ByteReader tail_reader(tail, 8);
@@ -902,7 +1067,7 @@ Status ReadTsFileFooter(const std::string& path, FooterMap* out) {
           static_cast<std::streamsize>(block_size));
   if (!in) return Status::IOError("read failed: " + path);
   return ParseIndexBlock(block.data(), block.size(), index_offset, file_size,
-                         out);
+                         has_stats, out);
 }
 
 Status ReadTsFileChunkF64(const std::string& path, const std::string& sensor,

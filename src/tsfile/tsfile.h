@@ -1,12 +1,17 @@
 #ifndef BACKSORT_TSFILE_TSFILE_H_
 #define BACKSORT_TSFILE_TSFILE_H_
 
+#include <cmath>
 #include <cstdint>
 #include <fstream>
+#include <functional>
+#include <limits>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/chunk_cache.h"
 #include "common/chunk_locator.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -21,22 +26,58 @@ enum class DataType : uint8_t {
   kDouble = 1,
 };
 
+/// Running value statistics over one chunk, folded point by point in time
+/// order during encode. NaN values are excluded from min/max/sum but still
+/// counted by the caller's point count; first/last keep the raw values.
+/// Folding left to right matters: `sum` then equals what a sequential
+/// decode of the chunk would compute, so metadata-only aggregation agrees
+/// with the decode path on single-chunk ranges.
+struct ValueStats {
+  double min_v = std::numeric_limits<double>::infinity();
+  double max_v = -std::numeric_limits<double>::infinity();
+  double sum_v = 0.0;
+  double first_v = 0.0;
+  double last_v = 0.0;
+  bool any = false;  // first_v/last_v valid
+
+  void Fold(double v) {
+    if (!any) {
+      first_v = v;
+      any = true;
+    }
+    last_v = v;
+    if (!std::isnan(v)) {
+      min_v = std::min(min_v, v);
+      max_v = std::max(max_v, v);
+      sum_v += v;
+    }
+  }
+};
+
 /// A simplified TsFile: the columnar, chunk-per-sensor file IoTDB flushes
 /// memtables into.
 ///
-/// Layout:
-///   [magic "BSTF1"]
+/// Layout (format v2, magic "BSTF2"):
+///   [magic "BSTF2"]
 ///   [chunk 0][chunk 1]...
 ///   [index block: per chunk {sensor, offset, data type,
-///                            point count, min_time, max_time}]
+///                            point count, min_time, max_time,
+///                            min_v, max_v, sum_v, first_v, last_v}]
 ///   [index offset : fixed64]
-///   [magic "BSTF1"]
+///   [magic "BSTF2"]
 ///
-/// The index block carries each chunk's point count and [min_time,
-/// max_time], so the engine prunes whole files against a query range from
-/// the footer alone — without decoding (or even mapping) any chunk — and
-/// rebuilds its pruning metadata on recovery with a tail-only read
-/// (ReadTsFileFooter).
+/// Format v1 ("BSTF1") is identical except the index entries stop after
+/// max_time. The reader accepts both: v1 locators come back with
+/// `has_stats == false` and aggregation falls back to decoding those
+/// chunks, so stat-less seed-era files stay readable. The writer emits v2
+/// unless `set_footer_stats(false)` — which reproduces v1 bit for bit.
+///
+/// The index block carries each chunk's point count, [min_time, max_time]
+/// and (v2) value statistics, so the engine prunes whole files against a
+/// query range — and answers aggregations over fully covered, unshadowed
+/// chunks — from the footer alone, without decoding (or even mapping) any
+/// chunk, and rebuilds its pruning metadata on recovery with a tail-only
+/// read (ReadTsFileFooter).
 ///
 /// Chunk layout:
 ///   sensor name (length-prefixed), data type (u8),
@@ -53,6 +94,7 @@ enum class DataType : uint8_t {
 class TsFileWriter {
  public:
   static constexpr const char kMagic[] = "BSTF1";
+  static constexpr const char kMagicV2[] = "BSTF2";
   static constexpr size_t kDefaultPointsPerPage = 1024;
 
   explicit TsFileWriter(std::string path) : path_(std::move(path)) {}
@@ -86,6 +128,7 @@ class TsFileWriter {
     size_t points = 0;
     Timestamp min_t = 0;
     Timestamp max_t = -1;  // empty-chunk sentinel, as WriteChunkF64 records
+    ValueStats stats;      // folded in time order during encode
   };
 
   /// Encodes one F64 chunk body into `out` without touching any writer.
@@ -120,6 +163,13 @@ class TsFileWriter {
 
   Status EndChunk();
 
+  /// Selects the footer format: true (default) writes BSTF2 with per-chunk
+  /// value statistics; false writes the stat-less BSTF1 format, bit for
+  /// bit what the pre-statistics writer produced (the `--no-footer-stats`
+  /// escape hatch and the legacy-format tests). Must be set before the
+  /// first chunk is written — the head magic commits the version.
+  void set_footer_stats(bool enabled) { footer_stats_ = enabled; }
+
   /// Bounds the in-memory build buffer: once it exceeds `bytes`, buffered
   /// content is appended to the file on disk and the buffer reset
   /// (Finish still produces the complete file — same bytes either way).
@@ -147,7 +197,11 @@ class TsFileWriter {
     uint64_t points;
     Timestamp min_t;
     Timestamp max_t;
+    ValueStats stats;
   };
+
+  /// Head/tail magic for the configured format version.
+  const char* magic() const { return footer_stats_ ? kMagicV2 : kMagic; }
 
   template <typename V>
   Status WriteChunkImpl(const std::string& sensor,
@@ -172,6 +226,7 @@ class TsFileWriter {
   std::vector<IndexEntry> index_;
   FooterMap locators_;  // built by Finish()
   bool finished_ = false;
+  bool footer_stats_ = true;  // false = legacy BSTF1 footer
 
   size_t spill_threshold_ = 0;  // 0 = never spill before Finish
   uint64_t spilled_bytes_ = 0;
@@ -188,6 +243,7 @@ class TsFileWriter {
   uint64_t chunk_points_ = 0;
   Timestamp chunk_min_t_ = 0;
   Timestamp chunk_max_t_ = -1;  // empty-chunk sentinel
+  ValueStats chunk_stats_;
 };
 
 /// Read side. The file is slurped into memory on Open (flush files in this
@@ -217,6 +273,10 @@ class TsFileReader {
   /// t_max] contribute their stored count/sum/min/max without being
   /// decoded; boundary pages are decoded and filtered. `pages_skipped`
   /// (optional) reports how many pages were served from statistics.
+  ///
+  /// NaN semantics (documented contract, pinned by tests): NaN values are
+  /// excluded from min/max/sum but included in count and first/last. A
+  /// range whose matches are all NaN reports min=+inf, max=-inf, sum=0.
   struct RangeStats {
     size_t count = 0;
     double sum = 0.0;
@@ -318,6 +378,42 @@ Status ReadTsFileChunkF64(const std::string& path, const std::string& sensor,
                           const ChunkLocator& locator,
                           std::vector<Timestamp>* ts,
                           std::vector<double>* values);
+
+/// Optional per-page decoded-column cache for AggregateTsFileChunkF64.
+/// `lookup` returns the decoded columns of page `index` within the chunk
+/// (nullptr on miss); `insert` receives each freshly decoded page so
+/// repeated boundary-page aggregations skip decode. One cache entry = one
+/// decoded page; the engine wires these to the shared ChunkCache under a
+/// synthesized per-page key so InvalidateFile still drops them.
+struct PageCacheHooks {
+  std::function<std::shared_ptr<const CachedChunk>(size_t page_index)> lookup;
+  std::function<void(size_t page_index,
+                     std::shared_ptr<const CachedChunk>)> insert;
+};
+
+/// Aggregates one sensor chunk over [t_min, t_max] with a seek + one
+/// `locator.length`-byte read — never slurping the file. Pages fully
+/// inside the range fold from their stored statistics; boundary pages are
+/// batch-decoded (through `hooks`, when provided) and filtered. This is
+/// the engine's tier-2 plan for chunks the footer statistics alone cannot
+/// answer (partial range overlap). Same NaN semantics and reset-on-entry
+/// behavior as TsFileReader::AggregateRangeF64; count == 0 means nothing
+/// matched. Partials from several chunks combine with CombineRangeStats.
+Status AggregateTsFileChunkF64(const std::string& path,
+                               const std::string& sensor,
+                               const ChunkLocator& locator, Timestamp t_min,
+                               Timestamp t_max,
+                               TsFileReader::RangeStats* stats,
+                               size_t* pages_skipped = nullptr,
+                               const PageCacheHooks* hooks = nullptr);
+
+/// Merges the partial aggregate `part` into `*into`. Partials must come
+/// from duplicate-free sources (the engine guarantees sequence chunks are
+/// mutually disjoint per sensor): counts and sums add, min/max combine,
+/// first/last resolve by timestamp. A partial with count == 0 is a no-op;
+/// so is merging into an empty `*into` except that `part` is copied in.
+void CombineRangeStats(const TsFileReader::RangeStats& part,
+                       TsFileReader::RangeStats* into);
 
 /// ::fsync an existing file's contents to the storage device. TsFileWriter
 /// (ofstream-backed) only flushes to the OS cache; paths that delete

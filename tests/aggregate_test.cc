@@ -1,3 +1,4 @@
+#include <cmath>
 #include <filesystem>
 #include <vector>
 
@@ -223,6 +224,121 @@ TEST_F(AggregateTest, FastPathRefusedWithInMemoryPoints) {
   ASSERT_TRUE(engine_->AggregateFast("s", 0, 999, &stats, &used_fast).ok());
   EXPECT_FALSE(used_fast);
   EXPECT_EQ(stats.count, 1'000u);
+}
+
+TEST_F(AggregateTest, EmptyAndOutOfRangeAggregatesAreZeroWithoutScanning) {
+  for (int i = 100; i < 200; ++i) {
+    ASSERT_TRUE(engine_->Write("s", i, 1.0 * i).ok());
+  }
+  ASSERT_TRUE(engine_->FlushAll().ok());
+
+  // Degenerate range (t_max < t_min): well-defined zero-count answer.
+  TsFileReader::RangeStats stats;
+  stats.count = 123;  // sentinel: must be reset
+  bool used_fast = false;
+  ASSERT_TRUE(engine_->AggregateFast("s", 50, 10, &stats, &used_fast).ok());
+  EXPECT_TRUE(used_fast);
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_DOUBLE_EQ(stats.sum, 0.0);
+
+  // Range entirely before the first point: every file is pruned, nothing
+  // is scanned, count == 0.
+  stats.count = 123;
+  ASSERT_TRUE(engine_->AggregateFast("s", 0, 99, &stats, &used_fast).ok());
+  EXPECT_TRUE(used_fast);
+  EXPECT_EQ(stats.count, 0u);
+
+  // Range entirely after the last point: same contract.
+  stats.count = 123;
+  ASSERT_TRUE(
+      engine_->AggregateFast("s", 200, 1'000, &stats, &used_fast).ok());
+  EXPECT_TRUE(used_fast);
+  EXPECT_EQ(stats.count, 0u);
+
+  // Unknown sensor: zero-count success, not an error.
+  stats.count = 123;
+  ASSERT_TRUE(
+      engine_->AggregateFast("nosuch", 0, 1'000, &stats, &used_fast).ok());
+  EXPECT_EQ(stats.count, 0u);
+}
+
+TEST_F(AggregateTest, SinglePointRange) {
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(engine_->Write("s", i, 3.0 * i).ok());
+  }
+  ASSERT_TRUE(engine_->FlushAll().ok());
+  // [42, 42] covers exactly one point: all statistics collapse onto it.
+  TsFileReader::RangeStats stats;
+  bool used_fast = false;
+  ASSERT_TRUE(engine_->AggregateFast("s", 42, 42, &stats, &used_fast).ok());
+  EXPECT_TRUE(used_fast);
+  EXPECT_EQ(stats.count, 1u);
+  EXPECT_DOUBLE_EQ(stats.min, 126.0);
+  EXPECT_DOUBLE_EQ(stats.max, 126.0);
+  EXPECT_DOUBLE_EQ(stats.sum, 126.0);
+  EXPECT_DOUBLE_EQ(stats.first, 126.0);
+  EXPECT_DOUBLE_EQ(stats.last, 126.0);
+  EXPECT_EQ(stats.first_time, 42);
+  EXPECT_EQ(stats.last_time, 42);
+}
+
+TEST_F(AggregateTest, NaNExcludedFromMinMaxSumButCounted) {
+  // The documented NaN contract (DESIGN.md §16): NaN is counted and
+  // eligible as first/last, but never contributes to min/max/sum — on
+  // every tier, so the statistics plan and the decode fallback agree.
+  const double nan = std::nan("");
+  ASSERT_TRUE(engine_->Write("s", 0, nan).ok());
+  ASSERT_TRUE(engine_->Write("s", 1, 5.0).ok());
+  ASSERT_TRUE(engine_->Write("s", 2, 3.0).ok());
+  ASSERT_TRUE(engine_->Write("s", 3, nan).ok());
+  ASSERT_TRUE(engine_->FlushAll().ok());
+
+  TsFileReader::RangeStats stats;
+  bool used_fast = false;
+  // Full coverage: answered from footer statistics (tier 1).
+  ASSERT_TRUE(engine_->AggregateFast("s", 0, 10, &stats, &used_fast).ok());
+  EXPECT_TRUE(used_fast);
+  EXPECT_EQ(stats.count, 4u);
+  EXPECT_DOUBLE_EQ(stats.min, 3.0);
+  EXPECT_DOUBLE_EQ(stats.max, 5.0);
+  EXPECT_DOUBLE_EQ(stats.sum, 8.0);
+  EXPECT_TRUE(std::isnan(stats.first)) << "first is the raw value";
+  EXPECT_TRUE(std::isnan(stats.last));
+
+  // Partial coverage: the page-decode tier applies the same contract.
+  ASSERT_TRUE(engine_->AggregateFast("s", 1, 3, &stats, &used_fast).ok());
+  EXPECT_TRUE(used_fast);
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_DOUBLE_EQ(stats.min, 3.0);
+  EXPECT_DOUBLE_EQ(stats.max, 5.0);
+  EXPECT_DOUBLE_EQ(stats.sum, 8.0);
+  EXPECT_DOUBLE_EQ(stats.first, 5.0);
+  EXPECT_TRUE(std::isnan(stats.last));
+
+  // AggregateRange (the Query-based operator) agrees too.
+  AggregateResult r;
+  ASSERT_TRUE(AggregateRange(*engine_, "s", 0, 10, &r).ok());
+  EXPECT_EQ(r.count, 4u);
+  EXPECT_DOUBLE_EQ(r.min, 3.0);
+  EXPECT_DOUBLE_EQ(r.max, 5.0);
+  EXPECT_DOUBLE_EQ(r.sum, 8.0);
+  EXPECT_DOUBLE_EQ(r.mean, 4.0);  // mean over the non-NaN values
+}
+
+TEST_F(AggregateTest, AllNaNRangeReportsInfinitySentinels) {
+  const double nan = std::nan("");
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(engine_->Write("s", i, nan).ok());
+  }
+  ASSERT_TRUE(engine_->FlushAll().ok());
+  TsFileReader::RangeStats stats;
+  bool used_fast = false;
+  ASSERT_TRUE(engine_->AggregateFast("s", 0, 10, &stats, &used_fast).ok());
+  EXPECT_TRUE(used_fast);
+  EXPECT_EQ(stats.count, 5u);
+  EXPECT_TRUE(std::isinf(stats.min) && stats.min > 0) << "all-NaN min";
+  EXPECT_TRUE(std::isinf(stats.max) && stats.max < 0) << "all-NaN max";
+  EXPECT_DOUBLE_EQ(stats.sum, 0.0);
 }
 
 TEST_F(AggregateTest, DisorderedMeanMatchesOrderedGroundTruth) {

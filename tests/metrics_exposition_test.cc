@@ -211,6 +211,17 @@ class MetricsExpositionTest : public ::testing::Test {
     ASSERT_GT(engine.sealed_file_count(), 1u);
     ASSERT_TRUE(engine.Compact().ok());
     ASSERT_EQ(engine.sealed_file_count(), 1u);
+    // The compacted layout is one totally ordered sequence file, so a
+    // full-range aggregate now answers from footer statistics alone —
+    // the exposition must show at least one tier-1 hit.
+    {
+      TsFileReader::RangeStats stats;
+      bool used_fast = false;
+      ASSERT_TRUE(
+          engine.AggregateFast("s0", 0, 2000, &stats, &used_fast).ok());
+      ASSERT_TRUE(used_fast);
+      ASSERT_GT(stats.count, 0u);
+    }
     snapshot_ = new EngineMetricsSnapshot(engine.GetMetricsSnapshot());
   }
 
@@ -244,6 +255,10 @@ TEST_F(MetricsExpositionTest, GoldenFamilySet) {
   const std::map<std::string, std::string> expected = {
       {"backsort_stage_duration_seconds", "summary"},
       {"backsort_query_stage_duration_seconds", "summary"},
+      {"backsort_agg_stage_duration_seconds", "summary"},
+      {"backsort_agg_requests_total", "counter"},
+      {"backsort_agg_stats_hits_total", "counter"},
+      {"backsort_agg_stats_misses_total", "counter"},
       {"backsort_compaction_stage_duration_seconds", "summary"},
       {"backsort_engine_compaction_jobs_total", "counter"},
       {"backsort_engine_compaction_failures_total", "counter"},
@@ -365,6 +380,41 @@ TEST_F(MetricsExpositionTest, QueryStagesAndCacheCountersCarryData) {
   EXPECT_GT(SampleValue(e, "backsort_chunk_cache_hits_total", ""), 0.0);
   EXPECT_GT(SampleValue(e, "backsort_chunk_cache_capacity_bytes", ""), 0.0);
   EXPECT_GT(SampleValue(e, "backsort_chunk_cache_entries", ""), 0.0);
+}
+
+TEST_F(MetricsExpositionTest, AggregationStagesAndCountersCarryData) {
+  Exposition e;
+  ParseExposition(Render(/*include_traces=*/false), &e);
+  // 2 query passes × 4 sensors plus the post-compaction tier-1 probe.
+  const double requests = SampleValue(e, "backsort_agg_requests_total", "");
+  EXPECT_EQ(requests, 9.0);
+  EXPECT_EQ(requests, static_cast<double>(snapshot().agg_requests));
+  // The mildly disordered fixture shadows the pre-compaction aggregates
+  // (tier-3 misses); the post-compaction probe answers from footer
+  // statistics (tier-1 hit). Both sides of the plan must show up.
+  EXPECT_GT(SampleValue(e, "backsort_agg_stats_hits_total", ""), 0.0);
+  EXPECT_GT(SampleValue(e, "backsort_agg_stats_misses_total", ""), 0.0);
+  for (const char* stage : {"plan", "decode", "merge"}) {
+    for (const char* q : {"0.5", "0.99"}) {
+      const std::string labels =
+          std::string("stage=\"") + stage + "\",quantile=\"" + q + "\"";
+      const double v =
+          SampleValue(e, "backsort_agg_stage_duration_seconds", labels);
+      EXPECT_FALSE(std::isnan(v)) << stage << " p" << q << " missing/NaN";
+      EXPECT_GE(v, 0.0) << stage;
+    }
+    // Every non-degenerate AggregateFast call passes through plan,
+    // decode (possibly a no-op) and merge.
+    EXPECT_EQ(SampleValue(e, "backsort_agg_stage_duration_seconds_count",
+                          std::string("stage=\"") + stage + "\""),
+              requests)
+        << stage;
+  }
+  // The stats stage only runs on the planned (tier-1/2) path — here the
+  // single post-compaction probe.
+  EXPECT_EQ(SampleValue(e, "backsort_agg_stage_duration_seconds_count",
+                        "stage=\"stats\""),
+            1.0);
 }
 
 TEST_F(MetricsExpositionTest, CompactionStagesAndCountersCarryData) {

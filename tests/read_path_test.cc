@@ -282,12 +282,23 @@ TEST_F(ReadPathTest, CorruptedFileFailsAggregateCleanly) {
       std::filesystem::resize_file(entry.path(), 16);
     }
   }
+  // A range that only partially covers the chunk forces the page-level
+  // decode tier, which must read the (truncated) file and fail cleanly.
   TsFileReader::RangeStats stats;
   stats.count = 123;
   bool used_fast = true;
-  Status st = engine.AggregateFast("s", 0, 1000, &stats, &used_fast);
+  Status st = engine.AggregateFast("s", 10, 1000, &stats, &used_fast);
   ASSERT_FALSE(st.ok());
   EXPECT_EQ(stats.count, 0u) << "partial aggregate leaked on error";
+
+  // A range fully covering the chunk is answered from the footer
+  // statistics registered at seal time — by design no chunk byte is read,
+  // so the truncation is invisible and the sealed data's aggregate comes
+  // back intact.
+  st = engine.AggregateFast("s", 0, 1000, &stats, &used_fast);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(used_fast);
+  EXPECT_EQ(stats.count, 500u);
 }
 
 // --- Lock-free snapshot: writers progress during a slow query -------------

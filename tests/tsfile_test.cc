@@ -1,3 +1,5 @@
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -236,6 +238,133 @@ TEST_F(TsFileTest, EmptyFileHasNoSensors) {
   TsFileReader reader(path);
   ASSERT_TRUE(reader.Open().ok());
   EXPECT_TRUE(reader.Sensors().empty());
+}
+
+// --- footer statistics (BSTF2) -----------------------------------------------
+
+TEST_F(TsFileTest, FooterCarriesChunkValueStats) {
+  const std::string path = Path("stats.bstf");
+  std::vector<Timestamp> ts;
+  std::vector<double> values;
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    ts.push_back(i);
+    values.push_back(std::cos(i * 0.003) * 10 - i * 0.001);
+    sum += values.back();
+  }
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer.WriteChunkF64("s", ts, values).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  // The head magic identifies the file as v2.
+  {
+    std::ifstream f(path, std::ios::binary);
+    char magic[5];
+    f.read(magic, 5);
+    EXPECT_EQ(std::string(magic, 5), "BSTF2");
+  }
+  TsFileReader reader(path);
+  ASSERT_TRUE(reader.Open().ok());
+  const auto it = reader.Locators().find("s");
+  ASSERT_NE(it, reader.Locators().end());
+  const ChunkLocator& loc = it->second;
+  EXPECT_TRUE(loc.has_stats);
+  EXPECT_TRUE(loc.stats_usable());
+  EXPECT_DOUBLE_EQ(loc.min_v, *std::min_element(values.begin(), values.end()));
+  EXPECT_DOUBLE_EQ(loc.max_v, *std::max_element(values.begin(), values.end()));
+  EXPECT_NEAR(loc.sum_v, sum, 1e-9 * std::abs(sum));
+  EXPECT_DOUBLE_EQ(loc.first_v, values.front());
+  EXPECT_DOUBLE_EQ(loc.last_v, values.back());
+}
+
+TEST_F(TsFileTest, StatlessModeWritesLegacyFormat) {
+  const std::string path = Path("legacy.bstf");
+  {
+    TsFileWriter writer(path);
+    writer.set_footer_stats(false);
+    ASSERT_TRUE(writer.WriteChunkF64("s", {1, 2, 3}, {9.0, 7.0, 8.0}).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  {
+    std::ifstream f(path, std::ios::binary);
+    char magic[5];
+    f.read(magic, 5);
+    EXPECT_EQ(std::string(magic, 5), "BSTF1");
+  }
+  TsFileReader reader(path);
+  ASSERT_TRUE(reader.Open().ok());
+  const ChunkLocator& loc = reader.Locators().at("s");
+  EXPECT_FALSE(loc.has_stats);
+  EXPECT_FALSE(loc.stats_usable());
+  // The decode fallback still answers aggregates over the stat-less file.
+  TsFileReader::RangeStats stats;
+  ASSERT_TRUE(reader.AggregateRangeF64("s", 0, 10, &stats).ok());
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_DOUBLE_EQ(stats.min, 7.0);
+  EXPECT_DOUBLE_EQ(stats.max, 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum, 24.0);
+}
+
+TEST_F(TsFileTest, ChunkAggregateFromLocatorMatchesReader) {
+  const std::string path = Path("chunkagg.bstf");
+  std::vector<Timestamp> ts;
+  std::vector<double> values;
+  for (int i = 0; i < 20'000; ++i) {
+    ts.push_back(i * 2);  // strided so range endpoints land between samples
+    values.push_back(std::sin(i * 0.01) * (i % 97));
+  }
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer
+                    .WriteChunkF64("s", ts, values, Encoding::kTs2Diff,
+                                   Encoding::kGorilla, /*points_per_page=*/512)
+                    .ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  TsFileReader reader(path);
+  ASSERT_TRUE(reader.Open().ok());
+  const ChunkLocator& loc = reader.Locators().at("s");
+  // The standalone chunk aggregator (used by the engine's tier-2 decode
+  // path, no open reader needed) agrees with the reader-based one.
+  TsFileReader::RangeStats via_loc, via_reader;
+  ASSERT_TRUE(
+      AggregateTsFileChunkF64(path, "s", loc, 1'001, 30'000, &via_loc).ok());
+  ASSERT_TRUE(reader.AggregateRangeF64("s", 1'001, 30'000, &via_reader).ok());
+  EXPECT_EQ(via_loc.count, via_reader.count);
+  EXPECT_DOUBLE_EQ(via_loc.min, via_reader.min);
+  EXPECT_DOUBLE_EQ(via_loc.max, via_reader.max);
+  EXPECT_NEAR(via_loc.sum, via_reader.sum, 1e-9 * std::abs(via_reader.sum));
+  EXPECT_EQ(via_loc.first_time, via_reader.first_time);
+  EXPECT_EQ(via_loc.last_time, via_reader.last_time);
+}
+
+TEST_F(TsFileTest, NaNValuesExcludedFromFooterStats) {
+  const std::string path = Path("nan.bstf");
+  const double nan = std::nan("");
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(
+        writer.WriteChunkF64("mixed", {1, 2, 3, 4}, {nan, 2.0, 6.0, nan}).ok());
+    ASSERT_TRUE(writer.WriteChunkF64("allnan", {1, 2}, {nan, nan}).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  TsFileReader reader(path);
+  ASSERT_TRUE(reader.Open().ok());
+  const ChunkLocator& mixed = reader.Locators().at("mixed");
+  EXPECT_TRUE(mixed.stats_usable());
+  EXPECT_DOUBLE_EQ(mixed.min_v, 2.0);
+  EXPECT_DOUBLE_EQ(mixed.max_v, 6.0);
+  EXPECT_DOUBLE_EQ(mixed.sum_v, 8.0);
+  EXPECT_TRUE(std::isnan(mixed.first_v)) << "first/last keep raw values";
+  EXPECT_TRUE(std::isnan(mixed.last_v));
+  // All-NaN chunk: the documented +inf/-inf/0 sentinels, still usable.
+  const ChunkLocator& allnan = reader.Locators().at("allnan");
+  EXPECT_TRUE(allnan.stats_usable());
+  EXPECT_TRUE(std::isinf(allnan.min_v) && allnan.min_v > 0);
+  EXPECT_TRUE(std::isinf(allnan.max_v) && allnan.max_v < 0);
+  EXPECT_DOUBLE_EQ(allnan.sum_v, 0.0);
+  EXPECT_EQ(allnan.points, 2u);
 }
 
 // --- failure injection --------------------------------------------------------

@@ -19,12 +19,16 @@
 //   bstool ingest <dir> <points> <dist> [--shards=N] [--flush-workers=N]
 //                 [--threads=N] [--sensors=N] [--batch=N] [--seed=N]
 //                 [--metrics-interval=MS] [--metrics-file=PATH]
-//                 [--chunk-cache-bytes=N]
+//                 [--chunk-cache-bytes=N] [--no-footer-stats]
 //       Drive a multi-threaded write-only workload into a (possibly
 //       sharded) storage engine under <dir> and print aggregate write
-//       throughput, per-shard flush metrics and stage latency percentiles.
+//       throughput, per-shard flush metrics, stage latency percentiles
+//       and the aggregate stats-hit rate (chunks answered from footer
+//       statistics vs decoded).
 //       --chunk-cache-bytes sizes the shared chunk cache (0 disables it;
 //       unset = $BACKSORT_CHUNK_CACHE_BYTES or the 64 MiB default).
+//       --no-footer-stats writes stat-less BSTF1 footers (the legacy
+//       format); aggregates then fall back to page decode.
 //       While running (and at exit) the full engine state is exported in
 //       Prometheus text format to <dir>/metrics.prom (see docs/METRICS.md).
 //   bstool metrics <dir-or-file>
@@ -58,7 +62,9 @@
 //                                    flight on the one connection
 //         query <sensor> <t_min> <t_max>     CSV on stdout
 //         latest <sensor>                    last point
-//         agg <sensor> <t_min> <t_max>       aggregate stats
+//         agg <sensor> <t_min> <t_max>       aggregate stats (plus the
+//                                    server's cumulative stats-hit rate,
+//                                    read back from its metrics)
 //         metrics                            server exposition on stdout
 //   bstool algos
 //       List registered sorting algorithms.
@@ -114,7 +120,8 @@ int Usage() {
                " [--batch=N]\n"
                "         [--seed=N] [--metrics-interval=MS]"
                " [--metrics-file=PATH]\n"
-               "         [--chunk-cache-bytes=N] [--compaction]\n"
+               "         [--chunk-cache-bytes=N] [--compaction]"
+               " [--no-footer-stats]\n"
                "  compact <dir> [--step] [--fanin=N] [--trigger=N]\n"
                "  metrics <dir-or-file>\n"
                "  watch <dir-or-file> [--interval=MS] [--count=N]\n"
@@ -424,6 +431,7 @@ int CmdIngest(int argc, char** argv) {
   size_t chunk_cache_bytes = 0;
   bool chunk_cache_set = false;
   bool compaction = false;
+  bool footer_stats = true;
   for (int i = 3; i < argc; ++i) {
     if (FlagValue(argv[i], "--chunk-cache-bytes", &chunk_cache_bytes)) {
       chunk_cache_set = true;
@@ -431,6 +439,12 @@ int CmdIngest(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--compaction") == 0) {
       compaction = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--no-footer-stats") == 0) {
+      // Escape hatch: write stat-less BSTF1 footers (the pre-statistics
+      // format). Aggregates over the files fall back to page decode.
+      footer_stats = false;
       continue;
     }
     if (FlagValue(argv[i], "--shards", &shards) ||
@@ -457,6 +471,7 @@ int CmdIngest(int argc, char** argv) {
   opt.flush_parallelism = flush_parallelism;
   if (chunk_cache_set) opt.chunk_cache_bytes = chunk_cache_bytes;
   opt.compaction_enabled = compaction;
+  opt.footer_stats = footer_stats;
   StorageEngine engine(opt);
   if (Status st = engine.Open(); !st.ok()) return Fail(st);
 
@@ -529,6 +544,18 @@ int CmdIngest(int argc, char** argv) {
               lookups == 0 ? 0.0 : 100.0 * double(cache.hits) / double(lookups),
               static_cast<unsigned long long>(cache.hits),
               static_cast<unsigned long long>(lookups));
+  // Aggregation plan effectiveness: how many chunks answered from footer
+  // statistics alone vs falling to decode (pure-write runs report 0/0).
+  const uint64_t agg_chunks = snap.agg_stats_hits + snap.agg_stats_misses;
+  std::printf("footer stats: %s; aggregate stats-hit rate %.1f%% "
+              "(%llu hits / %llu misses over %llu requests)\n",
+              footer_stats ? "on" : "off (--no-footer-stats)",
+              agg_chunks == 0
+                  ? 0.0
+                  : 100.0 * double(snap.agg_stats_hits) / double(agg_chunks),
+              static_cast<unsigned long long>(snap.agg_stats_hits),
+              static_cast<unsigned long long>(snap.agg_stats_misses),
+              static_cast<unsigned long long>(snap.agg_requests));
 
   // Stage latency percentiles from the engine-wide histograms (ns -> ms).
   const struct {
@@ -833,6 +860,37 @@ int CmdClient(int argc, char** argv) {
                 "last=%.17g fast_path=%d\n",
                 stats.count, stats.sum, stats.min, stats.max, stats.first,
                 stats.last, fast ? 1 : 0);
+    // Server-side plan effectiveness: sum the statistics-plan counters
+    // out of the metrics exposition (the agg response itself is
+    // unchanged by the statistics format, so the rate rides on a second
+    // request).
+    std::string exposition;
+    if (client.MetricsSnapshot(&exposition).ok()) {
+      auto family_sum = [&exposition](const std::string& name) {
+        double sum = 0;
+        size_t pos = 0;
+        while ((pos = exposition.find(name, pos)) != std::string::npos) {
+          // Start of line, and not a longer family name.
+          if ((pos == 0 || exposition[pos - 1] == '\n') &&
+              (exposition[pos + name.size()] == ' ' ||
+               exposition[pos + name.size()] == '{')) {
+            const size_t sp = exposition.find(' ', pos);
+            if (sp != std::string::npos) {
+              sum += std::strtod(exposition.c_str() + sp + 1, nullptr);
+            }
+          }
+          pos += name.size();
+        }
+        return sum;
+      };
+      const double hits = family_sum("backsort_agg_stats_hits_total");
+      const double misses = family_sum("backsort_agg_stats_misses_total");
+      if (hits + misses > 0) {
+        std::printf("server stats-hit rate: %.1f%% (%.0f hits / %.0f "
+                    "misses, cumulative)\n",
+                    100.0 * hits / (hits + misses), hits, misses);
+      }
+    }
     return 0;
   }
   if (op == "metrics") {

@@ -33,21 +33,28 @@
 #      ingest throughput >= 0.75x of the compaction-off side (noise
 #      margin; full scale measures ~1x, committed at bench/baselines/),
 #      and a bstool compact smoke reducing an ingested dir to one file
+#   9. aggregation: the statistics-plan differential suite under
+#      ThreadSanitizer (stats plan vs brute-force decode, bit-compared),
+#      then a scaled-down bench/system_agg run gated on the metadata-only
+#      plan beating the decode fallback by >= 3.0x on full-coverage
+#      ranges (BENCH_system_agg.json "stats_agg_speedup", best of three;
+#      the committed full-scale reference in bench/baselines/ measures
+#      >500x)
 #
 # Usage: tools/ci.sh   (from the repo root; build dirs: build/, build-tsan/)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "=== [1/8] tier-1: configure + build + full test suite ==="
+echo "=== [1/9] tier-1: configure + build + full test suite ==="
 cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
-echo "=== [2/8] engine suites at 4 shards / 2 flush workers ==="
+echo "=== [2/9] engine suites at 4 shards / 2 flush workers ==="
 (cd build && BACKSORT_SHARDS=4 BACKSORT_FLUSH_WORKERS=2 \
   ctest --output-on-failure -R 'Engine|Wal|Workload|Aggregate|ReadPath' -j)
 
-echo "=== [3/8] concurrency + read-path tests under ThreadSanitizer ==="
+echo "=== [3/9] concurrency + read-path tests under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DBACKSORT_SANITIZE=thread
 cmake --build build-tsan -j --target engine_concurrency_test histogram_test \
   chunk_cache_test read_path_test
@@ -56,7 +63,7 @@ cmake --build build-tsan -j --target engine_concurrency_test histogram_test \
 ./build-tsan/tests/chunk_cache_test
 ./build-tsan/tests/read_path_test
 
-echo "=== [4/8] chunk-cache effectiveness smoke ==="
+echo "=== [4/9] chunk-cache effectiveness smoke ==="
 # The read_path suite covers cache correctness; this step checks the
 # operator-visible surface end to end: bstool flag -> engine -> exporter.
 smoke_dir=$(mktemp -d)
@@ -87,7 +94,7 @@ if [ -z "$hits" ] || [ "${hits%%.*}" -le 0 ]; then
 fi
 echo "cache smoke passed (query-mix cache hits: $hits)"
 
-echo "=== [5/8] network loopback smoke ==="
+echo "=== [5/9] network loopback smoke ==="
 # Wire protocol + server correctness under ThreadSanitizer: concurrent
 # clients must stay bit-identical and the shutdown drain must be clean.
 cmake --build build-tsan -j --target net_protocol_test net_server_test
@@ -141,7 +148,7 @@ wait "$serve_pid" || {
 }
 echo "net smoke passed ($rows rows round-tripped via $addr)"
 
-echo "=== [6/8] docs: wire-protocol golden suite + link check ==="
+echo "=== [6/9] docs: wire-protocol golden suite + link check ==="
 # The spec in docs/WIRE_PROTOCOL.md is executable documentation: this
 # suite re-derives magic/offsets/type tables from the compiled protocol
 # constants and fails if the prose drifted from the code.
@@ -170,7 +177,7 @@ if [ "$docs_fail" -ne 0 ]; then
 fi
 echo "docs link check passed"
 
-echo "=== [7/8] perf smoke: ingest batching + net pipelining ==="
+echo "=== [7/9] perf smoke: ingest batching + net pipelining ==="
 # Scaled-down system_ingest run; the JSON is flat one-key-per-line so the
 # gate needs only grep + awk. Noise margin: full scale measures ~5x.
 BACKSORT_SYSTEM_POINTS=60000 BACKSORT_METRICS_DIR="$smoke_dir" \
@@ -212,7 +219,7 @@ done
 }
 echo "net perf smoke passed (pipelined/in-process write ratio: ${net_ratio})"
 
-echo "=== [8/8] compaction: TSan suite + soak gates + bstool smoke ==="
+echo "=== [8/9] compaction: TSan suite + soak gates + bstool smoke ==="
 # The whole compaction stack under ThreadSanitizer: planner/job/engine
 # suite plus the background scheduler racing ingest and queries.
 cmake --build build-tsan -j --target compaction_test
@@ -261,5 +268,38 @@ grep -q '^compacted ' "$smoke_dir/compact.log" || {
   exit 1
 }
 echo "compaction smoke passed (soak ratio ${soak_throughput_ratio_on_over_off}, 1 file after offline compact)"
+
+echo "=== [9/9] aggregation: differential suite under TSan + stats-plan gate ==="
+# The statistics plan must be an optimization, never an approximation:
+# the differential suite ingests random disorder workloads and
+# bit-compares AggregateFast against a brute-force decode, with and
+# without footer statistics — run under ThreadSanitizer because the
+# tier-2 decode fans chunks across a reader pool.
+cmake --build build-tsan -j --target aggregate_differential_test
+./build-tsan/tests/aggregate_differential_test
+# Scaled-down system_agg: the metadata-only plan must beat the decode
+# fallback by >= 3.0x on full-coverage ranges. Best of three — on a small
+# box one preempted warm-up can deflate a run, but a real regression
+# (stats not written, plan not engaging) drags every attempt to ~1x. The
+# committed full-scale reference (bench/baselines/) measures >500x.
+agg_speedup=""
+for attempt in 1 2 3; do
+  BACKSORT_SYSTEM_POINTS=60000 BACKSORT_AGG_ITERS=50 \
+    BACKSORT_METRICS_DIR="$smoke_dir" ./build/bench/system_agg > /dev/null
+  agg_speedup=$(grep '"stats_agg_speedup"' \
+    "$smoke_dir/BENCH_system_agg.json" | awk -F': ' '{print $2}' | tr -d ',')
+  if [ -z "$agg_speedup" ]; then
+    echo "agg smoke FAILED: BENCH_system_agg.json has no stats_agg_speedup"
+    exit 1
+  fi
+  awk -v s="$agg_speedup" 'BEGIN { exit (s >= 3.0) ? 0 : 1 }' && break
+  echo "agg perf attempt $attempt: speedup $agg_speedup < 3.0, retrying"
+  agg_speedup=""
+done
+[ -n "$agg_speedup" ] || {
+  echo "agg smoke FAILED: stats_agg_speedup < 3.0 on all attempts"
+  exit 1
+}
+echo "aggregation smoke passed (stats/decode speedup: ${agg_speedup}x)"
 
 echo "=== CI passed ==="
