@@ -1,0 +1,103 @@
+#include "cluster/cluster_config.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+namespace backsort {
+
+namespace {
+
+/// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return std::string();
+  size_t end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+size_t ClusterConfig::IndexOf(const std::string& id) const {
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].id == id) return i;
+  }
+  return npos;
+}
+
+Status ParseClusterEntry(const std::string& entry, ClusterNodeSpec* out) {
+  std::string rest = entry;
+  out->id.clear();
+  // `id=host:port` — an '=' before the first ':' names the node. (A bare
+  // '=' inside a hostname is not a thing we need to support.)
+  const size_t eq = rest.find('=');
+  if (eq != std::string::npos && eq < rest.find(':')) {
+    out->id = Trim(rest.substr(0, eq));
+    if (out->id.empty()) {
+      return Status::InvalidArgument("empty node id in cluster entry: " +
+                                     entry);
+    }
+    rest = rest.substr(eq + 1);
+  }
+  const size_t colon = rest.rfind(':');
+  if (colon == std::string::npos || colon == 0) {
+    return Status::InvalidArgument("cluster entry is not host:port: " + entry);
+  }
+  out->host = Trim(rest.substr(0, colon));
+  const std::string port_str = Trim(rest.substr(colon + 1));
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_str.c_str(), &end, 10);
+  if (port_str.empty() || end == nullptr || *end != '\0' || port == 0 ||
+      port > 65535) {
+    return Status::InvalidArgument("invalid port in cluster entry: " + entry);
+  }
+  out->port = static_cast<uint16_t>(port);
+  return Status::OK();
+}
+
+Status ClusterConfig::Parse(const std::string& spec, ClusterConfig* out) {
+  out->nodes.clear();
+  std::vector<std::string> entries;
+  std::error_code ec;
+  if (std::filesystem::is_regular_file(spec, ec)) {
+    std::ifstream file(spec);
+    if (!file) return Status::IOError("cannot read cluster file: " + spec);
+    std::string line;
+    while (std::getline(file, line)) {
+      const size_t hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      line = Trim(line);
+      if (!line.empty()) entries.push_back(line);
+    }
+  } else {
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+      const size_t comma = spec.find(',', pos);
+      const std::string entry = Trim(
+          spec.substr(pos, comma == std::string::npos ? std::string::npos
+                                                      : comma - pos));
+      if (!entry.empty()) entries.push_back(entry);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  if (entries.empty()) {
+    return Status::InvalidArgument("empty cluster spec: " + spec);
+  }
+
+  std::set<std::string> seen;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    ClusterNodeSpec node;
+    RETURN_NOT_OK(ParseClusterEntry(entries[i], &node));
+    if (node.id.empty()) node.id = "node" + std::to_string(i);
+    if (!seen.insert(node.id).second) {
+      return Status::InvalidArgument("duplicate node id in cluster spec: " +
+                                     node.id);
+    }
+    out->nodes.push_back(std::move(node));
+  }
+  return Status::OK();
+}
+
+}  // namespace backsort

@@ -1,0 +1,48 @@
+#ifndef BACKSORT_CLUSTER_CLUSTER_CONFIG_H_
+#define BACKSORT_CLUSTER_CLUSTER_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace backsort {
+
+/// One node of a static cluster map: a stable identifier (it keys the
+/// consistent-hash ring and the replication cursor files, so it must
+/// never be reused for a different machine) and the node's BSN1 address.
+struct ClusterNodeSpec {
+  std::string id;
+  std::string host;
+  uint16_t port = 0;
+};
+
+/// Static cluster membership, parsed from `--cluster <file|spec>`. The
+/// map is fixed for the life of the process — there is no gossip or
+/// dynamic membership; operators roll the cluster to change it
+/// (docs/OPERATIONS.md "Running a cluster").
+struct ClusterConfig {
+  std::vector<ClusterNodeSpec> nodes;
+
+  size_t size() const { return nodes.size(); }
+
+  /// Index of the node with `id`, or npos when absent.
+  static constexpr size_t npos = static_cast<size_t>(-1);
+  size_t IndexOf(const std::string& id) const;
+
+  /// Parses a cluster spec. `spec` is either a path to an existing file
+  /// (one entry per line, `#` comments and blank lines skipped) or an
+  /// inline comma-separated list. Each entry is `host:port` or
+  /// `id=host:port`; entries without an explicit id get `node0`,
+  /// `node1`, ... by position. Fails on empty specs, malformed entries,
+  /// out-of-range ports and duplicate ids.
+  static Status Parse(const std::string& spec, ClusterConfig* out);
+};
+
+/// Parses one `[id=]host:port` entry (exposed for tests).
+Status ParseClusterEntry(const std::string& entry, ClusterNodeSpec* out);
+
+}  // namespace backsort
+
+#endif  // BACKSORT_CLUSTER_CLUSTER_CONFIG_H_

@@ -1,0 +1,62 @@
+#ifndef BACKSORT_CLUSTER_CLUSTER_METRICS_H_
+#define BACKSORT_CLUSTER_CLUSTER_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/latency_histogram.h"
+#include "common/metrics_registry.h"
+
+namespace backsort {
+
+/// Point-in-time copy of one node's replication-shipping counters.
+struct ClusterMetricsSnapshot {
+  uint64_t ship_chunks = 0;    ///< chunks accepted by the follower
+  uint64_t ship_records = 0;   ///< records inside those chunks
+  uint64_t ship_bytes = 0;     ///< encoded request-payload bytes shipped
+  uint64_t acked_records = 0;  ///< records covered by a durable follower ack
+  uint64_t ship_errors = 0;    ///< failed ship RPCs / tailer errors
+  uint64_t reconnects = 0;     ///< follower (re)connect attempts after the
+                               ///< first successful connection
+  uint64_t backlog_bytes = 0;  ///< ship-log bytes not yet acked (gauge)
+  HistogramSnapshot ship_rtt_ns;  ///< ship RPC round-trip, nanoseconds
+};
+
+/// Thread-safe counters recorded by the Replicator and exported into the
+/// node's Prometheus exposition as the `backsort_cluster_*` families
+/// (docs/METRICS.md).
+class ClusterMetrics {
+ public:
+  std::atomic<uint64_t> ship_chunks{0};
+  std::atomic<uint64_t> ship_records{0};
+  std::atomic<uint64_t> ship_bytes{0};
+  std::atomic<uint64_t> acked_records{0};
+  std::atomic<uint64_t> ship_errors{0};
+  std::atomic<uint64_t> reconnects{0};
+  std::atomic<uint64_t> backlog_bytes{0};
+  LatencyHistogram ship_rtt_ns;
+
+  ClusterMetricsSnapshot Snapshot() const {
+    ClusterMetricsSnapshot snap;
+    snap.ship_chunks = ship_chunks.load(std::memory_order_relaxed);
+    snap.ship_records = ship_records.load(std::memory_order_relaxed);
+    snap.ship_bytes = ship_bytes.load(std::memory_order_relaxed);
+    snap.acked_records = acked_records.load(std::memory_order_relaxed);
+    snap.ship_errors = ship_errors.load(std::memory_order_relaxed);
+    snap.reconnects = reconnects.load(std::memory_order_relaxed);
+    snap.backlog_bytes = backlog_bytes.load(std::memory_order_relaxed);
+    snap.ship_rtt_ns = ship_rtt_ns.Snapshot();
+    return snap;
+  }
+};
+
+/// Renders a snapshot as `backsort_cluster_*` registry samples — plugged
+/// into BacksortServer::SetExtraMetricsExporter so replication health is
+/// scraped from the same exposition as engine and net metrics.
+void ExportClusterMetrics(const ClusterMetricsSnapshot& snapshot,
+                          const MetricsRegistry::Labels& base_labels,
+                          MetricsRegistry* registry);
+
+}  // namespace backsort
+
+#endif  // BACKSORT_CLUSTER_CLUSTER_METRICS_H_

@@ -1,0 +1,63 @@
+#include "cluster/node.h"
+
+#include <utility>
+
+namespace backsort {
+
+namespace {
+
+/// A multi-node map needs the ship log on before the engine opens; a
+/// single node runs exactly like plain `bstool serve`.
+EngineOptions WithReplicationLog(EngineOptions options, size_t cluster_size) {
+  if (cluster_size > 1) options.replication_log = true;
+  return options;
+}
+
+}  // namespace
+
+ClusterNode::ClusterNode(ClusterConfig config, size_t node_index,
+                         EngineOptions engine_options,
+                         ServerOptions server_options,
+                         ReplicatorOptions replicator_tuning)
+    : config_(std::move(config)),
+      index_(node_index),
+      replicator_tuning_(std::move(replicator_tuning)),
+      data_dir_(engine_options.data_dir),
+      server_(WithReplicationLog(std::move(engine_options), config_.size()),
+              std::move(server_options)) {
+  server_.SetExtraMetricsExporter([this](MetricsRegistry* registry) {
+    ExportClusterMetrics(metrics_.Snapshot(), /*base_labels=*/{}, registry);
+  });
+}
+
+Status ClusterNode::Start() {
+  if (index_ >= config_.size()) {
+    return Status::InvalidArgument("cluster node index out of range");
+  }
+  RETURN_NOT_OK(server_.Start());
+  if (config_.size() <= 1) return Status::OK();
+
+  const ClusterRouter router(config_);
+  const ClusterNodeSpec& follower =
+      config_.nodes[router.FollowerOf(index_)];
+  ReplicatorOptions options = replicator_tuning_;
+  options.source_id = config_.nodes[index_].id;
+  options.follower_host = follower.host;
+  options.follower_port = follower.port;
+  options.data_dir = data_dir_;
+  options.shard_count = server_.engine()->shard_count();
+  replicator_ = std::make_unique<Replicator>(std::move(options), &metrics_);
+  Status started = replicator_->Start();
+  if (!started.ok()) {
+    server_.Stop();
+    return started;
+  }
+  return Status::OK();
+}
+
+void ClusterNode::Stop() {
+  server_.Stop();
+  if (replicator_ != nullptr) replicator_->Stop();
+}
+
+}  // namespace backsort

@@ -1,0 +1,62 @@
+#ifndef BACKSORT_CLUSTER_NODE_H_
+#define BACKSORT_CLUSTER_NODE_H_
+
+#include <memory>
+#include <string>
+
+#include "cluster/cluster_config.h"
+#include "cluster/cluster_metrics.h"
+#include "cluster/replicator.h"
+#include "cluster/router.h"
+#include "common/status.h"
+#include "net/server.h"
+
+namespace backsort {
+
+/// One cluster member: a BacksortServer plus, when the map has more than
+/// one node, the Replicator shipping this node's writes to its ring
+/// follower. Turning the engine's replication ship log on, pointing the
+/// replicator at FollowerOf(this), and merging the `backsort_cluster_*`
+/// metrics into the server's exposition all happen here — the net and
+/// engine layers stay cluster-agnostic.
+///
+/// The engine's resolved shard count keys the ship streams and the
+/// follower's cursors, so it must stay stable across restarts of a
+/// cluster member (docs/OPERATIONS.md pins this).
+class ClusterNode {
+ public:
+  /// `node_index` is this process's entry in `config`. The engine options
+  /// gain replication_log = true when the cluster has company.
+  ClusterNode(ClusterConfig config, size_t node_index,
+              EngineOptions engine_options, ServerOptions server_options,
+              ReplicatorOptions replicator_tuning = ReplicatorOptions());
+
+  ~ClusterNode() { Stop(); }
+
+  /// Starts the server, then (multi-node maps) the replication shipper.
+  Status Start();
+
+  /// Stops the server first — in-flight client writes drain into the WAL
+  /// and ship log — then the shipper. Idempotent. Stopping does NOT wait
+  /// for the follower to catch up; replication is asynchronous and the
+  /// handshake resumes the stream on the next start.
+  void Stop();
+
+  BacksortServer* server() { return &server_; }
+  uint16_t port() const { return server_.port(); }
+  const std::string& id() const { return config_.nodes[index_].id; }
+  ClusterMetrics* metrics() { return &metrics_; }
+
+ private:
+  ClusterConfig config_;
+  size_t index_;
+  ReplicatorOptions replicator_tuning_;
+  std::string data_dir_;
+  ClusterMetrics metrics_;
+  BacksortServer server_;
+  std::unique_ptr<Replicator> replicator_;
+};
+
+}  // namespace backsort
+
+#endif  // BACKSORT_CLUSTER_NODE_H_

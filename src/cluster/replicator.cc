@@ -1,0 +1,178 @@
+#include "cluster/replicator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "engine/wal_tailer.h"
+#include "net/protocol.h"
+
+namespace backsort {
+
+Replicator::Replicator(ReplicatorOptions options, ClusterMetrics* metrics)
+    : options_(std::move(options)), metrics_(metrics) {}
+
+Replicator::~Replicator() { Stop(); }
+
+Status Replicator::Start() {
+  if (options_.source_id.empty()) {
+    return Status::InvalidArgument("replicator needs a source id");
+  }
+  if (options_.follower_host.empty() || options_.follower_port == 0) {
+    return Status::InvalidArgument("replicator needs a follower address");
+  }
+  if (options_.shard_count == 0) {
+    return Status::InvalidArgument("replicator needs the engine shard count");
+  }
+  if (started_) return Status::InvalidArgument("replicator already started");
+  started_ = true;
+  thread_ = std::thread([this] { Run(); });
+  return Status::OK();
+}
+
+void Replicator::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool Replicator::SleepInterruptible(int ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, std::chrono::milliseconds(ms), [this] { return stop_; });
+  return !stop_;
+}
+
+void Replicator::Run() {
+  Rng rng(static_cast<uint64_t>(
+              std::chrono::steady_clock::now().time_since_epoch().count()) ^
+          reinterpret_cast<uintptr_t>(this));
+  int backoff_ms = options_.reconnect_initial_ms;
+  bool ever_connected = false;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) return;
+    }
+    BacksortClient client(options_.client);
+    const Status connected =
+        client.Connect(options_.follower_host, options_.follower_port);
+    if (connected.ok()) {
+      if (ever_connected) {
+        metrics_->reconnects.fetch_add(1, std::memory_order_relaxed);
+      }
+      ever_connected = true;
+      backoff_ms = options_.reconnect_initial_ms;
+      ShipUntilError(&client);
+    }
+    // Jittered doubling backoff before redialing, so the nodes of a
+    // restarted cluster spread their reconnect storms.
+    const int jittered = backoff_ms / 2 +
+                         static_cast<int>(rng.NextBelow(
+                             static_cast<uint64_t>(backoff_ms) + 1));
+    if (!SleepInterruptible(jittered)) return;
+    backoff_ms = std::min(backoff_ms * 2, options_.reconnect_max_ms);
+  }
+}
+
+void Replicator::ShipUntilError(BacksortClient* client) {
+  // Handshake: resume exactly where the follower's durable cursor stands.
+  ShipFrontier frontier;
+  if (!client->FetchReplicationCursor(options_.source_id, &frontier).ok()) {
+    metrics_->ship_errors.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  WalTailer::Options tail_options;
+  tail_options.max_records = options_.max_records;
+  tail_options.max_bytes = options_.max_bytes;
+  WalTailer tailer(options_.data_dir, options_.shard_count, tail_options);
+  tailer.Seek(frontier);
+
+  ShipChunk chunk;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) return;
+    }
+    bool produced = false;
+    if (const Status polled = tailer.Poll(&chunk, &produced); !polled.ok()) {
+      // Real ship-log damage or a filesystem error — count it, then back
+      // off through the reconnect path rather than spinning on the fault.
+      metrics_->ship_errors.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (!produced) {
+      metrics_->backlog_bytes.store(tailer.BacklogBytes(),
+                                    std::memory_order_relaxed);
+      if (!SleepInterruptible(options_.poll_idle_ms)) return;
+      continue;
+    }
+
+    // Regroup the chunk's flat record stream into consecutive same-sensor
+    // runs — order-preserving, so the follower's apply keeps per-sensor
+    // arrival order and replayed chunks are LWW-idempotent.
+    ReplicateBatchRequest request;
+    request.source_id = options_.source_id;
+    request.shard = chunk.shard;
+    request.end = chunk.end;
+    for (const WalRecord& record : chunk.records) {
+      if (request.groups.empty() ||
+          request.groups.back().sensor != record.sensor) {
+        request.groups.push_back(WriteBatchRequest{record.sensor, {}});
+      }
+      request.groups.back().points.push_back(TvPairDouble{record.t, record.v});
+    }
+
+    ByteBuffer encoded;
+    EncodeReplicateBatchRequest(request, &encoded);
+    WallTimer rtt;
+    ShipCursor acked;
+    if (!client->ReplicateChunk(request, &acked).ok()) {
+      metrics_->ship_errors.fetch_add(1, std::memory_order_relaxed);
+      return;  // reconnect; the handshake re-seeks past anything applied
+    }
+    metrics_->ship_rtt_ns.Record(static_cast<uint64_t>(rtt.ElapsedNanos()));
+    metrics_->ship_chunks.fetch_add(1, std::memory_order_relaxed);
+    metrics_->ship_records.fetch_add(chunk.records.size(),
+                                     std::memory_order_relaxed);
+    metrics_->ship_bytes.fetch_add(encoded.size(), std::memory_order_relaxed);
+    if (acked == chunk.end) {
+      metrics_->acked_records.fetch_add(chunk.records.size(),
+                                        std::memory_order_relaxed);
+    }
+    metrics_->backlog_bytes.store(tailer.BacklogBytes(),
+                                  std::memory_order_relaxed);
+    if (options_.purge_acked_segments) {
+      PurgeAcked(chunk.shard, acked.segment);
+    }
+  }
+}
+
+void Replicator::PurgeAcked(size_t shard, uint64_t acked_segment) {
+  // Segments strictly below the acked cursor's segment are fully durable
+  // follower-side (the cursor only advances past complete frames of
+  // earlier segments) — safe to delete. The acked segment itself stays;
+  // it may still be the open one.
+  std::error_code ec;
+  std::filesystem::directory_iterator it(options_.data_dir, ec);
+  if (ec) return;
+  std::vector<std::string> doomed;
+  for (const auto& entry : it) {
+    size_t file_shard = 0, file_seq = 0;
+    if (ParseShipSegmentName(entry.path().filename().string(), &file_shard,
+                             &file_seq) &&
+        file_shard == shard && file_seq < acked_segment) {
+      doomed.push_back(entry.path().string());
+    }
+  }
+  for (const std::string& path : doomed) {
+    std::filesystem::remove(path, ec);
+  }
+}
+
+}  // namespace backsort

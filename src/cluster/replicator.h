@@ -1,0 +1,108 @@
+#ifndef BACKSORT_CLUSTER_REPLICATOR_H_
+#define BACKSORT_CLUSTER_REPLICATOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "cluster/cluster_metrics.h"
+#include "common/status.h"
+#include "net/client.h"
+
+namespace backsort {
+
+struct ReplicatorOptions {
+  /// This node's cluster id — it names the ship stream follower-side
+  /// (cursor file, frontier map), so it must be stable across restarts.
+  std::string source_id;
+
+  /// The follower receiving this node's writes (ClusterRouter::FollowerOf).
+  std::string follower_host;
+  uint16_t follower_port = 0;
+
+  /// The source engine's data dir (where the ship log lives) and resolved
+  /// shard count — both must match the engine being tailed.
+  std::string data_dir;
+  size_t shard_count = 0;
+
+  /// Chunking budgets per ship RPC (see WalTailer::Options).
+  size_t max_records = 2048;
+  size_t max_bytes = 1u << 20;
+
+  /// Idle sleep between polls when fully caught up.
+  int poll_idle_ms = 20;
+
+  /// Reconnect backoff: doubling from initial to max, jittered so the
+  /// nodes of a restarted cluster do not dial each other in lockstep.
+  int reconnect_initial_ms = 50;
+  int reconnect_max_ms = 2'000;
+
+  /// Once acked, closed ship segments behind the follower's cursor are
+  /// deleted (the engine itself never deletes them). Tests disable this
+  /// to inspect the log.
+  bool purge_acked_segments = true;
+
+  /// Wire client tuning for the replication connection.
+  ClientOptions client;
+};
+
+/// Asynchronous WAL-shipping replication source: one background thread
+/// that tails this node's ship log (WalTailer) and ships chunks to the
+/// follower over kReplicateBatch, one chunk in flight at a time — so the
+/// follower applies records in ship-log order and a single persisted
+/// (segment, offset) cursor per shard captures exactly what it has.
+///
+/// Connection lifecycle: connect → kReplicationAck handshake for the
+/// follower's persisted frontier → Seek the tailer there → poll/ship
+/// loop. Any transport error abandons the connection and retries with
+/// jittered doubling backoff; the handshake makes the resume exact, and
+/// anything shipped-but-unacked is re-shipped and absorbed by the
+/// follower's LWW apply. Durability note: replication is asynchronous —
+/// a write is acknowledged to clients by the primary's WAL/ship-log,
+/// not by the follower; the backlog gauge bounds what a failover can
+/// lose (docs/OPERATIONS.md).
+class Replicator {
+ public:
+  Replicator(ReplicatorOptions options, ClusterMetrics* metrics);
+  ~Replicator();
+
+  Replicator(const Replicator&) = delete;
+  Replicator& operator=(const Replicator&) = delete;
+
+  /// Spawns the shipping thread. Fails on misconfiguration only; the
+  /// follower being down is a runtime condition the loop retries.
+  Status Start();
+
+  /// Stops the thread (interrupting any backoff/idle sleep) and joins.
+  /// Idempotent.
+  void Stop();
+
+ private:
+  void Run();
+
+  /// One connection's lifetime: handshake, then poll/ship until an error
+  /// or Stop. Returns when the connection is no longer usable.
+  void ShipUntilError(BacksortClient* client);
+
+  /// Deletes closed ship segments of `shard` wholly behind `acked`.
+  void PurgeAcked(size_t shard, uint64_t acked_segment);
+
+  /// Sleeps up to `ms`, returning early (false) when Stop was requested.
+  bool SleepInterruptible(int ms);
+
+  const ReplicatorOptions options_;
+  ClusterMetrics* const metrics_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+  bool started_ = false;
+};
+
+}  // namespace backsort
+
+#endif  // BACKSORT_CLUSTER_REPLICATOR_H_

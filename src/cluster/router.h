@@ -1,0 +1,68 @@
+#ifndef BACKSORT_CLUSTER_ROUTER_H_
+#define BACKSORT_CLUSTER_ROUTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_config.h"
+
+namespace backsort {
+
+/// FNV-1a 64-bit over the sensor name — the cluster's placement hash.
+/// Deliberately simple and specified here so every client and server
+/// binary, of any version, routes a sensor to the same node (std::hash
+/// would not guarantee that across processes, let alone compilers).
+uint64_t ClusterHash(const std::string& key);
+
+/// Consistent-hash sensor routing over a static cluster map. Each node
+/// projects `vnodes` points onto a 64-bit ring (hashed from `id + "#" + i`,
+/// so placement follows node IDENTITY, not list order); a sensor's primary
+/// is the first node clockwise of its hash. With dozens of vnodes per node
+/// the keyspace splits near-evenly, and removing a node from the map moves
+/// only that node's arcs — the consistent-hashing property the cluster
+/// relies on for bounded resharding.
+///
+/// The replica of a sensor is the ring-successor NODE of its primary
+/// (FollowerOf = (primary + 1) % size by node index): the same node-level
+/// pairing that replication shipping uses, so a failover client reading
+/// the replica sees exactly what the primary's follower received.
+class ClusterRouter {
+ public:
+  explicit ClusterRouter(const ClusterConfig& config, size_t vnodes = 64);
+
+  size_t size() const { return node_count_; }
+
+  /// Node index owning `sensor`.
+  size_t PrimaryFor(const std::string& sensor) const;
+
+  /// Node index holding `node`'s replicated data (its ship target).
+  /// Identity when the cluster has one node.
+  size_t FollowerOf(size_t node) const {
+    return node_count_ <= 1 ? node : (node + 1) % node_count_;
+  }
+
+  /// Node index of the replica of `sensor` — FollowerOf(PrimaryFor).
+  size_t ReplicaFor(const std::string& sensor) const {
+    return FollowerOf(PrimaryFor(sensor));
+  }
+
+ private:
+  struct RingPoint {
+    uint64_t hash;
+    size_t node;
+    bool operator<(const RingPoint& o) const {
+      // Node index tiebreak keeps the ring deterministic under (vanishing
+      // but possible) vnode hash collisions.
+      return hash != o.hash ? hash < o.hash : node < o.node;
+    }
+  };
+
+  std::vector<RingPoint> ring_;
+  size_t node_count_ = 0;
+};
+
+}  // namespace backsort
+
+#endif  // BACKSORT_CLUSTER_ROUTER_H_

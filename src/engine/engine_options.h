@@ -78,6 +78,22 @@ struct EngineOptions {
   /// benches leave it off (IoTDB likewise groups WAL syncs).
   bool sync_wal_every_write = false;
 
+  /// Replication ship log: in addition to the main WAL, append every
+  /// applied write to a per-shard `ship-sNN-XXXXXXXX.log` stream (same WAL
+  /// v2 record format) and flush it to the OS before the write is
+  /// acknowledged. The ship log is the replication source of truth: a
+  /// cluster node's Replicator tails it with WalTailer
+  /// (engine/wal_tailer.h) and ships the records to its follower; the
+  /// engine itself never deletes ship segments — the replicator purges
+  /// fully acknowledged closed segments. Costs one extra buffered write +
+  /// fflush per ingest; leave off outside cluster mode.
+  bool replication_log = false;
+
+  /// Rotate a shard's ship-log segment once it exceeds this many bytes.
+  /// Smaller segments bound replication replay and purge granularity;
+  /// larger ones reduce file churn.
+  size_t ship_segment_bytes = 4u << 20;  // 4 MiB
+
   /// Make every WAL Sync() also ::fsync the segment to the storage device,
   /// not just into the OS page cache. Off, a Sync survives a process crash
   /// but not a power cut; on, it survives both at a large latency cost

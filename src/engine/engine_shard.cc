@@ -10,6 +10,7 @@
 #include "common/timer.h"
 #include "engine/flush_pool.h"
 #include "engine/merge.h"
+#include "engine/wal_tailer.h"
 #include "sort/sortable.h"
 
 namespace backsort {
@@ -51,6 +52,7 @@ EngineShard::~EngineShard() {
   // can still touch this shard here.
   if (wal_seq_ != nullptr) (void)wal_seq_->Close();
   if (wal_unseq_ != nullptr) (void)wal_unseq_->Close();
+  if (ship_ != nullptr) (void)ship_->Close();
 }
 
 Status EngineShard::RotateWalLocked(bool sequence) {
@@ -64,6 +66,31 @@ Status EngineShard::RotateWalLocked(bool sequence) {
   wal = std::make_unique<WalWriter>(shared_->options.data_dir + "/" + name,
                                     shared_->options.wal_fsync);
   return wal->Open();
+}
+
+Status EngineShard::RotateShipLocked() {
+  if (ship_ != nullptr) RETURN_NOT_OK(ship_->Close());
+  // The closed segment stays on disk: the replicator deletes it once its
+  // follower has acknowledged past it (the engine never purges ship files).
+  ship_ = std::make_unique<WalWriter>(
+      shared_->options.data_dir + "/" +
+          ShipSegmentName(shard_id_, ship_next_seq_++),
+      shared_->options.wal_fsync);
+  return ship_->Open();
+}
+
+Status EngineShard::ShipAppendLocked(const SensorSpanDouble* groups,
+                                     size_t group_count) {
+  if (ship_ == nullptr) RETURN_NOT_OK(RotateShipLocked());
+  RETURN_NOT_OK(ship_->AppendBatch(groups, group_count));
+  // Flush to the OS unconditionally (not only under sync_wal_every_write):
+  // the tailer reads the file through the page cache, so an unflushed
+  // record would be invisible to replication until some later flush.
+  RETURN_NOT_OK(ship_->Sync());
+  if (ship_->bytes() >= shared_->options.ship_segment_bytes) {
+    return RotateShipLocked();
+  }
+  return Status::OK();
 }
 
 Status EngineShard::Write(const std::string& sensor, Timestamp t, double v) {
@@ -85,6 +112,11 @@ Status EngineShard::Write(const std::string& sensor, Timestamp t, double v) {
     if (wal == nullptr) RETURN_NOT_OK(RotateWalLocked(sequence));
     RETURN_NOT_OK(wal->Append(sensor, t, v));
     if (options.sync_wal_every_write) RETURN_NOT_OK(wal->Sync());
+  }
+  if (options.replication_log) {
+    const TvPairDouble point{t, v};
+    const SensorSpanDouble span{&sensor, &point, 1};
+    RETURN_NOT_OK(ShipAppendLocked(&span, 1));
   }
   target->Write(sensor, t, v);
   approx_working_points_.fetch_add(1, std::memory_order_relaxed);
@@ -114,7 +146,8 @@ Status EngineShard::Write(const std::string& sensor, Timestamp t, double v) {
 }
 
 Status EngineShard::WriteBatch(const SensorSpanDouble* groups,
-                               size_t group_count, size_t* applied) {
+                               size_t group_count, size_t* applied,
+                               bool ship) {
   const EngineOptions& options = shared_->options;
   if (applied != nullptr) *applied = 0;
   size_t total = 0;
@@ -180,6 +213,9 @@ Status EngineShard::WriteBatch(const SensorSpanDouble* groups,
       if (wal == nullptr) RETURN_NOT_OK(RotateWalLocked(sequence));
       RETURN_NOT_OK(wal->AppendBatch(spans.data(), spans.size()));
       if (options.sync_wal_every_write) RETURN_NOT_OK(wal->Sync());
+    }
+    if (ship && options.replication_log) {
+      RETURN_NOT_OK(ShipAppendLocked(spans.data(), spans.size()));
     }
     MemTable* target = sequence ? working_seq_.get() : working_unseq_.get();
     size_t target_points = 0;
@@ -1066,6 +1102,12 @@ Status EngineShard::RecoverRelog() {
       }
       const SensorSpanDouble span{&sensor, points.data(), points.size()};
       RETURN_NOT_OK(wal->AppendBatch(&span, 1));
+      // Re-ship the recovered points too: any ship record the crash tore
+      // off is covered again, and the follower's LWW apply absorbs the
+      // duplicates this creates for records that did survive on disk.
+      if (shared_->options.replication_log) {
+        RETURN_NOT_OK(ShipAppendLocked(&span, 1));
+      }
     }
     RETURN_NOT_OK(wal->Sync());
   }

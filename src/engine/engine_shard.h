@@ -253,8 +253,12 @@ class EngineShard {
   /// Seal checks run after the whole batch is applied, so a batch may
   /// overshoot `flush_threshold` by up to its own size (the per-point path
   /// seals mid-stream); the threshold is a trigger, not a cap.
+  /// `ship` gates the replication ship log (EngineOptions::replication_log):
+  /// local ingest ships, records applied FROM replication do not — a
+  /// follower re-shipping its source's records would cycle them around the
+  /// cluster ring forever.
   Status WriteBatch(const SensorSpanDouble* groups, size_t group_count,
-                    size_t* applied);
+                    size_t* applied, bool ship = true);
 
   Status Query(const std::string& sensor, Timestamp t_min, Timestamp t_max,
                std::vector<TvPairDouble>* out);
@@ -304,8 +308,16 @@ class EngineShard {
   void RecoverReplayRecord(const WalRecord& r);
   /// Re-logs the recovered in-memory points into fresh WAL segments and
   /// syncs them, so each non-empty working table is covered by exactly one
-  /// live segment. No-op when WAL is disabled.
+  /// live segment. With replication_log on, the same points are also
+  /// re-shipped into a fresh ship segment — self-healing for ship records
+  /// torn off by a crash (the follower's LWW apply makes the resulting
+  /// duplicates harmless). No-op when WAL is disabled.
   Status RecoverRelog();
+  /// Raises the ship-log segment allocator past segments found on disk, so
+  /// a recovered shard appends after (never into) surviving segments.
+  void RecoverShipSeq(size_t next_seq) {
+    if (next_seq > ship_next_seq_) ship_next_seq_ = next_seq;
+  }
 
   // --- compaction support ---------------------------------------------------
 
@@ -365,6 +377,18 @@ class EngineShard {
   /// after open/seal creates it). Caller holds mu_.
   Status RotateWalLocked(bool sequence);
 
+  /// Opens the next ship-log segment (closing the current one, which the
+  /// replicator purges once acknowledged). Caller holds mu_.
+  Status RotateShipLocked();
+
+  /// Appends one group-commit record to the ship log and flushes it to the
+  /// OS, rotating the segment past its size bound afterwards. The flush
+  /// precedes the memtable apply in every write path, so a record visible
+  /// to clients is always recoverable by the tailer after a process crash
+  /// (power-cut durability follows wal_fsync, like the main WAL). Caller
+  /// holds mu_.
+  Status ShipAppendLocked(const SensorSpanDouble* groups, size_t group_count);
+
   /// Collects [t_min, t_max] points of `sensor` from a sealed (flushing)
   /// memtable into one sorted run (sorting with the configured algorithm,
   /// like IoTDB's query-time sort). Takes the per-table mutex to serialize
@@ -414,6 +438,13 @@ class EngineShard {
 
   std::unique_ptr<WalWriter> wal_seq_;
   std::unique_ptr<WalWriter> wal_unseq_;
+
+  /// Replication ship log (EngineOptions::replication_log): one totally
+  /// ordered stream per shard, separate from the two concurrently open
+  /// main-WAL segments above, whose seq/unseq interleaving no
+  /// (segment, offset) cursor could order. Lazy like the WAL writers.
+  std::unique_ptr<WalWriter> ship_;
+  size_t ship_next_seq_ = 0;
 
   mutable std::mutex metrics_mu_;
   FlushMetrics metrics_;

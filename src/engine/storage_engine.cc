@@ -1,5 +1,7 @@
 #include "engine/storage_engine.h"
 
+#include "engine/wal_tailer.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -179,6 +181,17 @@ Status StorageEngine::RecoverAll() {
       while (expect <= id &&
              !shared_.next_wal_id.compare_exchange_weak(expect, id + 1)) {
       }
+    } else {
+      // Surviving ship-log segments (replication mode): never replayed or
+      // deleted here — the replicator still owes their tail to the
+      // follower — but the per-shard segment allocator must move past
+      // them. Segments of a shard id beyond the current count (shard_count
+      // changed, which replication docs forbid) are left inert.
+      size_t ship_shard = 0, ship_seq = 0;
+      if (ParseShipSegmentName(name, &ship_shard, &ship_seq) &&
+          ship_shard < shards_.size()) {
+        shards_[ship_shard]->RecoverShipSeq(ship_seq + 1);
+      }
     }
   }
   std::sort(tsfiles.begin(), tsfiles.end());
@@ -267,6 +280,17 @@ Status StorageEngine::WriteMulti(const std::vector<SensorBatch>& batches,
 
 Status StorageEngine::WriteMulti(const SensorSpanDouble* spans,
                                  size_t span_count, size_t* applied) {
+  return WriteMultiImpl(spans, span_count, applied, /*ship=*/true);
+}
+
+Status StorageEngine::WriteReplicated(const SensorSpanDouble* spans,
+                                      size_t span_count, size_t* applied) {
+  return WriteMultiImpl(spans, span_count, applied, /*ship=*/false);
+}
+
+Status StorageEngine::WriteMultiImpl(const SensorSpanDouble* spans,
+                                     size_t span_count, size_t* applied,
+                                     bool ship) {
   if (applied != nullptr) *applied = 0;
   // Group by shard so each shard sees one batched call covering all its
   // sensors' slices.
@@ -280,7 +304,7 @@ Status StorageEngine::WriteMulti(const SensorSpanDouble* spans,
     if (per_shard[s].empty()) continue;
     size_t shard_applied = 0;
     const Status st = shards_[s]->WriteBatch(
-        per_shard[s].data(), per_shard[s].size(), &shard_applied);
+        per_shard[s].data(), per_shard[s].size(), &shard_applied, ship);
     if (applied != nullptr) *applied += shard_applied;
     RETURN_NOT_OK(st);
   }

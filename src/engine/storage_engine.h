@@ -89,6 +89,14 @@ class StorageEngine {
   Status WriteMulti(const SensorSpanDouble* spans, size_t span_count,
                     size_t* applied = nullptr);
 
+  /// WriteMulti for records arriving FROM replication: identical apply
+  /// semantics (WAL, memtables, last cache, LWW on read) except that the
+  /// points are NOT re-appended to this engine's replication ship log —
+  /// a follower re-shipping its source's records would cycle them around
+  /// the cluster ring forever. Local ingest must use WriteMulti.
+  Status WriteReplicated(const SensorSpanDouble* spans, size_t span_count,
+                         size_t* applied = nullptr);
+
   /// Time-range query [t_min, t_max]: sorted, may contain points from the
   /// working memtable, in-flight flushing memtables, and sealed files.
   /// Holds the shard lock only long enough to take a consistent snapshot
@@ -154,6 +162,11 @@ class StorageEngine {
     return shared_.chunk_cache->capacity_bytes();
   }
 
+  /// The resolved options (data_dir, replication_log, ...), read-only —
+  /// the replication tailer and server replication endpoint key off
+  /// data_dir and the ship-log settings.
+  const EngineOptions& options() const { return shared_.options; }
+
   /// Resolved shard / flush-worker counts (after env and auto defaults).
   size_t shard_count() const { return shards_.size(); }
   size_t flush_worker_count() const { return flush_workers_; }
@@ -193,6 +206,11 @@ class StorageEngine {
 
  private:
   size_t ShardFor(const std::string& sensor) const;
+
+  /// Shared body of WriteMulti / WriteReplicated; `ship` gates the
+  /// replication ship log (see WriteReplicated).
+  Status WriteMultiImpl(const SensorSpanDouble* spans, size_t span_count,
+                        size_t* applied, bool ship);
 
   /// Snapshots the creation-order file list (under files_mu) and the
   /// inputs' on-disk byte sizes (outside it).

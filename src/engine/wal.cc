@@ -32,7 +32,7 @@ void PutPoint(Timestamp t, double v, ByteBuffer* payload) {
 }
 
 Status AppendFrame(std::FILE* out, const std::string& path,
-                   const ByteBuffer& payload) {
+                   const ByteBuffer& payload, size_t* bytes) {
   ByteBuffer frame;
   frame.PutFixed32(static_cast<uint32_t>(payload.size()));
   frame.PutFixed32(Crc32(payload.data().data(), payload.size()));
@@ -41,6 +41,7 @@ Status AppendFrame(std::FILE* out, const std::string& path,
       frame.size()) {
     return Status::IOError("WAL append failed: " + path);
   }
+  *bytes += frame.size();
   return Status::OK();
 }
 
@@ -56,6 +57,53 @@ bool ParsePointBody(ByteReader* body, WalRecord* record) {
 }
 
 }  // namespace
+
+static_assert(kWalHeaderBytes == kWalHeaderLen,
+              "public header-length constant out of sync");
+
+Status ParseWalPayloadV2(const uint8_t* payload, size_t size,
+                         std::vector<WalRecord>* records) {
+  ByteReader body(payload, size);
+  uint8_t type = 0;
+  if (!body.GetU8(&type).ok()) {
+    return Status::Corruption("WAL payload malformed");
+  }
+  if (type == kWalPoint) {
+    WalRecord record;
+    if (!ParsePointBody(&body, &record)) {
+      return Status::Corruption("WAL payload malformed");
+    }
+    records->push_back(std::move(record));
+    return Status::OK();
+  }
+  if (type != kWalBatch) {
+    return Status::Corruption("WAL record type unknown");
+  }
+  uint64_t group_count = 0;
+  if (!body.GetVarint64(&group_count).ok()) {
+    return Status::Corruption("WAL batch malformed");
+  }
+  for (uint64_t g = 0; g < group_count; ++g) {
+    std::string sensor;
+    uint64_t count = 0;
+    if (!body.GetLengthPrefixedString(&sensor).ok() ||
+        !body.GetVarint64(&count).ok()) {
+      return Status::Corruption("WAL batch malformed");
+    }
+    for (uint64_t i = 0; i < count; ++i) {
+      WalRecord record;
+      record.sensor = sensor;
+      uint64_t t_bits = 0, v_bits = 0;
+      if (!body.GetFixed64(&t_bits).ok() || !body.GetFixed64(&v_bits).ok()) {
+        return Status::Corruption("WAL batch malformed");
+      }
+      record.t = static_cast<Timestamp>(t_bits);
+      std::memcpy(&record.v, &v_bits, sizeof(record.v));
+      records->push_back(std::move(record));
+    }
+  }
+  return Status::OK();
+}
 
 Status WalWriter::Open() {
   if (out_ != nullptr) return Status::InvalidArgument("WAL already open");
@@ -73,6 +121,7 @@ Status WalWriter::Open() {
     (void)Close();
     return Status::IOError("cannot size WAL: " + path_);
   }
+  bytes_ = static_cast<size_t>(size);
   if (size == 0) {
     uint8_t header[kWalHeaderLen];
     std::memcpy(header, kWalMagic, sizeof(kWalMagic));
@@ -81,6 +130,7 @@ Status WalWriter::Open() {
       (void)Close();
       return Status::IOError("WAL header write failed: " + path_);
     }
+    bytes_ = kWalHeaderLen;
   }
   return Status::OK();
 }
@@ -91,7 +141,7 @@ Status WalWriter::Append(const std::string& sensor, Timestamp t, double v) {
   payload.PutU8(kWalPoint);
   payload.PutLengthPrefixedString(sensor);
   PutPoint(t, v, &payload);
-  return AppendFrame(out_, path_, payload);
+  return AppendFrame(out_, path_, payload, &bytes_);
 }
 
 Status WalWriter::AppendBatch(const SensorSpanDouble* groups,
@@ -114,7 +164,7 @@ Status WalWriter::AppendBatch(const SensorSpanDouble* groups,
       PutPoint(group.points[i].t, group.points[i].v, &payload);
     }
   }
-  return AppendFrame(out_, path_, payload);
+  return AppendFrame(out_, path_, payload, &bytes_);
 }
 
 Status WalWriter::Sync() {
@@ -187,43 +237,9 @@ Status ReadWal(const std::string& path, std::vector<WalRecord>* records,
       }
       records->push_back(std::move(record));
     } else {
-      uint8_t type = 0;
-      if (!body.GetU8(&type).ok()) {
-        return Status::Corruption("WAL payload malformed: " + path);
-      }
-      if (type == kWalPoint) {
-        WalRecord record;
-        if (!ParsePointBody(&body, &record)) {
-          return Status::Corruption("WAL payload malformed: " + path);
-        }
-        records->push_back(std::move(record));
-      } else if (type == kWalBatch) {
-        uint64_t group_count = 0;
-        if (!body.GetVarint64(&group_count).ok()) {
-          return Status::Corruption("WAL batch malformed: " + path);
-        }
-        for (uint64_t g = 0; g < group_count; ++g) {
-          std::string sensor;
-          uint64_t count = 0;
-          if (!body.GetLengthPrefixedString(&sensor).ok() ||
-              !body.GetVarint64(&count).ok()) {
-            return Status::Corruption("WAL batch malformed: " + path);
-          }
-          for (uint64_t i = 0; i < count; ++i) {
-            WalRecord record;
-            record.sensor = sensor;
-            uint64_t t_bits = 0, v_bits = 0;
-            if (!body.GetFixed64(&t_bits).ok() ||
-                !body.GetFixed64(&v_bits).ok()) {
-              return Status::Corruption("WAL batch malformed: " + path);
-            }
-            record.t = static_cast<Timestamp>(t_bits);
-            std::memcpy(&record.v, &v_bits, sizeof(record.v));
-            records->push_back(std::move(record));
-          }
-        }
-      } else {
-        return Status::Corruption("WAL record type unknown: " + path);
+      Status parsed = ParseWalPayloadV2(payload, payload_size, records);
+      if (!parsed.ok()) {
+        return Status::Corruption(parsed.message() + ": " + path);
       }
     }
     RETURN_NOT_OK(reader.Skip(payload_size));

@@ -72,11 +72,30 @@ class WalWriter {
 
   const std::string& path() const { return path_; }
 
+  /// Bytes in the segment counting the header and every appended frame
+  /// (initialized to the existing size on Open of a non-empty segment).
+  /// The ship-log rotation policy reads this instead of stat()ing.
+  size_t bytes() const { return bytes_; }
+
  private:
   std::string path_;
   bool fsync_on_sync_;
   std::FILE* out_ = nullptr;
+  size_t bytes_ = 0;
 };
+
+/// Length of the "BWAL" + version header that starts every v2 segment —
+/// the smallest valid cursor offset into a segment (see
+/// engine/wal_tailer.h).
+inline constexpr size_t kWalHeaderBytes = 5;
+
+/// Parses one v2 record payload (one frame's bytes, CRC already verified)
+/// into flat per-point records appended to `records` — the same expansion
+/// ReadWal applies, factored out so the replication tailer can decode
+/// individual frames without slurping the whole segment. Corruption on a
+/// malformed payload (a verified CRC means damage, not a torn tail).
+Status ParseWalPayloadV2(const uint8_t* payload, size_t size,
+                         std::vector<WalRecord>* records);
 
 /// Replays a WAL segment, v2 or legacy (see the format notes above). Batch
 /// records expand into per-point records in write order, so callers replay

@@ -1,0 +1,304 @@
+#include "engine/wal_tailer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/crc32.h"
+
+namespace backsort {
+
+namespace {
+
+/// Sanity cap on one ship frame's declared payload size: far above any
+/// frame the engine writes (bounded by net max_frame_bytes / memtable
+/// relog batches), low enough that a torn length field cannot trigger a
+/// giant allocation. Oversized reads as a torn tail, not an error.
+constexpr uint64_t kMaxShipFramePayload = 64u << 20;
+
+/// Cursor-store file framing: magic + version + size + crc + payload.
+constexpr uint32_t kCursorMagic = 0x52554342u;  // "BCUR" little-endian
+constexpr uint8_t kCursorVersion = 1;
+
+}  // namespace
+
+std::string ShipSegmentName(size_t shard, size_t seq) {
+  char name[48];
+  std::snprintf(name, sizeof(name), "ship-s%02zu-%08zu.log", shard, seq);
+  return name;
+}
+
+bool ParseShipSegmentName(const std::string& name, size_t* shard,
+                          size_t* seq) {
+  if (name.rfind("ship-s", 0) != 0) return false;
+  const char* p = name.c_str() + 6;
+  char* end = nullptr;
+  const unsigned long long shard_v = std::strtoull(p, &end, 10);
+  if (end == p || *end != '-') return false;
+  p = end + 1;
+  const unsigned long long seq_v = std::strtoull(p, &end, 10);
+  if (end == p || std::strcmp(end, ".log") != 0) return false;
+  *shard = static_cast<size_t>(shard_v);
+  *seq = static_cast<size_t>(seq_v);
+  return true;
+}
+
+void EncodeShipCursor(const ShipCursor& cursor, ByteBuffer* out) {
+  out->PutVarint64(cursor.segment);
+  out->PutVarint64(cursor.offset);
+}
+
+Status DecodeShipCursor(ByteReader* reader, ShipCursor* out) {
+  RETURN_NOT_OK(reader->GetVarint64(&out->segment));
+  return reader->GetVarint64(&out->offset);
+}
+
+void EncodeShipFrontier(const ShipFrontier& frontier, ByteBuffer* out) {
+  out->PutVarint64(frontier.cursors.size());
+  for (const ShipCursor& cursor : frontier.cursors) {
+    EncodeShipCursor(cursor, out);
+  }
+}
+
+Status DecodeShipFrontier(ByteReader* reader, ShipFrontier* out) {
+  out->cursors.clear();
+  uint64_t count = 0;
+  RETURN_NOT_OK(reader->GetVarint64(&count));
+  // Two varints per cursor, at least one byte each: a cheap overflow guard
+  // before reserving.
+  if (count > reader->remaining()) {
+    return Status::Corruption("ship frontier count exceeds payload");
+  }
+  out->cursors.resize(static_cast<size_t>(count));
+  for (ShipCursor& cursor : out->cursors) {
+    RETURN_NOT_OK(DecodeShipCursor(reader, &cursor));
+  }
+  return Status::OK();
+}
+
+WalTailer::WalTailer(std::string data_dir, size_t shard_count,
+                     Options options)
+    : data_dir_(std::move(data_dir)), options_(options) {
+  frontier_.cursors.resize(shard_count);
+}
+
+void WalTailer::Seek(const ShipFrontier& frontier) {
+  for (size_t s = 0; s < frontier_.cursors.size(); ++s) {
+    frontier_.cursors[s] =
+        s < frontier.cursors.size() ? frontier.cursors[s] : ShipCursor{};
+  }
+  next_shard_ = 0;
+}
+
+std::vector<size_t> WalTailer::ListSegments(size_t shard) const {
+  std::vector<size_t> seqs;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(data_dir_, ec);
+  if (ec) return seqs;
+  for (const auto& entry : it) {
+    size_t file_shard = 0, file_seq = 0;
+    if (ParseShipSegmentName(entry.path().filename().string(), &file_shard,
+                             &file_seq) &&
+        file_shard == shard) {
+      seqs.push_back(file_seq);
+    }
+  }
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+Status WalTailer::Poll(ShipChunk* chunk, bool* produced) {
+  *produced = false;
+  const size_t shards = frontier_.cursors.size();
+  for (size_t i = 0; i < shards; ++i) {
+    const size_t shard = (next_shard_ + i) % shards;
+    RETURN_NOT_OK(PollShard(shard, chunk, produced));
+    if (*produced) {
+      // Resume AFTER the shard that produced, so a backlogged shard
+      // cannot starve the others across consecutive polls.
+      next_shard_ = (shard + 1) % shards;
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Status WalTailer::PollShard(size_t shard, ShipChunk* chunk, bool* produced) {
+  ShipCursor& cursor = frontier_.cursors[shard];
+  const std::vector<size_t> segments = ListSegments(shard);
+
+  // First existing segment at or past the cursor; an exact match keeps the
+  // cursor's offset, a skip (segment purged, or never created) restarts at
+  // the next segment's header.
+  auto it = std::lower_bound(segments.begin(), segments.end(),
+                             static_cast<size_t>(cursor.segment));
+  while (it != segments.end()) {
+    if (*it != cursor.segment) {
+      cursor = {*it, kWalHeaderBytes};
+    }
+    const bool closed = std::next(it) != segments.end();
+    const std::string path =
+        data_dir_ + "/" + ShipSegmentName(shard, cursor.segment);
+
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+      // Vanished between the scan and the open. Only the replicator (our
+      // caller) purges, and only behind the acked cursor — so treat like a
+      // missing segment and move on.
+      ++it;
+      continue;
+    }
+    uint64_t offset = std::max<uint64_t>(cursor.offset, kWalHeaderBytes);
+    bool io_error = std::fseek(file, static_cast<long>(offset), SEEK_SET) != 0;
+
+    chunk->records.clear();
+    uint64_t consumed_bytes = 0;
+    bool at_end = false;  // clean EOF or torn/incomplete tail
+    std::vector<uint8_t> payload;
+    while (!io_error && !at_end &&
+           chunk->records.size() < options_.max_records &&
+           consumed_bytes < options_.max_bytes) {
+      uint8_t header[8];
+      const size_t got = std::fread(header, 1, sizeof(header), file);
+      if (got < sizeof(header)) {
+        at_end = true;  // clean end (got == 0) or torn frame header
+        break;
+      }
+      ByteReader header_reader(header, sizeof(header));
+      uint32_t payload_size = 0, expected_crc = 0;
+      (void)header_reader.GetFixed32(&payload_size);
+      (void)header_reader.GetFixed32(&expected_crc);
+      if (payload_size > kMaxShipFramePayload) {
+        at_end = true;  // torn/corrupt length field
+        break;
+      }
+      payload.resize(payload_size);
+      if (std::fread(payload.data(), 1, payload_size, file) != payload_size ||
+          Crc32(payload.data(), payload_size) != expected_crc) {
+        at_end = true;  // torn payload (in-flight flush or crash artifact)
+        break;
+      }
+      const Status parsed =
+          ParseWalPayloadV2(payload.data(), payload_size, &chunk->records);
+      if (!parsed.ok()) {
+        // CRC-valid but malformed: real damage, not a tail race.
+        std::fclose(file);
+        return Status::Corruption(parsed.message() + ": " + path);
+      }
+      offset += sizeof(header) + payload_size;
+      consumed_bytes += sizeof(header) + payload_size;
+    }
+    std::fclose(file);
+    if (io_error) return Status::IOError("cannot seek ship segment: " + path);
+
+    if (!chunk->records.empty()) {
+      cursor.offset = offset;
+      chunk->shard = shard;
+      chunk->end = cursor;
+      *produced = true;
+      return Status::OK();
+    }
+    // Nothing complete here. A closed segment's unreadable tail is a crash
+    // artifact (never applied, or re-shipped by recovery's relog) — skip
+    // to the next segment. An open segment's tail may still be flushing —
+    // leave the cursor and let a later poll retry.
+    if (!closed) return Status::OK();
+    ++it;  // the loop head repositions the cursor to the next segment
+  }
+  return Status::OK();
+}
+
+uint64_t WalTailer::BacklogBytes() const {
+  uint64_t backlog = 0;
+  for (size_t shard = 0; shard < frontier_.cursors.size(); ++shard) {
+    const ShipCursor& cursor = frontier_.cursors[shard];
+    for (const size_t seq : ListSegments(shard)) {
+      if (seq < cursor.segment) continue;
+      std::error_code ec;
+      const uint64_t size = std::filesystem::file_size(
+          data_dir_ + "/" + ShipSegmentName(shard, seq), ec);
+      if (ec) continue;
+      if (seq == cursor.segment) {
+        const uint64_t consumed =
+            std::max<uint64_t>(cursor.offset, kWalHeaderBytes);
+        backlog += size > consumed ? size - consumed : 0;
+      } else {
+        backlog += size > kWalHeaderBytes ? size - kWalHeaderBytes : 0;
+      }
+    }
+  }
+  return backlog;
+}
+
+ReplicationCursorStore::ReplicationCursorStore(std::string dir,
+                                               std::string source_id)
+    : path_(std::move(dir) + "/replcursor-" + std::move(source_id) + ".bin") {
+}
+
+Status ReplicationCursorStore::Load(ShipFrontier* frontier) const {
+  frontier->cursors.clear();
+  std::ifstream in(path_, std::ios::binary | std::ios::ate);
+  if (!in) return Status::OK();  // never stored: empty frontier
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<uint8_t> data(static_cast<size_t>(std::max<std::streamsize>(
+      size, 0)));
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size()));
+  if (!in) return Status::OK();  // unreadable counts as damaged (below)
+
+  // Any damage loads as the empty frontier: the source re-ships from the
+  // start and LWW absorbs the duplicates — strictly safer than trusting a
+  // half-written cursor that could skip records.
+  ByteReader reader(data.data(), data.size());
+  uint32_t magic = 0, payload_size = 0, crc = 0;
+  uint8_t version = 0;
+  if (!reader.GetFixed32(&magic).ok() || magic != kCursorMagic ||
+      !reader.GetU8(&version).ok() || version != kCursorVersion ||
+      !reader.GetFixed32(&payload_size).ok() ||
+      !reader.GetFixed32(&crc).ok() || payload_size != reader.remaining()) {
+    return Status::OK();
+  }
+  const uint8_t* payload = data.data() + reader.position();
+  if (Crc32(payload, payload_size) != crc) return Status::OK();
+  ByteReader body(payload, payload_size);
+  ShipFrontier decoded;
+  if (!DecodeShipFrontier(&body, &decoded).ok() || !body.AtEnd()) {
+    return Status::OK();
+  }
+  *frontier = std::move(decoded);
+  return Status::OK();
+}
+
+Status ReplicationCursorStore::Store(const ShipFrontier& frontier) const {
+  ByteBuffer payload;
+  EncodeShipFrontier(frontier, &payload);
+  ByteBuffer out;
+  out.PutFixed32(kCursorMagic);
+  out.PutU8(kCursorVersion);
+  out.PutFixed32(static_cast<uint32_t>(payload.size()));
+  out.PutFixed32(Crc32(payload.data().data(), payload.size()));
+  out.Append(payload);
+
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file ||
+        !file.write(reinterpret_cast<const char*>(out.data().data()),
+                    static_cast<std::streamsize>(out.size()))) {
+      return Status::IOError("cannot write replication cursor: " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path_, ec);
+  if (ec) {
+    return Status::IOError("cannot publish replication cursor: " + path_ +
+                           ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace backsort

@@ -1,0 +1,152 @@
+#ifndef BACKSORT_ENGINE_WAL_TAILER_H_
+#define BACKSORT_ENGINE_WAL_TAILER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "encoding/bytes.h"
+#include "engine/wal.h"
+
+namespace backsort {
+
+/// Streaming reader over an engine's replication ship log — the per-shard
+/// `ship-sNN-XXXXXXXX.log` streams written under EngineOptions::
+/// replication_log (see engine_shard.h). A shard's ship stream is a
+/// totally ordered record of that shard's applied writes, so a
+/// (segment, offset) cursor per shard identifies exactly which records a
+/// follower has and has not seen; the tailer turns a frontier of such
+/// cursors into chunks of records ready to ship.
+///
+/// Concurrency contract: the writer appends whole frames and flushes them
+/// to the OS before the covered write is acknowledged (ShipAppendLocked),
+/// and the tailer reads through the same page cache — so every record a
+/// client ever saw acknowledged is either fully readable here or
+/// re-shipped by recovery's relog. An incomplete frame can therefore mean
+/// only (a) a flush racing this read in the OPEN segment — retry later —
+/// or (b) a crash artifact at the tail of a CLOSED segment, whose records
+/// were never applied or have been re-shipped into a later segment by
+/// RecoverRelog — skip to the next segment. "Closed" is decidable from
+/// the directory alone: a higher-seq segment for the shard exists.
+
+/// Position in one shard's ship stream: the segment sequence number and
+/// the byte offset of the next unread frame. Offsets below the 5-byte
+/// segment header are clamped up to it on use, so {0, 0} means "from the
+/// beginning".
+struct ShipCursor {
+  uint64_t segment = 0;
+  uint64_t offset = 0;
+
+  bool operator==(const ShipCursor& o) const {
+    return segment == o.segment && offset == o.offset;
+  }
+};
+
+/// Per-shard cursors into one source engine's ship streams; index = shard
+/// id OF THE SOURCE (the follower's own shard count is irrelevant).
+struct ShipFrontier {
+  std::vector<ShipCursor> cursors;
+
+  bool operator==(const ShipFrontier& o) const {
+    return cursors == o.cursors;
+  }
+};
+
+/// File name of one ship segment ("ship-s<shard>-<seq>.log"); its inverse
+/// returns false on anything else. Shared by the shard writer, recovery's
+/// directory scan and the tailer so the naming never diverges.
+std::string ShipSegmentName(size_t shard, size_t seq);
+bool ParseShipSegmentName(const std::string& name, size_t* shard,
+                          size_t* seq);
+
+/// Wire/file codec of cursors and frontiers (varint fields), shared by the
+/// BSN1 replication messages and the follower's cursor store.
+void EncodeShipCursor(const ShipCursor& cursor, ByteBuffer* out);
+Status DecodeShipCursor(ByteReader* reader, ShipCursor* out);
+void EncodeShipFrontier(const ShipFrontier& frontier, ByteBuffer* out);
+Status DecodeShipFrontier(ByteReader* reader, ShipFrontier* out);
+
+/// One batch of records read past the frontier: records of ONE shard, in
+/// ship-log order, plus the cursor standing after the last consumed frame.
+struct ShipChunk {
+  size_t shard = 0;
+  std::vector<WalRecord> records;
+  ShipCursor end;
+};
+
+/// Tails the ship streams of one data directory. Single-threaded (the
+/// replicator owns one); holds no engine locks and no open file across
+/// calls, so it never blocks or is blocked by the writing engine.
+class WalTailer {
+ public:
+  struct Options {
+    /// Record budget per Poll: a chunk stops growing past this (always at
+    /// least one frame is consumed, however many records it expands to).
+    size_t max_records = 2048;
+    /// Payload-byte budget per Poll, same always-progress rule.
+    size_t max_bytes = 1u << 20;
+  };
+
+  WalTailer(std::string data_dir, size_t shard_count)
+      : WalTailer(std::move(data_dir), shard_count, Options()) {}
+  WalTailer(std::string data_dir, size_t shard_count, Options options);
+
+  /// Repositions every shard cursor (e.g. to a follower's acknowledged
+  /// frontier after a reconnect handshake). Shards beyond the frontier's
+  /// size start from {0, 0}.
+  void Seek(const ShipFrontier& frontier);
+
+  const ShipFrontier& frontier() const { return frontier_; }
+
+  /// Reads the next chunk of unshipped records, scanning shards round-
+  /// robin from where the last Poll left off (so one hot shard cannot
+  /// starve the others). `*produced` = false means fully caught up: no
+  /// complete unread frame exists in any shard right now (torn tails of
+  /// open segments included — they become readable once the writer's
+  /// flush lands). Missing segments at the cursor (already purged, or a
+  /// crash artifact skipped by recovery) advance to the next existing
+  /// one. Returns non-OK only on real damage (CRC-valid but malformed
+  /// payload) or filesystem errors.
+  Status Poll(ShipChunk* chunk, bool* produced);
+
+  /// Bytes between the current frontier and the end of every ship
+  /// segment on disk — the replication backlog this tailer still owes.
+  uint64_t BacklogBytes() const;
+
+ private:
+  /// Sorted existing segment seqs of one shard (directory scan).
+  std::vector<size_t> ListSegments(size_t shard) const;
+
+  /// Polls one shard; same contract as Poll but fixed shard.
+  Status PollShard(size_t shard, ShipChunk* chunk, bool* produced);
+
+  const std::string data_dir_;
+  const Options options_;
+  ShipFrontier frontier_;
+  size_t next_shard_ = 0;
+};
+
+/// Follower-side persistence of one source node's acknowledged frontier:
+/// `replcursor-<source>.bin` in the follower's data dir, rewritten
+/// atomically (tmp + rename) on every store. A missing or damaged file
+/// loads as the empty frontier — the source then re-ships from the start
+/// of whatever segments it still has, which the follower's LWW apply
+/// absorbs (idempotence over availability).
+class ReplicationCursorStore {
+ public:
+  ReplicationCursorStore(std::string dir, std::string source_id);
+
+  Status Load(ShipFrontier* frontier) const;
+  Status Store(const ShipFrontier& frontier) const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace backsort
+
+#endif  // BACKSORT_ENGINE_WAL_TAILER_H_

@@ -18,6 +18,12 @@ constexpr size_t kMaxResponseBytes = 64u << 20;
 
 }  // namespace
 
+BacksortClient::BacksortClient(ClientOptions options)
+    : options_(options),
+      rng_(static_cast<uint64_t>(
+               std::chrono::steady_clock::now().time_since_epoch().count()) ^
+           reinterpret_cast<uintptr_t>(this)) {}
+
 Status BacksortClient::Connect(const std::string& host, uint16_t port) {
   Close();
   ScopedFd fd;
@@ -106,6 +112,35 @@ Status BacksortClient::MetricsSnapshot(std::string* exposition) {
   return Status::OK();
 }
 
+Status BacksortClient::ReplicateChunk(const ReplicateBatchRequest& req,
+                                      ShipCursor* acked) {
+  ByteBuffer payload;
+  EncodeReplicateBatchRequest(req, &payload);
+  std::vector<uint8_t> response;
+  RETURN_NOT_OK(Call(MsgType::kReplicateBatch, payload, &response));
+  ByteReader reader(response);
+  RETURN_NOT_OK(DecodeShipCursor(&reader, acked));
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes in replicate response");
+  }
+  return Status::OK();
+}
+
+Status BacksortClient::FetchReplicationCursor(const std::string& source_id,
+                                              ShipFrontier* frontier) {
+  ReplicationAckRequest req{source_id};
+  ByteBuffer payload;
+  EncodeReplicationAckRequest(req, &payload);
+  std::vector<uint8_t> response;
+  RETURN_NOT_OK(Call(MsgType::kReplicationAck, payload, &response));
+  ByteReader reader(response);
+  RETURN_NOT_OK(DecodeShipFrontier(&reader, frontier));
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes in replication-ack response");
+  }
+  return Status::OK();
+}
+
 Status BacksortClient::PipelineWriteBatch(
     const std::string& sensor, const std::vector<TvPairDouble>& points) {
   if (!fd_.valid()) return Status::InvalidArgument("client not connected");
@@ -171,7 +206,13 @@ Status BacksortClient::Call(MsgType type, const ByteBuffer& request_payload,
     if (!st.IsUnavailable()) return st;
     ++overload_retries_;
     if (attempt >= options_.max_retries) return st;
-    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    // Jitter the sleep so shed clients spread out instead of re-arriving
+    // in the same lockstep burst that got them shed.
+    const double j = std::clamp(options_.backoff_jitter, 0.0, 1.0);
+    const double factor = 1.0 - j + 2.0 * j * rng_.NextDouble();
+    const auto sleep_ms =
+        static_cast<int64_t>(static_cast<double>(backoff_ms) * factor);
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
     backoff_ms *= 2;
   }
 }

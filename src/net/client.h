@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "net/protocol.h"
@@ -32,6 +33,12 @@ struct ClientOptions {
   /// surface Overloaded to the caller immediately.
   int max_retries = 3;
   int backoff_initial_ms = 10;
+
+  /// Backoff jitter: each retry sleeps a uniform draw from
+  /// [base * (1 - j), base * (1 + j)] instead of exactly `base`, so a
+  /// burst of clients shed together does not re-converge on the server in
+  /// lockstep on every retry round. 0 disables; clamped to [0, 1].
+  double backoff_jitter = 0.5;
 };
 
 /// Blocking-style client for the backsort wire protocol over one TCP
@@ -51,7 +58,7 @@ struct ClientOptions {
 /// retries). Not thread-safe — use one client per thread.
 class BacksortClient {
  public:
-  explicit BacksortClient(ClientOptions options = {}) : options_(options) {}
+  explicit BacksortClient(ClientOptions options = {});
 
   /// Connects (with the configured deadline); the socket is left
   /// non-blocking so every transfer can honor the whole-round-trip
@@ -85,6 +92,18 @@ class BacksortClient {
 
   /// Fetches the server's merged engine + net Prometheus exposition.
   Status MetricsSnapshot(std::string* exposition);
+
+  // --- replication ------------------------------------------------------------
+
+  /// Ships one chunk of the local ship log to the follower; on OK,
+  /// `acked` is the cursor the follower has persisted (== req.end when
+  /// the chunk applied). Used by the cluster Replicator.
+  Status ReplicateChunk(const ReplicateBatchRequest& req, ShipCursor* acked);
+
+  /// Asks the follower for the frontier it has persisted for `source_id`
+  /// (empty when it never received a chunk) — the reconnect handshake.
+  Status FetchReplicationCursor(const std::string& source_id,
+                                ShipFrontier* frontier);
 
   // --- pipelining -----------------------------------------------------------
 
@@ -170,6 +189,9 @@ class BacksortClient {
   std::vector<uint8_t> rbuf_;
   size_t rpos_ = 0;
   uint64_t overload_retries_ = 0;
+  /// Jitter source for retry backoff (seeded per client in the ctor, so
+  /// clients constructed together still draw different sleeps).
+  Rng rng_;
 };
 
 }  // namespace backsort

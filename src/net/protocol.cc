@@ -104,7 +104,7 @@ Status WireToStatus(uint8_t code, std::string msg) {
 bool ValidMsgType(uint8_t raw) {
   const uint8_t base = raw & static_cast<uint8_t>(~kResponseBit);
   return base >= static_cast<uint8_t>(MsgType::kPing) &&
-         base <= static_cast<uint8_t>(MsgType::kMetricsSnapshot);
+         base <= static_cast<uint8_t>(MsgType::kReplicationAck);
 }
 
 const char* WireCodeName(WireCode code) {
@@ -145,6 +145,10 @@ const char* MsgTypeName(MsgType t) {
       return "aggregate_fast";
     case MsgType::kMetricsSnapshot:
       return "metrics_snapshot";
+    case MsgType::kReplicateBatch:
+      return "replicate_batch";
+    case MsgType::kReplicationAck:
+      return "replication_ack";
   }
   return "unknown";
 }
@@ -304,6 +308,71 @@ Status DecodeSensorRequest(const uint8_t* payload, size_t size,
                            SensorRequest* out) {
   ByteReader reader(payload, size);
   RETURN_NOT_OK(reader.GetLengthPrefixedString(&out->sensor));
+  if (!reader.AtEnd()) return Status::Corruption("trailing bytes in request");
+  return Status::OK();
+}
+
+void EncodeReplicateBatchRequest(const ReplicateBatchRequest& req,
+                                 ByteBuffer* out) {
+  out->PutLengthPrefixedString(req.source_id);
+  out->PutVarint64(req.shard);
+  EncodeShipCursor(req.end, out);
+  out->PutVarint64(req.groups.size());
+  for (const WriteBatchRequest& group : req.groups) {
+    EncodeWriteBatchRequest(group, out);
+  }
+}
+
+Status DecodeReplicateBatchRequest(const uint8_t* payload, size_t size,
+                                   ReplicateBatchRequest* out) {
+  ByteReader reader(payload, size);
+  RETURN_NOT_OK(reader.GetLengthPrefixedString(&out->source_id));
+  RETURN_NOT_OK(reader.GetVarint64(&out->shard));
+  RETURN_NOT_OK(DecodeShipCursor(&reader, &out->end));
+  uint64_t group_count = 0;
+  RETURN_NOT_OK(reader.GetVarint64(&group_count));
+  // A group is at least a 1-byte sensor length + 1-byte point count.
+  if (group_count > reader.remaining() / 2) {
+    return Status::Corruption("replicate batch group count exceeds payload");
+  }
+  out->groups.clear();
+  out->groups.resize(static_cast<size_t>(group_count));
+  for (WriteBatchRequest& group : out->groups) {
+    RETURN_NOT_OK(reader.GetLengthPrefixedString(&group.sensor));
+    uint64_t count = 0;
+    RETURN_NOT_OK(reader.GetVarint64(&count));
+    if (count > reader.remaining() / 16) {
+      return Status::Corruption("replicate batch count exceeds payload");
+    }
+    group.points.clear();
+    if (kPointsAreWireLayout) {
+      group.points.resize(static_cast<size_t>(count));
+      RETURN_NOT_OK(reader.GetBytes(group.points.data(),
+                                    group.points.size() *
+                                        sizeof(TvPairDouble)));
+    } else {
+      group.points.reserve(static_cast<size_t>(count));
+      for (uint64_t i = 0; i < count; ++i) {
+        TvPairDouble p{};
+        RETURN_NOT_OK(GetTimestamp(&reader, &p.t));
+        RETURN_NOT_OK(GetDoubleBits(&reader, &p.v));
+        group.points.push_back(p);
+      }
+    }
+  }
+  if (!reader.AtEnd()) return Status::Corruption("trailing bytes in request");
+  return Status::OK();
+}
+
+void EncodeReplicationAckRequest(const ReplicationAckRequest& req,
+                                 ByteBuffer* out) {
+  out->PutLengthPrefixedString(req.source_id);
+}
+
+Status DecodeReplicationAckRequest(const uint8_t* payload, size_t size,
+                                   ReplicationAckRequest* out) {
+  ByteReader reader(payload, size);
+  RETURN_NOT_OK(reader.GetLengthPrefixedString(&out->source_id));
   if (!reader.AtEnd()) return Status::Corruption("trailing bytes in request");
   return Status::OK();
 }

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "encoding/bytes.h"
+#include "engine/wal_tailer.h"
 #include "tsfile/tsfile.h"
 
 namespace backsort {
@@ -48,13 +49,19 @@ enum class MsgType : uint8_t {
   kGetLatest = 0x04,
   kAggregateFast = 0x05,
   kMetricsSnapshot = 0x06,
+  // Cluster replication (docs/WIRE_PROTOCOL.md §replication): a primary
+  // ships chunks of its per-shard ship log to its follower and the
+  // follower persists (segment, offset) cursors, so a reconnect resumes
+  // exactly where the last acknowledged chunk ended.
+  kReplicateBatch = 0x07,
+  kReplicationAck = 0x08,
 };
 
 inline constexpr uint8_t kResponseBit = 0x80;
 
 /// Number of request types (dense, starting at kPing = 1) — sizes the
 /// per-RPC metric arrays.
-inline constexpr size_t kNumMsgTypes = 6;
+inline constexpr size_t kNumMsgTypes = 8;
 
 /// Dense [0, kNumMsgTypes) index of a request type, for metric arrays.
 inline constexpr size_t MsgTypeIndex(MsgType t) {
@@ -170,6 +177,44 @@ Status DecodeRangeRequest(const uint8_t* payload, size_t size,
 void EncodeSensorRequest(const SensorRequest& req, ByteBuffer* out);
 Status DecodeSensorRequest(const uint8_t* payload, size_t size,
                            SensorRequest* out);
+
+// --- replication messages ---------------------------------------------------
+
+/// One shipped chunk of a source node's per-shard ship log (kReplicateBatch
+/// request). `groups` is the chunk's flat record stream grouped into
+/// consecutive same-sensor runs — a stable grouping, so the follower's
+/// apply preserves the source's per-sensor write order (what LWW
+/// idempotence of re-shipped records rests on). `end` is the source-side
+/// cursor standing after the chunk's last frame; the follower persists it
+/// per (source, shard) and returns it as the response body (ShipCursor),
+/// so the source's acked frontier is always what the follower has durable.
+struct ReplicateBatchRequest {
+  std::string source_id;
+  uint64_t shard = 0;
+  ShipCursor end;
+  std::vector<WriteBatchRequest> groups;
+};
+
+void EncodeReplicateBatchRequest(const ReplicateBatchRequest& req,
+                                 ByteBuffer* out);
+Status DecodeReplicateBatchRequest(const uint8_t* payload, size_t size,
+                                   ReplicateBatchRequest* out);
+
+/// Cursor handshake (kReplicationAck request): asks the follower for the
+/// frontier it has persisted for `source_id` (empty when it never received
+/// a chunk). The response body is a ShipFrontier; a (re)connecting source
+/// seeks its tailer there and re-ships anything past it.
+struct ReplicationAckRequest {
+  std::string source_id;
+};
+
+void EncodeReplicationAckRequest(const ReplicationAckRequest& req,
+                                 ByteBuffer* out);
+Status DecodeReplicationAckRequest(const uint8_t* payload, size_t size,
+                                   ReplicationAckRequest* out);
+
+// ShipCursor / ShipFrontier travel with their engine-layer codec
+// (EncodeShipCursor / EncodeShipFrontier in engine/wal_tailer.h).
 
 // --- response bodies (appended after an OK wire status) ---------------------
 

@@ -709,6 +709,7 @@ std::string BacksortServer::RenderMetricsExposition() {
   ExportEngineMetrics(engine_->GetMetricsSnapshot(), /*base_labels=*/{},
                       /*include_traces=*/false, &registry);
   ExportNetMetrics(GetNetMetrics(), /*base_labels=*/{}, &registry);
+  if (extra_exporter_) extra_exporter_(&registry);
   return registry.RenderPrometheus();
 }
 
@@ -842,9 +843,80 @@ Status BacksortServer::Dispatch(MsgType type,
       body->PutLengthPrefixedString(RenderMetricsExposition());
       return Status::OK();
     }
+    case MsgType::kReplicateBatch:
+      return HandleReplicateBatch(payload, body);
+    case MsgType::kReplicationAck:
+      return HandleReplicationAck(payload, body);
   }
   // Unreachable: ParseFrameHeader rejects unknown types before dispatch.
   return Status::InvalidArgument("unhandled message type");
+}
+
+ShipFrontier& BacksortServer::LoadedFrontierLocked(
+    const std::string& source_id) {
+  auto it = repl_frontiers_.find(source_id);
+  if (it == repl_frontiers_.end()) {
+    ShipFrontier frontier;
+    // A missing or damaged cursor file loads as the empty frontier; the
+    // source then re-ships from its oldest segment and LWW absorbs it.
+    (void)ReplicationCursorStore(engine_->options().data_dir, source_id)
+        .Load(&frontier);
+    it = repl_frontiers_.emplace(source_id, std::move(frontier)).first;
+  }
+  return it->second;
+}
+
+Status BacksortServer::HandleReplicateBatch(
+    const std::vector<uint8_t>& payload, ByteBuffer* body) {
+  ReplicateBatchRequest req;
+  RETURN_NOT_OK(DecodeReplicateBatchRequest(payload.data(), payload.size(),
+                                            &req));
+  if (req.source_id.empty()) {
+    return Status::InvalidArgument("replicate batch without source id");
+  }
+  // Apply in group order — consecutive same-sensor runs of the source's
+  // ship stream, so per-sensor arrival order survives and a replayed
+  // chunk is LWW-idempotent. WriteReplicated never re-enters this node's
+  // own ship log (a two-node ring would otherwise cycle forever).
+  std::vector<SensorSpanDouble> spans;
+  spans.reserve(req.groups.size());
+  for (const WriteBatchRequest& group : req.groups) {
+    spans.push_back(
+        SensorSpanDouble{&group.sensor, group.points.data(),
+                         group.points.size()});
+  }
+  RETURN_NOT_OK(engine_->WriteReplicated(spans.data(), spans.size()));
+
+  std::lock_guard<std::mutex> lock(repl_mu_);
+  ShipFrontier& frontier = LoadedFrontierLocked(req.source_id);
+  if (req.shard >= frontier.cursors.size()) {
+    frontier.cursors.resize(static_cast<size_t>(req.shard) + 1);
+  }
+  ShipCursor& cursor = frontier.cursors[static_cast<size_t>(req.shard)];
+  // Monotone advance only: a duplicate/late chunk (source retry after a
+  // lost ack) must not move the durable cursor backwards.
+  if (req.end.segment > cursor.segment ||
+      (req.end.segment == cursor.segment && req.end.offset > cursor.offset)) {
+    cursor = req.end;
+    RETURN_NOT_OK(
+        ReplicationCursorStore(engine_->options().data_dir, req.source_id)
+            .Store(frontier));
+  }
+  EncodeShipCursor(cursor, body);
+  return Status::OK();
+}
+
+Status BacksortServer::HandleReplicationAck(
+    const std::vector<uint8_t>& payload, ByteBuffer* body) {
+  ReplicationAckRequest req;
+  RETURN_NOT_OK(
+      DecodeReplicationAckRequest(payload.data(), payload.size(), &req));
+  if (req.source_id.empty()) {
+    return Status::InvalidArgument("replication ack without source id");
+  }
+  std::lock_guard<std::mutex> lock(repl_mu_);
+  EncodeShipFrontier(LoadedFrontierLocked(req.source_id), body);
+  return Status::OK();
 }
 
 }  // namespace backsort

@@ -5,13 +5,17 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "engine/storage_engine.h"
+#include "engine/wal_tailer.h"
 #include "net/admission.h"
 #include "net/net_metrics.h"
 #include "net/protocol.h"
@@ -122,6 +126,14 @@ class BacksortServer {
   /// MetricsSnapshot RPC payload, also used by `bstool serve`.
   std::string RenderMetricsExposition();
 
+  /// Registers an extra exporter merged into RenderMetricsExposition —
+  /// how cluster-mode replication metrics ride along without net knowing
+  /// about the cluster layer. Call before Start(); the exporter must be
+  /// thread-safe (workers render concurrently).
+  void SetExtraMetricsExporter(std::function<void(MetricsRegistry*)> exporter) {
+    extra_exporter_ = std::move(exporter);
+  }
+
  private:
   class EventLoop;
   struct Connection;
@@ -153,6 +165,23 @@ class BacksortServer {
   Status Dispatch(MsgType type, const std::vector<uint8_t>& payload,
                   ByteBuffer* body);
 
+  /// Applies one shipped replication chunk (kReplicateBatch): decode →
+  /// WriteReplicated (never re-shipped — loop prevention on a ring) →
+  /// persist the per-(source, shard) cursor → respond with the stored
+  /// cursor. Serialized under repl_mu_ so cursor reads/writes are atomic
+  /// per source.
+  Status HandleReplicateBatch(const std::vector<uint8_t>& payload,
+                              ByteBuffer* body);
+
+  /// Cursor handshake (kReplicationAck): responds with the frontier this
+  /// node has persisted for the requesting source (empty when none).
+  Status HandleReplicationAck(const std::vector<uint8_t>& payload,
+                              ByteBuffer* body);
+
+  /// Loads (lazily, once) the persisted frontier of `source_id` into
+  /// repl_frontiers_ and returns it. Caller holds repl_mu_.
+  ShipFrontier& LoadedFrontierLocked(const std::string& source_id);
+
   EngineOptions engine_options_;
   ServerOptions options_;
   std::unique_ptr<StorageEngine> engine_;
@@ -178,6 +207,16 @@ class BacksortServer {
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<Request> request_queue_;
+
+  /// Merged into RenderMetricsExposition when set (cluster metrics hook).
+  std::function<void(MetricsRegistry*)> extra_exporter_;
+
+  /// Follower-side replication state: the acknowledged frontier per
+  /// source node, mirrored to replcursor-<source>.bin in the engine's
+  /// data dir. Guarded by repl_mu_ (replication chunks arrive one at a
+  /// time per source, so this lock is never hot).
+  std::mutex repl_mu_;
+  std::map<std::string, ShipFrontier> repl_frontiers_;
 
   std::thread accept_thread_;
   std::vector<std::thread> workers_;

@@ -20,6 +20,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cluster/cluster_metrics.h"
 #include "common/metrics_registry.h"
 #include "engine/storage_engine.h"
 #include "net/net_metrics.h"
@@ -570,8 +571,12 @@ TEST(NetMetricsExposition, GoldenFamilySet) {
 TEST(NetMetricsExposition, PerTypeSamplesCarryValues) {
   Exposition e;
   ParseExposition(RenderNet(), &e);
-  const char* type_names[] = {"ping",       "write_batch",    "query",
-                              "get_latest", "aggregate_fast", "metrics_snapshot"};
+  const char* type_names[] = {"ping",           "write_batch",
+                              "query",          "get_latest",
+                              "aggregate_fast", "metrics_snapshot",
+                              "replicate_batch", "replication_ack"};
+  static_assert(std::size(type_names) == kNumMsgTypes,
+                "new MsgType needs a name here");
   for (size_t i = 0; i < kNumMsgTypes; ++i) {
     const std::string label = std::string("type=\"") + type_names[i] + "\"";
     EXPECT_EQ(SampleValue(e, "backsort_net_requests_total", label),
@@ -606,6 +611,86 @@ TEST(NetMetricsExposition, PerTypeSamplesCarryValues) {
 TEST(NetMetricsExposition, DocsListEveryExportedFamily) {
   Exposition e;
   ParseExposition(RenderNet(), &e);
+  const std::string docs_path =
+      std::string(BACKSORT_SOURCE_DIR) + "/docs/METRICS.md";
+  std::ifstream in(docs_path);
+  ASSERT_TRUE(in.is_open()) << "missing " << docs_path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string docs = buf.str();
+  for (const auto& [family, type] : e.types) {
+    EXPECT_NE(docs.find("`" + family + "`"), std::string::npos)
+        << family << " not documented in docs/METRICS.md";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster replication metrics (ExportClusterMetrics) — same golden
+// discipline: pin the exact family set, the counter-naming convention,
+// carried values, and docs/METRICS.md coverage.
+
+std::string RenderCluster() {
+  ClusterMetrics metrics;
+  metrics.ship_chunks = 4;
+  metrics.ship_records = 4'000;
+  metrics.ship_bytes = 65'536;
+  metrics.acked_records = 3'900;
+  metrics.ship_errors = 1;
+  metrics.reconnects = 2;
+  metrics.backlog_bytes = 1'024;
+  metrics.ship_rtt_ns.Record(250'000);
+  MetricsRegistry registry;
+  ExportClusterMetrics(metrics.Snapshot(), {}, &registry);
+  return registry.RenderPrometheus();
+}
+
+TEST(ClusterMetricsExposition, GoldenFamilySet) {
+  Exposition e;
+  ParseExposition(RenderCluster(), &e);
+  // The exact families ExportClusterMetrics emits. Adding or renaming one
+  // must update this list AND docs/METRICS.md.
+  const std::map<std::string, std::string> expected = {
+      {"backsort_cluster_ship_chunks_total", "counter"},
+      {"backsort_cluster_ship_records_total", "counter"},
+      {"backsort_cluster_ship_bytes_total", "counter"},
+      {"backsort_cluster_acked_records_total", "counter"},
+      {"backsort_cluster_ship_errors_total", "counter"},
+      {"backsort_cluster_reconnects_total", "counter"},
+      {"backsort_cluster_backlog_bytes", "gauge"},
+      {"backsort_cluster_ship_rtt_seconds", "summary"},
+  };
+  EXPECT_EQ(e.types, expected);
+  for (const auto& [family, type] : e.types) {
+    const bool ends_total =
+        family.size() > 6 &&
+        family.compare(family.size() - 6, 6, "_total") == 0;
+    EXPECT_EQ(type == "counter", ends_total) << family;
+  }
+}
+
+TEST(ClusterMetricsExposition, ValuesCarryThrough) {
+  Exposition e;
+  ParseExposition(RenderCluster(), &e);
+  EXPECT_EQ(SampleValue(e, "backsort_cluster_ship_chunks_total", ""), 4.0);
+  EXPECT_EQ(SampleValue(e, "backsort_cluster_ship_records_total", ""), 4000.0);
+  EXPECT_EQ(SampleValue(e, "backsort_cluster_ship_bytes_total", ""), 65536.0);
+  EXPECT_EQ(SampleValue(e, "backsort_cluster_acked_records_total", ""),
+            3900.0);
+  EXPECT_EQ(SampleValue(e, "backsort_cluster_ship_errors_total", ""), 1.0);
+  EXPECT_EQ(SampleValue(e, "backsort_cluster_reconnects_total", ""), 2.0);
+  EXPECT_EQ(SampleValue(e, "backsort_cluster_backlog_bytes", ""), 1024.0);
+  // One 250µs round-trip, rendered in seconds; the histogram is log-scale
+  // so the quantile is bucket-approximate.
+  EXPECT_NEAR(SampleValue(e, "backsort_cluster_ship_rtt_seconds",
+                          "quantile=\"1\""),
+              2.5e-4, 2.5e-5);
+  EXPECT_EQ(SampleValue(e, "backsort_cluster_ship_rtt_seconds_count", ""),
+            1.0);
+}
+
+TEST(ClusterMetricsExposition, DocsListEveryExportedFamily) {
+  Exposition e;
+  ParseExposition(RenderCluster(), &e);
   const std::string docs_path =
       std::string(BACKSORT_SOURCE_DIR) + "/docs/METRICS.md";
   std::ifstream in(docs_path);

@@ -43,7 +43,7 @@
 //                [--event-loops=N] [--workers=N] [--max-pipeline-depth=N]
 //                [--shards=N] [--flush-workers=N]
 //                [--max-inflight-requests=N] [--max-inflight-bytes=N]
-//                [--wal-fsync]
+//                [--wal-fsync] [--cluster=SPEC] [--node-id=ID]
 //       Serve a storage engine under <dir> over the BSN1 wire protocol
 //       (docs/WIRE_PROTOCOL.md) until SIGINT/SIGTERM, then shut down
 //       gracefully (in-flight requests drain, the engine flushes).
@@ -53,8 +53,16 @@
 //       --port-file writes the bound port for scripts. A final request
 //       summary is printed on exit; live metrics are served by the
 //       MetricsSnapshot RPC (`bstool client <addr> metrics`).
+//       --cluster names a static node map (a file, or an inline
+//       `[id=]host:port,...` list) and --node-id this process's entry;
+//       the node then ships its writes to its ring follower
+//       (docs/OPERATIONS.md "Running a cluster").
 //   bstool client <host:port> ping|write|query|latest|agg|metrics [...]
-//       One-shot wire-protocol client for a running `bstool serve`:
+//   bstool client --servers=<host:port,...> write|query|latest|agg [...]
+//       One-shot wire-protocol client for a running `bstool serve`.
+//       --servers routes each operation to its sensor's primary by the
+//       cluster hash, failing over to the replica when the primary is
+//       unreachable. Single-address form:
 //         ping                       round-trip latency probe
 //         write <sensor> <count> [--t0=N] [--batch=N] [--pipeline=D]
 //                                    synthetic ascending-time points;
@@ -86,6 +94,8 @@
 
 #include "benchkit/csv.h"
 #include "benchkit/workload.h"
+#include "cluster/cluster_client.h"
+#include "cluster/node.h"
 #include "common/metrics_registry.h"
 #include "common/rng.h"
 #include "common/timer.h"
@@ -132,8 +142,11 @@ int Usage() {
                "        [--flush-parallelism=N] [--max-inflight-requests=N]\n"
                "        [--max-inflight-bytes=N] [--wal-fsync]"
                " [--compaction]\n"
+               "        [--cluster=SPEC] [--node-id=ID]\n"
                "  client <host:port>"
-               " ping|write|query|latest|agg|metrics [...]\n");
+               " ping|write|query|latest|agg|metrics [...]\n"
+               "  client --servers=<host:port,...>"
+               " write|query|latest|agg [...]\n");
   return 2;
 }
 
@@ -666,6 +679,7 @@ int CmdServe(int argc, char** argv) {
   size_t max_inflight_requests = server_opt.max_inflight_requests;
   size_t max_inflight_bytes = server_opt.max_inflight_bytes;
   std::string host = server_opt.host, port_file;
+  std::string cluster_spec, node_id;
   bool wal_fsync = false;
   bool compaction = false;
   for (int i = 1; i < argc; ++i) {
@@ -678,6 +692,8 @@ int CmdServe(int argc, char** argv) {
       continue;
     }
     if (FlagStr(argv[i], "--host", &host) ||
+        FlagStr(argv[i], "--cluster", &cluster_spec) ||
+        FlagStr(argv[i], "--node-id", &node_id) ||
         FlagStr(argv[i], "--port-file", &port_file) ||
         FlagValue(argv[i], "--port", &port) ||
         FlagValue(argv[i], "--workers", &workers) ||
@@ -711,20 +727,57 @@ int CmdServe(int argc, char** argv) {
   server_opt.max_inflight_requests = max_inflight_requests;
   server_opt.max_inflight_bytes = max_inflight_bytes;
 
-  BacksortServer server(std::move(engine_opt), std::move(server_opt));
-  if (Status st = server.Start(); !st.ok()) return Fail(st);
+  // Cluster mode wraps the same server in a ClusterNode, which turns the
+  // engine's ship log on and ships writes to the ring follower.
+  std::unique_ptr<ClusterNode> node;
+  std::unique_ptr<BacksortServer> plain;
+  BacksortServer* server = nullptr;
+  if (!cluster_spec.empty()) {
+    ClusterConfig config;
+    if (Status st = ClusterConfig::Parse(cluster_spec, &config); !st.ok()) {
+      return Fail(st);
+    }
+    size_t index = 0;
+    if (!node_id.empty()) {
+      index = config.IndexOf(node_id);
+      if (index == ClusterConfig::npos) {
+        std::fprintf(stderr, "error: --node-id=%s is not in the cluster map\n",
+                     node_id.c_str());
+        return 2;
+      }
+    } else if (config.size() > 1) {
+      std::fprintf(stderr,
+                   "error: --cluster with multiple nodes needs --node-id\n");
+      return 2;
+    }
+    node = std::make_unique<ClusterNode>(std::move(config), index,
+                                         std::move(engine_opt),
+                                         std::move(server_opt));
+    if (Status st = node->Start(); !st.ok()) return Fail(st);
+    server = node->server();
+  } else {
+    plain = std::make_unique<BacksortServer>(std::move(engine_opt),
+                                             std::move(server_opt));
+    if (Status st = plain->Start(); !st.ok()) return Fail(st);
+    server = plain.get();
+  }
   if (!port_file.empty()) {
     std::FILE* f = std::fopen(port_file.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "error: cannot write %s\n", port_file.c_str());
       return 1;
     }
-    std::fprintf(f, "%u\n", server.port());
+    std::fprintf(f, "%u\n", server->port());
     std::fclose(f);
   }
-  std::printf("serving %s on %s:%u (%zu event loops, %zu workers); "
-              "Ctrl-C stops\n",
-              argv[0], host.c_str(), server.port(), event_loops, workers);
+  if (node != nullptr) {
+    std::printf("serving %s on %s:%u as cluster node %s; Ctrl-C stops\n",
+                argv[0], host.c_str(), server->port(), node->id().c_str());
+  } else {
+    std::printf("serving %s on %s:%u (%zu event loops, %zu workers); "
+                "Ctrl-C stops\n",
+                argv[0], host.c_str(), server->port(), event_loops, workers);
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleServeSignal);
@@ -732,9 +785,13 @@ int CmdServe(int argc, char** argv) {
   while (g_serve_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
-  server.Stop();
+  if (node != nullptr) {
+    node->Stop();
+  } else {
+    plain->Stop();
+  }
 
-  const NetMetricsSnapshot net = server.GetNetMetrics();
+  const NetMetricsSnapshot net = server->GetNetMetrics();
   std::printf("shutdown: %llu connections, %llu overload sheds, "
               "%llu protocol errors\n",
               static_cast<unsigned long long>(net.connections_total),
@@ -747,11 +804,116 @@ int CmdServe(int argc, char** argv) {
                 static_cast<unsigned long long>(net.requests_total[i]),
                 net.request_duration[i].Percentile(99) / 1e6);
   }
+  if (node != nullptr) {
+    const ClusterMetricsSnapshot ship = node->metrics()->Snapshot();
+    std::printf("replication: %llu chunks shipped (%llu records, %llu acked),"
+                " %llu errors, %llu reconnects, %llu bytes backlog\n",
+                static_cast<unsigned long long>(ship.ship_chunks),
+                static_cast<unsigned long long>(ship.ship_records),
+                static_cast<unsigned long long>(ship.acked_records),
+                static_cast<unsigned long long>(ship.ship_errors),
+                static_cast<unsigned long long>(ship.reconnects),
+                static_cast<unsigned long long>(ship.backlog_bytes));
+  }
   return 0;
+}
+
+/// `bstool client --servers=...`: per-sensor routing over the cluster
+/// hash, with automatic failover to the sensor's replica (satellite of
+/// the cluster subsystem; docs/OPERATIONS.md "Running a cluster").
+int CmdClusterClient(const std::string& servers, int argc, char** argv) {
+  if (argc < 1) return Usage();
+  ClusterConfig config;
+  if (Status st = ClusterConfig::Parse(servers, &config); !st.ok()) {
+    return Fail(st);
+  }
+  ClusterClient client(std::move(config));
+  const std::string op = argv[0];
+  --argc;
+  ++argv;
+
+  if (op == "write") {
+    if (argc < 2) return Usage();
+    const std::string sensor = argv[0];
+    const size_t count =
+        static_cast<size_t>(std::strtoull(argv[1], nullptr, 10));
+    size_t t0 = 0, batch = 500;
+    for (int i = 2; i < argc; ++i) {
+      if (FlagValue(argv[i], "--t0", &t0) ||
+          FlagValue(argv[i], "--batch", &batch)) {
+        continue;
+      }
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      return Usage();
+    }
+    WallTimer timer;
+    std::vector<TvPairDouble> points;
+    for (size_t i = 0; i < count;) {
+      points.clear();
+      for (size_t j = 0; j < batch && i < count; ++j, ++i) {
+        const Timestamp t = static_cast<Timestamp>(t0 + i);
+        points.push_back({t, static_cast<double>(i)});
+      }
+      if (Status st = client.WriteBatch(sensor, points); !st.ok()) {
+        return Fail(st);
+      }
+    }
+    const size_t primary = client.router().PrimaryFor(sensor);
+    std::printf("wrote %zu points to %s via %s in %.3f ms (%llu failovers)\n",
+                count, sensor.c_str(),
+                client.config().nodes[primary].id.c_str(),
+                timer.ElapsedMillis(),
+                static_cast<unsigned long long>(client.failovers()));
+    return 0;
+  }
+  if (op == "query") {
+    if (argc < 3) return Usage();
+    std::vector<TvPairDouble> points;
+    if (Status st = client.Query(argv[0], std::atoll(argv[1]),
+                                 std::atoll(argv[2]), &points);
+        !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("timestamp,value\n");
+    for (const TvPairDouble& p : points) {
+      std::printf("%lld,%.17g\n", static_cast<long long>(p.t), p.v);
+    }
+    return 0;
+  }
+  if (op == "latest") {
+    if (argc < 1) return Usage();
+    TvPairDouble p{};
+    if (Status st = client.GetLatest(argv[0], &p); !st.ok()) return Fail(st);
+    std::printf("%lld,%.17g\n", static_cast<long long>(p.t), p.v);
+    return 0;
+  }
+  if (op == "agg") {
+    if (argc < 3) return Usage();
+    TsFileReader::RangeStats stats;
+    bool fast = false;
+    if (Status st = client.AggregateFast(argv[0], std::atoll(argv[1]),
+                                         std::atoll(argv[2]), &stats, &fast);
+        !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("count=%zu sum=%.17g min=%.17g max=%.17g first=%.17g "
+                "last=%.17g fast_path=%d\n",
+                stats.count, stats.sum, stats.min, stats.max, stats.first,
+                stats.last, fast ? 1 : 0);
+    return 0;
+  }
+  std::fprintf(stderr, "unknown cluster client op: %s\n", op.c_str());
+  return Usage();
 }
 
 int CmdClient(int argc, char** argv) {
   if (argc < 2) return Usage();
+  {
+    std::string servers;
+    if (FlagStr(argv[0], "--servers", &servers)) {
+      return CmdClusterClient(servers, argc - 1, argv + 1);
+    }
+  }
   const std::string addr = argv[0];
   const size_t colon = addr.rfind(':');
   if (colon == std::string::npos) {

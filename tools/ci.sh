@@ -40,21 +40,33 @@
 #      ranges (BENCH_system_agg.json "stats_agg_speedup", best of three;
 #      the committed full-scale reference in bench/baselines/ measures
 #      >500x)
+#  10. cluster: the WAL-tailer and cluster suites under ThreadSanitizer,
+#      then a real 2-node cluster smoke — two bstool serve processes in
+#      a replication ring, ingest through the routing client, wait for
+#      the acked replication frontier to cover every write, kill -9 the
+#      first node, and require every sensor's failover query to be
+#      byte-identical CSV to a single-node reference fed the same
+#      writes (the LWW-digest acceptance pin), plus a scaled-down
+#      bench/system_cluster run gated on replication finishing cleanly
+#      (zero ship errors, drained backlog; throughput ratios are
+#      recorded, not gated — in-process nodes share this host's cores,
+#      so scale-out is only measurable multi-host, see
+#      bench/baselines/BENCH_system_cluster.json "host_cores")
 #
 # Usage: tools/ci.sh   (from the repo root; build dirs: build/, build-tsan/)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "=== [1/9] tier-1: configure + build + full test suite ==="
+echo "=== [1/10] tier-1: configure + build + full test suite ==="
 cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
-echo "=== [2/9] engine suites at 4 shards / 2 flush workers ==="
+echo "=== [2/10] engine suites at 4 shards / 2 flush workers ==="
 (cd build && BACKSORT_SHARDS=4 BACKSORT_FLUSH_WORKERS=2 \
   ctest --output-on-failure -R 'Engine|Wal|Workload|Aggregate|ReadPath' -j)
 
-echo "=== [3/9] concurrency + read-path tests under ThreadSanitizer ==="
+echo "=== [3/10] concurrency + read-path tests under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DBACKSORT_SANITIZE=thread
 cmake --build build-tsan -j --target engine_concurrency_test histogram_test \
   chunk_cache_test read_path_test
@@ -63,7 +75,7 @@ cmake --build build-tsan -j --target engine_concurrency_test histogram_test \
 ./build-tsan/tests/chunk_cache_test
 ./build-tsan/tests/read_path_test
 
-echo "=== [4/9] chunk-cache effectiveness smoke ==="
+echo "=== [4/10] chunk-cache effectiveness smoke ==="
 # The read_path suite covers cache correctness; this step checks the
 # operator-visible surface end to end: bstool flag -> engine -> exporter.
 smoke_dir=$(mktemp -d)
@@ -94,7 +106,7 @@ if [ -z "$hits" ] || [ "${hits%%.*}" -le 0 ]; then
 fi
 echo "cache smoke passed (query-mix cache hits: $hits)"
 
-echo "=== [5/9] network loopback smoke ==="
+echo "=== [5/10] network loopback smoke ==="
 # Wire protocol + server correctness under ThreadSanitizer: concurrent
 # clients must stay bit-identical and the shutdown drain must be clean.
 cmake --build build-tsan -j --target net_protocol_test net_server_test
@@ -148,7 +160,7 @@ wait "$serve_pid" || {
 }
 echo "net smoke passed ($rows rows round-tripped via $addr)"
 
-echo "=== [6/9] docs: wire-protocol golden suite + link check ==="
+echo "=== [6/10] docs: wire-protocol golden suite + link check ==="
 # The spec in docs/WIRE_PROTOCOL.md is executable documentation: this
 # suite re-derives magic/offsets/type tables from the compiled protocol
 # constants and fails if the prose drifted from the code.
@@ -177,7 +189,7 @@ if [ "$docs_fail" -ne 0 ]; then
 fi
 echo "docs link check passed"
 
-echo "=== [7/9] perf smoke: ingest batching + net pipelining ==="
+echo "=== [7/10] perf smoke: ingest batching + net pipelining ==="
 # Scaled-down system_ingest run; the JSON is flat one-key-per-line so the
 # gate needs only grep + awk. Noise margin: full scale measures ~5x.
 BACKSORT_SYSTEM_POINTS=60000 BACKSORT_METRICS_DIR="$smoke_dir" \
@@ -219,7 +231,7 @@ done
 }
 echo "net perf smoke passed (pipelined/in-process write ratio: ${net_ratio})"
 
-echo "=== [8/9] compaction: TSan suite + soak gates + bstool smoke ==="
+echo "=== [8/10] compaction: TSan suite + soak gates + bstool smoke ==="
 # The whole compaction stack under ThreadSanitizer: planner/job/engine
 # suite plus the background scheduler racing ingest and queries.
 cmake --build build-tsan -j --target compaction_test
@@ -269,7 +281,7 @@ grep -q '^compacted ' "$smoke_dir/compact.log" || {
 }
 echo "compaction smoke passed (soak ratio ${soak_throughput_ratio_on_over_off}, 1 file after offline compact)"
 
-echo "=== [9/9] aggregation: differential suite under TSan + stats-plan gate ==="
+echo "=== [9/10] aggregation: differential suite under TSan + stats-plan gate ==="
 # The statistics plan must be an optimization, never an approximation:
 # the differential suite ingests random disorder workloads and
 # bit-compares AggregateFast against a brute-force decode, with and
@@ -301,5 +313,134 @@ done
   exit 1
 }
 echo "aggregation smoke passed (stats/decode speedup: ${agg_speedup}x)"
+
+echo "=== [10/10] cluster: TSan suites + 2-node kill-primary failover smoke ==="
+# Replication correctness under ThreadSanitizer first: the WAL tailer
+# (torn tails, rotation, cursor resume) and the cluster suite including
+# the in-process kill-primary acceptance test.
+cmake --build build-tsan -j --target wal_tailer_test cluster_test
+./build-tsan/tests/wal_tailer_test
+./build-tsan/tests/cluster_test
+# Real-process smoke. Fixed ports are required up front (each node ships
+# to its follower's configured address), so grab two free ones.
+read -r port_a port_b < <(python3 - <<'EOF'
+import socket
+a = socket.socket(); a.bind(("127.0.0.1", 0))
+b = socket.socket(); b.bind(("127.0.0.1", 0))
+print(a.getsockname()[1], b.getsockname()[1])
+EOF
+)
+cmap="a=127.0.0.1:$port_a,b=127.0.0.1:$port_b"
+./build/tools/bstool serve "$smoke_dir/cl_a" --port="$port_a" \
+  --cluster="$cmap" --node-id=a > "$smoke_dir/cl_a.log" 2>&1 &
+cl_pid_a=$!
+./build/tools/bstool serve "$smoke_dir/cl_b" --port="$port_b" \
+  --cluster="$cmap" --node-id=b > "$smoke_dir/cl_b.log" 2>&1 &
+cl_pid_b=$!
+# Single-node reference engine fed the identical writes.
+./build/tools/bstool serve "$smoke_dir/cl_ref" --port=0 \
+  --port-file="$smoke_dir/cl_ref_port" > "$smoke_dir/cl_ref.log" 2>&1 &
+cl_pid_ref=$!
+for addr in "127.0.0.1:$port_a" "127.0.0.1:$port_b"; do
+  up=0
+  for _ in $(seq 1 100); do
+    if ./build/tools/bstool client "$addr" ping > /dev/null 2>&1; then
+      up=1; break
+    fi
+    sleep 0.1
+  done
+  [ "$up" = 1 ] || {
+    echo "cluster smoke FAILED: node at $addr never answered ping"
+    cat "$smoke_dir"/cl_*.log
+    exit 1
+  }
+done
+for _ in $(seq 1 100); do
+  [ -s "$smoke_dir/cl_ref_port" ] && break
+  sleep 0.1
+done
+ref_addr="127.0.0.1:$(cat "$smoke_dir/cl_ref_port")"
+# Ingest through the router; every write also goes to the reference. The
+# router must split the sensors across both nodes and never fail over
+# while both are healthy.
+cl_sensors="0 1 2 3 4 5 6 7"
+cl_points=2000
+routed_a=0; routed_b=0
+for i in $cl_sensors; do
+  out=$(./build/tools/bstool client --servers="$cmap" write "ci.cl$i" \
+    "$cl_points" --batch=250)
+  case "$out" in
+    *" via a "*) routed_a=1 ;;
+    *" via b "*) routed_b=1 ;;
+  esac
+  case "$out" in
+    *"(0 failovers)"*) ;;
+    *)
+      echo "cluster smoke FAILED: healthy-cluster write failed over: $out"
+      exit 1 ;;
+  esac
+  ./build/tools/bstool client "$ref_addr" write "ci.cl$i" "$cl_points" \
+    --batch=250 > /dev/null
+done
+if [ "$routed_a" != 1 ] || [ "$routed_b" != 1 ]; then
+  echo "cluster smoke FAILED: router used only one node (a=$routed_a b=$routed_b)"
+  exit 1
+fi
+# Wait until the acked replication frontier covers every written point:
+# what is acked is durably applied on the follower and survives a kill.
+cl_total=$((cl_points * 8))
+cl_acked=""
+for _ in $(seq 1 200); do
+  cl_acked=$( (./build/tools/bstool client "127.0.0.1:$port_a" metrics;
+               ./build/tools/bstool client "127.0.0.1:$port_b" metrics) \
+    | awk '/^backsort_cluster_acked_records_total/ { sum += $2 } END { printf "%d", sum }')
+  [ "${cl_acked:-0}" -ge "$cl_total" ] && break
+  sleep 0.1
+done
+if [ "${cl_acked:-0}" -lt "$cl_total" ]; then
+  echo "cluster smoke FAILED: replication stalled at ${cl_acked:-0}/$cl_total acked records"
+  cat "$smoke_dir"/cl_*.log
+  exit 1
+fi
+# Kill the first node outright (no drain) and require failover queries
+# to answer every sensor byte-identically to the reference — the LWW
+# digest comparison from the acceptance criteria, as CSV.
+kill -9 "$cl_pid_a" 2> /dev/null
+wait "$cl_pid_a" 2> /dev/null || true
+for i in $cl_sensors; do
+  ./build/tools/bstool client --servers="$cmap" query "ci.cl$i" 0 "$cl_points" \
+    > "$smoke_dir/cl_got.csv"
+  ./build/tools/bstool client "$ref_addr" query "ci.cl$i" 0 "$cl_points" \
+    > "$smoke_dir/cl_want.csv"
+  diff -q "$smoke_dir/cl_want.csv" "$smoke_dir/cl_got.csv" > /dev/null || {
+    echo "cluster smoke FAILED: ci.cl$i failover result differs from reference"
+    diff "$smoke_dir/cl_want.csv" "$smoke_dir/cl_got.csv" | head -5
+    exit 1
+  }
+done
+kill -TERM "$cl_pid_b" "$cl_pid_ref" 2> /dev/null
+wait "$cl_pid_b" || {
+  echo "cluster smoke FAILED: surviving node did not exit cleanly"
+  exit 1
+}
+wait "$cl_pid_ref" || true
+echo "cluster smoke passed (8 sensors byte-identical through failover)"
+# Scaled-down scale-out bench: replication must finish cleanly (no ship
+# errors, drained backlog). Throughput ratios are recorded for the
+# committed baseline, not gated — in-process nodes contend for this
+# host's cores (see the bench header).
+BACKSORT_SYSTEM_POINTS=20000 BACKSORT_METRICS_DIR="$smoke_dir" \
+  ./build/bench/system_cluster > /dev/null
+for key in ship_errors end_backlog_bytes; do
+  bad=$(grep "\"$key\"" "$smoke_dir/BENCH_system_cluster.json" \
+    | awk -F': ' '{ sum += $2 } END { printf "%d", sum }')
+  [ "${bad:-0}" -eq 0 ] || {
+    echo "cluster bench FAILED: nonzero $key ($bad)"
+    exit 1
+  }
+done
+scale2=$(grep '"scale_out_2v1"' "$smoke_dir/BENCH_system_cluster.json" \
+  | awk -F': ' '{print $2}' | tr -d ',')
+echo "cluster bench passed (2-node/1-node write ratio ${scale2} on this host)"
 
 echo "=== CI passed ==="
