@@ -128,11 +128,10 @@ void Replicator::ShipUntilError(BacksortClient* client) {
       request.groups.back().points.push_back(TvPairDouble{record.t, record.v});
     }
 
-    ByteBuffer encoded;
-    EncodeReplicateBatchRequest(request, &encoded);
     WallTimer rtt;
     ShipCursor acked;
-    if (!client->ReplicateChunk(request, &acked).ok()) {
+    size_t wire_bytes = 0;
+    if (!client->ReplicateChunk(request, &acked, &wire_bytes).ok()) {
       metrics_->ship_errors.fetch_add(1, std::memory_order_relaxed);
       return;  // reconnect; the handshake re-seeks past anything applied
     }
@@ -140,7 +139,7 @@ void Replicator::ShipUntilError(BacksortClient* client) {
     metrics_->ship_chunks.fetch_add(1, std::memory_order_relaxed);
     metrics_->ship_records.fetch_add(chunk.records.size(),
                                      std::memory_order_relaxed);
-    metrics_->ship_bytes.fetch_add(encoded.size(), std::memory_order_relaxed);
+    metrics_->ship_bytes.fetch_add(wire_bytes, std::memory_order_relaxed);
     if (acked == chunk.end) {
       metrics_->acked_records.fetch_add(chunk.records.size(),
                                         std::memory_order_relaxed);

@@ -212,7 +212,13 @@ Status EngineShard::WriteBatch(const SensorSpanDouble* groups,
       std::unique_ptr<WalWriter>& wal = sequence ? wal_seq_ : wal_unseq_;
       if (wal == nullptr) RETURN_NOT_OK(RotateWalLocked(sequence));
       RETURN_NOT_OK(wal->AppendBatch(spans.data(), spans.size()));
-      if (options.sync_wal_every_write) RETURN_NOT_OK(wal->Sync());
+      // Replicated applies (ship == false) flush to the OS before
+      // returning: the follower's ack advances the source's durable
+      // frontier and lets it purge the acked ship segments, so a record
+      // still sitting in this stdio buffer when the follower crashes
+      // would be lost permanently — the source never re-ships it. Same
+      // strength as the source side's ShipAppendLocked contract.
+      if (options.sync_wal_every_write || !ship) RETURN_NOT_OK(wal->Sync());
     }
     if (ship && options.replication_log) {
       RETURN_NOT_OK(ShipAppendLocked(spans.data(), spans.size()));

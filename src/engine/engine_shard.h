@@ -256,7 +256,10 @@ class EngineShard {
   /// `ship` gates the replication ship log (EngineOptions::replication_log):
   /// local ingest ships, records applied FROM replication do not — a
   /// follower re-shipping its source's records would cycle them around the
-  /// cluster ring forever.
+  /// cluster ring forever. ship == false additionally forces the WAL
+  /// append to the OS before returning (the replication ack that follows
+  /// marks these records durable at the source, which then never
+  /// re-ships them).
   Status WriteBatch(const SensorSpanDouble* groups, size_t group_count,
                     size_t* applied, bool ship = true);
 

@@ -94,6 +94,11 @@ class StorageEngine {
   /// points are NOT re-appended to this engine's replication ship log —
   /// a follower re-shipping its source's records would cycle them around
   /// the cluster ring forever. Local ingest must use WriteMulti.
+  /// Durability is strengthened to match the replication ack contract:
+  /// the WAL records are flushed to the OS before this returns (the
+  /// source treats the acked cursor as durable and purges its acked ship
+  /// segments, so a buffered-only record lost to a follower crash would
+  /// never be re-shipped).
   Status WriteReplicated(const SensorSpanDouble* spans, size_t span_count,
                          size_t* applied = nullptr);
 

@@ -113,9 +113,11 @@ Status BacksortClient::MetricsSnapshot(std::string* exposition) {
 }
 
 Status BacksortClient::ReplicateChunk(const ReplicateBatchRequest& req,
-                                      ShipCursor* acked) {
+                                      ShipCursor* acked,
+                                      size_t* wire_bytes) {
   ByteBuffer payload;
   EncodeReplicateBatchRequest(req, &payload);
+  if (wire_bytes != nullptr) *wire_bytes = payload.size();
   std::vector<uint8_t> response;
   RETURN_NOT_OK(Call(MsgType::kReplicateBatch, payload, &response));
   ByteReader reader(response);

@@ -97,8 +97,12 @@ class BacksortClient {
 
   /// Ships one chunk of the local ship log to the follower; on OK,
   /// `acked` is the cursor the follower has persisted (== req.end when
-  /// the chunk applied). Used by the cluster Replicator.
-  Status ReplicateChunk(const ReplicateBatchRequest& req, ShipCursor* acked);
+  /// the chunk applied). `wire_bytes` (optional) reports the encoded
+  /// request payload size — the Replicator's ship_bytes metric, surfaced
+  /// here so the hot path encodes each chunk exactly once. Used by the
+  /// cluster Replicator.
+  Status ReplicateChunk(const ReplicateBatchRequest& req, ShipCursor* acked,
+                        size_t* wire_bytes = nullptr);
 
   /// Asks the follower for the frontier it has persisted for `source_id`
   /// (empty when it never received a chunk) — the reconnect handshake.

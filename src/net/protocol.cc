@@ -312,6 +312,17 @@ Status DecodeSensorRequest(const uint8_t* payload, size_t size,
   return Status::OK();
 }
 
+bool ValidSourceId(const std::string& id) {
+  if (id.empty() || id.size() > kMaxSourceIdBytes) return false;
+  for (const char c : id) {
+    const bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
 void EncodeReplicateBatchRequest(const ReplicateBatchRequest& req,
                                  ByteBuffer* out) {
   out->PutLengthPrefixedString(req.source_id);
@@ -327,7 +338,16 @@ Status DecodeReplicateBatchRequest(const uint8_t* payload, size_t size,
                                    ReplicateBatchRequest* out) {
   ByteReader reader(payload, size);
   RETURN_NOT_OK(reader.GetLengthPrefixedString(&out->source_id));
+  if (!ValidSourceId(out->source_id)) {
+    return Status::InvalidArgument("replicate batch source id invalid");
+  }
   RETURN_NOT_OK(reader.GetVarint64(&out->shard));
+  // The follower sizes its cursor frontier by this id — an unbounded
+  // value would be an arbitrary-resize (or size_t-wrap OOB) primitive
+  // for any peer that can connect.
+  if (out->shard >= kMaxReplicationShards) {
+    return Status::InvalidArgument("replicate batch shard out of range");
+  }
   RETURN_NOT_OK(DecodeShipCursor(&reader, &out->end));
   uint64_t group_count = 0;
   RETURN_NOT_OK(reader.GetVarint64(&group_count));
@@ -373,6 +393,9 @@ Status DecodeReplicationAckRequest(const uint8_t* payload, size_t size,
                                    ReplicationAckRequest* out) {
   ByteReader reader(payload, size);
   RETURN_NOT_OK(reader.GetLengthPrefixedString(&out->source_id));
+  if (!ValidSourceId(out->source_id)) {
+    return Status::InvalidArgument("replication ack source id invalid");
+  }
   if (!reader.AtEnd()) return Status::Corruption("trailing bytes in request");
   return Status::OK();
 }

@@ -180,6 +180,24 @@ Status DecodeSensorRequest(const uint8_t* payload, size_t size,
 
 // --- replication messages ---------------------------------------------------
 
+/// Upper bound on the shard id a ReplicateBatch may carry. The follower
+/// sizes its per-source cursor frontier by shard id, so an unbounded
+/// wire value would let any connected peer force a huge (or, after
+/// size_t wrap, out-of-bounds) resize. Far above any real
+/// EngineOptions::shard_count; documented in docs/WIRE_PROTOCOL.md.
+inline constexpr uint64_t kMaxReplicationShards = 1024;
+
+/// Byte cap on a replication source_id. The follower embeds the id in
+/// its cursor filename (replcursor-<source_id>.bin) and keys its
+/// in-memory frontier map by it, so ids are also restricted to
+/// [A-Za-z0-9._-] (see ValidSourceId).
+inline constexpr size_t kMaxSourceIdBytes = 64;
+
+/// True when `id` is a wire-acceptable source id: non-empty, at most
+/// kMaxSourceIdBytes bytes, every byte in [A-Za-z0-9._-]. Keeps path
+/// separators and control bytes out of cursor filenames.
+bool ValidSourceId(const std::string& id);
+
 /// One shipped chunk of a source node's per-shard ship log (kReplicateBatch
 /// request). `groups` is the chunk's flat record stream grouped into
 /// consecutive same-sensor runs — a stable grouping, so the follower's

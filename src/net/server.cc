@@ -871,8 +871,10 @@ Status BacksortServer::HandleReplicateBatch(
   ReplicateBatchRequest req;
   RETURN_NOT_OK(DecodeReplicateBatchRequest(payload.data(), payload.size(),
                                             &req));
-  if (req.source_id.empty()) {
-    return Status::InvalidArgument("replicate batch without source id");
+  // The decoder already enforces both; re-checked here because the
+  // frontier resize below must never run on unvalidated values.
+  if (!ValidSourceId(req.source_id) || req.shard >= kMaxReplicationShards) {
+    return Status::InvalidArgument("replicate batch request invalid");
   }
   // Apply in group order — consecutive same-sensor runs of the source's
   // ship stream, so per-sensor arrival order survives and a replayed
@@ -911,8 +913,10 @@ Status BacksortServer::HandleReplicationAck(
   ReplicationAckRequest req;
   RETURN_NOT_OK(
       DecodeReplicationAckRequest(payload.data(), payload.size(), &req));
-  if (req.source_id.empty()) {
-    return Status::InvalidArgument("replication ack without source id");
+  // Decoder-enforced; re-checked before the id reaches the cursor store
+  // filename and the frontier map.
+  if (!ValidSourceId(req.source_id)) {
+    return Status::InvalidArgument("replication ack source id invalid");
   }
   std::lock_guard<std::mutex> lock(repl_mu_);
   EncodeShipFrontier(LoadedFrontierLocked(req.source_id), body);

@@ -24,7 +24,9 @@
 #include "cluster/router.h"
 #include "common/rng.h"
 #include "engine/storage_engine.h"
+#include "engine/wal.h"
 #include "net/client.h"
+#include "net/protocol.h"
 #include "net/server.h"
 #include "net/socket.h"
 
@@ -458,6 +460,42 @@ TEST_F(ClusterTest, ReplicationResumesAcrossFollowerRestart) {
   ASSERT_EQ(got.size(), 200u);
   EXPECT_EQ(got[0].v, 1.0);
   EXPECT_EQ(got[199].v, 2.0);
+}
+
+TEST_F(ClusterTest, ReplicatedApplyIsWalDurableBeforeAck) {
+  // The ack contract: once ReplicateChunk returns, the source treats the
+  // chunk as durable follower-side and may purge the acked ship segments
+  // forever. The follower must therefore have flushed the applied records
+  // out of its stdio WAL buffer before answering — pin it by reading the
+  // follower's WAL files through the filesystem (a fresh handle sees only
+  // what reached the OS) immediately after the ack.
+  auto follower = StartNode("follower");
+  BacksortClient shipper;
+  ASSERT_TRUE(shipper.Connect("127.0.0.1", follower->port()).ok());
+
+  ReplicateBatchRequest req;
+  req.source_id = "src";
+  req.shard = 0;
+  req.end = {0, 4096};
+  req.groups = {{"s1", {{1, 1.0}, {2, 2.0}}}, {"s2", {{3, 3.0}}}};
+  ShipCursor acked;
+  ASSERT_TRUE(shipper.ReplicateChunk(req, &acked).ok());
+  EXPECT_EQ(acked, req.end);
+
+  size_t on_disk = 0;
+  const std::string follower_dir = follower->engine()->options().data_dir;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(follower_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) != 0) continue;
+    std::vector<WalRecord> records;
+    bool torn = false;
+    ASSERT_TRUE(ReadWal(entry.path().string(), &records, &torn).ok());
+    EXPECT_FALSE(torn) << name;
+    on_disk += records.size();
+  }
+  EXPECT_EQ(on_disk, 3u)
+      << "acked replicated records not flushed to the follower's WAL";
 }
 
 }  // namespace

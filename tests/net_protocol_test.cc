@@ -219,6 +219,83 @@ TEST(NetProtocol, TruncatedPayloadsFailCleanly) {
   }
 }
 
+TEST(NetProtocol, ReplicateBatchRoundTrip) {
+  ReplicateBatchRequest req;
+  req.source_id = "node-a.rack_1";
+  req.shard = kMaxReplicationShards - 1;
+  req.end = {7, 4096};
+  req.groups = {{"s1", {{1, 1.0}, {2, 2.0}}}, {"s2", {{3, -0.5}}}};
+  ByteBuffer buf;
+  EncodeReplicateBatchRequest(req, &buf);
+  ReplicateBatchRequest out;
+  ASSERT_TRUE(
+      DecodeReplicateBatchRequest(buf.data().data(), buf.size(), &out).ok());
+  EXPECT_EQ(out.source_id, req.source_id);
+  EXPECT_EQ(out.shard, req.shard);
+  EXPECT_EQ(out.end, req.end);
+  ASSERT_EQ(out.groups.size(), 2u);
+  EXPECT_EQ(out.groups[0].sensor, "s1");
+  EXPECT_EQ(out.groups[0].points, req.groups[0].points);
+  EXPECT_EQ(out.groups[1].sensor, "s2");
+  EXPECT_EQ(out.groups[1].points, req.groups[1].points);
+}
+
+TEST(NetProtocol, ReplicateBatchRejectsOutOfRangeShard) {
+  // The follower resizes its cursor frontier to shard + 1: UINT64_MAX
+  // wraps that to resize(0) and the subsequent index is out of bounds;
+  // merely-large values are a multi-TiB allocation. Both must die at
+  // decode, as a request error (the connection survives).
+  for (const uint64_t shard :
+       {static_cast<uint64_t>(kMaxReplicationShards),
+        uint64_t{1} << 40, UINT64_MAX}) {
+    ReplicateBatchRequest req;
+    req.source_id = "src";
+    req.shard = shard;
+    ByteBuffer buf;
+    EncodeReplicateBatchRequest(req, &buf);
+    ReplicateBatchRequest out;
+    EXPECT_TRUE(DecodeReplicateBatchRequest(buf.data().data(), buf.size(),
+                                            &out)
+                    .IsInvalidArgument())
+        << "shard " << shard;
+  }
+}
+
+TEST(NetProtocol, ReplicationSourceIdValidation) {
+  EXPECT_TRUE(ValidSourceId("node-a.rack_1"));
+  EXPECT_TRUE(ValidSourceId(std::string(kMaxSourceIdBytes, 'a')));
+  EXPECT_FALSE(ValidSourceId(""));
+  EXPECT_FALSE(ValidSourceId(std::string(kMaxSourceIdBytes + 1, 'a')));
+  EXPECT_FALSE(ValidSourceId("../../../etc/passwd"));  // path separators
+  EXPECT_FALSE(ValidSourceId("a/b"));
+  EXPECT_FALSE(ValidSourceId("a b"));
+  EXPECT_FALSE(ValidSourceId(std::string("a\0b", 3)));
+
+  // Both replication decoders enforce it: the id lands in a cursor
+  // filename and keys the follower's frontier map.
+  for (const std::string& hostile :
+       {std::string("../escape"), std::string(kMaxSourceIdBytes + 1, 'x'),
+        std::string()}) {
+    ByteBuffer batch;
+    batch.PutLengthPrefixedString(hostile);
+    batch.PutVarint64(0);  // shard
+    ReplicateBatchRequest batch_out;
+    EXPECT_TRUE(DecodeReplicateBatchRequest(batch.data().data(), batch.size(),
+                                            &batch_out)
+                    .IsInvalidArgument())
+        << "batch source id \"" << hostile << '"';
+
+    ReplicationAckRequest ack{hostile};
+    ByteBuffer buf;
+    EncodeReplicationAckRequest(ack, &buf);
+    ReplicationAckRequest ack_out;
+    EXPECT_TRUE(DecodeReplicationAckRequest(buf.data().data(), buf.size(),
+                                            &ack_out)
+                    .IsInvalidArgument())
+        << "ack source id \"" << hostile << '"';
+  }
+}
+
 // --- malformed bytes against a live server -------------------------------------
 
 class NetMalformedTest : public ::testing::Test {
@@ -504,6 +581,46 @@ TEST_F(NetMalformedTest, MalformedDecodeKeepsConnectionOpen) {
   ASSERT_TRUE(RecvAll(fd.get(), header_bytes, kFrameHeaderSize, nullptr).ok());
   ASSERT_TRUE(ParseFrameHeader(header_bytes, &header).ok());
   EXPECT_EQ(header.type, MsgType::kPing);
+}
+
+TEST_F(NetMalformedTest, HostileReplicationRequestsAnsweredNotFatal) {
+  // Replication frames are reachable by any peer that can connect, so the
+  // hostile shapes — a shard id engineered to wrap the follower's frontier
+  // resize, a path-traversal source id — must come back as request errors
+  // on a live connection, never touch the data dir, and leave the server
+  // serving.
+  ScopedFd fd = RawConnect();
+
+  ReplicateBatchRequest huge_shard;
+  huge_shard.source_id = "src";
+  huge_shard.shard = UINT64_MAX;  // resize(shard + 1) would wrap to 0
+  ByteBuffer payload;
+  EncodeReplicateBatchRequest(huge_shard, &payload);
+  ByteBuffer frame;
+  EncodeFrame(MsgType::kReplicateBatch, false, payload, &frame);
+  ASSERT_TRUE(SendAll(fd.get(), frame.data().data(), frame.size()).ok());
+  EXPECT_TRUE(
+      ReadResponse(fd, MsgType::kReplicateBatch).IsInvalidArgument());
+
+  ReplicationAckRequest traversal{"../../outside"};
+  ByteBuffer ack_payload;
+  EncodeReplicationAckRequest(traversal, &ack_payload);
+  ByteBuffer ack_frame;
+  EncodeFrame(MsgType::kReplicationAck, false, ack_payload, &ack_frame);
+  ASSERT_TRUE(
+      SendAll(fd.get(), ack_frame.data().data(), ack_frame.size()).ok());
+  EXPECT_TRUE(
+      ReadResponse(fd, MsgType::kReplicationAck).IsInvalidArgument());
+
+  // Neither request may have sprayed a cursor file into (or outside) the
+  // data dir.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().filename().string().rfind("replcursor-", 0),
+              std::string::npos)
+        << "stray cursor file " << entry.path();
+  }
+  EXPECT_EQ(ProtocolErrors(), 0u);
+  ExpectServerStillHealthy();
 }
 
 }  // namespace

@@ -54,6 +54,16 @@ TEST_F(WireProtocolDocsTest, FrameConstantsDocumented) {
   ExpectDoc("`" + std::string(rbit) + "`", "kResponseBit");
 }
 
+TEST_F(WireProtocolDocsTest, ReplicationLimitsDocumented) {
+  ExpectDoc("`kMaxReplicationShards` (" +
+                std::to_string(kMaxReplicationShards) + ")",
+            "replicate_batch shard bound");
+  ExpectDoc("1–" + std::to_string(kMaxSourceIdBytes) +
+                " bytes",
+            "source_id length bound (kMaxSourceIdBytes)");
+  ExpectDoc("[A-Za-z0-9._-]", "source_id charset");
+}
+
 TEST_F(WireProtocolDocsTest, EveryMessageTypeHasASpecRow) {
   for (size_t i = 0; i < kNumMsgTypes; ++i) {
     const auto type = static_cast<MsgType>(i + 1);
