@@ -1,0 +1,367 @@
+// High-cardinality scenario suite (the ROADMAP "High-cardinality &
+// adversarial scenario suite" item): sweeps sensor count {1k, 10k, 100k,
+// 1M} x batch shape against the public WriteMulti path and reports the
+// numbers that matter at fleet scale — ingest throughput, resident set,
+// heap bytes per *idle* sensor (registered and flushed, buffering
+// nothing), and the client-visible flush stall (batch_apply p99). A
+// 10k-sensor disorder panel pushes AbsNormal/LogNormal arrival through
+// benchkit's WorkloadRunner so the paper's delay sweeps run at
+// cardinality too.
+//
+// Panel order matters: the idle-bytes panels run first (smallest
+// cardinality first) because glibc does not return freed heap to the OS —
+// a later panel re-uses the previous panel's freed pages, so each RSS
+// delta is understated by at most the previous (10x smaller) panel's
+// footprint. The bench deliberately never calls malloc_trim() itself:
+// retained free-list pages are a real cost of per-sensor allocation and
+// operators see them in RSS. (The *engine* now trims after seals that
+// free >= 4 MiB — see engine_shard.cc's MaybeTrimHeap — and the bench
+// measures that honestly, as an operator's process would.)
+//
+// Batch shapes:
+//   wide  R rounds x S spans of 1 point  (every call touches many sensors
+//          — the fleet-telemetry shape that stresses per-target lookup)
+//   deep  S spans of R points            (per-sensor backfill shape)
+//
+// Writes $BACKSORT_METRICS_DIR/BENCH_system_cardinality.json with one
+// object per panel plus flat headline keys ("ingest_pps_100k",
+// "idle_bytes_per_sensor_100k", ...) that tools/ci.sh step 11 and the
+// committed baseline comparison grep. Scale knobs:
+//   BACKSORT_CARD_MAX_SENSORS   sweep cap               (default 1'000'000)
+//   BACKSORT_CARD_MIN_POINTS    points floor per panel  (default 2'000'000)
+//   BACKSORT_CARD_REPS          best-of reps            (default 3)
+//   BACKSORT_CARD_SPAN_CHUNK    spans per WriteMulti    (default 4096)
+//   BACKSORT_CARD_DISORDER_PTS  disorder panel points   (default 1'000'000)
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "benchkit/workload.h"
+#include "common/timer.h"
+#include "disorder/delay_distribution.h"
+#include "engine/storage_engine.h"
+
+namespace backsort::bench {
+namespace {
+
+/// VmRSS of this process in bytes, from /proc/self/status (Linux).
+size_t ReadRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  size_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      std::sscanf(line + 6, "%zu", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+/// IoTDB-style sensor paths ("root.sg7.dev123.sensor4567"): long enough
+/// to defeat SSO, like real fleet schemas. Generated once per panel —
+/// benches measure the engine, not snprintf (see satellite note in
+// bench/system_bench.h).
+std::vector<std::string> MakeNames(size_t count) {
+  std::vector<std::string> names;
+  names.reserve(count);
+  char buf[64];
+  for (size_t s = 0; s < count; ++s) {
+    std::snprintf(buf, sizeof(buf), "root.sg%zu.dev%zu.sensor%zu", s % 64,
+                  s / 64, s);
+    names.emplace_back(buf);
+  }
+  return names;
+}
+
+std::filesystem::path TempDir(const char* tag) {
+  return std::filesystem::temp_directory_path() /
+         ("backsort_cardinality_" + std::string(tag) + "_" +
+          std::to_string(::getpid()));
+}
+
+EngineOptions MakeOptions(const std::filesystem::path& dir) {
+  EngineOptions opt;
+  opt.data_dir = dir.string();
+  return opt;  // engine defaults: WAL on, async flush, 100k-point seal
+}
+
+/// Ingests `rounds` x 1 point for every sensor, round-robin, through
+/// WriteMulti in chunks of `span_chunk` spans. Timestamps ascend per
+/// sensor (pure sequence path). Returns ingest-loop seconds.
+double IngestWide(StorageEngine* engine, const std::vector<std::string>& names,
+                  size_t rounds, size_t span_chunk) {
+  std::vector<TvPairDouble> pts(span_chunk);
+  std::vector<SensorSpanDouble> spans(span_chunk);
+  WallTimer timer;
+  for (size_t r = 0; r < rounds; ++r) {
+    const Timestamp t = static_cast<Timestamp>(r);
+    size_t filled = 0;
+    for (size_t s = 0; s < names.size(); ++s) {
+      pts[filled] = {t, static_cast<double>(s)};
+      spans[filled] = {&names[s], &pts[filled], 1};
+      if (++filled == span_chunk) {
+        engine->WriteMulti(spans.data(), filled, nullptr);
+        filled = 0;
+      }
+    }
+    if (filled > 0) engine->WriteMulti(spans.data(), filled, nullptr);
+  }
+  return timer.ElapsedSeconds();
+}
+
+/// Ingests all `rounds` points of each sensor as one span (backfill
+/// shape), several sensors per WriteMulti call.
+double IngestDeep(StorageEngine* engine, const std::vector<std::string>& names,
+                  size_t rounds, size_t span_chunk) {
+  const size_t sensors_per_call = std::max<size_t>(1, span_chunk / rounds);
+  std::vector<TvPairDouble> pts(sensors_per_call * rounds);
+  std::vector<SensorSpanDouble> spans(sensors_per_call);
+  WallTimer timer;
+  size_t filled = 0;
+  for (size_t s = 0; s < names.size(); ++s) {
+    TvPairDouble* base = &pts[filled * rounds];
+    for (size_t r = 0; r < rounds; ++r) {
+      base[r] = {static_cast<Timestamp>(r), static_cast<double>(s)};
+    }
+    spans[filled] = {&names[s], base, rounds};
+    if (++filled == sensors_per_call) {
+      engine->WriteMulti(spans.data(), filled, nullptr);
+      filled = 0;
+    }
+  }
+  if (filled > 0) engine->WriteMulti(spans.data(), filled, nullptr);
+  return timer.ElapsedSeconds();
+}
+
+struct IdleResult {
+  size_t rss_start = 0;        ///< after name table, before engine
+  size_t rss_idle = 0;         ///< after FlushAll + quiesce, engine open
+  double bytes_per_sensor = 0; ///< (rss_idle - rss_start) / sensors
+  size_t working_bytes = 0;    ///< engine-tracked memtable bytes at idle
+  size_t files = 0;
+};
+
+/// One point per sensor, FlushAll, then measure what S registered-but-
+/// quiescent sensors keep resident (shard state + sealed-file metadata;
+/// on the string-keyed path also every freed memtable node glibc holds).
+IdleResult RunIdlePanel(const std::vector<std::string>& names,
+                        size_t span_chunk) {
+  const auto dir = TempDir("idle");
+  std::filesystem::remove_all(dir);
+  IdleResult res;
+  res.rss_start = ReadRssBytes();
+  {
+    StorageEngine engine(MakeOptions(dir));
+    if (!engine.Open().ok()) return res;
+    IngestWide(&engine, names, 1, span_chunk);
+    engine.FlushAll();
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    const auto snap = engine.GetMetricsSnapshot();
+    res.working_bytes = snap.total_working_bytes();
+    res.files = snap.sealed_files;
+    res.rss_idle = ReadRssBytes();
+  }
+  std::filesystem::remove_all(dir);
+  if (res.rss_idle > res.rss_start && !names.empty()) {
+    res.bytes_per_sensor =
+        static_cast<double>(res.rss_idle - res.rss_start) /
+        static_cast<double>(names.size());
+  }
+  return res;
+}
+
+struct IngestResult {
+  double seconds_best = 0;
+  double pps = 0;
+  double batch_apply_p99_ms = 0;
+  double flush_p99_ms = 0;
+  size_t rss_peak = 0;  ///< RSS right after the best rep's ingest loop
+};
+
+IngestResult RunIngestPanel(const std::vector<std::string>& names,
+                            size_t rounds, size_t span_chunk, size_t reps,
+                            bool deep) {
+  const size_t points = names.size() * rounds;
+  IngestResult res;
+  for (size_t rep = 0; rep < reps; ++rep) {
+    const auto dir = TempDir(deep ? "deep" : "wide");
+    std::filesystem::remove_all(dir);
+    {
+      StorageEngine engine(MakeOptions(dir));
+      if (!engine.Open().ok()) return res;
+      const double secs = deep
+                              ? IngestDeep(&engine, names, rounds, span_chunk)
+                              : IngestWide(&engine, names, rounds, span_chunk);
+      const size_t rss = ReadRssBytes();
+      if (rep == 0 || secs < res.seconds_best) {
+        res.seconds_best = secs;
+        res.rss_peak = rss;
+        const auto snap = engine.GetMetricsSnapshot();
+        res.batch_apply_p99_ms = snap.stages.batch_apply.Percentile(99) / 1e6;
+        res.flush_p99_ms = snap.stages.flush.Percentile(99) / 1e6;
+      }
+      engine.FlushAll();
+    }
+    std::filesystem::remove_all(dir);
+  }
+  res.pps = res.seconds_best > 0
+                ? static_cast<double>(points) / res.seconds_best
+                : 0;
+  return res;
+}
+
+int Run() {
+  const size_t max_sensors =
+      EnvSize("BACKSORT_CARD_MAX_SENSORS", 1'000'000);
+  const size_t min_points =
+      EnvSize("BACKSORT_CARD_MIN_POINTS", 2'000'000);
+  const size_t reps = std::max<size_t>(EnvSize("BACKSORT_CARD_REPS", 3), 1);
+  const size_t span_chunk =
+      std::max<size_t>(EnvSize("BACKSORT_CARD_SPAN_CHUNK", 4096), 1);
+  const size_t disorder_pts =
+      EnvSize("BACKSORT_CARD_DISORDER_PTS", 1'000'000);
+
+  std::vector<size_t> sweep;
+  for (size_t s : {1'000u, 10'000u, 100'000u, 1'000'000u}) {
+    if (s <= max_sensors) sweep.push_back(s);
+  }
+  if (sweep.empty()) sweep.push_back(max_sensors);
+
+  JsonWriter json;
+  json.BeginObject("config");
+  json.Field("max_sensors", max_sensors);
+  json.Field("min_points", min_points);
+  json.Field("reps", reps);
+  json.Field("span_chunk", span_chunk);
+  json.EndObject();
+
+  auto tag_of = [](size_t s) {
+    return s >= 1'000'000 ? std::to_string(s / 1'000'000) + "m"
+                          : std::to_string(s / 1'000) + "k";
+  };
+
+  // ---- idle-bytes panels (first: see file comment on heap reuse) ----
+  std::vector<std::pair<std::string, IdleResult>> idle_rows;
+  json.BeginObject("idle");
+  for (size_t s : sweep) {
+    const auto names = MakeNames(s);
+    const IdleResult r = RunIdlePanel(names, span_chunk);
+    const std::string tag = tag_of(s);
+    json.BeginObject("s" + tag);
+    json.Field("sensors", s);
+    json.Field("rss_start_bytes", r.rss_start);
+    json.Field("rss_idle_bytes", r.rss_idle);
+    json.Field("idle_bytes_per_sensor", r.bytes_per_sensor);
+    json.Field("working_bytes", r.working_bytes);
+    json.Field("sealed_files", r.files);
+    json.EndObject();
+    idle_rows.emplace_back(tag, r);
+    std::printf("[idle] %8zu sensors: %.1f bytes/sensor  (rss %zu -> %zu)\n",
+                s, r.bytes_per_sensor, r.rss_start, r.rss_idle);
+    std::fflush(stdout);
+  }
+  json.EndObject();
+
+  // ---- ingest panels: wide and deep per cardinality ----
+  struct IngestRow {
+    std::string tag;
+    IngestResult wide, deep;
+  };
+  std::vector<IngestRow> ingest_rows;
+  json.BeginObject("ingest");
+  for (size_t s : sweep) {
+    const size_t rounds = std::max<size_t>(4, min_points / s);
+    const auto names = MakeNames(s);
+    IngestRow row;
+    row.tag = tag_of(s);
+    row.wide = RunIngestPanel(names, rounds, span_chunk, reps, false);
+    row.deep = RunIngestPanel(names, rounds, span_chunk, reps, true);
+    for (int d = 0; d < 2; ++d) {
+      const IngestResult& r = d ? row.deep : row.wide;
+      json.BeginObject("s" + row.tag + (d ? "_deep" : "_wide"));
+      json.Field("sensors", s);
+      json.Field("points", s * rounds);
+      json.Field("seconds_best", r.seconds_best);
+      json.Field("pps", r.pps);
+      json.Field("batch_apply_p99_ms", r.batch_apply_p99_ms);
+      json.Field("flush_p99_ms", r.flush_p99_ms);
+      json.Field("rss_peak_bytes", r.rss_peak);
+      json.EndObject();
+      std::printf("[ingest] %8zu sensors %s: %.3f Mpts/s  stall p99 %.2fms\n",
+                  s, d ? "deep" : "wide", r.pps / 1e6, r.batch_apply_p99_ms);
+      std::fflush(stdout);
+    }
+    ingest_rows.push_back(std::move(row));
+  }
+  json.EndObject();
+
+  // ---- disorder panel: paper delay sweeps at 10k sensors ----
+  json.BeginObject("disorder");
+  if (disorder_pts > 0) {
+    const size_t disorder_sensors = std::min<size_t>(10'000, max_sensors);
+    struct Dist {
+      const char* name;
+      const DelayDistribution& dist;
+    };
+    AbsNormalDelay absn(1, 10.0);
+    LogNormalDelay logn(1, 1.0);
+    const Dist dists[] = {{"absnormal", absn}, {"lognormal", logn}};
+    for (const Dist& d : dists) {
+      const auto dir = TempDir(d.name);
+      std::filesystem::remove_all(dir);
+      StorageEngine engine(MakeOptions(dir));
+      if (!engine.Open().ok()) continue;
+      WorkloadConfig cfg;
+      cfg.total_points = disorder_pts;
+      cfg.sensor_count = disorder_sensors;
+      cfg.batch_size = 500;
+      cfg.write_percentage = 0.95;
+      cfg.seed = 42;
+      WorkloadResult wr;
+      WorkloadRunner runner(&engine, cfg);
+      if (runner.Run(d.dist, &wr).ok()) {
+        json.BeginObject(std::string(d.name) + "_10k");
+        json.Field("sensors", disorder_sensors);
+        json.Field("points", disorder_pts);
+        json.Field("write_pps", wr.write_throughput);
+        json.Field("query_p99_ms", wr.query_p99_ms);
+        json.Field("avg_flush_ms", wr.avg_flush_ms);
+        json.EndObject();
+        std::printf("[disorder] %s: %.3f Mpts/s write, q p99 %.2fms\n",
+                    d.name, wr.write_throughput / 1e6, wr.query_p99_ms);
+        std::fflush(stdout);
+      }
+      std::filesystem::remove_all(dir);
+    }
+  }
+  json.EndObject();
+
+  // ---- flat headline keys for ci.sh / baseline comparison ----
+  for (const auto& [tag, r] : idle_rows) {
+    json.Field("idle_bytes_per_sensor_" + tag, r.bytes_per_sensor);
+  }
+  for (const IngestRow& row : ingest_rows) {
+    json.Field("ingest_pps_" + row.tag, row.wide.pps);
+    json.Field("ingest_pps_" + row.tag + "_deep", row.deep.pps);
+    json.Field("flush_stall_p99_ms_" + row.tag, row.wide.batch_apply_p99_ms);
+  }
+
+  WriteBenchJson(json, "system_cardinality");
+  return 0;
+}
+
+}  // namespace
+}  // namespace backsort::bench
+
+int main() { return backsort::bench::Run(); }

@@ -23,35 +23,12 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "benchkit/digest.h"
 #include "benchkit/workload.h"
 #include "engine/storage_engine.h"
 
 namespace backsort::bench {
 namespace {
-
-/// Order-sensitive digest of one sensor's full query result: any lost,
-/// duplicated, reordered or value-corrupted point changes it.
-uint64_t QueryDigest(StorageEngine* engine, const std::string& sensor,
-                     size_t* points) {
-  std::vector<TvPairDouble> out;
-  if (!engine->Query(sensor, 0, INT64_MAX / 2, &out).ok()) return ~0ull;
-  uint64_t h = 1469598103934665603ull;  // FNV-1a
-  auto mix = [&h](uint64_t x) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (x >> (i * 8)) & 0xff;
-      h *= 1099511628211ull;
-    }
-  };
-  for (const TvPairDouble& p : out) {
-    mix(static_cast<uint64_t>(p.t));
-    uint64_t bits;
-    static_assert(sizeof(bits) == sizeof(p.v));
-    std::memcpy(&bits, &p.v, sizeof(bits));
-    mix(bits);
-  }
-  *points += out.size();
-  return h;
-}
 
 struct SideResult {
   WorkloadResult workload;

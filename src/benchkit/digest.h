@@ -1,0 +1,67 @@
+#ifndef BACKSORT_BENCHKIT_DIGEST_H_
+#define BACKSORT_BENCHKIT_DIGEST_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "engine/storage_engine.h"
+
+namespace backsort::bench {
+
+/// FNV-1a basis / prime (64-bit), shared by every digest in the bench and
+/// identity-test toolkit.
+inline constexpr uint64_t kFnvBasis = 1469598103934665603ull;
+inline constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+/// Folds `n` raw bytes into an FNV-1a digest (chainable via `h`).
+inline uint64_t FnvBytes(const void* data, size_t n, uint64_t h = kFnvBasis) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// FNV-1a digest of one file's full contents; ~0ull when unreadable.
+inline uint64_t FnvFile(const std::string& path, uint64_t h = kFnvBasis) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return ~0ull;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) h = FnvBytes(buf, n, h);
+  std::fclose(f);
+  return h;
+}
+
+/// Order-sensitive digest of one sensor's full query result: any lost,
+/// duplicated, reordered or value-corrupted point changes it. `points`
+/// (optional) accumulates the result size.
+inline uint64_t QueryDigest(StorageEngine* engine, const std::string& sensor,
+                            size_t* points = nullptr) {
+  std::vector<TvPairDouble> out;
+  if (!engine->Query(sensor, 0, INT64_MAX / 2, &out).ok()) return ~0ull;
+  uint64_t h = kFnvBasis;
+  auto mix = [&h](uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (i * 8)) & 0xff;
+      h *= kFnvPrime;
+    }
+  };
+  for (const TvPairDouble& p : out) {
+    mix(static_cast<uint64_t>(p.t));
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(p.v));
+    std::memcpy(&bits, &p.v, sizeof(bits));
+    mix(bits);
+  }
+  if (points != nullptr) *points += out.size();
+  return h;
+}
+
+}  // namespace backsort::bench
+
+#endif  // BACKSORT_BENCHKIT_DIGEST_H_

@@ -1,0 +1,108 @@
+#ifndef BACKSORT_COMMON_ARENA_H_
+#define BACKSORT_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace backsort {
+
+/// Bump allocator backing the high-cardinality structures (memtable chunk
+/// storage, sensor-name interning): allocation is a pointer bump, and a
+/// whole arena is freed wholesale when its owner retires — a sealed
+/// memtable releases every per-sensor buffer with a handful of frees
+/// instead of one per sensor.
+///
+/// Blocks are 256 KiB, deliberately above glibc's mmap threshold
+/// (M_MMAP_THRESHOLD, 128 KiB by default): each block is its own mapping,
+/// so FreeAll() returns the memory to the OS immediately rather than
+/// parking a million small chunks on malloc free lists. That is what makes
+/// the post-flush RSS of an idle high-cardinality engine drop — see the
+/// bytes/idle-sensor panels in bench/system_cardinality.cc.
+///
+/// Not thread-safe; owners allocate under their own lock (shard mutex).
+class Arena {
+ public:
+  static constexpr size_t kBlockBytes = 256 * 1024;
+  /// Requests larger than this get a dedicated exact-size block, so one
+  /// huge allocation cannot strand most of a fresh block.
+  static constexpr size_t kOversizeBytes = kBlockBytes / 4;
+
+  Arena() = default;
+  ~Arena() { FreeAll(); }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two).
+  /// Never returns null; allocation failure throws std::bad_alloc like
+  /// operator new.
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    if (bytes == 0) bytes = 1;
+    if (bytes > kOversizeBytes) {
+      // Dedicated block, inserted *behind* the current bump block so the
+      // current block's remaining space stays usable.
+      char* block = static_cast<char*>(::operator new(bytes));
+      total_ += bytes;
+      blocks_.push_back(block);
+      if (blocks_.size() > 1) {
+        std::swap(blocks_[blocks_.size() - 1], blocks_[blocks_.size() - 2]);
+      } else {
+        // The oversize block must not become the bump block.
+        remaining_ = 0;
+      }
+      return block;
+    }
+    const uintptr_t p = reinterpret_cast<uintptr_t>(ptr_);
+    const size_t pad = (align - (p & (align - 1))) & (align - 1);
+    if (pad + bytes > remaining_) {
+      ptr_ = static_cast<char*>(::operator new(kBlockBytes));
+      remaining_ = kBlockBytes;
+      total_ += kBlockBytes;
+      blocks_.push_back(ptr_);
+      return AllocateFromCurrent(bytes, align);
+    }
+    ptr_ += pad;
+    remaining_ -= pad;
+    return AllocateFromCurrent(bytes, 1);
+  }
+
+  /// Typed array allocation (uninitialized storage).
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Total bytes reserved from the system (block granularity) — the exact
+  /// resident cost of everything this arena backs.
+  size_t MemoryBytes() const { return total_; }
+
+  /// Releases every block back to the OS. All storage handed out by
+  /// Allocate is invalidated; callers owning objects with non-trivial
+  /// destructors must have destroyed them first.
+  void FreeAll() {
+    for (char* b : blocks_) ::operator delete(b);
+    blocks_.clear();
+    ptr_ = nullptr;
+    remaining_ = 0;
+    total_ = 0;
+  }
+
+ private:
+  void* AllocateFromCurrent(size_t bytes, size_t /*align*/) {
+    char* out = ptr_;
+    ptr_ += bytes;
+    remaining_ -= bytes;
+    return out;
+  }
+
+  std::vector<char*> blocks_;
+  char* ptr_ = nullptr;
+  size_t remaining_ = 0;
+  size_t total_ = 0;
+};
+
+}  // namespace backsort
+
+#endif  // BACKSORT_COMMON_ARENA_H_

@@ -22,12 +22,8 @@ std::string ChunkKey(const std::string& file, const std::string& sensor) {
 
 std::string FooterKey(const std::string& file) { return 'f' + file; }
 
-size_t FooterBytes(const FooterMap& footer) {
-  size_t bytes = sizeof(FooterMap);
-  for (const auto& [sensor, locator] : footer) {
-    bytes += sensor.size() + sizeof(locator) + 48;  // node overhead estimate
-  }
-  return bytes;
+size_t FooterBytes(const FooterIndex& footer) {
+  return sizeof(FooterIndex) + footer.MemoryBytes();
 }
 
 }  // namespace
@@ -97,7 +93,7 @@ void ChunkCache::PutChunk(const std::string& file, const std::string& sensor,
   Insert(file, ChunkKey(file, sensor), std::move(chunk), bytes);
 }
 
-std::shared_ptr<const FooterMap> ChunkCache::GetFooter(
+std::shared_ptr<const FooterIndex> ChunkCache::GetFooter(
     const std::string& file) {
   if (!enabled()) return nullptr;
   auto value = Lookup(file, FooterKey(file));
@@ -106,11 +102,11 @@ std::shared_ptr<const FooterMap> ChunkCache::GetFooter(
     return nullptr;
   }
   footer_hits_.fetch_add(1, std::memory_order_relaxed);
-  return std::static_pointer_cast<const FooterMap>(value);
+  return std::static_pointer_cast<const FooterIndex>(value);
 }
 
 void ChunkCache::PutFooter(const std::string& file,
-                           std::shared_ptr<const FooterMap> footer) {
+                           std::shared_ptr<const FooterIndex> footer) {
   if (!enabled() || footer == nullptr) return;
   const size_t bytes = FooterBytes(*footer);
   Insert(file, FooterKey(file), std::move(footer), bytes);

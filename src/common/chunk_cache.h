@@ -71,12 +71,14 @@ class ChunkCache {
   void PutChunk(const std::string& file, const std::string& sensor,
                 std::shared_ptr<const CachedChunk> chunk);
 
-  /// Footer/index cache: the parsed chunk directory of one file, so a
-  /// chunk-cache miss seeks straight to the chunk bytes instead of
-  /// re-reading the index block.
-  std::shared_ptr<const FooterMap> GetFooter(const std::string& file);
+  /// Footer/index cache: the flattened chunk directory of one file
+  /// (FooterIndex), so a chunk-cache miss seeks straight to the chunk
+  /// bytes instead of re-reading the index block. The same shared instance
+  /// is typically also held by the file registry — one copy per file
+  /// engine-wide.
+  std::shared_ptr<const FooterIndex> GetFooter(const std::string& file);
   void PutFooter(const std::string& file,
-                 std::shared_ptr<const FooterMap> footer);
+                 std::shared_ptr<const FooterIndex> footer);
 
   /// Drops every entry (chunks and footer) of `file`. Called when
   /// compaction retires the file, so no query can hit stale data through a

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/types.h"
 
@@ -52,8 +54,101 @@ struct ChunkLocator {
   }
 };
 
-/// One file's footer: sensor id -> chunk locator.
+/// One file's footer: sensor id -> chunk locator. The tree form is
+/// transient — the TsFile footer parser builds it sensor by sensor — and is
+/// flattened into a FooterIndex before any long-lived holder (the chunk
+/// cache) keeps it.
 using FooterMap = std::map<std::string, ChunkLocator>;
+
+/// Seal-time footer entries in sorted (sensor-name) order: what the TsFile
+/// writer accumulates while appending chunks. A flat vector instead of a
+/// FooterMap so sealing 100k sensors costs two large allocations instead
+/// of 100k red-black-tree nodes the allocator then retains.
+using FooterEntries = std::vector<std::pair<std::string, ChunkLocator>>;
+
+/// Flat, immutable image of one file's footer: the (sorted) sensor names
+/// concatenated into one blob with n+1 offsets, parallel to a dense
+/// locator vector. At high cardinality this replaces one red-black-tree
+/// node + one heap string per sensor per copy with three allocations
+/// total, and the registry and the chunk cache share a single instance by
+/// shared_ptr instead of each holding a deep std::map copy — the dominant
+/// post-flush resident cost at 1M sensors. Lookup is binary search over
+/// the name blob; it never changes what the footer *contains*, only how it
+/// is stored in memory (file bytes are untouched).
+class FooterIndex {
+ public:
+  FooterIndex() { offsets_.push_back(0); }
+
+  /// Flattens a parsed footer. Map iteration order is lexicographic, which
+  /// Find's binary search relies on.
+  explicit FooterIndex(const FooterMap& map) {
+    size_t name_bytes = 0;
+    for (const auto& [name, locator] : map) name_bytes += name.size();
+    names_.reserve(name_bytes);
+    offsets_.reserve(map.size() + 1);
+    locators_.reserve(map.size());
+    offsets_.push_back(0);
+    for (const auto& [name, locator] : map) {
+      names_.append(name);
+      offsets_.push_back(static_cast<uint32_t>(names_.size()));
+      locators_.push_back(locator);
+    }
+  }
+
+  /// Flattens seal-time footer entries. `entries` must already be sorted
+  /// by name (TsFileWriter::Finish sorts); Find's binary search relies on
+  /// it.
+  explicit FooterIndex(const FooterEntries& entries) {
+    size_t name_bytes = 0;
+    for (const auto& [name, locator] : entries) name_bytes += name.size();
+    names_.reserve(name_bytes);
+    offsets_.reserve(entries.size() + 1);
+    locators_.reserve(entries.size());
+    offsets_.push_back(0);
+    for (const auto& [name, locator] : entries) {
+      names_.append(name);
+      offsets_.push_back(static_cast<uint32_t>(names_.size()));
+      locators_.push_back(locator);
+    }
+  }
+
+  size_t size() const { return locators_.size(); }
+  bool empty() const { return locators_.empty(); }
+
+  /// Name of the i-th sensor (ascending order); view into this index.
+  std::string_view NameAt(size_t i) const {
+    return std::string_view(names_.data() + offsets_[i],
+                            offsets_[i + 1] - offsets_[i]);
+  }
+  const ChunkLocator& LocatorAt(size_t i) const { return locators_[i]; }
+
+  /// Locator of `sensor`'s chunk, or nullptr when the file has none.
+  const ChunkLocator* Find(std::string_view sensor) const {
+    size_t lo = 0;
+    size_t hi = locators_.size();
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (NameAt(mid) < sensor) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo == locators_.size() || NameAt(lo) != sensor) return nullptr;
+    return &locators_[lo];
+  }
+
+  /// Exact heap footprint (for cache charging and memory sizing).
+  size_t MemoryBytes() const {
+    return names_.capacity() + offsets_.capacity() * sizeof(uint32_t) +
+           locators_.capacity() * sizeof(ChunkLocator);
+  }
+
+ private:
+  std::string names_;
+  std::vector<uint32_t> offsets_;
+  std::vector<ChunkLocator> locators_;
+};
 
 }  // namespace backsort
 

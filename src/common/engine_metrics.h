@@ -188,6 +188,11 @@ struct ShardMetricsSnapshot {
   size_t working_points = 0;
   /// Approximate heap bytes of the working memtables.
   size_t working_bytes = 0;
+  /// Distinct sensors this shard has interned (dense SensorId space).
+  size_t sensor_count = 0;
+  /// Exact heap bytes of the per-sensor shard state: interner (name bytes,
+  /// hash slots, reverse table) + watermark/last-cache vectors.
+  size_t sensor_state_bytes = 0;
   /// Sealed TsFiles this shard consults at query time.
   size_t sealed_files = 0;
   /// Mean/variance flush accumulators (kept alongside the histograms for

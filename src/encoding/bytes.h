@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -53,7 +54,7 @@ class ByteBuffer {
                 static_cast<uint64_t>(v >> 63));
   }
 
-  void PutLengthPrefixedString(const std::string& s) {
+  void PutLengthPrefixedString(std::string_view s) {
     PutVarint64(s.size());
     PutBytes(s.data(), s.size());
   }

@@ -345,9 +345,15 @@ Status CompactionJob::Run(const CompactionPlan& plan, SealedFileRef* out_meta,
   // order (= LWW priority order) because inputs are visited in order.
   std::map<std::string, std::vector<SensorSource>> sensors;
   for (size_t i = 0; i < plan.inputs.size(); ++i) {
-    for (const auto& [sensor, locator] : plan.inputs[i]->ranges()) {
+    // Footers are cache-resident (not pinned in the registry); fetch each
+    // input's once — SensorSource copies the locators it needs.
+    std::shared_ptr<const FooterIndex> ranges;
+    RETURN_NOT_OK(plan.inputs[i]->Footer(&ranges));
+    for (size_t k = 0; k < ranges->size(); ++k) {
+      const ChunkLocator& locator = ranges->LocatorAt(k);
       if (locator.points == 0) continue;
-      sensors[sensor].push_back(SensorSource{i, locator});
+      sensors[std::string(ranges->NameAt(k))].push_back(
+          SensorSource{i, locator});
     }
   }
   stats->sensors = sensors.size();
@@ -422,12 +428,11 @@ Status CompactionJob::Run(const CompactionPlan& plan, SealedFileRef* out_meta,
   stats->output_bytes = std::filesystem::file_size(final_path, ec);
   if (ec) stats->output_bytes = 0;
 
+  // The SealedFileMeta constructor publishes the flattened footer as the
+  // output file's warm cache entry (or pins it when the cache is off).
   SealedFileRef meta = std::make_shared<SealedFileMeta>(
-      final_path, writer.Locators(), cache_);
-  if (cache_ != nullptr) {
-    cache_->PutFooter(final_path,
-                      std::make_shared<FooterMap>(writer.Locators()));
-  }
+      final_path, std::make_shared<const FooterIndex>(writer.Locators()),
+      cache_);
   *out_meta = std::move(meta);
   return Status::OK();
 }

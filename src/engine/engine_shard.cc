@@ -7,6 +7,10 @@
 #include <limits>
 #include <thread>
 
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 #include "common/timer.h"
 #include "engine/flush_pool.h"
 #include "engine/merge.h"
@@ -15,10 +19,31 @@
 
 namespace backsort {
 
-Status EngineSharedState::PublishFlushedFile(const std::string& tmp_path,
-                                             bool sequence,
-                                             const FooterMap& locators,
-                                             SealedFileRef* out) {
+namespace {
+
+/// Returns freed heap pages to the OS after a large sealed memtable dies.
+/// The memtable's point storage is arena blocks (munmapped wholesale), but
+/// the seal pipeline's per-sensor transients — encoded chunk bodies,
+/// chain-pointer vectors, writer index entries — land in glibc's bins,
+/// where they would stay resident forever at high cardinality (~hundreds
+/// of bytes per idle sensor). malloc_trim(0) madvises whole free pages
+/// away, costing ~a millisecond against a multi-hundred-millisecond seal;
+/// the 4 MiB floor keeps small frequent flushes (deep per-sensor backfill)
+/// off that cost entirely.
+void MaybeTrimHeap(size_t freed_bytes) {
+#if defined(__GLIBC__)
+  constexpr size_t kTrimFloorBytes = 4u << 20;
+  if (freed_bytes >= kTrimFloorBytes) ::malloc_trim(0);
+#else
+  (void)freed_bytes;
+#endif
+}
+
+}  // namespace
+
+Status EngineSharedState::PublishFlushedFile(
+    const std::string& tmp_path, bool sequence,
+    std::shared_ptr<const FooterIndex> locators, SealedFileRef* out) {
   *out = nullptr;
   std::unique_lock<std::mutex> lock(files_mu);
   char name[48];
@@ -31,8 +56,8 @@ Status EngineSharedState::PublishFlushedFile(const std::string& tmp_path,
     return Status::IOError("flush rename failed: " + tmp_path + " -> " +
                            final_path + ": " + ec.message());
   }
-  SealedFileRef meta = std::make_shared<SealedFileMeta>(final_path, locators,
-                                                        chunk_cache.get());
+  SealedFileRef meta = std::make_shared<SealedFileMeta>(
+      final_path, std::move(locators), chunk_cache.get());
   all_files.push_back(meta);
   file_count.store(all_files.size());
   *out = std::move(meta);
@@ -102,8 +127,9 @@ Status EngineShard::Write(const std::string& sensor, Timestamp t, double v) {
   // Separation policy: points at or below the sensor's flushed watermark
   // would rewrite history already on disk — they go to the unsequence
   // memtable instead of the sequence one.
-  auto wm = flush_watermark_.find(sensor);
-  const bool sequence = wm == flush_watermark_.end() || t > wm->second;
+  const SensorId sid = InternSensor(sensor);
+  const bool sequence =
+      (flags_[sid] & kHasWatermark) == 0 || t > states_[sid].watermark;
   MemTable* target = sequence ? working_seq_.get() : working_unseq_.get();
   if (options.enable_wal) {
     std::unique_ptr<WalWriter>& wal = sequence ? wal_seq_ : wal_unseq_;
@@ -118,12 +144,13 @@ Status EngineShard::Write(const std::string& sensor, Timestamp t, double v) {
     const SensorSpanDouble span{&sensor, &point, 1};
     RETURN_NOT_OK(ShipAppendLocked(&span, 1));
   }
-  target->Write(sensor, t, v);
+  target->Write(sid, interner_.NameOf(sid), t, v);
   approx_working_points_.fetch_add(1, std::memory_order_relaxed);
   {
-    auto it = last_cache_.find(sensor);
-    if (it == last_cache_.end() || t >= it->second.t) {
-      last_cache_[sensor] = {t, v};
+    SensorState& state = states_[sid];
+    if ((flags_[sid] & kHasLast) == 0 || t >= state.last.t) {
+      state.last = {t, v};
+      flags_[sid] |= kHasLast;
     }
   }
   if (target->total_points() >= flush_threshold_) {
@@ -170,32 +197,40 @@ Status EngineShard::WriteBatch(const SensorSpanDouble* groups,
   part_unseq_.clear();
   spans_seq_.clear();
   spans_unseq_.clear();
+  ids_seq_.clear();
+  ids_unseq_.clear();
   part_seq_.reserve(total);
   part_unseq_.reserve(total);
   for (size_t g = 0; g < group_count; ++g) {
     const SensorSpanDouble& group = groups[g];
     if (group.count == 0) continue;
-    const auto wm = flush_watermark_.find(*group.sensor);
+    const SensorId sid = InternSensor(*group.sensor);
     size_t unseq_n = 0;
-    if (wm != flush_watermark_.end()) {
+    if ((flags_[sid] & kHasWatermark) != 0) {
+      const Timestamp wm = states_[sid].watermark;
       for (size_t i = 0; i < group.count; ++i) {
-        if (group.points[i].t <= wm->second) ++unseq_n;
+        if (group.points[i].t <= wm) ++unseq_n;
       }
     }
     if (unseq_n == 0) {
       spans_seq_.push_back(group);
+      ids_seq_.push_back(sid);
     } else if (unseq_n == group.count) {
       spans_unseq_.push_back(group);
+      ids_unseq_.push_back(sid);
     } else {
+      const Timestamp wm = states_[sid].watermark;
       const TvPairDouble* seq_begin = part_seq_.data() + part_seq_.size();
       const TvPairDouble* unseq_begin =
           part_unseq_.data() + part_unseq_.size();
       for (size_t i = 0; i < group.count; ++i) {
-        (group.points[i].t <= wm->second ? part_unseq_ : part_seq_)
+        (group.points[i].t <= wm ? part_unseq_ : part_seq_)
             .push_back(group.points[i]);
       }
       spans_seq_.push_back({group.sensor, seq_begin, group.count - unseq_n});
+      ids_seq_.push_back(sid);
       spans_unseq_.push_back({group.sensor, unseq_begin, unseq_n});
+      ids_unseq_.push_back(sid);
     }
   }
 
@@ -205,8 +240,8 @@ Status EngineShard::WriteBatch(const SensorSpanDouble* groups,
   // `applied` stays an exact count across mid-batch failures.
   size_t applied_points = 0;
   auto apply_target = [&](bool sequence,
-                          const std::vector<SensorSpanDouble>& spans)
-      -> Status {
+                          const std::vector<SensorSpanDouble>& spans,
+                          const std::vector<SensorId>& ids) -> Status {
     if (spans.empty()) return Status::OK();
     if (options.enable_wal) {
       std::unique_ptr<WalWriter>& wal = sequence ? wal_seq_ : wal_unseq_;
@@ -225,26 +260,25 @@ Status EngineShard::WriteBatch(const SensorSpanDouble* groups,
     }
     MemTable* target = sequence ? working_seq_.get() : working_unseq_.get();
     size_t target_points = 0;
-    for (const SensorSpanDouble& span : spans) {
-      target->WriteN(*span.sensor, span.points, span.count);
+    for (size_t s = 0; s < spans.size(); ++s) {
+      const SensorSpanDouble& span = spans[s];
+      const SensorId sid = ids[s];
+      target->WriteN(sid, interner_.NameOf(sid), span.points, span.count);
       // Last-cache update: arrival-order scan with the per-point >= tie
       // rule. The two partitions of one group can never tie against each
       // other (equal timestamps fall on the same side of the watermark),
       // so per-span scans reproduce the per-point result exactly.
-      auto it = last_cache_.find(*span.sensor);
-      bool have = it != last_cache_.end();
-      TvPairDouble best = have ? it->second : TvPairDouble{};
+      SensorState& state = states_[sid];
+      bool have = (flags_[sid] & kHasLast) != 0;
+      TvPairDouble best = have ? state.last : TvPairDouble{};
       for (size_t i = 0; i < span.count; ++i) {
         if (!have || span.points[i].t >= best.t) {
           best = span.points[i];
           have = true;
         }
       }
-      if (it != last_cache_.end()) {
-        it->second = best;
-      } else {
-        last_cache_.emplace(*span.sensor, best);
-      }
+      state.last = best;
+      flags_[sid] |= kHasLast;
       target_points += span.count;
     }
     approx_working_points_.fetch_add(target_points,
@@ -253,8 +287,8 @@ Status EngineShard::WriteBatch(const SensorSpanDouble* groups,
     return Status::OK();
   };
 
-  Status st = apply_target(true, spans_seq_);
-  if (st.ok()) st = apply_target(false, spans_unseq_);
+  Status st = apply_target(true, spans_seq_, ids_seq_);
+  if (st.ok()) st = apply_target(false, spans_unseq_, ids_unseq_);
   if (applied != nullptr) *applied = applied_points;
   if (!st.ok()) return st;
   shared_->batch_writes.fetch_add(1, std::memory_order_relaxed);
@@ -290,9 +324,13 @@ void EngineShard::SealLocked(bool sequence) {
   working->MarkFlushing();
   // Advance watermarks so later stragglers are separated.
   if (sequence) {
-    for (const auto& [sensor, list] : working->chunks()) {
-      Timestamp& wm = flush_watermark_[sensor];
-      wm = std::max(wm, list->max_time());
+    for (const MemTable::Chunk* chunk : working->chunks()) {
+      SensorState& state = states_[chunk->id];
+      const Timestamp base =
+          (flags_[chunk->id] & kHasWatermark) != 0 ? state.watermark
+                                                   : Timestamp{0};
+      state.watermark = std::max(base, chunk->list.max_time());
+      flags_[chunk->id] |= kHasWatermark;
     }
   }
   // The sealed table's WAL segment rides along with the flush job and is
@@ -334,7 +372,11 @@ Status EngineShard::SealAndDrainSync() {
     FlushJob job = flush_queue_.front();
     flush_queue_.pop_front();
     lock.unlock();
+    const size_t freed_bytes =
+        job.table != nullptr ? job.table->ApproxMemoryBytes() : 0;
     Status st = FlushTable(job);
+    job.table.reset();
+    MaybeTrimHeap(freed_bytes);
     lock.lock();
     if (!st.ok()) return st;
   }
@@ -356,8 +398,12 @@ void EngineShard::ExecuteOneFlush() {
     job = flush_queue_.front();
     flush_queue_.pop_front();
   }
+  const size_t freed_bytes =
+      job.table != nullptr ? job.table->ApproxMemoryBytes() : 0;
   Status st = FlushTable(job);
   (void)st;  // IO failures surface via FlushAll in tests; keep draining.
+  job.table.reset();
+  MaybeTrimHeap(freed_bytes);
 }
 
 Status EngineShard::FlushTable(const FlushJob& job) {
@@ -400,21 +446,24 @@ Status EngineShard::FlushTable(const FlushJob& job) {
     // any order; the coordinator appends results in job order below,
     // making the sealed file byte-identical to the serial loop at every
     // parallelism setting.
-    struct SensorJob {
-      const std::string* sensor;
-      DoubleTVList* list;
-    };
     struct JobResult {
       TsFileWriter::EncodedChunk chunk;
       Status status;
       int64_t sort_ns = 0;
       int64_t encode_ns = 0;
     };
-    std::vector<SensorJob> jobs;
-    jobs.reserve(table->chunks().size());
-    for (auto& [sensor, list] : table->chunks()) {
-      jobs.push_back({&sensor, list.get()});
-    }
+    // `chunk->sensor` (an arena-backed view, valid for the table's
+    // lifetime) serves as sort key and encoder name alike — no per-sensor
+    // string copies on the seal path.
+    std::vector<MemTable::Chunk*> jobs(table->chunks().begin(),
+                                       table->chunks().end());
+    // Chunks live in first-write order; the file format (and the sealed
+    // byte-identity goldens) expect lexicographic sensor order, exactly
+    // what the old std::map iteration produced.
+    std::sort(jobs.begin(), jobs.end(),
+              [](const MemTable::Chunk* a, const MemTable::Chunk* b) {
+                return a->sensor < b->sensor;
+              });
     std::vector<JobResult> results(jobs.size());
 
     // Per-worker reusable column scratch: grown once to the largest chunk
@@ -424,7 +473,7 @@ Status EngineShard::FlushTable(const FlushJob& job) {
       std::vector<double> values;
     };
     auto run_job = [&](size_t i, Scratch& scratch) {
-      DoubleTVList* list = jobs[i].list;
+      DoubleTVList* list = &jobs[i]->list;
       JobResult& res = results[i];
       WallTimer job_timer;
       // Sort the TVList with the configured algorithm (skipped when appends
@@ -446,7 +495,7 @@ Status EngineShard::FlushTable(const FlushJob& job) {
         scratch.values.push_back(list->ValueAt(k));
       }
       res.status = TsFileWriter::EncodeChunkF64(
-          *jobs[i].sensor, scratch.ts, scratch.values, Encoding::kTs2Diff,
+          jobs[i]->sensor, scratch.ts, scratch.values, Encoding::kTs2Diff,
           Encoding::kGorilla, options.points_per_page, &res.chunk);
       res.encode_ns = encode_timer.ElapsedNanos();
       shared_->histograms.sort_job.Record(
@@ -485,7 +534,7 @@ Status EngineShard::FlushTable(const FlushJob& job) {
       trace.encode_ns += res.encode_ns;
       write_status = res.status;
       if (write_status.ok()) {
-        write_status = writer.AppendEncodedChunk(*jobs[i].sensor, res.chunk);
+        write_status = writer.AppendEncodedChunk(jobs[i]->sensor, res.chunk);
       }
       if (!write_status.ok()) break;
     }
@@ -506,6 +555,13 @@ Status EngineShard::FlushTable(const FlushJob& job) {
   }
 
   SealedFileRef meta;
+  // Flatten the footer once, outside the publish critical section; it
+  // becomes the file's (evictable) footer-cache entry, with only the O(1)
+  // span summary pinned in the registry.
+  std::shared_ptr<const FooterIndex> findex;
+  if (write_status.ok()) {
+    findex = std::make_shared<const FooterIndex>(writer.Locators());
+  }
   {
     // Publish the file and retire the memtable atomically w.r.t. queries —
     // in seal order, so a straggler-heavy unsequence table sealed later
@@ -516,14 +572,13 @@ Status EngineShard::FlushTable(const FlushJob& job) {
       // Allocate the final file id, rename, and append to the registry in
       // one files_mu critical section — the engine-wide list stays strictly
       // name-ordered within each seq/unseq class.
-      write_status = shared_->PublishFlushedFile(tmp_path, job.sequence,
-                                                 writer.Locators(), &meta);
+      write_status =
+          shared_->PublishFlushedFile(tmp_path, job.sequence, findex, &meta);
     }
     if (write_status.ok()) {
-      // Warm the footer cache — the first query of this file then skips
-      // the index read entirely.
-      shared_->chunk_cache->PutFooter(
-          meta->path(), std::make_shared<FooterMap>(writer.Locators()));
+      // (The SealedFileMeta constructor already published `findex` as the
+      // file's warm footer-cache entry — first queries skip the index
+      // read.)
       sealed_files_.push_back(meta);
       flushing_.erase(std::remove(flushing_.begin(), flushing_.end(), table),
                       flushing_.end());
@@ -586,12 +641,11 @@ Status EngineShard::FlushTable(const FlushJob& job) {
 }
 
 std::vector<TvPairDouble> EngineShard::CollectFromMemTable(
-    const MemTable& table, const std::string& sensor, Timestamp t_min,
-    Timestamp t_max) {
+    const MemTable& table, SensorId sid, Timestamp t_min, Timestamp t_max) {
   const EngineOptions& options = shared_->options;
   // Serialize with the flush worker's in-place sort of this sealed table.
   std::unique_lock<std::mutex> table_lock(table.mu());
-  const DoubleTVList* list = table.GetChunk(sensor);
+  const DoubleTVList* list = table.GetChunk(sid);
   if (list == nullptr || list->size() == 0) return {};
   if (list->max_time() < t_min || list->min_time() > t_max) return {};
   // Snapshot matching points, then sort the snapshot with the configured
@@ -624,10 +678,16 @@ void EngineShard::TakeSnapshot(const std::string& sensor, Timestamp t_min,
   std::unique_lock<std::mutex> lock(mu_);
   snap->files = sealed_files_;
   snap->flushing = flushing_;
+  // Interned id of the sensor, if this shard has ever seen it. An unknown
+  // sensor keeps kInvalidSensorId — memtable/last-cache lookups all miss
+  // (GetChunk bounds-checks), while sealed files are still consulted by
+  // name, exactly as before.
+  const SensorId sid = interner_.Lookup(sensor);
+  snap->sid = sid;
   // Working tables only mutate under mu_ (flush workers touch sealed
   // tables exclusively), so reading them here needs no per-table lock.
   auto bounds_overlap = [&](const MemTable& table) {
-    const DoubleTVList* list = table.GetChunk(sensor);
+    const DoubleTVList* list = table.GetChunk(sid);
     return list != nullptr && list->size() > 0 &&
            list->max_time() >= t_min && list->min_time() <= t_max;
   };
@@ -639,7 +699,7 @@ void EngineShard::TakeSnapshot(const std::string& sensor, Timestamp t_min,
     // still sees the TVList's disorder profile.
     auto copy_points = [&](const MemTable& table,
                            std::vector<TvPairDouble>* dst, bool* sorted) {
-      const DoubleTVList* list = table.GetChunk(sensor);
+      const DoubleTVList* list = table.GetChunk(sid);
       if (list == nullptr || list->size() == 0) return;
       if (list->max_time() < t_min || list->min_time() > t_max) return;
       dst->reserve(list->size());
@@ -654,10 +714,9 @@ void EngineShard::TakeSnapshot(const std::string& sensor, Timestamp t_min,
     copy_points(*working_seq_, &snap->working_seq,
                 &snap->working_seq_sorted);
   }
-  auto it = last_cache_.find(sensor);
-  if (it != last_cache_.end()) {
+  if (sid != kInvalidSensorId && (flags_[sid] & kHasLast) != 0) {
     snap->have_last = true;
-    snap->last = it->second;
+    snap->last = states_[sid].last;
   }
 }
 
@@ -676,17 +735,12 @@ Status EngineShard::ReadFileRange(const SealedFileMeta& file,
   std::shared_ptr<const CachedChunk> chunk =
       cache->GetChunk(file.path(), sensor);
   if (chunk == nullptr) {
-    std::shared_ptr<const FooterMap> footer = cache->GetFooter(file.path());
-    if (footer == nullptr) {
-      auto fresh = std::make_shared<FooterMap>();
-      RETURN_NOT_OK(ReadTsFileFooter(file.path(), fresh.get()));
-      cache->PutFooter(file.path(), fresh);
-      footer = std::move(fresh);
-    }
-    auto it = footer->find(sensor);
-    if (it == footer->end()) return Status::NotFound("sensor: " + sensor);
+    std::shared_ptr<const FooterIndex> footer;
+    RETURN_NOT_OK(file.Footer(&footer));
+    const ChunkLocator* locator = footer->Find(sensor);
+    if (locator == nullptr) return Status::NotFound("sensor: " + sensor);
     auto decoded = std::make_shared<CachedChunk>();
-    RETURN_NOT_OK(ReadTsFileChunkF64(file.path(), sensor, it->second,
+    RETURN_NOT_OK(ReadTsFileChunkF64(file.path(), sensor, *locator,
                                      &decoded->ts, &decoded->values));
     cache->PutChunk(file.path(), sensor, decoded);
     chunk = std::move(decoded);
@@ -723,6 +777,8 @@ Status EngineShard::Query(const std::string& sensor, Timestamp t_min,
 
   // Stage 2 — footer-based file pruning: a file whose footer says the
   // sensor has no points in range is skipped without being opened.
+  // Two levels: the registry's pinned O(1) file span first, then the
+  // per-sensor locator from the (cache-resident, evictable) footer.
   // Priorities are assigned by list position (creation order) whether or
   // not a file survives pruning, so last-write-wins ordering is unchanged.
   WallTimer prune_timer;
@@ -732,10 +788,22 @@ Status EngineShard::Query(const std::string& sensor, Timestamp t_min,
   uint64_t pruned = 0;
   for (const SealedFileRef& file : snap.files) {
     ++priority;
-    if (shared.options.enable_file_pruning &&
-        !file->Overlaps(sensor, t_min, t_max)) {
-      ++pruned;
-      continue;
+    if (shared.options.enable_file_pruning) {
+      if (!file->SpanOverlaps(t_min, t_max)) {
+        ++pruned;
+        continue;
+      }
+      std::shared_ptr<const FooterIndex> footer;
+      if (file->Footer(&footer).ok()) {
+        const ChunkLocator* locator = footer->Find(sensor);
+        if (locator == nullptr || locator->min_t > locator->max_t ||
+            locator->max_t < t_min || locator->min_t > t_max) {
+          ++pruned;
+          continue;
+        }
+      }
+      // An unreadable footer never prunes — the read below surfaces the
+      // I/O error instead of silently dropping the file's points.
     }
     files.emplace_back(file, priority);
   }
@@ -769,7 +837,7 @@ Status EngineShard::Query(const std::string& sensor, Timestamp t_min,
   }
   for (const auto& table : snap.flushing) {
     runs.push_back(
-        {CollectFromMemTable(*table, sensor, t_min, t_max), ++priority});
+        {CollectFromMemTable(*table, snap.sid, t_min, t_max), ++priority});
   }
   auto finish_working = [&](std::vector<TvPairDouble>&& points, bool sorted) {
     if (!sorted && !points.empty()) {
@@ -821,11 +889,33 @@ Status EngineShard::AggregateFast(const std::string& sensor, Timestamp t_min,
   TakeSnapshot(sensor, t_min, t_max, /*want_points=*/false, &snap);
 
   bool fast_ok = !snap.working_in_range;
+
+  // Per-sensor pruning metadata lives in the (evictable) footer cache, not
+  // pinned in the registry. Fetch each file's footer once for the whole
+  // plan; the shared_ptrs also keep every locator pointer below alive
+  // through the decode stage. A footer that cannot be read back forces the
+  // exact merge path, which surfaces (or survives) the I/O error itself.
+  std::vector<std::shared_ptr<const FooterIndex>> footers;
   if (fast_ok) {
-    for (const SealedFileRef& file : snap.files) {
-      if (!file->unsequence()) continue;
-      if (!shared.options.enable_file_pruning ||
-          file->Overlaps(sensor, t_min, t_max)) {
+    footers.resize(snap.files.size());
+    for (size_t i = 0; i < snap.files.size(); ++i) {
+      if (!snap.files[i]->Footer(&footers[i]).ok()) {
+        fast_ok = false;
+        break;
+      }
+    }
+  }
+  if (fast_ok) {
+    for (size_t i = 0; i < snap.files.size(); ++i) {
+      const SealedFileMeta& file = *snap.files[i];
+      if (!file.unsequence()) continue;
+      if (!shared.options.enable_file_pruning) {
+        fast_ok = false;
+        break;
+      }
+      const ChunkLocator* locator = footers[i]->Find(sensor);
+      if (locator != nullptr && locator->min_t <= locator->max_t &&
+          locator->max_t >= t_min && locator->min_t <= t_max) {
         fast_ok = false;
         break;
       }
@@ -833,7 +923,7 @@ Status EngineShard::AggregateFast(const std::string& sensor, Timestamp t_min,
   }
   auto memtable_touches_range = [&](const MemTable& table) {
     std::unique_lock<std::mutex> table_lock(table.mu());
-    const DoubleTVList* list = table.GetChunk(sensor);
+    const DoubleTVList* list = table.GetChunk(snap.sid);
     return list != nullptr && list->size() > 0 &&
            list->max_time() >= t_min && list->min_time() <= t_max;
   };
@@ -895,14 +985,10 @@ Status EngineShard::AggregateFast(const std::string& sensor, Timestamp t_min,
   uint64_t hits = 0;
   for (size_t i = 0; i < snap.files.size(); ++i) {
     const SealedFileMeta& file = *snap.files[i];
-    if (shared.options.enable_file_pruning &&
-        !file.Overlaps(sensor, t_min, t_max)) {
-      continue;
-    }
-    const ChunkLocator* locator = file.RangeFor(sensor);
+    const ChunkLocator* locator = footers[i]->Find(sensor);
     if (locator == nullptr || locator->points == 0 ||
         locator->max_t < t_min || locator->min_t > t_max) {
-      continue;  // nothing of this sensor in range (pruning disabled path)
+      continue;  // nothing of this sensor in range
     }
     if (locator->min_t >= t_min && locator->max_t <= t_max &&
         locator->stats_usable()) {
@@ -1043,6 +1129,10 @@ ShardMetricsSnapshot EngineShard::Snapshot() const {
     snap.working_bytes =
         working_seq_->ApproxMemoryBytes() + working_unseq_->ApproxMemoryBytes();
     snap.sealed_files = sealed_files_.size();
+    snap.sensor_count = interner_.size();
+    snap.sensor_state_bytes = interner_.MemoryBytes() +
+                              states_.capacity() * sizeof(SensorState) +
+                              flags_.capacity();
   }
   {
     std::unique_lock<std::mutex> lock(metrics_mu_);
@@ -1068,23 +1158,30 @@ void EngineShard::RecoverAdoptFile(const SealedFileRef& file) {
 }
 
 void EngineShard::RecoverWatermark(const std::string& sensor, Timestamp t) {
-  Timestamp& wm = flush_watermark_[sensor];
-  wm = std::max(wm, t);
+  const SensorId sid = InternSensor(sensor);
+  SensorState& state = states_[sid];
+  const Timestamp base =
+      (flags_[sid] & kHasWatermark) != 0 ? state.watermark : Timestamp{0};
+  state.watermark = std::max(base, t);
+  flags_[sid] |= kHasWatermark;
 }
 
 void EngineShard::RecoverLastCache(const std::string& sensor, Timestamp t,
                                    double v) {
-  auto it = last_cache_.find(sensor);
-  if (it == last_cache_.end() || t >= it->second.t) {
-    last_cache_[sensor] = {t, v};
+  const SensorId sid = InternSensor(sensor);
+  SensorState& state = states_[sid];
+  if ((flags_[sid] & kHasLast) == 0 || t >= state.last.t) {
+    state.last = {t, v};
+    flags_[sid] |= kHasLast;
   }
 }
 
 void EngineShard::RecoverReplayRecord(const WalRecord& r) {
-  auto wm = flush_watermark_.find(r.sensor);
-  const bool sequence = wm == flush_watermark_.end() || r.t > wm->second;
+  const SensorId sid = InternSensor(r.sensor);
+  const bool sequence =
+      (flags_[sid] & kHasWatermark) == 0 || r.t > states_[sid].watermark;
   MemTable* target = sequence ? working_seq_.get() : working_unseq_.get();
-  target->Write(r.sensor, r.t, r.v);
+  target->Write(sid, interner_.NameOf(sid), r.t, r.v);
   approx_working_points_.fetch_add(1, std::memory_order_relaxed);
   RecoverLastCache(r.sensor, r.t, r.v);
 }
@@ -1100,13 +1197,15 @@ Status EngineShard::RecoverRelog() {
     // relogged segment is smaller and the replay path that reads it is the
     // same batch expansion recovery already exercises.
     std::vector<TvPairDouble> points;
-    for (const auto& [sensor, list] : table->chunks()) {
+    for (const MemTable::Chunk* chunk : table->chunks()) {
+      const DoubleTVList& list = chunk->list;
       points.clear();
-      points.reserve(list->size());
-      for (size_t i = 0; i < list->size(); ++i) {
-        points.push_back({list->TimeAt(i), list->ValueAt(i)});
+      points.reserve(list.size());
+      for (size_t i = 0; i < list.size(); ++i) {
+        points.push_back({list.TimeAt(i), list.ValueAt(i)});
       }
-      const SensorSpanDouble span{&sensor, points.data(), points.size()};
+      const std::string name(chunk->sensor);
+      const SensorSpanDouble span{&name, points.data(), points.size()};
       RETURN_NOT_OK(wal->AppendBatch(&span, 1));
       // Re-ship the recovered points too: any ship record the crash tore
       // off is covered again, and the follower's LWW apply absorbs the

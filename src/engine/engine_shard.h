@@ -20,6 +20,7 @@
 #include "engine/file_registry.h"
 #include "engine/wal.h"
 #include "memtable/memtable.h"
+#include "memtable/sensor_interner.h"
 #include "tsfile/tsfile.h"
 
 namespace backsort {
@@ -200,9 +201,12 @@ struct EngineSharedState {
   /// (naming the file when the flush STARTED could publish ids out of
   /// order under concurrent workers). Caller holds the publishing
   /// shard's mu (see lock hierarchy above). On error (rename failed) the
-  /// registry is untouched and `*out` is null.
+  /// registry is untouched and `*out` is null. `locators` is the
+  /// flattened footer the meta will share with the cache (see
+  /// FooterIndex).
   Status PublishFlushedFile(const std::string& tmp_path, bool sequence,
-                            const FooterMap& locators, SealedFileRef* out);
+                            std::shared_ptr<const FooterIndex> locators,
+                            SealedFileRef* out);
 };
 
 /// One sealed memtable queued for flush.
@@ -338,6 +342,11 @@ class EngineShard {
   /// stays consistent however far writes, flushes or compaction progress
   /// meanwhile.
   struct ReadSnapshot {
+    /// The queried sensor's dense id in this shard, resolved once under
+    /// mu_ (kInvalidSensorId when the shard has never seen the name — its
+    /// memtables and last cache then have nothing, though sealed files are
+    /// still consulted by name).
+    SensorId sid = kInvalidSensorId;
     std::vector<SealedFileRef> files;
     std::vector<std::shared_ptr<MemTable>> flushing;
     std::vector<TvPairDouble> working_unseq;
@@ -392,28 +401,56 @@ class EngineShard {
   /// holds mu_.
   Status ShipAppendLocked(const SensorSpanDouble* groups, size_t group_count);
 
-  /// Collects [t_min, t_max] points of `sensor` from a sealed (flushing)
-  /// memtable into one sorted run (sorting with the configured algorithm,
-  /// like IoTDB's query-time sort). Takes the per-table mutex to serialize
-  /// with the flush worker's in-place sort; called without mu_.
+  /// Collects [t_min, t_max] points of the sensor with dense id `sid` from
+  /// a sealed (flushing) memtable into one sorted run (sorting with the
+  /// configured algorithm, like IoTDB's query-time sort). Takes the
+  /// per-table mutex to serialize with the flush worker's in-place sort;
+  /// called without mu_.
   std::vector<TvPairDouble> CollectFromMemTable(const MemTable& table,
-                                                const std::string& sensor,
+                                                SensorId sid,
                                                 Timestamp t_min,
                                                 Timestamp t_max);
+
+  /// Dense per-sensor shard state, indexed by SensorId: the separation
+  /// watermark and the last-cache entry, replacing two string-keyed
+  /// std::maps (two tree nodes + two key strings per sensor) with 24
+  /// contiguous bytes plus one presence byte in flags_. Guarded by mu_.
+  struct SensorState {
+    Timestamp watermark = 0;
+    TvPairDouble last{};
+  };
+  static constexpr uint8_t kHasWatermark = 1;  ///< flags_ bit: watermark set
+  static constexpr uint8_t kHasLast = 2;       ///< flags_ bit: last set
+
+  /// Interns `name`, growing states_/flags_ so every valid SensorId
+  /// indexes them safely. Caller holds mu_ (or is in single-threaded
+  /// recovery).
+  SensorId InternSensor(std::string_view name) {
+    const SensorId id = interner_.Intern(name);
+    if (id >= states_.size()) {
+      states_.resize(id + 1);
+      flags_.resize(id + 1, 0);
+    }
+    return id;
+  }
 
   const size_t shard_id_;
   const size_t flush_threshold_;
   EngineSharedState* const shared_;
 
+  /// Sensor-name interner: the only owner of name bytes past the wire
+  /// boundary. Declared before the memtables/flush structures so it is
+  /// destroyed after them — chunks hold views into it.
+  SensorInterner interner_;
+
   mutable std::mutex mu_;
   std::unique_ptr<MemTable> working_seq_;
   std::unique_ptr<MemTable> working_unseq_;
-  /// Last flushed (or flush-queued) max time per sensor — the separation
-  /// policy watermark.
-  std::map<std::string, Timestamp> flush_watermark_;
-  /// Last cache: newest point per sensor (largest timestamp; last write on
-  /// ties). Rebuilt from files + WAL on recovery.
-  std::map<std::string, TvPairDouble> last_cache_;
+  /// Per-sensor watermark + last cache (see SensorState), dense by
+  /// SensorId; presence bits in flags_. Rebuilt from files + WAL on
+  /// recovery (ids are reassigned freely — they never persist).
+  std::vector<SensorState> states_;
+  std::vector<uint8_t> flags_;
   /// Tables sealed but not yet fully on disk; still visible to queries.
   std::vector<std::shared_ptr<MemTable>> flushing_;
 
@@ -427,6 +464,10 @@ class EngineShard {
   std::vector<TvPairDouble> part_unseq_;
   std::vector<SensorSpanDouble> spans_seq_;
   std::vector<SensorSpanDouble> spans_unseq_;
+  /// Dense ids parallel to spans_seq_/spans_unseq_, resolved once per
+  /// group in the partition pass so apply never re-hashes a name.
+  std::vector<SensorId> ids_seq_;
+  std::vector<SensorId> ids_unseq_;
 
   std::deque<FlushJob> flush_queue_;
   std::condition_variable flush_done_cv_;

@@ -1,6 +1,10 @@
 #include "engine/file_registry.h"
 
+#include <algorithm>
 #include <filesystem>
+#include <utility>
+
+#include "tsfile/tsfile.h"
 
 namespace backsort {
 
@@ -15,12 +19,32 @@ bool IsUnsequenceFile(const std::string& path) {
 
 }  // namespace
 
-SealedFileMeta::SealedFileMeta(std::string path, FooterMap ranges,
+SealedFileMeta::SealedFileMeta(std::string path,
+                               std::shared_ptr<const FooterIndex> ranges,
                                ChunkCache* cache)
     : path_(std::move(path)),
-      ranges_(std::move(ranges)),
       cache_(cache),
-      unsequence_(IsUnsequenceFile(path_)) {}
+      unsequence_(IsUnsequenceFile(path_)) {
+  sensor_count_ = ranges->size();
+  for (size_t i = 0; i < ranges->size(); ++i) {
+    const ChunkLocator& locator = ranges->LocatorAt(i);
+    if (locator.min_t > locator.max_t) continue;  // empty chunk
+    if (span_min_t_ > span_max_t_) {
+      span_min_t_ = locator.min_t;
+      span_max_t_ = locator.max_t;
+    } else {
+      span_min_t_ = std::min(span_min_t_, locator.min_t);
+      span_max_t_ = std::max(span_max_t_, locator.max_t);
+    }
+  }
+  if (cache_ != nullptr && cache_->enabled()) {
+    // Publish the footer as the cache's (evictable) copy; only the O(1)
+    // summary above stays pinned with the file.
+    cache_->PutFooter(path_, std::move(ranges));
+  } else {
+    pinned_ = std::move(ranges);
+  }
+}
 
 SealedFileMeta::~SealedFileMeta() {
   if (!obsolete_.load(std::memory_order_acquire)) return;
@@ -29,17 +53,23 @@ SealedFileMeta::~SealedFileMeta() {
   std::filesystem::remove(path_, ec);  // best effort; orphans are harmless
 }
 
-const ChunkLocator* SealedFileMeta::RangeFor(const std::string& sensor) const {
-  auto it = ranges_.find(sensor);
-  return it == ranges_.end() ? nullptr : &it->second;
-}
-
-bool SealedFileMeta::Overlaps(const std::string& sensor, Timestamp t_min,
-                              Timestamp t_max) const {
-  const ChunkLocator* locator = RangeFor(sensor);
-  if (locator == nullptr) return false;
-  if (locator->min_t > locator->max_t) return false;  // empty chunk
-  return locator->max_t >= t_min && locator->min_t <= t_max;
+Status SealedFileMeta::Footer(std::shared_ptr<const FooterIndex>* out) const {
+  if (pinned_ != nullptr) {
+    *out = pinned_;
+    return Status::OK();
+  }
+  std::shared_ptr<const FooterIndex> footer = cache_->GetFooter(path_);
+  if (footer == nullptr) {
+    // Evicted (or never warmed): tail-only re-read, shared via the cache
+    // so concurrent readers of this file converge on one copy.
+    FooterMap parsed;
+    RETURN_NOT_OK(ReadTsFileFooter(path_, &parsed));
+    auto fresh = std::make_shared<const FooterIndex>(parsed);
+    cache_->PutFooter(path_, fresh);
+    footer = std::move(fresh);
+  }
+  *out = std::move(footer);
+  return Status::OK();
 }
 
 }  // namespace backsort

@@ -210,7 +210,8 @@ Status StorageEngine::RecoverAll() {
     TsFileReader reader(path);
     RETURN_NOT_OK(reader.Open());
     SealedFileRef meta = std::make_shared<SealedFileMeta>(
-        path, reader.Locators(), shared_.chunk_cache.get());
+        path, std::make_shared<const FooterIndex>(reader.Locators()),
+        shared_.chunk_cache.get());
     metas.push_back(meta);
     for (const std::string& sensor : reader.Sensors()) {
       EngineShard* shard = shards_[ShardFor(sensor)].get();

@@ -1,0 +1,134 @@
+#ifndef BACKSORT_MEMTABLE_SENSOR_INTERNER_H_
+#define BACKSORT_MEMTABLE_SENSOR_INTERNER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "common/arena.h"
+
+namespace backsort {
+
+/// Dense integer identity of one sensor within its shard. Assigned by the
+/// shard's SensorInterner at first write and never reused; everything past
+/// the wire boundary (memtables, watermarks, last cache, snapshots) keys
+/// on this instead of the sensor-name string. Ids never cross the file
+/// format, the WAL, or the wire — those carry names, so sealed bytes and
+/// replication streams are identical to the string-keyed engine and ids
+/// can be reassigned freely on recovery.
+using SensorId = uint32_t;
+inline constexpr SensorId kInvalidSensorId = UINT32_MAX;
+
+/// Append-only string -> SensorId table, one per shard: a flat
+/// open-addressing index over ids, a reverse id -> string_view vector, and
+/// the name bytes themselves in a bump arena — 1M sensors cost ~one
+/// allocation per 256 KiB arena block instead of one heap string + one
+/// red-black-tree node per name per map.
+///
+/// Returned string_views point into the arena and stay valid for the
+/// interner's lifetime even as the index grows (the arena never moves
+/// existing bytes). The interner is owned by the shard and outlives every
+/// memtable of that shard, so chunks snapshot the view once at creation
+/// and flush workers read names without synchronizing with the interner.
+///
+/// Not thread-safe: all access happens under the owning shard's mutex.
+class SensorInterner {
+ public:
+  SensorInterner() : slots_(kInitialSlots, kInvalidSensorId) {}
+
+  SensorInterner(const SensorInterner&) = delete;
+  SensorInterner& operator=(const SensorInterner&) = delete;
+
+  /// Id of `name`, interning it on first sight.
+  SensorId Intern(std::string_view name) {
+    const uint64_t h = Hash(name);
+    size_t slot = Probe(h, name);
+    if (slots_[slot] != kInvalidSensorId) return slots_[slot];
+    const SensorId id = static_cast<SensorId>(entries_.size());
+    char* stored = arena_.AllocateArray<char>(name.size());
+    std::memcpy(stored, name.data(), name.size());
+    entries_.push_back(Entry{stored, static_cast<uint32_t>(name.size())});
+    slots_[slot] = id;
+    if ((entries_.size() + 1) * 2 > slots_.size()) Rehash();
+    return id;
+  }
+
+  /// Id of `name` if already interned, else kInvalidSensorId.
+  SensorId Lookup(std::string_view name) const {
+    const size_t slot = const_cast<SensorInterner*>(this)->Probe(Hash(name),
+                                                                 name);
+    return slots_[slot];
+  }
+
+  /// Name of an interned id; the view is stable for the interner's
+  /// lifetime.
+  std::string_view NameOf(SensorId id) const {
+    const Entry& e = entries_[id];
+    return std::string_view(e.data, e.len);
+  }
+
+  /// Number of interned sensors; ids are exactly [0, size()).
+  size_t size() const { return entries_.size(); }
+
+  /// Exact heap footprint: name bytes (arena blocks) + reverse table +
+  /// hash slots.
+  size_t MemoryBytes() const {
+    return arena_.MemoryBytes() + entries_.capacity() * sizeof(Entry) +
+           slots_.capacity() * sizeof(SensorId);
+  }
+
+ private:
+  struct Entry {
+    const char* data;
+    uint32_t len;
+  };
+  static constexpr size_t kInitialSlots = 64;  // power of two
+
+  static uint64_t Hash(std::string_view s) {
+    uint64_t h = 1469598103934665603ull;  // FNV-1a
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+  bool Matches(SensorId id, std::string_view name) const {
+    const Entry& e = entries_[id];
+    return e.len == name.size() && std::memcmp(e.data, name.data(),
+                                               e.len) == 0;
+  }
+
+  /// Index of `name`'s slot (occupied by its id) or of the empty slot
+  /// where it would be inserted. slots_.size() is a power of two.
+  size_t Probe(uint64_t h, std::string_view name) {
+    const size_t mask = slots_.size() - 1;
+    size_t slot = static_cast<size_t>(h) & mask;
+    while (slots_[slot] != kInvalidSensorId &&
+           !Matches(slots_[slot], name)) {
+      slot = (slot + 1) & mask;
+    }
+    return slot;
+  }
+
+  void Rehash() {
+    std::vector<SensorId> old = std::move(slots_);
+    slots_.assign(old.size() * 2, kInvalidSensorId);
+    const size_t mask = slots_.size() - 1;
+    for (const SensorId id : old) {
+      if (id == kInvalidSensorId) continue;
+      size_t slot = static_cast<size_t>(Hash(NameOf(id))) & mask;
+      while (slots_[slot] != kInvalidSensorId) slot = (slot + 1) & mask;
+      slots_[slot] = id;
+    }
+  }
+
+  Arena arena_;
+  std::vector<Entry> entries_;
+  std::vector<SensorId> slots_;
+};
+
+}  // namespace backsort
+
+#endif  // BACKSORT_MEMTABLE_SENSOR_INTERNER_H_

@@ -256,7 +256,7 @@ Status EncodePage(const std::vector<Timestamp>& ts,
 /// in the same order, so encode-then-append is bit-identical to the
 /// in-place path.
 template <typename V>
-Status EncodeChunkBody(const std::string& sensor,
+Status EncodeChunkBody(std::string_view sensor,
                        const std::vector<Timestamp>& ts,
                        const std::vector<V>& values, DataType type,
                        Encoding time_enc, Encoding value_enc,
@@ -295,7 +295,7 @@ Status EncodeChunkBody(const std::string& sensor,
 }  // namespace
 
 template <typename V>
-Status TsFileWriter::WriteChunkImpl(const std::string& sensor,
+Status TsFileWriter::WriteChunkImpl(std::string_view sensor,
                                     const std::vector<Timestamp>& ts,
                                     const std::vector<V>& values,
                                     DataType type, Encoding time_enc,
@@ -312,14 +312,14 @@ Status TsFileWriter::WriteChunkImpl(const std::string& sensor,
   if (FileOffset() == 0) {
     buffer_.PutBytes(magic(), kMagicLen);
   }
-  index_.push_back({sensor, FileOffset(), type, ts.size(),
+  index_.push_back({std::string(sensor), FileOffset(), type, ts.size(),
                     ts.empty() ? Timestamp{0} : ts.front(),
                     ts.empty() ? Timestamp{-1} : ts.back(), vstats});
   buffer_.Append(body);
   return MaybeSpill();
 }
 
-Status TsFileWriter::EncodeChunkF64(const std::string& sensor,
+Status TsFileWriter::EncodeChunkF64(std::string_view sensor,
                                     const std::vector<Timestamp>& ts,
                                     const std::vector<double>& values,
                                     Encoding time_enc, Encoding value_enc,
@@ -336,7 +336,7 @@ Status TsFileWriter::EncodeChunkF64(const std::string& sensor,
                          &out->stats);
 }
 
-Status TsFileWriter::AppendEncodedChunk(const std::string& sensor,
+Status TsFileWriter::AppendEncodedChunk(std::string_view sensor,
                                         const EncodedChunk& chunk) {
   if (finished_) return Status::InvalidArgument("writer already finished");
   if (chunk_open_) {
@@ -345,13 +345,13 @@ Status TsFileWriter::AppendEncodedChunk(const std::string& sensor,
   if (FileOffset() == 0) {
     buffer_.PutBytes(magic(), kMagicLen);
   }
-  index_.push_back({sensor, FileOffset(), chunk.type, chunk.points,
-                    chunk.min_t, chunk.max_t, chunk.stats});
+  index_.push_back({std::string(sensor), FileOffset(), chunk.type,
+                    chunk.points, chunk.min_t, chunk.max_t, chunk.stats});
   buffer_.Append(chunk.body);
   return MaybeSpill();
 }
 
-Status TsFileWriter::WriteChunkI64(const std::string& sensor,
+Status TsFileWriter::WriteChunkI64(std::string_view sensor,
                                    const std::vector<Timestamp>& ts,
                                    const std::vector<int64_t>& values,
                                    Encoding time_enc, Encoding value_enc,
@@ -360,7 +360,7 @@ Status TsFileWriter::WriteChunkI64(const std::string& sensor,
                         value_enc, points_per_page);
 }
 
-Status TsFileWriter::WriteChunkF64(const std::string& sensor,
+Status TsFileWriter::WriteChunkF64(std::string_view sensor,
                                    const std::vector<Timestamp>& ts,
                                    const std::vector<double>& values,
                                    Encoding time_enc, Encoding value_enc,
@@ -392,7 +392,7 @@ Status TsFileWriter::MaybeSpill() {
   return SpillBuffer();
 }
 
-Status TsFileWriter::BeginChunkF64(const std::string& sensor,
+Status TsFileWriter::BeginChunkF64(std::string_view sensor,
                                    uint64_t page_count, Encoding time_enc,
                                    Encoding value_enc) {
   if (finished_) return Status::InvalidArgument("writer already finished");
@@ -487,7 +487,12 @@ Status TsFileWriter::Finish() {
   buffer_.PutFixed64(index_offset);
   buffer_.PutBytes(magic(), kMagicLen);
 
+  // Flat sorted entries instead of a FooterMap: sealing a 100k-sensor
+  // table costs two large allocations here, not 100k tree nodes the
+  // allocator would retain after the writer dies. Lexicographic order is
+  // what the map iteration used to give every consumer.
   locators_.clear();
+  locators_.reserve(index_.size());
   for (size_t i = 0; i < index_.size(); ++i) {
     const IndexEntry& e = index_[i];
     ChunkLocator locator;
@@ -507,8 +512,13 @@ Status TsFileWriter::Finish() {
       locator.first_v = e.stats.first_v;
       locator.last_v = e.stats.last_v;
     }
-    locators_[e.sensor] = locator;
+    locators_.emplace_back(e.sensor, locator);
   }
+  std::sort(locators_.begin(), locators_.end(),
+            [](const FooterEntries::value_type& a,
+               const FooterEntries::value_type& b) {
+              return a.first < b.first;
+            });
 
   RETURN_NOT_OK(SpillBuffer());
   spill_out_.flush();

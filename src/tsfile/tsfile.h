@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/chunk_cache.h"
@@ -101,14 +102,14 @@ class TsFileWriter {
 
   /// Appends a chunk for `sensor`. Timestamps must be sorted ascending
   /// (flush sorts first); returns InvalidArgument otherwise.
-  Status WriteChunkI64(const std::string& sensor,
+  Status WriteChunkI64(std::string_view sensor,
                        const std::vector<Timestamp>& ts,
                        const std::vector<int64_t>& values,
                        Encoding time_enc = Encoding::kTs2Diff,
                        Encoding value_enc = Encoding::kRle,
                        size_t points_per_page = kDefaultPointsPerPage);
 
-  Status WriteChunkF64(const std::string& sensor,
+  Status WriteChunkF64(std::string_view sensor,
                        const std::vector<Timestamp>& ts,
                        const std::vector<double>& values,
                        Encoding time_enc = Encoding::kTs2Diff,
@@ -134,7 +135,7 @@ class TsFileWriter {
   /// Encodes one F64 chunk body into `out` without touching any writer.
   /// Static and stateless — safe to call from any thread. Same validation
   /// as WriteChunkF64 (sorted timestamps, matching column sizes).
-  static Status EncodeChunkF64(const std::string& sensor,
+  static Status EncodeChunkF64(std::string_view sensor,
                                const std::vector<Timestamp>& ts,
                                const std::vector<double>& values,
                                Encoding time_enc, Encoding value_enc,
@@ -142,7 +143,7 @@ class TsFileWriter {
 
   /// Appends a chunk produced by EncodeChunkF64, recording its index
   /// entry. WriteChunkF64 == EncodeChunkF64 + AppendEncodedChunk.
-  Status AppendEncodedChunk(const std::string& sensor,
+  Status AppendEncodedChunk(std::string_view sensor,
                             const EncodedChunk& chunk);
 
   /// Streaming chunk construction, for writers that produce pages
@@ -152,7 +153,7 @@ class TsFileWriter {
   /// one page, EndChunk validates the count and records the index entry.
   /// Page bytes are identical to WriteChunkF64 splitting the same points
   /// at the same boundaries. Cannot interleave with WriteChunk*.
-  Status BeginChunkF64(const std::string& sensor, uint64_t page_count,
+  Status BeginChunkF64(std::string_view sensor, uint64_t page_count,
                        Encoding time_enc = Encoding::kTs2Diff,
                        Encoding value_enc = Encoding::kGorilla);
 
@@ -184,10 +185,11 @@ class TsFileWriter {
   size_t chunk_count() const { return index_.size(); }
 
   /// Chunk locators of the sealed file (offset, length, point count, time
-  /// range per sensor) — what ReadTsFileFooter would parse back. Valid
-  /// after Finish(); the engine uses it to build pruning metadata and warm
-  /// the footer cache without re-reading the file it just wrote.
-  const FooterMap& Locators() const { return locators_; }
+  /// range per sensor), sorted by sensor name — what ReadTsFileFooter
+  /// would parse back, as flat entries rather than a tree. Valid after
+  /// Finish(); the engine flattens it into a FooterIndex to warm the
+  /// footer cache without re-reading the file it just wrote.
+  const FooterEntries& Locators() const { return locators_; }
 
  private:
   struct IndexEntry {
@@ -204,7 +206,7 @@ class TsFileWriter {
   const char* magic() const { return footer_stats_ ? kMagicV2 : kMagic; }
 
   template <typename V>
-  Status WriteChunkImpl(const std::string& sensor,
+  Status WriteChunkImpl(std::string_view sensor,
                         const std::vector<Timestamp>& ts,
                         const std::vector<V>& values, DataType type,
                         Encoding time_enc, Encoding value_enc,
@@ -224,7 +226,7 @@ class TsFileWriter {
   std::string path_;
   ByteBuffer buffer_;
   std::vector<IndexEntry> index_;
-  FooterMap locators_;  // built by Finish()
+  FooterEntries locators_;  // built (sorted) by Finish()
   bool finished_ = false;
   bool footer_stats_ = true;  // false = legacy BSTF1 footer
 

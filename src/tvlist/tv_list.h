@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/counters.h"
 #include "common/types.h"
 
@@ -18,29 +19,42 @@ namespace backsort {
 /// allocation and one huge buffer. Points are appended in arrival order;
 /// sorting by timestamp happens lazily at flush or query time through a
 /// pluggable sorting algorithm (see TVListSortable).
+///
+/// Arrays come from the optional Arena when one is supplied (the memtable
+/// path: every list of one memtable shares the memtable's arena and the
+/// whole table frees wholesale at retire) or from the heap otherwise (the
+/// algorithm benches and tests). An arena-backed list must not outlive its
+/// arena; it never frees individual arrays.
 template <typename V>
 class TVList {
  public:
   static constexpr size_t kDefaultArraySize = 32;
 
-  explicit TVList(size_t array_size = kDefaultArraySize)
-      : array_size_(array_size == 0 ? kDefaultArraySize : array_size) {}
+  explicit TVList(size_t array_size = kDefaultArraySize,
+                  Arena* arena = nullptr)
+      : array_size_(array_size == 0 ? kDefaultArraySize : array_size),
+        arena_(arena) {}
 
   // Movable, not copyable: a TVList owns its array chain, and accidental
   // copies of multi-megabyte buffers should be spelled out via Clone().
-  TVList(TVList&&) noexcept = default;
-  TVList& operator=(TVList&&) noexcept = default;
+  TVList(TVList&& other) noexcept { MoveFrom(other); }
+  TVList& operator=(TVList&& other) noexcept {
+    if (this != &other) {
+      ReleaseArrays();
+      MoveFrom(other);
+    }
+    return *this;
+  }
   TVList(const TVList&) = delete;
   TVList& operator=(const TVList&) = delete;
+
+  ~TVList() { ReleaseArrays(); }
 
   /// Appends one point in arrival order.
   void Put(Timestamp t, const V& v) {
     const size_t arr = size_ / array_size_;
     const size_t off = size_ % array_size_;
-    if (arr == time_arrays_.size()) {
-      time_arrays_.push_back(std::make_unique<Timestamp[]>(array_size_));
-      value_arrays_.push_back(std::make_unique<V[]>(array_size_));
-    }
+    if (arr == time_arrays_.size()) PushArrays();
     time_arrays_[arr][off] = t;
     value_arrays_[arr][off] = v;
     if (size_ > 0 && t < max_time_) {
@@ -66,12 +80,9 @@ class TVList {
     while (i < n) {
       const size_t arr = size / array_size_;
       const size_t off = size % array_size_;
-      if (arr == time_arrays_.size()) {
-        time_arrays_.push_back(std::make_unique<Timestamp[]>(array_size_));
-        value_arrays_.push_back(std::make_unique<V[]>(array_size_));
-      }
-      Timestamp* tdst = time_arrays_[arr].get() + off;
-      V* vdst = value_arrays_[arr].get() + off;
+      if (arr == time_arrays_.size()) PushArrays();
+      Timestamp* tdst = time_arrays_[arr] + off;
+      V* vdst = value_arrays_[arr] + off;
       const size_t take = std::min(array_size_ - off, n - i);
       for (size_t k = 0; k < take; ++k) {
         const Timestamp t = points[i + k].t;
@@ -117,12 +128,23 @@ class TVList {
 
   size_t array_size() const { return array_size_; }
 
-  /// Approximate heap footprint, for memtable flush accounting.
+  /// Approximate heap footprint, for memtable flush accounting: the array
+  /// payload only (chain-pointer vectors are counted by ChainBytes, arena
+  /// block overhead by the arena itself).
   size_t MemoryBytes() const {
     return time_arrays_.size() * array_size_ * (sizeof(Timestamp) + sizeof(V));
   }
 
-  /// Deep copy (explicit, see copy-constructor note above).
+  /// Heap bytes of the chain-pointer vectors themselves — the only part of
+  /// an arena-backed list that still lives on the general heap. The
+  /// memtable's exact accounting sums this per chunk on top of the arena.
+  size_t ChainBytes() const {
+    return time_arrays_.capacity() * sizeof(Timestamp*) +
+           value_arrays_.capacity() * sizeof(V*);
+  }
+
+  /// Deep copy (explicit, see copy-constructor note above). The copy is
+  /// heap-backed regardless of the source's arena.
   TVList Clone() const {
     TVList out(array_size_);
     for (size_t i = 0; i < size_; ++i) {
@@ -133,8 +155,7 @@ class TVList {
   }
 
   void Clear() {
-    time_arrays_.clear();
-    value_arrays_.clear();
+    ReleaseArrays();
     size_ = 0;
     sorted_ = true;
     min_time_ = 0;
@@ -142,9 +163,48 @@ class TVList {
   }
 
  private:
-  size_t array_size_;
-  std::vector<std::unique_ptr<Timestamp[]>> time_arrays_;
-  std::vector<std::unique_ptr<V[]>> value_arrays_;
+  void PushArrays() {
+    if (arena_ != nullptr) {
+      time_arrays_.push_back(arena_->AllocateArray<Timestamp>(array_size_));
+      value_arrays_.push_back(arena_->AllocateArray<V>(array_size_));
+    } else {
+      time_arrays_.push_back(new Timestamp[array_size_]);
+      value_arrays_.push_back(new V[array_size_]);
+    }
+  }
+
+  /// Frees heap arrays (arena arrays are the arena's to free) and drops
+  /// the chains.
+  void ReleaseArrays() {
+    if (arena_ == nullptr) {
+      for (Timestamp* a : time_arrays_) delete[] a;
+      for (V* a : value_arrays_) delete[] a;
+    }
+    time_arrays_.clear();
+    value_arrays_.clear();
+  }
+
+  /// Move helper: steals other's chains and neuters it so its destructor
+  /// frees nothing.
+  void MoveFrom(TVList& other) {
+    array_size_ = other.array_size_;
+    arena_ = other.arena_;
+    time_arrays_ = std::move(other.time_arrays_);
+    value_arrays_ = std::move(other.value_arrays_);
+    size_ = other.size_;
+    sorted_ = other.sorted_;
+    min_time_ = other.min_time_;
+    max_time_ = other.max_time_;
+    other.time_arrays_.clear();
+    other.value_arrays_.clear();
+    other.size_ = 0;
+    other.sorted_ = true;
+  }
+
+  size_t array_size_ = kDefaultArraySize;
+  Arena* arena_ = nullptr;
+  std::vector<Timestamp*> time_arrays_;
+  std::vector<V*> value_arrays_;
   size_t size_ = 0;
   bool sorted_ = true;
   Timestamp min_time_ = 0;

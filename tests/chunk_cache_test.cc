@@ -50,19 +50,19 @@ TEST(ChunkCacheTest, MissThenHit) {
 TEST(ChunkCacheTest, FooterRoundTrip) {
   ChunkCache cache(1 << 20);
   EXPECT_EQ(cache.GetFooter("f1"), nullptr);
-  auto footer = std::make_shared<FooterMap>();
+  FooterMap m;
   ChunkLocator loc;
   loc.offset = 5;
   loc.length = 100;
   loc.points = 10;
   loc.min_t = 0;
   loc.max_t = 9;
-  (*footer)["s1"] = loc;
-  cache.PutFooter("f1", footer);
+  m["s1"] = loc;
+  cache.PutFooter("f1", std::make_shared<const FooterIndex>(m));
   const auto hit = cache.GetFooter("f1");
   ASSERT_NE(hit, nullptr);
-  ASSERT_EQ(hit->count("s1"), 1u);
-  EXPECT_EQ(hit->at("s1").length, 100u);
+  ASSERT_NE(hit->Find("s1"), nullptr);
+  EXPECT_EQ(hit->Find("s1")->length, 100u);
   const ChunkCacheStats stats = cache.GetStats();
   EXPECT_EQ(stats.footer_hits, 1u);
   EXPECT_EQ(stats.footer_misses, 1u);
@@ -76,7 +76,7 @@ TEST(ChunkCacheTest, DisabledCacheIsInert) {
   EXPECT_FALSE(cache.enabled());
   cache.PutChunk("f1", "s1", MakeChunk(10, 0.0));
   EXPECT_EQ(cache.GetChunk("f1", "s1"), nullptr);
-  cache.PutFooter("f1", std::make_shared<FooterMap>());
+  cache.PutFooter("f1", std::make_shared<const FooterIndex>());
   EXPECT_EQ(cache.GetFooter("f1"), nullptr);
   cache.InvalidateFile("f1");
   const ChunkCacheStats stats = cache.GetStats();
@@ -135,7 +135,7 @@ TEST(ChunkCacheTest, InvalidateFileDropsAllItsEntriesOnly) {
   ChunkCache cache(1 << 20);
   cache.PutChunk("f1", "s1", MakeChunk(10, 0.0));
   cache.PutChunk("f1", "s2", MakeChunk(10, 0.0));
-  cache.PutFooter("f1", std::make_shared<FooterMap>());
+  cache.PutFooter("f1", std::make_shared<const FooterIndex>());
   cache.PutChunk("f2", "s1", MakeChunk(10, 0.0));
   const uint64_t evictions_before = cache.GetStats().evictions;
   cache.InvalidateFile("f1");
@@ -151,7 +151,7 @@ TEST(ChunkCacheTest, ByteAccountingReturnsToZero) {
   ChunkCache cache(1 << 20);
   cache.PutChunk("f1", "s1", MakeChunk(50, 0.0));
   cache.PutChunk("f2", "s1", MakeChunk(50, 0.0));
-  cache.PutFooter("f1", std::make_shared<FooterMap>());
+  cache.PutFooter("f1", std::make_shared<const FooterIndex>());
   EXPECT_GT(cache.GetStats().bytes, 0u);
   EXPECT_EQ(cache.GetStats().entries, 3u);
   cache.InvalidateFile("f1");

@@ -62,7 +62,8 @@ class CompactionTest : public ::testing::Test {
     TsFileWriter writer(path);
     EXPECT_TRUE(writer.WriteChunkF64(sensor, ts, vals).ok());
     EXPECT_TRUE(writer.Finish().ok());
-    return std::make_shared<SealedFileMeta>(path, writer.Locators(), nullptr);
+    return std::make_shared<SealedFileMeta>(
+        path, std::make_shared<const FooterIndex>(writer.Locators()), nullptr);
   }
 
   static std::vector<uint64_t> SizesOf(const std::vector<SealedFileRef>& fs) {
@@ -76,8 +77,8 @@ class CompactionTest : public ::testing::Test {
   /// Fake meta for planner-only tests: the path never exists and the meta
   /// is never marked obsolete, so nothing touches the filesystem.
   SealedFileRef FakeMeta(const std::string& name) {
-    return std::make_shared<SealedFileMeta>((dir_ / name).string(), FooterMap{},
-                                            nullptr);
+    return std::make_shared<SealedFileMeta>(
+        (dir_ / name).string(), std::make_shared<const FooterIndex>(), nullptr);
   }
 
   size_t TmpFileCount() const {

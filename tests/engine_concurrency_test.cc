@@ -517,5 +517,88 @@ TEST_F(EngineConcurrencyTest, BackgroundCompactionRacesIngestAndQueries) {
   }
 }
 
+// 100k distinct sensors across 4 writer threads while readers query and
+// flushes run: the per-shard interner grows (arena appends, hash rehashes)
+// under the shard lock while flush workers read interner-owned name views
+// lock-free and queries run Lookup — the full high-cardinality race
+// surface. Under TSan this pins the contract that name bytes never move
+// and that all interner mutation stays inside the shard mutex.
+TEST_F(EngineConcurrencyTest, HighCardinalityInternerRaceSurface) {
+  EngineOptions opt = Options(/*shards=*/4, /*flush_workers=*/2);
+  opt.memtable_flush_threshold = 20'000;  // several flushes over the run
+  StorageEngine engine(opt);
+  ASSERT_TRUE(engine.Open().ok());
+
+  constexpr size_t kWriters = 4;
+  constexpr size_t kSensorsPerWriter = 25'000;
+  constexpr size_t kGroup = 200;  // sensors per WriteMulti call
+  auto sensor_of = [](size_t w, size_t i) {
+    return "root.card.w" + std::to_string(w) + ".s" + std::to_string(i);
+  };
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      std::vector<StorageEngine::SensorBatch> multi;
+      for (size_t i = 0; i < kSensorsPerWriter; ++i) {
+        multi.push_back(
+            {sensor_of(w, i),
+             {{static_cast<Timestamp>(1 + (i % 7)), static_cast<double>(i)}}});
+        if (multi.size() == kGroup || i + 1 == kSensorsPerWriter) {
+          size_t applied = 0;
+          ASSERT_TRUE(engine.WriteMulti(multi, &applied).ok());
+          ASSERT_EQ(applied, multi.size());
+          multi.clear();
+        }
+      }
+    });
+  }
+  // Readers race the interner growth: most lookups hit sensors that are
+  // being interned concurrently by the writers (or don't exist yet).
+  threads.emplace_back([&] {
+    size_t round = 0;
+    std::vector<TvPairDouble> out;
+    while (!done.load()) {
+      const size_t w = round % kWriters;
+      const size_t i = (round * 131) % kSensorsPerWriter;
+      ++round;
+      Status st = engine.Query(sensor_of(w, i), 0, 100, &out);
+      ASSERT_TRUE(st.ok());
+      TvPairDouble last{};
+      st = engine.GetLatest(sensor_of(w, i), &last);
+      ASSERT_TRUE(st.ok() || st.IsNotFound());
+    }
+  });
+  threads.emplace_back([&] {
+    while (!done.load()) {
+      ASSERT_TRUE(engine.FlushAll().ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+  });
+
+  for (size_t w = 0; w < kWriters; ++w) threads[w].join();
+  done.store(true);
+  for (size_t i = kWriters; i < threads.size(); ++i) threads[i].join();
+  ASSERT_TRUE(engine.FlushAll().ok());
+
+  const EngineMetricsSnapshot snap = engine.GetMetricsSnapshot();
+  size_t sensors = 0;
+  for (const ShardMetricsSnapshot& shard : snap.shards) {
+    sensors += shard.sensor_count;
+  }
+  EXPECT_EQ(sensors, kWriters * kSensorsPerWriter);
+
+  // Spot-check: every 977th sensor of each writer answers with its point.
+  std::vector<TvPairDouble> out;
+  for (size_t w = 0; w < kWriters; ++w) {
+    for (size_t i = 0; i < kSensorsPerWriter; i += 977) {
+      ASSERT_TRUE(engine.Query(sensor_of(w, i), 0, 100, &out).ok());
+      ASSERT_EQ(out.size(), 1u) << sensor_of(w, i);
+      EXPECT_DOUBLE_EQ(out[0].v, static_cast<double>(i));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace backsort

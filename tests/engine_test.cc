@@ -42,15 +42,16 @@ class EngineTest : public ::testing::Test {
 
 TEST_F(EngineTest, MemTableBasics) {
   MemTable table;
-  table.Write("a", 3, 1.0);
-  table.Write("a", 1, 2.0);
-  table.Write("b", 5, 3.0);
+  table.Write(0, "a", 3, 1.0);
+  table.Write(0, "a", 1, 2.0);
+  table.Write(1, "b", 5, 3.0);
   EXPECT_EQ(table.total_points(), 3u);
-  ASSERT_NE(table.GetChunk("a"), nullptr);
-  EXPECT_EQ(table.GetChunk("a")->size(), 2u);
-  EXPECT_FALSE(table.GetChunk("a")->sorted());
-  EXPECT_TRUE(table.GetChunk("b")->sorted());
-  EXPECT_EQ(table.GetChunk("nope"), nullptr);
+  ASSERT_NE(table.GetChunk(0), nullptr);
+  EXPECT_EQ(table.GetChunk(0)->size(), 2u);
+  EXPECT_FALSE(table.GetChunk(0)->sorted());
+  EXPECT_TRUE(table.GetChunk(1)->sorted());
+  EXPECT_EQ(table.GetChunk(7), nullptr);
+  EXPECT_EQ(table.GetChunk(kInvalidSensorId), nullptr);
   EXPECT_EQ(table.state(), MemTable::State::kWorking);
   table.MarkFlushing();
   EXPECT_EQ(table.state(), MemTable::State::kFlushing);

@@ -1,0 +1,249 @@
+// Sensor interning, bump arenas, and exact memtable accounting — the
+// high-cardinality ingest pins:
+//   * SensorInterner: dense id assignment, rehash correctness, view
+//     stability across growth, exact MemoryBytes.
+//   * Arena: alignment, block growth, oversize allocations, wholesale
+//     release.
+//   * MemTable accounting at 100k sensors: MemoryBytes (exact walk) must
+//     equal ApproxMemoryBytes (lock-free O(1) estimate) bit for bit, and
+//     the per-idle-sensor footprint must sit inside a tolerance band —
+//     the old string-keyed map undercounted by ignoring per-node map and
+//     key-string overhead, so the flush trigger fired late.
+//   * WAL-replay crash recovery at 50k sensors: the interner is never
+//     persisted; a reopened engine must rebuild ids from replay and
+//     answer every sensor.
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/arena.h"
+#include "engine/storage_engine.h"
+#include "memtable/memtable.h"
+#include "memtable/sensor_interner.h"
+
+namespace backsort {
+namespace {
+
+// IoTDB-style dotted path, long enough to defeat std::string SSO — the
+// shape whose heap cost the interner is meant to collapse.
+std::string SensorName(size_t i) {
+  return "root.sg" + std::to_string(i % 64) + ".device" +
+         std::to_string(i / 1000) + ".sensor" + std::to_string(i);
+}
+
+TEST(SensorInterner, DenseIdsRoundTripAndIdempotence) {
+  SensorInterner interner;
+  constexpr size_t kSensors = 10'000;
+  for (size_t i = 0; i < kSensors; ++i) {
+    ASSERT_EQ(interner.Intern(SensorName(i)), static_cast<SensorId>(i));
+  }
+  EXPECT_EQ(interner.size(), kSensors);
+  // Re-interning returns the same id; size is unchanged.
+  EXPECT_EQ(interner.Intern(SensorName(7)), SensorId{7});
+  EXPECT_EQ(interner.size(), kSensors);
+  for (size_t i = 0; i < kSensors; ++i) {
+    const std::string name = SensorName(i);
+    EXPECT_EQ(interner.Lookup(name), static_cast<SensorId>(i));
+    EXPECT_EQ(interner.NameOf(static_cast<SensorId>(i)), name);
+  }
+  EXPECT_EQ(interner.Lookup("root.sg0.device0.sensor_nope"),
+            kInvalidSensorId);
+  // Lookup never interns.
+  EXPECT_EQ(interner.size(), kSensors);
+}
+
+TEST(SensorInterner, ViewsStayValidAcrossRehashAndArenaGrowth) {
+  SensorInterner interner;
+  const SensorId first = interner.Intern(SensorName(0));
+  const std::string_view early = interner.NameOf(first);
+  const char* early_data = early.data();
+  // Force many rehashes and thousands of arena block appends.
+  for (size_t i = 1; i < 50'000; ++i) interner.Intern(SensorName(i));
+  const std::string_view late = interner.NameOf(first);
+  EXPECT_EQ(late.data(), early_data) << "name bytes moved";
+  EXPECT_EQ(late, SensorName(0));
+}
+
+TEST(SensorInterner, MemoryBytesTracksNamesWithBoundedOverhead) {
+  SensorInterner interner;
+  constexpr size_t kSensors = 100'000;
+  size_t name_bytes = 0;
+  for (size_t i = 0; i < kSensors; ++i) {
+    const std::string name = SensorName(i);
+    name_bytes += name.size();
+    interner.Intern(name);
+  }
+  const size_t bytes = interner.MemoryBytes();
+  // Exact accounting must at least cover the stored name bytes...
+  EXPECT_GE(bytes, name_bytes);
+  // ...and the whole structure (arena slack + 12-byte reverse entries +
+  // <= 4x-sized open-addressing slot table) stays under 64 bytes/sensor —
+  // an order of magnitude below one std::map node + heap std::string key.
+  EXPECT_LE(bytes, name_bytes + kSensors * 64);
+}
+
+TEST(Arena, AlignsGrowsAndReleasesWholesale) {
+  Arena arena;
+  EXPECT_EQ(arena.MemoryBytes(), 0u);
+  void* p1 = arena.Allocate(1, 1);
+  void* p8 = arena.Allocate(8, 8);
+  ASSERT_NE(p1, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p8) % 8, 0u);
+  const size_t one_block = arena.MemoryBytes();
+  EXPECT_GT(one_block, 0u);
+  // Filling past the first block adds blocks, monotonically.
+  for (int i = 0; i < 100; ++i) arena.AllocateArray<double>(1024);
+  EXPECT_GT(arena.MemoryBytes(), one_block);
+  // An oversize request (bigger than a block) still succeeds and is
+  // usable end to end.
+  double* big = arena.AllocateArray<double>(1 << 17);
+  big[0] = 1.0;
+  big[(1 << 17) - 1] = 2.0;
+  EXPECT_DOUBLE_EQ(big[0] + big[(1 << 17) - 1], 3.0);
+  arena.FreeAll();
+  EXPECT_EQ(arena.MemoryBytes(), 0u);
+  // The arena is reusable after FreeAll.
+  int* again = arena.AllocateArray<int>(16);
+  again[15] = 42;
+  EXPECT_EQ(again[15], 42);
+}
+
+// Satellite pin: the lock-free footprint estimate the flush trigger and
+// metrics read must EQUAL the exact walk at 100k sensors — the old
+// string-keyed table undercounted (map nodes + key strings were ignored),
+// firing the flush threshold late exactly when cardinality made memory
+// scarce.
+TEST(MemTableAccounting, ExactAt100kSensors) {
+  SensorInterner interner;
+  MemTable table;
+  constexpr size_t kSensors = 100'000;
+  for (size_t i = 0; i < kSensors; ++i) {
+    const SensorId id = interner.Intern(SensorName(i));
+    table.Write(id, interner.NameOf(id),
+                static_cast<Timestamp>(i % 97), 1.0);
+  }
+  // A second pass through a subset via the bulk path.
+  const TvPairDouble extra[3] = {{100, 1.0}, {101, 2.0}, {99, 3.0}};
+  for (size_t i = 0; i < kSensors; i += 1000) {
+    const SensorId id = static_cast<SensorId>(i);
+    table.WriteN(id, interner.NameOf(id), extra, 3);
+  }
+
+  const size_t exact = table.MemoryBytes();
+  const size_t approx = table.ApproxMemoryBytes();
+  EXPECT_EQ(exact, approx) << "lock-free estimate drifted from exact walk";
+
+  // Tolerance band per mostly-idle sensor (one point each): chunk object
+  // + first 32-slot time/value arrays + chain-pointer vectors + the two
+  // flat tables. Catastrophic regressions in either direction (accounting
+  // dropped to ~0, or per-sensor overhead ballooned past ~2 KiB) fail.
+  const size_t per_sensor = exact / kSensors;
+  EXPECT_GE(per_sensor, sizeof(MemTable::Chunk));
+  EXPECT_LE(per_sensor, 2048u);
+
+  // And the count side of the trigger input.
+  EXPECT_EQ(table.total_points(), kSensors + (kSensors / 1000) * 3);
+}
+
+TEST(MemTableAccounting, InternerBytesSurfaceInShardMetrics) {
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("interner_metrics_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  {
+    EngineOptions opt;
+    opt.data_dir = dir.string();
+    opt.enable_wal = false;
+    opt.memtable_flush_threshold = 1'000'000;
+    StorageEngine engine(opt);
+    ASSERT_TRUE(engine.Open().ok());
+    constexpr size_t kSensors = 20'000;
+    for (size_t i = 0; i < kSensors; ++i) {
+      ASSERT_TRUE(engine.Write(SensorName(i), 1, 1.0).ok());
+    }
+    const EngineMetricsSnapshot snap = engine.GetMetricsSnapshot();
+    size_t sensors = 0, state_bytes = 0;
+    for (const ShardMetricsSnapshot& shard : snap.shards) {
+      sensors += shard.sensor_count;
+      state_bytes += shard.sensor_state_bytes;
+    }
+    EXPECT_EQ(sensors, kSensors);
+    // The per-sensor shard state (interned name + hash slot + reverse
+    // entry + watermark/last-cache slots) is accounted and bounded.
+    EXPECT_GT(state_bytes / kSensors, 0u);
+    EXPECT_LE(state_bytes / kSensors, 256u);
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+// Ids are never persisted: after a crash (engine destroyed without
+// FlushAll) the reopened engine re-interns every sensor from WAL replay,
+// in whatever order replay visits them, and must answer all of them.
+TEST(InternerRecovery, WalReplayRebuildsInternerAt50kSensors) {
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("interner_recovery_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string data_dir = dir.string();
+  constexpr size_t kSensors = 50'000;
+  {
+    EngineOptions opt;
+    opt.data_dir = data_dir;
+    opt.memtable_flush_threshold = 10'000'000;  // never flush
+    StorageEngine engine(opt);
+    ASSERT_TRUE(engine.Open().ok());
+    std::vector<TvPairDouble> pts(2);
+    for (size_t i = 0; i < kSensors; ++i) {
+      // Two points, second one out of order, so replay exercises both
+      // separation outcomes per sensor.
+      pts[0] = {static_cast<Timestamp>(10 + (i % 5)),
+                static_cast<double>(i)};
+      pts[1] = {static_cast<Timestamp>(3), static_cast<double>(i) + 0.5};
+      size_t applied = 0;
+      ASSERT_TRUE(engine.WriteBatch(SensorName(i), pts, &applied).ok());
+      ASSERT_EQ(applied, 2u);
+    }
+    // Destroyed without FlushAll: simulated crash.
+  }
+  {
+    EngineOptions opt;
+    opt.data_dir = data_dir;
+    StorageEngine engine(opt);
+    ASSERT_TRUE(engine.Open().ok());
+    // Spot-check a spread of sensors (every 997th plus the edges): both
+    // points survive, and GetLatest serves the recovered last cache.
+    std::vector<TvPairDouble> out;
+    for (size_t i : {size_t{0}, size_t{1}, size_t{kSensors - 1}}) {
+      ASSERT_TRUE(engine.Query(SensorName(i), 0, 100, &out).ok());
+      ASSERT_EQ(out.size(), 2u) << SensorName(i);
+      EXPECT_EQ(out.front().t, 3);
+      EXPECT_DOUBLE_EQ(out.front().v, static_cast<double>(i) + 0.5);
+    }
+    size_t checked = 0;
+    for (size_t i = 0; i < kSensors; i += 997) {
+      TvPairDouble last{};
+      ASSERT_TRUE(engine.GetLatest(SensorName(i), &last).ok());
+      EXPECT_EQ(last.t, static_cast<Timestamp>(10 + (i % 5)));
+      EXPECT_DOUBLE_EQ(last.v, static_cast<double>(i));
+      ++checked;
+    }
+    EXPECT_GT(checked, 50u);
+    const EngineMetricsSnapshot snap = engine.GetMetricsSnapshot();
+    size_t sensors = 0;
+    for (const ShardMetricsSnapshot& shard : snap.shards) {
+      sensors += shard.sensor_count;
+    }
+    EXPECT_EQ(sensors, kSensors) << "replay did not rebuild the interner";
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+}  // namespace
+}  // namespace backsort

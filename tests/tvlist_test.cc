@@ -165,28 +165,29 @@ TEST(MemTable, WriteNBitIdenticalToWrite) {
   }
 
   MemTable a, b;
-  for (const auto& p : s0) a.Write("s0", p.t, p.v);
-  for (const auto& p : s1) a.Write("s1", p.t, p.v);
-  b.WriteN("s0", s0.data(), 120);
-  b.WriteN("s0", s0.data() + 120, s0.size() - 120);
-  b.WriteN("s1", s1.data(), s1.size());
-  b.WriteN("s1", s1.data() + s1.size(), 0);
+  for (const auto& p : s0) a.Write(0, "s0", p.t, p.v);
+  for (const auto& p : s1) a.Write(1, "s1", p.t, p.v);
+  b.WriteN(0, "s0", s0.data(), 120);
+  b.WriteN(0, "s0", s0.data() + 120, s0.size() - 120);
+  b.WriteN(1, "s1", s1.data(), s1.size());
+  b.WriteN(1, "s1", s1.data() + s1.size(), 0);
 
   EXPECT_EQ(b.total_points(), a.total_points());
   EXPECT_EQ(b.MemoryBytes(), a.MemoryBytes());
   EXPECT_EQ(b.ApproxMemoryBytes(), a.ApproxMemoryBytes());
   ASSERT_EQ(b.chunks().size(), a.chunks().size());
-  for (const auto& [sensor, list_a] : a.chunks()) {
-    const DoubleTVList* list_b =
-        static_cast<const MemTable&>(b).GetChunk(sensor);
+  for (const MemTable::Chunk* chunk_a : a.chunks()) {
+    const DoubleTVList& list_a = chunk_a->list;
+    const std::string sensor(chunk_a->sensor);
+    const DoubleTVList* list_b = b.GetChunk(chunk_a->id);
     ASSERT_NE(list_b, nullptr) << sensor;
-    ASSERT_EQ(list_b->size(), list_a->size()) << sensor;
-    EXPECT_EQ(list_b->sorted(), list_a->sorted()) << sensor;
-    EXPECT_EQ(list_b->min_time(), list_a->min_time()) << sensor;
-    EXPECT_EQ(list_b->max_time(), list_a->max_time()) << sensor;
-    for (size_t i = 0; i < list_a->size(); ++i) {
-      ASSERT_EQ(list_b->TimeAt(i), list_a->TimeAt(i)) << sensor << " " << i;
-      ASSERT_EQ(list_b->ValueAt(i), list_a->ValueAt(i)) << sensor << " " << i;
+    ASSERT_EQ(list_b->size(), list_a.size()) << sensor;
+    EXPECT_EQ(list_b->sorted(), list_a.sorted()) << sensor;
+    EXPECT_EQ(list_b->min_time(), list_a.min_time()) << sensor;
+    EXPECT_EQ(list_b->max_time(), list_a.max_time()) << sensor;
+    for (size_t i = 0; i < list_a.size(); ++i) {
+      ASSERT_EQ(list_b->TimeAt(i), list_a.TimeAt(i)) << sensor << " " << i;
+      ASSERT_EQ(list_b->ValueAt(i), list_a.ValueAt(i)) << sensor << " " << i;
     }
   }
 }

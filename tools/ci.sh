@@ -52,21 +52,30 @@
 #      recorded, not gated — in-process nodes share this host's cores,
 #      so scale-out is only measurable multi-host, see
 #      bench/baselines/BENCH_system_cluster.json "host_cores")
+#  11. cardinality: the sensor-interner and arena-backed TVList suites
+#      under AddressSanitizer (the interner hands out string_views into
+#      a bump arena and the memtable frees TVList blocks wholesale at
+#      seal — exactly the lifetimes ASan is for), then a scaled 100k-
+#      sensor bench/system_cardinality run gated on idle heap staying
+#      <= 600 bytes/sensor (full scale measures ~191 vs ~1676 on the
+#      pre-interning string path, bench/baselines/
+#      BENCH_system_cardinality_stringpath.json) and on wide-batch
+#      ingest holding >= 0.5x the committed baseline's 100k-sensor rate
 #
-# Usage: tools/ci.sh   (from the repo root; build dirs: build/, build-tsan/)
+# Usage: tools/ci.sh   (from the repo root; build dirs: build/, build-tsan/, build-asan/)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "=== [1/10] tier-1: configure + build + full test suite ==="
+echo "=== [1/11] tier-1: configure + build + full test suite ==="
 cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
-echo "=== [2/10] engine suites at 4 shards / 2 flush workers ==="
+echo "=== [2/11] engine suites at 4 shards / 2 flush workers ==="
 (cd build && BACKSORT_SHARDS=4 BACKSORT_FLUSH_WORKERS=2 \
   ctest --output-on-failure -R 'Engine|Wal|Workload|Aggregate|ReadPath' -j)
 
-echo "=== [3/10] concurrency + read-path tests under ThreadSanitizer ==="
+echo "=== [3/11] concurrency + read-path tests under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DBACKSORT_SANITIZE=thread
 cmake --build build-tsan -j --target engine_concurrency_test histogram_test \
   chunk_cache_test read_path_test
@@ -75,7 +84,7 @@ cmake --build build-tsan -j --target engine_concurrency_test histogram_test \
 ./build-tsan/tests/chunk_cache_test
 ./build-tsan/tests/read_path_test
 
-echo "=== [4/10] chunk-cache effectiveness smoke ==="
+echo "=== [4/11] chunk-cache effectiveness smoke ==="
 # The read_path suite covers cache correctness; this step checks the
 # operator-visible surface end to end: bstool flag -> engine -> exporter.
 smoke_dir=$(mktemp -d)
@@ -106,7 +115,7 @@ if [ -z "$hits" ] || [ "${hits%%.*}" -le 0 ]; then
 fi
 echo "cache smoke passed (query-mix cache hits: $hits)"
 
-echo "=== [5/10] network loopback smoke ==="
+echo "=== [5/11] network loopback smoke ==="
 # Wire protocol + server correctness under ThreadSanitizer: concurrent
 # clients must stay bit-identical and the shutdown drain must be clean.
 cmake --build build-tsan -j --target net_protocol_test net_server_test
@@ -160,7 +169,7 @@ wait "$serve_pid" || {
 }
 echo "net smoke passed ($rows rows round-tripped via $addr)"
 
-echo "=== [6/10] docs: wire-protocol golden suite + link check ==="
+echo "=== [6/11] docs: wire-protocol golden suite + link check ==="
 # The spec in docs/WIRE_PROTOCOL.md is executable documentation: this
 # suite re-derives magic/offsets/type tables from the compiled protocol
 # constants and fails if the prose drifted from the code.
@@ -189,7 +198,7 @@ if [ "$docs_fail" -ne 0 ]; then
 fi
 echo "docs link check passed"
 
-echo "=== [7/10] perf smoke: ingest batching + net pipelining ==="
+echo "=== [7/11] perf smoke: ingest batching + net pipelining ==="
 # Scaled-down system_ingest run; the JSON is flat one-key-per-line so the
 # gate needs only grep + awk. Noise margin: full scale measures ~5x.
 BACKSORT_SYSTEM_POINTS=60000 BACKSORT_METRICS_DIR="$smoke_dir" \
@@ -231,7 +240,7 @@ done
 }
 echo "net perf smoke passed (pipelined/in-process write ratio: ${net_ratio})"
 
-echo "=== [8/10] compaction: TSan suite + soak gates + bstool smoke ==="
+echo "=== [8/11] compaction: TSan suite + soak gates + bstool smoke ==="
 # The whole compaction stack under ThreadSanitizer: planner/job/engine
 # suite plus the background scheduler racing ingest and queries.
 cmake --build build-tsan -j --target compaction_test
@@ -281,7 +290,7 @@ grep -q '^compacted ' "$smoke_dir/compact.log" || {
 }
 echo "compaction smoke passed (soak ratio ${soak_throughput_ratio_on_over_off}, 1 file after offline compact)"
 
-echo "=== [9/10] aggregation: differential suite under TSan + stats-plan gate ==="
+echo "=== [9/11] aggregation: differential suite under TSan + stats-plan gate ==="
 # The statistics plan must be an optimization, never an approximation:
 # the differential suite ingests random disorder workloads and
 # bit-compares AggregateFast against a brute-force decode, with and
@@ -314,7 +323,7 @@ done
 }
 echo "aggregation smoke passed (stats/decode speedup: ${agg_speedup}x)"
 
-echo "=== [10/10] cluster: TSan suites + 2-node kill-primary failover smoke ==="
+echo "=== [10/11] cluster: TSan suites + 2-node kill-primary failover smoke ==="
 # Replication correctness under ThreadSanitizer first: the WAL tailer
 # (torn tails, rotation, cursor resume) and the cluster suite including
 # the in-process kill-primary acceptance test.
@@ -442,5 +451,41 @@ done
 scale2=$(grep '"scale_out_2v1"' "$smoke_dir/BENCH_system_cluster.json" \
   | awk -F': ' '{print $2}' | tr -d ',')
 echo "cluster bench passed (2-node/1-node write ratio ${scale2} on this host)"
+
+echo "=== [11/11] cardinality: ASan interner/arena suites + 100k-sensor smoke ==="
+# The interner and arenas trade allocator nodes for raw pointer lifetimes
+# (string_views into a bump arena, TVList blocks freed wholesale at seal);
+# run their suites under AddressSanitizer to keep those lifetimes honest.
+cmake -B build-asan -S . -DBACKSORT_SANITIZE=address
+cmake --build build-asan -j --target interner_test tvlist_test
+./build-asan/tests/interner_test
+./build-asan/tests/tvlist_test
+# Scaled cardinality smoke: 100k sensors, one rep, disorder panels off.
+# Two gates against the flat JSON: idle heap per sensor (absolute budget —
+# full scale measures ~191 B/sensor; 600 leaves 3x noise headroom while
+# still catching any return of the ~1676 B/sensor string-keyed path) and
+# wide-batch ingest throughput relative to the committed baseline.
+BACKSORT_CARD_MAX_SENSORS=100000 BACKSORT_CARD_REPS=1 \
+  BACKSORT_CARD_MIN_POINTS=400000 BACKSORT_CARD_DISORDER_PTS=0 \
+  BACKSORT_METRICS_DIR="$smoke_dir" ./build/bench/system_cardinality > /dev/null
+card_idle=$(grep '"idle_bytes_per_sensor_100k"' \
+  "$smoke_dir/BENCH_system_cardinality.json" | awk -F': ' '{print $2}' | tr -d ',')
+card_pps=$(grep '"ingest_pps_100k"' \
+  "$smoke_dir/BENCH_system_cardinality.json" | awk -F': ' '{print $2}' | tr -d ',')
+base_pps=$(grep '"ingest_pps_100k"' \
+  bench/baselines/BENCH_system_cardinality.json | awk -F': ' '{print $2}' | tr -d ',')
+if [ -z "$card_idle" ] || [ -z "$card_pps" ] || [ -z "$base_pps" ]; then
+  echo "cardinality smoke FAILED: missing idle/pps keys (idle=$card_idle pps=$card_pps base=$base_pps)"
+  exit 1
+fi
+awk -v b="$card_idle" 'BEGIN { exit (b <= 600.0) ? 0 : 1 }' || {
+  echo "cardinality smoke FAILED: idle heap $card_idle B/sensor > 600 budget"
+  exit 1
+}
+awk -v p="$card_pps" -v b="$base_pps" 'BEGIN { exit (p >= 0.5 * b) ? 0 : 1 }' || {
+  echo "cardinality smoke FAILED: 100k wide ingest $card_pps pts/s < 0.5x baseline $base_pps"
+  exit 1
+}
+echo "cardinality smoke passed (idle ${card_idle} B/sensor, 100k ingest ${card_pps} pts/s vs baseline ${base_pps})"
 
 echo "=== CI passed ==="
